@@ -1,0 +1,134 @@
+//! Criterion microbenchmarks of the register file organizations: hit and
+//! miss paths, context switches, and the associative decoder.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nsf_core::{
+    MapStore, NamedStateFile, NsfConfig, RegAddr, RegisterFile, SegmentedConfig, SegmentedFile,
+};
+use std::hint::black_box;
+
+fn nsf() -> NamedStateFile {
+    NamedStateFile::new(NsfConfig::paper_default(128))
+}
+
+fn seg() -> SegmentedFile {
+    SegmentedFile::new(SegmentedConfig::paper_default(4, 32))
+}
+
+fn bench_hits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hit_paths");
+    g.bench_function("nsf_read_hit", |b| {
+        let mut f = nsf();
+        let mut s = MapStore::new();
+        f.write(RegAddr::new(1, 5), 42, &mut s).unwrap();
+        b.iter(|| f.read(black_box(RegAddr::new(1, 5)), &mut s).unwrap().value);
+    });
+    g.bench_function("nsf_write_hit", |b| {
+        let mut f = nsf();
+        let mut s = MapStore::new();
+        f.write(RegAddr::new(1, 5), 42, &mut s).unwrap();
+        b.iter(|| f.write(black_box(RegAddr::new(1, 5)), 43, &mut s).unwrap());
+    });
+    g.bench_function("segmented_read_hit", |b| {
+        let mut f = seg();
+        let mut s = MapStore::new();
+        f.switch_to(1, &mut s).unwrap();
+        f.write(RegAddr::new(1, 5), 42, &mut s).unwrap();
+        b.iter(|| f.read(black_box(RegAddr::new(1, 5)), &mut s).unwrap().value);
+    });
+    g.finish();
+}
+
+fn bench_miss_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("miss_paths");
+    g.bench_function("nsf_thrash_two_working_sets", |b| {
+        // 256 registers of demand across a 128-register file: every
+        // access round-trips through eviction + demand reload.
+        b.iter_batched(
+            || (nsf(), MapStore::new()),
+            |(mut f, mut s)| {
+                for round in 0..4u32 {
+                    for cid in 0..8u16 {
+                        for off in 0..32u8 {
+                            let a = RegAddr::new(cid, off);
+                            if round == 0 {
+                                f.write(a, u32::from(off), &mut s).unwrap();
+                            } else {
+                                let _ = f.read(a, &mut s);
+                            }
+                        }
+                    }
+                }
+                f
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("segmented_thrash_eight_threads", |b| {
+        b.iter_batched(
+            || (seg(), MapStore::new()),
+            |(mut f, mut s)| {
+                for round in 0..4u32 {
+                    for cid in 0..8u16 {
+                        f.switch_to(cid, &mut s).unwrap();
+                        for off in 0..32u8 {
+                            let a = RegAddr::new(cid, off);
+                            if round == 0 {
+                                f.write(a, u32::from(off), &mut s).unwrap();
+                            } else {
+                                let _ = f.read(a, &mut s);
+                            }
+                        }
+                    }
+                }
+                f
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("context_switch");
+    g.bench_function("nsf_switch", |b| {
+        let mut f = nsf();
+        let mut s = MapStore::new();
+        let mut cid = 0u16;
+        b.iter(|| {
+            cid = (cid + 1) % 16;
+            f.switch_to(black_box(cid), &mut s).unwrap()
+        });
+    });
+    g.bench_function("segmented_switch_resident", |b| {
+        let mut f = seg();
+        let mut s = MapStore::new();
+        for cid in 0..4 {
+            f.switch_to(cid, &mut s).unwrap();
+        }
+        let mut cid = 0u16;
+        b.iter(|| {
+            cid = (cid + 1) % 4;
+            f.switch_to(black_box(cid), &mut s).unwrap()
+        });
+    });
+    g.bench_function("segmented_switch_thrashing", |b| {
+        let mut f = seg();
+        let mut s = MapStore::new();
+        for cid in 0..8 {
+            f.switch_to(cid, &mut s).unwrap();
+            for off in 0..32 {
+                f.write(RegAddr::new(cid, off), 1, &mut s).unwrap();
+            }
+        }
+        let mut cid = 0u16;
+        b.iter(|| {
+            cid = (cid + 1) % 8;
+            f.switch_to(black_box(cid), &mut s).unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hits, bench_miss_paths, bench_switch);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the VLSI area/timing models (cheap by design;
+//! this pins them so a regression into accidental heavy computation is
+//! caught) and of the associative-decoder simulation primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nsf_core::cam::AssocDecoder;
+use nsf_vlsi::{AreaModel, Geometry, Ports, Tech, TimingModel};
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let area = AreaModel::new(Tech::cmos_1p2um());
+    let timing = TimingModel::new(Tech::cmos_1p2um());
+    c.bench_function("area_model_full_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for geom in [Geometry::g32x128(), Geometry::g64x64()] {
+                for ports in [Ports::three(), Ports::six()] {
+                    total += area.nsf(black_box(geom), ports).total_um2();
+                    total += area.segmented(black_box(geom), ports).total_um2();
+                }
+            }
+            total
+        });
+    });
+    c.bench_function("timing_model_full_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for geom in [Geometry::g32x128(), Geometry::g64x64()] {
+                total += timing.nsf(black_box(geom)).total_ns();
+                total += timing.segmented(black_box(geom)).total_ns();
+            }
+            total
+        });
+    });
+}
+
+fn bench_decoder(c: &mut Criterion) {
+    c.bench_function("cam_bind_lookup_unbind_128", |b| {
+        b.iter(|| {
+            let mut d = AssocDecoder::new(128);
+            for cid in 0..4u16 {
+                for line in 0..32u8 {
+                    let slot = d.take_free().expect("capacity");
+                    d.bind(slot, cid, line);
+                }
+            }
+            let mut hits = 0;
+            for cid in 0..4u16 {
+                for line in 0..32u8 {
+                    hits += usize::from(d.lookup(black_box(cid), line).is_some());
+                }
+            }
+            for slot in 0..128 {
+                d.unbind(slot);
+            }
+            hits
+        });
+    });
+}
+
+criterion_group!(benches, bench_models, bench_decoder);
+criterion_main!(benches);

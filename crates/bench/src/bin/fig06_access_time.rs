@@ -1,0 +1,54 @@
+//! Figure 6 — access times of segmented and Named-State register files.
+//!
+//! "Files are organized as 128 lines of 32 bits each, and 64 lines of 64
+//! bits each. Each file was simulated by Spice in 1.2µm CMOS process."
+//! We substitute the calibrated RC model (DESIGN.md §2).
+
+use nsf_vlsi::{AccessTime, Geometry, Tech, TimingModel};
+
+fn row(name: &str, t: AccessTime) {
+    println!(
+        "{name:<16} {:>8.2} {:>12.2} {:>10.2} {:>8.2}",
+        t.decode_ns,
+        t.word_select_ns,
+        t.data_read_ns,
+        t.total_ns()
+    );
+}
+
+fn main() {
+    let model = TimingModel::new(Tech::cmos_1p2um());
+    println!("Figure 6: Access time of register files (ns, 1.2um CMOS)");
+    println!(
+        "{:<16} {:>8} {:>12} {:>10} {:>8}",
+        "Organization", "Decode", "Word select", "Data read", "Total"
+    );
+    nsf_bench::rule(58);
+    for (name, geom) in [
+        ("Segment 32x128", Geometry::g32x128()),
+        ("Segment 64x64", Geometry::g64x64()),
+    ] {
+        row(name, model.segmented(geom));
+    }
+    for (name, geom) in [
+        ("NSF 32x128", Geometry::g32x128()),
+        ("NSF 64x64", Geometry::g64x64()),
+    ] {
+        row(name, model.nsf(geom));
+    }
+    nsf_bench::rule(58);
+    for geom in [Geometry::g32x128(), Geometry::g64x64()] {
+        println!(
+            "NSF overhead over segmented ({}x{}): {:.1}%  (paper: 5-6%)",
+            geom.bits_per_row,
+            geom.rows,
+            model.nsf_overhead(geom) * 100.0
+        );
+    }
+    // The paper validated its estimates against a 2um prototype (Fig. 5).
+    let proto = TimingModel::new(Tech::cmos_2um());
+    println!(
+        "Prototype chip (32x32, 10-bit CAM, 2um): NSF access {:.2} ns",
+        proto.nsf(Geometry::prototype()).total_ns()
+    );
+}

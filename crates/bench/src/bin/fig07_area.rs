@@ -1,0 +1,14 @@
+//! Figure 7 — area of 3-ported (1W+2R) register files in 1.2 µm CMOS.
+//!
+//! "Area is shown for register file decoder, word line and valid bit
+//! logic, and data array. All register files have one write and two read
+//! ports." The ratio column normalises to Segment 32x128, matching the
+//! paper's percentage annotations (100% / 89% / 154% / 120%).
+
+fn main() {
+    nsf_bench::print_area_figure(
+        "Figure 7",
+        nsf_vlsi::Ports::three(),
+        "one write and two read ports",
+    );
+}

@@ -1,0 +1,13 @@
+//! Figure 8 — area of six-ported (2W+4R) register files in 1.2 µm CMOS.
+//!
+//! "These register files have two write and four read ports." The NSF's
+//! relative overhead shrinks versus Figure 7 because the data array grows
+//! quadratically with ports while the decoder grows only linearly.
+
+fn main() {
+    nsf_bench::print_area_figure(
+        "Figure 8",
+        nsf_vlsi::Ports::six(),
+        "two write and four read ports",
+    );
+}

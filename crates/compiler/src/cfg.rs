@@ -1,0 +1,121 @@
+//! Control-flow graph utilities.
+
+use crate::ir::{BlockId, Function, Term};
+
+/// Successor and predecessor sets of every block.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Successor blocks of each block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessor blocks of each block.
+    pub preds: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `f`.
+    pub fn build(f: &Function) -> Self {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (i, b) in f.blocks.iter().enumerate() {
+            let out: Vec<BlockId> = match b.term.as_ref().expect("terminated blocks") {
+                Term::Jmp(t) => vec![*t],
+                Term::Br { t, e, .. } => vec![*t, *e],
+                Term::Ret(_) => vec![],
+            };
+            for s in &out {
+                preds[s.0 as usize].push(BlockId(i as u32));
+            }
+            succs[i] = out;
+        }
+        Cfg { succs, preds }
+    }
+
+    /// Blocks in reverse post-order from the entry (good for forward
+    /// analyses; liveness iterates its reverse).
+    pub fn reverse_postorder(&self, entry: BlockId) -> Vec<BlockId> {
+        let n = self.succs.len();
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS with an explicit stack of (block, next-child).
+        let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+        visited[entry.0 as usize] = true;
+        while let Some(&mut (b, ref mut child)) = stack.last_mut() {
+            let succs = &self.succs[b.0 as usize];
+            if *child < succs.len() {
+                let s = succs[*child];
+                *child += 1;
+                if !visited[s.0 as usize] {
+                    visited[s.0 as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Cond, FuncBuilder};
+
+    fn diamond() -> Function {
+        let mut b = FuncBuilder::new("f", 1);
+        let x = b.param(0);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.br(Cond::Eq, x, 0, t, e);
+        b.switch_to(t);
+        b.jmp(j);
+        b.switch_to(e);
+        b.jmp(j);
+        b.switch_to(j);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_edges() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.succs[0], vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.succs[1], vec![BlockId(3)]);
+        assert_eq!(cfg.preds[3], vec![BlockId(1), BlockId(2)]);
+        assert!(cfg.preds[0].is_empty());
+        assert!(cfg.succs[3].is_empty());
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        let rpo = cfg.reverse_postorder(f.entry);
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], f.entry);
+        assert_eq!(*rpo.last().unwrap(), BlockId(3));
+    }
+
+    #[test]
+    fn loop_edges() {
+        // entry -> loop -> loop | exit
+        let mut b = FuncBuilder::new("f", 1);
+        let x = b.param(0);
+        let l = b.new_block();
+        let exit = b.new_block();
+        b.jmp(l);
+        b.switch_to(l);
+        b.br(Cond::Ne, x, 0, l, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        assert!(cfg.succs[1].contains(&BlockId(1)), "self loop");
+        assert_eq!(cfg.preds[1].len(), 2);
+    }
+}

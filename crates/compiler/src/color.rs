@@ -1,0 +1,390 @@
+//! Chaitin-style graph-coloring register allocation with iterative
+//! spilling.
+//!
+//! Simplify/select with optimistic coloring: nodes of degree < K are
+//! removed and stacked; when none qualifies, the highest-degree node is
+//! stacked as a potential spill. During select, a node with no free color
+//! becomes an *actual* spill; spilled virtual registers are rewritten to
+//! short-lived temporaries around frame-slot loads/stores, and allocation
+//! repeats — each round strictly shrinks live ranges, so the loop
+//! terminates for any K large enough to hold one instruction's operands.
+
+use crate::cfg::Cfg;
+use crate::interference::InterferenceGraph;
+use crate::ir::{Function, IrInst, Operand, Term, VReg};
+use crate::liveness::Liveness;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Result of register allocation for one function.
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    /// Physical register index (color) per virtual register.
+    pub colors: BTreeMap<VReg, u8>,
+    /// Number of frame slots consumed by spilled values.
+    pub frame_slots: u32,
+    /// Distinct colors used.
+    pub colors_used: u8,
+    /// Allocation rounds needed (1 = no spilling).
+    pub rounds: u32,
+    /// Parameters that were spilled: `(param index, frame slot)`. The
+    /// codegen prologue stores these straight from the argument area to
+    /// the spill slot without occupying a register.
+    pub spilled_params: Vec<(u32, u32)>,
+    /// The rewritten function (identical to the input when `rounds == 1`).
+    pub func: Function,
+}
+
+/// Allocation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColorError {
+    /// K is too small to hold a single instruction's operands.
+    TooFewRegisters {
+        /// The K that was requested.
+        k: u8,
+    },
+    /// The spill loop failed to converge (indicates an internal bug).
+    DidNotConverge,
+}
+
+impl fmt::Display for ColorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColorError::TooFewRegisters { k } => {
+                write!(f, "cannot allocate with only {k} registers")
+            }
+            ColorError::DidNotConverge => write!(f, "spill rewriting did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for ColorError {}
+
+/// Colors `f` with at most `k` registers, spilling as needed.
+pub fn allocate(f: &Function, k: u8) -> Result<Allocation, ColorError> {
+    if k < 3 {
+        // A `Bin { dst, a, b }` can need three simultaneous registers.
+        return Err(ColorError::TooFewRegisters { k });
+    }
+    let mut func = f.clone();
+    let mut frame_slots = 0u32;
+    // Slot assignment for spilled vregs persists across rounds.
+    let mut slot_of: BTreeMap<VReg, u32> = BTreeMap::new();
+    // Vregs below this index come from the source program; everything at
+    // or above is a spill temporary with a minimal live range. Spilling
+    // temporaries cannot reduce pressure, so originals go first.
+    let first_temp = f.vregs;
+
+    // Each round spills at least one more original vreg, so `vregs + K`
+    // rounds always suffice; the +32 margin covers pathological selects.
+    let max_rounds = f.vregs + 32;
+    for round in 1..=max_rounds {
+        let cfg = Cfg::build(&func);
+        let lv = Liveness::compute(&func, &cfg);
+        let graph = InterferenceGraph::build(&func, &cfg, &lv);
+
+        match try_color(&graph, k, &slot_of, first_temp) {
+            Ok(colors) => {
+                let colors_used = colors.values().copied().max().map_or(0, |m| m + 1);
+                let spilled_params = (0..func.params)
+                    .filter_map(|p| slot_of.get(&VReg(p)).map(|&s| (p, s)))
+                    .collect();
+                return Ok(Allocation {
+                    colors,
+                    frame_slots,
+                    colors_used,
+                    rounds: round,
+                    spilled_params,
+                    func,
+                });
+            }
+            Err(spills) => {
+                for v in spills {
+                    slot_of.insert(v, frame_slots);
+                    frame_slots += 1;
+                }
+                func = rewrite_spills(&func, &slot_of);
+            }
+        }
+    }
+    Err(ColorError::DidNotConverge)
+}
+
+/// One simplify/select pass. On failure returns the set of actual spills.
+fn try_color(
+    graph: &InterferenceGraph,
+    k: u8,
+    already_spilled: &BTreeMap<VReg, u32>,
+    first_temp: u32,
+) -> Result<BTreeMap<VReg, u8>, Vec<VReg>> {
+    let mut degrees: BTreeMap<VReg, usize> =
+        graph.nodes().map(|v| (v, graph.degree(v))).collect();
+    let mut removed: BTreeSet<VReg> = BTreeSet::new();
+    let mut stack: Vec<VReg> = Vec::with_capacity(degrees.len());
+
+    while removed.len() < degrees.len() {
+        // Prefer a trivially colorable node.
+        let pick = degrees
+            .iter()
+            .filter(|(v, _)| !removed.contains(v))
+            .find(|(_, &d)| d < usize::from(k))
+            .map(|(v, _)| *v)
+            .or_else(|| {
+                // Potential spill: prefer original (non-temporary)
+                // vregs that have not been spilled yet, then highest
+                // degree (Chaitin's heuristic without use counts).
+                // Spill temporaries already have minimal live ranges, so
+                // respilling them cannot make progress.
+                degrees
+                    .iter()
+                    .filter(|(v, _)| !removed.contains(v))
+                    .max_by_key(|(v, &d)| {
+                        (v.0 < first_temp && !already_spilled.contains_key(v), d)
+                    })
+                    .map(|(v, _)| *v)
+            })
+            .expect("non-empty worklist");
+        removed.insert(pick);
+        stack.push(pick);
+        for n in graph.neighbors(pick) {
+            if let Some(d) = degrees.get_mut(&n) {
+                *d = d.saturating_sub(1);
+            }
+        }
+    }
+
+    let mut colors: BTreeMap<VReg, u8> = BTreeMap::new();
+    let mut spills = Vec::new();
+    while let Some(v) = stack.pop() {
+        let taken: BTreeSet<u8> = graph
+            .neighbors(v)
+            .filter_map(|n| colors.get(&n).copied())
+            .collect();
+        match (0..k).find(|c| !taken.contains(c)) {
+            Some(c) => {
+                colors.insert(v, c);
+            }
+            None => spills.push(v),
+        }
+    }
+    if spills.is_empty() {
+        Ok(colors)
+    } else {
+        Err(spills)
+    }
+}
+
+/// Rewrites spilled vregs into fresh temporaries around frame accesses.
+fn rewrite_spills(f: &Function, slot_of: &BTreeMap<VReg, u32>) -> Function {
+    let mut out = f.clone();
+    let mut next = f.vregs;
+    let mut fresh = || {
+        let v = VReg(next);
+        next += 1;
+        v
+    };
+
+    for block in &mut out.blocks {
+        let mut insts = Vec::with_capacity(block.insts.len() * 2);
+        for inst in block.insts.drain(..) {
+            let mut inst = inst;
+            // Replace spilled uses with loads into fresh temporaries.
+            let uses: Vec<VReg> = Function::uses_of(&inst)
+                .into_iter()
+                .filter(|u| slot_of.contains_key(u))
+                .collect();
+            let mut replace: BTreeMap<VReg, VReg> = BTreeMap::new();
+            for u in uses {
+                let t = *replace.entry(u).or_insert_with(&mut fresh);
+                insts.push(IrInst::SpillLoad { dst: t, slot: slot_of[&u] });
+            }
+            substitute_uses(&mut inst, &replace);
+            // Replace a spilled def with a store from a fresh temporary.
+            let spilled_def = Function::def_of(&inst).filter(|d| slot_of.contains_key(d));
+            if let Some(d) = spilled_def {
+                let t = fresh();
+                substitute_def(&mut inst, t);
+                insts.push(inst);
+                insts.push(IrInst::SpillStore { src: t, slot: slot_of[&d] });
+            } else {
+                insts.push(inst);
+            }
+        }
+        // Terminator uses.
+        let term = block.term.as_mut().expect("terminated");
+        let term_spills: Vec<VReg> = Function::term_uses(term)
+            .into_iter()
+            .filter(|u| slot_of.contains_key(u))
+            .collect();
+        let mut replace: BTreeMap<VReg, VReg> = BTreeMap::new();
+        for u in term_spills {
+            let t = *replace.entry(u).or_insert_with(&mut fresh);
+            insts.push(IrInst::SpillLoad { dst: t, slot: slot_of[&u] });
+        }
+        substitute_term_uses(term, &replace);
+        block.insts = insts;
+    }
+
+    // Spilled parameters need no IR: the codegen prologue copies them
+    // from the argument area straight into their spill slot (see
+    // `Allocation::spilled_params`), and all uses above were rewritten
+    // into `SpillLoad`s.
+
+    out.vregs = next;
+    out
+}
+
+fn substitute_uses(inst: &mut IrInst, map: &BTreeMap<VReg, VReg>) {
+    let sub = |o: &mut Operand| {
+        if let Operand::Reg(v) = o {
+            if let Some(&t) = map.get(v) {
+                *v = t;
+            }
+        }
+    };
+    match inst {
+        IrInst::Bin { a, b, .. } => {
+            sub(a);
+            sub(b);
+        }
+        IrInst::Copy { src, .. } => sub(src),
+        IrInst::Load { base, .. } => sub(base),
+        IrInst::Store { src, base, .. } => {
+            sub(src);
+            sub(base);
+        }
+        IrInst::Call { args, .. } => args.iter_mut().for_each(sub),
+        IrInst::SpillLoad { .. } => {}
+        IrInst::SpillStore { src, .. } => {
+            if let Some(&t) = map.get(src) {
+                *src = t;
+            }
+        }
+    }
+}
+
+fn substitute_def(inst: &mut IrInst, new: VReg) {
+    match inst {
+        IrInst::Bin { dst, .. }
+        | IrInst::Copy { dst, .. }
+        | IrInst::Load { dst, .. }
+        | IrInst::SpillLoad { dst, .. } => *dst = new,
+        IrInst::Call { ret, .. } => *ret = Some(new),
+        IrInst::Store { .. } | IrInst::SpillStore { .. } => {}
+    }
+}
+
+fn substitute_term_uses(term: &mut Term, map: &BTreeMap<VReg, VReg>) {
+    let sub = |o: &mut Operand| {
+        if let Operand::Reg(v) = o {
+            if let Some(&t) = map.get(v) {
+                *v = t;
+            }
+        }
+    };
+    match term {
+        Term::Br { a, b, .. } => {
+            sub(a);
+            sub(b);
+        }
+        Term::Ret(Some(o)) => sub(o),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, FuncBuilder};
+
+    /// Asserts the coloring is a valid solution of the (rebuilt)
+    /// interference graph.
+    fn assert_valid(alloc: &Allocation, k: u8) {
+        let cfg = Cfg::build(&alloc.func);
+        let lv = Liveness::compute(&alloc.func, &cfg);
+        let g = InterferenceGraph::build(&alloc.func, &cfg, &lv);
+        for v in g.nodes() {
+            let cv = alloc.colors[&v];
+            assert!(cv < k);
+            for n in g.neighbors(v) {
+                assert_ne!(cv, alloc.colors[&n], "{v:?} and {n:?} interfere");
+            }
+        }
+    }
+
+    #[test]
+    fn small_function_needs_no_spill() {
+        let mut b = FuncBuilder::new("f", 2);
+        let x = b.param(0);
+        let y = b.param(1);
+        let s = b.bin(BinOp::Add, x, y);
+        b.ret(Some(s.into()));
+        let f = b.finish();
+        let a = allocate(&f, 8).unwrap();
+        assert_eq!(a.rounds, 1);
+        assert_eq!(a.frame_slots, 0);
+        assert_valid(&a, 8);
+    }
+
+    #[test]
+    fn high_pressure_forces_spill() {
+        // 12 simultaneously live values, K = 4.
+        let mut b = FuncBuilder::new("f", 0);
+        let vals: Vec<_> = (0..12).map(|i| b.copy(i)).collect();
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = b.bin(BinOp::Add, acc, v);
+        }
+        b.ret(Some(acc.into()));
+        let f = b.finish();
+        let a = allocate(&f, 4).unwrap();
+        assert!(a.rounds > 1, "must have spilled");
+        assert!(a.frame_slots > 0);
+        assert!(a.colors_used <= 4);
+        assert_valid(&a, 4);
+    }
+
+    #[test]
+    fn too_few_registers_is_an_error() {
+        let mut b = FuncBuilder::new("f", 0);
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(allocate(&f, 2).unwrap_err(), ColorError::TooFewRegisters { k: 2 });
+    }
+
+    #[test]
+    fn coloring_reuses_registers_for_disjoint_ranges() {
+        // A long chain of short-lived temporaries should fit in few colors.
+        let mut b = FuncBuilder::new("f", 0);
+        let mut acc = b.copy(0);
+        for i in 0..40 {
+            acc = b.bin(BinOp::Add, acc, i);
+        }
+        b.ret(Some(acc.into()));
+        let f = b.finish();
+        let a = allocate(&f, 8).unwrap();
+        assert_eq!(a.rounds, 1);
+        assert!(
+            a.colors_used <= 3,
+            "chain should reuse registers, used {}",
+            a.colors_used
+        );
+    }
+
+    #[test]
+    fn spilled_parameters_are_stored_on_entry() {
+        // Force enormous pressure with params live to the end.
+        let mut b = FuncBuilder::new("f", 6);
+        let params: Vec<_> = (0..6).map(|i| b.param(i)).collect();
+        let vals: Vec<_> = (0..6).map(|i| b.copy(100 + i)).collect();
+        let mut acc = b.bin(BinOp::Add, params[0], vals[0]);
+        for i in 1..6 {
+            acc = b.bin(BinOp::Add, acc, params[i]);
+            acc = b.bin(BinOp::Add, acc, vals[i]);
+        }
+        b.ret(Some(acc.into()));
+        let f = b.finish();
+        let a = allocate(&f, 4).unwrap();
+        assert_valid(&a, 4);
+    }
+}

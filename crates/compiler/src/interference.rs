@@ -1,0 +1,223 @@
+//! Interference graph construction.
+//!
+//! Two virtual registers interfere when one is defined at a point where
+//! the other is live (and they are not the two sides of a copy, the
+//! classic Chaitin refinement that enables natural coalescing-like
+//! assignments).
+
+use crate::cfg::Cfg;
+use crate::ir::{Function, IrInst, Operand, VReg};
+use crate::liveness::Liveness;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An undirected interference graph over virtual registers.
+#[derive(Clone, Debug, Default)]
+pub struct InterferenceGraph {
+    adj: BTreeMap<VReg, BTreeSet<VReg>>,
+}
+
+impl InterferenceGraph {
+    /// Builds the interference graph of `f`.
+    pub fn build(f: &Function, cfg: &Cfg, lv: &Liveness) -> Self {
+        let mut g = InterferenceGraph::default();
+        // Ensure every vreg has a node, even if isolated.
+        for b in &f.blocks {
+            for inst in &b.insts {
+                for v in Function::uses_of(inst).into_iter().chain(Function::def_of(inst)) {
+                    g.adj.entry(v).or_default();
+                }
+            }
+            for v in Function::term_uses(b.term.as_ref().expect("terminated")) {
+                g.adj.entry(v).or_default();
+            }
+        }
+        for v in 0..f.params {
+            g.adj.entry(VReg(v)).or_default();
+        }
+
+        // Parameters are defined at function entry: every *live-in* param
+        // interferes with the other live-in params and with everything
+        // else live into the entry block. Without this, two parameters
+        // that are never redefined would share a register. Dead params
+        // (not in live-in) need no edges — codegen skips their load.
+        let live_entry = lv.live_in[f.entry.0 as usize].clone();
+        let live_params: Vec<VReg> = (0..f.params)
+            .map(VReg)
+            .filter(|p| live_entry.contains(p))
+            .collect();
+        for (i, &p1) in live_params.iter().enumerate() {
+            for &p2 in &live_params[i + 1..] {
+                g.add_edge(p1, p2);
+            }
+            for &l in &live_entry {
+                g.add_edge(p1, l);
+            }
+        }
+
+        for (i, b) in f.blocks.iter().enumerate() {
+            let mut live = lv.live_out[i].clone();
+            let _ = cfg; // CFG is implicit in the liveness sets.
+            // The terminator reads its operands after every instruction
+            // in the block: its uses are live across all of them.
+            for u in Function::term_uses(b.term.as_ref().expect("terminated")) {
+                live.insert(u);
+            }
+            for inst in b.insts.iter().rev() {
+                if let Some(d) = Function::def_of(inst) {
+                    // Copy refinement: `dst = src` does not make dst and
+                    // src interfere by itself.
+                    let copy_src = match inst {
+                        IrInst::Copy { src: Operand::Reg(s), .. } => Some(*s),
+                        _ => None,
+                    };
+                    for &l in &live {
+                        if l != d && Some(l) != copy_src {
+                            g.add_edge(d, l);
+                        }
+                    }
+                    live.remove(&d);
+                }
+                for u in Function::uses_of(inst) {
+                    live.insert(u);
+                }
+            }
+        }
+        g
+    }
+
+    /// Adds an undirected edge.
+    pub fn add_edge(&mut self, a: VReg, b: VReg) {
+        if a == b {
+            return;
+        }
+        self.adj.entry(a).or_default().insert(b);
+        self.adj.entry(b).or_default().insert(a);
+    }
+
+    /// Whether `a` and `b` interfere.
+    pub fn interferes(&self, a: VReg, b: VReg) -> bool {
+        self.adj.get(&a).is_some_and(|s| s.contains(&b))
+    }
+
+    /// The neighbours of `v`.
+    pub fn neighbors(&self, v: VReg) -> impl Iterator<Item = VReg> + '_ {
+        self.adj.get(&v).into_iter().flatten().copied()
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: VReg) -> usize {
+        self.adj.get(&v).map_or(0, |s| s.len())
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = VReg> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, FuncBuilder};
+
+    fn graph_of(f: &Function) -> InterferenceGraph {
+        let cfg = Cfg::build(f);
+        let lv = Liveness::compute(f, &cfg);
+        InterferenceGraph::build(f, &cfg, &lv)
+    }
+
+    #[test]
+    fn overlapping_lifetimes_interfere() {
+        let mut b = FuncBuilder::new("f", 0);
+        let a = b.copy(1);
+        let c = b.copy(2);
+        let s = b.bin(BinOp::Add, a, c);
+        b.ret(Some(s.into()));
+        let f = b.finish();
+        let g = graph_of(&f);
+        assert!(g.interferes(a, c));
+    }
+
+    #[test]
+    fn sequential_lifetimes_do_not_interfere() {
+        let mut b = FuncBuilder::new("f", 0);
+        let a = b.copy(1);
+        let d = b.bin(BinOp::Add, a, 1); // a dies here
+        let e = b.bin(BinOp::Add, d, 1); // d dies here
+        b.ret(Some(e.into()));
+        let f = b.finish();
+        let g = graph_of(&f);
+        assert!(!g.interferes(a, e));
+    }
+
+    #[test]
+    fn copy_sides_do_not_interfere() {
+        let mut b = FuncBuilder::new("f", 1);
+        let p = b.param(0);
+        let c = b.copy(p); // c = p; p unused afterwards
+        b.ret(Some(c.into()));
+        let f = b.finish();
+        let g = graph_of(&f);
+        assert!(!g.interferes(p, c), "copy-related vregs can share a register");
+    }
+
+    #[test]
+    fn terminator_operands_interfere() {
+        // Regression: `cv = load ...; pv = load ...; br cv == pv` — the
+        // branch reads both, so they must not share a register even when
+        // neither is live into a successor.
+        use crate::ir::Cond;
+        let mut b = FuncBuilder::new("f", 1);
+        let base = b.param(0);
+        let cv = b.load(base, 0);
+        let pv = b.load(base, 1);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.br(Cond::Eq, cv, pv, t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let f = b.finish();
+        let g = graph_of(&f);
+        assert!(g.interferes(cv, pv));
+    }
+
+    #[test]
+    fn parameters_interfere_with_each_other() {
+        // Regression: two parameters never redefined must not share a
+        // register.
+        let mut b = FuncBuilder::new("f", 2);
+        let x = b.param(0);
+        let y = b.param(1);
+        let s = b.bin(BinOp::Sub, x, y);
+        b.ret(Some(s.into()));
+        let f = b.finish();
+        let g = graph_of(&f);
+        assert!(g.interferes(x, y));
+    }
+
+    #[test]
+    fn def_interferes_with_live_through() {
+        // `a` is live across the definition of `d` → they interfere.
+        let mut b = FuncBuilder::new("f", 0);
+        let a = b.copy(1);
+        let d = b.copy(2);
+        let s = b.bin(BinOp::Add, a, d);
+        b.ret(Some(s.into()));
+        let f = b.finish();
+        let g = graph_of(&f);
+        assert!(g.interferes(a, d));
+        assert!(!g.interferes(a, s));
+    }
+}

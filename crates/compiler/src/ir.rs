@@ -1,0 +1,517 @@
+//! The three-address intermediate representation.
+//!
+//! Functions are graphs of basic blocks over unlimited virtual registers
+//! ([`VReg`]); the register allocator later maps virtual registers onto
+//! the 20-register sequential context.
+
+use std::fmt;
+
+/// A virtual register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u32);
+
+impl fmt::Debug for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A basic block id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// An instruction operand: a virtual register or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// A virtual register.
+    Reg(VReg),
+    /// A 32-bit constant.
+    Const(i32),
+}
+
+impl From<VReg> for Operand {
+    fn from(v: VReg) -> Self {
+        Operand::Reg(v)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(c: i32) -> Self {
+        Operand::Const(c)
+    }
+}
+
+/// Binary ALU operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Signed division.
+    Div,
+    /// Signed remainder.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left logical.
+    Sll,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+    /// Set if less-than (signed).
+    Slt,
+    /// Set if equal.
+    Seq,
+}
+
+/// Branch conditions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+/// A non-terminator IR instruction.
+#[derive(Clone, Debug)]
+pub enum IrInst {
+    /// `dst = a <op> b`.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = src`.
+    Copy {
+        /// Destination.
+        dst: VReg,
+        /// Source.
+        src: Operand,
+    },
+    /// `dst = mem[base + offset]`.
+    Load {
+        /// Destination.
+        dst: VReg,
+        /// Base address register.
+        base: Operand,
+        /// Word offset.
+        offset: i32,
+    },
+    /// `mem[base + offset] = src`.
+    Store {
+        /// Value to store.
+        src: Operand,
+        /// Base address register.
+        base: Operand,
+        /// Word offset.
+        offset: i32,
+    },
+    /// Call `func` with `args`; optional return value.
+    Call {
+        /// Callee name (resolved at link time by codegen).
+        func: String,
+        /// Arguments, pushed to the stack per the calling convention.
+        args: Vec<Operand>,
+        /// Where the return value (from `g1`) lands.
+        ret: Option<VReg>,
+    },
+    /// `dst = frame[slot]` — reload of a spilled value. Produced only by
+    /// the register allocator's spill rewriting, never by front ends.
+    SpillLoad {
+        /// Destination temporary.
+        dst: VReg,
+        /// Frame slot index.
+        slot: u32,
+    },
+    /// `frame[slot] = src` — writeback of a spilled value. Produced only
+    /// by the register allocator's spill rewriting.
+    SpillStore {
+        /// Source temporary.
+        src: VReg,
+        /// Frame slot index.
+        slot: u32,
+    },
+}
+
+/// A block terminator.
+#[derive(Clone, Debug)]
+pub enum Term {
+    /// Unconditional jump.
+    Jmp(BlockId),
+    /// Conditional branch: `if a <cond> b then t else e`.
+    Br {
+        /// Condition.
+        cond: Cond,
+        /// Left comparand.
+        a: Operand,
+        /// Right comparand.
+        b: Operand,
+        /// Taken target.
+        t: BlockId,
+        /// Fall-through target.
+        e: BlockId,
+    },
+    /// Return, with optional value (goes to `g1`).
+    Ret(Option<Operand>),
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Instructions in order.
+    pub insts: Vec<IrInst>,
+    /// The terminator (`None` only while under construction).
+    pub term: Option<Term>,
+}
+
+/// A function: parameters arrive as the first `params` virtual registers.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Number of parameters; parameter `i` is `VReg(i)`.
+    pub params: u32,
+    /// Basic blocks, indexed by [`BlockId`].
+    pub blocks: Vec<Block>,
+    /// Entry block.
+    pub entry: BlockId,
+    /// Total virtual registers used.
+    pub vregs: u32,
+}
+
+impl Function {
+    /// All instruction operands read by `inst`.
+    pub fn uses_of(inst: &IrInst) -> Vec<VReg> {
+        let mut out = Vec::new();
+        let mut push = |o: &Operand| {
+            if let Operand::Reg(v) = o {
+                out.push(*v);
+            }
+        };
+        match inst {
+            IrInst::Bin { a, b, .. } => {
+                push(a);
+                push(b);
+            }
+            IrInst::Copy { src, .. } => push(src),
+            IrInst::Load { base, .. } => push(base),
+            IrInst::Store { src, base, .. } => {
+                push(src);
+                push(base);
+            }
+            IrInst::Call { args, .. } => {
+                for a in args {
+                    push(a);
+                }
+            }
+            IrInst::SpillLoad { .. } => {}
+            IrInst::SpillStore { src, .. } => out.push(*src),
+        }
+        out
+    }
+
+    /// The virtual register defined by `inst`, if any.
+    pub fn def_of(inst: &IrInst) -> Option<VReg> {
+        match inst {
+            IrInst::Bin { dst, .. }
+            | IrInst::Copy { dst, .. }
+            | IrInst::Load { dst, .. }
+            | IrInst::SpillLoad { dst, .. } => Some(*dst),
+            IrInst::Store { .. } | IrInst::SpillStore { .. } => None,
+            IrInst::Call { ret, .. } => *ret,
+        }
+    }
+
+    /// Registers read by a terminator.
+    pub fn term_uses(term: &Term) -> Vec<VReg> {
+        match term {
+            Term::Br { a, b, .. } => {
+                let mut out = Vec::new();
+                for o in [a, b] {
+                    if let Operand::Reg(v) = o {
+                        out.push(*v);
+                    }
+                }
+                out
+            }
+            Term::Ret(Some(Operand::Reg(v))) => vec![*v],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// A module: a set of functions, one of which is the entry point.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// Functions by definition order.
+    pub funcs: Vec<Function>,
+}
+
+impl Module {
+    /// Adds a function and returns `self` for chaining.
+    pub fn with(mut self, f: Function) -> Self {
+        self.funcs.push(f);
+        self
+    }
+
+    /// Looks up a function by name.
+    pub fn func(&self, name: &str) -> Option<&Function> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}
+
+/// Incremental builder for a [`Function`].
+///
+/// ```
+/// use nsf_compiler::{BinOp, Cond, FuncBuilder, Operand};
+///
+/// // fn double_abs(x) { if x < 0 { x = 0 - x }; return x + x }
+/// let mut b = FuncBuilder::new("double_abs", 1);
+/// let x = b.param(0);
+/// let neg = b.new_block();
+/// let join = b.new_block();
+/// b.br(Cond::Lt, x, 0, neg, join);
+/// b.switch_to(neg);
+/// let nx = b.bin(BinOp::Sub, 0, x);
+/// b.copy_to(x, nx);
+/// b.jmp(join);
+/// b.switch_to(join);
+/// let sum = b.bin(BinOp::Add, x, x);
+/// b.ret(Some(sum.into()));
+/// let f = b.finish();
+/// assert_eq!(f.blocks.len(), 3);
+/// ```
+pub struct FuncBuilder {
+    name: String,
+    params: u32,
+    blocks: Vec<Block>,
+    current: BlockId,
+    next_vreg: u32,
+}
+
+impl FuncBuilder {
+    /// Starts a function with `params` parameters. Parameter `i` is
+    /// available as `VReg(i)` (see [`FuncBuilder::param`]).
+    pub fn new(name: &str, params: u32) -> Self {
+        FuncBuilder {
+            name: name.to_owned(),
+            params,
+            blocks: vec![Block { insts: Vec::new(), term: None }],
+            current: BlockId(0),
+            next_vreg: params,
+        }
+    }
+
+    /// The virtual register holding parameter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (a construction bug).
+    pub fn param(&self, i: u32) -> VReg {
+        assert!(i < self.params, "parameter {i} out of range");
+        VReg(i)
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn vreg(&mut self) -> VReg {
+        let v = VReg(self.next_vreg);
+        self.next_vreg += 1;
+        v
+    }
+
+    /// Creates a new (empty) block.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block { insts: Vec::new(), term: None });
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// Makes `b` the insertion point.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.current = b;
+    }
+
+    /// The current insertion block.
+    pub fn current(&self) -> BlockId {
+        self.current
+    }
+
+    fn push(&mut self, inst: IrInst) {
+        let blk = &mut self.blocks[self.current.0 as usize];
+        assert!(blk.term.is_none(), "emitting into a terminated block");
+        blk.insts.push(inst);
+    }
+
+    /// Emits `dst = a <op> b` into a fresh register and returns it.
+    pub fn bin(&mut self, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        let dst = self.vreg();
+        self.push(IrInst::Bin { op, dst, a: a.into(), b: b.into() });
+        dst
+    }
+
+    /// Emits `dst = a <op> b` into an existing register.
+    pub fn bin_to(&mut self, dst: VReg, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.push(IrInst::Bin { op, dst, a: a.into(), b: b.into() });
+    }
+
+    /// Emits a copy into a fresh register.
+    pub fn copy(&mut self, src: impl Into<Operand>) -> VReg {
+        let dst = self.vreg();
+        self.push(IrInst::Copy { dst, src: src.into() });
+        dst
+    }
+
+    /// Emits a copy into an existing register.
+    pub fn copy_to(&mut self, dst: VReg, src: impl Into<Operand>) {
+        self.push(IrInst::Copy { dst, src: src.into() });
+    }
+
+    /// Emits a load into a fresh register.
+    pub fn load(&mut self, base: impl Into<Operand>, offset: i32) -> VReg {
+        let dst = self.vreg();
+        self.push(IrInst::Load { dst, base: base.into(), offset });
+        dst
+    }
+
+    /// Emits a store.
+    pub fn store(&mut self, src: impl Into<Operand>, base: impl Into<Operand>, offset: i32) {
+        self.push(IrInst::Store { src: src.into(), base: base.into(), offset });
+    }
+
+    /// Emits a call whose result (if any) lands in a fresh register.
+    pub fn call(&mut self, func: &str, args: Vec<Operand>, want_ret: bool) -> Option<VReg> {
+        let ret = want_ret.then(|| self.vreg());
+        self.push(IrInst::Call { func: func.to_owned(), args, ret });
+        ret
+    }
+
+    fn terminate(&mut self, term: Term) {
+        let blk = &mut self.blocks[self.current.0 as usize];
+        assert!(blk.term.is_none(), "block terminated twice");
+        blk.term = Some(term);
+    }
+
+    /// Terminates the current block with a jump.
+    pub fn jmp(&mut self, target: BlockId) {
+        self.terminate(Term::Jmp(target));
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn br(
+        &mut self,
+        cond: Cond,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        t: BlockId,
+        e: BlockId,
+    ) {
+        self.terminate(Term::Br { cond, a: a.into(), b: b.into(), t, e });
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.terminate(Term::Ret(value));
+    }
+
+    /// Finishes the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block lacks a terminator (a construction bug).
+    pub fn finish(self) -> Function {
+        for (i, b) in self.blocks.iter().enumerate() {
+            assert!(b.term.is_some(), "block b{i} has no terminator");
+        }
+        Function {
+            name: self.name,
+            params: self.params,
+            blocks: self.blocks,
+            entry: BlockId(0),
+            vregs: self.next_vreg,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_diamond() {
+        let mut b = FuncBuilder::new("f", 1);
+        let x = b.param(0);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.br(Cond::Eq, x, 0, t, e);
+        b.switch_to(t);
+        let a = b.copy(1);
+        b.jmp(j);
+        b.switch_to(e);
+        let c = b.copy(2);
+        b.jmp(j);
+        b.switch_to(j);
+        let s = b.bin(BinOp::Add, a, c);
+        b.ret(Some(s.into()));
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(f.vregs, 4); // x, a, c, s
+    }
+
+    #[test]
+    fn uses_and_defs() {
+        let i = IrInst::Bin {
+            op: BinOp::Add,
+            dst: VReg(3),
+            a: Operand::Reg(VReg(1)),
+            b: Operand::Const(5),
+        };
+        assert_eq!(Function::uses_of(&i), vec![VReg(1)]);
+        assert_eq!(Function::def_of(&i), Some(VReg(3)));
+        let s = IrInst::Store {
+            src: Operand::Reg(VReg(0)),
+            base: Operand::Reg(VReg(1)),
+            offset: 2,
+        };
+        assert_eq!(Function::uses_of(&s).len(), 2);
+        assert_eq!(Function::def_of(&s), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no terminator")]
+    fn unterminated_block_panics() {
+        let b = FuncBuilder::new("f", 0);
+        b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated twice")]
+    fn double_terminate_panics() {
+        let mut b = FuncBuilder::new("f", 0);
+        b.ret(None);
+        b.ret(None);
+    }
+}

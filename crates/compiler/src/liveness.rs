@@ -1,0 +1,170 @@
+//! Backward dataflow liveness analysis.
+//!
+//! Classic worklist algorithm: `live_in(B) = use(B) ∪ (live_out(B) − def(B))`,
+//! `live_out(B) = ∪ live_in(succ)`, iterated to a fixpoint.
+
+use crate::cfg::Cfg;
+use crate::ir::{Function, VReg};
+use std::collections::BTreeSet;
+
+/// Per-block live-in/live-out sets.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Virtual registers live on entry to each block.
+    pub live_in: Vec<BTreeSet<VReg>>,
+    /// Virtual registers live on exit of each block.
+    pub live_out: Vec<BTreeSet<VReg>>,
+}
+
+impl Liveness {
+    /// Computes liveness for `f` over `cfg`.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.blocks.len();
+        // Per-block gen (upward-exposed uses) and kill (defs).
+        let mut gen: Vec<BTreeSet<VReg>> = vec![BTreeSet::new(); n];
+        let mut kill: Vec<BTreeSet<VReg>> = vec![BTreeSet::new(); n];
+        for (i, b) in f.blocks.iter().enumerate() {
+            for inst in &b.insts {
+                for u in Function::uses_of(inst) {
+                    if !kill[i].contains(&u) {
+                        gen[i].insert(u);
+                    }
+                }
+                if let Some(d) = Function::def_of(inst) {
+                    kill[i].insert(d);
+                }
+            }
+            for u in Function::term_uses(b.term.as_ref().expect("terminated")) {
+                if !kill[i].contains(&u) {
+                    gen[i].insert(u);
+                }
+            }
+        }
+
+        let mut live_in: Vec<BTreeSet<VReg>> = vec![BTreeSet::new(); n];
+        let mut live_out: Vec<BTreeSet<VReg>> = vec![BTreeSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in (0..n).rev() {
+                let mut out = BTreeSet::new();
+                for s in &cfg.succs[i] {
+                    out.extend(live_in[s.0 as usize].iter().copied());
+                }
+                let mut inn = gen[i].clone();
+                for v in &out {
+                    if !kill[i].contains(v) {
+                        inn.insert(*v);
+                    }
+                }
+                if out != live_out[i] || inn != live_in[i] {
+                    changed = true;
+                    live_out[i] = out;
+                    live_in[i] = inn;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// The maximum number of simultaneously live registers anywhere in the
+    /// function — a lower bound on colors needed without spilling.
+    pub fn max_pressure(&self, f: &Function) -> usize {
+        let mut max = 0;
+        for (i, b) in f.blocks.iter().enumerate() {
+            // Walk backwards from live-out through the block.
+            let mut live = self.live_out[i].clone();
+            max = max.max(live.len());
+            for inst in b.insts.iter().rev() {
+                if let Some(d) = Function::def_of(inst) {
+                    live.remove(&d);
+                }
+                for u in Function::uses_of(inst) {
+                    live.insert(u);
+                }
+                max = max.max(live.len());
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Cond, FuncBuilder};
+
+    #[test]
+    fn straight_line_liveness() {
+        // v1 = p0 + 1; v2 = v1 + v1; ret v2
+        let mut b = FuncBuilder::new("f", 1);
+        let p = b.param(0);
+        let v1 = b.bin(BinOp::Add, p, 1);
+        let v2 = b.bin(BinOp::Add, v1, v1);
+        b.ret(Some(v2.into()));
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        assert!(lv.live_in[0].contains(&p));
+        assert!(lv.live_out[0].is_empty());
+    }
+
+    #[test]
+    fn loop_keeps_induction_variable_live() {
+        // i = p; loop: i = i - 1; if i != 0 goto loop; ret
+        let mut b = FuncBuilder::new("f", 1);
+        let p = b.param(0);
+        let i = b.copy(p);
+        let l = b.new_block();
+        let exit = b.new_block();
+        b.jmp(l);
+        b.switch_to(l);
+        b.bin_to(i, BinOp::Sub, i, 1);
+        b.br(Cond::Ne, i, 0, l, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        // `i` is live around the back edge.
+        assert!(lv.live_in[1].contains(&i));
+        assert!(lv.live_out[1].contains(&i));
+        assert!(!lv.live_out[2].contains(&i));
+    }
+
+    #[test]
+    fn branch_merges_liveness_from_both_arms() {
+        let mut b = FuncBuilder::new("f", 2);
+        let x = b.param(0);
+        let y = b.param(1);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.br(Cond::Lt, x, y, t, e);
+        b.switch_to(t);
+        b.ret(Some(x.into()));
+        b.switch_to(e);
+        b.ret(Some(y.into()));
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        assert!(lv.live_in[0].contains(&x));
+        assert!(lv.live_in[0].contains(&y));
+        assert!(lv.live_out[0].contains(&x));
+        assert!(lv.live_out[0].contains(&y));
+    }
+
+    #[test]
+    fn max_pressure_counts_overlap() {
+        let mut b = FuncBuilder::new("f", 0);
+        let a = b.copy(1);
+        let c = b.copy(2);
+        let d = b.copy(3);
+        let s1 = b.bin(BinOp::Add, a, c);
+        let s2 = b.bin(BinOp::Add, s1, d);
+        b.ret(Some(s2.into()));
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        assert!(lv.max_pressure(&f) >= 3, "a, c, d all live at once");
+    }
+}

@@ -1,0 +1,351 @@
+//! Optional IR optimization passes: local copy propagation and global
+//! dead-code elimination.
+//!
+//! Run before register allocation (`CompileOpts::optimize`), they shrink
+//! both the instruction stream and register pressure — fewer live
+//! temporaries means fewer registers per activation, which is exactly the
+//! quantity the paper's register files compete over. They are opt-in so
+//! the reproduction's published measurements stay pinned to the
+//! unoptimized translation.
+
+use crate::cfg::Cfg;
+use crate::ir::{BinOp, Function, IrInst, Operand, Term, VReg};
+use crate::liveness::Liveness;
+use std::collections::BTreeMap;
+
+/// Runs constant folding, copy propagation and dead-code elimination to
+/// a fixpoint.
+pub fn optimize(f: &Function) -> Function {
+    let mut cur = f.clone();
+    loop {
+        let folded = fold_constants(&cur);
+        let propagated = copy_propagate(&folded);
+        let cleaned = eliminate_dead_code(&propagated);
+        let stable = count_insts(&cleaned) == count_insts(&cur)
+            && count_copies(&cleaned) == count_copies(&cur);
+        cur = cleaned;
+        if stable {
+            return cur;
+        }
+    }
+}
+
+fn count_copies(f: &Function) -> usize {
+    f.blocks
+        .iter()
+        .flat_map(|b| &b.insts)
+        .filter(|i| matches!(i, IrInst::Copy { .. }))
+        .count()
+}
+
+/// Evaluates `op` on constants with the CPU's exact semantics.
+pub fn fold_binop(op: BinOp, x: i32, y: i32) -> i32 {
+    match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => {
+            if y == 0 { 0 } else { x.wrapping_div(y) }
+        }
+        BinOp::Rem => {
+            if y == 0 { 0 } else { x.wrapping_rem(y) }
+        }
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Sll => ((x as u32) << (y as u32 & 31)) as i32,
+        BinOp::Srl => ((x as u32) >> (y as u32 & 31)) as i32,
+        BinOp::Sra => x >> (y as u32 & 31),
+        BinOp::Slt => i32::from(x < y),
+        BinOp::Seq => i32::from(x == y),
+    }
+}
+
+/// Replaces `Bin` instructions whose operands are both constants with a
+/// constant `Copy`, which copy propagation then dissolves.
+pub fn fold_constants(f: &Function) -> Function {
+    let mut out = f.clone();
+    for block in &mut out.blocks {
+        for inst in &mut block.insts {
+            if let IrInst::Bin { op, dst, a: Operand::Const(x), b: Operand::Const(y) } = *inst
+            {
+                *inst = IrInst::Copy { dst, src: Operand::Const(fold_binop(op, x, y)) };
+            }
+        }
+    }
+    out
+}
+
+fn count_insts(f: &Function) -> usize {
+    f.blocks.iter().map(|b| b.insts.len()).sum()
+}
+
+/// Local (per-block) forward copy propagation: after `dst = src`, uses of
+/// `dst` become uses of `src` until either side is redefined. Constants
+/// propagate too, feeding the code generator's immediate forms and
+/// constant folding.
+pub fn copy_propagate(f: &Function) -> Function {
+    let mut out = f.clone();
+    for block in &mut out.blocks {
+        // vreg -> the operand it currently copies.
+        let mut map: BTreeMap<VReg, Operand> = BTreeMap::new();
+        let invalidate = |map: &mut BTreeMap<VReg, Operand>, v: VReg| {
+            map.remove(&v);
+            map.retain(|_, src| *src != Operand::Reg(v));
+        };
+        for inst in &mut block.insts {
+            substitute(inst, &map);
+            if let Some(d) = Function::def_of(inst) {
+                invalidate(&mut map, d);
+            }
+            if let IrInst::Copy { dst, src } = inst {
+                if *src != Operand::Reg(*dst) {
+                    map.insert(*dst, *src);
+                }
+            }
+        }
+        substitute_term(block.term.as_mut().expect("terminated"), &map);
+    }
+    out
+}
+
+fn resolve(map: &BTreeMap<VReg, Operand>, o: &mut Operand) {
+    if let Operand::Reg(v) = o {
+        if let Some(&src) = map.get(v) {
+            *o = src;
+        }
+    }
+}
+
+fn substitute(inst: &mut IrInst, map: &BTreeMap<VReg, Operand>) {
+    match inst {
+        IrInst::Bin { a, b, .. } => {
+            resolve(map, a);
+            resolve(map, b);
+        }
+        IrInst::Copy { src, .. } => resolve(map, src),
+        IrInst::Load { base, .. } => resolve(map, base),
+        IrInst::Store { src, base, .. } => {
+            resolve(map, src);
+            resolve(map, base);
+        }
+        IrInst::Call { args, .. } => {
+            for a in args {
+                resolve(map, a);
+            }
+        }
+        // Spill pseudo-ops are introduced after allocation; the optimizer
+        // never sees them, but handle the register-to-register case for
+        // completeness.
+        IrInst::SpillLoad { .. } => {}
+        IrInst::SpillStore { src, .. } => {
+            if let Some(Operand::Reg(new)) = map.get(src) {
+                *src = *new;
+            }
+        }
+    }
+}
+
+fn substitute_term(term: &mut Term, map: &BTreeMap<VReg, Operand>) {
+    match term {
+        Term::Br { a, b, .. } => {
+            resolve(map, a);
+            resolve(map, b);
+        }
+        Term::Ret(Some(o)) => resolve(map, o),
+        _ => {}
+    }
+}
+
+/// Removes side-effect-free instructions whose result is never used.
+/// Stores, calls and spill stores always stay.
+pub fn eliminate_dead_code(f: &Function) -> Function {
+    let mut out = f.clone();
+    let cfg = Cfg::build(&out);
+    let lv = Liveness::compute(&out, &cfg);
+    for (i, block) in out.blocks.iter_mut().enumerate() {
+        // Backward walk: an instruction is dead if its def is not live
+        // after it and it has no side effects.
+        let mut live = lv.live_out[i].clone();
+        for u in Function::term_uses(block.term.as_ref().expect("terminated")) {
+            live.insert(u);
+        }
+        let mut keep = vec![true; block.insts.len()];
+        for (j, inst) in block.insts.iter().enumerate().rev() {
+            let side_effect = matches!(
+                inst,
+                IrInst::Store { .. } | IrInst::Call { .. } | IrInst::SpillStore { .. }
+            );
+            let dead = match Function::def_of(inst) {
+                Some(d) => !side_effect && !live.contains(&d),
+                None => false,
+            };
+            if dead {
+                keep[j] = false;
+                continue; // its uses stay dead too
+            }
+            if let Some(d) = Function::def_of(inst) {
+                live.remove(&d);
+            }
+            for u in Function::uses_of(inst) {
+                live.insert(u);
+            }
+        }
+        let mut it = keep.iter();
+        block.insts.retain(|_| *it.next().expect("parallel walk"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Cond, FuncBuilder};
+
+    #[test]
+    fn copies_are_propagated_and_removed() {
+        // t = p; q = t + 1; ret q  →  q = p + 1; ret q
+        let mut b = FuncBuilder::new("f", 1);
+        let p = b.param(0);
+        let t = b.copy(p);
+        let q = b.bin(BinOp::Add, t, 1);
+        b.ret(Some(q.into()));
+        let f = b.finish();
+        let opt = optimize(&f);
+        assert_eq!(count_insts(&opt), 1, "{:?}", opt.blocks[0].insts);
+        match &opt.blocks[0].insts[0] {
+            IrInst::Bin { a: Operand::Reg(v), .. } => assert_eq!(*v, p),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constants_propagate_and_fold_to_nothing() {
+        let mut b = FuncBuilder::new("f", 0);
+        let c = b.copy(41);
+        let r = b.bin(BinOp::Add, c, 1);
+        b.ret(Some(r.into()));
+        let f = b.finish();
+        let opt = optimize(&f);
+        assert_eq!(count_insts(&opt), 0, "{:?}", opt.blocks[0].insts);
+        assert!(matches!(
+            opt.blocks[0].term,
+            Some(Term::Ret(Some(Operand::Const(42))))
+        ));
+    }
+
+    #[test]
+    fn dead_loads_and_arithmetic_removed() {
+        let mut b = FuncBuilder::new("f", 1);
+        let p = b.param(0);
+        let _dead1 = b.bin(BinOp::Mul, p, 99);
+        let _dead2 = b.load(p, 0);
+        let live = b.bin(BinOp::Add, p, 1);
+        b.ret(Some(live.into()));
+        let f = b.finish();
+        let opt = eliminate_dead_code(&f);
+        assert_eq!(count_insts(&opt), 1);
+    }
+
+    #[test]
+    fn stores_and_calls_survive_even_if_results_unused() {
+        let mut b = FuncBuilder::new("f", 1);
+        let p = b.param(0);
+        b.store(p, p, 0);
+        let _unused = b.call("g", vec![p.into()], true);
+        b.ret(None);
+        let f = b.finish();
+        let opt = optimize(&f);
+        assert_eq!(count_insts(&opt), 2);
+    }
+
+    #[test]
+    fn redefinition_invalidates_copies() {
+        // t = p; t = t + 1; q = t + 0; ret q — the copy must not leak the
+        // stale `p` into q after t's redefinition.
+        let mut b = FuncBuilder::new("f", 1);
+        let p = b.param(0);
+        let t = b.copy(p);
+        b.bin_to(t, BinOp::Add, t, 1);
+        let q = b.bin(BinOp::Add, t, 0);
+        b.ret(Some(q.into()));
+        let f = b.finish();
+        let opt = copy_propagate(&f);
+        // The redefinition reads p (propagated), but q must read t.
+        match &opt.blocks[0].insts[2] {
+            IrInst::Bin { a: Operand::Reg(v), .. } => assert_eq!(*v, t),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn propagation_stops_at_block_boundaries() {
+        // The copy is only valid on one path; a conservative local pass
+        // must not propagate into the join block.
+        let mut b = FuncBuilder::new("f", 1);
+        let p = b.param(0);
+        let t = b.vreg();
+        let then_b = b.new_block();
+        let else_b = b.new_block();
+        let join = b.new_block();
+        b.br(Cond::Eq, p, 0, then_b, else_b);
+        b.switch_to(then_b);
+        b.copy_to(t, 1);
+        b.jmp(join);
+        b.switch_to(else_b);
+        b.copy_to(t, 2);
+        b.jmp(join);
+        b.switch_to(join);
+        let r = b.bin(BinOp::Add, t, 0);
+        b.ret(Some(r.into()));
+        let f = b.finish();
+        let opt = copy_propagate(&f);
+        match &opt.blocks[3].insts[0] {
+            IrInst::Bin { a: Operand::Reg(v), .. } => assert_eq!(*v, t),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_chains_fold_to_a_single_value() {
+        // ((2 + 3) * 4) ^ 1 folds completely through fold + copy-prop.
+        let mut b = FuncBuilder::new("f", 0);
+        let s1 = b.bin(BinOp::Add, 2, 3);
+        let s2 = b.bin(BinOp::Mul, s1, 4);
+        let s3 = b.bin(BinOp::Xor, s2, 1);
+        b.ret(Some(s3.into()));
+        let f = b.finish();
+        let opt = optimize(&f);
+        assert_eq!(count_insts(&opt), 0, "{:?}", opt.blocks[0].insts);
+        assert!(matches!(
+            opt.blocks[0].term,
+            Some(Term::Ret(Some(Operand::Const(21))))
+        ));
+    }
+
+    #[test]
+    fn fold_matches_machine_division_contract() {
+        assert_eq!(fold_binop(BinOp::Div, 7, 0), 0);
+        assert_eq!(fold_binop(BinOp::Div, i32::MIN, -1), i32::MIN);
+        assert_eq!(fold_binop(BinOp::Rem, 7, 0), 0);
+        assert_eq!(fold_binop(BinOp::Sll, 1, 33), 2);
+    }
+
+    #[test]
+    fn optimize_reaches_fixpoint_on_chains() {
+        // a = 1; b = a; c = b; d = c; ret d → ret-feeding copy collapses.
+        let mut b = FuncBuilder::new("f", 0);
+        let a = b.copy(1);
+        let c1 = b.copy(a);
+        let c2 = b.copy(c1);
+        let c3 = b.copy(c2);
+        b.ret(Some(c3.into()));
+        let f = b.finish();
+        let opt = optimize(&f);
+        assert_eq!(count_insts(&opt), 0, "{:?}", opt.blocks[0].insts);
+        assert!(matches!(
+            opt.blocks[0].term,
+            Some(Term::Ret(Some(Operand::Const(1))))
+        ));
+    }
+}

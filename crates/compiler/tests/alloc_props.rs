@@ -1,0 +1,181 @@
+//! Property tests of the register allocator and code generator over
+//! randomly generated IR functions.
+
+use nsf_compiler::{
+    color::allocate, compile, BinOp, CompileOpts, Cond, FuncBuilder, Function, Module, Operand,
+    VReg,
+};
+use proptest::prelude::*;
+
+/// A recipe for one random function: straight-line segments with
+/// branches and a configurable number of long-lived accumulators.
+#[derive(Clone, Debug)]
+struct Recipe {
+    /// Long-lived values folded at the end (register pressure knob).
+    accumulators: usize,
+    /// (op selector, use accumulator i, constant) per instruction.
+    ops: Vec<(u8, usize, i8)>,
+    /// Insert a diamond branch after this many instructions.
+    branch_at: Option<usize>,
+}
+
+#[test]
+fn optimizer_shrinks_static_code_without_changing_results() {
+    use nsf_sim::{Machine, SimConfig};
+    let (f, expected) = build(&Recipe {
+        accumulators: 4,
+        ops: (0..24).map(|i| (i as u8, i as usize, 3)).collect(),
+        branch_at: Some(12),
+    });
+    let mut main = FuncBuilder::new("main", 0);
+    let v = main.call("f", vec![Operand::Const(7)], true).unwrap();
+    main.store(v, 0x0020_0000, 0);
+    main.ret(None);
+    let module = Module::default().with(main.finish()).with(f);
+
+    let run = |optimize: bool| {
+        let opts = CompileOpts { optimize, ..Default::default() };
+        let program = compile(&module, "main", opts).expect("compiles");
+        let len = program.len();
+        let mut m = Machine::new(program, SimConfig::default()).unwrap();
+        m.run_and_keep().expect("runs");
+        (len, m.mem.peek(0x0020_0000))
+    };
+    let (plain_len, plain_val) = run(false);
+    let (opt_len, opt_val) = run(true);
+    assert_eq!(plain_val, expected);
+    assert_eq!(opt_val, expected);
+    assert!(
+        opt_len <= plain_len,
+        "optimizer must not grow code: {opt_len} vs {plain_len}"
+    );
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (
+        1usize..10,
+        proptest::collection::vec((any::<u8>(), 0usize..10, any::<i8>()), 1..40),
+        proptest::option::of(0usize..40),
+    )
+        .prop_map(|(accumulators, ops, branch_at)| Recipe { accumulators, ops, branch_at })
+}
+
+/// Builds the function and mirrors its computation in Rust.
+fn build(recipe: &Recipe) -> (Function, u32) {
+    let mut f = FuncBuilder::new("f", 1);
+    let p = f.param(0);
+    let p_val: u32 = 7;
+
+    let mut accs: Vec<(VReg, u32)> = (0..recipe.accumulators)
+        .map(|i| {
+            let v = f.bin(BinOp::Add, p, i as i32);
+            (v, p_val.wrapping_add(i as u32))
+        })
+        .collect();
+
+    let mut cur = f.copy(1);
+    let mut cur_val: u32 = 1;
+    for (pos, &(op, which, c)) in recipe.ops.iter().enumerate() {
+        if recipe.branch_at == Some(pos) {
+            // Diamond on a statically-known condition; both arms built.
+            let t = f.new_block();
+            let e = f.new_block();
+            let j = f.new_block();
+            f.br(Cond::Lt, cur, 0, t, e);
+            f.switch_to(t);
+            let tv = f.bin(BinOp::Add, cur, 1);
+            f.copy_to(cur, tv);
+            f.jmp(j);
+            f.switch_to(e);
+            let ev = f.bin(BinOp::Xor, cur, 1);
+            f.copy_to(cur, ev);
+            f.jmp(j);
+            f.switch_to(j);
+            cur_val = if (cur_val as i32) < 0 {
+                cur_val.wrapping_add(1)
+            } else {
+                cur_val ^ 1
+            };
+        }
+        let idx = which % accs.len();
+        let (acc, acc_val) = accs[idx];
+        let c = i32::from(c);
+        let (next, next_val) = match op % 4 {
+            0 => (f.bin(BinOp::Add, cur, acc), cur_val.wrapping_add(acc_val)),
+            1 => (f.bin(BinOp::Xor, cur, acc), cur_val ^ acc_val),
+            2 => (f.bin(BinOp::Add, cur, c), cur_val.wrapping_add(c as u32)),
+            _ => {
+                let m = f.bin(BinOp::Mul, acc, 3);
+                let mv = acc_val.wrapping_mul(3);
+                accs[idx] = (m, mv);
+                (f.bin(BinOp::Add, cur, m), cur_val.wrapping_add(mv))
+            }
+        };
+        cur = next;
+        cur_val = next_val;
+    }
+    // Fold every accumulator so they all stay live to the end.
+    for &(acc, acc_val) in &accs {
+        cur = f.bin(BinOp::Add, cur, acc);
+        cur_val = cur_val.wrapping_add(acc_val);
+    }
+    f.ret(Some(cur.into()));
+    (f.finish(), cur_val)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any generated function colors validly at any feasible K: no two
+    /// interfering vregs share a register.
+    #[test]
+    fn random_functions_color_validly(recipe in arb_recipe(), k in 4u8..18) {
+        let (f, _) = build(&recipe);
+        let alloc = allocate(&f, k).expect("allocates");
+        prop_assert!(alloc.colors_used <= k);
+        // Re-derive interference on the (possibly rewritten) function and
+        // check the coloring against it.
+        let cfg = nsf_compiler::cfg::Cfg::build(&alloc.func);
+        let lv = nsf_compiler::liveness::Liveness::compute(&alloc.func, &cfg);
+        let g = nsf_compiler::interference::InterferenceGraph::build(&alloc.func, &cfg, &lv);
+        for v in g.nodes() {
+            for w in g.neighbors(v) {
+                prop_assert_ne!(
+                    alloc.colors[&v], alloc.colors[&w],
+                    "{:?} and {:?} interfere but share a color", v, w
+                );
+            }
+        }
+    }
+
+    /// Compiled execution matches the Rust mirror for arbitrary
+    /// functions, at both generous and starved register counts, with and
+    /// without deallocation hints, with and without the optimizer.
+    #[test]
+    fn random_functions_compute_correctly(
+        recipe in arb_recipe(),
+        tight in any::<bool>(),
+        hints in any::<bool>(),
+        optimize in any::<bool>(),
+    ) {
+        use nsf_sim::{Machine, SimConfig};
+        let (f, expected) = build(&recipe);
+
+        let mut main = FuncBuilder::new("main", 0);
+        let v = main.call("f", vec![Operand::Const(7)], true).unwrap();
+        main.store(v, 0x0020_0000, 0);
+        main.ret(None);
+        let module = Module::default().with(main.finish()).with(f);
+
+        let opts = CompileOpts {
+            ctx_regs: if tight { 8 } else { 20 },
+            free_hints: hints,
+            optimize,
+            ..Default::default()
+        };
+        let program = compile(&module, "main", opts).expect("compiles");
+        let mut m = Machine::new(program, SimConfig::default()).unwrap();
+        m.run_and_keep().expect("runs");
+        prop_assert_eq!(m.mem.peek(0x0020_0000), expected);
+    }
+}

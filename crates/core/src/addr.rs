@@ -1,0 +1,72 @@
+//! Register naming: the `<Context ID : offset>` address space.
+//!
+//! Paper §4.2: "A register address in the NSF is the concatenation of its
+//! Context ID and offset. The current instruction specifies the register
+//! offset, and a processor status word supplies the current CID."
+
+use std::fmt;
+
+/// A Context ID — a short integer that uniquely identifies an activation
+/// among those resident in the register file. CIDs are *not* virtual
+/// addresses and *not* global thread identifiers; the runtime assigns them
+/// freely (a fresh CID per procedure call, per thread, or any other policy).
+pub type Cid = u16;
+
+/// A full register name: context plus compiled register offset.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegAddr {
+    /// Which activation this register belongs to.
+    pub cid: Cid,
+    /// Register offset within the activation (the short field compiled
+    /// into the instruction).
+    pub offset: u8,
+}
+
+impl RegAddr {
+    /// Convenience constructor.
+    pub fn new(cid: Cid, offset: u8) -> Self {
+        RegAddr { cid, offset }
+    }
+
+    /// The index of the line containing this register, for a file with
+    /// `regs_per_line` registers per line.
+    pub fn line_index(self, regs_per_line: u8) -> u8 {
+        self.offset / regs_per_line
+    }
+
+    /// The register's position within its line.
+    pub fn line_slot(self, regs_per_line: u8) -> u8 {
+        self.offset % regs_per_line
+    }
+}
+
+impl fmt::Display for RegAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}:{}>", self.cid, self.offset)
+    }
+}
+
+impl fmt::Debug for RegAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_math() {
+        let a = RegAddr::new(7, 13);
+        assert_eq!(a.line_index(4), 3);
+        assert_eq!(a.line_slot(4), 1);
+        assert_eq!(a.line_index(1), 13);
+        assert_eq!(a.line_slot(1), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RegAddr::new(3, 9).to_string(), "<3:9>");
+    }
+}

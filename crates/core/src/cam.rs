@@ -1,0 +1,176 @@
+//! The associative address decoder.
+//!
+//! Paper §4.1: "Each line of the address decoder contains a content
+//! addressable memory (CAM) wide enough to hold a register address. The
+//! NSF binds a register name to a line in the register file by programming
+//! that line of the address decoder. Subsequent register reads and writes
+//! compare an operand address against the address programmed into each
+//! line of the decoder."
+//!
+//! Hardware performs the comparison in every line simultaneously; the model
+//! keeps a hash index alongside the tag array so simulation cost stays
+//! O(1) per access while the tag array remains the source of truth.
+
+use crate::addr::Cid;
+use std::collections::HashMap;
+
+/// Tag programmed into one decoder line: which context and which
+/// architectural line of that context currently own the physical line.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LineTag {
+    /// Owning context.
+    pub cid: Cid,
+    /// Architectural line index within the context
+    /// (`offset / regs_per_line`).
+    pub line: u8,
+}
+
+/// A fully associative decoder over `lines` physical lines.
+#[derive(Debug)]
+pub struct AssocDecoder {
+    tags: Vec<Option<LineTag>>,
+    index: HashMap<LineTag, usize>,
+    free: Vec<usize>,
+}
+
+impl AssocDecoder {
+    /// Creates a decoder with all lines unbound.
+    pub fn new(lines: usize) -> Self {
+        AssocDecoder {
+            tags: vec![None; lines],
+            index: HashMap::with_capacity(lines),
+            free: (0..lines).rev().collect(),
+        }
+    }
+
+    /// Number of physical lines.
+    pub fn lines(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Number of currently bound lines.
+    pub fn bound(&self) -> usize {
+        self.tags.len() - self.free.len()
+    }
+
+    /// CAM match: the physical slot bound to `<cid, line>`, if any.
+    pub fn lookup(&self, cid: Cid, line: u8) -> Option<usize> {
+        self.index.get(&LineTag { cid, line }).copied()
+    }
+
+    /// The tag bound to a physical slot.
+    pub fn tag(&self, slot: usize) -> Option<LineTag> {
+        self.tags[slot]
+    }
+
+    /// Pops an unbound physical slot, if one exists.
+    pub fn take_free(&mut self) -> Option<usize> {
+        self.free.pop()
+    }
+
+    /// Programs `slot` with a new tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already bound or the tag already mapped —
+    /// the register file must invalidate first (an internal invariant).
+    pub fn bind(&mut self, slot: usize, cid: Cid, line: u8) {
+        let tag = LineTag { cid, line };
+        assert!(self.tags[slot].is_none(), "slot {slot} already bound");
+        let prev = self.index.insert(tag, slot);
+        assert!(prev.is_none(), "tag {tag:?} bound twice");
+        self.tags[slot] = Some(tag);
+    }
+
+    /// Clears `slot`, returning its previous tag (if it was bound).
+    pub fn unbind(&mut self, slot: usize) -> Option<LineTag> {
+        let tag = self.tags[slot].take()?;
+        self.index.remove(&tag);
+        self.free.push(slot);
+        Some(tag)
+    }
+
+    /// All physical slots currently bound to context `cid`.
+    pub fn slots_of(&self, cid: Cid) -> Vec<usize> {
+        self.tags
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| match t {
+                Some(tag) if tag.cid == cid => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of distinct contexts with at least one bound line.
+    pub fn resident_contexts(&self) -> u32 {
+        let mut cids: Vec<Cid> = self.tags.iter().flatten().map(|t| t.cid).collect();
+        cids.sort_unstable();
+        cids.dedup();
+        cids.len() as u32
+    }
+
+    /// Iterates over `(slot, tag)` for all bound lines.
+    pub fn bound_lines(&self) -> impl Iterator<Item = (usize, LineTag)> + '_ {
+        self.tags
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|tag| (i, tag)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_lookup_unbind() {
+        let mut d = AssocDecoder::new(4);
+        assert_eq!(d.lines(), 4);
+        let s = d.take_free().unwrap();
+        d.bind(s, 7, 3);
+        assert_eq!(d.lookup(7, 3), Some(s));
+        assert_eq!(d.lookup(7, 2), None);
+        assert_eq!(d.bound(), 1);
+        assert_eq!(d.unbind(s), Some(LineTag { cid: 7, line: 3 }));
+        assert_eq!(d.lookup(7, 3), None);
+        assert_eq!(d.bound(), 0);
+    }
+
+    #[test]
+    fn exhausts_free_slots() {
+        let mut d = AssocDecoder::new(2);
+        let a = d.take_free().unwrap();
+        let b = d.take_free().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(d.take_free(), None);
+    }
+
+    #[test]
+    fn slots_of_and_residency() {
+        let mut d = AssocDecoder::new(4);
+        for (cid, line) in [(1u16, 0u8), (1, 1), (2, 0)] {
+            let s = d.take_free().unwrap();
+            d.bind(s, cid, line);
+        }
+        assert_eq!(d.slots_of(1).len(), 2);
+        assert_eq!(d.slots_of(2).len(), 1);
+        assert_eq!(d.slots_of(3).len(), 0);
+        assert_eq!(d.resident_contexts(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already bound")]
+    fn double_bind_panics() {
+        let mut d = AssocDecoder::new(2);
+        let s = d.take_free().unwrap();
+        d.bind(s, 1, 0);
+        d.bind(s, 1, 1);
+    }
+
+    #[test]
+    fn unbound_slot_returns_none() {
+        let mut d = AssocDecoder::new(1);
+        assert_eq!(d.unbind(0), None);
+    }
+}

@@ -1,0 +1,125 @@
+//! An infinite, never-spilling register file used as a functional oracle.
+//!
+//! [`OracleFile`] holds every `<CID:offset>` register it has ever seen, with
+//! zero-cost accesses and no backing traffic. Differential tests drive the
+//! same operation sequence through an oracle and a real organization and
+//! assert the visible values agree — the register file organizations must
+//! be *transparent* to program semantics.
+
+use crate::addr::{Cid, RegAddr};
+use crate::stats::{Occupancy, RegFileStats};
+use crate::traits::{Access, BackingStore, RegFileError, RegisterFile};
+use crate::Word;
+use std::collections::HashMap;
+
+/// The oracle. See module docs.
+#[derive(Default)]
+pub struct OracleFile {
+    regs: HashMap<RegAddr, Word>,
+    stats: RegFileStats,
+}
+
+impl OracleFile {
+    /// Creates an empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RegisterFile for OracleFile {
+    fn read(
+        &mut self,
+        addr: RegAddr,
+        _store: &mut dyn BackingStore,
+    ) -> Result<Access, RegFileError> {
+        self.stats.reads += 1;
+        match self.regs.get(&addr) {
+            Some(&v) => {
+                self.stats.read_hits += 1;
+                Ok(Access::hit(v))
+            }
+            None => Err(RegFileError::ReadUndefined(addr)),
+        }
+    }
+
+    fn write(
+        &mut self,
+        addr: RegAddr,
+        value: Word,
+        _store: &mut dyn BackingStore,
+    ) -> Result<Access, RegFileError> {
+        self.stats.writes += 1;
+        self.stats.write_hits += 1;
+        self.regs.insert(addr, value);
+        Ok(Access::hit(value))
+    }
+
+    fn switch_to(&mut self, _cid: Cid, _store: &mut dyn BackingStore) -> Result<u32, RegFileError> {
+        self.stats.context_switches += 1;
+        self.stats.switch_hits += 1;
+        Ok(0)
+    }
+
+    fn free_context(&mut self, cid: Cid, _store: &mut dyn BackingStore) {
+        self.regs.retain(|a, _| a.cid != cid);
+    }
+
+    fn free_reg(&mut self, addr: RegAddr, _store: &mut dyn BackingStore) {
+        self.regs.remove(&addr);
+    }
+
+    fn capacity(&self) -> u32 {
+        u32::MAX
+    }
+
+    fn occupancy(&self) -> Occupancy {
+        let mut cids: Vec<Cid> = self.regs.keys().map(|a| a.cid).collect();
+        cids.sort_unstable();
+        cids.dedup();
+        Occupancy {
+            valid_regs: self.regs.len() as u32,
+            resident_contexts: cids.len() as u32,
+        }
+    }
+
+    fn stats(&self) -> &RegFileStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = RegFileStats::default();
+    }
+
+    fn describe(&self) -> String {
+        "Oracle (infinite)".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MapStore;
+
+    #[test]
+    fn remembers_everything() {
+        let mut f = OracleFile::new();
+        let mut s = MapStore::new();
+        for cid in 0..100u16 {
+            f.write(RegAddr::new(cid, 0), u32::from(cid), &mut s).unwrap();
+        }
+        for cid in 0..100u16 {
+            assert_eq!(f.read(RegAddr::new(cid, 0), &mut s).unwrap().value, u32::from(cid));
+        }
+        assert_eq!(f.occupancy().resident_contexts, 100);
+        assert_eq!(f.stats().read_misses, 0);
+    }
+
+    #[test]
+    fn free_context_forgets() {
+        let mut f = OracleFile::new();
+        let mut s = MapStore::new();
+        f.write(RegAddr::new(1, 0), 5, &mut s).unwrap();
+        f.free_context(1, &mut s);
+        assert!(f.read(RegAddr::new(1, 0), &mut s).is_err());
+    }
+}

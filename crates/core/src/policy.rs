@@ -1,0 +1,136 @@
+//! Tunable policies of the register file organizations.
+//!
+//! Each enum corresponds to a design axis the paper discusses; the defaults
+//! are the configuration the paper simulates (LRU replacement,
+//! write-allocate, single-register demand reload, hardware spill engine).
+
+/// What a miss transfers from the backing store (paper §7.3, Figure 13).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ReloadPolicy {
+    /// Strategy A: reload the entire missing line, counting every register
+    /// slot whether or not it holds data.
+    WholeLine,
+    /// Strategy B: per-register valid bits in the backing frame; transfer
+    /// only the registers that held data when the line was spilled.
+    ValidOnly,
+    /// Strategy C (the paper's headline NSF configuration): reload only the
+    /// single register that missed. "It ensures that the NSF never loads
+    /// registers that are not needed."
+    #[default]
+    SingleRegister,
+}
+
+/// How a write miss is handled (paper §4.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum WriteMissPolicy {
+    /// "May simply allocate a line for that register in the file
+    /// (write-allocate)." The default: first write creates the register.
+    #[default]
+    WriteAllocate,
+    /// "May cause a line to be reloaded into the file (fetch on write)."
+    FetchOnWrite,
+}
+
+/// Victim selection when the file must free a line (paper §4.2 simulates
+/// LRU; the others are ablation points).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ReplacementPolicy {
+    /// Least recently used (the paper's simulated strategy).
+    #[default]
+    Lru,
+    /// Oldest allocation first.
+    Fifo,
+    /// Uniformly random victim, from a deterministic seeded generator.
+    Random {
+        /// PRNG seed, so experiments stay reproducible.
+        seed: u64,
+    },
+}
+
+/// The machinery that moves registers between the file and memory
+/// (paper §8, Figure 14 compares hardware assist with software traps).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpillEngine {
+    /// Dedicated spill/reload hardware: a small fixed setup cost per
+    /// transfer burst plus the backing-store (cache) latency per register.
+    Hardware {
+        /// Cycles to start a burst (address generation, arbitration).
+        setup_cycles: u32,
+        /// Extra cycles per register moved, on top of cache latency.
+        per_reg_cycles: u32,
+    },
+    /// Sparcle-style software trap handlers: trap entry/exit overhead plus
+    /// a load-or-store instruction sequence per register.
+    SoftwareTrap {
+        /// Cycles to enter and leave the trap handler.
+        trap_cycles: u32,
+        /// Cycles of handler code per register moved, on top of cache
+        /// latency.
+        per_reg_cycles: u32,
+    },
+}
+
+impl SpillEngine {
+    /// The hardware engine with the defaults used throughout the study.
+    pub fn hardware() -> Self {
+        SpillEngine::Hardware { setup_cycles: 1, per_reg_cycles: 1 }
+    }
+
+    /// The software-trap engine with defaults calibrated to a Sparc-class
+    /// trap (tens of cycles of entry/exit, a two-instruction sequence per
+    /// register).
+    pub fn software() -> Self {
+        SpillEngine::SoftwareTrap { trap_cycles: 40, per_reg_cycles: 2 }
+    }
+
+    /// Cost of transferring `regs` registers whose raw cache latency summed
+    /// to `mem_cycles`.
+    pub fn transfer_cost(&self, regs: u32, mem_cycles: u32) -> u32 {
+        if regs == 0 {
+            return 0;
+        }
+        match *self {
+            SpillEngine::Hardware { setup_cycles, per_reg_cycles } => {
+                setup_cycles + per_reg_cycles * regs + mem_cycles
+            }
+            SpillEngine::SoftwareTrap { trap_cycles, per_reg_cycles } => {
+                trap_cycles + per_reg_cycles * regs + mem_cycles
+            }
+        }
+    }
+}
+
+impl Default for SpillEngine {
+    fn default() -> Self {
+        SpillEngine::hardware()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_configuration() {
+        assert_eq!(ReloadPolicy::default(), ReloadPolicy::SingleRegister);
+        assert_eq!(WriteMissPolicy::default(), WriteMissPolicy::WriteAllocate);
+        assert_eq!(ReplacementPolicy::default(), ReplacementPolicy::Lru);
+        assert!(matches!(SpillEngine::default(), SpillEngine::Hardware { .. }));
+    }
+
+    #[test]
+    fn transfer_cost_zero_for_no_regs() {
+        assert_eq!(SpillEngine::hardware().transfer_cost(0, 0), 0);
+        assert_eq!(SpillEngine::software().transfer_cost(0, 0), 0);
+    }
+
+    #[test]
+    fn software_trap_dominates_hardware() {
+        let regs = 20;
+        let mem = 40;
+        assert!(
+            SpillEngine::software().transfer_cost(regs, mem)
+                > SpillEngine::hardware().transfer_cost(regs, mem)
+        );
+    }
+}

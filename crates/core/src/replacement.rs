@@ -1,0 +1,129 @@
+//! Victim selection for line (NSF) and frame (segmented) eviction.
+//!
+//! The paper simulates LRU ("This study simulates a least recently used
+//! (LRU) strategy", §4.2); FIFO and seeded-random policies are provided as
+//! ablation points for the replacement-policy bench.
+
+use crate::policy::ReplacementPolicy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tracks recency/age per slot and picks eviction victims.
+#[derive(Debug)]
+pub struct VictimPicker {
+    policy: ReplacementPolicy,
+    /// Last-touch timestamp per slot (LRU).
+    touched: Vec<u64>,
+    /// Allocation timestamp per slot (FIFO).
+    allocated: Vec<u64>,
+    clock: u64,
+    rng: Option<StdRng>,
+}
+
+impl VictimPicker {
+    /// Creates a picker for `slots` slots under `policy`.
+    pub fn new(slots: usize, policy: ReplacementPolicy) -> Self {
+        let rng = match policy {
+            ReplacementPolicy::Random { seed } => Some(StdRng::seed_from_u64(seed)),
+            _ => None,
+        };
+        VictimPicker {
+            policy,
+            touched: vec![0; slots],
+            allocated: vec![0; slots],
+            clock: 0,
+            rng,
+        }
+    }
+
+    /// Records an access to `slot`.
+    pub fn touch(&mut self, slot: usize) {
+        self.clock += 1;
+        self.touched[slot] = self.clock;
+    }
+
+    /// Records a (re)allocation of `slot`.
+    pub fn allocate(&mut self, slot: usize) {
+        self.clock += 1;
+        self.allocated[slot] = self.clock;
+        self.touched[slot] = self.clock;
+    }
+
+    /// Chooses a victim among `candidates` (non-empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty — the caller guarantees the file is
+    /// full, so there is always a victim.
+    pub fn pick(&mut self, candidates: &[usize]) -> usize {
+        assert!(!candidates.is_empty(), "no eviction candidates");
+        match self.policy {
+            ReplacementPolicy::Lru => *candidates
+                .iter()
+                .min_by_key(|&&s| self.touched[s])
+                .expect("non-empty"),
+            ReplacementPolicy::Fifo => *candidates
+                .iter()
+                .min_by_key(|&&s| self.allocated[s])
+                .expect("non-empty"),
+            ReplacementPolicy::Random { .. } => {
+                let rng = self.rng.as_mut().expect("rng present for Random policy");
+                candidates[rng.gen_range(0..candidates.len())]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_picks_least_recently_touched() {
+        let mut p = VictimPicker::new(3, ReplacementPolicy::Lru);
+        p.allocate(0);
+        p.allocate(1);
+        p.allocate(2);
+        p.touch(0); // 1 is now LRU
+        assert_eq!(p.pick(&[0, 1, 2]), 1);
+        p.touch(1);
+        assert_eq!(p.pick(&[0, 1, 2]), 2);
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut p = VictimPicker::new(3, ReplacementPolicy::Fifo);
+        p.allocate(0);
+        p.allocate(1);
+        p.allocate(2);
+        p.touch(0);
+        p.touch(0);
+        assert_eq!(p.pick(&[0, 1, 2]), 0, "oldest allocation evicted first");
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let picks = |seed| {
+            let mut p = VictimPicker::new(8, ReplacementPolicy::Random { seed });
+            (0..10).map(|_| p.pick(&[0, 1, 2, 3, 4, 5, 6, 7])).collect::<Vec<_>>()
+        };
+        assert_eq!(picks(42), picks(42));
+    }
+
+    #[test]
+    fn respects_candidate_subset() {
+        let mut p = VictimPicker::new(4, ReplacementPolicy::Lru);
+        for s in 0..4 {
+            p.allocate(s);
+        }
+        // Slot 0 is globally LRU, but only 2 and 3 are candidates.
+        assert_eq!(p.pick(&[2, 3]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no eviction candidates")]
+    fn empty_candidates_panics() {
+        let mut p = VictimPicker::new(1, ReplacementPolicy::Lru);
+        p.pick(&[]);
+    }
+}

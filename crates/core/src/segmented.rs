@@ -1,0 +1,605 @@
+//! The segmented register file — the multithreaded baseline (paper §3.1).
+//!
+//! "This processor partitions a large register set into a few register
+//! frames, each of which holds the registers of a different thread. A frame
+//! pointer selects the current active frame. [...] To switch to a
+//! non-resident thread, the processor must spill the contents of a register
+//! frame out to memory, and load the registers of a new thread in its
+//! place."
+//!
+//! Two reload variants are modelled (paper §7.3):
+//!
+//! * [`FramePolicy::Full`] — the classic design with no per-register valid
+//!   bits: a frame miss moves the *entire* frame in each direction,
+//!   including empty registers.
+//! * [`FramePolicy::ValidOnly`] — each register is tagged with a valid bit
+//!   and only registers containing data are spilled and reloaded.
+//!
+//! The spill machinery is either a hardware engine or Sparcle-style
+//! software trap handlers ([`crate::SpillEngine`]), which drives the
+//! Figure 14 overhead comparison.
+
+use crate::addr::{Cid, RegAddr};
+use crate::policy::{ReplacementPolicy, SpillEngine};
+use crate::replacement::VictimPicker;
+use crate::stats::{Occupancy, RegFileStats};
+use crate::traits::{Access, BackingStore, RegFileError, RegisterFile};
+use crate::Word;
+use std::collections::HashMap;
+
+/// What a frame miss transfers (see module docs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FramePolicy {
+    /// Whole frames move; empty registers are transferred too.
+    #[default]
+    Full,
+    /// Per-register valid bits; only registers holding data move.
+    ValidOnly,
+}
+
+/// Configuration of a [`SegmentedFile`].
+#[derive(Clone, Copy, Debug)]
+pub struct SegmentedConfig {
+    /// Number of frames (resident thread slots). The paper's reference
+    /// configuration uses 4.
+    pub frames: u32,
+    /// Registers per frame (20 for the sequential experiments, 32 for the
+    /// parallel ones).
+    pub frame_regs: u8,
+    /// Transfer policy on a frame miss.
+    pub policy: FramePolicy,
+    /// Victim frame selection.
+    pub replacement: ReplacementPolicy,
+    /// Spill/reload cost model (hardware assist vs software traps).
+    pub engine: SpillEngine,
+    /// Optional background spill ("dribble-back") engine: while a frame
+    /// sits idle, its registers trickle out to memory, so an eventual
+    /// eviction finds them pre-written. One register is prepaid per
+    /// `ops_per_reg` register file operations of idle time. The paper's
+    /// critique stands either way: the *traffic* is unchanged, only the
+    /// eviction stall shrinks.
+    pub dribble: Option<DribbleConfig>,
+}
+
+/// Background spill rate for [`SegmentedConfig::dribble`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DribbleConfig {
+    /// Register-file operations of idle time that prepay one register's
+    /// writeback.
+    pub ops_per_reg: u32,
+}
+
+impl SegmentedConfig {
+    /// The paper's baseline: `frames` frames, full-frame transfers, LRU,
+    /// hardware-assisted spilling.
+    pub fn paper_default(frames: u32, frame_regs: u8) -> Self {
+        SegmentedConfig {
+            frames,
+            frame_regs,
+            policy: FramePolicy::Full,
+            replacement: ReplacementPolicy::Lru,
+            engine: SpillEngine::hardware(),
+            dribble: None,
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Frame {
+    owner: Option<Cid>,
+    regs: Box<[Word]>,
+    valid: u64,
+    dirty: u64,
+}
+
+impl Frame {
+    fn new(width: u8) -> Self {
+        Frame {
+            owner: None,
+            regs: vec![0; width as usize].into_boxed_slice(),
+            valid: 0,
+            dirty: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.owner = None;
+        self.valid = 0;
+        self.dirty = 0;
+    }
+}
+
+/// The segmented register file. See module docs.
+pub struct SegmentedFile {
+    cfg: SegmentedConfig,
+    frames: Vec<Frame>,
+    /// cid → frame index for resident contexts.
+    resident: HashMap<Cid, usize>,
+    /// The frame pointer: index of the current frame.
+    current: Option<usize>,
+    picker: VictimPicker,
+    stats: RegFileStats,
+    /// Register-file operation counter (dribble idle-time clock).
+    ops: u64,
+    /// `ops` value when each frame was last touched.
+    last_touch: Vec<u64>,
+}
+
+impl SegmentedFile {
+    /// Creates an empty file.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero frames or zero-width frames (configuration bugs).
+    pub fn new(cfg: SegmentedConfig) -> Self {
+        assert!(cfg.frames > 0, "need at least one frame");
+        assert!(cfg.frame_regs > 0 && cfg.frame_regs <= 64, "1..=64 registers per frame");
+        SegmentedFile {
+            cfg,
+            frames: vec![Frame::new(cfg.frame_regs); cfg.frames as usize],
+            resident: HashMap::new(),
+            current: None,
+            picker: VictimPicker::new(cfg.frames as usize, cfg.replacement),
+            stats: RegFileStats::default(),
+            ops: 0,
+            last_touch: vec![0; cfg.frames as usize],
+        }
+    }
+
+    /// The configuration this file was built with.
+    pub fn config(&self) -> &SegmentedConfig {
+        &self.cfg
+    }
+
+    fn check(&self, addr: RegAddr) -> Result<(), RegFileError> {
+        if addr.offset < self.cfg.frame_regs {
+            Ok(())
+        } else {
+            Err(RegFileError::BadOffset(addr))
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        self.ops += 1;
+        self.last_touch[idx] = self.ops;
+        self.picker.touch(idx);
+    }
+
+    /// Registers of frame `idx` whose writeback the dribble engine has
+    /// already performed during its idle time.
+    fn prepaid_regs(&self, idx: usize) -> u32 {
+        match self.cfg.dribble {
+            Some(d) if d.ops_per_reg > 0 => {
+                let idle = self.ops.saturating_sub(self.last_touch[idx]);
+                u32::try_from(idle / u64::from(d.ops_per_reg)).unwrap_or(u32::MAX)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Spills frame `idx` to the backing store per the frame policy.
+    fn spill_frame(&mut self, idx: usize, store: &mut dyn BackingStore) -> Result<u32, RegFileError> {
+        let width = self.cfg.frame_regs;
+        let prepaid_budget = self.prepaid_regs(idx);
+        let frame = &mut self.frames[idx];
+        let cid = frame.owner.expect("spilling an unowned frame");
+        let mut moved = 0u32;
+        let mut mem_cycles = 0u32;
+        for i in 0..width {
+            let bit = 1u64 << i;
+            let valid = frame.valid & bit != 0;
+            match self.cfg.policy {
+                FramePolicy::Full => {
+                    // The whole frame moves; empty slots carry no data but
+                    // still cost a memory transfer.
+                    let cyc = store.spill(cid, i, frame.regs[i as usize])?;
+                    if moved >= prepaid_budget {
+                        mem_cycles += cyc;
+                    }
+                    if !valid {
+                        // Do not let garbage masquerade as live data.
+                        store.discard_reg(cid, i);
+                    }
+                    moved += 1;
+                }
+                FramePolicy::ValidOnly => {
+                    if valid {
+                        let cyc = store.spill(cid, i, frame.regs[i as usize])?;
+                        if moved >= prepaid_budget {
+                            mem_cycles += cyc;
+                        }
+                        moved += 1;
+                    }
+                }
+            }
+        }
+        frame.clear();
+        self.resident.remove(&cid);
+        let prepaid = moved.min(prepaid_budget);
+        self.stats.regs_spilled += u64::from(moved);
+        self.stats.regs_dribbled += u64::from(prepaid);
+        // Only the transfers the dribble engine had not finished stall
+        // the pipeline.
+        let cycles = self.cfg.engine.transfer_cost(moved - prepaid, mem_cycles);
+        self.stats.spill_reload_cycles += u64::from(cycles);
+        Ok(cycles)
+    }
+
+    /// Loads context `cid` into frame `idx` per the frame policy.
+    fn reload_frame(
+        &mut self,
+        idx: usize,
+        cid: Cid,
+        store: &mut dyn BackingStore,
+    ) -> Result<u32, RegFileError> {
+        let width = self.cfg.frame_regs;
+        // A context that never ran has nothing to load; the frame is
+        // simply claimed.
+        if !store.any_present(cid) {
+            return Ok(0);
+        }
+        let mut moved = 0u32;
+        let mut live = 0u32;
+        let mut mem_cycles = 0u32;
+        for i in 0..width {
+            let fetch = match self.cfg.policy {
+                FramePolicy::Full => true,
+                FramePolicy::ValidOnly => store.is_present(cid, i),
+            };
+            if !fetch {
+                continue;
+            }
+            let (value, cyc) = store.reload(cid, i)?;
+            mem_cycles += cyc;
+            moved += 1;
+            if let Some(v) = value {
+                live += 1;
+                let frame = &mut self.frames[idx];
+                frame.regs[i as usize] = v;
+                frame.valid |= 1 << i;
+            }
+        }
+        self.stats.lines_reloaded += 1;
+        self.stats.regs_reloaded += u64::from(moved);
+        self.stats.live_regs_reloaded += u64::from(live);
+        let cycles = self.cfg.engine.transfer_cost(moved, mem_cycles);
+        self.stats.spill_reload_cycles += u64::from(cycles);
+        Ok(cycles)
+    }
+
+    fn current_frame(&self, cid: Cid) -> Result<usize, RegFileError> {
+        match self.current {
+            Some(idx) if self.frames[idx].owner == Some(cid) => Ok(idx),
+            _ => Err(RegFileError::NotCurrent(cid)),
+        }
+    }
+}
+
+impl RegisterFile for SegmentedFile {
+    fn read(
+        &mut self,
+        addr: RegAddr,
+        _store: &mut dyn BackingStore,
+    ) -> Result<Access, RegFileError> {
+        self.check(addr)?;
+        self.stats.reads += 1;
+        let idx = self.current_frame(addr.cid)?;
+        self.touch(idx);
+        let frame = &self.frames[idx];
+        if frame.valid & (1 << addr.offset) == 0 {
+            return Err(RegFileError::ReadUndefined(addr));
+        }
+        self.stats.read_hits += 1;
+        Ok(Access::hit(frame.regs[addr.offset as usize]))
+    }
+
+    fn write(
+        &mut self,
+        addr: RegAddr,
+        value: Word,
+        _store: &mut dyn BackingStore,
+    ) -> Result<Access, RegFileError> {
+        self.check(addr)?;
+        self.stats.writes += 1;
+        let idx = self.current_frame(addr.cid)?;
+        self.touch(idx);
+        let frame = &mut self.frames[idx];
+        frame.regs[addr.offset as usize] = value;
+        frame.valid |= 1 << addr.offset;
+        frame.dirty |= 1 << addr.offset;
+        self.stats.write_hits += 1;
+        Ok(Access::hit(value))
+    }
+
+    fn switch_to(&mut self, cid: Cid, store: &mut dyn BackingStore) -> Result<u32, RegFileError> {
+        self.stats.context_switches += 1;
+        if let Some(&idx) = self.resident.get(&cid) {
+            // "Switching between the resident threads is very fast, since
+            // it only requires setting the frame pointer."
+            self.stats.switch_hits += 1;
+            self.current = Some(idx);
+            self.touch(idx);
+            return Ok(0);
+        }
+        // Frame miss: claim a free frame or spill a victim.
+        let mut cycles = 0;
+        let idx = match self.frames.iter().position(|f| f.owner.is_none()) {
+            Some(free) => free,
+            None => {
+                let occupied: Vec<usize> = (0..self.frames.len()).collect();
+                let victim = self.picker.pick(&occupied);
+                cycles += self.spill_frame(victim, store)?;
+                victim
+            }
+        };
+        self.frames[idx].owner = Some(cid);
+        self.resident.insert(cid, idx);
+        self.picker.allocate(idx);
+        self.ops += 1;
+        self.last_touch[idx] = self.ops;
+        cycles += self.reload_frame(idx, cid, store)?;
+        self.current = Some(idx);
+        Ok(cycles)
+    }
+
+    fn free_context(&mut self, cid: Cid, store: &mut dyn BackingStore) {
+        if let Some(idx) = self.resident.remove(&cid) {
+            self.frames[idx].clear();
+            if self.current == Some(idx) {
+                self.current = None;
+            }
+        }
+        store.discard_context(cid);
+    }
+
+    fn free_reg(&mut self, addr: RegAddr, store: &mut dyn BackingStore) {
+        if let Some(&idx) = self.resident.get(&addr.cid) {
+            let bit = 1u64 << addr.offset;
+            self.frames[idx].valid &= !bit;
+            self.frames[idx].dirty &= !bit;
+        }
+        store.discard_reg(addr.cid, addr.offset);
+    }
+
+    fn capacity(&self) -> u32 {
+        self.cfg.frames * u32::from(self.cfg.frame_regs)
+    }
+
+    fn occupancy(&self) -> Occupancy {
+        Occupancy {
+            valid_regs: self
+                .frames
+                .iter()
+                .filter(|f| f.owner.is_some())
+                .map(|f| f.valid.count_ones())
+                .sum(),
+            resident_contexts: self.frames.iter().filter(|f| f.owner.is_some()).count() as u32,
+        }
+    }
+
+    fn stats(&self) -> &RegFileStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = RegFileStats::default();
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Segmented {}x{} ({:?}, {:?})",
+            self.cfg.frames, self.cfg.frame_regs, self.cfg.policy, self.cfg.engine
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MapStore;
+
+    fn file(frames: u32, width: u8, policy: FramePolicy) -> SegmentedFile {
+        let mut cfg = SegmentedConfig::paper_default(frames, width);
+        cfg.policy = policy;
+        SegmentedFile::new(cfg)
+    }
+
+    #[test]
+    fn access_requires_switch() {
+        let mut f = file(2, 4, FramePolicy::Full);
+        let mut s = MapStore::new();
+        let err = f.write(RegAddr::new(1, 0), 5, &mut s).unwrap_err();
+        assert_eq!(err, RegFileError::NotCurrent(1));
+        f.switch_to(1, &mut s).unwrap();
+        f.write(RegAddr::new(1, 0), 5, &mut s).unwrap();
+        assert_eq!(f.read(RegAddr::new(1, 0), &mut s).unwrap().value, 5);
+    }
+
+    #[test]
+    fn resident_switch_is_free() {
+        let mut f = file(2, 4, FramePolicy::Full);
+        let mut s = MapStore::new();
+        f.switch_to(1, &mut s).unwrap();
+        f.switch_to(2, &mut s).unwrap();
+        assert_eq!(f.switch_to(1, &mut s).unwrap(), 0);
+        assert_eq!(f.stats().switch_hits, 1);
+        assert_eq!(f.stats().regs_reloaded, 0, "no context ever spilled");
+    }
+
+    #[test]
+    fn frame_miss_spills_whole_frame_under_full_policy() {
+        let mut f = file(1, 4, FramePolicy::Full);
+        let mut s = MapStore::new();
+        f.switch_to(1, &mut s).unwrap();
+        f.write(RegAddr::new(1, 0), 10, &mut s).unwrap(); // 1 valid of 4
+        let cycles = f.switch_to(2, &mut s).unwrap();
+        assert!(cycles > 0);
+        // Whole frame spilled: 4 transfers, though only 1 register was live.
+        assert_eq!(f.stats().regs_spilled, 4);
+        // Switching back reloads the whole frame again.
+        f.switch_to(1, &mut s).unwrap();
+        assert_eq!(f.stats().regs_reloaded, 4);
+        assert_eq!(f.stats().live_regs_reloaded, 1);
+        assert_eq!(f.read(RegAddr::new(1, 0), &mut s).unwrap().value, 10);
+    }
+
+    #[test]
+    fn valid_only_policy_moves_live_registers() {
+        let mut f = file(1, 8, FramePolicy::ValidOnly);
+        let mut s = MapStore::new();
+        f.switch_to(1, &mut s).unwrap();
+        f.write(RegAddr::new(1, 0), 10, &mut s).unwrap();
+        f.write(RegAddr::new(1, 3), 13, &mut s).unwrap();
+        f.switch_to(2, &mut s).unwrap();
+        assert_eq!(f.stats().regs_spilled, 2);
+        f.switch_to(1, &mut s).unwrap();
+        assert_eq!(f.stats().regs_reloaded, 2);
+        assert_eq!(f.stats().live_regs_reloaded, 2);
+        assert_eq!(f.read(RegAddr::new(1, 3), &mut s).unwrap().value, 13);
+    }
+
+    #[test]
+    fn fresh_context_claims_frame_without_traffic() {
+        let mut f = file(2, 4, FramePolicy::Full);
+        let mut s = MapStore::new();
+        f.switch_to(7, &mut s).unwrap();
+        assert_eq!(f.stats().regs_reloaded, 0);
+        assert_eq!(f.stats().regs_spilled, 0);
+    }
+
+    #[test]
+    fn lru_frame_is_victim() {
+        let mut f = file(2, 2, FramePolicy::ValidOnly);
+        let mut s = MapStore::new();
+        f.switch_to(1, &mut s).unwrap();
+        f.write(RegAddr::new(1, 0), 1, &mut s).unwrap();
+        f.switch_to(2, &mut s).unwrap();
+        f.write(RegAddr::new(2, 0), 2, &mut s).unwrap();
+        f.switch_to(1, &mut s).unwrap(); // touch 1; 2 becomes LRU
+        f.switch_to(3, &mut s).unwrap(); // must evict context 2
+        assert!(f.resident.contains_key(&1));
+        assert!(!f.resident.contains_key(&2));
+    }
+
+    #[test]
+    fn free_context_releases_frame_silently() {
+        let mut f = file(1, 4, FramePolicy::Full);
+        let mut s = MapStore::new();
+        f.switch_to(1, &mut s).unwrap();
+        f.write(RegAddr::new(1, 0), 9, &mut s).unwrap();
+        f.free_context(1, &mut s);
+        assert_eq!(f.stats().regs_spilled, 0);
+        assert_eq!(f.occupancy().resident_contexts, 0);
+        // Frame is immediately reusable without eviction.
+        assert_eq!(f.switch_to(2, &mut s).unwrap(), 0);
+    }
+
+    #[test]
+    fn read_undefined_detected() {
+        let mut f = file(1, 4, FramePolicy::Full);
+        let mut s = MapStore::new();
+        f.switch_to(1, &mut s).unwrap();
+        assert!(matches!(
+            f.read(RegAddr::new(1, 2), &mut s),
+            Err(RegFileError::ReadUndefined(_))
+        ));
+    }
+
+    #[test]
+    fn full_spill_does_not_fabricate_live_data() {
+        let mut f = file(1, 4, FramePolicy::Full);
+        let mut s = MapStore::new();
+        f.switch_to(1, &mut s).unwrap();
+        f.write(RegAddr::new(1, 1), 11, &mut s).unwrap();
+        f.switch_to(2, &mut s).unwrap(); // spills frame of 1
+        f.switch_to(1, &mut s).unwrap(); // reloads
+        // Register 0 was never written; it must still read as undefined.
+        assert!(matches!(
+            f.read(RegAddr::new(1, 0), &mut s),
+            Err(RegFileError::ReadUndefined(_))
+        ));
+        assert_eq!(f.read(RegAddr::new(1, 1), &mut s).unwrap().value, 11);
+    }
+
+    #[test]
+    fn occupancy_reflects_frames() {
+        let mut f = file(4, 8, FramePolicy::Full);
+        let mut s = MapStore::new();
+        f.switch_to(1, &mut s).unwrap();
+        f.write(RegAddr::new(1, 0), 1, &mut s).unwrap();
+        f.switch_to(2, &mut s).unwrap();
+        f.write(RegAddr::new(2, 0), 1, &mut s).unwrap();
+        f.write(RegAddr::new(2, 1), 1, &mut s).unwrap();
+        let o = f.occupancy();
+        assert_eq!(o.resident_contexts, 2);
+        assert_eq!(o.valid_regs, 3);
+        assert_eq!(f.capacity(), 32);
+    }
+
+    #[test]
+    fn dribble_prepays_idle_frame_spills() {
+        use crate::segmented::DribbleConfig;
+        let run = |dribble: Option<DribbleConfig>| {
+            let mut cfg = SegmentedConfig::paper_default(2, 4);
+            cfg.policy = FramePolicy::ValidOnly;
+            cfg.dribble = dribble;
+            let mut f = SegmentedFile::new(cfg);
+            let mut s = MapStore::new();
+            // Frame 0 fills, then sits idle while frame 1 works.
+            f.switch_to(1, &mut s).unwrap();
+            for i in 0..4 {
+                f.write(RegAddr::new(1, i), 1, &mut s).unwrap();
+            }
+            f.switch_to(2, &mut s).unwrap();
+            for _ in 0..50 {
+                f.write(RegAddr::new(2, 0), 2, &mut s).unwrap();
+            }
+            // Evict the long-idle frame of context 1.
+            f.switch_to(3, &mut s).unwrap();
+            (f.stats().spill_reload_cycles, f.stats().regs_spilled, f.stats().regs_dribbled)
+        };
+        let (plain_cycles, plain_spills, plain_dribbled) = run(None);
+        let (dr_cycles, dr_spills, dr_dribbled) =
+            run(Some(DribbleConfig { ops_per_reg: 8 }));
+        assert_eq!(plain_dribbled, 0);
+        assert_eq!(
+            plain_spills, dr_spills,
+            "dribbling must not change the traffic, only the stall"
+        );
+        assert_eq!(dr_dribbled, 4, "50 idle ops / 8 per reg covers all 4");
+        assert!(
+            dr_cycles < plain_cycles,
+            "prepaid spills must shrink the stall: {dr_cycles} vs {plain_cycles}"
+        );
+    }
+
+    #[test]
+    fn dribble_does_not_prepay_hot_frames() {
+        use crate::segmented::DribbleConfig;
+        let mut cfg = SegmentedConfig::paper_default(1, 4);
+        cfg.dribble = Some(DribbleConfig { ops_per_reg: 8 });
+        let mut f = SegmentedFile::new(cfg);
+        let mut s = MapStore::new();
+        f.switch_to(1, &mut s).unwrap();
+        f.write(RegAddr::new(1, 0), 1, &mut s).unwrap();
+        // Immediately evicted: no idle time, nothing prepaid.
+        f.switch_to(2, &mut s).unwrap();
+        assert_eq!(f.stats().regs_dribbled, 0);
+    }
+
+    #[test]
+    fn software_engine_costs_more() {
+        let run = |engine: SpillEngine| {
+            let mut cfg = SegmentedConfig::paper_default(1, 8);
+            cfg.engine = engine;
+            let mut f = SegmentedFile::new(cfg);
+            let mut s = MapStore::new();
+            f.switch_to(1, &mut s).unwrap();
+            f.write(RegAddr::new(1, 0), 1, &mut s).unwrap();
+            f.switch_to(2, &mut s).unwrap();
+            f.switch_to(1, &mut s).unwrap();
+            f.stats().spill_reload_cycles
+        };
+        assert!(run(SpillEngine::software()) > run(SpillEngine::hardware()));
+    }
+}

@@ -1,0 +1,124 @@
+//! Uniform statistics reported by every register file organization.
+//!
+//! The paper's evaluation (§7–§8) is phrased entirely in terms of these
+//! counters: registers reloaded per instruction (Figs. 10, 12, 13), live
+//! registers reloaded (Fig. 10), occupancy / active registers (Fig. 9),
+//! resident contexts (Fig. 11), and spill/reload cycle overhead (Fig. 14).
+
+/// Counters accumulated by a register file while a program runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegFileStats {
+    /// Register read operations issued.
+    pub reads: u64,
+    /// Register write operations issued.
+    pub writes: u64,
+    /// Reads that found their register resident and valid.
+    pub read_hits: u64,
+    /// Reads that missed (register spilled or never loaded).
+    pub read_misses: u64,
+    /// Writes that hit a resident line.
+    pub write_hits: u64,
+    /// Writes that missed (allocated or fetched a line).
+    pub write_misses: u64,
+    /// Lines transferred from the backing store into the file.
+    pub lines_reloaded: u64,
+    /// Registers transferred from the backing store, counted per the active
+    /// [`crate::ReloadPolicy`] (whole-line policies count empty slots too).
+    pub regs_reloaded: u64,
+    /// Of `regs_reloaded`, registers that actually held data — the paper's
+    /// "live registers reloaded" curve.
+    pub live_regs_reloaded: u64,
+    /// Registers written back to the backing store on eviction.
+    pub regs_spilled: u64,
+    /// Of `regs_spilled`, registers whose writeback was prepaid by a
+    /// background "dribble" engine during idle cycles (related work
+    /// \[29\]): the traffic still happened, only the stall was hidden.
+    pub regs_dribbled: u64,
+    /// Context-switch notifications received.
+    pub context_switches: u64,
+    /// Switches that found the incoming context resident.
+    pub switch_hits: u64,
+    /// Total cycles spent moving registers (spill + reload), including
+    /// spill-engine overhead — the numerator of Figure 14.
+    pub spill_reload_cycles: u64,
+}
+
+impl RegFileStats {
+    /// Registers reloaded per instruction executed (the paper's Figures
+    /// 10, 12 and 13 y-axis), given the instruction count from the
+    /// simulator.
+    pub fn reloads_per_instruction(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.regs_reloaded as f64 / instructions as f64
+        }
+    }
+
+    /// Read miss ratio in `[0, 1]`.
+    pub fn read_miss_ratio(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_misses as f64 / self.reads as f64
+        }
+    }
+
+    /// Merges another stats block into this one (used when aggregating
+    /// across benchmark runs).
+    pub fn merge(&mut self, other: &RegFileStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.read_hits += other.read_hits;
+        self.read_misses += other.read_misses;
+        self.write_hits += other.write_hits;
+        self.write_misses += other.write_misses;
+        self.lines_reloaded += other.lines_reloaded;
+        self.regs_reloaded += other.regs_reloaded;
+        self.live_regs_reloaded += other.live_regs_reloaded;
+        self.regs_spilled += other.regs_spilled;
+        self.regs_dribbled += other.regs_dribbled;
+        self.context_switches += other.context_switches;
+        self.switch_hits += other.switch_hits;
+        self.spill_reload_cycles += other.spill_reload_cycles;
+    }
+}
+
+/// A point-in-time occupancy snapshot, sampled by the simulator once per
+/// instruction to produce the paper's utilization (Fig. 9) and resident
+/// context (Fig. 11) averages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Registers currently holding data ("active registers").
+    pub valid_regs: u32,
+    /// Distinct contexts with at least one resident register (NSF) or an
+    /// assigned frame (segmented file).
+    pub resident_contexts: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = RegFileStats::default();
+        assert_eq!(s.reloads_per_instruction(0), 0.0);
+        assert_eq!(s.read_miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = RegFileStats { reads: 1, regs_reloaded: 5, ..Default::default() };
+        let b = RegFileStats { reads: 2, regs_reloaded: 7, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.reads, 3);
+        assert_eq!(a.regs_reloaded, 12);
+    }
+
+    #[test]
+    fn reloads_per_instruction_ratio() {
+        let s = RegFileStats { regs_reloaded: 25, ..Default::default() };
+        assert!((s.reloads_per_instruction(100) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,172 @@
+//! Self-contained backing stores for tests and standalone library use.
+//!
+//! In the full simulator the backing store is the data cache + Ctable
+//! (`nsf-sim::backing`); here we provide [`MapStore`], a flat-latency map
+//! that makes `nsf-core` usable and testable on its own, and
+//! [`FaultyStore`], a failure-injection wrapper.
+
+use crate::addr::Cid;
+use crate::traits::{BackingStore, StoreFault};
+use crate::Word;
+use std::collections::HashMap;
+
+/// An in-memory backing store with a fixed per-register latency.
+#[derive(Debug, Default)]
+pub struct MapStore {
+    regs: HashMap<(Cid, u8), Word>,
+    /// Cycles charged per register moved (a cache-hit-like constant).
+    latency: u32,
+    spills: u64,
+    reloads: u64,
+}
+
+impl MapStore {
+    /// Creates a store with the default 2-cycle per-register latency
+    /// (a first-level cache hit).
+    pub fn new() -> Self {
+        MapStore { latency: 2, ..Default::default() }
+    }
+
+    /// Creates a store with an explicit per-register latency.
+    pub fn with_latency(latency: u32) -> Self {
+        MapStore { latency, ..Default::default() }
+    }
+
+    /// Number of spill operations served.
+    pub fn spills(&self) -> u64 {
+        self.spills
+    }
+
+    /// Number of reload operations served.
+    pub fn reloads(&self) -> u64 {
+        self.reloads
+    }
+
+    /// Direct inspection of a backed register (tests).
+    pub fn peek(&self, cid: Cid, offset: u8) -> Option<Word> {
+        self.regs.get(&(cid, offset)).copied()
+    }
+
+    /// Pre-populates a backed register (tests).
+    pub fn preload(&mut self, cid: Cid, offset: u8, value: Word) {
+        self.regs.insert((cid, offset), value);
+    }
+}
+
+impl BackingStore for MapStore {
+    fn spill(&mut self, cid: Cid, offset: u8, value: Word) -> Result<u32, StoreFault> {
+        self.spills += 1;
+        self.regs.insert((cid, offset), value);
+        Ok(self.latency)
+    }
+
+    fn reload(&mut self, cid: Cid, offset: u8) -> Result<(Option<Word>, u32), StoreFault> {
+        self.reloads += 1;
+        Ok((self.regs.get(&(cid, offset)).copied(), self.latency))
+    }
+
+    fn is_present(&self, cid: Cid, offset: u8) -> bool {
+        self.regs.contains_key(&(cid, offset))
+    }
+
+    fn any_present(&self, cid: Cid) -> bool {
+        self.regs.keys().any(|&(c, _)| c == cid)
+    }
+
+    fn discard_context(&mut self, cid: Cid) {
+        self.regs.retain(|&(c, _), _| c != cid);
+    }
+
+    fn discard_reg(&mut self, cid: Cid, offset: u8) {
+        self.regs.remove(&(cid, offset));
+    }
+}
+
+/// A wrapper that injects faults after a countdown — used to verify that
+/// register files surface backing failures as typed errors instead of
+/// panicking.
+pub struct FaultyStore<S> {
+    inner: S,
+    /// Operations remaining before every subsequent spill/reload faults.
+    countdown: u64,
+}
+
+impl<S: BackingStore> FaultyStore<S> {
+    /// Wraps `inner`; the first `ok_ops` spill/reload operations succeed,
+    /// everything after faults.
+    pub fn new(inner: S, ok_ops: u64) -> Self {
+        FaultyStore { inner, countdown: ok_ops }
+    }
+
+    fn tick(&mut self) -> Result<(), StoreFault> {
+        if self.countdown == 0 {
+            Err(StoreFault::Io("injected fault".into()))
+        } else {
+            self.countdown -= 1;
+            Ok(())
+        }
+    }
+}
+
+impl<S: BackingStore> BackingStore for FaultyStore<S> {
+    fn spill(&mut self, cid: Cid, offset: u8, value: Word) -> Result<u32, StoreFault> {
+        self.tick()?;
+        self.inner.spill(cid, offset, value)
+    }
+
+    fn reload(&mut self, cid: Cid, offset: u8) -> Result<(Option<Word>, u32), StoreFault> {
+        self.tick()?;
+        self.inner.reload(cid, offset)
+    }
+
+    fn is_present(&self, cid: Cid, offset: u8) -> bool {
+        self.inner.is_present(cid, offset)
+    }
+
+    fn any_present(&self, cid: Cid) -> bool {
+        self.inner.any_present(cid)
+    }
+
+    fn discard_context(&mut self, cid: Cid) {
+        self.inner.discard_context(cid);
+    }
+
+    fn discard_reg(&mut self, cid: Cid, offset: u8) {
+        self.inner.discard_reg(cid, offset);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spill_then_reload() {
+        let mut s = MapStore::new();
+        assert_eq!(s.spill(1, 2, 99).unwrap(), 2);
+        assert_eq!(s.reload(1, 2).unwrap(), (Some(99), 2));
+        assert_eq!(s.reload(1, 3).unwrap(), (None, 2));
+        assert!(s.is_present(1, 2));
+        assert!(!s.is_present(1, 3));
+        assert!(s.any_present(1));
+        assert!(!s.any_present(2));
+    }
+
+    #[test]
+    fn discard_context_drops_only_that_cid() {
+        let mut s = MapStore::new();
+        s.spill(1, 0, 1).unwrap();
+        s.spill(2, 0, 2).unwrap();
+        s.discard_context(1);
+        assert!(!s.any_present(1));
+        assert!(s.any_present(2));
+    }
+
+    #[test]
+    fn faulty_store_counts_down() {
+        let mut s = FaultyStore::new(MapStore::new(), 2);
+        assert!(s.spill(1, 0, 1).is_ok());
+        assert!(s.reload(1, 0).is_ok());
+        assert!(matches!(s.spill(1, 1, 2), Err(StoreFault::Io(_))));
+    }
+}

@@ -1,0 +1,450 @@
+//! A SPARC-style windowed register file — the related-work baseline.
+//!
+//! Paper §5: "Keppel and Hidaka propose running multiple concurrent
+//! threads in the register windows of a Sparc processor by modifying
+//! window trap handlers." This organization models that machine:
+//!
+//! * a circular set of **windows**, one per procedure activation, advanced
+//!   by `call` and retracted by `ret`;
+//! * **overflow**: a call that wraps onto an occupied window traps and
+//!   spills the *deepest* resident activation (strict stack order — not
+//!   LRU);
+//! * **underflow**: a return to an activation whose window was spilled
+//!   traps and reloads it;
+//! * **thread switches flush**: the window set belongs to one call chain,
+//!   so dispatching another thread spills every resident window of the
+//!   outgoing chain and reloads the incoming thread's top activation —
+//!   the cost Keppel's and Hidaka's trap handlers try to soften, and the
+//!   cost the Named-State Register File removes outright.
+//!
+//! Spills and reloads run through the same [`SpillEngine`] cost model as
+//! the segmented file, using software traps by default (the Sparc way).
+
+use crate::addr::{Cid, RegAddr};
+use crate::policy::SpillEngine;
+use crate::stats::{Occupancy, RegFileStats};
+use crate::traits::{Access, BackingStore, RegFileError, RegisterFile};
+use crate::Word;
+use std::collections::HashMap;
+
+/// Configuration of a [`WindowedFile`].
+#[derive(Clone, Copy, Debug)]
+pub struct WindowedConfig {
+    /// Number of windows (SPARC implementations shipped 7 or 8).
+    pub windows: u32,
+    /// Registers per window.
+    pub window_regs: u8,
+    /// Spill/reload machinery; SPARC used software trap handlers.
+    pub engine: SpillEngine,
+}
+
+impl WindowedConfig {
+    /// A SPARC-like default: 8 windows, software trap handlers.
+    pub fn sparc_like(window_regs: u8) -> Self {
+        WindowedConfig { windows: 8, window_regs, engine: SpillEngine::software() }
+    }
+}
+
+#[derive(Clone)]
+struct Window {
+    regs: Box<[Word]>,
+    valid: u64,
+}
+
+/// One activation of the current chain: resident (`Some` window) or
+/// spilled to the backing store (`None`).
+struct Slot {
+    cid: Cid,
+    window: Option<Window>,
+}
+
+/// The windowed register file. See module docs.
+pub struct WindowedFile {
+    cfg: WindowedConfig,
+    /// The current thread's call chain, outermost first; at most
+    /// `cfg.windows` slots hold a resident window at any time.
+    chain: Vec<Slot>,
+    /// Parked chains of other threads, keyed by their innermost CID.
+    /// Parked chains are fully spilled (register values live in the
+    /// backing store; only the CID order is kept).
+    parked: HashMap<Cid, Vec<Cid>>,
+    stats: RegFileStats,
+}
+
+impl WindowedFile {
+    /// Creates an empty file.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero windows or zero-width windows (configuration bugs).
+    pub fn new(cfg: WindowedConfig) -> Self {
+        assert!(cfg.windows > 0, "need at least one window");
+        assert!(
+            cfg.window_regs > 0 && cfg.window_regs <= 64,
+            "1..=64 registers per window"
+        );
+        WindowedFile {
+            cfg,
+            chain: Vec::new(),
+            parked: HashMap::new(),
+            stats: RegFileStats::default(),
+        }
+    }
+
+    fn fresh_window(&self) -> Window {
+        Window { regs: vec![0; self.cfg.window_regs as usize].into_boxed_slice(), valid: 0 }
+    }
+
+    /// The configuration this file was built with.
+    pub fn config(&self) -> &WindowedConfig {
+        &self.cfg
+    }
+
+    fn check(&self, addr: RegAddr) -> Result<(), RegFileError> {
+        if addr.offset < self.cfg.window_regs {
+            Ok(())
+        } else {
+            Err(RegFileError::BadOffset(addr))
+        }
+    }
+
+    fn resident(&self) -> usize {
+        self.chain.iter().filter(|s| s.window.is_some()).count()
+    }
+
+    /// Spills slot `idx`'s window (must be resident). Returns cycles.
+    fn spill_slot(
+        &mut self,
+        idx: usize,
+        store: &mut dyn BackingStore,
+    ) -> Result<u32, RegFileError> {
+        let cid = self.chain[idx].cid;
+        let w = self.chain[idx].window.take().expect("spilling a resident window");
+        let mut moved = 0u32;
+        let mut mem_cycles = 0u32;
+        for i in 0..self.cfg.window_regs {
+            if w.valid & (1 << i) != 0 {
+                mem_cycles += store.spill(cid, i, w.regs[i as usize])?;
+                moved += 1;
+            }
+        }
+        self.stats.regs_spilled += u64::from(moved);
+        let cycles = self.cfg.engine.transfer_cost(moved, mem_cycles);
+        self.stats.spill_reload_cycles += u64::from(cycles);
+        Ok(cycles)
+    }
+
+    /// Reloads a window's registers from the backing store.
+    fn reload_window(
+        &mut self,
+        cid: Cid,
+        store: &mut dyn BackingStore,
+    ) -> Result<(Window, u32), RegFileError> {
+        let mut w = self.fresh_window();
+        let mut moved = 0u32;
+        let mut mem_cycles = 0u32;
+        for i in 0..self.cfg.window_regs {
+            if store.is_present(cid, i) {
+                let (v, cyc) = store.reload(cid, i)?;
+                mem_cycles += cyc;
+                moved += 1;
+                if let Some(v) = v {
+                    w.regs[i as usize] = v;
+                    w.valid |= 1 << i;
+                }
+            }
+        }
+        self.stats.lines_reloaded += 1;
+        self.stats.regs_reloaded += u64::from(moved);
+        self.stats.live_regs_reloaded += u64::from(moved);
+        let cycles = self.cfg.engine.transfer_cost(moved, mem_cycles);
+        self.stats.spill_reload_cycles += u64::from(cycles);
+        Ok((w, cycles))
+    }
+
+    /// Flushes the current chain's resident windows and parks it.
+    fn park_current(&mut self, store: &mut dyn BackingStore) -> Result<u32, RegFileError> {
+        let mut cycles = 0;
+        for idx in 0..self.chain.len() {
+            if self.chain[idx].window.is_some() {
+                cycles += self.spill_slot(idx, store)?;
+            }
+        }
+        if !self.chain.is_empty() {
+            let key = self.chain.last().expect("non-empty").cid;
+            let cids: Vec<Cid> = self.chain.drain(..).map(|s| s.cid).collect();
+            self.parked.insert(key, cids);
+        }
+        Ok(cycles)
+    }
+}
+
+impl RegisterFile for WindowedFile {
+    fn read(
+        &mut self,
+        addr: RegAddr,
+        _store: &mut dyn BackingStore,
+    ) -> Result<Access, RegFileError> {
+        self.check(addr)?;
+        self.stats.reads += 1;
+        let cur = match self.chain.last() {
+            Some(s) if s.cid == addr.cid => s.window.as_ref(),
+            _ => None,
+        };
+        let Some(w) = cur else {
+            return Err(RegFileError::NotCurrent(addr.cid));
+        };
+        if w.valid & (1 << addr.offset) == 0 {
+            return Err(RegFileError::ReadUndefined(addr));
+        }
+        let value = w.regs[addr.offset as usize];
+        self.stats.read_hits += 1;
+        Ok(Access::hit(value))
+    }
+
+    fn write(
+        &mut self,
+        addr: RegAddr,
+        value: Word,
+        _store: &mut dyn BackingStore,
+    ) -> Result<Access, RegFileError> {
+        self.check(addr)?;
+        self.stats.writes += 1;
+        let cur = match self.chain.last_mut() {
+            Some(s) if s.cid == addr.cid => s.window.as_mut(),
+            _ => None,
+        };
+        let Some(w) = cur else {
+            return Err(RegFileError::NotCurrent(addr.cid));
+        };
+        w.regs[addr.offset as usize] = value;
+        w.valid |= 1 << addr.offset;
+        self.stats.write_hits += 1;
+        Ok(Access::hit(value))
+    }
+
+    /// A plain `switch_to` reaches a windowed file on procedure *return*
+    /// (the machine popped the dead callee first): retract one window,
+    /// reloading it on underflow.
+    fn switch_to(&mut self, cid: Cid, store: &mut dyn BackingStore) -> Result<u32, RegFileError> {
+        self.stats.context_switches += 1;
+        match self.chain.last() {
+            Some(s) if s.cid == cid && s.window.is_some() => {
+                self.stats.switch_hits += 1;
+                Ok(0)
+            }
+            Some(s) if s.cid == cid => {
+                // Underflow: the caller's window was spilled earlier.
+                let (w, cycles) = self.reload_window(cid, store)?;
+                self.chain.last_mut().expect("just matched").window = Some(w);
+                Ok(cycles)
+            }
+            // Not the chain top at all: the processor is switching
+            // threads through the generic entry point; behave sensibly.
+            _ => {
+                self.stats.context_switches -= 1; // thread_switch recounts
+                self.thread_switch(cid, store)
+            }
+        }
+    }
+
+    /// A call advances the window pointer; on overflow the deepest
+    /// resident window spills (strict stack order, like SPARC's CWP).
+    fn call_push(&mut self, cid: Cid, store: &mut dyn BackingStore) -> Result<u32, RegFileError> {
+        self.stats.context_switches += 1;
+        let mut cycles = 0;
+        if self.resident() as u32 >= self.cfg.windows {
+            let deepest = self
+                .chain
+                .iter()
+                .position(|s| s.window.is_some())
+                .expect("resident count > 0");
+            cycles += self.spill_slot(deepest, store)?;
+        }
+        let w = self.fresh_window();
+        self.chain.push(Slot { cid, window: Some(w) });
+        Ok(cycles)
+    }
+
+    /// Dispatching another thread flushes the whole resident chain and
+    /// reloads the incoming thread's innermost window.
+    fn thread_switch(
+        &mut self,
+        cid: Cid,
+        store: &mut dyn BackingStore,
+    ) -> Result<u32, RegFileError> {
+        self.stats.context_switches += 1;
+        if self.chain.last().is_some_and(|s| s.cid == cid && s.window.is_some()) {
+            self.stats.switch_hits += 1;
+            return Ok(0);
+        }
+        let mut cycles = self.park_current(store)?;
+        if let Some(cids) = self.parked.remove(&cid) {
+            // Known chain: restore its CID order; only the top window is
+            // reloaded eagerly — returns underflow lazily.
+            let top = *cids.last().expect("parked chains are non-empty");
+            for c in &cids[..cids.len() - 1] {
+                self.chain.push(Slot { cid: *c, window: None });
+            }
+            let (w, cyc) = self.reload_window(top, store)?;
+            cycles += cyc;
+            self.chain.push(Slot { cid: top, window: Some(w) });
+        } else {
+            // A brand new thread: claim an empty window.
+            let w = self.fresh_window();
+            self.chain.push(Slot { cid, window: Some(w) });
+        }
+        Ok(cycles)
+    }
+
+    fn free_context(&mut self, cid: Cid, store: &mut dyn BackingStore) {
+        if self.chain.last().is_some_and(|s| s.cid == cid) {
+            self.chain.pop();
+        }
+        self.parked.remove(&cid);
+        store.discard_context(cid);
+    }
+
+    fn free_reg(&mut self, addr: RegAddr, store: &mut dyn BackingStore) {
+        if let Some(s) = self.chain.last_mut() {
+            if s.cid == addr.cid {
+                if let Some(w) = s.window.as_mut() {
+                    w.valid &= !(1 << addr.offset);
+                }
+            }
+        }
+        store.discard_reg(addr.cid, addr.offset);
+    }
+
+    fn capacity(&self) -> u32 {
+        self.cfg.windows * u32::from(self.cfg.window_regs)
+    }
+
+    fn occupancy(&self) -> Occupancy {
+        let resident: Vec<&Window> =
+            self.chain.iter().filter_map(|s| s.window.as_ref()).collect();
+        Occupancy {
+            valid_regs: resident.iter().map(|w| w.valid.count_ones()).sum(),
+            resident_contexts: resident.len() as u32,
+        }
+    }
+
+    fn stats(&self) -> &RegFileStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = RegFileStats::default();
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Windowed {}x{} ({:?})",
+            self.cfg.windows, self.cfg.window_regs, self.cfg.engine
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MapStore;
+
+    fn file(windows: u32) -> WindowedFile {
+        WindowedFile::new(WindowedConfig {
+            windows,
+            window_regs: 4,
+            engine: SpillEngine::software(),
+        })
+    }
+
+    #[test]
+    fn call_chain_within_windows_is_free() {
+        let mut f = file(4);
+        let mut s = MapStore::new();
+        f.thread_switch(0, &mut s).unwrap();
+        for cid in 1..4u16 {
+            assert_eq!(f.call_push(cid, &mut s).unwrap(), 0);
+            f.write(RegAddr::new(cid, 0), u32::from(cid), &mut s).unwrap();
+        }
+        assert_eq!(f.stats().regs_spilled, 0);
+        assert_eq!(f.occupancy().resident_contexts, 4);
+    }
+
+    #[test]
+    fn overflow_spills_deepest_and_underflow_reloads() {
+        let mut f = file(2);
+        let mut s = MapStore::new();
+        f.thread_switch(0, &mut s).unwrap();
+        f.write(RegAddr::new(0, 1), 100, &mut s).unwrap();
+        f.call_push(1, &mut s).unwrap();
+        f.write(RegAddr::new(1, 1), 101, &mut s).unwrap();
+        // Third activation overflows: window of cid 0 spills.
+        let cycles = f.call_push(2, &mut s).unwrap();
+        assert!(cycles > 0);
+        assert_eq!(f.stats().regs_spilled, 1);
+        // Return path: pop 2, caller 1 still resident (free).
+        f.free_context(2, &mut s);
+        assert_eq!(f.switch_to(1, &mut s).unwrap(), 0);
+        assert_eq!(f.read(RegAddr::new(1, 1), &mut s).unwrap().value, 101);
+        // Pop 1: caller 0 was spilled → underflow reload.
+        f.free_context(1, &mut s);
+        let cycles = f.switch_to(0, &mut s).unwrap();
+        assert!(cycles > 0, "underflow must reload");
+        assert_eq!(f.read(RegAddr::new(0, 1), &mut s).unwrap().value, 100);
+    }
+
+    #[test]
+    fn thread_switch_flushes_everything() {
+        let mut f = file(4);
+        let mut s = MapStore::new();
+        f.thread_switch(0, &mut s).unwrap();
+        f.write(RegAddr::new(0, 0), 1, &mut s).unwrap();
+        f.call_push(1, &mut s).unwrap();
+        f.write(RegAddr::new(1, 0), 2, &mut s).unwrap();
+        // Dispatch another thread: both resident windows spill.
+        let cycles = f.thread_switch(10, &mut s).unwrap();
+        assert!(cycles > 0);
+        assert_eq!(f.stats().regs_spilled, 2);
+        f.write(RegAddr::new(10, 0), 3, &mut s).unwrap();
+        // Come back: only the top window (cid 1) reloads eagerly.
+        let cycles = f.thread_switch(1, &mut s).unwrap();
+        assert!(cycles > 0);
+        assert_eq!(f.read(RegAddr::new(1, 0), &mut s).unwrap().value, 2);
+        // Returning into cid 0 underflows and reloads it.
+        f.free_context(1, &mut s);
+        f.switch_to(0, &mut s).unwrap();
+        assert_eq!(f.read(RegAddr::new(0, 0), &mut s).unwrap().value, 1);
+    }
+
+    #[test]
+    fn access_requires_current_window() {
+        let mut f = file(2);
+        let mut s = MapStore::new();
+        assert!(matches!(
+            f.read(RegAddr::new(5, 0), &mut s),
+            Err(RegFileError::NotCurrent(5))
+        ));
+        f.thread_switch(0, &mut s).unwrap();
+        assert!(matches!(
+            f.write(RegAddr::new(5, 0), 1, &mut s),
+            Err(RegFileError::NotCurrent(5))
+        ));
+    }
+
+    #[test]
+    fn read_undefined_detected() {
+        let mut f = file(2);
+        let mut s = MapStore::new();
+        f.thread_switch(0, &mut s).unwrap();
+        assert!(matches!(
+            f.read(RegAddr::new(0, 3), &mut s),
+            Err(RegFileError::ReadUndefined(_))
+        ));
+    }
+
+    #[test]
+    fn describe_names_windows() {
+        assert!(file(8).describe().contains("Windowed 8x4"));
+    }
+}

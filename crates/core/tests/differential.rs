@@ -1,0 +1,194 @@
+//! Differential property tests: every register file organization must be
+//! *transparent* — an arbitrary program sees exactly the values it would
+//! see on an infinite, never-spilling oracle file, no matter how much
+//! spilling and reloading happens underneath.
+
+use nsf_core::{
+    segmented::FramePolicy, MapStore, NamedStateFile, NsfConfig, OracleFile, RegAddr,
+    RegFileError, RegisterFile, ReloadPolicy, ReplacementPolicy, SegmentedConfig, SegmentedFile,
+    SpillEngine, WriteMissPolicy,
+};
+use proptest::prelude::*;
+
+/// One step of a register-file workload.
+#[derive(Clone, Debug)]
+enum Op {
+    Write(RegAddr, u32),
+    Read(RegAddr),
+    FreeReg(RegAddr),
+    FreeContext(u16),
+}
+
+fn arb_addr() -> impl Strategy<Value = RegAddr> {
+    // Small spaces create heavy eviction pressure on an 8-register file.
+    (0u16..6, 0u8..8).prop_map(|(cid, offset)| RegAddr::new(cid, offset))
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (arb_addr(), any::<u32>()).prop_map(|(a, v)| Op::Write(a, v)),
+        4 => arb_addr().prop_map(Op::Read),
+        1 => arb_addr().prop_map(Op::FreeReg),
+        1 => (0u16..6).prop_map(Op::FreeContext),
+    ]
+}
+
+/// Runs `ops` against `file`, mirrored on an oracle, asserting identical
+/// visible behaviour. `needs_switch` inserts the `switch_to` discipline the
+/// segmented file requires.
+fn run_differential(file: &mut dyn RegisterFile, ops: &[Op], needs_switch: bool) {
+    let mut oracle = OracleFile::new();
+    let mut store = MapStore::new();
+    let mut oracle_store = MapStore::new();
+
+    for op in ops {
+        match *op {
+            Op::Write(addr, v) => {
+                if needs_switch {
+                    file.switch_to(addr.cid, &mut store).unwrap();
+                }
+                file.write(addr, v, &mut store).unwrap();
+                oracle.write(addr, v, &mut oracle_store).unwrap();
+            }
+            Op::Read(addr) => {
+                if needs_switch {
+                    file.switch_to(addr.cid, &mut store).unwrap();
+                }
+                let got = file.read(addr, &mut store);
+                let want = oracle.read(addr, &mut oracle_store);
+                match (got, want) {
+                    (Ok(g), Ok(w)) => assert_eq!(
+                        g.value,
+                        w.value,
+                        "value mismatch at {addr} on {}",
+                        file.describe()
+                    ),
+                    (Err(RegFileError::ReadUndefined(_)), Err(RegFileError::ReadUndefined(_))) => {}
+                    (g, w) => panic!(
+                        "outcome mismatch at {addr} on {}: {g:?} vs oracle {w:?}",
+                        file.describe()
+                    ),
+                }
+            }
+            Op::FreeReg(addr) => {
+                file.free_reg(addr, &mut store);
+                oracle.free_reg(addr, &mut oracle_store);
+            }
+            Op::FreeContext(cid) => {
+                file.free_context(cid, &mut store);
+                oracle.free_context(cid, &mut oracle_store);
+            }
+        }
+    }
+}
+
+fn nsf_variants() -> Vec<NamedStateFile> {
+    let mut out = Vec::new();
+    for (total, rpl) in [(8u32, 1u8), (8, 2), (8, 4), (16, 4), (32, 1)] {
+        for reload in [
+            ReloadPolicy::SingleRegister,
+            ReloadPolicy::ValidOnly,
+            ReloadPolicy::WholeLine,
+        ] {
+            for write_miss in [WriteMissPolicy::WriteAllocate, WriteMissPolicy::FetchOnWrite] {
+                let cfg = NsfConfig {
+                    total_regs: total,
+                    regs_per_line: rpl,
+                    ctx_regs: 32,
+                    reload,
+                    write_miss,
+                    replacement: ReplacementPolicy::Lru,
+                    engine: SpillEngine::hardware(),
+                };
+                out.push(NamedStateFile::new(cfg));
+            }
+        }
+    }
+    // Non-LRU replacement policies must also stay transparent.
+    for replacement in [ReplacementPolicy::Fifo, ReplacementPolicy::Random { seed: 7 }] {
+        let cfg = NsfConfig {
+            replacement,
+            ..NsfConfig::paper_default(8)
+        };
+        out.push(NamedStateFile::new(cfg));
+    }
+    out
+}
+
+fn segmented_variants() -> Vec<SegmentedFile> {
+    let mut out = Vec::new();
+    for frames in [1u32, 2, 4] {
+        for policy in [FramePolicy::Full, FramePolicy::ValidOnly] {
+            for engine in [SpillEngine::hardware(), SpillEngine::software()] {
+                let mut cfg = SegmentedConfig::paper_default(frames, 8);
+                cfg.policy = policy;
+                cfg.engine = engine;
+                out.push(SegmentedFile::new(cfg));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every NSF geometry / policy combination behaves like the oracle.
+    #[test]
+    fn nsf_matches_oracle(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        for mut file in nsf_variants() {
+            run_differential(&mut file, &ops, false);
+        }
+    }
+
+    /// Every segmented configuration behaves like the oracle.
+    #[test]
+    fn segmented_matches_oracle(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        for mut file in segmented_variants() {
+            run_differential(&mut file, &ops, true);
+        }
+    }
+
+    /// NSF invariant: resident valid registers never exceed capacity, and
+    /// spilled+resident accounting never loses a write.
+    #[test]
+    fn nsf_occupancy_bounded(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let mut file = NamedStateFile::new(NsfConfig::paper_default(8));
+        let mut store = MapStore::new();
+        for op in &ops {
+            match *op {
+                Op::Write(a, v) => { file.write(a, v, &mut store).unwrap(); }
+                Op::Read(a) => { let _ = file.read(a, &mut store); }
+                Op::FreeReg(a) => file.free_reg(a, &mut store),
+                Op::FreeContext(c) => file.free_context(c, &mut store),
+            }
+            let occ = file.occupancy();
+            prop_assert!(occ.valid_regs <= file.capacity());
+            prop_assert!(occ.resident_contexts <= occ.valid_regs.max(1));
+        }
+    }
+
+    /// The hit/miss counters are consistent with the operation counts.
+    #[test]
+    fn stats_accounting_consistent(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let mut file = NamedStateFile::new(NsfConfig::paper_default(8));
+        let mut store = MapStore::new();
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Write(a, v) => { file.write(a, v, &mut store).unwrap(); writes += 1; }
+                Op::Read(a) => { let _ = file.read(a, &mut store); reads += 1; }
+                Op::FreeReg(a) => file.free_reg(a, &mut store),
+                Op::FreeContext(c) => file.free_context(c, &mut store),
+            }
+        }
+        let s = file.stats();
+        prop_assert_eq!(s.reads, reads);
+        prop_assert_eq!(s.writes, writes);
+        prop_assert_eq!(s.read_hits + s.read_misses, s.reads);
+        prop_assert_eq!(s.write_hits + s.write_misses, s.writes);
+        // Live reloads can never exceed total reloads.
+        prop_assert!(s.live_regs_reloaded <= s.regs_reloaded);
+    }
+}

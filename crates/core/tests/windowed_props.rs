@@ -1,0 +1,126 @@
+//! Property tests for the SPARC-style windowed file: arbitrary
+//! call/return/switch sequences under the processor's discipline must
+//! read back exactly the values a perfect-memory model predicts.
+
+use nsf_core::{
+    MapStore, RegAddr, RegisterFile, SpillEngine, WindowedConfig, WindowedFile, Word,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Call a new procedure (push a fresh context).
+    Call,
+    /// Return from the current procedure (pop), unless at a chain root.
+    Ret,
+    /// Write `offset` in the current context.
+    Write(u8, Word),
+    /// Read `offset` in the current context (checked against the model).
+    Read(u8),
+    /// Switch to thread `t` (mod live threads).
+    Switch(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::Call),
+        2 => Just(Op::Ret),
+        5 => (0u8..4, any::<Word>()).prop_map(|(o, v)| Op::Write(o, v)),
+        5 => (0u8..4).prop_map(Op::Read),
+        2 => (0u8..3).prop_map(Op::Switch),
+    ]
+}
+
+/// A perfect-memory model of the same discipline.
+#[derive(Default)]
+struct Model {
+    /// Per-thread chains of (cid, register map).
+    chains: Vec<Vec<(u16, HashMap<u8, Word>)>>,
+    current: usize,
+    next_cid: u16,
+}
+
+impl Model {
+    fn top_cid(&self) -> u16 {
+        self.chains[self.current].last().expect("non-empty chain").0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn windowed_file_matches_perfect_memory(
+        windows in 1u32..5,
+        ops in proptest::collection::vec(arb_op(), 1..120),
+    ) {
+        let mut file = WindowedFile::new(WindowedConfig {
+            windows,
+            window_regs: 4,
+            engine: SpillEngine::software(),
+        });
+        let mut store = MapStore::new();
+        let mut model = Model::default();
+
+        // Three threads, each rooted in its own context.
+        for t in 0..3 {
+            model.chains.push(vec![(model.next_cid, HashMap::new())]);
+            model.next_cid += 1;
+            let cid = model.chains[t].last().unwrap().0;
+            if t == 0 {
+                file.thread_switch(cid, &mut store).unwrap();
+            }
+        }
+
+        for op in ops {
+            match op {
+                Op::Call => {
+                    let cid = model.next_cid;
+                    model.next_cid += 1;
+                    model.chains[model.current].push((cid, HashMap::new()));
+                    file.call_push(cid, &mut store).unwrap();
+                }
+                Op::Ret => {
+                    if model.chains[model.current].len() > 1 {
+                        let (dead, _) = model.chains[model.current].pop().unwrap();
+                        file.free_context(dead, &mut store);
+                        let caller = model.top_cid();
+                        file.switch_to(caller, &mut store).unwrap();
+                    }
+                }
+                Op::Write(offset, v) => {
+                    let cid = model.top_cid();
+                    model.chains[model.current]
+                        .last_mut()
+                        .unwrap()
+                        .1
+                        .insert(offset, v);
+                    file.write(RegAddr::new(cid, offset), v, &mut store).unwrap();
+                }
+                Op::Read(offset) => {
+                    let cid = model.top_cid();
+                    let want = model.chains[model.current].last().unwrap().1.get(&offset);
+                    let got = file.read(RegAddr::new(cid, offset), &mut store);
+                    match want {
+                        Some(&v) => prop_assert_eq!(
+                            got.unwrap().value, v,
+                            "chain {} cid {} offset {}", model.current, cid, offset
+                        ),
+                        None => prop_assert!(got.is_err(), "undefined read must fail"),
+                    }
+                }
+                Op::Switch(t) => {
+                    let t = usize::from(t) % model.chains.len();
+                    if t != model.current {
+                        model.current = t;
+                        let cid = model.top_cid();
+                        file.thread_switch(cid, &mut store).unwrap();
+                    }
+                }
+            }
+            // Residency never exceeds the window count.
+            prop_assert!(file.occupancy().resident_contexts <= windows);
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Textual assembler and disassembler.
+//!
+//! The accepted syntax is exactly what [`Inst`]'s `Display` implementation
+//! prints, plus `name:` label definitions and `;` / `#` comments. Labels
+//! may be used wherever a branch/call/spawn target is expected; numeric
+//! targets are also accepted (as printed by the disassembler).
+//!
+//! ```
+//! use nsf_isa::asm::assemble;
+//!
+//! let p = assemble(
+//!     "main:
+//!         li r0, 3
+//!     loop:
+//!         addi r0, r0, -1
+//!         li r1, 0
+//!         bne r0, r1, loop
+//!         halt",
+//! )
+//! .unwrap();
+//! assert_eq!(p.len(), 5);
+//! assert_eq!(p.symbol("loop"), Some(1));
+//! ```
+
+use crate::inst::Inst;
+use crate::program::{Program, ProgramError};
+use crate::reg::Reg;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error produced by [`assemble`], with a 1-based source line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number of the offending source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+/// A not-yet-resolved operand: either an absolute index or a label name.
+enum Target {
+    Abs(u32),
+    Sym(String),
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    tok.trim()
+        .parse::<Reg>()
+        .map_err(|e| err(line, e.to_string()))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i32, AsmError> {
+    let t = tok.trim();
+    let parsed = if let Some(hex) = t.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(hex) = t.strip_prefix("-0x") {
+        i64::from_str_radix(hex, 16).map(|v| -v)
+    } else {
+        t.parse::<i64>()
+    };
+    parsed
+        .ok()
+        .and_then(|v| i32::try_from(v).ok())
+        .ok_or_else(|| err(line, format!("invalid immediate `{t}`")))
+}
+
+fn parse_target(tok: &str) -> Target {
+    let t = tok.trim();
+    match t.parse::<u32>() {
+        Ok(n) => Target::Abs(n),
+        Err(_) => Target::Sym(t.to_owned()),
+    }
+}
+
+/// Parses `imm(base)` memory-operand syntax.
+fn parse_mem(tok: &str, line: usize) -> Result<(i32, Reg), AsmError> {
+    let t = tok.trim();
+    let open = t
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected `imm(base)`, got `{t}`")))?;
+    if !t.ends_with(')') {
+        return Err(err(line, format!("expected `imm(base)`, got `{t}`")));
+    }
+    let imm = if open == 0 { 0 } else { parse_imm(&t[..open], line)? };
+    let base = parse_reg(&t[open + 1..t.len() - 1], line)?;
+    Ok((imm, base))
+}
+
+/// Assembles source text into a [`Program`].
+///
+/// The entry point is the `main` label if defined, otherwise instruction 0.
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    let mut insts: Vec<Inst> = Vec::new();
+    let mut symbols: BTreeMap<String, u32> = BTreeMap::new();
+    // (instruction index, label, source line) fixups.
+    let mut fixups: Vec<(usize, String, usize)> = Vec::new();
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = raw;
+        if let Some(cut) = text.find([';', '#']) {
+            text = &text[..cut];
+        }
+        let mut text = text.trim();
+        // Leading label definitions (possibly several on one line).
+        while let Some(colon) = text.find(':') {
+            let name = text[..colon].trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(err(line, format!("invalid label `{name}`")));
+            }
+            if symbols.insert(name.to_owned(), insts.len() as u32).is_some() {
+                return Err(err(line, format!("label `{name}` defined twice")));
+            }
+            text = text[colon + 1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(i) => (&text[..i], text[i..].trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let want = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    line,
+                    format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+                ))
+            }
+        };
+
+        let at = insts.len();
+        let push_target = |t: Target, fixups: &mut Vec<(usize, String, usize)>| -> u32 {
+            match t {
+                Target::Abs(n) => n,
+                Target::Sym(s) => {
+                    fixups.push((at, s, line));
+                    0
+                }
+            }
+        };
+
+        macro_rules! rrr {
+            ($variant:ident) => {{
+                want(3)?;
+                Inst::$variant {
+                    rd: parse_reg(ops[0], line)?,
+                    rs1: parse_reg(ops[1], line)?,
+                    rs2: parse_reg(ops[2], line)?,
+                }
+            }};
+        }
+        macro_rules! rri {
+            ($variant:ident) => {{
+                want(3)?;
+                Inst::$variant {
+                    rd: parse_reg(ops[0], line)?,
+                    rs1: parse_reg(ops[1], line)?,
+                    imm: parse_imm(ops[2], line)?,
+                }
+            }};
+        }
+        macro_rules! branch {
+            ($variant:ident) => {{
+                want(3)?;
+                let target = push_target(parse_target(ops[2]), &mut fixups);
+                Inst::$variant {
+                    rs1: parse_reg(ops[0], line)?,
+                    rs2: parse_reg(ops[1], line)?,
+                    target,
+                }
+            }};
+        }
+
+        let inst = match mnemonic {
+            "add" => rrr!(Add),
+            "sub" => rrr!(Sub),
+            "mul" => rrr!(Mul),
+            "div" => rrr!(Div),
+            "rem" => rrr!(Rem),
+            "and" => rrr!(And),
+            "or" => rrr!(Or),
+            "xor" => rrr!(Xor),
+            "sll" => rrr!(Sll),
+            "srl" => rrr!(Srl),
+            "sra" => rrr!(Sra),
+            "slt" => rrr!(Slt),
+            "sltu" => rrr!(Sltu),
+            "seq" => rrr!(Seq),
+            "addi" => rri!(Addi),
+            "andi" => rri!(Andi),
+            "ori" => rri!(Ori),
+            "xori" => rri!(Xori),
+            "slli" => rri!(Slli),
+            "srli" => rri!(Srli),
+            "srai" => rri!(Srai),
+            "slti" => rri!(Slti),
+            "li" => {
+                want(2)?;
+                let rd = parse_reg(ops[0], line)?;
+                let imm = parse_imm(ops[1], line)?;
+                // Large constants expand to the canonical li/slli/ori
+                // sequence, like the builder's `load_const`.
+                let seq = crate::builder::load_const_insts(rd, imm);
+                let (last, rest) = seq.split_last().expect("non-empty");
+                for inst in rest {
+                    insts.push(*inst);
+                }
+                *last
+            }
+            "mv" => {
+                want(2)?;
+                Inst::Mv { rd: parse_reg(ops[0], line)?, rs1: parse_reg(ops[1], line)? }
+            }
+            "lw" | "lwr" => {
+                want(2)?;
+                let rd = parse_reg(ops[0], line)?;
+                let (imm, base) = parse_mem(ops[1], line)?;
+                if mnemonic == "lw" {
+                    Inst::Lw { rd, base, imm }
+                } else {
+                    Inst::LwRemote { rd, base, imm }
+                }
+            }
+            "sw" | "swr" => {
+                want(2)?;
+                let src = parse_reg(ops[0], line)?;
+                let (imm, base) = parse_mem(ops[1], line)?;
+                if mnemonic == "sw" {
+                    Inst::Sw { base, src, imm }
+                } else {
+                    Inst::SwRemote { base, src, imm }
+                }
+            }
+            "beq" => branch!(Beq),
+            "bne" => branch!(Bne),
+            "blt" => branch!(Blt),
+            "bge" => branch!(Bge),
+            "jmp" => {
+                want(1)?;
+                let target = push_target(parse_target(ops[0]), &mut fixups);
+                Inst::Jmp { target }
+            }
+            "call" => {
+                want(1)?;
+                let target = push_target(parse_target(ops[0]), &mut fixups);
+                Inst::Call { target }
+            }
+            "spawn" => {
+                want(2)?;
+                let target = push_target(parse_target(ops[0]), &mut fixups);
+                Inst::Spawn { target, arg: parse_reg(ops[1], line)? }
+            }
+            "ret" => { want(0)?; Inst::Ret }
+            "halt" => { want(0)?; Inst::Halt }
+            "yield" => { want(0)?; Inst::Yield }
+            "nop" => { want(0)?; Inst::Nop }
+            "chnew" => {
+                want(1)?;
+                Inst::ChNew { rd: parse_reg(ops[0], line)? }
+            }
+            "chsend" => {
+                want(2)?;
+                Inst::ChSend { chan: parse_reg(ops[0], line)?, src: parse_reg(ops[1], line)? }
+            }
+            "chrecv" => {
+                want(2)?;
+                Inst::ChRecv { rd: parse_reg(ops[0], line)?, chan: parse_reg(ops[1], line)? }
+            }
+            "amoadd" => {
+                want(2)?;
+                let rd = parse_reg(ops[0], line)?;
+                let (imm, base) = parse_mem(ops[1], line)?;
+                Inst::AmoAdd { rd, base, imm }
+            }
+            "syncwait" => {
+                want(1)?;
+                let (imm, base) = parse_mem(ops[0], line)?;
+                Inst::SyncWait { base, imm }
+            }
+            "rfree" => {
+                want(1)?;
+                Inst::RFree { reg: parse_reg(ops[0], line)? }
+            }
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        };
+        insts.push(inst);
+    }
+
+    for (at, sym, line) in fixups {
+        let pos = *symbols
+            .get(&sym)
+            .ok_or_else(|| err(line, format!("undefined label `{sym}`")))?;
+        let ok = insts[at].set_target(pos);
+        debug_assert!(ok);
+    }
+
+    let entry = symbols.get("main").copied().unwrap_or(0);
+    Program::new(insts, symbols, entry).map_err(|e: ProgramError| AsmError {
+        line: 0,
+        message: e.to_string(),
+    })
+}
+
+/// Disassembles a program back to source text that [`assemble`] accepts.
+pub fn disassemble(p: &Program) -> String {
+    p.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_all_operand_shapes() {
+        let src = "
+            main:
+                li r0, 100
+                addi r1, r0, -1
+                add r2, r0, r1
+                lw r3, 4(g0)
+                sw r3, -4(g0)
+                lwr r4, (r2)
+                swr r4, 8(r2)
+                amoadd r5, 1(r2)
+                syncwait 2(r2)
+                chnew r6
+                chsend r6, r5
+                chrecv r7, r6
+                spawn worker, r7
+                call main
+                rfree r7
+                yield
+                ret
+            worker:
+                halt
+        ";
+        let p = assemble(src).unwrap();
+        assert_eq!(p.len(), 18);
+        assert_eq!(p.entry(), 0);
+        assert_eq!(p.symbol("worker"), Some(17));
+    }
+
+    #[test]
+    fn roundtrips_through_disassembly() {
+        let src = "
+            main: li r0, 5
+            top:  addi r0, r0, -1
+                  li r1, 0
+                  bne r0, r1, top
+                  call fn1
+                  halt
+            fn1:  mv r0, g1
+                  ret
+        ";
+        let p1 = assemble(src).unwrap();
+        let p2 = assemble(&disassemble(&p1)).unwrap();
+        assert_eq!(p1.insts(), p2.insts());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus r1").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = assemble("add r1, r2").unwrap_err();
+        assert!(e.message.contains("expects 3"));
+
+        let e = assemble("jmp nowhere").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+
+        let e = assemble("lw r1, r2").unwrap_err();
+        assert!(e.message.contains("imm(base)"));
+
+        let e = assemble("x: nop\nx: nop").unwrap_err();
+        assert!(e.message.contains("defined twice"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("; top comment\n  # another\n nop ; trailing\n\n halt").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn large_li_expands() {
+        let p = assemble("main: li r0, 0x200000\n halt").unwrap();
+        assert!(p.len() > 2, "large constant expands to a sequence");
+        // The expansion must synthesise the exact value.
+        let mut acc: u32 = 0;
+        for inst in p.insts() {
+            match *inst {
+                Inst::Li { imm, .. } => acc = imm as u32,
+                Inst::Slli { imm, .. } => acc <<= imm as u32,
+                Inst::Ori { imm, .. } => acc |= imm as u32,
+                Inst::Halt => break,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert_eq!(acc, 0x20_0000);
+        // Labels after the expansion still resolve correctly.
+        let p = assemble("main: li r0, 999999\n target: halt\n jmp target").unwrap();
+        let t = p.symbol("target").unwrap();
+        assert_eq!(p.insts()[t as usize], Inst::Halt);
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let p = assemble("li r0, 0x1f\nli r1, -0x10\nhalt").unwrap();
+        assert_eq!(p.insts()[0], Inst::Li { rd: Reg::R(0), imm: 31 });
+        assert_eq!(p.insts()[1], Inst::Li { rd: Reg::R(1), imm: -16 });
+    }
+}

@@ -1,0 +1,278 @@
+//! Ergonomic program construction with symbolic labels.
+//!
+//! [`ProgramBuilder`] is the assembly layer used both by the compiler's code
+//! generator and by the hand-written parallel workloads. Labels are cheap
+//! tokens ([`Label`]); forward references are recorded and patched when the
+//! program is finished.
+//!
+//! # Example
+//!
+//! ```
+//! use nsf_isa::{builder::ProgramBuilder, Inst, Reg};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let loop_top = b.new_label();
+//! b.load_const(Reg::R(0), 10);
+//! b.bind(loop_top);
+//! b.emit(Inst::Addi { rd: Reg::R(0), rs1: Reg::R(0), imm: -1 });
+//! let zero = b.scratch(Reg::R(1), 0);
+//! b.bne(Reg::R(0), zero, loop_top);
+//! b.emit(Inst::Halt);
+//! let prog = b.finish("main").unwrap();
+//! assert!(prog.len() >= 4);
+//! ```
+
+use crate::encode::{IMM14_MAX, IMM14_MIN};
+use crate::inst::Inst;
+use crate::program::{Program, ProgramError};
+use crate::reg::Reg;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An opaque label token issued by [`ProgramBuilder::new_label`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(usize);
+
+/// Error produced when finishing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was referenced but never bound to a position.
+    UnboundLabel(usize),
+    /// A label was bound twice.
+    ReboundLabel(usize),
+    /// The produced program failed validation.
+    Invalid(ProgramError),
+    /// The entry symbol was never defined via [`ProgramBuilder::export`].
+    MissingEntry(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel(l) => write!(f, "label #{l} referenced but never bound"),
+            BuildError::ReboundLabel(l) => write!(f, "label #{l} bound twice"),
+            BuildError::Invalid(e) => write!(f, "invalid program: {e}"),
+            BuildError::MissingEntry(s) => write!(f, "entry symbol `{s}` was never exported"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<ProgramError> for BuildError {
+    fn from(e: ProgramError) -> Self {
+        BuildError::Invalid(e)
+    }
+}
+
+/// The instruction sequence that materialises an arbitrary 32-bit
+/// constant in `rd`: a single `li` when it fits the 14-bit immediate,
+/// otherwise a seed `li` of the upmost 11 bits followed by three
+/// shift-in-7-bit-chunk steps. Shared by [`ProgramBuilder::load_const`]
+/// and the assembler's `li` expansion.
+pub fn load_const_insts(rd: Reg, value: i32) -> Vec<Inst> {
+    if (IMM14_MIN..=IMM14_MAX).contains(&value) {
+        return vec![Inst::Li { rd, imm: value }];
+    }
+    let v = value as u32;
+    let mut out = vec![Inst::Li { rd, imm: ((v >> 21) as i32) << 21 >> 21 }];
+    for chunk_idx in (0..3).rev() {
+        let chunk = ((v >> (7 * chunk_idx)) & 0x7F) as i32;
+        out.push(Inst::Slli { rd, rs1: rd, imm: 7 });
+        if chunk != 0 {
+            out.push(Inst::Ori { rd, rs1: rd, imm: chunk });
+        }
+    }
+    out
+}
+
+/// Incrementally builds a [`Program`].
+#[derive(Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    labels: Vec<Option<u32>>,
+    fixups: Vec<(usize, Label)>,
+    symbols: BTreeMap<String, u32>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current position (index of the next emitted instruction).
+    pub fn here(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (a program construction bug).
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label #{} bound twice",
+            label.0
+        );
+        self.labels[label.0] = Some(self.here());
+    }
+
+    /// Exports the current position under a symbolic name (e.g. a procedure
+    /// entry point) and returns it as a bound label.
+    pub fn export(&mut self, name: &str) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        self.symbols.insert(name.to_owned(), self.here());
+        l
+    }
+
+    /// Emits one instruction, returning its index.
+    pub fn emit(&mut self, inst: Inst) -> u32 {
+        self.insts.push(inst);
+        self.here() - 1
+    }
+
+    fn emit_fixup(&mut self, inst: Inst, label: Label) {
+        let at = self.insts.len();
+        self.insts.push(inst);
+        self.fixups.push((at, label));
+    }
+
+    /// Emits `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.emit_fixup(Inst::Beq { rs1, rs2, target: 0 }, label);
+    }
+
+    /// Emits `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.emit_fixup(Inst::Bne { rs1, rs2, target: 0 }, label);
+    }
+
+    /// Emits `blt rs1, rs2, label`.
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.emit_fixup(Inst::Blt { rs1, rs2, target: 0 }, label);
+    }
+
+    /// Emits `bge rs1, rs2, label`.
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.emit_fixup(Inst::Bge { rs1, rs2, target: 0 }, label);
+    }
+
+    /// Emits `jmp label`.
+    pub fn jmp(&mut self, label: Label) {
+        self.emit_fixup(Inst::Jmp { target: 0 }, label);
+    }
+
+    /// Emits `call label`.
+    pub fn call(&mut self, label: Label) {
+        self.emit_fixup(Inst::Call { target: 0 }, label);
+    }
+
+    /// Emits `spawn label, arg`.
+    pub fn spawn(&mut self, label: Label, arg: Reg) {
+        self.emit_fixup(Inst::Spawn { target: 0, arg }, label);
+    }
+
+    /// Loads an arbitrary 32-bit constant into `rd`, emitting as many
+    /// instructions as the architectural 14-bit immediates require
+    /// (1 for small constants, up to 5 in the worst case).
+    pub fn load_const(&mut self, rd: Reg, value: i32) {
+        for inst in load_const_insts(rd, value) {
+            self.emit(inst);
+        }
+    }
+
+    /// Loads a small constant into `reg` and returns `reg` — a convenience
+    /// for instructions that need a constant operand in a register.
+    pub fn scratch(&mut self, reg: Reg, value: i32) -> Reg {
+        self.load_const(reg, value);
+        reg
+    }
+
+    /// Resolves all labels and produces the final program with `entry` as
+    /// its entry symbol.
+    pub fn finish(mut self, entry: &str) -> Result<Program, BuildError> {
+        if !self.symbols.contains_key(entry) {
+            // Convention: if the caller never exported the entry symbol,
+            // treat index 0 as the entry, under the given name.
+            if self.insts.is_empty() {
+                return Err(BuildError::MissingEntry(entry.to_owned()));
+            }
+            self.symbols.insert(entry.to_owned(), 0);
+        }
+        for (at, label) in &self.fixups {
+            let pos = self.labels[label.0].ok_or(BuildError::UnboundLabel(label.0))?;
+            let ok = self.insts[*at].set_target(pos);
+            debug_assert!(ok, "fixup on targetless instruction");
+        }
+        let entry_pc = self.symbols[entry];
+        Ok(Program::new(self.insts, self.symbols, entry_pc)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        let fwd = b.new_label();
+        b.jmp(fwd); // forward reference
+        let back = b.new_label();
+        b.bind(back);
+        b.emit(Inst::Nop);
+        b.bind(fwd);
+        b.jmp(back); // backward reference
+        b.emit(Inst::Halt);
+        let p = b.finish("main").unwrap();
+        assert_eq!(p.insts()[0], Inst::Jmp { target: 2 });
+        assert_eq!(p.insts()[2], Inst::Jmp { target: 1 });
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.jmp(l);
+        assert!(matches!(b.finish("main"), Err(BuildError::UnboundLabel(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn rebinding_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn empty_program_missing_entry() {
+        let b = ProgramBuilder::new();
+        assert!(matches!(
+            b.finish("main"),
+            Err(BuildError::MissingEntry(_))
+        ));
+    }
+
+    #[test]
+    fn export_registers_symbol() {
+        let mut b = ProgramBuilder::new();
+        b.emit(Inst::Nop);
+        b.export("f");
+        b.emit(Inst::Ret);
+        let p = b.finish("main").unwrap();
+        assert_eq!(p.symbol("f"), Some(1));
+        assert_eq!(p.symbol("main"), Some(0));
+    }
+}

@@ -1,0 +1,349 @@
+//! Binary instruction encoding.
+//!
+//! Instructions encode into a fixed 32-bit word, in one of four formats:
+//!
+//! ```text
+//! R:  [31:26 op] [25:20 rd ] [19:14 rs1] [13:8 rs2] [7:0  0]
+//! I:  [31:26 op] [25:20 rd ] [19:14 rs1] [13:0  imm14 (signed)]
+//! B:  [31:26 op] [25:20 rs1] [19:14 rs2] [13:0  target14 (absolute)]
+//! J:  [31:26 op] [25:0  target26 (absolute)]
+//! ```
+//!
+//! Register fields are 6 bits (bit 5 selects the global register space, see
+//! [`Reg::to_field`]). Immediates are 14-bit signed; larger constants are
+//! synthesised by the builder. Branch targets are absolute instruction
+//! indices, so encodable program units are limited to 2¹⁴ instructions
+//! (2²⁶ for jump/call/spawn) — ample for the workloads studied.
+
+use crate::inst::Inst;
+use crate::reg::Reg;
+use std::fmt;
+
+/// Range of a 14-bit signed immediate.
+pub const IMM14_MIN: i32 = -(1 << 13);
+/// Maximum value of a 14-bit signed immediate.
+pub const IMM14_MAX: i32 = (1 << 13) - 1;
+
+/// Error produced when an instruction cannot be encoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate does not fit the 14-bit signed field.
+    ImmOutOfRange(i32),
+    /// A branch target does not fit its field.
+    TargetOutOfRange(u32),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange(v) => {
+                write!(f, "immediate {v} does not fit in 14 signed bits")
+            }
+            EncodeError::TargetOutOfRange(t) => write!(f, "branch target {t} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Error produced when a word cannot be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode field names no instruction.
+    BadOpcode(u32),
+    /// A register field names an out-of-range register.
+    BadRegister(u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#x}"),
+            DecodeError::BadRegister(field) => write!(f, "invalid register field {field:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Opcode assignments. Kept dense so decode can match exhaustively.
+mod op {
+    pub const ADD: u32 = 0;
+    pub const SUB: u32 = 1;
+    pub const MUL: u32 = 2;
+    pub const DIV: u32 = 3;
+    pub const REM: u32 = 4;
+    pub const AND: u32 = 5;
+    pub const OR: u32 = 6;
+    pub const XOR: u32 = 7;
+    pub const SLL: u32 = 8;
+    pub const SRL: u32 = 9;
+    pub const SRA: u32 = 10;
+    pub const SLT: u32 = 11;
+    pub const SLTU: u32 = 12;
+    pub const SEQ: u32 = 13;
+    pub const ADDI: u32 = 14;
+    pub const ANDI: u32 = 15;
+    pub const ORI: u32 = 16;
+    pub const XORI: u32 = 17;
+    pub const SLLI: u32 = 18;
+    pub const SRLI: u32 = 19;
+    pub const SRAI: u32 = 20;
+    pub const SLTI: u32 = 21;
+    pub const LI: u32 = 22;
+    pub const MV: u32 = 23;
+    pub const LW: u32 = 24;
+    pub const SW: u32 = 25;
+    pub const LWR: u32 = 26;
+    pub const SWR: u32 = 27;
+    pub const BEQ: u32 = 28;
+    pub const BNE: u32 = 29;
+    pub const BLT: u32 = 30;
+    pub const BGE: u32 = 31;
+    pub const JMP: u32 = 32;
+    pub const CALL: u32 = 33;
+    pub const RET: u32 = 34;
+    pub const SPAWN: u32 = 35;
+    pub const HALT: u32 = 36;
+    pub const YIELD: u32 = 37;
+    pub const CHNEW: u32 = 38;
+    pub const CHSEND: u32 = 39;
+    pub const CHRECV: u32 = 40;
+    pub const AMOADD: u32 = 41;
+    pub const SYNCWAIT: u32 = 42;
+    pub const RFREE: u32 = 43;
+    pub const NOP: u32 = 44;
+}
+
+fn imm14(v: i32) -> Result<u32, EncodeError> {
+    if (IMM14_MIN..=IMM14_MAX).contains(&v) {
+        Ok((v as u32) & 0x3FFF)
+    } else {
+        Err(EncodeError::ImmOutOfRange(v))
+    }
+}
+
+fn target14(t: u32) -> Result<u32, EncodeError> {
+    if t < (1 << 14) {
+        Ok(t)
+    } else {
+        Err(EncodeError::TargetOutOfRange(t))
+    }
+}
+
+fn target26(t: u32) -> Result<u32, EncodeError> {
+    if t < (1 << 26) {
+        Ok(t)
+    } else {
+        Err(EncodeError::TargetOutOfRange(t))
+    }
+}
+
+fn fmt_r(opc: u32, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    (opc << 26) | (rd.to_field() << 20) | (rs1.to_field() << 14) | (rs2.to_field() << 8)
+}
+
+fn fmt_i(opc: u32, rd: Reg, rs1: Reg, imm: i32) -> Result<u32, EncodeError> {
+    Ok((opc << 26) | (rd.to_field() << 20) | (rs1.to_field() << 14) | imm14(imm)?)
+}
+
+fn fmt_b(opc: u32, rs1: Reg, rs2: Reg, target: u32) -> Result<u32, EncodeError> {
+    Ok((opc << 26) | (rs1.to_field() << 20) | (rs2.to_field() << 14) | target14(target)?)
+}
+
+fn fmt_j(opc: u32, target: u32) -> Result<u32, EncodeError> {
+    Ok((opc << 26) | target26(target)?)
+}
+
+/// Encodes an instruction into its 32-bit machine word.
+pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
+    use Inst::*;
+    Ok(match *inst {
+        Add { rd, rs1, rs2 } => fmt_r(op::ADD, rd, rs1, rs2),
+        Sub { rd, rs1, rs2 } => fmt_r(op::SUB, rd, rs1, rs2),
+        Mul { rd, rs1, rs2 } => fmt_r(op::MUL, rd, rs1, rs2),
+        Div { rd, rs1, rs2 } => fmt_r(op::DIV, rd, rs1, rs2),
+        Rem { rd, rs1, rs2 } => fmt_r(op::REM, rd, rs1, rs2),
+        And { rd, rs1, rs2 } => fmt_r(op::AND, rd, rs1, rs2),
+        Or { rd, rs1, rs2 } => fmt_r(op::OR, rd, rs1, rs2),
+        Xor { rd, rs1, rs2 } => fmt_r(op::XOR, rd, rs1, rs2),
+        Sll { rd, rs1, rs2 } => fmt_r(op::SLL, rd, rs1, rs2),
+        Srl { rd, rs1, rs2 } => fmt_r(op::SRL, rd, rs1, rs2),
+        Sra { rd, rs1, rs2 } => fmt_r(op::SRA, rd, rs1, rs2),
+        Slt { rd, rs1, rs2 } => fmt_r(op::SLT, rd, rs1, rs2),
+        Sltu { rd, rs1, rs2 } => fmt_r(op::SLTU, rd, rs1, rs2),
+        Seq { rd, rs1, rs2 } => fmt_r(op::SEQ, rd, rs1, rs2),
+        Addi { rd, rs1, imm } => fmt_i(op::ADDI, rd, rs1, imm)?,
+        Andi { rd, rs1, imm } => fmt_i(op::ANDI, rd, rs1, imm)?,
+        Ori { rd, rs1, imm } => fmt_i(op::ORI, rd, rs1, imm)?,
+        Xori { rd, rs1, imm } => fmt_i(op::XORI, rd, rs1, imm)?,
+        Slli { rd, rs1, imm } => fmt_i(op::SLLI, rd, rs1, imm)?,
+        Srli { rd, rs1, imm } => fmt_i(op::SRLI, rd, rs1, imm)?,
+        Srai { rd, rs1, imm } => fmt_i(op::SRAI, rd, rs1, imm)?,
+        Slti { rd, rs1, imm } => fmt_i(op::SLTI, rd, rs1, imm)?,
+        Li { rd, imm } => fmt_i(op::LI, rd, rd, imm)?,
+        Mv { rd, rs1 } => fmt_r(op::MV, rd, rs1, rs1),
+        Lw { rd, base, imm } => fmt_i(op::LW, rd, base, imm)?,
+        Sw { base, src, imm } => fmt_i(op::SW, src, base, imm)?,
+        LwRemote { rd, base, imm } => fmt_i(op::LWR, rd, base, imm)?,
+        SwRemote { base, src, imm } => fmt_i(op::SWR, src, base, imm)?,
+        Beq { rs1, rs2, target } => fmt_b(op::BEQ, rs1, rs2, target)?,
+        Bne { rs1, rs2, target } => fmt_b(op::BNE, rs1, rs2, target)?,
+        Blt { rs1, rs2, target } => fmt_b(op::BLT, rs1, rs2, target)?,
+        Bge { rs1, rs2, target } => fmt_b(op::BGE, rs1, rs2, target)?,
+        Jmp { target } => fmt_j(op::JMP, target)?,
+        Call { target } => fmt_j(op::CALL, target)?,
+        Ret => op::RET << 26,
+        Spawn { target, arg } => {
+            (op::SPAWN << 26) | (arg.to_field() << 20) | target14(target)?
+        }
+        Halt => op::HALT << 26,
+        Yield => op::YIELD << 26,
+        ChNew { rd } => (op::CHNEW << 26) | (rd.to_field() << 20),
+        ChSend { chan, src } => fmt_r(op::CHSEND, chan, src, src),
+        ChRecv { rd, chan } => fmt_r(op::CHRECV, rd, chan, chan),
+        AmoAdd { rd, base, imm } => fmt_i(op::AMOADD, rd, base, imm)?,
+        SyncWait { base, imm } => fmt_i(op::SYNCWAIT, base, base, imm)?,
+        RFree { reg } => (op::RFREE << 26) | (reg.to_field() << 20),
+        Nop => op::NOP << 26,
+    })
+}
+
+fn sext14(field: u32) -> i32 {
+    ((field as i32) << 18) >> 18
+}
+
+fn reg(field: u32) -> Result<Reg, DecodeError> {
+    Reg::from_field(field & 0x3F).ok_or(DecodeError::BadRegister(field & 0x3F))
+}
+
+/// Decodes a 32-bit machine word back into an instruction.
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    use Inst::*;
+    let opc = word >> 26;
+    let rd_f = (word >> 20) & 0x3F;
+    let rs1_f = (word >> 14) & 0x3F;
+    let rs2_f = (word >> 8) & 0x3F;
+    let imm = sext14(word & 0x3FFF);
+    let t14 = word & 0x3FFF;
+    let t26 = word & 0x03FF_FFFF;
+
+    let r3 = || -> Result<(Reg, Reg, Reg), DecodeError> {
+        Ok((reg(rd_f)?, reg(rs1_f)?, reg(rs2_f)?))
+    };
+
+    Ok(match opc {
+        op::ADD => { let (rd, rs1, rs2) = r3()?; Add { rd, rs1, rs2 } }
+        op::SUB => { let (rd, rs1, rs2) = r3()?; Sub { rd, rs1, rs2 } }
+        op::MUL => { let (rd, rs1, rs2) = r3()?; Mul { rd, rs1, rs2 } }
+        op::DIV => { let (rd, rs1, rs2) = r3()?; Div { rd, rs1, rs2 } }
+        op::REM => { let (rd, rs1, rs2) = r3()?; Rem { rd, rs1, rs2 } }
+        op::AND => { let (rd, rs1, rs2) = r3()?; And { rd, rs1, rs2 } }
+        op::OR => { let (rd, rs1, rs2) = r3()?; Or { rd, rs1, rs2 } }
+        op::XOR => { let (rd, rs1, rs2) = r3()?; Xor { rd, rs1, rs2 } }
+        op::SLL => { let (rd, rs1, rs2) = r3()?; Sll { rd, rs1, rs2 } }
+        op::SRL => { let (rd, rs1, rs2) = r3()?; Srl { rd, rs1, rs2 } }
+        op::SRA => { let (rd, rs1, rs2) = r3()?; Sra { rd, rs1, rs2 } }
+        op::SLT => { let (rd, rs1, rs2) = r3()?; Slt { rd, rs1, rs2 } }
+        op::SLTU => { let (rd, rs1, rs2) = r3()?; Sltu { rd, rs1, rs2 } }
+        op::SEQ => { let (rd, rs1, rs2) = r3()?; Seq { rd, rs1, rs2 } }
+        op::ADDI => Addi { rd: reg(rd_f)?, rs1: reg(rs1_f)?, imm },
+        op::ANDI => Andi { rd: reg(rd_f)?, rs1: reg(rs1_f)?, imm },
+        op::ORI => Ori { rd: reg(rd_f)?, rs1: reg(rs1_f)?, imm },
+        op::XORI => Xori { rd: reg(rd_f)?, rs1: reg(rs1_f)?, imm },
+        op::SLLI => Slli { rd: reg(rd_f)?, rs1: reg(rs1_f)?, imm },
+        op::SRLI => Srli { rd: reg(rd_f)?, rs1: reg(rs1_f)?, imm },
+        op::SRAI => Srai { rd: reg(rd_f)?, rs1: reg(rs1_f)?, imm },
+        op::SLTI => Slti { rd: reg(rd_f)?, rs1: reg(rs1_f)?, imm },
+        op::LI => Li { rd: reg(rd_f)?, imm },
+        op::MV => Mv { rd: reg(rd_f)?, rs1: reg(rs1_f)? },
+        op::LW => Lw { rd: reg(rd_f)?, base: reg(rs1_f)?, imm },
+        op::SW => Sw { src: reg(rd_f)?, base: reg(rs1_f)?, imm },
+        op::LWR => LwRemote { rd: reg(rd_f)?, base: reg(rs1_f)?, imm },
+        op::SWR => SwRemote { src: reg(rd_f)?, base: reg(rs1_f)?, imm },
+        op::BEQ => Beq { rs1: reg(rd_f)?, rs2: reg(rs1_f)?, target: t14 },
+        op::BNE => Bne { rs1: reg(rd_f)?, rs2: reg(rs1_f)?, target: t14 },
+        op::BLT => Blt { rs1: reg(rd_f)?, rs2: reg(rs1_f)?, target: t14 },
+        op::BGE => Bge { rs1: reg(rd_f)?, rs2: reg(rs1_f)?, target: t14 },
+        op::JMP => Jmp { target: t26 },
+        op::CALL => Call { target: t26 },
+        op::RET => Ret,
+        op::SPAWN => Spawn { target: t14, arg: reg(rd_f)? },
+        op::HALT => Halt,
+        op::YIELD => Yield,
+        op::CHNEW => ChNew { rd: reg(rd_f)? },
+        op::CHSEND => ChSend { chan: reg(rd_f)?, src: reg(rs1_f)? },
+        op::CHRECV => ChRecv { rd: reg(rd_f)?, chan: reg(rs1_f)? },
+        op::AMOADD => AmoAdd { rd: reg(rd_f)?, base: reg(rs1_f)?, imm },
+        op::SYNCWAIT => SyncWait { base: reg(rs1_f)?, imm },
+        op::RFREE => RFree { reg: reg(rd_f)? },
+        op::NOP => Nop,
+        other => return Err(DecodeError::BadOpcode(other)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    fn roundtrip(i: Inst) {
+        let w = encode(&i).unwrap_or_else(|e| panic!("encode {i}: {e}"));
+        let back = decode(w).unwrap_or_else(|e| panic!("decode {i}: {e}"));
+        assert_eq!(i, back, "word {w:#010x}");
+    }
+
+    #[test]
+    fn roundtrip_representatives() {
+        let r = Reg::R;
+        let g = Reg::G;
+        for i in [
+            Inst::Add { rd: r(1), rs1: r(2), rs2: r(3) },
+            Inst::Sub { rd: g(1), rs1: r(31), rs2: g(0) },
+            Inst::Addi { rd: r(5), rs1: r(5), imm: -8191 },
+            Inst::Li { rd: r(9), imm: 8191 },
+            Inst::Mv { rd: r(0), rs1: g(3) },
+            Inst::Lw { rd: r(7), base: g(0), imm: 44 },
+            Inst::Sw { base: g(0), src: r(7), imm: -44 },
+            Inst::LwRemote { rd: r(2), base: r(3), imm: 0 },
+            Inst::SwRemote { base: r(3), src: r(2), imm: 12 },
+            Inst::Beq { rs1: r(1), rs2: r(2), target: 16383 },
+            Inst::Jmp { target: (1 << 26) - 1 },
+            Inst::Call { target: 1234 },
+            Inst::Ret,
+            Inst::Spawn { target: 99, arg: r(4) },
+            Inst::Halt,
+            Inst::Yield,
+            Inst::ChNew { rd: r(1) },
+            Inst::ChSend { chan: r(1), src: r(2) },
+            Inst::ChRecv { rd: r(3), chan: r(1) },
+            Inst::AmoAdd { rd: r(1), base: r(2), imm: -1 },
+            Inst::SyncWait { base: r(2), imm: 4 },
+            Inst::RFree { reg: r(30) },
+            Inst::Nop,
+        ] {
+            roundtrip(i);
+        }
+    }
+
+    #[test]
+    fn imm_range_checked() {
+        let i = Inst::Addi { rd: Reg::R(0), rs1: Reg::R(0), imm: 8192 };
+        assert_eq!(encode(&i), Err(EncodeError::ImmOutOfRange(8192)));
+        let i = Inst::Li { rd: Reg::R(0), imm: -8193 };
+        assert_eq!(encode(&i), Err(EncodeError::ImmOutOfRange(-8193)));
+    }
+
+    #[test]
+    fn target_range_checked() {
+        let i = Inst::Beq { rs1: Reg::R(0), rs2: Reg::R(0), target: 1 << 14 };
+        assert!(matches!(encode(&i), Err(EncodeError::TargetOutOfRange(_))));
+        let i = Inst::Jmp { target: 1 << 26 };
+        assert!(matches!(encode(&i), Err(EncodeError::TargetOutOfRange(_))));
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert!(matches!(decode(63 << 26), Err(DecodeError::BadOpcode(63))));
+    }
+}

@@ -1,0 +1,45 @@
+//! # nsf-isa — target instruction set for the NSF reproduction
+//!
+//! The paper (Nuth & Dally, HPCA '95) evaluated the Named-State Register
+//! File by cross-compiling Sparc assembly (sequential benchmarks) and TAM
+//! dataflow code (parallel benchmarks) into a register-file simulator. We
+//! replace both with one compact load/store ISA, rich enough to express the
+//! paper's nine benchmarks as real programs:
+//!
+//! * three-operand ALU instructions over 32-bit words (at most two register
+//!   reads and one write per instruction, matching the three-ported register
+//!   files studied in the paper);
+//! * loads/stores against a simulated memory hierarchy, plus *remote* loads
+//!   that incur a multiprocessor round-trip latency and therefore trigger a
+//!   context switch on a block-multithreaded processor;
+//! * procedure `call`/`ret` that allocate and free a fresh register context
+//!   (the paper's "a compiler for a sequential program may allocate a new
+//!   CID for each procedure invocation");
+//! * thread primitives (`spawn`, `halt`, `yield`), message channels
+//!   (`chnew`/`chsend`/`chrecv`) and synchronisation (`amoadd`, `syncwait`)
+//!   modelling TAM-style fine-grain parallelism.
+//!
+//! Two register spaces exist, mirroring Sparc's windowed/global split:
+//! [`Reg::R`] registers are *context-local* — they live in the register file
+//! under study, addressed by `<Context ID : offset>` — while [`Reg::G`]
+//! registers are *thread-global* scratch (stack pointer, return value) that
+//! never touch the studied register file, so they do not perturb the paper's
+//! measurements.
+//!
+//! The crate provides the instruction model ([`Inst`]), a binary
+//! encoder/decoder ([`encode`]), a textual assembler/disassembler ([`asm`]),
+//! and an ergonomic [`builder`] used by the compiler and the hand-written
+//! parallel workloads.
+
+pub mod asm;
+pub mod builder;
+pub mod encode;
+pub mod inst;
+pub mod peephole;
+pub mod program;
+pub mod reg;
+
+pub use builder::ProgramBuilder;
+pub use inst::{Inst, InstClass};
+pub use program::{Program, ProgramError};
+pub use reg::{Reg, NUM_CTX_REGS, NUM_GLOBAL_REGS, RV, SP};

@@ -1,0 +1,183 @@
+//! Peephole cleanup of emitted instruction streams.
+//!
+//! The code generator favours simplicity; this pass removes the slack it
+//! leaves behind, rewriting a [`Program`] without changing its meaning:
+//!
+//! * `mv r, r` and `addi r, r, 0` and `nop`-equivalent shifts by 0 drop;
+//! * `jmp L` where `L` is the next instruction drops;
+//! * branch/jump/call targets are re-pointed through the dropped slots.
+//!
+//! Label symbols are preserved (re-mapped to the surviving positions).
+
+use crate::inst::Inst;
+use crate::program::{Program, ProgramError};
+
+
+/// `true` if `inst` at index `i` has no architectural effect.
+fn is_removable(inst: &Inst, i: usize) -> bool {
+    match *inst {
+        Inst::Nop => true,
+        Inst::Mv { rd, rs1 } => rd == rs1,
+        Inst::Addi { rd, rs1, imm: 0 }
+        | Inst::Ori { rd, rs1, imm: 0 }
+        | Inst::Xori { rd, rs1, imm: 0 }
+        | Inst::Slli { rd, rs1, imm: 0 }
+        | Inst::Srli { rd, rs1, imm: 0 }
+        | Inst::Srai { rd, rs1, imm: 0 } => rd == rs1,
+        Inst::Jmp { target } => target as usize == i + 1,
+        _ => false,
+    }
+}
+
+/// Runs the peephole pass, returning the compacted program and how many
+/// instructions were removed.
+pub fn peephole(p: &Program) -> Result<(Program, usize), ProgramError> {
+    let insts = p.insts();
+    let n = insts.len();
+
+    // Iterate to a fixpoint on the removable set: removing a jump can
+    // make an earlier jump-to-next removable.
+    let mut removable = vec![false; n];
+    loop {
+        // new_index[i] = position of instruction i after compaction, or
+        // the position of the next surviving instruction if i is removed.
+        let mut new_index = vec![0u32; n + 1];
+        let mut cursor = 0u32;
+        for i in 0..n {
+            new_index[i] = cursor;
+            if !removable[i] {
+                cursor += 1;
+            }
+        }
+        new_index[n] = cursor;
+
+        let mut changed = false;
+        for i in 0..n {
+            if removable[i] {
+                continue;
+            }
+            let effective = match insts[i] {
+                // A jump is removable when its *surviving* target equals
+                // the next surviving position.
+                Inst::Jmp { target } => new_index[target as usize] == new_index[i + 1],
+                ref other => is_removable(other, i),
+            };
+            if effective {
+                removable[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut new_index = vec![0u32; n + 1];
+    let mut cursor = 0u32;
+    for i in 0..n {
+        new_index[i] = cursor;
+        if !removable[i] {
+            cursor += 1;
+        }
+    }
+    new_index[n] = cursor;
+
+    let mut out = Vec::with_capacity(cursor as usize);
+    for (i, inst) in insts.iter().enumerate() {
+        if removable[i] {
+            continue;
+        }
+        let mut inst = *inst;
+        if let Some(t) = inst.target() {
+            inst.set_target(new_index[t as usize]);
+        }
+        out.push(inst);
+    }
+
+    let symbols = p
+        .symbols()
+        .iter()
+        .map(|(name, &idx)| (name.clone(), new_index[idx as usize]))
+        .collect();
+    let entry = new_index[p.entry() as usize];
+    let removed = n - out.len();
+    Ok((Program::new(out, symbols, entry)?, removed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::reg::Reg;
+
+    fn opt(src: &str) -> (Program, usize) {
+        peephole(&assemble(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn removes_self_moves_and_identity_arith() {
+        let (p, removed) = opt(
+            "main: mv r0, r0
+                   addi r1, r1, 0
+                   slli r2, r2, 0
+                   nop
+                   mv r0, r1
+                   halt",
+        );
+        assert_eq!(removed, 4);
+        assert_eq!(p.len(), 2);
+        assert!(matches!(p.insts()[0], Inst::Mv { rd: Reg::R(0), rs1: Reg::R(1) }));
+    }
+
+    #[test]
+    fn keeps_effectful_identities() {
+        // addi r1, r2, 0 is a move, not a no-op.
+        let (p, removed) = opt("main: addi r1, r2, 0\n halt");
+        assert_eq!(removed, 0);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn removes_jump_to_next_and_retargets() {
+        let (p, removed) = opt(
+            "main: jmp next
+             next: nop
+                   beq r0, r0, next
+                   halt",
+        );
+        // `jmp next` falls through; `nop` drops; the branch target shifts.
+        assert_eq!(removed, 2);
+        assert!(matches!(p.insts()[0], Inst::Beq { target: 0, .. }));
+        assert_eq!(p.symbol("next"), Some(0));
+    }
+
+    #[test]
+    fn chained_jumps_collapse_to_fixpoint() {
+        // jmp a; a: jmp b; b: halt — both jumps dissolve.
+        let (p, removed) = opt("main: jmp a\n a: jmp b\n b: halt");
+        assert_eq!(removed, 2);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.symbol("b"), Some(0));
+    }
+
+    #[test]
+    fn backward_jumps_survive() {
+        let (p, removed) = opt(
+            "main: li r0, 3
+             top:  addi r0, r0, -1
+                   li r1, 0
+                   bne r0, r1, top
+                   jmp top
+                   halt",
+        );
+        assert_eq!(removed, 0);
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn entry_and_symbols_remap() {
+        let (p, _) = opt("nop\n nop\n main: halt");
+        assert_eq!(p.entry(), 0);
+        assert_eq!(p.symbol("main"), Some(0));
+    }
+}

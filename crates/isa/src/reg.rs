@@ -1,0 +1,174 @@
+//! Register names.
+//!
+//! The ISA exposes two register spaces:
+//!
+//! * **Context registers** `r0..r31` ([`Reg::R`]) — local to the current
+//!   procedure or thread activation. These are the registers held by the
+//!   register file under study; every access goes through the Named-State
+//!   or segmented file and is counted in the paper's statistics.
+//! * **Global registers** `g0..g3` ([`Reg::G`]) — per-*thread* scratch state
+//!   (stack pointer, return value, two temporaries), modelled after Sparc's
+//!   `%g` registers. They live in the thread control block, are switched
+//!   with the thread, and never occupy the studied register file.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of context-local registers addressable per context (`r0..r31`).
+///
+/// This matches the paper: "The width of the offset field determines the
+/// size of the register set (typically 32 registers)."
+pub const NUM_CTX_REGS: u8 = 32;
+
+/// Number of thread-global registers (`g0..g3`).
+pub const NUM_GLOBAL_REGS: u8 = 4;
+
+/// The stack pointer, by convention `g0`.
+pub const SP: Reg = Reg::G(0);
+
+/// The procedure return-value register, by convention `g1`.
+pub const RV: Reg = Reg::G(1);
+
+/// A register operand.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Reg {
+    /// Context-local register `r<n>`, `n < NUM_CTX_REGS`.
+    R(u8),
+    /// Thread-global register `g<n>`, `n < NUM_GLOBAL_REGS`.
+    G(u8),
+}
+
+impl Reg {
+    /// Returns `true` for context-local registers (the ones held in the
+    /// register file being studied).
+    pub fn is_context(self) -> bool {
+        matches!(self, Reg::R(_))
+    }
+
+    /// Returns the register index within its space.
+    pub fn index(self) -> u8 {
+        match self {
+            Reg::R(n) | Reg::G(n) => n,
+        }
+    }
+
+    /// Returns `true` if the register name is within architectural bounds.
+    pub fn is_valid(self) -> bool {
+        match self {
+            Reg::R(n) => n < NUM_CTX_REGS,
+            Reg::G(n) => n < NUM_GLOBAL_REGS,
+        }
+    }
+
+    /// Encodes the register into a 6-bit operand field
+    /// (bit 5 distinguishes global from context registers).
+    pub fn to_field(self) -> u32 {
+        match self {
+            Reg::R(n) => u32::from(n),
+            Reg::G(n) => 0b10_0000 | u32::from(n),
+        }
+    }
+
+    /// Decodes a 6-bit operand field produced by [`Reg::to_field`].
+    ///
+    /// Returns `None` if the field names an out-of-range register.
+    pub fn from_field(field: u32) -> Option<Reg> {
+        let idx = (field & 0b1_1111) as u8;
+        let reg = if field & 0b10_0000 != 0 {
+            Reg::G(idx)
+        } else {
+            Reg::R(idx)
+        };
+        reg.is_valid().then_some(reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::R(n) => write!(f, "r{n}"),
+            Reg::G(n) => write!(f, "g{n}"),
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError(pub String);
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseRegError(s.to_owned());
+        let (kind, num) = s.split_at(1.min(s.len()));
+        let n: u8 = num.parse().map_err(|_| err())?;
+        let reg = match kind {
+            "r" => Reg::R(n),
+            "g" => Reg::G(n),
+            _ => return Err(err()),
+        };
+        if reg.is_valid() {
+            Ok(reg)
+        } else {
+            Err(err())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip() {
+        for r in [Reg::R(0), Reg::R(31), Reg::G(0), Reg::G(3)] {
+            let s = r.to_string();
+            assert_eq!(s.parse::<Reg>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn field_roundtrip() {
+        for n in 0..NUM_CTX_REGS {
+            let r = Reg::R(n);
+            assert_eq!(Reg::from_field(r.to_field()), Some(r));
+        }
+        for n in 0..NUM_GLOBAL_REGS {
+            let g = Reg::G(n);
+            assert_eq!(Reg::from_field(g.to_field()), Some(g));
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!("r32".parse::<Reg>().is_err());
+        assert!("g4".parse::<Reg>().is_err());
+        assert!("x1".parse::<Reg>().is_err());
+        assert!("r".parse::<Reg>().is_err());
+        assert!("".parse::<Reg>().is_err());
+        assert_eq!(Reg::from_field(0b10_0100), None); // g4
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Reg::R(5).is_context());
+        assert!(!SP.is_context());
+        assert_eq!(SP, Reg::G(0));
+        assert_eq!(RV, Reg::G(1));
+    }
+}

@@ -1,0 +1,58 @@
+//! The assembler must never panic: arbitrary text yields `Ok` or a typed
+//! error with a line number, and valid programs keep round-tripping.
+
+use nsf_isa::asm::{assemble, disassemble};
+use proptest::prelude::*;
+
+proptest! {
+    /// Totally arbitrary input never panics the assembler.
+    #[test]
+    fn arbitrary_text_never_panics(src in ".{0,400}") {
+        let _ = assemble(&src);
+    }
+
+    /// Assembly-shaped noise (mnemonic-ish tokens, registers, numbers,
+    /// punctuation) never panics either, and errors carry a 1-based line.
+    #[test]
+    fn assembly_shaped_noise_never_panics(
+        lines in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "add r1, r2, r3",
+                "add r1, r2",
+                "addi r1, r2, 99999999999",
+                "lw r1, (r2",
+                "lw r1, 4(g9)",
+                "beq r1, r2, nowhere",
+                "label:",
+                "label: label:",
+                "x: jmp x",
+                "spawn x, r0, r1",
+                "; comment only",
+                "rfree",
+                "syncwait r1",
+                "li r0, -0x10",
+                "halt extra",
+            ]),
+            0..12,
+        )
+    ) {
+        let src = lines.join("\n");
+        match assemble(&src) {
+            Ok(p) => prop_assert!(p.validate().is_ok()),
+            Err(e) => prop_assert!(e.line <= lines.len().max(1)),
+        }
+    }
+}
+
+#[test]
+fn isa_reference_example_assembles_and_runs_in_docs() {
+    // Keep the example in docs/ISA.md honest.
+    let doc = include_str!("../../../docs/ISA.md");
+    let start = doc.find("```asm").expect("asm block present") + 7;
+    let end = doc[start..].find("```").expect("closed block") + start;
+    let program = assemble(&doc[start..end]).expect("ISA.md example assembles");
+    assert!(program.symbol("double").is_some());
+    // Round trip it too.
+    let again = assemble(&disassemble(&program)).unwrap();
+    assert_eq!(program.insts(), again.insts());
+}

@@ -1,0 +1,38 @@
+//! # nsf-mem — the memory hierarchy substrate
+//!
+//! The paper's processor (Figure 4) sees three storage levels:
+//!
+//! 1. the register file under study (in `nsf-core`),
+//! 2. a **data cache** in front of
+//! 3. **main memory**, both addressed by virtual addresses,
+//!
+//! plus the **Ctable**, a short indexed table translating a Context ID to
+//! the virtual base address of that context's backing store, "allowing the
+//! NSF to spill registers directly into the data cache".
+//!
+//! This crate provides all three below-register levels:
+//!
+//! * [`MainMemory`] — a sparse, word-addressed 32-bit memory (functional
+//!   storage; all values live here);
+//! * [`Cache`] — a set-associative, write-back, write-allocate *timing*
+//!   model layered over main memory (tags and replacement state only; data
+//!   stays in [`MainMemory`], which is exact for a uniprocessor);
+//! * [`Ctable`] — the CID → virtual-address translation table;
+//! * [`MemSystem`] — the composition, returning access latencies in cycles
+//!   that the simulator charges to the running thread.
+
+pub mod cache;
+pub mod ctable;
+pub mod memory;
+pub mod system;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use ctable::{Ctable, CtableError};
+pub use memory::MainMemory;
+pub use system::{MemConfig, MemSystem};
+
+/// Machine word: the paper's register files store 32-bit registers.
+pub type Word = u32;
+
+/// Word-granularity virtual address.
+pub type Addr = u32;

@@ -1,0 +1,116 @@
+//! Sparse main memory.
+
+use crate::{Addr, Word};
+use std::collections::HashMap;
+
+const PAGE_WORDS: usize = 1024;
+const PAGE_SHIFT: u32 = 10;
+
+/// A sparse, word-addressed main memory.
+///
+/// Pages are allocated lazily on first touch; unwritten words read as zero,
+/// like freshly mapped pages. This is the *functional* home of all data —
+/// the [`crate::Cache`] in front of it models timing only.
+#[derive(Default)]
+pub struct MainMemory {
+    pages: HashMap<u32, Box<[Word; PAGE_WORDS]>>,
+    reads: u64,
+    writes: u64,
+}
+
+impl MainMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the word at `addr` (zero if never written).
+    pub fn read(&mut self, addr: Addr) -> Word {
+        self.reads += 1;
+        let page = addr >> PAGE_SHIFT;
+        let off = (addr as usize) & (PAGE_WORDS - 1);
+        self.pages.get(&page).map_or(0, |p| p[off])
+    }
+
+    /// Reads without touching access statistics (for debugging/inspection).
+    pub fn peek(&self, addr: Addr) -> Word {
+        let page = addr >> PAGE_SHIFT;
+        let off = (addr as usize) & (PAGE_WORDS - 1);
+        self.pages.get(&page).map_or(0, |p| p[off])
+    }
+
+    /// Writes `value` at `addr`, allocating the page if needed.
+    pub fn write(&mut self, addr: Addr, value: Word) {
+        self.writes += 1;
+        let page = addr >> PAGE_SHIFT;
+        let off = (addr as usize) & (PAGE_WORDS - 1);
+        self.pages.entry(page).or_insert_with(|| Box::new([0; PAGE_WORDS]))[off] = value;
+    }
+
+    /// Writes a slice of words starting at `addr`.
+    pub fn write_block(&mut self, addr: Addr, values: &[Word]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write(addr + i as Addr, v);
+        }
+    }
+
+    /// Reads `len` words starting at `addr`.
+    pub fn read_block(&mut self, addr: Addr, len: usize) -> Vec<Word> {
+        (0..len).map(|i| self.read(addr + i as Addr)).collect()
+    }
+
+    /// Total word reads performed.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total word writes performed.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of resident (touched) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let mut m = MainMemory::new();
+        assert_eq!(m.read(0), 0);
+        assert_eq!(m.read(u32::MAX), 0);
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut m = MainMemory::new();
+        m.write(1234, 0xDEAD_BEEF);
+        assert_eq!(m.read(1234), 0xDEAD_BEEF);
+        assert_eq!(m.peek(1234), 0xDEAD_BEEF);
+        assert_eq!(m.read(1235), 0);
+    }
+
+    #[test]
+    fn blocks_roundtrip_across_page_boundary() {
+        let mut m = MainMemory::new();
+        let base = (PAGE_WORDS - 2) as Addr; // straddles pages 0 and 1
+        m.write_block(base, &[1, 2, 3, 4]);
+        assert_eq!(m.read_block(base, 4), vec![1, 2, 3, 4]);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn stats_count() {
+        let mut m = MainMemory::new();
+        m.write(0, 1);
+        m.read(0);
+        m.read(1);
+        assert_eq!(m.writes(), 1);
+        assert_eq!(m.reads(), 2);
+    }
+}

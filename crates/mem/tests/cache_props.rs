@@ -1,0 +1,86 @@
+//! Property tests of the data-cache timing model.
+
+use nsf_mem::{Cache, CacheConfig};
+use proptest::prelude::*;
+
+fn small_cache() -> Cache {
+    Cache::new(CacheConfig {
+        capacity_words: 64,
+        line_words: 4,
+        ways: 2,
+        hit_cycles: 1,
+        miss_penalty: 10,
+    })
+}
+
+fn arb_accesses() -> impl Strategy<Value = Vec<(u32, bool)>> {
+    proptest::collection::vec((0u32..256, any::<bool>()), 1..300)
+}
+
+proptest! {
+    /// hits + misses always equals accesses; writebacks never exceed
+    /// misses (only an evicted fill can be dirty).
+    #[test]
+    fn stats_invariants(ops in arb_accesses()) {
+        let mut c = small_cache();
+        for (addr, write) in ops {
+            c.access(addr, write);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert!(s.writebacks <= s.misses);
+        prop_assert!((0.0..=1.0).contains(&s.miss_ratio()));
+    }
+
+    /// Immediately re-accessing the same address always hits at the hit
+    /// latency (temporal locality is never punished).
+    #[test]
+    fn back_to_back_hits(ops in arb_accesses()) {
+        let mut c = small_cache();
+        for (addr, write) in ops {
+            c.access(addr, write);
+            prop_assert_eq!(c.access(addr, false), 1, "address {}", addr);
+        }
+    }
+
+    /// Latencies only take the three architecturally possible values:
+    /// hit, miss-fill, miss-fill + writeback.
+    #[test]
+    fn latency_values_are_structural(ops in arb_accesses()) {
+        let mut c = small_cache();
+        for (addr, write) in ops {
+            let cycles = c.access(addr, write);
+            prop_assert!(
+                cycles == 1 || cycles == 11 || cycles == 21,
+                "unexpected latency {cycles}"
+            );
+        }
+    }
+
+    /// A working set no larger than one set's associativity never
+    /// conflicts: after the first touch, everything hits forever.
+    #[test]
+    fn within_associativity_no_thrash(rounds in 1usize..10) {
+        let mut c = small_cache();
+        // Two lines in the same set (set count = 8): line addrs 0 and 8.
+        let a = 0u32;
+        let b = 8 * 4;
+        c.access(a, false);
+        c.access(b, false);
+        for _ in 0..rounds {
+            prop_assert_eq!(c.access(a, false), 1);
+            prop_assert_eq!(c.access(b, false), 1);
+        }
+    }
+
+    /// The model is deterministic: same access string, same stats.
+    #[test]
+    fn deterministic(ops in arb_accesses()) {
+        let run = |ops: &[(u32, bool)]| {
+            let mut c = small_cache();
+            let cycles: Vec<u32> = ops.iter().map(|&(a, w)| c.access(a, w)).collect();
+            (cycles, c.stats())
+        };
+        prop_assert_eq!(run(&ops), run(&ops));
+    }
+}

@@ -1,0 +1,164 @@
+//! Message channels with delivery latency.
+//!
+//! A channel is an unbounded FIFO of `(value, available_at)` pairs. Sends
+//! are fire-and-forget; the message becomes receivable only after the
+//! network delivery delay, modelling the inter-processor latency the paper
+//! cites ("each of which may require a round trip latency of more than 100
+//! instruction cycles").
+
+use nsf_mem::Word;
+use std::collections::VecDeque;
+
+/// A channel identifier, as stored in a register.
+pub type ChanId = u32;
+
+/// All channels of a machine.
+#[derive(Debug, Default)]
+pub struct ChannelTable {
+    chans: Vec<VecDeque<(Word, u64)>>,
+    /// Per-channel capacity; `None` = unbounded.
+    caps: Vec<Option<u32>>,
+}
+
+impl ChannelTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh unbounded channel.
+    pub fn create(&mut self) -> ChanId {
+        self.create_with_capacity(None)
+    }
+
+    /// Allocates a channel; `Some(cap)` bounds the number of in-flight
+    /// (undelivered or unconsumed) messages, and senders must wait for
+    /// space — hardware-style backpressure.
+    pub fn create_with_capacity(&mut self, cap: Option<u32>) -> ChanId {
+        self.chans.push(VecDeque::new());
+        self.caps.push(cap);
+        (self.chans.len() - 1) as ChanId
+    }
+
+    /// `true` if `chan` can accept another message right now.
+    pub fn has_space(&self, chan: ChanId) -> bool {
+        match self.caps[chan as usize] {
+            Some(cap) => (self.chans[chan as usize].len() as u32) < cap,
+            None => true,
+        }
+    }
+
+    /// Enqueues if the channel has space; `false` means the sender must
+    /// wait.
+    pub fn try_send(&mut self, chan: ChanId, value: Word, available_at: u64) -> bool {
+        if !self.has_space(chan) {
+            return false;
+        }
+        self.chans[chan as usize].push_back((value, available_at));
+        true
+    }
+
+    /// `true` if `chan` names an allocated channel.
+    pub fn is_valid(&self, chan: ChanId) -> bool {
+        (chan as usize) < self.chans.len()
+    }
+
+    /// Enqueues `value`, deliverable at cycle `available_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unallocated channel id — the simulator validates ids
+    /// before calling.
+    pub fn send(&mut self, chan: ChanId, value: Word, available_at: u64) {
+        self.chans[chan as usize].push_back((value, available_at));
+    }
+
+    /// Pops the front message if it has been delivered by cycle `now`.
+    pub fn try_recv(&mut self, chan: ChanId, now: u64) -> Option<Word> {
+        let q = &mut self.chans[chan as usize];
+        match q.front() {
+            Some(&(_, at)) if at <= now => q.pop_front().map(|(v, _)| v),
+            _ => None,
+        }
+    }
+
+    /// The earliest delivery time of a pending message on `chan`, if any.
+    pub fn next_delivery(&self, chan: ChanId) -> Option<u64> {
+        self.chans[chan as usize].front().map(|&(_, at)| at)
+    }
+
+    /// Total undelivered + unconsumed messages (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.chans.iter().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_with_latency() {
+        let mut t = ChannelTable::new();
+        let c = t.create();
+        t.send(c, 10, 100);
+        t.send(c, 20, 50); // enqueued second, delivered earlier — still FIFO
+        assert_eq!(t.try_recv(c, 99), None, "head not yet delivered");
+        assert_eq!(t.try_recv(c, 100), Some(10));
+        assert_eq!(t.try_recv(c, 100), Some(20));
+        assert_eq!(t.try_recv(c, 100), None);
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut t = ChannelTable::new();
+        let a = t.create();
+        let b = t.create();
+        t.send(a, 1, 0);
+        assert_eq!(t.try_recv(b, 10), None);
+        assert_eq!(t.try_recv(a, 10), Some(1));
+    }
+
+    #[test]
+    fn next_delivery_reports_head() {
+        let mut t = ChannelTable::new();
+        let c = t.create();
+        assert_eq!(t.next_delivery(c), None);
+        t.send(c, 5, 42);
+        assert_eq!(t.next_delivery(c), Some(42));
+        assert_eq!(t.pending(), 1);
+    }
+
+    #[test]
+    fn bounded_channels_apply_backpressure() {
+        let mut t = ChannelTable::new();
+        let c = t.create_with_capacity(Some(2));
+        assert!(t.has_space(c));
+        assert!(t.try_send(c, 1, 0));
+        assert!(t.try_send(c, 2, 0));
+        assert!(!t.has_space(c));
+        assert!(!t.try_send(c, 3, 0), "third send must wait");
+        assert_eq!(t.try_recv(c, 10), Some(1));
+        assert!(t.has_space(c), "consuming frees space");
+        assert!(t.try_send(c, 3, 0));
+    }
+
+    #[test]
+    fn unbounded_channels_never_block() {
+        let mut t = ChannelTable::new();
+        let c = t.create();
+        for i in 0..1000 {
+            assert!(t.try_send(c, i, 0));
+        }
+        assert!(t.has_space(c));
+    }
+
+    #[test]
+    fn validity() {
+        let mut t = ChannelTable::new();
+        assert!(!t.is_valid(0));
+        let c = t.create();
+        assert!(t.is_valid(c));
+        assert!(!t.is_valid(c + 1));
+    }
+}

@@ -1,0 +1,28 @@
+//! # nsf-runtime — threads, scheduling, messages and synchronisation
+//!
+//! The paper's parallel benchmarks run on a **block-multithreaded**
+//! processor (§3): a thread issues until it reaches a long-latency event —
+//! a remote access, an empty channel, an unsatisfied join counter — then
+//! the processor switches to another ready thread instead of stalling
+//! (Figure 1). This crate provides the machinery *around* the pipeline:
+//!
+//! * [`Thread`] — architectural thread state: program counter, current
+//!   Context ID, the procedure call stack of `(return pc, caller CID)`
+//!   pairs, and the four thread-global registers (`g0` = stack pointer,
+//!   `g1` = return value);
+//! * [`Scheduler`] — ready queue (round-robin), blocked set with wake
+//!   conditions, Context-ID allocation and per-thread stack carving;
+//! * [`ChannelTable`] — message channels with a delivery latency, the
+//!   vehicle for the "fine grain programs send messages every 75 to 100
+//!   instructions" behaviour the paper measures.
+//!
+//! The processor model in `nsf-sim` drives these structures; they contain
+//! no instruction semantics themselves.
+
+pub mod channel;
+pub mod sched;
+pub mod thread;
+
+pub use channel::{ChanId, ChannelTable};
+pub use sched::{SchedDecision, Scheduler, SchedulerConfig, SchedulerError};
+pub use thread::{BlockReason, Thread, ThreadId, ThreadState};

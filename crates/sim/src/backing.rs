@@ -1,0 +1,152 @@
+//! The register backing store: Ctable translation over the data cache.
+//!
+//! Paper Figure 4: spilled registers live in per-context save areas in
+//! virtual memory; the Ctable translates a Context ID to the save area's
+//! base, and the transfers go **through the data cache**, so register
+//! traffic and program data contend for the same lines.
+//!
+//! The hardware keeps one presence bit per backed register (the valid bits
+//! of the save frame); [`BackingMap`] holds them, since raw memory cannot
+//! distinguish "spilled zero" from "never spilled".
+
+use nsf_core::{BackingStore, Cid, StoreFault, Word};
+use nsf_mem::MemSystem;
+use std::collections::HashMap;
+
+/// Per-context presence bits for backed registers (up to 64 per context).
+#[derive(Debug, Default)]
+pub struct BackingMap {
+    present: HashMap<Cid, u64>,
+}
+
+impl BackingMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of contexts with any backed register (diagnostics).
+    pub fn contexts(&self) -> usize {
+        self.present.len()
+    }
+}
+
+/// A [`BackingStore`] view combining the memory system and presence bits.
+/// Construct one per register file operation; it borrows both halves.
+pub struct CtableBacking<'a> {
+    /// The memory hierarchy (provides the Ctable and the data cache).
+    pub mem: &'a mut MemSystem,
+    /// Presence bits.
+    pub map: &'a mut BackingMap,
+}
+
+impl BackingStore for CtableBacking<'_> {
+    fn spill(&mut self, cid: Cid, offset: u8, value: Word) -> Result<u32, StoreFault> {
+        let addr = self
+            .mem
+            .ctable()
+            .reg_addr(cid, offset)
+            .map_err(|_| StoreFault::Unmapped(cid))?;
+        let cycles = self.mem.store(addr, value);
+        *self.map.present.entry(cid).or_insert(0) |= 1 << offset;
+        Ok(cycles)
+    }
+
+    fn reload(&mut self, cid: Cid, offset: u8) -> Result<(Option<Word>, u32), StoreFault> {
+        let addr = self
+            .mem
+            .ctable()
+            .reg_addr(cid, offset)
+            .map_err(|_| StoreFault::Unmapped(cid))?;
+        // The transfer happens regardless of presence — hardware reads the
+        // save slot either way — but only present registers carry data.
+        let (value, cycles) = self.mem.load(addr);
+        let present = self
+            .map
+            .present
+            .get(&cid)
+            .is_some_and(|bits| bits & (1 << offset) != 0);
+        Ok((present.then_some(value), cycles))
+    }
+
+    fn is_present(&self, cid: Cid, offset: u8) -> bool {
+        self.map
+            .present
+            .get(&cid)
+            .is_some_and(|bits| bits & (1 << offset) != 0)
+    }
+
+    fn any_present(&self, cid: Cid) -> bool {
+        self.map.present.get(&cid).is_some_and(|&bits| bits != 0)
+    }
+
+    fn discard_context(&mut self, cid: Cid) {
+        self.map.present.remove(&cid);
+    }
+
+    fn discard_reg(&mut self, cid: Cid, offset: u8) {
+        if let Some(bits) = self.map.present.get_mut(&cid) {
+            *bits &= !(1 << offset);
+            if *bits == 0 {
+                self.map.present.remove(&cid);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsf_mem::MemConfig;
+
+    fn setup() -> (MemSystem, BackingMap) {
+        let mut mem = MemSystem::new(MemConfig::default());
+        mem.ctable_mut().map(3, 0x9000);
+        (mem, BackingMap::new())
+    }
+
+    #[test]
+    fn spill_reload_through_cache() {
+        let (mut mem, mut map) = setup();
+        let mut b = CtableBacking { mem: &mut mem, map: &mut map };
+        let c1 = b.spill(3, 2, 77).unwrap();
+        assert!(c1 >= 1);
+        assert!(b.is_present(3, 2));
+        let (v, _) = b.reload(3, 2).unwrap();
+        assert_eq!(v, Some(77));
+        // The data physically lives at ctable(3) + 2.
+        assert_eq!(mem.peek(0x9002), 77);
+        assert!(mem.dcache_stats().accesses >= 2, "traffic goes through the cache");
+    }
+
+    #[test]
+    fn absent_register_reloads_no_data() {
+        let (mut mem, mut map) = setup();
+        let mut b = CtableBacking { mem: &mut mem, map: &mut map };
+        let (v, cycles) = b.reload(3, 5).unwrap();
+        assert_eq!(v, None);
+        assert!(cycles >= 1, "the transfer still costs memory cycles");
+    }
+
+    #[test]
+    fn unmapped_context_faults() {
+        let (mut mem, mut map) = setup();
+        let mut b = CtableBacking { mem: &mut mem, map: &mut map };
+        assert_eq!(b.spill(9, 0, 1), Err(StoreFault::Unmapped(9)));
+        assert!(matches!(b.reload(9, 0), Err(StoreFault::Unmapped(9))));
+    }
+
+    #[test]
+    fn discards_clear_presence() {
+        let (mut mem, mut map) = setup();
+        let mut b = CtableBacking { mem: &mut mem, map: &mut map };
+        b.spill(3, 0, 1).unwrap();
+        b.spill(3, 1, 2).unwrap();
+        b.discard_reg(3, 0);
+        assert!(!b.is_present(3, 0));
+        assert!(b.any_present(3));
+        b.discard_context(3);
+        assert!(!b.any_present(3));
+        assert_eq!(map.contexts(), 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Simulator configuration.
+
+use nsf_core::{
+    segmented::FramePolicy, ConventionalFile, NamedStateFile, NsfConfig, OracleFile,
+    RegisterFile, SegmentedConfig, SpillEngine, WindowedConfig, WindowedFile,
+};
+use nsf_mem::{Addr, MemConfig};
+use nsf_runtime::SchedulerConfig;
+
+/// Which register file organization the processor uses.
+#[derive(Clone, Copy, Debug)]
+pub enum RegFileSpec {
+    /// The Named-State Register File.
+    Nsf(NsfConfig),
+    /// A segmented (multithreaded baseline) file.
+    Segmented(SegmentedConfig),
+    /// A conventional single-context file.
+    Conventional {
+        /// Registers in the file.
+        regs: u8,
+        /// Spill machinery for context switches.
+        engine: SpillEngine,
+    },
+    /// A SPARC-style windowed file (overflow/underflow traps, full flush
+    /// on thread switch) — the related-work baseline of paper §5.
+    Windowed(WindowedConfig),
+    /// The infinite oracle (differential testing).
+    Oracle,
+}
+
+impl RegFileSpec {
+    /// Instantiates the organization.
+    pub fn build(&self) -> Box<dyn RegisterFile> {
+        match *self {
+            RegFileSpec::Nsf(cfg) => Box::new(NamedStateFile::new(cfg)),
+            RegFileSpec::Segmented(cfg) => Box::new(SegmentedFile::new(cfg)),
+            RegFileSpec::Conventional { regs, engine } => {
+                Box::new(ConventionalFile::with_engine(regs, engine))
+            }
+            RegFileSpec::Windowed(cfg) => Box::new(WindowedFile::new(cfg)),
+            RegFileSpec::Oracle => Box::new(OracleFile::new()),
+        }
+    }
+
+    /// The paper's NSF reference point: `total` registers, 1-register
+    /// lines, LRU, demand reload.
+    pub fn paper_nsf(total: u32) -> Self {
+        RegFileSpec::Nsf(NsfConfig::paper_default(total))
+    }
+
+    /// The paper's segmented reference point: `frames` frames of
+    /// `frame_regs`, full-frame transfers, hardware assist.
+    pub fn paper_segmented(frames: u32, frame_regs: u8) -> Self {
+        RegFileSpec::Segmented(SegmentedConfig::paper_default(frames, frame_regs))
+    }
+
+    /// A SPARC-like windowed file: 8 windows, software trap handlers.
+    pub fn sparc_windows(window_regs: u8) -> Self {
+        RegFileSpec::Windowed(WindowedConfig::sparc_like(window_regs))
+    }
+
+    /// Segmented with per-register valid bits (the "live registers only"
+    /// variant of §7.3).
+    pub fn segmented_valid_only(frames: u32, frame_regs: u8) -> Self {
+        let mut cfg = SegmentedConfig::paper_default(frames, frame_regs);
+        cfg.policy = FramePolicy::ValidOnly;
+        RegFileSpec::Segmented(cfg)
+    }
+}
+
+use nsf_core::SegmentedFile;
+
+/// Per-class instruction latencies, in cycles. Calibrated to the Sparc-2
+/// class timings the paper used ("The instruction and memory access times
+/// were taken from a Sparc2 processor emulator").
+#[derive(Clone, Copy, Debug)]
+pub struct CycleTable {
+    /// ALU / register-move instructions.
+    pub alu: u32,
+    /// Branches and jumps.
+    pub control: u32,
+    /// Extra cycle when a branch is taken (pipeline refill).
+    pub taken_extra: u32,
+    /// Base cost of a memory instruction (the cache adds its latency).
+    pub mem_base: u32,
+    /// Thread management / channel instructions.
+    pub thread_op: u32,
+    /// `call`/`ret` base cost (context allocation bookkeeping).
+    pub proc_op: u32,
+    /// Hints and no-ops.
+    pub misc: u32,
+    /// Pipeline drain/refill cost of switching between threads.
+    pub switch_overhead: u32,
+}
+
+impl Default for CycleTable {
+    fn default() -> Self {
+        CycleTable {
+            alu: 1,
+            control: 1,
+            taken_extra: 1,
+            mem_base: 1,
+            thread_op: 2,
+            proc_op: 2,
+            misc: 1,
+            switch_overhead: 2,
+        }
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Register file organization.
+    pub regfile: RegFileSpec,
+    /// Memory hierarchy parameters.
+    pub mem: MemConfig,
+    /// Scheduler limits.
+    pub sched: SchedulerConfig,
+    /// Instruction latencies.
+    pub cycles: CycleTable,
+    /// Round-trip latency of a remote load, in cycles (paper: "more than
+    /// 100 instruction cycles").
+    pub remote_latency: u32,
+    /// One-way message delivery latency, in cycles.
+    pub msg_latency: u32,
+    /// Occupancy sampling period, in instructions.
+    pub sample_interval: u64,
+    /// Hard instruction budget (guards against runaway programs).
+    pub max_instructions: u64,
+    /// Optional scheduling quantum in instructions. `None` (the paper's
+    /// model) is pure block multithreading: a thread runs until it
+    /// blocks. `Some(n)` additionally preempts after `n` instructions
+    /// when another thread is ready, approximating the interleaved
+    /// multithreading of HEP/Tera-class machines (paper §3: "processors
+    /// may interleave successive instructions from different threads").
+    pub quantum: Option<u64>,
+    /// Base virtual address of the register backing-store arena; context
+    /// `c`'s save area starts at `backing_base + c * 64`.
+    pub backing_base: Addr,
+    /// Depth of the post-mortem execution trace ring (0 = disabled).
+    pub trace_depth: usize,
+    /// Capacity applied to every channel created by `chnew`: `None`
+    /// (default) gives unbounded software queues; `Some(n)` models
+    /// hardware message queues of `n` entries with sender backpressure.
+    pub channel_capacity: Option<u32>,
+    /// Optional instruction cache. `None` (the paper's model) assumes
+    /// ideal fetch; `Some(cfg)` charges the miss penalty of a fetch
+    /// through this cache on top of the pipelined hit path.
+    pub icache: Option<nsf_mem::CacheConfig>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            regfile: RegFileSpec::paper_nsf(128),
+            mem: MemConfig::default(),
+            sched: SchedulerConfig::default(),
+            cycles: CycleTable::default(),
+            remote_latency: 100,
+            msg_latency: 50,
+            sample_interval: 16,
+            max_instructions: 500_000_000,
+            quantum: None,
+            backing_base: 0x4000_0000,
+            trace_depth: 0,
+            channel_capacity: None,
+            icache: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A config with everything default except the register file.
+    pub fn with_regfile(regfile: RegFileSpec) -> Self {
+        SimConfig { regfile, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_build_the_right_organization() {
+        assert!(RegFileSpec::paper_nsf(128).build().describe().contains("NSF"));
+        assert!(RegFileSpec::paper_segmented(4, 32)
+            .build()
+            .describe()
+            .contains("Segmented"));
+        let conv = RegFileSpec::Conventional { regs: 32, engine: SpillEngine::hardware() };
+        assert!(conv.build().describe().contains("Conventional"));
+        assert!(RegFileSpec::Oracle.build().describe().contains("Oracle"));
+    }
+
+    #[test]
+    fn default_matches_paper_parallel_setup() {
+        let c = SimConfig::default();
+        assert_eq!(c.remote_latency, 100);
+        assert!(matches!(c.regfile, RegFileSpec::Nsf(n) if n.total_regs == 128));
+    }
+}

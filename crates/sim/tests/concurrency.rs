@@ -1,0 +1,186 @@
+//! Concurrency-semantics tests: channel contention, remote memory
+//! visibility, scheduling fairness.
+
+use nsf_isa::asm::assemble;
+use nsf_mem::{Addr, Word};
+use nsf_sim::{Machine, RunReport, SimConfig};
+
+fn run_and_peek(src: &str, addrs: &[Addr]) -> (RunReport, Vec<Word>) {
+    let p = assemble(src).expect("assembles");
+    let mut m = Machine::new(p, SimConfig::default()).unwrap();
+    let r = m.run_and_keep().expect("runs");
+    let vals = addrs.iter().map(|&a| m.mem.peek(a)).collect();
+    (r, vals)
+}
+
+#[test]
+fn two_receivers_share_one_channel_without_losing_messages() {
+    // Producer sends 6 messages; two consumers each take what they can
+    // and add it to a shared total. Every message must be consumed
+    // exactly once regardless of wake order (blocked receives
+    // re-execute).
+    let (_, vals) = run_and_peek(
+        "main:
+            chnew r0
+            li r1, 4000
+            sw r0, (r1)           ; publish channel
+            li r2, 7000
+            li r3, 6
+            sw r3, (r2)           ; remaining-messages counter
+            li r9, 2
+            li r10, 7002
+            sw r9, (r10)          ; consumer join
+            spawn consumer, r1
+            spawn consumer, r1
+            li r4, 0
+        produce:
+            bge r4, r3, wait
+            addi r5, r4, 10       ; message payload: 10..15
+            chsend r0, r5
+            addi r4, r4, 1
+            jmp produce
+        wait:
+            syncwait (r10)
+            halt
+        consumer:
+            mv r0, g1
+            lw r1, (r0)           ; channel id
+            li r2, 7000
+            li r3, 7001
+            li r8, 7002
+        take:
+            lw r4, (r2)
+            li r5, 0
+            beq r4, r5, done      ; nothing left to take
+            chrecv r6, r1
+            amoadd r7, -1(r2)     ; claim one message
+            lw r7, (r3)
+            add r7, r7, r6
+            sw r7, (r3)           ; total += payload
+            jmp take
+        done:
+            amoadd r9, -1(r8)
+            halt",
+        &[7001, 7000],
+    );
+    assert_eq!(vals[0], (10..16).sum::<u32>(), "all six payloads consumed once");
+    assert_eq!(vals[1], 0);
+}
+
+#[test]
+fn remote_store_is_visible_to_later_local_loads() {
+    let (_, vals) = run_and_peek(
+        "main:
+            li r0, 5000
+            li r1, 77
+            swr r1, (r0)
+            lw r2, (r0)
+            li r3, 5001
+            sw r2, (r3)
+            halt",
+        &[5001],
+    );
+    assert_eq!(vals[0], 77);
+}
+
+#[test]
+fn remote_load_returns_value_at_issue_time() {
+    // Documented memory model: a remote load snapshots the value when it
+    // issues, not when it completes. Another thread overwrites the word
+    // while the round trip is in flight.
+    let (_, vals) = run_and_peek(
+        "main:
+            li r0, 5000
+            li r1, 111
+            sw r1, (r0)
+            li r2, 0
+            spawn overwriter, r2
+            lwr r3, (r0)          ; issues with value 111; blocks ~100cy
+            li r4, 5002
+            sw r3, (r4)
+            halt
+        overwriter:
+            li r0, 5000
+            li r1, 222
+            sw r1, (r0)
+            halt",
+        &[5002],
+    );
+    assert_eq!(vals[0], 111, "issue-time snapshot semantics");
+}
+
+#[test]
+fn round_robin_is_fair_across_yielding_threads() {
+    // Three yielding threads append their ids to a log; the log must
+    // interleave strictly 1,2,3,1,2,3,... under round-robin.
+    let (_, vals) = run_and_peek(
+        "main:
+            li r9, 3
+            li r8, 7100
+            sw r9, (r8)
+            li r0, 1
+            spawn worker, r0
+            li r0, 2
+            spawn worker, r0
+            li r0, 3
+            spawn worker, r0
+            syncwait (r8)
+            halt
+        worker:
+            mv r0, g1             ; my id
+            li r1, 7200           ; log cursor cell
+            li r2, 0              ; round
+            li r3, 4
+        loop:
+            bge r2, r3, done
+            amoadd r4, 1(r1)      ; claim a log slot (returns old cursor)
+            li r5, 7300
+            add r5, r5, r4
+            sw r0, (r5)           ; log[slot] = id
+            addi r2, r2, 1
+            yield
+            jmp loop
+        done:
+            li r6, 7100
+            amoadd r7, -1(r6)
+            halt",
+        &[7300, 7301, 7302, 7303, 7304, 7305, 7306, 7307, 7308],
+    );
+    // First three slots are the first round in spawn order; afterwards
+    // the rotation must stay stable.
+    assert_eq!(&vals[..3], &[1, 2, 3], "first round follows spawn order");
+    assert_eq!(&vals[3..6], &[1, 2, 3], "round-robin keeps the rotation");
+    assert_eq!(&vals[6..9], &[1, 2, 3]);
+}
+
+#[test]
+fn message_latency_is_charged() {
+    // One message round trip must include two one-way delivery delays.
+    let src = "main:
+            chnew r0
+            li r1, 4000
+            sw r0, (r1)
+            chnew r2
+            sw r2, 1(r1)
+            spawn echo, r1
+            li r3, 5
+            chsend r0, r3
+            chrecv r4, r2
+            halt
+        echo:
+            mv r0, g1
+            lw r1, (r0)
+            lw r2, 1(r0)
+            chrecv r3, r1
+            chsend r2, r3
+            halt";
+    let p = assemble(src).unwrap();
+    let cfg = SimConfig::default(); // msg_latency = 50
+    let r = Machine::new(p, cfg).unwrap().run().unwrap();
+    assert!(
+        r.cycles >= 100,
+        "two 50-cycle deliveries must appear in the runtime: {}",
+        r.cycles
+    );
+    assert!(r.idle_cycles > 0, "someone waited on the network");
+}

@@ -1,0 +1,152 @@
+//! Property tests of instruction semantics: random ALU expressions are
+//! executed by the machine and compared against their Rust meaning, and
+//! random small thread systems must terminate deterministically.
+
+use nsf_isa::{Inst, ProgramBuilder, Reg};
+use nsf_sim::{Machine, SimConfig};
+use proptest::prelude::*;
+
+const OUT: u32 = 0x0003_0000;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Sltu,
+    Seq,
+}
+
+impl Op {
+    fn all() -> [Op; 14] {
+        use Op::*;
+        [Add, Sub, Mul, Div, Rem, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Seq]
+    }
+
+    fn inst(self, rd: Reg, rs1: Reg, rs2: Reg) -> Inst {
+        match self {
+            Op::Add => Inst::Add { rd, rs1, rs2 },
+            Op::Sub => Inst::Sub { rd, rs1, rs2 },
+            Op::Mul => Inst::Mul { rd, rs1, rs2 },
+            Op::Div => Inst::Div { rd, rs1, rs2 },
+            Op::Rem => Inst::Rem { rd, rs1, rs2 },
+            Op::And => Inst::And { rd, rs1, rs2 },
+            Op::Or => Inst::Or { rd, rs1, rs2 },
+            Op::Xor => Inst::Xor { rd, rs1, rs2 },
+            Op::Sll => Inst::Sll { rd, rs1, rs2 },
+            Op::Srl => Inst::Srl { rd, rs1, rs2 },
+            Op::Sra => Inst::Sra { rd, rs1, rs2 },
+            Op::Slt => Inst::Slt { rd, rs1, rs2 },
+            Op::Sltu => Inst::Sltu { rd, rs1, rs2 },
+            Op::Seq => Inst::Seq { rd, rs1, rs2 },
+        }
+    }
+
+    /// The architectural meaning (matches `machine.rs` and the compiler's
+    /// constant folder).
+    fn eval(self, x: u32, y: u32) -> u32 {
+        let (xs, ys) = (x as i32, y as i32);
+        match self {
+            Op::Add => x.wrapping_add(y),
+            Op::Sub => x.wrapping_sub(y),
+            Op::Mul => x.wrapping_mul(y),
+            Op::Div => {
+                if ys == 0 { 0 } else { xs.wrapping_div(ys) as u32 }
+            }
+            Op::Rem => {
+                if ys == 0 { 0 } else { xs.wrapping_rem(ys) as u32 }
+            }
+            Op::And => x & y,
+            Op::Or => x | y,
+            Op::Xor => x ^ y,
+            Op::Sll => x << (y & 31),
+            Op::Srl => x >> (y & 31),
+            Op::Sra => (xs >> (y & 31)) as u32,
+            Op::Slt => u32::from(xs < ys),
+            Op::Sltu => u32::from(x < y),
+            Op::Seq => u32::from(x == y),
+        }
+    }
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    proptest::sample::select(Op::all().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every ALU op computes its architectural meaning for arbitrary
+    /// operands, all the way through the register file and pipeline.
+    #[test]
+    fn alu_ops_match_reference(
+        cases in proptest::collection::vec((arb_op(), any::<i32>(), any::<i32>()), 1..12)
+    ) {
+        let mut b = ProgramBuilder::new();
+        let out = Reg::R(3);
+        b.load_const(out, OUT as i32);
+        for (i, &(op, x, y)) in cases.iter().enumerate() {
+            b.load_const(Reg::R(0), x);
+            b.load_const(Reg::R(1), y);
+            b.emit(op.inst(Reg::R(2), Reg::R(0), Reg::R(1)));
+            b.emit(Inst::Sw { base: out, src: Reg::R(2), imm: i as i32 });
+        }
+        b.emit(Inst::Halt);
+        let p = b.finish("main").unwrap();
+        let mut m = Machine::new(p, SimConfig::default()).unwrap();
+        m.run_and_keep().unwrap();
+        for (i, &(op, x, y)) in cases.iter().enumerate() {
+            let got = m.mem.peek(OUT + i as u32);
+            let want = op.eval(x as u32, y as u32);
+            prop_assert_eq!(got, want, "{:?}({}, {}) case {}", op, x, y, i);
+        }
+    }
+
+    /// Fork/join over arbitrary worker counts: the sum of per-thread
+    /// contributions always arrives, regardless of register file size
+    /// (tiny files force heavy spilling mid-computation).
+    #[test]
+    fn fork_join_sums(workers in 1u32..24, file_regs in 8u32..64) {
+        let join = OUT as i32 + 100;
+        let acc = OUT as i32 + 101;
+        let r = Reg::R;
+        let mut b = ProgramBuilder::new();
+        let worker = b.new_label();
+        b.load_const(r(0), workers as i32);
+        b.load_const(r(1), join);
+        b.emit(Inst::Sw { base: r(1), src: r(0), imm: 0 });
+        for k in 0..workers {
+            b.load_const(r(2), k as i32 + 1);
+            b.spawn(worker, r(2));
+        }
+        b.emit(Inst::SyncWait { base: r(1), imm: 0 });
+        b.emit(Inst::Halt);
+        b.bind(worker);
+        // Contribute g1 (= k+1) to the accumulator, then join.
+        b.emit(Inst::Mv { rd: r(0), rs1: nsf_isa::RV });
+        b.load_const(r(1), acc);
+        b.emit(Inst::Lw { rd: r(2), base: r(1), imm: 0 });
+        b.emit(Inst::Add { rd: r(3), rs1: r(2), rs2: r(0) });
+        b.emit(Inst::Sw { base: r(1), src: r(3), imm: 0 });
+        b.load_const(r(4), join);
+        b.emit(Inst::AmoAdd { rd: r(5), base: r(4), imm: -1 });
+        b.emit(Inst::Halt);
+        let p = b.finish("main").unwrap();
+
+        let cfg = SimConfig::with_regfile(nsf_sim::RegFileSpec::Nsf(
+            nsf_core::NsfConfig::paper_default(file_regs),
+        ));
+        let mut m = Machine::new(p, cfg).unwrap();
+        m.run_and_keep().unwrap();
+        prop_assert_eq!(m.mem.peek(acc as u32), workers * (workers + 1) / 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property test: the peephole pass never changes what a program
+//! computes — random programs salted with removable junk produce the
+//! same memory image before and after compaction.
+
+use nsf_isa::peephole::peephole;
+use nsf_isa::{Inst, ProgramBuilder, Reg};
+use nsf_sim::{Machine, SimConfig};
+use proptest::prelude::*;
+
+const OUT: i32 = 0x0004_0000;
+
+/// One step of a random program; junk variants are peephole targets.
+#[derive(Clone, Debug)]
+enum Step {
+    Add(u8, u8, u8),
+    Xori(u8, i16),
+    Store(u8, u8),
+    JunkNop,
+    JunkSelfMove(u8),
+    JunkAddiZero(u8),
+    JunkJumpNext,
+    SkipOne(u8), // beq r, r -> skips the next junk instruction
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..6, 0u8..6, 0u8..6).prop_map(|(a, b, c)| Step::Add(a, b, c)),
+        (0u8..6, any::<i16>()).prop_map(|(r, i)| Step::Xori(r, i / 4)),
+        (0u8..6, 0u8..16).prop_map(|(r, s)| Step::Store(r, s)),
+        Just(Step::JunkNop),
+        (0u8..6).prop_map(Step::JunkSelfMove),
+        (0u8..6).prop_map(Step::JunkAddiZero),
+        Just(Step::JunkJumpNext),
+        (0u8..6).prop_map(Step::SkipOne),
+    ]
+}
+
+fn build(steps: &[Step]) -> nsf_isa::Program {
+    let r = Reg::R;
+    let mut b = ProgramBuilder::new();
+    b.export("main");
+    for i in 0..6u8 {
+        b.emit(Inst::Li { rd: r(i), imm: i32::from(i) * 3 + 1 });
+    }
+    b.load_const(r(7), OUT);
+    for step in steps {
+        match *step {
+            Step::Add(d, a, c) => {
+                b.emit(Inst::Add { rd: r(d), rs1: r(a), rs2: r(c) });
+            }
+            Step::Xori(d, i) => {
+                b.emit(Inst::Xori { rd: r(d), rs1: r(d), imm: i32::from(i) });
+            }
+            Step::Store(src, slot) => {
+                b.emit(Inst::Sw { base: r(7), src: r(src), imm: i32::from(slot) });
+            }
+            Step::JunkNop => {
+                b.emit(Inst::Nop);
+            }
+            Step::JunkSelfMove(d) => {
+                b.emit(Inst::Mv { rd: r(d), rs1: r(d) });
+            }
+            Step::JunkAddiZero(d) => {
+                b.emit(Inst::Addi { rd: r(d), rs1: r(d), imm: 0 });
+            }
+            Step::JunkJumpNext => {
+                let l = b.new_label();
+                b.jmp(l);
+                b.bind(l);
+            }
+            Step::SkipOne(x) => {
+                let l = b.new_label();
+                b.beq(r(x), r(x), l);
+                b.emit(Inst::Xori { rd: r(x), rs1: r(x), imm: 0x55 }); // skipped
+                b.bind(l);
+            }
+        }
+    }
+    // Final dump of all six registers.
+    for i in 0..6u8 {
+        b.emit(Inst::Sw { base: r(7), src: r(i), imm: 20 + i32::from(i) });
+    }
+    b.emit(Inst::Halt);
+    b.finish("main").expect("builds")
+}
+
+fn memory_image(p: nsf_isa::Program) -> Vec<u32> {
+    let mut m = Machine::new(p, SimConfig::default()).unwrap();
+    m.run_and_keep().expect("runs");
+    (0..26).map(|i| m.mem.peek(OUT as u32 + i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn peephole_preserves_program_semantics(
+        steps in proptest::collection::vec(arb_step(), 0..40)
+    ) {
+        let original = build(&steps);
+        let (compact, removed) = peephole(&original).expect("peephole");
+        prop_assert!(compact.len() + removed == original.len());
+        prop_assert_eq!(memory_image(original), memory_image(compact));
+    }
+}

@@ -1,0 +1,239 @@
+//! Area model (Figures 7 and 8).
+//!
+//! Components, per the paper's breakdown ("decoder, word line and valid
+//! bit logic, and data array"):
+//!
+//! * **Data array** — identical for both organizations: a multi-ported
+//!   SRAM cell whose width and height each grow linearly with port count,
+//!   so cell area grows quadratically ("The area of a multiported register
+//!   cell increases as the square of the number of ports").
+//! * **Decoder** — conventional: a two-level NAND decoder per row, width
+//!   proportional to address bits with a per-port term. NSF: a CAM row per
+//!   line, width proportional to tag bits (CID + line index) with a
+//!   per-port match term; CAM rows keep their own vertical pitch (banked
+//!   against the array), so decoder area grows roughly linearly in ports
+//!   while the data array grows quadratically — the NSF's relative
+//!   overhead falls from ~54 % at three ports to ~28 % at six.
+//! * **Logic** — word-line drive, per-register valid/dirty bits, and the
+//!   miss/spill state machine (NSF); frame-pointer logic (segmented).
+//!
+//! Constants are calibrated to land inside the paper's reported envelopes;
+//! the tests below pin them.
+
+use crate::geometry::{Geometry, Ports};
+use crate::tech::Tech;
+
+// --- Calibrated layout constants, in λ ---------------------------------
+
+/// Base SRAM cell dimension (single port would be `CELL_BASE + CELL_PORT`).
+const CELL_BASE: f64 = 20.0;
+/// Added cell width and height per port (a word line + a bit line pair).
+const CELL_PORT: f64 = 8.0;
+/// Conventional decoder: width per address bit, base term.
+const DEC_BIT_BASE: f64 = 4.0;
+/// Conventional decoder: width per address bit, per port.
+const DEC_BIT_PORT: f64 = 1.0;
+/// Conventional decoder: fixed driver width plus per-port term.
+const DEC_DRIVER: f64 = 16.0;
+const DEC_DRIVER_PORT: f64 = 2.0;
+/// CAM decoder: width per tag bit, base term.
+const CAM_BIT_BASE: f64 = 50.0;
+/// CAM decoder: width per tag bit, per port (extra match/select lines).
+const CAM_BIT_PORT: f64 = 4.7;
+/// CAM decoder: match-line sense and word-line combine driver.
+const CAM_DRIVER: f64 = 40.0;
+/// CAM row vertical pitch (banked; does not stretch with cell height).
+const CAM_ROW_PITCH: f64 = 44.0;
+/// NSF per-row logic width: valid/dirty bits per register + line control.
+const NSF_LOGIC_PER_REG: f64 = 8.0;
+const NSF_LOGIC_ROW_BASE: f64 = 30.0;
+/// NSF fixed miss/spill/reload state machine (λ²).
+const NSF_LOGIC_FIXED: f64 = 120_000.0;
+/// Segmented per-row word-line logic width.
+const SEG_LOGIC_ROW: f64 = 6.0;
+/// Segmented fixed frame-pointer logic (λ²).
+const SEG_LOGIC_FIXED: f64 = 15_000.0;
+
+/// Area of one organization, broken down as in the paper's stacked bars.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AreaBreakdown {
+    /// Address decoder area, µm².
+    pub decode_um2: f64,
+    /// Word-line / valid-bit / miss-logic area, µm².
+    pub logic_um2: f64,
+    /// Data array area, µm².
+    pub darray_um2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area in µm².
+    pub fn total_um2(&self) -> f64 {
+        self.decode_um2 + self.logic_um2 + self.darray_um2
+    }
+}
+
+/// The area model for a given technology.
+///
+/// # Examples
+///
+/// ```
+/// use nsf_vlsi::{AreaModel, Geometry, Ports, Tech};
+///
+/// let model = AreaModel::new(Tech::cmos_1p2um());
+/// let overhead = model.nsf_overhead(Geometry::g32x128(), Ports::three());
+/// // Paper: "a 128 row by 32 bit wide NSF is 54% larger".
+/// assert!((0.40..=0.65).contains(&overhead));
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AreaModel {
+    /// Process the areas are reported in.
+    pub tech: Tech,
+}
+
+impl AreaModel {
+    /// Creates a model for `tech`.
+    pub fn new(tech: Tech) -> Self {
+        AreaModel { tech }
+    }
+
+    fn cell_dim(ports: Ports) -> f64 {
+        CELL_BASE + CELL_PORT * f64::from(ports.total())
+    }
+
+    fn darray_lambda2(geom: Geometry, ports: Ports) -> f64 {
+        let d = Self::cell_dim(ports);
+        f64::from(geom.data_bits()) * d * d
+    }
+
+    /// Area of a segmented (or conventional) register file.
+    pub fn segmented(&self, geom: Geometry, ports: Ports) -> AreaBreakdown {
+        let p = f64::from(ports.total());
+        let cell_h = Self::cell_dim(ports);
+        let dec_width = f64::from(geom.addr_bits) * (DEC_BIT_BASE + DEC_BIT_PORT * p)
+            + DEC_DRIVER
+            + DEC_DRIVER_PORT * p;
+        let decode = f64::from(geom.rows) * dec_width * cell_h;
+        let logic = f64::from(geom.rows) * SEG_LOGIC_ROW * cell_h + SEG_LOGIC_FIXED;
+        AreaBreakdown {
+            decode_um2: self.tech.lambda2_to_um2(decode),
+            logic_um2: self.tech.lambda2_to_um2(logic),
+            darray_um2: self.tech.lambda2_to_um2(Self::darray_lambda2(geom, ports)),
+        }
+    }
+
+    /// Area of a Named-State Register File.
+    pub fn nsf(&self, geom: Geometry, ports: Ports) -> AreaBreakdown {
+        let p = f64::from(ports.total());
+        let cell_h = Self::cell_dim(ports);
+        let cam_width =
+            f64::from(geom.tag_bits) * (CAM_BIT_BASE + CAM_BIT_PORT * p) + CAM_DRIVER;
+        let decode = f64::from(geom.rows) * cam_width * CAM_ROW_PITCH;
+        let logic = f64::from(geom.rows)
+            * (NSF_LOGIC_PER_REG * f64::from(geom.regs_per_row) + NSF_LOGIC_ROW_BASE)
+            * cell_h
+            + NSF_LOGIC_FIXED;
+        AreaBreakdown {
+            decode_um2: self.tech.lambda2_to_um2(decode),
+            logic_um2: self.tech.lambda2_to_um2(logic),
+            darray_um2: self.tech.lambda2_to_um2(Self::darray_lambda2(geom, ports)),
+        }
+    }
+
+    /// NSF area overhead relative to the equivalent segmented file
+    /// (e.g. `0.54` = 54 % larger).
+    pub fn nsf_overhead(&self, geom: Geometry, ports: Ports) -> f64 {
+        self.nsf(geom, ports).total_um2() / self.segmented(geom, ports).total_um2() - 1.0
+    }
+
+    /// Estimated share of a processor die the NSF adds, assuming the
+    /// register file occupies `regfile_share` of the die (paper: "most
+    /// register files consume less than 10% of a processor chip area", so
+    /// the NSF "should only increase processor area by 5%").
+    pub fn processor_overhead(&self, geom: Geometry, ports: Ports, regfile_share: f64) -> f64 {
+        self.nsf_overhead(geom, ports) * regfile_share
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> AreaModel {
+        AreaModel::new(Tech::cmos_1p2um())
+    }
+
+    #[test]
+    fn three_port_overheads_match_paper_envelope() {
+        // Paper: "a 128 row by 32 bit wide NSF is 54% larger", "64 rows of
+        // two registers each requires 30% more area".
+        let o1 = model().nsf_overhead(Geometry::g32x128(), Ports::three());
+        let o2 = model().nsf_overhead(Geometry::g64x64(), Ports::three());
+        assert!((0.40..=0.65).contains(&o1), "32x128 3-port overhead {o1}");
+        assert!((0.20..=0.40).contains(&o2), "64x64 3-port overhead {o2}");
+        assert!(o1 > o2, "wider rows amortize the decoder");
+    }
+
+    #[test]
+    fn six_port_overheads_match_paper_envelope() {
+        // Paper: "only 28% larger" and "only 16% larger" with 2W+4R ports.
+        let o1 = model().nsf_overhead(Geometry::g32x128(), Ports::six());
+        let o2 = model().nsf_overhead(Geometry::g64x64(), Ports::six());
+        assert!((0.17..=0.35).contains(&o1), "32x128 6-port overhead {o1}");
+        assert!((0.08..=0.22).contains(&o2), "64x64 6-port overhead {o2}");
+    }
+
+    #[test]
+    fn overhead_shrinks_with_ports() {
+        for geom in [Geometry::g32x128(), Geometry::g64x64()] {
+            let o3 = model().nsf_overhead(geom, Ports::three());
+            let o6 = model().nsf_overhead(geom, Ports::six());
+            assert!(o6 < o3, "more ports must dilute the decoder: {o3} vs {o6}");
+        }
+    }
+
+    #[test]
+    fn darray_identical_across_organizations() {
+        let g = Geometry::g32x128();
+        let p = Ports::three();
+        assert_eq!(
+            model().segmented(g, p).darray_um2,
+            model().nsf(g, p).darray_um2,
+            "both files store the same bits"
+        );
+    }
+
+    #[test]
+    fn cell_area_quadratic_in_ports() {
+        let g = Geometry::g32x128();
+        let d3 = model().segmented(g, Ports::three()).darray_um2;
+        let d6 = model().segmented(g, Ports::six()).darray_um2;
+        let expected = ((CELL_BASE + 6.0 * CELL_PORT) / (CELL_BASE + 3.0 * CELL_PORT)).powi(2);
+        assert!((d6 / d3 - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn processor_overhead_is_about_five_percent() {
+        // Paper conclusion: "requires only 1% to 5% of a typical
+        // processor's chip area".
+        let worst = model().processor_overhead(Geometry::g32x128(), Ports::three(), 0.10);
+        let best = model().processor_overhead(Geometry::g64x64(), Ports::six(), 0.10);
+        assert!(worst <= 0.065, "{worst}");
+        assert!(best >= 0.005, "{best}");
+    }
+
+    #[test]
+    fn absolute_scale_is_plausible_for_1p2um() {
+        // Paper Figure 7 shows totals of a few million µm².
+        let total = model().segmented(Geometry::g32x128(), Ports::three()).total_um2();
+        assert!((1.0e6..=8.0e6).contains(&total), "{total}");
+    }
+
+    #[test]
+    fn prototype_process_is_larger() {
+        let a12 = model().nsf(Geometry::g32x128(), Ports::three()).total_um2();
+        let a20 = AreaModel::new(Tech::cmos_2um())
+            .nsf(Geometry::g32x128(), Ports::three())
+            .total_um2();
+        assert!(a20 > 2.0 * a12);
+    }
+}

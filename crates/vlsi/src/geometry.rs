@@ -1,0 +1,106 @@
+//! Register file geometry and port configuration.
+
+/// Port configuration of a register file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ports {
+    /// Simultaneous read ports.
+    pub reads: u32,
+    /// Simultaneous write ports.
+    pub writes: u32,
+}
+
+impl Ports {
+    /// The paper's baseline: two reads, one write (Figures 6 and 7, and
+    /// the prototype chip).
+    pub fn three() -> Self {
+        Ports { reads: 2, writes: 1 }
+    }
+
+    /// The superscalar configuration of Figure 8: four reads, two writes.
+    pub fn six() -> Self {
+        Ports { reads: 4, writes: 2 }
+    }
+
+    /// Total port count.
+    pub fn total(&self) -> u32 {
+        self.reads + self.writes
+    }
+}
+
+/// Physical organization of a register file array.
+///
+/// The paper compares two geometries holding the same 4 K bits:
+/// "128 lines of 32 bits each, and 64 lines of 64 bits each"
+/// ([`Geometry::g32x128`], [`Geometry::g64x64`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of rows (lines) in the array.
+    pub rows: u32,
+    /// Bits per row.
+    pub bits_per_row: u32,
+    /// Architectural registers per row (32-bit registers).
+    pub regs_per_row: u32,
+    /// Tag width of the associative decoder in the NSF variant: Context ID
+    /// bits plus line-index bits (the prototype used a 10-bit decoder for
+    /// 64-bit rows; single-register rows need one more bit).
+    pub tag_bits: u32,
+    /// Address bits of the conventional two-level decoder
+    /// (`log2(rows)`).
+    pub addr_bits: u32,
+}
+
+impl Geometry {
+    /// 128 rows × 32 bits: single-register lines.
+    pub fn g32x128() -> Self {
+        Geometry { rows: 128, bits_per_row: 32, regs_per_row: 1, tag_bits: 11, addr_bits: 7 }
+    }
+
+    /// 64 rows × 64 bits: two-register lines.
+    pub fn g64x64() -> Self {
+        Geometry { rows: 64, bits_per_row: 64, regs_per_row: 2, tag_bits: 10, addr_bits: 6 }
+    }
+
+    /// The proof-of-concept prototype chip of the paper's Figure 5:
+    /// "a 32 bit by 32 line register array, a 10 bit wide fully-
+    /// associative decoder, and logic to handle misses, spills and
+    /// reloads", fabricated in 2 µm CMOS with two read ports and one
+    /// write port.
+    pub fn prototype() -> Self {
+        Geometry { rows: 32, bits_per_row: 32, regs_per_row: 1, tag_bits: 10, addr_bits: 5 }
+    }
+
+    /// Total data bits in the array.
+    pub fn data_bits(&self) -> u32 {
+        self.rows * self.bits_per_row
+    }
+
+    /// Total 32-bit registers.
+    pub fn total_regs(&self) -> u32 {
+        self.rows * self.regs_per_row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_paper_geometries_hold_128_registers() {
+        assert_eq!(Geometry::g32x128().total_regs(), 128);
+        assert_eq!(Geometry::g64x64().total_regs(), 128);
+        assert_eq!(Geometry::g32x128().data_bits(), Geometry::g64x64().data_bits());
+    }
+
+    #[test]
+    fn prototype_matches_figure_5() {
+        let p = Geometry::prototype();
+        assert_eq!(p.total_regs(), 32);
+        assert_eq!(p.tag_bits, 10);
+    }
+
+    #[test]
+    fn port_totals() {
+        assert_eq!(Ports::three().total(), 3);
+        assert_eq!(Ports::six().total(), 6);
+    }
+}

@@ -1,0 +1,34 @@
+//! # nsf-vlsi — area and access-time models of register files
+//!
+//! The paper evaluates NSF implementation cost two ways: Spice simulations
+//! of access time (Figure 6) and measured layout area in 1.2 µm CMOS
+//! (Figures 7 and 8), validated against a 2 µm prototype chip. Neither a
+//! Spice deck nor the layouts are available, so this crate substitutes
+//! **parametric λ-rule models** calibrated to the paper's reported numbers
+//! (see `DESIGN.md` §2):
+//!
+//! * [`area`] — per-component area (associative/conventional decoder,
+//!   valid-bit & miss logic, data array) as a function of geometry, port
+//!   count and technology. Multi-ported cells grow quadratically with
+//!   ports; decoders grow linearly; miss/spill logic is constant — which
+//!   is exactly why the NSF's relative overhead *shrinks* as ports are
+//!   added (paper §6.2).
+//! * [`timing`] — RC-style access-time decomposition into address decode,
+//!   word select and data read. The NSF pays extra in decode (it compares
+//!   more bits than a two-level decoder) and in word select (combining
+//!   Context ID and offset match signals), totalling ~5 % — "no effect on
+//!   the processor's cycle time".
+//!
+//! The constants are **calibrated**, not derived: they were fit so the
+//! model lands inside the paper's reported envelopes, and the crate's tests
+//! pin those envelopes so regressions are caught.
+
+pub mod area;
+pub mod geometry;
+pub mod tech;
+pub mod timing;
+
+pub use area::{AreaBreakdown, AreaModel};
+pub use geometry::{Geometry, Ports};
+pub use tech::Tech;
+pub use timing::{AccessTime, TimingModel};

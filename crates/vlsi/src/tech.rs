@@ -1,0 +1,70 @@
+//! Process technology parameters.
+
+/// A CMOS process, described by its drawn feature size. Layout areas are
+/// specified in λ-rules (λ = half the feature size), so area scales with
+/// the square of the feature size and delay scales linearly — the standard
+//  first-order scaling the paper relies on when it validates the 1.2 µm
+/// estimates against a 2 µm prototype.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tech {
+    /// Drawn feature size in micrometres.
+    pub feature_um: f64,
+}
+
+impl Tech {
+    /// The 1.2 µm process of Figures 6–8.
+    pub fn cmos_1p2um() -> Self {
+        Tech { feature_um: 1.2 }
+    }
+
+    /// The 2 µm process of the prototype chip (Figure 5).
+    pub fn cmos_2um() -> Self {
+        Tech { feature_um: 2.0 }
+    }
+
+    /// λ in micrometres.
+    pub fn lambda_um(&self) -> f64 {
+        self.feature_um / 2.0
+    }
+
+    /// Converts an area in λ² to µm².
+    pub fn lambda2_to_um2(&self, lambda2: f64) -> f64 {
+        lambda2 * self.lambda_um() * self.lambda_um()
+    }
+
+    /// Delay scale factor relative to the 1.2 µm reference process
+    /// (first-order: gate delay ∝ feature size).
+    pub fn delay_scale(&self) -> f64 {
+        self.feature_um / 1.2
+    }
+}
+
+impl Default for Tech {
+    fn default() -> Self {
+        Self::cmos_1p2um()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_is_half_feature() {
+        assert_eq!(Tech::cmos_1p2um().lambda_um(), 0.6);
+        assert_eq!(Tech::cmos_2um().lambda_um(), 1.0);
+    }
+
+    #[test]
+    fn area_scales_quadratically() {
+        let a12 = Tech::cmos_1p2um().lambda2_to_um2(100.0);
+        let a20 = Tech::cmos_2um().lambda2_to_um2(100.0);
+        assert!((a20 / a12 - (2.0f64 / 1.2).powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_process_delay_scale_is_one() {
+        assert_eq!(Tech::cmos_1p2um().delay_scale(), 1.0);
+        assert!(Tech::cmos_2um().delay_scale() > 1.0);
+    }
+}

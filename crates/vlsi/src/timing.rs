@@ -1,0 +1,180 @@
+//! Access-time model (Figure 6).
+//!
+//! The paper decomposes register file access into three phases and reports
+//! Spice results in a 1.2 µm process:
+//!
+//! * **Address decode** — a two-level decoder for the segmented file; the
+//!   NSF "required slightly more time to decode addresses, since it had to
+//!   compare more bits than a two-level decoder".
+//! * **Word select** — driving the selected word line; the NSF "took more
+//!   time to combine Context ID and Offset address match signals and drive
+//!   a word line into the register array".
+//! * **Data read** — bit-line discharge and sensing, identical for both
+//!   organizations.
+//!
+//! The model is first-order RC: decode grows with the number of compared
+//! bits and with row count (match-line/predecode loading), word select
+//! with row width, data read with column height. Constants are calibrated
+//! so that "the time required to access the Named-State Register File was
+//! only 5% or 6% greater than for a conventional register file".
+
+use crate::geometry::Geometry;
+use crate::tech::Tech;
+
+// --- Calibrated delay constants (ns at 1.2 µm) --------------------------
+
+const DEC_FIXED: f64 = 0.9;
+/// Conventional decode: per address bit (predecode + NAND fan-in).
+const DEC_PER_ADDR_BIT: f64 = 0.30;
+/// NSF decode: per tag bit (CAM compare is parallel, but the match line
+/// carries more devices per bit).
+const DEC_PER_TAG_BIT: f64 = 0.20;
+/// Conventional decode: word-line select loading per row.
+const DEC_PER_ROW_CONV: f64 = 0.006;
+/// NSF decode: match-line loading per row.
+const DEC_PER_ROW_NSF: f64 = 0.007;
+const WS_FIXED: f64 = 0.5;
+/// Word-line RC per bit of row width.
+const WS_PER_BIT: f64 = 0.02;
+/// NSF extra: combining CID and offset match signals before the drive.
+const WS_NSF_COMBINE: f64 = 0.15;
+const RD_FIXED: f64 = 0.8;
+/// Bit-line RC per row of column height.
+const RD_PER_ROW: f64 = 0.02;
+/// Sense/mux loading per bit of row width.
+const RD_PER_BIT: f64 = 0.01;
+
+/// Access time decomposition, in nanoseconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AccessTime {
+    /// Address decode phase.
+    pub decode_ns: f64,
+    /// Word select phase.
+    pub word_select_ns: f64,
+    /// Data read phase.
+    pub data_read_ns: f64,
+}
+
+impl AccessTime {
+    /// Total access time in nanoseconds.
+    pub fn total_ns(&self) -> f64 {
+        self.decode_ns + self.word_select_ns + self.data_read_ns
+    }
+}
+
+/// The timing model for a given technology.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TimingModel {
+    /// Process the delays are reported in.
+    pub tech: Tech,
+}
+
+impl TimingModel {
+    /// Creates a model for `tech`.
+    pub fn new(tech: Tech) -> Self {
+        TimingModel { tech }
+    }
+
+    fn scale(&self, t: AccessTime) -> AccessTime {
+        let s = self.tech.delay_scale();
+        AccessTime {
+            decode_ns: t.decode_ns * s,
+            word_select_ns: t.word_select_ns * s,
+            data_read_ns: t.data_read_ns * s,
+        }
+    }
+
+    /// Access time of a segmented/conventional file.
+    pub fn segmented(&self, geom: Geometry) -> AccessTime {
+        self.scale(AccessTime {
+            decode_ns: DEC_FIXED
+                + DEC_PER_ADDR_BIT * f64::from(geom.addr_bits)
+                + DEC_PER_ROW_CONV * f64::from(geom.rows),
+            word_select_ns: WS_FIXED + WS_PER_BIT * f64::from(geom.bits_per_row),
+            data_read_ns: RD_FIXED
+                + RD_PER_ROW * f64::from(geom.rows)
+                + RD_PER_BIT * f64::from(geom.bits_per_row),
+        })
+    }
+
+    /// Access time of a Named-State Register File.
+    pub fn nsf(&self, geom: Geometry) -> AccessTime {
+        self.scale(AccessTime {
+            decode_ns: DEC_FIXED
+                + DEC_PER_TAG_BIT * f64::from(geom.tag_bits)
+                + DEC_PER_ROW_NSF * f64::from(geom.rows),
+            word_select_ns: WS_FIXED
+                + WS_PER_BIT * f64::from(geom.bits_per_row)
+                + WS_NSF_COMBINE,
+            data_read_ns: RD_FIXED
+                + RD_PER_ROW * f64::from(geom.rows)
+                + RD_PER_BIT * f64::from(geom.bits_per_row),
+        })
+    }
+
+    /// NSF access-time overhead relative to the segmented file
+    /// (e.g. `0.05` = 5 % slower).
+    pub fn nsf_overhead(&self, geom: Geometry) -> f64 {
+        self.nsf(geom).total_ns() / self.segmented(geom).total_ns() - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TimingModel {
+        TimingModel::new(Tech::cmos_1p2um())
+    }
+
+    #[test]
+    fn nsf_overhead_is_about_five_percent() {
+        // Paper: "only 5% or 6% greater" for both geometries; allow 3–8 %.
+        for geom in [Geometry::g32x128(), Geometry::g64x64()] {
+            let o = model().nsf_overhead(geom);
+            assert!((0.03..=0.08).contains(&o), "{geom:?}: {o}");
+        }
+    }
+
+    #[test]
+    fn nsf_pays_in_decode_and_word_select_only() {
+        for geom in [Geometry::g32x128(), Geometry::g64x64()] {
+            let seg = model().segmented(geom);
+            let nsf = model().nsf(geom);
+            assert!(nsf.decode_ns > seg.decode_ns);
+            assert!(nsf.word_select_ns > seg.word_select_ns);
+            assert_eq!(nsf.data_read_ns, seg.data_read_ns);
+        }
+    }
+
+    #[test]
+    fn totals_in_figure_envelope() {
+        // Figure 6 shows totals under 10 ns at 1.2 µm.
+        for geom in [Geometry::g32x128(), Geometry::g64x64()] {
+            let t = model().segmented(geom).total_ns();
+            assert!((5.0..=10.0).contains(&t), "{geom:?}: {t}");
+            let t = model().nsf(geom).total_ns();
+            assert!((5.0..=10.0).contains(&t), "{geom:?}: {t}");
+        }
+    }
+
+    #[test]
+    fn wide_short_array_is_faster() {
+        // 64x64 has half the rows: shorter bit lines dominate.
+        assert!(
+            model().segmented(Geometry::g64x64()).total_ns()
+                < model().segmented(Geometry::g32x128()).total_ns()
+        );
+        assert!(
+            model().nsf(Geometry::g64x64()).total_ns()
+                < model().nsf(Geometry::g32x128()).total_ns()
+        );
+    }
+
+    #[test]
+    fn coarser_process_is_slower() {
+        let t12 = model().nsf(Geometry::g32x128()).total_ns();
+        let t20 = TimingModel::new(Tech::cmos_2um()).nsf(Geometry::g32x128()).total_ns();
+        assert!(t20 > t12 * 1.5);
+    }
+}

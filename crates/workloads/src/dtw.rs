@@ -1,0 +1,237 @@
+//! DTW — dynamic time warping as a column-block pipeline.
+//!
+//! The paper's DTW benchmark (speech-template matching, 421 instructions
+//! per context switch) computes the classic warping-distance DP:
+//!
+//! ```text
+//! D[i][j] = |X[i-1] − Y[j-1]| + min(D[i-1][j], D[i][j-1], D[i-1][j-1])
+//! ```
+//!
+//! Each thread owns a block of columns; for every row it must wait for
+//! its left neighbour to pass the row boundary, compute its block of
+//! cells, and hand a token to its right neighbour — a software pipeline
+//! over message channels that context-switches once per row per thread.
+//!
+//! `D`, `X`, `Y` live in shared memory; the border row/column are staged
+//! with a large "infinity" by `mem_init`. The final distance `D[N][M]`
+//! is checked against a Rust reference.
+
+use crate::harness::{expect_words, Workload, DATA_BASE, RESULT_BASE};
+use crate::util::lcg;
+use nsf_isa::{Inst, ProgramBuilder, Reg};
+
+const BLOCKS: u32 = 4;
+const INF: u32 = 0x3FFF_FFFF;
+
+struct Params {
+    n: u32,          // |X| (rows)
+    cols_per_blk: u32, // M = BLOCKS * cols_per_blk
+}
+
+fn params(scale: u32) -> Params {
+    match scale {
+        0 => Params { n: 12, cols_per_blk: 4 },
+        1 => Params { n: 64, cols_per_blk: 16 },
+        s => Params { n: 64 * s, cols_per_blk: 16 },
+    }
+}
+
+fn sequences(p: &Params) -> (Vec<u32>, Vec<u32>) {
+    let m = BLOCKS * p.cols_per_blk;
+    let mut x = 0xD7A0_0003u32;
+    let xs = (0..p.n)
+        .map(|_| {
+            x = lcg(x);
+            (x >> 9) % 64
+        })
+        .collect();
+    let ys = (0..m)
+        .map(|_| {
+            x = lcg(x);
+            (x >> 9) % 64
+        })
+        .collect();
+    (xs, ys)
+}
+
+fn reference(p: &Params) -> u32 {
+    let (xs, ys) = sequences(p);
+    let n = xs.len();
+    let m = ys.len();
+    let stride = m + 1;
+    let mut d = vec![INF; (n + 1) * stride];
+    d[0] = 0;
+    for i in 1..=n {
+        for j in 1..=m {
+            let c = xs[i - 1].abs_diff(ys[j - 1]);
+            let best = d[(i - 1) * stride + j]
+                .min(d[i * stride + j - 1])
+                .min(d[(i - 1) * stride + j - 1]);
+            d[i * stride + j] = c + best;
+        }
+    }
+    d[n * stride + m]
+}
+
+/// Builds the DTW workload at the given scale.
+pub fn build(scale: u32) -> Workload {
+    let p = params(scale);
+    let m = (BLOCKS * p.cols_per_blk) as i32;
+    let n = p.n as i32;
+    let stride = m + 1;
+    let d_base = DATA_BASE as i32;
+    let x_base = d_base + (n + 1) * stride;
+    let y_base = x_base + n;
+    let chans_base = (RESULT_BASE + 16) as i32;
+    let join_addr = (RESULT_BASE + 8) as i32;
+    let r = Reg::R;
+
+    let mut b = ProgramBuilder::new();
+    let worker = b.new_label();
+
+    // main: create the pipeline channels, spawn the blocks, wait, publish.
+    b.export("main");
+    b.load_const(r(0), BLOCKS as i32);
+    b.load_const(r(1), join_addr);
+    b.emit(Inst::Sw { base: r(1), src: r(0), imm: 0 });
+    b.load_const(r(2), chans_base);
+    for k in 0..=BLOCKS {
+        b.emit(Inst::ChNew { rd: r(3) });
+        b.emit(Inst::Sw { base: r(2), src: r(3), imm: k as i32 });
+    }
+    for k in 0..BLOCKS {
+        b.load_const(r(4), k as i32);
+        b.spawn(worker, r(4));
+    }
+    b.emit(Inst::SyncWait { base: r(1), imm: 0 });
+    b.load_const(r(5), d_base + n * stride + m);
+    b.emit(Inst::Lw { rd: r(6), base: r(5), imm: 0 });
+    b.load_const(r(7), RESULT_BASE as i32);
+    b.emit(Inst::Sw { base: r(7), src: r(6), imm: 0 });
+    b.emit(Inst::Halt);
+
+    // worker(k): pipeline stage over columns [1+k*CB, 1+(k+1)*CB).
+    b.bind(worker);
+    b.export("dtw_block");
+    b.emit(Inst::Mv { rd: r(0), rs1: nsf_isa::RV }); // k
+    b.load_const(r(1), chans_base);
+    b.emit(Inst::Add { rd: r(2), rs1: r(1), rs2: r(0) });
+    b.emit(Inst::Lw { rd: r(3), base: r(2), imm: 0 }); // my channel
+    b.emit(Inst::Lw { rd: r(4), base: r(2), imm: 1 }); // next channel
+    b.load_const(r(5), p.cols_per_blk as i32);
+    b.emit(Inst::Mul { rd: r(6), rs1: r(0), rs2: r(5) });
+    b.emit(Inst::Addi { rd: r(6), rs1: r(6), imm: 1 }); // j_lo
+    b.emit(Inst::Add { rd: r(7), rs1: r(6), rs2: r(5) }); // j_hi
+    b.load_const(r(8), d_base);
+    b.load_const(r(9), stride);
+    b.load_const(r(10), x_base);
+    b.load_const(r(11), y_base);
+    b.emit(Inst::Li { rd: r(12), imm: 1 }); // i
+    b.load_const(r(13), n + 1);
+    let row_loop = b.new_label();
+    let no_recv = b.new_label();
+    let done = b.new_label();
+    b.bind(row_loop);
+    b.bge(r(12), r(13), done);
+    // Block 0 reads the precomputed border column; others wait for the
+    // left neighbour's row token.
+    b.emit(Inst::Li { rd: r(14), imm: 0 });
+    b.beq(r(0), r(14), no_recv);
+    b.emit(Inst::ChRecv { rd: r(15), chan: r(3) });
+    b.bind(no_recv);
+    b.emit(Inst::Add { rd: r(16), rs1: r(10), rs2: r(12) });
+    b.emit(Inst::Lw { rd: r(16), base: r(16), imm: -1 }); // xi
+    b.emit(Inst::Mul { rd: r(17), rs1: r(12), rs2: r(9) });
+    b.emit(Inst::Add { rd: r(17), rs1: r(17), rs2: r(8) }); // row base
+    b.emit(Inst::Sub { rd: r(18), rs1: r(17), rs2: r(9) }); // prev row base
+    b.emit(Inst::Mv { rd: r(19), rs1: r(6) }); // j
+    let col_loop = b.new_label();
+    let col_done = b.new_label();
+    let abs_pos = b.new_label();
+    let min_1 = b.new_label();
+    let min_2 = b.new_label();
+    b.bind(col_loop);
+    b.bge(r(19), r(7), col_done);
+    b.emit(Inst::Add { rd: r(20), rs1: r(11), rs2: r(19) });
+    b.emit(Inst::Lw { rd: r(20), base: r(20), imm: -1 }); // yj
+    b.emit(Inst::Sub { rd: r(21), rs1: r(16), rs2: r(20) }); // xi - yj
+    b.emit(Inst::Li { rd: r(22), imm: 0 });
+    b.bge(r(21), r(22), abs_pos);
+    b.emit(Inst::Sub { rd: r(21), rs1: r(22), rs2: r(21) });
+    b.bind(abs_pos);
+    b.emit(Inst::Add { rd: r(23), rs1: r(18), rs2: r(19) });
+    b.emit(Inst::Lw { rd: r(24), base: r(23), imm: 0 }); // up
+    b.emit(Inst::Lw { rd: r(25), base: r(23), imm: -1 }); // diag
+    b.emit(Inst::Add { rd: r(26), rs1: r(17), rs2: r(19) });
+    b.emit(Inst::Lw { rd: r(27), base: r(26), imm: -1 }); // left
+    // best = min(up, diag, left)
+    b.emit(Inst::Mv { rd: r(28), rs1: r(24) });
+    b.blt(r(28), r(25), min_1);
+    b.emit(Inst::Mv { rd: r(28), rs1: r(25) });
+    b.bind(min_1);
+    b.blt(r(28), r(27), min_2);
+    b.emit(Inst::Mv { rd: r(28), rs1: r(27) });
+    b.bind(min_2);
+    b.emit(Inst::Add { rd: r(29), rs1: r(28), rs2: r(21) });
+    b.emit(Inst::Sw { base: r(26), src: r(29), imm: 0 });
+    b.emit(Inst::Addi { rd: r(19), rs1: r(19), imm: 1 });
+    b.jmp(col_loop);
+    b.bind(col_done);
+    // Pass the row token to the right neighbour (the last block's tokens
+    // accumulate unread in the terminal channel).
+    b.emit(Inst::ChSend { chan: r(4), src: r(12) });
+    // End of the row activation: yield the processor, TAM-style, so the
+    // pipeline actually interleaves (a sender never blocks otherwise).
+    b.emit(Inst::Yield);
+    b.emit(Inst::Addi { rd: r(12), rs1: r(12), imm: 1 });
+    b.jmp(row_loop);
+    b.bind(done);
+    b.load_const(r(30), join_addr);
+    b.emit(Inst::AmoAdd { rd: r(31), base: r(30), imm: -1 });
+    b.emit(Inst::Halt);
+
+    let program = b.finish("main").expect("dtw builds");
+    let (xs, ys) = sequences(&p);
+    // Border row 0 and column 0 hold INF except D[0][0] = 0.
+    let mut row0 = vec![INF; stride as usize];
+    row0[0] = 0;
+    let mut mem_init = vec![
+        (d_base as u32, row0),
+        (x_base as u32, xs),
+        (y_base as u32, ys),
+    ];
+    for i in 1..=n {
+        mem_init.push(((d_base + i * stride) as u32, vec![INF]));
+    }
+    let expected = reference(&p);
+    Workload {
+        name: "DTW",
+        parallel: true,
+        program,
+        source_lines: include_str!("dtw.rs").lines().count(),
+        mem_init,
+        check: expect_words(RESULT_BASE, vec![expected]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run;
+    use nsf_sim::SimConfig;
+
+    #[test]
+    fn warping_distance_matches_reference() {
+        let w = build(0);
+        let r = run(&w, SimConfig::default()).expect("dtw validates");
+        assert_eq!(r.spawns, u64::from(BLOCKS));
+        // Pipeline: a switch per row per block → hundreds of instrs.
+        let ipcs = r.instrs_per_switch();
+        assert!((20.0..2000.0).contains(&ipcs), "dtw grain {ipcs}");
+    }
+
+    #[test]
+    fn reference_scales() {
+        assert_ne!(reference(&params(0)), reference(&params(1)));
+    }
+}

@@ -1,0 +1,182 @@
+//! Gamteb — Monte-Carlo particle transport (very fine grain).
+//!
+//! The paper's Gamteb (photon transport through a carbon cylinder) is the
+//! finest-grain benchmark: 16 instructions per context switch. Ours
+//! spawns one thread per particle; each bounce steps a private LCG,
+//! scores a tally cell atomically, and fetches the cell's absorption
+//! probability with a **remote load** — which blocks the thread and
+//! forces a context switch every couple dozen instructions, exactly the
+//! regime the Named-State Register File is built for.
+//!
+//! Trajectories depend only on the thread-private LCG, so the tally is
+//! deterministic regardless of interleaving, and the Rust reference
+//! replays every particle exactly.
+
+use crate::harness::{expect_words, Workload, DATA_BASE, RESULT_BASE};
+use crate::util::lcg;
+use nsf_isa::{Inst, ProgramBuilder, Reg};
+
+const CELLS: u32 = 16;
+const MAX_BOUNCES: u32 = 24;
+
+struct Params {
+    particles: u32,
+}
+
+fn params(scale: u32) -> Params {
+    match scale {
+        0 => Params { particles: 8 },
+        1 => Params { particles: 96 },
+        s => Params { particles: 96 * s },
+    }
+}
+
+fn seeds(p: &Params) -> Vec<u32> {
+    let mut x = 0x6A3B_0007u32;
+    (0..p.particles)
+        .map(|_| {
+            x = lcg(x);
+            x | 1
+        })
+        .collect()
+}
+
+/// Absorption probability (percent) per cell.
+fn xsec() -> Vec<u32> {
+    (0..CELLS).map(|c| 5 + (c * 7) % 23).collect()
+}
+
+fn reference(p: &Params) -> u32 {
+    let xs = xsec();
+    let mut tally = vec![0u32; CELLS as usize];
+    for seed in seeds(p) {
+        let mut x = seed;
+        for _ in 0..MAX_BOUNCES {
+            x = lcg(x);
+            let cell = ((x >> 5) % CELLS) as usize;
+            tally[cell] += 1;
+            let roll = (x >> 11) % 100;
+            if roll < xs[cell] {
+                break; // absorbed
+            }
+        }
+    }
+    let mut acc = 0u32;
+    for t in tally {
+        acc = acc.wrapping_mul(31).wrapping_add(t);
+    }
+    acc
+}
+
+/// Builds the Gamteb workload at the given scale.
+pub fn build(scale: u32) -> Workload {
+    let p = params(scale);
+    let tally_base = DATA_BASE as i32;
+    let xsec_base = tally_base + CELLS as i32;
+    let join_addr = (RESULT_BASE + 8) as i32;
+    let r = Reg::R;
+
+    let mut b = ProgramBuilder::new();
+    let particle = b.new_label();
+
+    // main: join = P, spawn particles with their seeds, wait, checksum.
+    b.export("main");
+    b.load_const(r(0), p.particles as i32);
+    b.load_const(r(1), join_addr);
+    b.emit(Inst::Sw { base: r(1), src: r(0), imm: 0 });
+    for seed in seeds(&p) {
+        b.load_const(r(2), seed as i32);
+        b.spawn(particle, r(2));
+    }
+    b.emit(Inst::SyncWait { base: r(1), imm: 0 });
+    b.load_const(r(3), tally_base);
+    b.emit(Inst::Li { rd: r(4), imm: 0 }); // acc
+    b.emit(Inst::Li { rd: r(5), imm: 0 }); // c
+    b.load_const(r(6), CELLS as i32);
+    b.emit(Inst::Li { rd: r(7), imm: 31 });
+    let sum_hdr = b.new_label();
+    let sum_end = b.new_label();
+    b.bind(sum_hdr);
+    b.bge(r(5), r(6), sum_end);
+    b.emit(Inst::Add { rd: r(8), rs1: r(3), rs2: r(5) });
+    b.emit(Inst::Lw { rd: r(9), base: r(8), imm: 0 });
+    b.emit(Inst::Mul { rd: r(4), rs1: r(4), rs2: r(7) });
+    b.emit(Inst::Add { rd: r(4), rs1: r(4), rs2: r(9) });
+    b.emit(Inst::Addi { rd: r(5), rs1: r(5), imm: 1 });
+    b.jmp(sum_hdr);
+    b.bind(sum_end);
+    b.load_const(r(10), RESULT_BASE as i32);
+    b.emit(Inst::Sw { base: r(10), src: r(4), imm: 0 });
+    b.emit(Inst::Halt);
+
+    // particle(seed): bounce until absorbed or MAX_BOUNCES.
+    b.bind(particle);
+    b.export("particle");
+    b.emit(Inst::Mv { rd: r(0), rs1: nsf_isa::RV }); // x = seed
+    b.load_const(r(1), tally_base);
+    b.load_const(r(2), xsec_base);
+    b.load_const(r(3), CELLS as i32);
+    b.emit(Inst::Li { rd: r(4), imm: 0 }); // bounce counter
+    b.load_const(r(5), MAX_BOUNCES as i32);
+    b.load_const(r(6), join_addr);
+    b.load_const(r(7), 1_664_525); // LCG multiplier, lives all thread
+    b.load_const(r(8), 1_013_904_223); // LCG increment
+    b.emit(Inst::Li { rd: r(9), imm: 100 });
+    let bounce = b.new_label();
+    let absorbed = b.new_label();
+    b.bind(bounce);
+    b.bge(r(4), r(5), absorbed);
+    b.emit(Inst::Mul { rd: r(0), rs1: r(0), rs2: r(7) });
+    b.emit(Inst::Add { rd: r(0), rs1: r(0), rs2: r(8) });
+    b.emit(Inst::Srli { rd: r(10), rs1: r(0), imm: 5 });
+    b.emit(Inst::Rem { rd: r(11), rs1: r(10), rs2: r(3) }); // cell
+    b.emit(Inst::Add { rd: r(12), rs1: r(1), rs2: r(11) });
+    b.emit(Inst::AmoAdd { rd: r(13), base: r(12), imm: 1 }); // score
+    b.emit(Inst::Add { rd: r(14), rs1: r(2), rs2: r(11) });
+    // Cross-section lives on a remote node: round trip + switch.
+    b.emit(Inst::LwRemote { rd: r(15), base: r(14), imm: 0 });
+    b.emit(Inst::Srli { rd: r(16), rs1: r(0), imm: 11 });
+    b.emit(Inst::Rem { rd: r(17), rs1: r(16), rs2: r(9) }); // roll
+    b.blt(r(17), r(15), absorbed);
+    b.emit(Inst::Addi { rd: r(4), rs1: r(4), imm: 1 });
+    b.jmp(bounce);
+    b.bind(absorbed);
+    b.emit(Inst::AmoAdd { rd: r(18), base: r(6), imm: -1 });
+    b.emit(Inst::Halt);
+
+    let program = b.finish("main").expect("gamteb builds");
+    let expected = reference(&p);
+    Workload {
+        name: "Gamteb",
+        parallel: true,
+        program,
+        source_lines: include_str!("gamteb.rs").lines().count(),
+        mem_init: vec![(xsec_base as u32, xsec())],
+        check: expect_words(RESULT_BASE, vec![expected]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run;
+    use nsf_sim::SimConfig;
+
+    #[test]
+    fn tally_matches_reference() {
+        let w = build(0);
+        let r = run(&w, SimConfig::default()).expect("gamteb validates");
+        assert_eq!(r.spawns, u64::from(params(0).particles));
+        // Very fine grain: the remote load blocks every bounce.
+        assert!(
+            r.instrs_per_switch() < 64.0,
+            "gamteb must switch constantly, got {}",
+            r.instrs_per_switch()
+        );
+    }
+
+    #[test]
+    fn more_particles_change_checksum() {
+        assert_ne!(reference(&params(0)), reference(&params(1)));
+    }
+}

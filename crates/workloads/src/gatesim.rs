@@ -1,0 +1,346 @@
+//! GateSim — a gate-level logic simulator (sequential).
+//!
+//! The paper's largest sequential benchmark (51 k source lines, 488 M
+//! executed instructions) was a gate-level simulator. Ours evaluates a
+//! randomly generated combinational netlist **demand-driven and
+//! recursively**: `eval(idx)` recursively evaluates a gate's fan-in cone
+//! with per-timestep memoisation, exactly like an event-free levelizing
+//! simulator. The recursion produces the deep, data-dependent procedure
+//! call chains whose register behaviour the paper's sequential evaluation
+//! hinges on ("the NSF can hold the entire call chain of a large
+//! sequential program"). Output checksums are validated against a Rust
+//! reference simulation.
+//!
+//! Memory layout (word addressed, from [`DATA_BASE`]):
+//!
+//! ```text
+//! OPS[NG]      gate kinds (0=and 1=or 2=xor 3=nand)
+//! IN1[NG]      first input index (into the value array)
+//! IN2[NG]      second input index
+//! VALS[NI+NG]  primary inputs then gate outputs
+//! DONE[NI+NG]  memo stamps (timestep+1 when computed)
+//! INPUTS[T*NI] pregenerated input vectors
+//! ```
+
+use crate::harness::{expect_words, Workload, DATA_BASE, RESULT_BASE};
+use crate::util::{counted_loop, lcg};
+use nsf_compiler::{compile, BinOp, CompileOpts, Cond, FuncBuilder, Module, Operand};
+
+struct Params {
+    gates: u32,
+    inputs: u32,
+    steps: u32,
+}
+
+fn params(scale: u32) -> Params {
+    match scale {
+        0 => Params { gates: 24, inputs: 8, steps: 4 },
+        1 => Params { gates: 120, inputs: 16, steps: 40 },
+        n => Params { gates: 120 * n, inputs: 16, steps: 40 * n },
+    }
+}
+
+/// Deterministic netlist generation (shared by program and reference).
+fn netlist(p: &Params) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let mut x = 0xC0FF_EE01u32;
+    let mut ops = Vec::new();
+    let mut in1 = Vec::new();
+    let mut in2 = Vec::new();
+    for g in 0..p.gates {
+        x = lcg(x);
+        // Roughly one gate in eight is a latch (state element); the rest
+        // are combinational.
+        ops.push(if (x >> 21).is_multiple_of(8) { 4 } else { (x >> 13) & 3 });
+        // Inputs come from primary inputs or earlier gates only; bias
+        // toward recent gates so fan-in cones grow deep.
+        let pool = p.inputs + g;
+        x = lcg(x);
+        let a = (x >> 7) % pool;
+        x = lcg(x);
+        let b = if g > 0 && !(x >> 3).is_multiple_of(4) {
+            // usually the immediately preceding gate → long chains
+            p.inputs + g - 1
+        } else {
+            (x >> 9) % pool
+        };
+        in1.push(a);
+        in2.push(b);
+    }
+    (ops, in1, in2)
+}
+
+fn input_vectors(p: &Params) -> Vec<u32> {
+    let mut x = 0xBEEF_CAFEu32;
+    (0..p.steps * p.inputs)
+        .map(|_| {
+            x = lcg(x);
+            (x >> 16) & 1
+        })
+        .collect()
+}
+
+fn gate_fn(op: u32, a: u32, b: u32) -> u32 {
+    match op {
+        0 => a & b,
+        1 => a | b,
+        2 => a ^ b,
+        _ => (a & b) ^ 1,
+    }
+}
+
+/// Reference simulation in Rust (full evaluation; combinational, so it
+/// agrees with the program's demand-driven evaluation).
+fn reference(p: &Params) -> u32 {
+    let (ops, in1, in2) = netlist(p);
+    let inputs = input_vectors(p);
+    let mut vals = vec![0u32; (p.inputs + p.gates) as usize];
+    let mut latch = vec![0u32; p.gates as usize];
+    let mut acc = 0u32;
+    for t in 0..p.steps {
+        for i in 0..p.inputs {
+            vals[i as usize] = inputs[(t * p.inputs + i) as usize];
+        }
+        for g in 0..p.gates {
+            let a = vals[in1[g as usize] as usize];
+            let b = vals[in2[g as usize] as usize];
+            vals[(p.inputs + g) as usize] = if ops[g as usize] == 4 {
+                latch[g as usize] // state element: last timestep's input
+            } else {
+                gate_fn(ops[g as usize], a, b)
+            };
+        }
+        // Clock edge: every latch captures its (combinational) input.
+        for g in 0..p.gates {
+            if ops[g as usize] == 4 {
+                latch[g as usize] = vals[in1[g as usize] as usize];
+            }
+        }
+        let out = vals[(p.inputs + p.gates - 1) as usize];
+        acc = acc.wrapping_mul(31).wrapping_add(out);
+    }
+    acc
+}
+
+/// Builds the GateSim workload at the given scale.
+pub fn build(scale: u32) -> Workload {
+    build_with_hints(scale, false)
+}
+
+/// Builds GateSim with or without explicit register-deallocation hints
+/// (`rfree` after last use — the paper's §4.2 option; used by the
+/// hint ablation).
+pub fn build_with_hints(scale: u32, free_hints: bool) -> Workload {
+    let p = params(scale);
+    let ng = p.gates as i32;
+    let ni = p.inputs as i32;
+    let base = DATA_BASE as i32;
+    let ops_base = base;
+    let in1_base = base + ng;
+    let in2_base = base + 2 * ng;
+    let vals_base = base + 3 * ng;
+    let done_base = vals_base + ni + ng;
+    let lstate_base = done_base + ni + ng; // latch state, one slot per gate
+    let inputs_base = lstate_base + ng;
+
+    // fn eval(idx, stamp) -> value: demand-driven recursive evaluation.
+    let eval = {
+        let mut f = FuncBuilder::new("eval", 2);
+        let idx = f.param(0);
+        let stamp = f.param(1);
+        let prim = f.new_block();
+        let not_prim = f.new_block();
+        let memo_hit = f.new_block();
+        let compute = f.new_block();
+        f.br(Cond::Lt, idx, ni, prim, not_prim);
+        // Primary input: read directly.
+        f.switch_to(prim);
+        let a = f.bin(BinOp::Add, idx, vals_base);
+        let v = f.load(a, 0);
+        f.ret(Some(v.into()));
+        // Memoised this timestep?
+        f.switch_to(not_prim);
+        let da = f.bin(BinOp::Add, idx, done_base);
+        let done = f.load(da, 0);
+        f.br(Cond::Eq, done, stamp, memo_hit, compute);
+        f.switch_to(memo_hit);
+        let a = f.bin(BinOp::Add, idx, vals_base);
+        let v = f.load(a, 0);
+        f.ret(Some(v.into()));
+        // Latches read their stored state; combinational gates recurse
+        // into their fan-ins. Either way the result is memoised below.
+        f.switch_to(compute);
+        let g = f.bin(BinOp::Sub, idx, ni);
+        let oa = f.bin(BinOp::Add, g, ops_base);
+        let op = f.load(oa, 0);
+        let r = f.vreg();
+        let is_latch = f.new_block();
+        let not_latch = f.new_block();
+        let is_and = f.new_block();
+        let not_and = f.new_block();
+        let is_or = f.new_block();
+        let not_or = f.new_block();
+        let is_xor = f.new_block();
+        let is_nand = f.new_block();
+        let done_blk = f.new_block();
+        f.br(Cond::Eq, op, 4, is_latch, not_latch);
+        f.switch_to(is_latch);
+        let la = f.bin(BinOp::Add, g, lstate_base);
+        let lv = f.load(la, 0);
+        f.copy_to(r, lv);
+        f.jmp(done_blk);
+        f.switch_to(not_latch);
+        let ia = f.bin(BinOp::Add, g, in1_base);
+        let src_a = f.load(ia, 0);
+        let ib = f.bin(BinOp::Add, g, in2_base);
+        let src_b = f.load(ib, 0);
+        let av = f
+            .call("eval", vec![Operand::Reg(src_a), Operand::Reg(stamp)], true)
+            .expect("ret");
+        let bv = f
+            .call("eval", vec![Operand::Reg(src_b), Operand::Reg(stamp)], true)
+            .expect("ret");
+        f.br(Cond::Eq, op, 0, is_and, not_and);
+        f.switch_to(is_and);
+        f.bin_to(r, BinOp::And, av, bv);
+        f.jmp(done_blk);
+        f.switch_to(not_and);
+        f.br(Cond::Eq, op, 1, is_or, not_or);
+        f.switch_to(is_or);
+        f.bin_to(r, BinOp::Or, av, bv);
+        f.jmp(done_blk);
+        f.switch_to(not_or);
+        f.br(Cond::Eq, op, 2, is_xor, is_nand);
+        f.switch_to(is_xor);
+        f.bin_to(r, BinOp::Xor, av, bv);
+        f.jmp(done_blk);
+        f.switch_to(is_nand);
+        let nand = f.bin(BinOp::And, av, bv);
+        f.bin_to(r, BinOp::Xor, nand, 1);
+        f.jmp(done_blk);
+        f.switch_to(done_blk);
+        let va = f.bin(BinOp::Add, idx, vals_base);
+        f.store(r, va, 0);
+        let da2 = f.bin(BinOp::Add, idx, done_base);
+        f.store(stamp, da2, 0);
+        f.ret(Some(r.into()));
+        f.finish()
+    };
+
+    // fn update_latches(stamp): the clock edge, in two phases. Phase 1
+    // evaluates (and memoises) every latch's input under this timestep's
+    // stamp while all latch state is still old; phase 2 re-reads the
+    // memoised values and commits them. A single pass would let an early
+    // latch's new state leak into a later latch's input cone.
+    let update_latches = {
+        let mut f = FuncBuilder::new("update_latches", 1);
+        let stamp = f.param(0);
+        for phase in 0..2 {
+            counted_loop(&mut f, 0, ng, |f, g| {
+                let oa = f.bin(BinOp::Add, g, ops_base);
+                let op = f.load(oa, 0);
+                let capture = f.new_block();
+                let next = f.new_block();
+                f.br(Cond::Eq, op, 4, capture, next);
+                f.switch_to(capture);
+                let ia = f.bin(BinOp::Add, g, in1_base);
+                let src = f.load(ia, 0);
+                let v = f
+                    .call("eval", vec![Operand::Reg(src), Operand::Reg(stamp)], true)
+                    .expect("ret");
+                if phase == 1 {
+                    // Phase-2 eval is a memo hit; commit the captured value.
+                    let la = f.bin(BinOp::Add, g, lstate_base);
+                    f.store(v, la, 0);
+                }
+                f.jmp(next);
+                f.switch_to(next);
+            });
+        }
+        f.ret(None);
+        f.finish()
+    };
+
+    // fn load_inputs(t): copies the t-th input vector into VALS[0..NI).
+    let load_inputs = {
+        let mut f = FuncBuilder::new("load_inputs", 1);
+        let t = f.param(0);
+        let row = f.bin(BinOp::Mul, t, ni);
+        let src = f.bin(BinOp::Add, row, inputs_base);
+        counted_loop(&mut f, 0, ni, |f, i| {
+            let s = f.bin(BinOp::Add, src, i);
+            let v = f.load(s, 0);
+            let d = f.bin(BinOp::Add, i, vals_base);
+            f.store(v, d, 0);
+        });
+        f.ret(None);
+        f.finish()
+    };
+
+    // fn main(): timestep loop with checksum accumulation.
+    let main = {
+        let mut f = FuncBuilder::new("main", 0);
+        let acc = f.copy(0);
+        counted_loop(&mut f, 0, p.steps as i32, |f, t| {
+            f.call("load_inputs", vec![Operand::Reg(t)], false);
+            let stamp = f.bin(BinOp::Add, t, 1);
+            let root = f.copy(ni + ng - 1);
+            let out = f
+                .call("eval", vec![Operand::Reg(root), Operand::Reg(stamp)], true)
+                .expect("ret");
+            let scaled = f.bin(BinOp::Mul, acc, 31);
+            f.bin_to(acc, BinOp::Add, scaled, out);
+            f.call("update_latches", vec![Operand::Reg(stamp)], false);
+        });
+        f.store(acc, RESULT_BASE as i32, 0);
+        f.ret(None);
+        f.finish()
+    };
+
+    let module = Module::default()
+        .with(main)
+        .with(load_inputs)
+        .with(update_latches)
+        .with(eval);
+    let opts = CompileOpts { free_hints, ..Default::default() };
+    let program = compile(&module, "main", opts).expect("gatesim compiles");
+
+    let (ops, in1, in2) = netlist(&p);
+    let expected = reference(&p);
+    Workload {
+        name: "GateSim",
+        parallel: false,
+        program,
+        source_lines: include_str!("gatesim.rs").lines().count(),
+        mem_init: vec![
+            (DATA_BASE, ops),
+            (DATA_BASE + p.gates, in1),
+            (DATA_BASE + 2 * p.gates, in2),
+            (inputs_base as u32, input_vectors(&p)),
+        ],
+        check: expect_words(RESULT_BASE, vec![expected]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run;
+    use nsf_sim::SimConfig;
+
+    #[test]
+    fn produces_reference_checksum_on_nsf() {
+        let w = build(0);
+        let r = run(&w, SimConfig::default()).expect("gatesim validates");
+        assert!(r.instructions > 1000);
+        assert!(r.calls > 20, "recursive gate evaluation calls");
+        // Sequential programs average roughly tens of instructions per
+        // context switch (Table 1's GateSim: 39).
+        let ipcs = r.instrs_per_switch();
+        assert!((5.0..200.0).contains(&ipcs), "instrs/switch {ipcs}");
+    }
+
+    #[test]
+    fn reference_is_input_sensitive() {
+        assert_ne!(reference(&params(0)), reference(&params(1)));
+    }
+}

@@ -1,0 +1,243 @@
+//! Paraffins — counting alkyl radicals (fine-grain dependency graph).
+//!
+//! The Id benchmark enumerates paraffin isomers; its computational core
+//! is the radical-counting recurrence. We count **alkyl radicals**: a
+//! radical of size `n` is a carbon bonded to three sub-radicals whose
+//! sizes sum to `n − 1`, counted up to symmetry:
+//!
+//! ```text
+//! r[0] = 1
+//! r[n] = Σ_{i≤j≤k, i+j+k=n−1}  ⎧ r_i·r_j·r_k              (i<j<k)
+//!                              ⎨ C(r_i+1,2)·r_k            (i=j<k)
+//!                              ⎨ r_i·C(r_j+1,2)            (i<j=k)
+//!                              ⎩ C(r_i+2,3)                (i=j=k)
+//! ```
+//!
+//! giving the classic series 1, 1, 1, 2, 4, 8, 17, 39, 89, 211, … .
+//!
+//! The translation is TAM-like in two ways. First, the code is
+//! **specialised at translation time**: one thread per size `n`, plus one
+//! tiny thread per term of `r[n]`'s sum, each with the triple `(i,j,k)`
+//! baked in and its locals folded into context registers without reuse.
+//! Second, the term threads fetch their `r_i` inputs with **remote
+//! loads** (heap structures live across the machine in the Id model), so
+//! they block and switch every few instructions — this is one of the
+//! paper's fine-grain benchmarks (76 instructions per switch).
+
+use crate::harness::{Workload, DATA_BASE, RESULT_BASE};
+use nsf_isa::{Inst, ProgramBuilder, Reg};
+use nsf_mem::MemSystem;
+
+struct Params {
+    n_max: u32,
+}
+
+fn params(scale: u32) -> Params {
+    match scale {
+        0 => Params { n_max: 8 },
+        1 => Params { n_max: 12 },
+        s => Params { n_max: (12 + s).min(20) },
+    }
+}
+
+/// Number of alkyl radicals with `n` carbons, up to `n_max`.
+pub fn radicals(n_max: u32) -> Vec<u32> {
+    let mut r = vec![0u32; (n_max + 1) as usize];
+    r[0] = 1;
+    for n in 1..=n_max as usize {
+        let mut total = 0u64;
+        for (i, j, k) in triples(n as u32) {
+            let (ri, rj, rk) = (
+                u64::from(r[i as usize]),
+                u64::from(r[j as usize]),
+                u64::from(r[k as usize]),
+            );
+            total += if i == j && j == k {
+                ri * (ri + 1) * (ri + 2) / 6
+            } else if i == j {
+                ri * (ri + 1) / 2 * rk
+            } else if j == k {
+                ri * (rj * (rj + 1) / 2)
+            } else {
+                ri * rj * rk
+            };
+        }
+        r[n] = u32::try_from(total).expect("fits in u32 for n <= 20");
+    }
+    r
+}
+
+/// The `(i, j, k)` triples contributing to `r[n]`.
+fn triples(n: u32) -> Vec<(u32, u32, u32)> {
+    let mut out = Vec::new();
+    let rest = n - 1;
+    for i in 0..n {
+        for j in i..n {
+            if i + j > rest {
+                break;
+            }
+            let k = rest - i - j;
+            if k < j {
+                break;
+            }
+            out.push((i, j, k));
+        }
+    }
+    out
+}
+
+/// Builds the Paraffins workload at the given scale.
+pub fn build(scale: u32) -> Workload {
+    let p = params(scale);
+    let n_max = p.n_max;
+    let r_base = DATA_BASE as i32;
+    let ready_base = r_base + n_max as i32 + 1; // READY[n], 1 = not ready
+    let tjoin_base = ready_base + n_max as i32 + 1; // per-size term joins
+    let join_addr = (RESULT_BASE + 8) as i32;
+    let r = Reg::R;
+
+    let mut b = ProgramBuilder::new();
+    let size_workers: Vec<_> = (1..=n_max).map(|_| b.new_label()).collect();
+    let term_workers: Vec<Vec<_>> = (1..=n_max)
+        .map(|n| triples(n).iter().map(|_| b.new_label()).collect())
+        .collect();
+
+    // main: join = n_max, spawn a specialised thread per size, wait.
+    b.export("main");
+    b.load_const(r(0), n_max as i32);
+    b.load_const(r(1), join_addr);
+    b.emit(Inst::Sw { base: r(1), src: r(0), imm: 0 });
+    for (idx, w) in size_workers.iter().enumerate() {
+        b.load_const(r(2), idx as i32 + 1);
+        b.spawn(*w, r(2));
+    }
+    b.emit(Inst::SyncWait { base: r(1), imm: 0 });
+    b.emit(Inst::Halt);
+
+    // Size thread n: wait for r[n-1], fan the terms out, join them,
+    // publish r[n].
+    for (idx, w) in size_workers.iter().enumerate() {
+        let n = idx as u32 + 1;
+        let terms = &term_workers[idx];
+        b.bind(*w);
+        b.export(&format!("radical_{n}"));
+        b.load_const(r(0), ready_base + n as i32 - 1);
+        b.emit(Inst::SyncWait { base: r(0), imm: 0 });
+        // TERM_JOIN[n] = #terms, then spawn each term thread.
+        b.load_const(r(1), tjoin_base + n as i32);
+        b.load_const(r(2), terms.len() as i32);
+        b.emit(Inst::Sw { base: r(1), src: r(2), imm: 0 });
+        for t in terms {
+            b.emit(Inst::Li { rd: r(3), imm: 0 });
+            b.spawn(*t, r(3));
+        }
+        b.emit(Inst::SyncWait { base: r(1), imm: 0 });
+        // READY[n] = 0; join main.
+        b.load_const(r(4), ready_base + n as i32);
+        b.emit(Inst::Li { rd: r(5), imm: 0 });
+        b.emit(Inst::Sw { base: r(4), src: r(5), imm: 0 });
+        b.load_const(r(6), join_addr);
+        b.emit(Inst::AmoAdd { rd: r(7), base: r(6), imm: -1 });
+        b.emit(Inst::Halt);
+    }
+
+    // Term thread (n; i,j,k): remote-fetch inputs, compute the symmetry-
+    // corrected product, accumulate into r[n], decrement the term join.
+    for (idx, terms) in term_workers.iter().enumerate() {
+        let n = idx as u32 + 1;
+        for (t_idx, t_label) in terms.iter().enumerate() {
+            let (i, j, k) = triples(n)[t_idx];
+            b.bind(*t_label);
+            b.load_const(r(0), r_base);
+            // Radical table entries live on remote heap nodes: each
+            // fetch blocks (the paper's fine-grain behaviour).
+            b.emit(Inst::LwRemote { rd: r(1), base: r(0), imm: i as i32 });
+            b.emit(Inst::LwRemote { rd: r(2), base: r(0), imm: j as i32 });
+            b.emit(Inst::LwRemote { rd: r(3), base: r(0), imm: k as i32 });
+            // Term value into r7 (locals r4-r6 are scratch, never reused).
+            if i == j && j == k {
+                b.emit(Inst::Addi { rd: r(4), rs1: r(1), imm: 1 });
+                b.emit(Inst::Addi { rd: r(5), rs1: r(1), imm: 2 });
+                b.emit(Inst::Mul { rd: r(7), rs1: r(1), rs2: r(4) });
+                b.emit(Inst::Mul { rd: r(7), rs1: r(7), rs2: r(5) });
+                b.emit(Inst::Li { rd: r(6), imm: 6 });
+                b.emit(Inst::Div { rd: r(7), rs1: r(7), rs2: r(6) });
+            } else if i == j {
+                b.emit(Inst::Addi { rd: r(4), rs1: r(1), imm: 1 });
+                b.emit(Inst::Mul { rd: r(7), rs1: r(1), rs2: r(4) });
+                b.emit(Inst::Srli { rd: r(7), rs1: r(7), imm: 1 });
+                b.emit(Inst::Mul { rd: r(7), rs1: r(7), rs2: r(3) });
+            } else if j == k {
+                b.emit(Inst::Addi { rd: r(4), rs1: r(2), imm: 1 });
+                b.emit(Inst::Mul { rd: r(7), rs1: r(2), rs2: r(4) });
+                b.emit(Inst::Srli { rd: r(7), rs1: r(7), imm: 1 });
+                b.emit(Inst::Mul { rd: r(7), rs1: r(7), rs2: r(1) });
+            } else {
+                b.emit(Inst::Mul { rd: r(7), rs1: r(1), rs2: r(2) });
+                b.emit(Inst::Mul { rd: r(7), rs1: r(7), rs2: r(3) });
+            }
+            // r[n] += term. The load/add/store triplet cannot be torn:
+            // block multithreading switches only at blocking points.
+            b.emit(Inst::Lw { rd: r(8), base: r(0), imm: n as i32 });
+            b.emit(Inst::Add { rd: r(9), rs1: r(8), rs2: r(7) });
+            b.emit(Inst::Sw { base: r(0), src: r(9), imm: n as i32 });
+            b.load_const(r(10), tjoin_base + n as i32);
+            b.emit(Inst::AmoAdd { rd: r(11), base: r(10), imm: -1 });
+            b.emit(Inst::Halt);
+        }
+    }
+
+    let program = b.finish("main").expect("paraffins builds");
+    let expected = radicals(n_max);
+    let check_base = DATA_BASE;
+    Workload {
+        name: "Paraffins",
+        parallel: true,
+        program,
+        source_lines: include_str!("paraffins.rs").lines().count(),
+        mem_init: vec![
+            (DATA_BASE, vec![1]), // r[0] = 1
+            // READY[0] = 0 (ready), READY[1..=n_max] = 1 (pending).
+            (
+                ready_base as u32,
+                std::iter::once(0)
+                    .chain(std::iter::repeat_n(1, n_max as usize))
+                    .collect(),
+            ),
+        ],
+        check: Box::new(move |mem: &MemSystem| {
+            for (n, &want) in expected.iter().enumerate() {
+                let got = mem.peek(check_base + n as u32);
+                if got != want {
+                    return Err(format!("r[{n}]: expected {want}, got {got}"));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run;
+    use nsf_sim::SimConfig;
+
+    #[test]
+    fn radical_series_is_correct() {
+        assert_eq!(radicals(9), vec![1, 1, 1, 2, 4, 8, 17, 39, 89, 211]);
+    }
+
+    #[test]
+    fn program_computes_radicals() {
+        let w = build(0);
+        let r = run(&w, SimConfig::default()).expect("paraffins validates");
+        // One thread per size plus one per term.
+        assert!(r.spawns > u64::from(params(0).n_max));
+        assert!(
+            r.instrs_per_switch() < 150.0,
+            "paraffins is fine-grained, got {}",
+            r.instrs_per_switch()
+        );
+    }
+}

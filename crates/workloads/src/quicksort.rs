@@ -1,0 +1,203 @@
+//! Quicksort — thread-per-partition sorting (fine grain).
+//!
+//! The paper's parallel Quicksort switches every ~20 instructions: TAM
+//! spawns an activation per partition step. Ours does the same: each
+//! task thread partitions its range (Lomuto), spawns a child task for the
+//! left half and iterates on the right, yielding at activation
+//! boundaries; small ranges finish with insertion sort. Task descriptors
+//! are bump-allocated from a shared arena with `amoadd`; an open-task
+//! counter provides the join.
+//!
+//! The check compares the whole array against Rust's sort — any lost or
+//! duplicated element, racy descriptor, or broken partition shows up.
+
+use crate::harness::{Workload, DATA_BASE, RESULT_BASE};
+use crate::util::lcg;
+use nsf_isa::{Inst, ProgramBuilder, Reg};
+use nsf_mem::MemSystem;
+
+const CUTOFF: i32 = 8;
+
+struct Params {
+    n: u32,
+}
+
+fn params(scale: u32) -> Params {
+    match scale {
+        0 => Params { n: 128 },
+        1 => Params { n: 2048 },
+        s => Params { n: 2048 * s },
+    }
+}
+
+fn initial_array(p: &Params) -> Vec<u32> {
+    let mut x = 0x50FA_0001u32;
+    (0..p.n)
+        .map(|_| {
+            x = lcg(x);
+            x >> 4
+        })
+        .collect()
+}
+
+/// Builds the Quicksort workload at the given scale.
+pub fn build(scale: u32) -> Workload {
+    let p = params(scale);
+    let a_base = DATA_BASE as i32;
+    let open_addr = (RESULT_BASE + 8) as i32;
+    let arena_ptr = (RESULT_BASE + 9) as i32;
+    let arena_base = (RESULT_BASE + 16) as i32;
+    let r = Reg::R;
+
+    let mut b = ProgramBuilder::new();
+    let task = b.new_label();
+
+    // main: seed the root task descriptor and wait for quiescence.
+    b.export("main");
+    b.load_const(r(0), arena_base);
+    b.emit(Inst::Li { rd: r(1), imm: 0 });
+    b.emit(Inst::Sw { base: r(0), src: r(1), imm: 0 }); // lo = 0
+    b.load_const(r(2), p.n as i32);
+    b.emit(Inst::Sw { base: r(0), src: r(2), imm: 1 }); // hi = n
+    b.spawn(task, r(0));
+    b.load_const(r(3), open_addr);
+    b.emit(Inst::SyncWait { base: r(3), imm: 0 });
+    b.emit(Inst::Halt);
+
+    // task(desc): partition loop with child spawns.
+    b.bind(task);
+    b.export("qsort_task");
+    b.emit(Inst::Mv { rd: r(0), rs1: nsf_isa::RV }); // desc
+    b.emit(Inst::Lw { rd: r(1), base: r(0), imm: 0 }); // lo
+    b.emit(Inst::Lw { rd: r(2), base: r(0), imm: 1 }); // hi
+    b.load_const(r(3), a_base);
+    b.load_const(r(4), CUTOFF);
+    b.load_const(r(5), open_addr);
+    b.load_const(r(6), arena_ptr);
+    let part_loop = b.new_label();
+    let small = b.new_label();
+    b.bind(part_loop);
+    b.emit(Inst::Sub { rd: r(7), rs1: r(2), rs2: r(1) });
+    b.blt(r(7), r(4), small);
+    // Lomuto partition, pivot = A[hi-1].
+    b.emit(Inst::Add { rd: r(8), rs1: r(3), rs2: r(2) });
+    b.emit(Inst::Lw { rd: r(9), base: r(8), imm: -1 }); // pivot
+    b.emit(Inst::Mv { rd: r(10), rs1: r(1) }); // i
+    b.emit(Inst::Mv { rd: r(11), rs1: r(1) }); // j
+    b.emit(Inst::Addi { rd: r(12), rs1: r(2), imm: -1 }); // hi-1
+    let scan = b.new_label();
+    let scan_done = b.new_label();
+    let no_swap = b.new_label();
+    b.bind(scan);
+    b.bge(r(11), r(12), scan_done);
+    b.emit(Inst::Add { rd: r(13), rs1: r(3), rs2: r(11) });
+    b.emit(Inst::Lw { rd: r(14), base: r(13), imm: 0 });
+    b.bge(r(14), r(9), no_swap);
+    b.emit(Inst::Add { rd: r(15), rs1: r(3), rs2: r(10) });
+    b.emit(Inst::Lw { rd: r(16), base: r(15), imm: 0 });
+    b.emit(Inst::Sw { base: r(15), src: r(14), imm: 0 });
+    b.emit(Inst::Sw { base: r(13), src: r(16), imm: 0 });
+    b.emit(Inst::Addi { rd: r(10), rs1: r(10), imm: 1 });
+    b.bind(no_swap);
+    b.emit(Inst::Addi { rd: r(11), rs1: r(11), imm: 1 });
+    b.jmp(scan);
+    b.bind(scan_done);
+    // Swap pivot into place: A[i] <-> A[hi-1].
+    b.emit(Inst::Add { rd: r(17), rs1: r(3), rs2: r(10) });
+    b.emit(Inst::Lw { rd: r(18), base: r(17), imm: 0 });
+    b.emit(Inst::Lw { rd: r(19), base: r(8), imm: -1 });
+    b.emit(Inst::Sw { base: r(17), src: r(19), imm: 0 });
+    b.emit(Inst::Sw { base: r(8), src: r(18), imm: -1 });
+    // Spawn the left half [lo, i) as a child task.
+    b.emit(Inst::AmoAdd { rd: r(20), base: r(5), imm: 1 }); // open++
+    b.emit(Inst::AmoAdd { rd: r(21), base: r(6), imm: 2 }); // bump arena
+    b.emit(Inst::Sw { base: r(21), src: r(1), imm: 0 });
+    b.emit(Inst::Sw { base: r(21), src: r(10), imm: 1 });
+    b.spawn(task, r(21));
+    // Iterate on the right half [i+1, hi); yield at the activation
+    // boundary like a TAM thread split.
+    b.emit(Inst::Addi { rd: r(1), rs1: r(10), imm: 1 });
+    b.emit(Inst::Yield);
+    b.jmp(part_loop);
+    // Insertion sort for [lo, hi).
+    b.bind(small);
+    b.emit(Inst::Addi { rd: r(22), rs1: r(1), imm: 1 }); // i
+    let ins_outer = b.new_label();
+    let ins_inner = b.new_label();
+    let ins_place = b.new_label();
+    let ins_done = b.new_label();
+    b.bind(ins_outer);
+    b.bge(r(22), r(2), ins_done);
+    b.emit(Inst::Add { rd: r(23), rs1: r(3), rs2: r(22) });
+    b.emit(Inst::Lw { rd: r(24), base: r(23), imm: 0 }); // key
+    b.emit(Inst::Mv { rd: r(25), rs1: r(22) }); // j
+    b.bind(ins_inner);
+    b.bge(r(1), r(25), ins_place); // j <= lo
+    b.emit(Inst::Add { rd: r(26), rs1: r(3), rs2: r(25) });
+    b.emit(Inst::Lw { rd: r(27), base: r(26), imm: -1 });
+    b.bge(r(24), r(27), ins_place); // A[j-1] <= key
+    b.emit(Inst::Sw { base: r(26), src: r(27), imm: 0 });
+    b.emit(Inst::Addi { rd: r(25), rs1: r(25), imm: -1 });
+    b.jmp(ins_inner);
+    b.bind(ins_place);
+    b.emit(Inst::Add { rd: r(28), rs1: r(3), rs2: r(25) });
+    b.emit(Inst::Sw { base: r(28), src: r(24), imm: 0 });
+    b.emit(Inst::Addi { rd: r(22), rs1: r(22), imm: 1 });
+    // Each inserted element is its own TAM activation: yield.
+    b.emit(Inst::Yield);
+    b.jmp(ins_outer);
+    b.bind(ins_done);
+    b.emit(Inst::AmoAdd { rd: r(29), base: r(5), imm: -1 }); // open--
+    b.emit(Inst::Halt);
+
+    let program = b.finish("main").expect("quicksort builds");
+    let input = initial_array(&p);
+    let mut expected = input.clone();
+    expected.sort_unstable();
+    let n = p.n;
+    Workload {
+        name: "Quicksort",
+        parallel: true,
+        program,
+        source_lines: include_str!("quicksort.rs").lines().count(),
+        mem_init: vec![
+            (DATA_BASE, input),
+            (open_addr as u32, vec![1]), // the root task is open
+            (arena_ptr as u32, vec![arena_base as u32 + 2]),
+        ],
+        check: Box::new(move |mem: &MemSystem| {
+            for (i, &want) in expected.iter().enumerate() {
+                let got = mem.peek(DATA_BASE + i as u32);
+                if got != want {
+                    return Err(format!("A[{i}] of {n}: expected {want}, got {got}"));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run;
+    use nsf_sim::SimConfig;
+
+    #[test]
+    fn sorts_correctly() {
+        let w = build(0);
+        let r = run(&w, SimConfig::default()).expect("quicksort validates");
+        assert!(r.spawns >= 2, "parallel recursion must spawn tasks");
+        assert!(
+            r.instrs_per_switch() < 500.0,
+            "quicksort is fine-grained, got {}",
+            r.instrs_per_switch()
+        );
+    }
+
+    #[test]
+    fn input_is_unsorted() {
+        let a = initial_array(&params(0));
+        assert!(a.windows(2).any(|w| w[0] > w[1]));
+    }
+}

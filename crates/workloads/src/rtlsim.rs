@@ -1,0 +1,259 @@
+//! RTLSim — a register-transfer-level machine interpreter (sequential).
+//!
+//! The paper's second sequential benchmark (30 k source lines) was an RTL
+//! simulator. Ours interprets a randomly generated micro-operation
+//! program over a bank of RTL registers, for many cycles. The interpreter
+//! is structured as nested procedures — `run_cycle` → `do_uop` →
+//! `fetch`/`apply` — giving the call-per-operation rhythm of the original
+//! (Table 1: ~63 instructions per context switch).
+//!
+//! Memory layout (from [`DATA_BASE`]):
+//!
+//! ```text
+//! UOP_OP[NU]  micro-op kind (0=add 1=sub 2=and 3=xor 4=shl1 5=slt)
+//! UOP_D[NU]   destination RTL register
+//! UOP_A[NU]   first source RTL register
+//! UOP_B[NU]   second source RTL register
+//! REGS[NR]    the simulated machine's register bank
+//! ```
+
+use crate::harness::{expect_words, Workload, DATA_BASE, RESULT_BASE};
+use crate::util::{counted_loop, lcg};
+use nsf_compiler::{compile, BinOp, CompileOpts, Cond, FuncBuilder, Module, Operand};
+
+struct Params {
+    uops: u32,
+    regs: u32,
+    cycles: u32,
+}
+
+fn params(scale: u32) -> Params {
+    match scale {
+        0 => Params { uops: 16, regs: 8, cycles: 5 },
+        1 => Params { uops: 64, regs: 16, cycles: 60 },
+        n => Params { uops: 64, regs: 16, cycles: 60 * n },
+    }
+}
+
+fn machine_description(p: &Params) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
+    let mut x = 0x5EED_1234u32;
+    let mut op = Vec::new();
+    let mut d = Vec::new();
+    let mut a = Vec::new();
+    let mut bb = Vec::new();
+    for _ in 0..p.uops {
+        x = lcg(x);
+        op.push((x >> 11) % 6);
+        x = lcg(x);
+        d.push((x >> 9) % p.regs);
+        x = lcg(x);
+        a.push((x >> 13) % p.regs);
+        x = lcg(x);
+        bb.push((x >> 17) % p.regs);
+    }
+    (op, d, a, bb)
+}
+
+fn initial_regs(p: &Params) -> Vec<u32> {
+    let mut x = 0x0DDB_A115u32;
+    (0..p.regs)
+        .map(|_| {
+            x = lcg(x);
+            x >> 8
+        })
+        .collect()
+}
+
+fn apply_uop(op: u32, a: u32, b: u32) -> u32 {
+    match op {
+        0 => a.wrapping_add(b),
+        1 => a.wrapping_sub(b),
+        2 => a & b,
+        3 => a ^ b,
+        4 => a << 1,
+        _ => u32::from((a as i32) < (b as i32)),
+    }
+}
+
+fn reference(p: &Params) -> u32 {
+    let (op, d, a, b) = machine_description(p);
+    let mut regs = initial_regs(p);
+    for _ in 0..p.cycles {
+        for u in 0..p.uops as usize {
+            regs[d[u] as usize] = apply_uop(op[u], regs[a[u] as usize], regs[b[u] as usize]);
+        }
+    }
+    let mut acc = 0u32;
+    for r in regs {
+        acc = acc.wrapping_mul(31).wrapping_add(r);
+    }
+    acc
+}
+
+/// Builds the RTLSim workload at the given scale.
+pub fn build(scale: u32) -> Workload {
+    let p = params(scale);
+    let nu = p.uops as i32;
+    let nr = p.regs as i32;
+    let base = DATA_BASE as i32;
+    let op_base = base;
+    let d_base = base + nu;
+    let a_base = base + 2 * nu;
+    let b_base = base + 3 * nu;
+    let regs_base = base + 4 * nu;
+
+    // fn read_port(addr) -> mem[addr]: the lowest access layer.
+    let read_port = {
+        let mut f = FuncBuilder::new("read_port", 1);
+        let a = f.param(0);
+        let v = f.load(a, 0);
+        f.ret(Some(v.into()));
+        f.finish()
+    };
+
+    // fn fetch(r) -> REGS[r], via the port-read layer (the deep call
+    // chain is what exercises frame-based register files).
+    let fetch = {
+        let mut f = FuncBuilder::new("fetch", 1);
+        let r = f.param(0);
+        let addr = f.bin(BinOp::Add, r, regs_base);
+        let v = f
+            .call("read_port", vec![Operand::Reg(addr)], true)
+            .expect("ret");
+        f.ret(Some(v.into()));
+        f.finish()
+    };
+
+    // fn apply(op, a, b) -> result
+    let apply = {
+        let mut f = FuncBuilder::new("apply", 3);
+        let op = f.param(0);
+        let a = f.param(1);
+        let b = f.param(2);
+        let r = f.vreg();
+        let cases: Vec<_> = (0..6).map(|_| f.new_block()).collect();
+        let done = f.new_block();
+        let next: Vec<_> = (0..5).map(|_| f.new_block()).collect();
+        for k in 0..5 {
+            f.br(Cond::Eq, op, k as i32, cases[k], next[k]);
+            f.switch_to(next[k]);
+        }
+        f.jmp(cases[5]);
+        for (k, blk) in cases.iter().enumerate() {
+            f.switch_to(*blk);
+            match k {
+                0 => f.bin_to(r, BinOp::Add, a, b),
+                1 => f.bin_to(r, BinOp::Sub, a, b),
+                2 => f.bin_to(r, BinOp::And, a, b),
+                3 => f.bin_to(r, BinOp::Xor, a, b),
+                4 => f.bin_to(r, BinOp::Sll, a, 1),
+                _ => f.bin_to(r, BinOp::Slt, a, b),
+            }
+            f.jmp(done);
+        }
+        f.switch_to(done);
+        f.ret(Some(r.into()));
+        f.finish()
+    };
+
+    // fn do_uop(u): decode, fetch operands, apply, write back.
+    let do_uop = {
+        let mut f = FuncBuilder::new("do_uop", 1);
+        let u = f.param(0);
+        let opa = f.bin(BinOp::Add, u, op_base);
+        let op = f.load(opa, 0);
+        let aa = f.bin(BinOp::Add, u, a_base);
+        let ar = f.load(aa, 0);
+        let ba = f.bin(BinOp::Add, u, b_base);
+        let br = f.load(ba, 0);
+        let av = f.call("fetch", vec![Operand::Reg(ar)], true).expect("ret");
+        let bv = f.call("fetch", vec![Operand::Reg(br)], true).expect("ret");
+        let res = f
+            .call(
+                "apply",
+                vec![Operand::Reg(op), Operand::Reg(av), Operand::Reg(bv)],
+                true,
+            )
+            .expect("ret");
+        let da = f.bin(BinOp::Add, u, d_base);
+        let dr = f.load(da, 0);
+        let dst = f.bin(BinOp::Add, dr, regs_base);
+        f.store(res, dst, 0);
+        f.ret(None);
+        f.finish()
+    };
+
+    // fn run_cycle(): interpret the whole micro-program once.
+    let run_cycle = {
+        let mut f = FuncBuilder::new("run_cycle", 0);
+        counted_loop(&mut f, 0, nu, |f, u| {
+            f.call("do_uop", vec![Operand::Reg(u)], false);
+        });
+        f.ret(None);
+        f.finish()
+    };
+
+    // fn main(): cycle loop then checksum.
+    let main = {
+        let mut f = FuncBuilder::new("main", 0);
+        counted_loop(&mut f, 0, p.cycles as i32, |f, _t| {
+            f.call("run_cycle", vec![], false);
+        });
+        let acc = f.copy(0);
+        counted_loop(&mut f, 0, nr, |f, i| {
+            let a = f.bin(BinOp::Add, i, regs_base);
+            let v = f.load(a, 0);
+            let scaled = f.bin(BinOp::Mul, acc, 31);
+            f.bin_to(acc, BinOp::Add, scaled, v);
+        });
+        f.store(acc, RESULT_BASE as i32, 0);
+        f.ret(None);
+        f.finish()
+    };
+
+    let module = Module::default()
+        .with(main)
+        .with(run_cycle)
+        .with(do_uop)
+        .with(apply)
+        .with(fetch)
+        .with(read_port);
+    let program = compile(&module, "main", CompileOpts::default()).expect("rtlsim compiles");
+
+    let (op, d, a, b) = machine_description(&p);
+    let expected = reference(&p);
+    Workload {
+        name: "RTLSim",
+        parallel: false,
+        program,
+        source_lines: include_str!("rtlsim.rs").lines().count(),
+        mem_init: vec![
+            (DATA_BASE, op),
+            (DATA_BASE + p.uops, d),
+            (DATA_BASE + 2 * p.uops, a),
+            (DATA_BASE + 3 * p.uops, b),
+            (regs_base as u32, initial_regs(&p)),
+        ],
+        check: expect_words(RESULT_BASE, vec![expected]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run;
+    use nsf_sim::SimConfig;
+
+    #[test]
+    fn produces_reference_checksum() {
+        let w = build(0);
+        let r = run(&w, SimConfig::default()).expect("rtlsim validates");
+        // Call-heavy: 2 fetches + 1 apply + 1 do_uop per micro-op.
+        assert!(r.calls as u32 >= 16 * 5 * 3);
+    }
+
+    #[test]
+    fn deeper_scale_changes_checksum() {
+        assert_ne!(reference(&params(0)), reference(&params(1)));
+    }
+}

@@ -1,0 +1,203 @@
+//! Wavefront — 2-D grid relaxation in row bands.
+//!
+//! The paper's Wavefront is the second-coarsest parallel benchmark (8,280
+//! instructions per context switch): a wavefront sweep where each thread
+//! relaxes a band of rows and waits for the previous band to finish
+//! before starting (the data dependence `G[i][j] = f(G[i-1][j],
+//! G[i][j-1])` means a band needs its predecessor's last row). Threads
+//! therefore run thousands of instructions per synchronisation.
+//!
+//! Grid `G[(ROWS+1) x (COLS+1)]` at [`DATA_BASE`], row-major; row 0 and
+//! column 0 are boundary values staged by `mem_init`. Band-done flags and
+//! the join counter live in the result area.
+
+use crate::harness::{expect_words, Workload, DATA_BASE, RESULT_BASE};
+use nsf_isa::{Inst, ProgramBuilder, Reg};
+
+const BANDS: u32 = 4;
+
+struct Params {
+    rows_per_band: u32,
+    cols: u32,
+}
+
+fn params(scale: u32) -> Params {
+    match scale {
+        0 => Params { rows_per_band: 3, cols: 16 },
+        1 => Params { rows_per_band: 16, cols: 96 },
+        s => Params { rows_per_band: 16 * s, cols: 96 },
+    }
+}
+
+fn boundary(p: &Params) -> Vec<(u32, Vec<u32>)> {
+    let stride = p.cols + 1;
+    let rows = BANDS * p.rows_per_band;
+    let mut init = Vec::new();
+    // Row 0.
+    let top: Vec<u32> = (0..=p.cols).map(|j| (j * 5) % 11 + 1).collect();
+    init.push((DATA_BASE, top));
+    // Column 0 of every interior row.
+    for i in 1..=rows {
+        init.push((DATA_BASE + i * stride, vec![(i * 7) % 13 + 1]));
+    }
+    init
+}
+
+fn reference(p: &Params) -> u32 {
+    let stride = (p.cols + 1) as usize;
+    let rows = (BANDS * p.rows_per_band) as usize;
+    let mut g = vec![0u32; (rows + 1) * stride];
+    for (j, cell) in g.iter_mut().enumerate().take(p.cols as usize + 1) {
+        *cell = ((j as u32) * 5) % 11 + 1;
+    }
+    for i in 1..=rows {
+        g[i * stride] = ((i as u32) * 7) % 13 + 1;
+    }
+    for i in 1..=rows {
+        for j in 1..=p.cols as usize {
+            let up = g[(i - 1) * stride + j];
+            let left = g[i * stride + j - 1];
+            g[i * stride + j] = (up.wrapping_add(left).wrapping_add(1)) >> 1;
+        }
+    }
+    let mut acc = 0u32;
+    for j in 1..=p.cols as usize {
+        acc = acc.wrapping_mul(31).wrapping_add(g[rows * stride + j]);
+    }
+    acc
+}
+
+/// Builds the Wavefront workload at the given scale.
+pub fn build(scale: u32) -> Workload {
+    let p = params(scale);
+    let stride = (p.cols + 1) as i32;
+    let g_base = DATA_BASE as i32;
+    let flags_base = (RESULT_BASE + 16) as i32; // DONE[b], 1 = not done
+    let join_addr = (RESULT_BASE + 8) as i32;
+    let rows_total = (BANDS * p.rows_per_band) as i32;
+    let r = Reg::R;
+
+    let mut b = ProgramBuilder::new();
+    let worker = b.new_label();
+
+    // main: join = BANDS, spawn bands, wait, checksum the last row.
+    b.export("main");
+    b.load_const(r(0), BANDS as i32);
+    b.load_const(r(1), join_addr);
+    b.emit(Inst::Sw { base: r(1), src: r(0), imm: 0 });
+    for k in 0..BANDS {
+        b.load_const(r(2), k as i32);
+        b.spawn(worker, r(2));
+    }
+    b.emit(Inst::SyncWait { base: r(1), imm: 0 });
+    // acc = fold over G[rows_total][1..=cols]
+    b.load_const(r(3), g_base + rows_total * stride);
+    b.emit(Inst::Li { rd: r(4), imm: 0 }); // acc
+    b.emit(Inst::Li { rd: r(5), imm: 1 }); // j
+    b.load_const(r(6), stride);
+    b.emit(Inst::Li { rd: r(7), imm: 31 });
+    let sum_hdr = b.new_label();
+    let sum_end = b.new_label();
+    b.bind(sum_hdr);
+    b.bge(r(5), r(6), sum_end);
+    b.emit(Inst::Add { rd: r(8), rs1: r(3), rs2: r(5) });
+    b.emit(Inst::Lw { rd: r(9), base: r(8), imm: 0 });
+    b.emit(Inst::Mul { rd: r(4), rs1: r(4), rs2: r(7) });
+    b.emit(Inst::Add { rd: r(4), rs1: r(4), rs2: r(9) });
+    b.emit(Inst::Addi { rd: r(5), rs1: r(5), imm: 1 });
+    b.jmp(sum_hdr);
+    b.bind(sum_end);
+    b.load_const(r(10), RESULT_BASE as i32);
+    b.emit(Inst::Sw { base: r(10), src: r(4), imm: 0 });
+    b.emit(Inst::Halt);
+
+    // worker(band): wait for band-1, relax rows, mark done, join.
+    b.bind(worker);
+    b.export("worker");
+    b.emit(Inst::Mv { rd: r(0), rs1: nsf_isa::RV }); // band index
+    let compute = b.new_label();
+    b.emit(Inst::Li { rd: r(1), imm: 0 });
+    b.beq(r(0), r(1), compute);
+    b.load_const(r(2), flags_base);
+    b.emit(Inst::Add { rd: r(3), rs1: r(2), rs2: r(0) });
+    b.emit(Inst::SyncWait { base: r(3), imm: -1 }); // DONE[band-1] == 0
+    b.bind(compute);
+    b.load_const(r(4), p.rows_per_band as i32);
+    b.emit(Inst::Mul { rd: r(5), rs1: r(0), rs2: r(4) });
+    b.emit(Inst::Addi { rd: r(5), rs1: r(5), imm: 1 }); // first row
+    b.emit(Inst::Add { rd: r(6), rs1: r(5), rs2: r(4) }); // end row
+    b.load_const(r(7), stride);
+    b.load_const(r(8), g_base);
+    let row_hdr = b.new_label();
+    let row_end = b.new_label();
+    b.bind(row_hdr);
+    b.bge(r(5), r(6), row_end);
+    b.emit(Inst::Mul { rd: r(10), rs1: r(5), rs2: r(7) });
+    b.emit(Inst::Add { rd: r(11), rs1: r(10), rs2: r(8) }); // row base
+    b.emit(Inst::Sub { rd: r(12), rs1: r(11), rs2: r(7) }); // prev row base
+    b.emit(Inst::Li { rd: r(13), imm: 1 }); // j
+    let col_hdr = b.new_label();
+    let col_end = b.new_label();
+    b.bind(col_hdr);
+    b.bge(r(13), r(7), col_end); // j < stride  (== j <= cols)
+    b.emit(Inst::Add { rd: r(15), rs1: r(12), rs2: r(13) });
+    b.emit(Inst::Lw { rd: r(16), base: r(15), imm: 0 }); // up
+    b.emit(Inst::Add { rd: r(17), rs1: r(11), rs2: r(13) });
+    b.emit(Inst::Lw { rd: r(18), base: r(17), imm: -1 }); // left
+    b.emit(Inst::Add { rd: r(19), rs1: r(16), rs2: r(18) });
+    b.emit(Inst::Addi { rd: r(19), rs1: r(19), imm: 1 });
+    b.emit(Inst::Srli { rd: r(19), rs1: r(19), imm: 1 });
+    b.emit(Inst::Sw { base: r(17), src: r(19), imm: 0 });
+    b.emit(Inst::Addi { rd: r(13), rs1: r(13), imm: 1 });
+    b.jmp(col_hdr);
+    b.bind(col_end);
+    b.emit(Inst::Addi { rd: r(5), rs1: r(5), imm: 1 });
+    b.jmp(row_hdr);
+    b.bind(row_end);
+    // DONE[band] = 0; join--.
+    b.load_const(r(20), flags_base);
+    b.emit(Inst::Add { rd: r(21), rs1: r(20), rs2: r(0) });
+    b.emit(Inst::Li { rd: r(22), imm: 0 });
+    b.emit(Inst::Sw { base: r(21), src: r(22), imm: 0 });
+    b.load_const(r(23), join_addr);
+    b.emit(Inst::AmoAdd { rd: r(24), base: r(23), imm: -1 });
+    b.emit(Inst::Halt);
+
+    let program = b.finish("main").expect("wavefront builds");
+    let mut mem_init = boundary(&p);
+    // DONE flags: 1 (= not done) for every band.
+    mem_init.push((flags_base as u32, vec![1; BANDS as usize]));
+    let expected = reference(&p);
+    Workload {
+        name: "Wavefront",
+        parallel: true,
+        program,
+        source_lines: include_str!("wavefront.rs").lines().count(),
+        mem_init,
+        check: expect_words(RESULT_BASE, vec![expected]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run;
+    use nsf_sim::SimConfig;
+
+    #[test]
+    fn relaxation_matches_reference() {
+        let w = build(0);
+        let r = run(&w, SimConfig::default()).expect("wavefront validates");
+        assert_eq!(r.spawns, u64::from(BANDS));
+        assert!(
+            r.instrs_per_switch() > 50.0,
+            "wavefront is coarse, got {}",
+            r.instrs_per_switch()
+        );
+    }
+
+    #[test]
+    fn reference_depends_on_size() {
+        assert_ne!(reference(&params(0)), reference(&params(1)));
+    }
+}

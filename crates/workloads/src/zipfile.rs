@@ -1,0 +1,321 @@
+//! ZipFile — an LZ77-style file compressor (sequential).
+//!
+//! The paper's third sequential benchmark compressed files. Ours runs a
+//! greedy LZ77 over a synthetic, repetitive "text": at each position it
+//! calls `find_match` (which calls `match_len` per window candidate) and
+//! either emits a `(distance, length)` token or a literal via `emit`.
+//! The output token stream's checksum and length are validated against a
+//! Rust reference running the identical algorithm.
+//!
+//! Memory layout (from [`DATA_BASE`]):
+//!
+//! ```text
+//! IN[N]    input bytes (one per word)
+//! OUT[..]  emitted tokens
+//! OUTPOS   output cursor (one word, at a fixed address)
+//! ```
+
+use crate::harness::{expect_words, Workload, DATA_BASE, RESULT_BASE};
+use crate::util::{counted_loop, lcg};
+use nsf_compiler::{compile, BinOp, CompileOpts, Cond, FuncBuilder, Module, Operand};
+
+const WINDOW: i32 = 32;
+const MIN_MATCH: u32 = 3;
+const MAX_MATCH: u32 = 15;
+
+struct Params {
+    len: u32,
+}
+
+fn params(scale: u32) -> Params {
+    match scale {
+        0 => Params { len: 160 },
+        1 => Params { len: 1400 },
+        n => Params { len: 1400 * n },
+    }
+}
+
+/// Synthetic repetitive input: random phrases repeated with mutations.
+fn input_text(p: &Params) -> Vec<u32> {
+    let mut x = 0x7EA7_0001u32;
+    let mut out = Vec::with_capacity(p.len as usize);
+    let mut phrase: Vec<u32> = Vec::new();
+    while out.len() < p.len as usize {
+        x = lcg(x);
+        if phrase.is_empty() || (x >> 10).is_multiple_of(3) {
+            // New phrase of 4-11 symbols from a small alphabet.
+            phrase.clear();
+            x = lcg(x);
+            let n = 4 + ((x >> 6) % 8);
+            for _ in 0..n {
+                x = lcg(x);
+                phrase.push((x >> 17) % 26 + 97);
+            }
+        }
+        out.extend(phrase.iter().copied());
+    }
+    out.truncate(p.len as usize);
+    out
+}
+
+/// The exact algorithm the compiled program runs, in Rust.
+fn reference(p: &Params) -> (u32, u32) {
+    let input = input_text(p);
+    let n = input.len() as i32;
+    let mut tokens: Vec<u32> = Vec::new();
+    let mut pos: i32 = 0;
+    while pos < n {
+        // find_match: best (len, dist) within WINDOW, len >= MIN_MATCH.
+        let mut best_len = 0u32;
+        let mut best_dist = 0u32;
+        let lo = (pos - WINDOW).max(0);
+        let mut cand = lo;
+        while cand < pos {
+            // match_len(cand, pos)
+            let mut l = 0u32;
+            while l < MAX_MATCH
+                && (pos + l as i32) < n
+                && input[(cand + l as i32) as usize] == input[(pos + l as i32) as usize]
+            {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_dist = (pos - cand) as u32;
+            }
+            cand += 1;
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push((1 << 24) | (best_dist << 8) | best_len);
+            pos += best_len as i32;
+        } else {
+            tokens.push(input[pos as usize]);
+            pos += 1;
+        }
+    }
+    let mut acc = 0u32;
+    for t in &tokens {
+        acc = acc.wrapping_mul(33).wrapping_add(*t);
+    }
+    (acc, tokens.len() as u32)
+}
+
+/// Builds the ZipFile workload at the given scale.
+pub fn build(scale: u32) -> Workload {
+    let p = params(scale);
+    let n = p.len as i32;
+    let in_base = DATA_BASE as i32;
+    let out_base = in_base + n;
+    let outpos_addr = out_base + 4 * n; // plenty of room for tokens
+
+    // fn match_len(cand, pos, budget) -> length of common prefix.
+    //
+    // Written recursively (1 + match_len(cand+1, pos+1, budget-1)), the
+    // way the original's comparison helpers nest: the call chain dives up
+    // to MAX_MATCH activations deep and pops back out, the oscillation
+    // that register-window-style files pay for.
+    let match_len = {
+        let mut f = FuncBuilder::new("match_len", 3);
+        let cand = f.param(0);
+        let pos = f.param(1);
+        let budget = f.param(2);
+        let stop = f.new_block();
+        let chk2 = f.new_block();
+        let chk3 = f.new_block();
+        let recurse = f.new_block();
+        f.br(Cond::Eq, budget, 0, stop, chk2);
+        f.switch_to(chk2);
+        f.br(Cond::Ge, pos, n, stop, chk3);
+        f.switch_to(chk3);
+        let ca = f.bin(BinOp::Add, cand, in_base);
+        let cv = f.load(ca, 0);
+        let pa = f.bin(BinOp::Add, pos, in_base);
+        let pv = f.load(pa, 0);
+        f.br(Cond::Eq, cv, pv, recurse, stop);
+        f.switch_to(stop);
+        f.ret(Some(Operand::Const(0)));
+        f.switch_to(recurse);
+        let c1 = f.bin(BinOp::Add, cand, 1);
+        let p1 = f.bin(BinOp::Add, pos, 1);
+        let b1 = f.bin(BinOp::Sub, budget, 1);
+        let rest = f
+            .call(
+                "match_len",
+                vec![Operand::Reg(c1), Operand::Reg(p1), Operand::Reg(b1)],
+                true,
+            )
+            .expect("ret");
+        let total = f.bin(BinOp::Add, rest, 1);
+        f.ret(Some(total.into()));
+        f.finish()
+    };
+
+    // fn find_match(pos) -> (best_len << 16) | best_dist
+    let find_match = {
+        let mut f = FuncBuilder::new("find_match", 1);
+        let pos = f.param(0);
+        let best_len = f.copy(0);
+        let best_dist = f.copy(0);
+        let lo_raw = f.bin(BinOp::Sub, pos, WINDOW);
+        let lo = f.vreg();
+        let neg = f.new_block();
+        let nonneg = f.new_block();
+        let scan = f.new_block();
+        f.br(Cond::Lt, lo_raw, 0, neg, nonneg);
+        f.switch_to(neg);
+        f.copy_to(lo, 0);
+        f.jmp(scan);
+        f.switch_to(nonneg);
+        f.copy_to(lo, lo_raw);
+        f.jmp(scan);
+        f.switch_to(scan);
+        let cand = f.copy(lo);
+        let hdr = f.new_block();
+        let body = f.new_block();
+        let better = f.new_block();
+        let next = f.new_block();
+        let exit = f.new_block();
+        f.jmp(hdr);
+        f.switch_to(hdr);
+        f.br(Cond::Lt, cand, pos, body, exit);
+        f.switch_to(body);
+        let l = f
+            .call(
+                "match_len",
+                vec![
+                    Operand::Reg(cand),
+                    Operand::Reg(pos),
+                    Operand::Const(MAX_MATCH as i32),
+                ],
+                true,
+            )
+            .expect("ret");
+        f.br(Cond::Lt, best_len, l, better, next);
+        f.switch_to(better);
+        f.copy_to(best_len, l);
+        let d = f.bin(BinOp::Sub, pos, cand);
+        f.copy_to(best_dist, d);
+        f.jmp(next);
+        f.switch_to(next);
+        f.bin_to(cand, BinOp::Add, cand, 1);
+        f.jmp(hdr);
+        f.switch_to(exit);
+        let hi = f.bin(BinOp::Sll, best_len, 16);
+        let packed = f.bin(BinOp::Or, hi, best_dist);
+        f.ret(Some(packed.into()));
+        f.finish()
+    };
+
+    // fn emit(token): appends to OUT and bumps OUTPOS.
+    let emit = {
+        let mut f = FuncBuilder::new("emit", 1);
+        let tok = f.param(0);
+        let cur = f.load(outpos_addr, 0);
+        let slot = f.bin(BinOp::Add, cur, out_base);
+        f.store(tok, slot, 0);
+        let nxt = f.bin(BinOp::Add, cur, 1);
+        f.store(nxt, outpos_addr, 0);
+        f.ret(None);
+        f.finish()
+    };
+
+    // fn compress_step(pos) -> next pos: one greedy decision.
+    let compress_step = {
+        let mut f = FuncBuilder::new("compress_step", 1);
+        let pos = f.param(0);
+        let take_match = f.new_block();
+        let take_lit = f.new_block();
+        let packed = f
+            .call("find_match", vec![Operand::Reg(pos)], true)
+            .expect("ret");
+        let len = f.bin(BinOp::Srl, packed, 16);
+        let dist = f.bin(BinOp::And, packed, 0xFFFF);
+        f.br(Cond::Ge, len, MIN_MATCH as i32, take_match, take_lit);
+        f.switch_to(take_match);
+        let dsh = f.bin(BinOp::Sll, dist, 8);
+        let tagged = f.bin(BinOp::Or, dsh, len);
+        let one = f.copy(1);
+        let tag = f.bin(BinOp::Sll, one, 24);
+        let token = f.bin(BinOp::Or, tagged, tag);
+        f.call("emit", vec![Operand::Reg(token)], false);
+        let next = f.bin(BinOp::Add, pos, len);
+        f.ret(Some(next.into()));
+        f.switch_to(take_lit);
+        let a = f.bin(BinOp::Add, pos, in_base);
+        let lit = f.load(a, 0);
+        f.call("emit", vec![Operand::Reg(lit)], false);
+        let next = f.bin(BinOp::Add, pos, 1);
+        f.ret(Some(next.into()));
+        f.finish()
+    };
+
+    // fn main(): greedy compression loop, then checksum the tokens.
+    let main = {
+        let mut f = FuncBuilder::new("main", 0);
+        let pos = f.copy(0);
+        let hdr = f.new_block();
+        let body = f.new_block();
+        let done = f.new_block();
+        f.jmp(hdr);
+        f.switch_to(hdr);
+        f.br(Cond::Lt, pos, n, body, done);
+        f.switch_to(body);
+        let next = f
+            .call("compress_step", vec![Operand::Reg(pos)], true)
+            .expect("ret");
+        f.copy_to(pos, next);
+        f.jmp(hdr);
+        f.switch_to(done);
+        // Checksum tokens.
+        let count = f.load(outpos_addr, 0);
+        let acc = f.copy(0);
+        counted_loop(&mut f, 0, count, |f, i| {
+            let a = f.bin(BinOp::Add, i, out_base);
+            let t = f.load(a, 0);
+            let s = f.bin(BinOp::Mul, acc, 33);
+            f.bin_to(acc, BinOp::Add, s, t);
+        });
+        f.store(acc, RESULT_BASE as i32, 0);
+        f.store(count, RESULT_BASE as i32, 1);
+        f.ret(None);
+        f.finish()
+    };
+
+    let module = Module::default()
+        .with(main)
+        .with(compress_step)
+        .with(find_match)
+        .with(match_len)
+        .with(emit);
+    let program = compile(&module, "main", CompileOpts::default()).expect("zipfile compiles");
+
+    let (acc, count) = reference(&p);
+    Workload {
+        name: "ZipFile",
+        parallel: false,
+        program,
+        source_lines: include_str!("zipfile.rs").lines().count(),
+        mem_init: vec![(DATA_BASE, input_text(&p))],
+        check: expect_words(RESULT_BASE, vec![acc, count]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run;
+    use nsf_sim::SimConfig;
+
+    #[test]
+    fn produces_reference_token_stream() {
+        let w = build(0);
+        let r = run(&w, SimConfig::default()).expect("zipfile validates");
+        assert!(r.calls > 100, "find_match/match_len call chain");
+    }
+
+    #[test]
+    fn compression_actually_compresses() {
+        let (_, tokens) = reference(&params(0));
+        assert!(tokens < params(0).len, "repetitive input must shrink");
+    }
+}

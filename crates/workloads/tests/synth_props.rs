@@ -1,0 +1,67 @@
+//! Property tests over the synthetic workload generators: arbitrary
+//! parameters must produce programs that validate on every register file
+//! organization, with metrics that respect the generator's knobs.
+
+use nsf_sim::{RegFileSpec, SimConfig};
+use nsf_workloads::synth::{parallel, sequential, ParParams, SeqParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The recursive synthetic program computes the same value on the
+    /// NSF, the segmented file and the oracle, for any shape.
+    #[test]
+    fn sequential_synth_validates_everywhere(
+        depth in 0u32..8,
+        fanout in 1u32..3,
+        locals in 1u32..12,
+    ) {
+        let w = sequential(SeqParams { depth, fanout, locals });
+        for cfg in [
+            SimConfig::with_regfile(RegFileSpec::paper_nsf(80)),
+            SimConfig::with_regfile(RegFileSpec::paper_segmented(4, 20)),
+            SimConfig::with_regfile(RegFileSpec::Oracle),
+        ] {
+            // `run` validates the result against the Rust mirror.
+            nsf_workloads::run(&w, cfg).expect("synth validates");
+        }
+    }
+
+    /// Deeper call trees hold more NSF contexts, never fewer.
+    #[test]
+    fn depth_grows_resident_contexts(depth in 1u32..7) {
+        let shallow = sequential(SeqParams { depth, fanout: 1, locals: 4 });
+        let deeper = sequential(SeqParams { depth: depth + 1, fanout: 1, locals: 4 });
+        let cfg = SimConfig::with_regfile(RegFileSpec::paper_nsf(256));
+        let a = nsf_workloads::run(&shallow, cfg).unwrap();
+        let b = nsf_workloads::run(&deeper, cfg).unwrap();
+        prop_assert!(
+            b.occupancy.max_contexts >= a.occupancy.max_contexts,
+            "depth {} -> {} contexts, depth {} -> {}",
+            depth, a.occupancy.max_contexts, depth + 1, b.occupancy.max_contexts
+        );
+    }
+
+    /// Parallel synthetic threads validate on both organizations and
+    /// more active registers mean more segmented live-reload traffic.
+    #[test]
+    fn parallel_synth_pressure_monotone(active in 4u8..26) {
+        let lo = parallel(ParParams { threads: 8, iters: 8, work: 16, active_regs: active });
+        let hi = parallel(ParParams {
+            threads: 8,
+            iters: 8,
+            work: 16,
+            active_regs: active + 4,
+        });
+        let cfg = SimConfig::with_regfile(RegFileSpec::segmented_valid_only(4, 32));
+        let a = nsf_workloads::run(&lo, cfg).unwrap();
+        let b = nsf_workloads::run(&hi, cfg).unwrap();
+        prop_assert!(
+            b.regfile.live_regs_reloaded >= a.regfile.live_regs_reloaded,
+            "{} regs -> {}, {} regs -> {}",
+            active, a.regfile.live_regs_reloaded,
+            active + 4, b.regfile.live_regs_reloaded
+        );
+    }
+}

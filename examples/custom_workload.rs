@@ -1,0 +1,199 @@
+//! Write your own benchmark and measure it across register file
+//! organizations — the downstream-user workflow.
+//!
+//! The program is a small producer/consumer ring computing a polynomial
+//! hash of a stream: the producer generates values, three stage threads
+//! transform them, and a sink folds the result. Fine-grain messaging,
+//! exactly the territory the NSF was designed for.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use nsf::core::Word;
+use nsf::isa::{Inst, ProgramBuilder, Reg};
+use nsf::mem::MemSystem;
+use nsf::sim::{RegFileSpec, SimConfig};
+use nsf::workloads::{run, Workload};
+
+const STREAM: u32 = 64;
+const RESULT: u32 = 0x0020_0000;
+
+/// The same computation in Rust, for the output check.
+fn reference() -> Word {
+    let mut acc: Word = 0;
+    for i in 0..STREAM {
+        let v = i.wrapping_mul(2654435761) >> 8; // producer
+        let v = v.wrapping_add(17); // stage 1
+        let v = v ^ (v >> 3); // stage 2
+        let v = v.wrapping_mul(3); // stage 3
+        acc = acc.wrapping_mul(31).wrapping_add(v); // sink
+    }
+    acc
+}
+
+/// Build the four-stage pipeline as an ISA program.
+fn build() -> Workload {
+    let r = Reg::R;
+    let chans = 4096i32; // channel-id table
+    let join = 4100i32;
+    let mut b = ProgramBuilder::new();
+    let stage1 = b.new_label();
+    let stage2 = b.new_label();
+    let stage3 = b.new_label();
+    let sink = b.new_label();
+
+    // main: wire four channels, spawn the stages, produce, wait.
+    b.export("main");
+    b.load_const(r(0), chans);
+    for k in 0..4 {
+        b.emit(Inst::ChNew { rd: r(1) });
+        b.emit(Inst::Sw { base: r(0), src: r(1), imm: k });
+    }
+    b.load_const(r(2), join);
+    b.emit(Inst::Li { rd: r(3), imm: 1 });
+    b.emit(Inst::Sw { base: r(2), src: r(3), imm: 0 });
+    for (label, k) in [(stage1, 0i32), (stage2, 1), (stage3, 2), (sink, 3)] {
+        b.load_const(r(4), chans + k);
+        b.spawn(label, r(4));
+    }
+    // Producer loop: v = (i * 2654435761) >> 8 into channel 0.
+    b.emit(Inst::Lw { rd: r(5), base: r(0), imm: 0 });
+    b.emit(Inst::Li { rd: r(6), imm: 0 });
+    b.load_const(r(7), STREAM as i32);
+    b.load_const(r(8), 2654435761u32 as i32);
+    let produce = b.new_label();
+    let fin = b.new_label();
+    b.bind(produce);
+    b.bge(r(6), r(7), fin);
+    b.emit(Inst::Mul { rd: r(9), rs1: r(6), rs2: r(8) });
+    b.emit(Inst::Srli { rd: r(9), rs1: r(9), imm: 8 });
+    b.emit(Inst::ChSend { chan: r(5), src: r(9) });
+    b.emit(Inst::Addi { rd: r(6), rs1: r(6), imm: 1 });
+    b.jmp(produce);
+    b.bind(fin);
+    b.emit(Inst::SyncWait { base: r(2), imm: 0 });
+    b.emit(Inst::Halt);
+
+    // A stage: read my input channel (arg points at its id), transform,
+    // forward to the next channel.
+    let stage = |b: &mut ProgramBuilder, label, f: &dyn Fn(&mut ProgramBuilder)| {
+        b.bind(label);
+        b.emit(Inst::Mv { rd: r(0), rs1: nsf::isa::RV });
+        b.emit(Inst::Lw { rd: r(1), base: r(0), imm: 0 }); // in
+        b.emit(Inst::Lw { rd: r(2), base: r(0), imm: 1 }); // out (sink: unused)
+        b.emit(Inst::Li { rd: r(3), imm: 0 });
+        b.load_const(r(4), STREAM as i32);
+        let lp = b.new_label();
+        let done = b.new_label();
+        b.bind(lp);
+        b.bge(r(3), r(4), done);
+        b.emit(Inst::ChRecv { rd: r(5), chan: r(1) });
+        f(b); // transform r5 (may use r6+)
+        b.emit(Inst::Addi { rd: r(3), rs1: r(3), imm: 1 });
+        b.jmp(lp);
+        b.bind(done);
+        b.emit(Inst::Halt);
+        (lp, done)
+    };
+
+    stage(&mut b, stage1, &|b| {
+        b.emit(Inst::Addi { rd: r(5), rs1: r(5), imm: 17 });
+        b.emit(Inst::ChSend { chan: r(2), src: r(5) });
+    });
+    stage(&mut b, stage2, &|b| {
+        b.emit(Inst::Srli { rd: r(6), rs1: r(5), imm: 3 });
+        b.emit(Inst::Xor { rd: r(5), rs1: r(5), rs2: r(6) });
+        b.emit(Inst::ChSend { chan: r(2), src: r(5) });
+    });
+    stage(&mut b, stage3, &|b| {
+        b.emit(Inst::Li { rd: r(6), imm: 3 });
+        b.emit(Inst::Mul { rd: r(5), rs1: r(5), rs2: r(6) });
+        b.emit(Inst::ChSend { chan: r(2), src: r(5) });
+    });
+    // Sink: fold, publish, release the join.
+    b.bind(sink);
+    b.emit(Inst::Mv { rd: r(0), rs1: nsf::isa::RV });
+    b.emit(Inst::Lw { rd: r(1), base: r(0), imm: 0 });
+    b.emit(Inst::Li { rd: r(2), imm: 0 }); // acc
+    b.emit(Inst::Li { rd: r(3), imm: 0 });
+    b.load_const(r(4), STREAM as i32);
+    b.emit(Inst::Li { rd: r(7), imm: 31 });
+    let lp = b.new_label();
+    let done = b.new_label();
+    b.bind(lp);
+    b.bge(r(3), r(4), done);
+    b.emit(Inst::ChRecv { rd: r(5), chan: r(1) });
+    b.emit(Inst::Mul { rd: r(2), rs1: r(2), rs2: r(7) });
+    b.emit(Inst::Add { rd: r(2), rs1: r(2), rs2: r(5) });
+    b.emit(Inst::Addi { rd: r(3), rs1: r(3), imm: 1 });
+    b.jmp(lp);
+    b.bind(done);
+    b.load_const(r(8), RESULT as i32);
+    b.emit(Inst::Sw { base: r(8), src: r(2), imm: 0 });
+    b.load_const(r(9), join);
+    b.emit(Inst::Li { rd: r(10), imm: 0 });
+    b.emit(Inst::Sw { base: r(9), src: r(10), imm: 0 });
+    b.emit(Inst::Halt);
+
+    let program = b.finish("main").expect("builds");
+    let expected = reference();
+    Workload {
+        name: "HashPipeline",
+        parallel: true,
+        program,
+        source_lines: 0,
+        mem_init: vec![],
+        check: Box::new(move |mem: &MemSystem| {
+            let got = mem.peek(RESULT);
+            if got == expected {
+                Ok(())
+            } else {
+                Err(format!("expected {expected}, got {got}"))
+            }
+        }),
+    }
+}
+
+fn main() {
+    let w = build();
+    println!("Custom 5-thread hash pipeline, {STREAM} messages per stage\n");
+    println!(
+        "{:<28} {:>9} {:>8} {:>11} {:>10}",
+        "Register file", "Cycles", "CPI", "Regs moved", "Overhead"
+    );
+    println!("{}", "-".repeat(70));
+    // 2-deep hardware message queues: the pipeline's five threads rotate
+    // every couple of messages, which is where the organizations differ.
+    let with_backpressure = |spec| SimConfig {
+        channel_capacity: Some(2),
+        ..SimConfig::with_regfile(spec)
+    };
+    for (name, cfg) in [
+        ("NSF 128x1", with_backpressure(RegFileSpec::paper_nsf(128))),
+        (
+            "Segmented 4x32 (HW)",
+            with_backpressure(RegFileSpec::paper_segmented(4, 32)),
+        ),
+        (
+            "SPARC windows 8x32",
+            with_backpressure(RegFileSpec::sparc_windows(32)),
+        ),
+        ("Oracle", with_backpressure(RegFileSpec::Oracle)),
+    ] {
+        let r = run(&w, cfg).expect("pipeline validates");
+        println!(
+            "{:<28} {:>9} {:>8.2} {:>11} {:>9.1}%",
+            name,
+            r.cycles,
+            r.cpi(),
+            r.regfile.regs_reloaded + r.regfile.regs_spilled,
+            r.spill_overhead() * 100.0,
+        );
+    }
+    println!("{}", "-".repeat(70));
+    println!("Every row validated the same checksum ({:#x}).", reference());
+    println!("Channels are bounded to 2 messages (hardware queues with sender");
+    println!("backpressure), so the five threads rotate constantly — remove");
+    println!("`channel_capacity` and the contrast collapses to zero.");
+}

@@ -1,0 +1,46 @@
+//! Post-mortem debugging with the execution trace: run a program that
+//! dies on a read-before-write bug and show how the trace ring pinpoints
+//! the path that led there.
+//!
+//! ```sh
+//! cargo run --example trace_debug
+//! ```
+
+use nsf::isa::asm::assemble;
+use nsf::sim::{Machine, SimConfig};
+
+fn main() {
+    // A buggy program: the `scale` procedure reads r1, but the caller
+    // passed its argument in memory and `scale` only loaded r0.
+    let program = assemble(
+        "main:
+            li r0, 21
+            sw r0, -1(g0)
+            call scale
+            halt
+        scale:
+            addi g0, g0, -1
+            lw r0, (g0)
+            add g1, r0, r1   ; BUG: r1 was never written in this context
+            addi g0, g0, 1
+            ret",
+    )
+    .expect("assembles");
+
+    let cfg = SimConfig { trace_depth: 8, ..Default::default() };
+    let mut machine = Machine::new(program, cfg).expect("valid config");
+
+    match machine.run_and_keep() {
+        Ok(_) => println!("unexpectedly succeeded"),
+        Err(e) => {
+            println!("simulation failed: {e}\n");
+            println!("last {} instructions before the fault:", machine.trace().len());
+            print!("{}", machine.trace());
+            println!("\nThe trace shows the fresh context (its CID) entering `scale`");
+            println!("and faulting on the first use of r1 — a register this");
+            println!("activation never wrote. The Named-State Register File detects");
+            println!("read-before-write architecturally: undefined registers simply");
+            println!("do not exist in the CAM decoder or the backing store.");
+        }
+    }
+}

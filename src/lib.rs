@@ -1,0 +1,30 @@
+//! # nsf — the Named-State Register File, reproduced
+//!
+//! Umbrella crate for the reproduction of *"The Named-State Register File:
+//! Implementation and Performance"* (Nuth & Dally, HPCA 1995). It re-exports
+//! every subsystem so examples, integration tests and downstream users can
+//! depend on a single crate:
+//!
+//! * [`isa`] — the target instruction set, assembler and program builder;
+//! * [`mem`] — main memory, the data cache and the Ctable;
+//! * [`core`] — the register file organizations under study: the
+//!   Named-State Register File, the segmented baseline, and a conventional
+//!   indexed file;
+//! * [`vlsi`] — area and access-time models of the register files;
+//! * [`compiler`] — a small optimizing compiler (liveness + graph coloring)
+//!   targeting the ISA;
+//! * [`runtime`] — threads, channels and synchronisation for the
+//!   block-multithreaded processor model;
+//! * [`sim`] — the architectural simulator and its metrics;
+//! * [`workloads`] — the paper's nine benchmarks plus synthetic generators.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the experiment index.
+
+pub use nsf_compiler as compiler;
+pub use nsf_core as core;
+pub use nsf_isa as isa;
+pub use nsf_mem as mem;
+pub use nsf_runtime as runtime;
+pub use nsf_sim as sim;
+pub use nsf_vlsi as vlsi;
+pub use nsf_workloads as workloads;

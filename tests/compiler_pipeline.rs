@@ -1,0 +1,215 @@
+//! Integration: the compiler pipeline end-to-end — IR programs compiled
+//! with graph coloring and executed on the simulator must compute the
+//! same values as their Rust counterparts, across register file
+//! organizations and under forced spilling.
+
+use nsf::compiler::{compile, BinOp, CompileOpts, Cond, FuncBuilder, Module, Operand};
+use nsf::sim::{Machine, RegFileSpec, SimConfig};
+
+const RESULT: u32 = 0x0020_0000;
+
+/// Compiles and runs `module`, returning the word at the result address.
+fn run_module(module: &Module, opts: CompileOpts, cfg: SimConfig) -> u32 {
+    let program = compile(module, "main", opts).expect("compiles");
+    let mut m = Machine::new(program, cfg).expect("machine");
+    m.run_and_keep().expect("runs");
+    m.mem.peek(RESULT)
+}
+
+fn store_result(f: &mut FuncBuilder, v: nsf::compiler::VReg) {
+    f.store(v, RESULT as i32, 0);
+}
+
+fn fact_module() -> Module {
+    // fn fact(n) = if n == 0 { 1 } else { n * fact(n-1) }
+    let mut f = FuncBuilder::new("fact", 1);
+    let n = f.param(0);
+    let base = f.new_block();
+    let rec = f.new_block();
+    f.br(Cond::Eq, n, 0, base, rec);
+    f.switch_to(base);
+    f.ret(Some(Operand::Const(1)));
+    f.switch_to(rec);
+    let nm1 = f.bin(BinOp::Sub, n, 1);
+    let sub = f.call("fact", vec![Operand::Reg(nm1)], true).unwrap();
+    let r = f.bin(BinOp::Mul, n, sub);
+    f.ret(Some(r.into()));
+    let fact = f.finish();
+
+    let mut m = FuncBuilder::new("main", 0);
+    let v = m.call("fact", vec![Operand::Const(10)], true).unwrap();
+    store_result(&mut m, v);
+    m.ret(None);
+    Module::default().with(m.finish()).with(fact)
+}
+
+#[test]
+fn recursive_factorial() {
+    let expected: u32 = (1..=10).product();
+    for cfg in [
+        SimConfig::with_regfile(RegFileSpec::paper_nsf(80)),
+        SimConfig::with_regfile(RegFileSpec::paper_segmented(4, 20)),
+        SimConfig::with_regfile(RegFileSpec::Oracle),
+    ] {
+        assert_eq!(run_module(&fact_module(), CompileOpts::default(), cfg), expected);
+    }
+}
+
+#[test]
+fn iterative_gcd() {
+    // fn gcd(a, b) { while b != 0 { (a, b) = (b, a % b) } return a }
+    let mut f = FuncBuilder::new("gcd", 2);
+    let a = f.param(0);
+    let b = f.param(1);
+    let hdr = f.new_block();
+    let body = f.new_block();
+    let exit = f.new_block();
+    f.jmp(hdr);
+    f.switch_to(hdr);
+    f.br(Cond::Ne, b, 0, body, exit);
+    f.switch_to(body);
+    let r = f.bin(BinOp::Rem, a, b);
+    f.copy_to(a, b);
+    f.copy_to(b, r);
+    f.jmp(hdr);
+    f.switch_to(exit);
+    f.ret(Some(a.into()));
+    let gcd = f.finish();
+
+    let mut m = FuncBuilder::new("main", 0);
+    let v = m
+        .call("gcd", vec![Operand::Const(3528), Operand::Const(3780)], true)
+        .unwrap();
+    store_result(&mut m, v);
+    m.ret(None);
+    let module = Module::default().with(m.finish()).with(gcd);
+    assert_eq!(
+        run_module(&module, CompileOpts::default(), SimConfig::default()),
+        252
+    );
+}
+
+#[test]
+fn forced_spilling_preserves_semantics() {
+    // 30 simultaneously live values under an 8-register context: the
+    // allocator must spill, and the result must not change.
+    let build = || {
+        let mut f = FuncBuilder::new("main", 0);
+        let vals: Vec<_> = (0..30).map(|i| f.bin(BinOp::Add, i, i + 1)).collect();
+        let mut acc = f.copy(0);
+        for v in &vals {
+            acc = f.bin(BinOp::Add, acc, *v);
+        }
+        // Keep all `vals` live to the end by folding them again.
+        for v in &vals {
+            acc = f.bin(BinOp::Xor, acc, *v);
+        }
+        store_result(&mut f, acc);
+        f.ret(None);
+        Module::default().with(f.finish())
+    };
+    let expected: u32 = {
+        let vals: Vec<u32> = (0..30u32).map(|i| i + (i + 1)).collect();
+        let mut acc: u32 = vals.iter().sum();
+        for v in vals {
+            acc ^= v;
+        }
+        acc
+    };
+    let tight = CompileOpts { ctx_regs: 10, ..Default::default() };
+    let roomy = CompileOpts::default();
+    assert_eq!(run_module(&build(), tight, SimConfig::default()), expected);
+    assert_eq!(run_module(&build(), roomy, SimConfig::default()), expected);
+}
+
+#[test]
+fn deep_mutual_recursion() {
+    // is_even / is_odd via mutual recursion: exercises long call chains
+    // and cross-function label resolution.
+    let mut e = FuncBuilder::new("is_even", 1);
+    let n = e.param(0);
+    let base = e.new_block();
+    let rec = e.new_block();
+    e.br(Cond::Eq, n, 0, base, rec);
+    e.switch_to(base);
+    e.ret(Some(Operand::Const(1)));
+    e.switch_to(rec);
+    let nm1 = e.bin(BinOp::Sub, n, 1);
+    let v = e.call("is_odd", vec![Operand::Reg(nm1)], true).unwrap();
+    e.ret(Some(v.into()));
+    let is_even = e.finish();
+
+    let mut o = FuncBuilder::new("is_odd", 1);
+    let n = o.param(0);
+    let base = o.new_block();
+    let rec = o.new_block();
+    o.br(Cond::Eq, n, 0, base, rec);
+    o.switch_to(base);
+    o.ret(Some(Operand::Const(0)));
+    o.switch_to(rec);
+    let nm1 = o.bin(BinOp::Sub, n, 1);
+    let v = o.call("is_even", vec![Operand::Reg(nm1)], true).unwrap();
+    o.ret(Some(v.into()));
+    let is_odd = o.finish();
+
+    let mut m = FuncBuilder::new("main", 0);
+    let v = m.call("is_even", vec![Operand::Const(101)], true).unwrap();
+    store_result(&mut m, v);
+    m.ret(None);
+    let module = Module::default().with(m.finish()).with(is_even).with(is_odd);
+
+    // Depth-101 call chain on a tiny segmented file: heavy window
+    // overflow/underflow, still correct.
+    for cfg in [
+        SimConfig::with_regfile(RegFileSpec::paper_nsf(40)),
+        SimConfig::with_regfile(RegFileSpec::paper_segmented(2, 20)),
+    ] {
+        assert_eq!(run_module(&module, CompileOpts::default(), cfg), 0);
+    }
+}
+
+#[test]
+fn memory_heavy_loop() {
+    // Write then sum an array through IR loads/stores.
+    let base = 0x0011_0000u32;
+    let n = 50;
+    let mut f = FuncBuilder::new("main", 0);
+    let i = f.copy(0);
+    let hdr = f.new_block();
+    let body = f.new_block();
+    let exit = f.new_block();
+    f.jmp(hdr);
+    f.switch_to(hdr);
+    f.br(Cond::Lt, i, n, body, exit);
+    f.switch_to(body);
+    let sq = f.bin(BinOp::Mul, i, i);
+    let addr = f.bin(BinOp::Add, i, base as i32);
+    f.store(sq, addr, 0);
+    f.bin_to(i, BinOp::Add, i, 1);
+    f.jmp(hdr);
+    f.switch_to(exit);
+    let acc = f.copy(0);
+    let j = f.copy(0);
+    let hdr2 = f.new_block();
+    let body2 = f.new_block();
+    let exit2 = f.new_block();
+    f.jmp(hdr2);
+    f.switch_to(hdr2);
+    f.br(Cond::Lt, j, n, body2, exit2);
+    f.switch_to(body2);
+    let addr = f.bin(BinOp::Add, j, base as i32);
+    let v = f.load(addr, 0);
+    f.bin_to(acc, BinOp::Add, acc, v);
+    f.bin_to(j, BinOp::Add, j, 1);
+    f.jmp(hdr2);
+    f.switch_to(exit2);
+    store_result(&mut f, acc);
+    f.ret(None);
+    let module = Module::default().with(f.finish());
+
+    let expected: u32 = (0..50u32).map(|i| i * i).sum();
+    assert_eq!(
+        run_module(&module, CompileOpts::default(), SimConfig::default()),
+        expected
+    );
+}

@@ -1,0 +1,140 @@
+//! Integration: every benchmark must produce identical, correct output on
+//! every register file organization — the organizations differ only in
+//! *cost*, never in semantics — and the cost metrics must order the way
+//! the paper's evaluation says they do.
+
+use nsf::core::SpillEngine;
+use nsf::sim::{RegFileSpec, SimConfig};
+use nsf::workloads::{self, run, Workload};
+
+fn configs_for(w: &Workload) -> Vec<(&'static str, SimConfig)> {
+    let (nsf_regs, frames, frame_regs) = if w.parallel { (128, 4, 32) } else { (80, 4, 20) };
+    vec![
+        ("nsf", SimConfig::with_regfile(RegFileSpec::paper_nsf(nsf_regs))),
+        (
+            "segmented",
+            SimConfig::with_regfile(RegFileSpec::paper_segmented(frames, frame_regs)),
+        ),
+        (
+            "segmented-valid",
+            SimConfig::with_regfile(RegFileSpec::segmented_valid_only(frames, frame_regs)),
+        ),
+        (
+            "conventional",
+            SimConfig::with_regfile(RegFileSpec::Conventional {
+                regs: frame_regs,
+                engine: SpillEngine::hardware(),
+            }),
+        ),
+        (
+            "windowed",
+            SimConfig::with_regfile(RegFileSpec::sparc_windows(frame_regs)),
+        ),
+        ("oracle", SimConfig::with_regfile(RegFileSpec::Oracle)),
+    ]
+}
+
+#[test]
+fn every_benchmark_validates_on_every_organization() {
+    for w in workloads::paper_suite(0) {
+        for (tag, cfg) in configs_for(&w) {
+            let r = run(&w, cfg)
+                .unwrap_or_else(|e| panic!("{} on {tag}: {e}", w.name));
+            assert!(r.instructions > 0, "{} on {tag} executed nothing", w.name);
+        }
+    }
+}
+
+#[test]
+fn nsf_never_reloads_more_than_the_segmented_file() {
+    for w in workloads::paper_suite(0) {
+        let (nsf_regs, frames, frame_regs) =
+            if w.parallel { (128, 4, 32) } else { (80, 4, 20) };
+        let nsf = run(&w, SimConfig::with_regfile(RegFileSpec::paper_nsf(nsf_regs))).unwrap();
+        let seg = run(
+            &w,
+            SimConfig::with_regfile(RegFileSpec::paper_segmented(frames, frame_regs)),
+        )
+        .unwrap();
+        assert!(
+            nsf.reloads_per_instr() <= seg.reloads_per_instr() + 1e-9,
+            "{}: NSF {} vs segmented {}",
+            w.name,
+            nsf.reloads_per_instr(),
+            seg.reloads_per_instr()
+        );
+    }
+}
+
+#[test]
+fn nsf_utilization_at_least_matches_segmented() {
+    for w in workloads::paper_suite(0) {
+        let (nsf_regs, frames, frame_regs) =
+            if w.parallel { (128, 4, 32) } else { (80, 4, 20) };
+        let nsf = run(&w, SimConfig::with_regfile(RegFileSpec::paper_nsf(nsf_regs))).unwrap();
+        let seg = run(
+            &w,
+            SimConfig::with_regfile(RegFileSpec::paper_segmented(frames, frame_regs)),
+        )
+        .unwrap();
+        assert!(
+            nsf.utilization() >= seg.utilization() - 1e-9,
+            "{}: NSF {} vs segmented {}",
+            w.name,
+            nsf.utilization(),
+            seg.utilization()
+        );
+    }
+}
+
+#[test]
+fn software_traps_cost_more_than_hardware_assist() {
+    for w in workloads::parallel_suite(0) {
+        let hw = run(
+            &w,
+            SimConfig::with_regfile(RegFileSpec::paper_segmented(4, 32)),
+        )
+        .unwrap();
+        let mut seg_cfg = nsf::core::SegmentedConfig::paper_default(4, 32);
+        seg_cfg.engine = SpillEngine::software();
+        let sw = run(
+            &w,
+            SimConfig::with_regfile(RegFileSpec::Segmented(seg_cfg)),
+        )
+        .unwrap();
+        assert!(
+            sw.regfile.spill_reload_cycles >= hw.regfile.spill_reload_cycles,
+            "{}: sw {} < hw {}",
+            w.name,
+            sw.regfile.spill_reload_cycles,
+            hw.regfile.spill_reload_cycles
+        );
+    }
+}
+
+#[test]
+fn sequential_instruction_counts_are_organization_independent() {
+    // The register file changes cycle counts, never the instruction path
+    // of a single-threaded program.
+    for w in workloads::sequential_suite(0) {
+        let counts: Vec<u64> = configs_for(&w)
+            .into_iter()
+            .map(|(_, cfg)| run(&w, cfg).unwrap().instructions)
+            .collect();
+        assert!(
+            counts.windows(2).all(|c| c[0] == c[1]),
+            "{}: divergent instruction counts {counts:?}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn oracle_never_misses() {
+    for w in workloads::paper_suite(0) {
+        let r = run(&w, SimConfig::with_regfile(RegFileSpec::Oracle)).unwrap();
+        assert_eq!(r.regfile.read_misses, 0, "{}", w.name);
+        assert_eq!(r.regfile.regs_reloaded, 0, "{}", w.name);
+        assert_eq!(r.regfile.spill_reload_cycles, 0, "{}", w.name);
+    }
+}

@@ -1,0 +1,100 @@
+//! Integration: faults surface as typed errors, never as panics or
+//! silent corruption.
+
+use nsf::core::{
+    FaultyStore, MapStore, NamedStateFile, NsfConfig, RegAddr, RegFileError, RegisterFile,
+    SegmentedConfig, SegmentedFile, StoreFault,
+};
+use nsf::sim::{Machine, SimConfig, SimError};
+
+#[test]
+fn nsf_surfaces_spill_faults() {
+    let mut f = NamedStateFile::new(NsfConfig::paper_default(4));
+    let mut s = FaultyStore::new(MapStore::new(), 0); // every op faults
+    for i in 0..4 {
+        f.write(RegAddr::new(1, i), 1, &mut s).unwrap(); // allocations: no traffic
+    }
+    // Fifth write must spill — and the fault must come back typed.
+    let err = f.write(RegAddr::new(2, 0), 2, &mut s).unwrap_err();
+    assert!(matches!(err, RegFileError::Store(StoreFault::Io(_))));
+}
+
+#[test]
+fn nsf_surfaces_reload_faults() {
+    let mut f = NamedStateFile::new(NsfConfig::paper_default(4));
+    let mut s = FaultyStore::new(MapStore::new(), 1); // one op succeeds
+    for i in 0..4 {
+        f.write(RegAddr::new(1, i), u32::from(i), &mut s).unwrap();
+    }
+    f.write(RegAddr::new(2, 0), 9, &mut s).unwrap(); // spill consumes the budget
+    let err = f.read(RegAddr::new(1, 0), &mut s).unwrap_err();
+    assert!(matches!(err, RegFileError::Store(StoreFault::Io(_))));
+}
+
+#[test]
+fn segmented_surfaces_switch_faults() {
+    let mut f = SegmentedFile::new(SegmentedConfig::paper_default(1, 4));
+    let mut s = FaultyStore::new(MapStore::new(), 0);
+    f.switch_to(1, &mut s).unwrap(); // fresh claim: no traffic
+    f.write(RegAddr::new(1, 0), 1, &mut s).unwrap();
+    let err = f.switch_to(2, &mut s).unwrap_err();
+    assert!(matches!(err, RegFileError::Store(StoreFault::Io(_))));
+}
+
+#[test]
+fn machine_rejects_inconsistent_configuration() {
+    let p = nsf::isa::asm::assemble("main: halt").unwrap();
+    let mut cfg = SimConfig::default();
+    cfg.mem.ctable_slots = 4; // far fewer than cid_capacity
+    let err = Machine::new(p, cfg).unwrap_err();
+    assert!(matches!(err, SimError::BadConfig(_)));
+    assert!(err.to_string().contains("ctable_slots"));
+}
+
+#[test]
+fn machine_reports_read_of_undefined_register_with_pc() {
+    let p = nsf::isa::asm::assemble("main: nop\n add r0, r1, r2\n halt").unwrap();
+    let err = Machine::new(p, SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap_err();
+    match err {
+        SimError::RegFile { pc, source: RegFileError::ReadUndefined(_) } => {
+            assert_eq!(pc, 1, "error must point at the faulting instruction");
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn cid_exhaustion_is_detected() {
+    // Unbounded recursion exhausts Context IDs; the simulator reports it
+    // rather than looping or panicking.
+    let p = nsf::isa::asm::assemble("main: call main\n halt").unwrap();
+    let mut cfg = SimConfig::default();
+    cfg.sched.cid_capacity = 64;
+    cfg.mem.ctable_slots = 64;
+    let err = Machine::new(p, cfg).unwrap().run().unwrap_err();
+    assert!(matches!(
+        err,
+        SimError::Sched(nsf::runtime::SchedulerError::CidExhausted)
+    ));
+}
+
+#[test]
+fn thread_exhaustion_is_detected() {
+    let p = nsf::isa::asm::assemble(
+        "main: li r0, 0
+         loop: spawn child, r0
+               jmp loop
+         child: halt",
+    )
+    .unwrap();
+    let mut cfg = SimConfig::default();
+    cfg.sched.max_threads = 16;
+    let err = Machine::new(p, cfg).unwrap().run().unwrap_err();
+    assert!(matches!(
+        err,
+        SimError::Sched(nsf::runtime::SchedulerError::TooManyThreads)
+    ));
+}

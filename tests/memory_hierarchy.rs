@@ -1,0 +1,85 @@
+//! Integration: register spills travel through the data cache (paper
+//! Figure 4) — register traffic and program data genuinely contend.
+
+use nsf::mem::CacheConfig;
+use nsf::sim::{RegFileSpec, SimConfig};
+use nsf::workloads::{gamteb, quicksort, run};
+
+fn with_cache(mut cfg: SimConfig, dcache: CacheConfig) -> SimConfig {
+    cfg.mem.dcache = dcache;
+    cfg
+}
+
+#[test]
+fn spills_appear_in_dcache_statistics() {
+    // A thrashing segmented file must generate far more cache accesses
+    // than the same program on an oracle (whose register traffic is 0).
+    let w = gamteb::build(0);
+    let seg = run(&w, SimConfig::with_regfile(RegFileSpec::paper_segmented(4, 32))).unwrap();
+    let oracle = run(&w, SimConfig::with_regfile(RegFileSpec::Oracle)).unwrap();
+    let extra = seg.dcache.accesses.saturating_sub(oracle.dcache.accesses);
+    let moved = seg.regfile.regs_reloaded + seg.regfile.regs_spilled;
+    assert!(
+        extra >= moved / 2,
+        "register traffic ({moved}) must show up in the cache ({extra} extra accesses)"
+    );
+}
+
+#[test]
+fn slower_cache_amplifies_spill_overhead() {
+    let w = gamteb::build(0);
+    let fast = CacheConfig {
+        capacity_words: 16 * 1024,
+        line_words: 4,
+        ways: 4,
+        hit_cycles: 1,
+        miss_penalty: 10,
+    };
+    let slow = CacheConfig { miss_penalty: 200, ..fast };
+    let base = SimConfig::with_regfile(RegFileSpec::paper_segmented(4, 32));
+    let r_fast = run(&w, with_cache(base, fast)).unwrap();
+    let r_slow = run(&w, with_cache(base, slow)).unwrap();
+    assert!(
+        r_slow.regfile.spill_reload_cycles > r_fast.regfile.spill_reload_cycles,
+        "spill cost must track memory latency: {} vs {}",
+        r_slow.regfile.spill_reload_cycles,
+        r_fast.regfile.spill_reload_cycles
+    );
+}
+
+#[test]
+fn tiny_cache_still_computes_correctly() {
+    // A pathologically small cache changes timing only; every benchmark
+    // output stays correct.
+    let tiny = CacheConfig {
+        capacity_words: 64,
+        line_words: 4,
+        ways: 1,
+        hit_cycles: 1,
+        miss_penalty: 50,
+    };
+    for w in [quicksort::build(0), gamteb::build(0)] {
+        let cfg = with_cache(SimConfig::with_regfile(RegFileSpec::paper_nsf(128)), tiny);
+        let r = run(&w, cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(r.dcache.miss_ratio() > 0.05, "{}: tiny cache should thrash", w.name);
+    }
+}
+
+#[test]
+fn cache_pressure_does_not_change_results_or_instruction_mix() {
+    // Sequential programs: identical instruction stream under any cache.
+    let w = nsf::workloads::gatesim::build(0);
+    let tiny = CacheConfig {
+        capacity_words: 64,
+        line_words: 4,
+        ways: 1,
+        hit_cycles: 1,
+        miss_penalty: 50,
+    };
+    let big = CacheConfig::default();
+    let base = SimConfig::with_regfile(RegFileSpec::paper_nsf(80));
+    let a = run(&w, with_cache(base, tiny)).unwrap();
+    let b = run(&w, with_cache(base, big)).unwrap();
+    assert_eq!(a.instructions, b.instructions);
+    assert!(a.cycles > b.cycles, "the tiny cache must cost cycles");
+}
