@@ -44,5 +44,10 @@ fn bench_default_config(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_simulation, bench_compile, bench_default_config);
+criterion_group!(
+    benches,
+    bench_simulation,
+    bench_compile,
+    bench_default_config
+);
 criterion_main!(benches);

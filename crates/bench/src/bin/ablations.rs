@@ -1,157 +1,10 @@
-//! Design-space ablations beyond the paper's figures (DESIGN.md §6).
-//!
-//! 1. **Replacement policy** — the paper simulates LRU only; how much
-//!    does the choice matter for NSF reload traffic?
-//! 2. **Write-miss policy** — write-allocate (the paper's default) vs
-//!    fetch-on-write.
-//! 3. **Register pressure** — synthetic parallel threads with varying
-//!    active-register counts: where does the NSF's advantage over the
-//!    segmented file come from?
+//! Design-space ablations beyond the paper's figures (DESIGN.md §6):
+//! replacement policy, write-miss policy, register pressure, switch
+//! quantum, and explicit deallocation hints. See
+//! [`nsf_bench::figures::ablations`] for the grid.
 
-use nsf_bench::{aggregate, measure, pct, scale_from_args, segmented_config, PAR_CTX_REGS};
-use nsf_core::{NsfConfig, ReplacementPolicy, WriteMissPolicy};
-use nsf_sim::{RegFileSpec, SimConfig};
-use nsf_workloads::synth::{parallel, ParParams};
-
-fn nsf_with(
-    replacement: ReplacementPolicy,
-    write_miss: WriteMissPolicy,
-    total: u32,
-) -> SimConfig {
-    let mut cfg = NsfConfig::paper_default(total);
-    cfg.replacement = replacement;
-    cfg.write_miss = write_miss;
-    SimConfig::with_regfile(RegFileSpec::Nsf(cfg))
-}
+use nsf_bench::figures::ablations;
 
 fn main() {
-    let scale = scale_from_args();
-    let suite = nsf_workloads::parallel_suite(scale);
-
-    println!("Ablation 1: NSF replacement policy (parallel suite, 128 regs)");
-    println!("{:<12} {:>12} {:>14}", "Policy", "Reloads/instr", "Spill cycles");
-    nsf_bench::rule(40);
-    for (name, policy) in [
-        ("LRU", ReplacementPolicy::Lru),
-        ("FIFO", ReplacementPolicy::Fifo),
-        ("Random", ReplacementPolicy::Random { seed: 42 }),
-    ] {
-        let reports: Vec<_> = suite
-            .iter()
-            .map(|w| measure(w, nsf_with(policy, WriteMissPolicy::WriteAllocate, 128)))
-            .collect();
-        let agg = aggregate(&reports);
-        println!(
-            "{:<12} {:>12} {:>14}",
-            name,
-            pct(agg.reloads_per_instr()),
-            agg.regfile.spill_reload_cycles,
-        );
-    }
-
-    println!("\nAblation 2: NSF write-miss policy (parallel suite, 128 regs)");
-    println!("{:<16} {:>12} {:>14}", "Policy", "Reloads/instr", "Regs reloaded");
-    nsf_bench::rule(44);
-    for (name, wm) in [
-        ("Write-allocate", WriteMissPolicy::WriteAllocate),
-        ("Fetch-on-write", WriteMissPolicy::FetchOnWrite),
-    ] {
-        let reports: Vec<_> = suite
-            .iter()
-            .map(|w| measure(w, nsf_with(ReplacementPolicy::Lru, wm, 128)))
-            .collect();
-        let agg = aggregate(&reports);
-        println!(
-            "{:<16} {:>12} {:>14}",
-            name,
-            pct(agg.reloads_per_instr()),
-            agg.regfile.regs_reloaded,
-        );
-    }
-
-    println!("\nAblation 3: active registers per thread (synthetic, 16 threads)");
-    println!(
-        "{:<14} {:>12} {:>16} {:>10}",
-        "Active regs", "NSF rel/i", "Segment rel/i", "Advantage"
-    );
-    nsf_bench::rule(56);
-    for active in [4u8, 8, 12, 16, 20, 24, 28] {
-        let w = parallel(ParParams {
-            threads: 16,
-            iters: 24,
-            work: 30,
-            active_regs: active,
-        });
-        let nsf = measure(&w, nsf_bench::nsf_config(128));
-        let seg = measure(&w, segmented_config(4, PAR_CTX_REGS));
-        let adv = if nsf.reloads_per_instr() > 0.0 {
-            format!("{:.1}x", seg.reloads_per_instr() / nsf.reloads_per_instr())
-        } else {
-            "inf".to_owned()
-        };
-        println!(
-            "{:<14} {:>12} {:>16} {:>10}",
-            active,
-            pct(nsf.reloads_per_instr()),
-            pct(seg.reloads_per_instr()),
-            adv,
-        );
-    }
-    nsf_bench::rule(56);
-    println!("The segmented file always moves whole 32-register frames; the NSF");
-    println!("moves only what threads touch, so its advantage peaks when contexts");
-    println!("are sparse and shrinks as threads fill their frames.");
-
-    println!("\nAblation 4: block vs interleaved multithreading");
-    println!("(8 compute threads on a 4-frame file / 128-register NSF)");
-    println!(
-        "{:<14} {:>14} {:>16} {:>14}",
-        "Quantum", "NSF overhead", "Segment overhead", "Switches"
-    );
-    nsf_bench::rule(62);
-    let w = parallel(ParParams { threads: 8, iters: 6, work: 200, active_regs: 12 });
-    for quantum in [None, Some(256u64), Some(64), Some(16)] {
-        let mut nsf_cfg = nsf_bench::nsf_config(128);
-        nsf_cfg.quantum = quantum;
-        let mut seg_cfg = segmented_config(4, PAR_CTX_REGS);
-        seg_cfg.quantum = quantum;
-        let nsf = measure(&w, nsf_cfg);
-        let seg = measure(&w, seg_cfg);
-        println!(
-            "{:<14} {:>14} {:>16} {:>14}",
-            quantum.map_or("block".to_owned(), |q| format!("{q} instr")),
-            pct(nsf.spill_overhead()),
-            pct(seg.spill_overhead()),
-            seg.thread_switches,
-        );
-    }
-    nsf_bench::rule(62);
-    println!("Finer interleaving multiplies frame traffic on the segmented file;");
-    println!("the NSF's demand misses barely notice (paper \u{00a7}3: its techniques");
-    println!("apply to both forms of multithreading).");
-
-    println!("\nAblation 5: explicit register deallocation hints (paper \u{00a7}4.2)");
-    println!(
-        "{:<14} {:>10} {:>12} {:>12} {:>12}",
-        "NSF regs", "Hints", "Reloads", "Spills", "Cycles"
-    );
-    nsf_bench::rule(64);
-    for regs in [40u32, 60, 80] {
-        for hints in [false, true] {
-            let w = nsf_workloads::gatesim::build_with_hints(scale, hints);
-            let r = measure(&w, nsf_bench::nsf_config(regs));
-            println!(
-                "{:<14} {:>10} {:>12} {:>12} {:>12}",
-                regs,
-                if hints { "rfree" } else { "none" },
-                r.regfile.regs_reloaded,
-                r.regfile.regs_spilled,
-                r.cycles,
-            );
-        }
-    }
-    nsf_bench::rule(64);
-    println!("Freeing a register at its last use lets a small NSF drop dead values");
-    println!("instead of spilling them — \"the NSF can explicitly deallocate a single");
-    println!("register after it is no longer needed\".");
+    nsf_bench::figure_main(ablations::grid, ablations::render);
 }

@@ -1,34 +1,10 @@
 //! Mechanism exposition: call-chain depth is what the NSF converts into
 //! resident contexts. The synthetic recursive workload sweeps depth
-//! while the paper benchmarks fix it; this sweep shows the segmented
-//! file saturating at its frame count while the NSF tracks the chain
-//! until its registers run out.
+//! while the paper benchmarks fix it. See
+//! [`nsf_bench::figures::depth_sweep`] for the grid.
 
-use nsf_bench::{measure, nsf_config, pct, segmented_config, SEQ_CTX_REGS, SEQ_FILE_REGS};
-use nsf_workloads::synth::{sequential, SeqParams};
+use nsf_bench::figures::depth_sweep;
 
 fn main() {
-    println!("Call-chain depth sweep (synthetic recursion, 6 locals/activation)");
-    println!(
-        "{:<8} {:>12} {:>14} {:>12} {:>14}",
-        "Depth", "NSF contexts", "Seg contexts", "NSF reloads", "Seg reloads"
-    );
-    nsf_bench::rule(64);
-    for depth in [2u32, 4, 6, 8, 12, 16, 24] {
-        let w = sequential(SeqParams { depth, fanout: 1, locals: 6 });
-        let n = measure(&w, nsf_config(SEQ_FILE_REGS));
-        let s = measure(&w, segmented_config(4, SEQ_CTX_REGS));
-        println!(
-            "{:<8} {:>12.2} {:>14.2} {:>12} {:>14}",
-            depth,
-            n.occupancy.avg_contexts(),
-            s.occupancy.avg_contexts(),
-            pct(n.reloads_per_instr()),
-            pct(s.reloads_per_instr()),
-        );
-    }
-    nsf_bench::rule(64);
-    println!("The segmented file cannot hold more than its 4 frames no matter the");
-    println!("chain; the NSF keeps absorbing activations until its 80 registers");
-    println!("fill, and even then demand-reloads only what returns actually touch.");
+    nsf_bench::figure_main(depth_sweep::grid, depth_sweep::render);
 }

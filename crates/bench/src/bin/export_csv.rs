@@ -4,119 +4,30 @@
 //! ```sh
 //! cargo run --release -p nsf-bench --bin export_csv -- --scale 1
 //! ```
+//!
+//! The simulations come from one [`nsf_bench::figures::export_csv`]
+//! sweep; only the file writing lives here.
 
-use nsf_bench::{
-    measure, nsf_config, nsf_lines_config, scale_from_args, segmented_config, PAR_CTX_REGS,
-    PAR_FILE_REGS, SEQ_CTX_REGS, SEQ_FILE_REGS,
-};
-use nsf_core::ReloadPolicy;
-use nsf_workloads::synth::{sequential, SeqParams};
+use nsf_bench::figures::export_csv;
+use nsf_bench::HarnessArgs;
 use std::fs;
 use std::io::Write as _;
 use std::path::Path;
 
-fn write_csv(dir: &Path, name: &str, header: &str, rows: &[String]) {
-    let path = dir.join(name);
-    let mut f = fs::File::create(&path).expect("create CSV");
-    writeln!(f, "{header}").unwrap();
-    for r in rows {
-        writeln!(f, "{r}").unwrap();
-    }
-    println!("wrote {} ({} rows)", path.display(), rows.len());
-}
-
 fn main() {
-    let scale = scale_from_args();
+    let args = HarnessArgs::parse();
+    let sweep = export_csv::grid(args.scale);
+    let reports = sweep.run(args.threads);
+
     let dir = Path::new("results");
     fs::create_dir_all(dir).expect("create results/");
-
-    // Figures 11 + 12: file-size sweep.
-    let gatesim = nsf_workloads::gatesim::build(scale);
-    let gamteb = nsf_workloads::gamteb::build(scale);
-    let mut rows = Vec::new();
-    for frames in 2..=10u32 {
-        let sn = measure(&gatesim, nsf_config(frames * u32::from(SEQ_CTX_REGS)));
-        let ss = measure(&gatesim, segmented_config(frames, SEQ_CTX_REGS));
-        let pn = measure(&gamteb, nsf_config(frames * u32::from(PAR_CTX_REGS)));
-        let ps = measure(&gamteb, segmented_config(frames, PAR_CTX_REGS));
-        rows.push(format!(
-            "{frames},{:.4},{:.4},{:.4},{:.4},{:.6},{:.6},{:.6},{:.6}",
-            sn.occupancy.avg_contexts(),
-            ss.occupancy.avg_contexts(),
-            pn.occupancy.avg_contexts(),
-            ps.occupancy.avg_contexts(),
-            sn.reloads_per_instr(),
-            ss.reloads_per_instr(),
-            pn.reloads_per_instr(),
-            ps.reloads_per_instr(),
-        ));
-    }
-    write_csv(
-        dir,
-        "fig11_fig12_size_sweep.csv",
-        "frames,seq_nsf_contexts,seq_seg_contexts,par_nsf_contexts,par_seg_contexts,\
-         seq_nsf_reloads_per_instr,seq_seg_reloads_per_instr,\
-         par_nsf_reloads_per_instr,par_seg_reloads_per_instr",
-        &rows,
-    );
-
-    // Figure 13: line-size sweep.
-    let mut rows = Vec::new();
-    for (parallel, regs, widths) in [
-        (false, SEQ_FILE_REGS, vec![1u8, 2, 4, 8, 16]),
-        (true, PAR_FILE_REGS, vec![1, 2, 4, 8, 16, 32]),
-    ] {
-        let suite = if parallel {
-            nsf_workloads::parallel_suite(scale)
-        } else {
-            nsf_workloads::sequential_suite(scale)
-        };
-        for width in widths {
-            let mut cells = Vec::new();
-            for policy in [
-                ReloadPolicy::WholeLine,
-                ReloadPolicy::ValidOnly,
-                ReloadPolicy::SingleRegister,
-            ] {
-                let reports: Vec<_> = suite
-                    .iter()
-                    .map(|w| measure(w, nsf_lines_config(regs, width, policy)))
-                    .collect();
-                let agg = nsf_bench::aggregate(&reports);
-                cells.push(format!("{:.6}", agg.reloads_per_instr()));
-            }
-            rows.push(format!(
-                "{},{width},{}",
-                if parallel { "parallel" } else { "sequential" },
-                cells.join(",")
-            ));
+    for csv in export_csv::csvs(&sweep, &reports) {
+        let path = dir.join(csv.name);
+        let mut f = fs::File::create(&path).expect("create CSV");
+        writeln!(f, "{}", csv.header).unwrap();
+        for r in &csv.rows {
+            writeln!(f, "{r}").unwrap();
         }
+        println!("wrote {} ({} rows)", path.display(), csv.rows.len());
     }
-    write_csv(
-        dir,
-        "fig13_line_size.csv",
-        "suite,regs_per_line,whole_line,valid_only,single_register",
-        &rows,
-    );
-
-    // Depth sweep (mechanism study).
-    let mut rows = Vec::new();
-    for depth in [2u32, 4, 6, 8, 12, 16, 24] {
-        let w = sequential(SeqParams { depth, fanout: 1, locals: 6 });
-        let n = measure(&w, nsf_config(SEQ_FILE_REGS));
-        let s = measure(&w, segmented_config(4, SEQ_CTX_REGS));
-        rows.push(format!(
-            "{depth},{:.4},{:.4},{:.6},{:.6}",
-            n.occupancy.avg_contexts(),
-            s.occupancy.avg_contexts(),
-            n.reloads_per_instr(),
-            s.reloads_per_instr(),
-        ));
-    }
-    write_csv(
-        dir,
-        "depth_sweep.csv",
-        "depth,nsf_contexts,seg_contexts,nsf_reloads_per_instr,seg_reloads_per_instr",
-        &rows,
-    );
 }

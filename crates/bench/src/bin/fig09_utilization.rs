@@ -3,38 +3,10 @@
 //! "Shown are maximum and average registers accessed in the NSF, and
 //! average accessed in a segmented file. Each register file contains 80
 //! registers for sequential simulations, or 128 registers for parallel
-//! simulations." The segmented file is the paper's 4-frame reference.
+//! simulations." See [`nsf_bench::figures::fig09`] for the grid.
 
-use nsf_bench::{
-    measure, nsf_config, pct, scale_from_args, segmented_config, PAR_CTX_REGS, PAR_FILE_REGS,
-    SEQ_CTX_REGS, SEQ_FILE_REGS,
-};
+use nsf_bench::figures::fig09;
 
 fn main() {
-    let scale = scale_from_args();
-    println!("Figure 9: Active registers (% of file), scale {scale}");
-    println!(
-        "{:<10} {:>9} {:>9} {:>12}",
-        "App", "NSF max", "NSF avg", "Segment avg"
-    );
-    nsf_bench::rule(44);
-    for w in nsf_workloads::paper_suite(scale) {
-        let (regs, frames, frame_regs) = if w.parallel {
-            (PAR_FILE_REGS, 4, PAR_CTX_REGS)
-        } else {
-            (SEQ_FILE_REGS, 4, SEQ_CTX_REGS)
-        };
-        let nsf = measure(&w, nsf_config(regs));
-        let seg = measure(&w, segmented_config(frames, frame_regs));
-        println!(
-            "{:<10} {:>9} {:>9} {:>12}",
-            w.name,
-            pct(nsf.max_utilization()),
-            pct(nsf.utilization()),
-            pct(seg.utilization()),
-        );
-    }
-    nsf_bench::rule(44);
-    println!("Paper: NSF holds active data in 70-80% of its registers — 2-3x the");
-    println!("segmented file on sequential programs, 1.3-1.5x on parallel ones.");
+    nsf_bench::figure_main(fig09::grid, fig09::render);
 }

@@ -1,46 +1,11 @@
 //! Figure 10 — registers reloaded as a percentage of instructions.
 //!
 //! "Also registers containing live data that are reloaded by segmented
-//! register file. Each register file contains 80 registers for sequential
-//! simulations, or 128 registers for parallel simulations." (log scale in
-//! the paper; we print the raw percentages).
+//! register file." (log scale in the paper; we print the raw
+//! percentages). See [`nsf_bench::figures::fig10`] for the grid.
 
-use nsf_bench::{
-    measure, nsf_config, pct, scale_from_args, segmented_config, PAR_CTX_REGS, PAR_FILE_REGS,
-    SEQ_CTX_REGS, SEQ_FILE_REGS,
-};
+use nsf_bench::figures::fig10;
 
 fn main() {
-    let scale = scale_from_args();
-    println!("Figure 10: Registers reloaded as % of instructions, scale {scale}");
-    println!(
-        "{:<10} {:>10} {:>10} {:>14} {:>10}",
-        "App", "NSF", "Segment", "Segment live", "Seg/NSF"
-    );
-    nsf_bench::rule(60);
-    for w in nsf_workloads::paper_suite(scale) {
-        let (regs, frames, frame_regs) = if w.parallel {
-            (PAR_FILE_REGS, 4, PAR_CTX_REGS)
-        } else {
-            (SEQ_FILE_REGS, 4, SEQ_CTX_REGS)
-        };
-        let nsf = measure(&w, nsf_config(regs));
-        let seg = measure(&w, segmented_config(frames, frame_regs));
-        let ratio = if nsf.reloads_per_instr() > 0.0 {
-            seg.reloads_per_instr() / nsf.reloads_per_instr()
-        } else {
-            f64::INFINITY
-        };
-        println!(
-            "{:<10} {:>10} {:>10} {:>14} {:>9.0}x",
-            w.name,
-            pct(nsf.reloads_per_instr()),
-            pct(seg.reloads_per_instr()),
-            pct(seg.live_reloads_per_instr()),
-            ratio,
-        );
-    }
-    nsf_bench::rule(60);
-    println!("Paper: segmented reloads 1,000-10,000x the NSF on sequential code and");
-    println!("10-40x on parallel code; live-only reloading still trails the NSF.");
+    nsf_bench::figure_main(fig10::grid, fig10::render);
 }

@@ -2,43 +2,12 @@
 //! and NSF register files.
 //!
 //! "Size is shown in context sized frames of 20 registers for sequential
-//! programs, 32 registers for parallel code." The representative
-//! applications are GateSim (sequential) and Gamteb (parallel), per the
-//! paper's §7.2. An N-frame segmented file can hold at most N contexts;
-//! the NSF holds "as many active contexts as can share the registers".
+//! programs, 32 registers for parallel code." GateSim and Gamteb are the
+//! representative applications (paper §7.2). See
+//! [`nsf_bench::figures::fig11`] for the grid (shared with Figure 12).
 
-use nsf_bench::{
-    measure, nsf_config, scale_from_args, segmented_config, PAR_CTX_REGS, SEQ_CTX_REGS,
-};
+use nsf_bench::figures::fig11;
 
 fn main() {
-    let scale = scale_from_args();
-    let gatesim = nsf_workloads::gatesim::build(scale);
-    let gamteb = nsf_workloads::gamteb::build(scale);
-    println!("Figure 11: Average resident contexts vs register file size, scale {scale}");
-    println!(
-        "{:<8} {:>10} {:>12} {:>12} {:>14} {:>14}",
-        "Frames", "Seq regs", "Seq NSF", "Seq Segment", "Par NSF", "Par Segment"
-    );
-    nsf_bench::rule(74);
-    for frames in 2..=10u32 {
-        let seq_regs = frames * u32::from(SEQ_CTX_REGS);
-        let par_regs = frames * u32::from(PAR_CTX_REGS);
-        let seq_nsf = measure(&gatesim, nsf_config(seq_regs));
-        let seq_seg = measure(&gatesim, segmented_config(frames, SEQ_CTX_REGS));
-        let par_nsf = measure(&gamteb, nsf_config(par_regs));
-        let par_seg = measure(&gamteb, segmented_config(frames, PAR_CTX_REGS));
-        println!(
-            "{:<8} {:>10} {:>12.2} {:>12.2} {:>14.2} {:>14.2}",
-            frames,
-            seq_regs,
-            seq_nsf.occupancy.avg_contexts(),
-            seq_seg.occupancy.avg_contexts(),
-            par_nsf.occupancy.avg_contexts(),
-            par_seg.occupancy.avg_contexts(),
-        );
-    }
-    nsf_bench::rule(74);
-    println!("Paper: N-frame segmented files average ~0.7N resident contexts; the NSF");
-    println!("averages ~0.8N on parallel code and more than 2N on sequential code.");
+    nsf_bench::figure_main(fig11::grid, fig11::render);
 }

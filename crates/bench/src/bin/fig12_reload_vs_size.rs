@@ -4,38 +4,8 @@
 //! Same sweep as Figure 11 (2–10 context-sized frames; GateSim and
 //! Gamteb as the representative sequential and parallel applications).
 
-use nsf_bench::{
-    measure, nsf_config, pct, scale_from_args, segmented_config, PAR_CTX_REGS, SEQ_CTX_REGS,
-};
+use nsf_bench::figures::fig12;
 
 fn main() {
-    let scale = scale_from_args();
-    let gatesim = nsf_workloads::gatesim::build(scale);
-    let gamteb = nsf_workloads::gamteb::build(scale);
-    println!("Figure 12: Registers reloaded (% of instructions) vs file size, scale {scale}");
-    println!(
-        "{:<8} {:>12} {:>12} {:>14} {:>14}",
-        "Frames", "Seq NSF", "Seq Segment", "Par NSF", "Par Segment"
-    );
-    nsf_bench::rule(64);
-    for frames in 2..=10u32 {
-        let seq_regs = frames * u32::from(SEQ_CTX_REGS);
-        let par_regs = frames * u32::from(PAR_CTX_REGS);
-        let seq_nsf = measure(&gatesim, nsf_config(seq_regs));
-        let seq_seg = measure(&gatesim, segmented_config(frames, SEQ_CTX_REGS));
-        let par_nsf = measure(&gamteb, nsf_config(par_regs));
-        let par_seg = measure(&gamteb, segmented_config(frames, PAR_CTX_REGS));
-        println!(
-            "{:<8} {:>12} {:>12} {:>14} {:>14}",
-            frames,
-            pct(seq_nsf.reloads_per_instr()),
-            pct(seq_seg.reloads_per_instr()),
-            pct(par_nsf.reloads_per_instr()),
-            pct(par_seg.reloads_per_instr()),
-        );
-    }
-    nsf_bench::rule(64);
-    println!("Paper: the smallest NSF reloads an order of magnitude less than any");
-    println!("practical segmented file on sequential code; on parallel code the NSF");
-    println!("reloads 5-6x less than a segmented file of the same size.");
+    nsf_bench::figure_main(fig12::grid, fig12::render);
 }

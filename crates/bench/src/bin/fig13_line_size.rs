@@ -2,63 +2,12 @@
 //! strategies.
 //!
 //! "Three curves are shown for each application: A. Reloaded lines *
-//! registers/line (counts both empty registers and those containing valid
-//! data). B. Live register reloads (counts only registers containing
-//! valid data). C. Active reloads (counts registers that will be accessed
-//! while the line is resident)." Strategy C is realised as demand reload
-//! of single registers — the NSF never loads registers that are not
-//! needed. Files hold 80 registers (sequential) / 128 (parallel).
+//! registers/line ... B. Live register reloads ... C. Active reloads."
+//! Strategy C is realised as demand reload of single registers. See
+//! [`nsf_bench::figures::fig13`] for the grid.
 
-use nsf_bench::{
-    aggregate, measure, nsf_lines_config, pct, scale_from_args, PAR_FILE_REGS, SEQ_FILE_REGS,
-};
-use nsf_core::ReloadPolicy;
-
-fn sweep(parallel: bool, scale: u32) {
-    let (suite, regs, widths): (_, u32, &[u8]) = if parallel {
-        (nsf_workloads::parallel_suite(scale), PAR_FILE_REGS, &[1, 2, 4, 8, 16, 32])
-    } else {
-        (nsf_workloads::sequential_suite(scale), SEQ_FILE_REGS, &[1, 2, 4, 8, 16])
-    };
-    println!(
-        "\n{} applications ({} registers):",
-        if parallel { "Parallel" } else { "Sequential" },
-        regs
-    );
-    println!(
-        "{:<10} {:>14} {:>14} {:>14}",
-        "Regs/line", "A: whole line", "B: live only", "C: active"
-    );
-    nsf_bench::rule(56);
-    for &width in widths {
-        let mut cells = Vec::new();
-        for policy in [
-            ReloadPolicy::WholeLine,
-            ReloadPolicy::ValidOnly,
-            ReloadPolicy::SingleRegister,
-        ] {
-            let reports: Vec<_> = suite
-                .iter()
-                .map(|w| measure(w, nsf_lines_config(regs, width, policy)))
-                .collect();
-            let agg = aggregate(&reports);
-            cells.push(pct(agg.reloads_per_instr()));
-        }
-        println!(
-            "{:<10} {:>14} {:>14} {:>14}",
-            width, cells[0], cells[1], cells[2]
-        );
-    }
-}
+use nsf_bench::figures::fig13;
 
 fn main() {
-    let scale = scale_from_args();
-    println!("Figure 13: Registers reloaded (% of instructions) vs line size, scale {scale}");
-    sweep(false, scale);
-    sweep(true, scale);
-    println!();
-    nsf_bench::rule(56);
-    println!("Paper: an NSF with single-word lines reloads only 25% as many registers");
-    println!("as a tagged segmented file on parallel code; fine-grain associative");
-    println!("addressing matters more than valid bits alone.");
+    nsf_bench::figure_main(fig13::grid, fig13::render);
 }

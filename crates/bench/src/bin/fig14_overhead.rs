@@ -3,60 +3,11 @@
 //!
 //! "Overhead shown for NSF, segmented file with hardware assisted
 //! spilling and reloads, and segmented file with software traps for
-//! spilling and reloads. All files hold 128 registers." Serial and
-//! parallel bars aggregate the respective benchmark suites.
-//!
-//! Sequential files: NSF 120 regs vs 6 frames × 20 regs (the nearest
-//! multiple of the 20-register sequential context). Parallel files:
-//! NSF 128 vs 4 frames × 32.
+//! spilling and reloads. All files hold 128 registers." See
+//! [`nsf_bench::figures::fig14`] for the grid.
 
-use nsf_bench::{
-    aggregate, measure, nsf_config, pct, scale_from_args, segmented_config,
-    segmented_software_config, PAR_CTX_REGS, SEQ_CTX_REGS,
-};
-use nsf_sim::{RunReport, SimConfig};
-use nsf_workloads::Workload;
-
-fn overhead(suite: &[Workload], cfg_of: impl Fn() -> SimConfig) -> RunReport {
-    let reports: Vec<_> = suite.iter().map(|w| measure(w, cfg_of())).collect();
-    aggregate(&reports)
-}
+use nsf_bench::figures::fig14;
 
 fn main() {
-    let scale = scale_from_args();
-    let seq = nsf_workloads::sequential_suite(scale);
-    let par = nsf_workloads::parallel_suite(scale);
-
-    println!("Figure 14: Spill/reload overhead as % of execution time, scale {scale}");
-    println!(
-        "{:<10} {:>10} {:>14} {:>14}",
-        "Suite", "NSF", "Segment (HW)", "Segment (SW)"
-    );
-    nsf_bench::rule(52);
-
-    let seq_frames = 6;
-    let row = |name: &str, nsf: &RunReport, hw: &RunReport, sw: &RunReport| {
-        println!(
-            "{:<10} {:>10} {:>14} {:>14}",
-            name,
-            pct(nsf.spill_overhead()),
-            pct(hw.spill_overhead()),
-            pct(sw.spill_overhead()),
-        );
-    };
-
-    let nsf = overhead(&seq, || nsf_config(seq_frames * u32::from(SEQ_CTX_REGS)));
-    let hw = overhead(&seq, || segmented_config(seq_frames, SEQ_CTX_REGS));
-    let sw = overhead(&seq, || segmented_software_config(seq_frames, SEQ_CTX_REGS));
-    row("Serial", &nsf, &hw, &sw);
-
-    let nsf = overhead(&par, || nsf_config(128));
-    let hw = overhead(&par, || segmented_config(4, PAR_CTX_REGS));
-    let sw = overhead(&par, || segmented_software_config(4, PAR_CTX_REGS));
-    row("Parallel", &nsf, &hw, &sw);
-
-    nsf_bench::rule(52);
-    println!("Paper: serial 0.01% / 8.47% / 15.54%; parallel 12.12% / 26.67% / 38.12%.");
-    println!("The NSF eliminates sequential spill overhead entirely and roughly");
-    println!("halves it for parallel programs.");
+    nsf_bench::figure_main(fig14::grid, fig14::render);
 }

@@ -1,60 +1,10 @@
 //! Related-work comparison (paper §5): the Named-State Register File
-//! against the organizations the paper positions itself against —
-//! SPARC-style register windows with multithreading trap handlers
-//! (Keppel \[17\], Hidaka \[11\]) and the segmented files of Sparcle/HEP.
-//!
-//! Windows love sequential call chains (overflow/underflow only at the
-//! window boundary) but flush wholesale on every thread switch; the
-//! segmented file is the mirror image; the NSF does both well.
+//! against SPARC-style register windows with multithreading trap
+//! handlers and the segmented files of Sparcle/HEP, plus a dribble-back
+//! variant. See [`nsf_bench::figures::related_work`] for the grid.
 
-use nsf_bench::{measure, nsf_config, pct, scale_from_args, segmented_config};
-use nsf_core::segmented::DribbleConfig;
-use nsf_core::SegmentedConfig;
-use nsf_sim::{RegFileSpec, SimConfig};
+use nsf_bench::figures::related_work;
 
 fn main() {
-    let scale = scale_from_args();
-    println!("Related work: NSF vs segmented vs SPARC windows, scale {scale}");
-    println!(
-        "{:<11} {:<26} {:>10} {:>10} {:>10}",
-        "App", "Organization", "Reloads/i", "Overhead", "CPI"
-    );
-    nsf_bench::rule(72);
-    for w in [
-        nsf_workloads::gatesim::build(scale),
-        nsf_workloads::zipfile::build(scale),
-        nsf_workloads::gamteb::build(scale),
-        nsf_workloads::quicksort::build(scale),
-    ] {
-        let (regs, frames, frame_regs) = if w.parallel { (128, 4, 32) } else { (160, 8, 20) };
-        let mut dribble = SegmentedConfig::paper_default(frames, frame_regs);
-        dribble.dribble = Some(DribbleConfig { ops_per_reg: 4 });
-        let configs: Vec<(&str, SimConfig)> = vec![
-            ("NSF", nsf_config(regs)),
-            ("Segmented (HW assist)", segmented_config(frames, frame_regs)),
-            (
-                "Segmented + dribble-back",
-                SimConfig::with_regfile(RegFileSpec::Segmented(dribble)),
-            ),
-            (
-                "SPARC windows (traps)",
-                SimConfig::with_regfile(RegFileSpec::sparc_windows(frame_regs)),
-            ),
-        ];
-        for (name, cfg) in configs {
-            let r = measure(&w, cfg);
-            println!(
-                "{:<11} {:<26} {:>10} {:>10} {:>10.2}",
-                w.name,
-                name,
-                pct(r.reloads_per_instr()),
-                pct(r.spill_overhead()),
-                r.cpi(),
-            );
-        }
-        nsf_bench::rule(72);
-    }
-    println!("Windows handle call chains with boundary traps only, but flush the");
-    println!("whole resident set on a thread switch; the segmented file is the");
-    println!("mirror image; the NSF avoids both costs (paper §5).");
+    nsf_bench::figure_main(related_work::grid, related_work::render);
 }

@@ -5,88 +5,8 @@
 //! cargo run --release -p nsf-bench --bin summary -- --scale 1
 //! ```
 
-use nsf_bench::{
-    aggregate, measure, nsf_config, scale_from_args, segmented_config,
-    segmented_software_config, PAR_CTX_REGS, PAR_FILE_REGS, SEQ_CTX_REGS, SEQ_FILE_REGS,
-};
-use nsf_vlsi::{AreaModel, Geometry, Ports, Tech, TimingModel};
+use nsf_bench::figures::summary;
 
 fn main() {
-    let scale = scale_from_args();
-    println!("The Named-State Register File — reproduction digest (scale {scale})");
-    println!("Paper claims (§9) vs this repository's measurements:\n");
-
-    let seq = nsf_workloads::sequential_suite(scale);
-    let par = nsf_workloads::parallel_suite(scale);
-
-    // Claim 1: more active data than a conventional file of the same size.
-    let mut ratios = Vec::new();
-    for w in seq.iter().chain(&par) {
-        let (regs, frames, fr) = if w.parallel {
-            (PAR_FILE_REGS, 4, PAR_CTX_REGS)
-        } else {
-            (SEQ_FILE_REGS, 4, SEQ_CTX_REGS)
-        };
-        let n = measure(w, nsf_config(regs));
-        let s = measure(w, segmented_config(frames, fr));
-        if s.utilization() > 0.0 {
-            ratios.push(n.utilization() / s.utilization());
-        }
-    }
-    let max_ratio = ratios.iter().cloned().fold(0.0f64, f64::max);
-    println!(
-        "1. \"The NSF holds 30% to 200% more active data\"\n   -> measured: up to {:.0}% more ({} benchmarks)\n",
-        (max_ratio - 1.0) * 100.0,
-        ratios.len()
-    );
-
-    // Claim 2: more concurrent contexts (sequential headline: 2x).
-    let gs = nsf_workloads::gatesim::build(scale);
-    let n = measure(&gs, nsf_config(SEQ_FILE_REGS));
-    let s = measure(&gs, segmented_config(4, SEQ_CTX_REGS));
-    println!(
-        "2. \"Holds twice as many procedure call frames as a conventional file\"\n   -> measured (GateSim, 80 regs): NSF {:.1} vs segmented {:.1} resident contexts\n",
-        n.occupancy.avg_contexts(),
-        s.occupancy.avg_contexts()
-    );
-
-    // Claim 3: call chains held with ~zero spilling.
-    println!(
-        "3. \"Can hold the entire call chain, spilling at 1e-4 the rate\"\n   -> measured (GateSim): NSF {} reloads vs segmented {} ({} instructions)\n",
-        n.regfile.regs_reloaded, s.regfile.regs_reloaded, n.instructions
-    );
-
-    // Claim 4: execution overhead (Figure 14).
-    let seq_frames = 6u32;
-    let agg = |rs: Vec<nsf_sim::RunReport>| aggregate(&rs);
-    let nsf_ser = agg(seq.iter().map(|w| measure(w, nsf_config(seq_frames * u32::from(SEQ_CTX_REGS)))).collect());
-    let hw_ser = agg(seq.iter().map(|w| measure(w, segmented_config(seq_frames, SEQ_CTX_REGS))).collect());
-    let sw_ser = agg(seq.iter().map(|w| measure(w, segmented_software_config(seq_frames, SEQ_CTX_REGS))).collect());
-    let nsf_par = agg(par.iter().map(|w| measure(w, nsf_config(128))).collect());
-    let hw_par = agg(par.iter().map(|w| measure(w, segmented_config(4, PAR_CTX_REGS))).collect());
-    let sw_par = agg(par.iter().map(|w| measure(w, segmented_software_config(4, PAR_CTX_REGS))).collect());
-    println!(
-        "4. \"Speeds execution by eliminating register spills and reloads\"\n   -> overhead serial:   NSF {:.2}%  seg-HW {:.2}%  seg-SW {:.2}%  (paper 0.01/8.47/15.54)\n   -> overhead parallel: NSF {:.2}%  seg-HW {:.2}%  seg-SW {:.2}%  (paper 12.1/26.7/38.1)\n",
-        nsf_ser.spill_overhead() * 100.0,
-        hw_ser.spill_overhead() * 100.0,
-        sw_ser.spill_overhead() * 100.0,
-        nsf_par.spill_overhead() * 100.0,
-        hw_par.spill_overhead() * 100.0,
-        sw_par.spill_overhead() * 100.0,
-    );
-
-    // Claim 5 & 6: implementation cost.
-    let t = TimingModel::new(Tech::cmos_1p2um());
-    let a = AreaModel::new(Tech::cmos_1p2um());
-    println!(
-        "5. \"Access time is only 5% greater\"\n   -> measured: +{:.1}% (32x128), +{:.1}% (64x64)\n",
-        t.nsf_overhead(Geometry::g32x128()) * 100.0,
-        t.nsf_overhead(Geometry::g64x64()) * 100.0,
-    );
-    println!(
-        "6. \"16% to 50% more chip area ... only 1% to 5% of a processor\"\n   -> measured: +{:.0}% to +{:.0}% file area; {:.1}% of a die at a 10% file share",
-        a.nsf_overhead(Geometry::g64x64(), Ports::six()) * 100.0,
-        a.nsf_overhead(Geometry::g32x128(), Ports::three()) * 100.0,
-        a.processor_overhead(Geometry::g32x128(), Ports::three(), 0.10) * 100.0,
-    );
+    nsf_bench::figure_main(summary::grid, summary::render);
 }

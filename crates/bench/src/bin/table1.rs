@@ -2,29 +2,11 @@
 //!
 //! Paper columns: lines of source code, static instructions, instructions
 //! executed, and average instructions per context switch. Run with
-//! `--scale 1` (default) for evaluation-sized inputs.
+//! `--scale 1` (default) for evaluation-sized inputs; see
+//! [`nsf_bench::figures::table1`] for the grid and table layout.
 
-use nsf_bench::{measure, nsf_config, scale_from_args, PAR_FILE_REGS, SEQ_FILE_REGS};
+use nsf_bench::figures::table1;
 
 fn main() {
-    let scale = scale_from_args();
-    println!("Table 1: Characteristics of benchmark programs (scale {scale})");
-    println!(
-        "{:<10} {:>10} {:>8} {:>8} {:>12} {:>12}",
-        "Benchmark", "Type", "Src", "Static", "Executed", "Instr/switch"
-    );
-    nsf_bench::rule(66);
-    for w in nsf_workloads::paper_suite(scale) {
-        let regs = if w.parallel { PAR_FILE_REGS } else { SEQ_FILE_REGS };
-        let r = measure(&w, nsf_config(regs));
-        println!(
-            "{:<10} {:>10} {:>8} {:>8} {:>12} {:>12.0}",
-            w.name,
-            if w.parallel { "Parallel" } else { "Sequential" },
-            w.source_lines,
-            r.static_instructions,
-            r.instructions,
-            r.instrs_per_switch(),
-        );
-    }
+    nsf_bench::figure_main(table1::grid, table1::render);
 }

@@ -1,0 +1,52 @@
+//! Figure 11 — average contexts resident in various sizes of segmented
+//! and NSF register files.
+
+use super::{rule, size_sweep_grid};
+use crate::runner::{Cursor, Sweep};
+use crate::SEQ_CTX_REGS;
+use nsf_sim::RunReport;
+use std::fmt::Write;
+
+/// GateSim and Gamteb under both file kinds at 2–10 frames.
+pub fn grid(scale: u32) -> Sweep {
+    size_sweep_grid(scale)
+}
+
+/// Resident contexts per frame count, sequential and parallel.
+pub fn render(scale: u32, _sweep: &Sweep, reports: &[RunReport], quiet: bool) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Figure 11: Average resident contexts vs register file size, scale {scale}"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<8} {:>10} {:>12} {:>12} {:>14} {:>14}",
+        "Frames", "Seq regs", "Seq NSF", "Seq Segment", "Par NSF", "Par Segment"
+    )
+    .unwrap();
+    rule(&mut out, 74);
+    let mut c = Cursor::new(reports);
+    for frames in 2..=10u32 {
+        let [seq_nsf, seq_seg, par_nsf, par_seg] = [c.next(), c.next(), c.next(), c.next()];
+        writeln!(
+            out,
+            "{:<8} {:>10} {:>12.2} {:>12.2} {:>14.2} {:>14.2}",
+            frames,
+            frames * u32::from(SEQ_CTX_REGS),
+            seq_nsf.occupancy.avg_contexts(),
+            seq_seg.occupancy.avg_contexts(),
+            par_nsf.occupancy.avg_contexts(),
+            par_seg.occupancy.avg_contexts(),
+        )
+        .unwrap();
+    }
+    c.finish();
+    rule(&mut out, 74);
+    if !quiet {
+        out.push_str("Paper: N-frame segmented files average ~0.7N resident contexts; the NSF\n");
+        out.push_str("averages ~0.8N on parallel code and more than 2N on sequential code.\n");
+    }
+    out
+}

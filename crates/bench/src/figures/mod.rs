@@ -1,0 +1,82 @@
+//! Grid + render pairs for every data-driven experiment binary.
+//!
+//! Each submodule owns one table/figure and exposes:
+//!
+//! - `grid(scale) -> Sweep` — the full set of (workload, config) points,
+//!   declared in output order, with every benchmark built exactly once;
+//! - `render(scale, &sweep, &reports, quiet) -> String` — the printed
+//!   table, a pure function of the sweep results (so it is identical
+//!   for every `--threads` value).
+//!
+//! Binaries are thin wrappers over [`crate::figure_main`]; tests drive
+//! the same functions directly (`tests/figures_smoke.rs` in this crate,
+//! `tests/harness_determinism.rs` at the workspace root).
+
+pub mod ablations;
+pub mod depth_sweep;
+pub mod export_csv;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod related_work;
+pub mod summary;
+pub mod table1;
+
+use crate::runner::Sweep;
+use crate::{nsf_config, nsf_lines_config, segmented_config, PAR_CTX_REGS, SEQ_CTX_REGS};
+use nsf_core::ReloadPolicy;
+
+/// Appends a horizontal rule (string-building form of [`crate::rule`]).
+pub(crate) fn rule(out: &mut String, width: usize) {
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+}
+
+/// Line widths swept for the sequential suite in Figure 13.
+pub(crate) const SEQ_WIDTHS: &[u8] = &[1, 2, 4, 8, 16];
+/// Line widths swept for the parallel suite in Figure 13.
+pub(crate) const PAR_WIDTHS: &[u8] = &[1, 2, 4, 8, 16, 32];
+/// The three reload strategies of Figure 13 (curves A, B, C).
+pub(crate) const RELOAD_POLICIES: [ReloadPolicy; 3] = [
+    ReloadPolicy::WholeLine,
+    ReloadPolicy::ValidOnly,
+    ReloadPolicy::SingleRegister,
+];
+
+/// The Figure 11/12 file-size sweep: GateSim and Gamteb, both register
+/// file kinds, at 2–10 context-sized frames. Shared by `fig11`, `fig12`
+/// and `export_csv`. Row order per frame count: sequential NSF,
+/// sequential segmented, parallel NSF, parallel segmented.
+pub(crate) fn size_sweep_points(s: &mut Sweep, gatesim: usize, gamteb: usize) {
+    for frames in 2..=10u32 {
+        s.point(gatesim, nsf_config(frames * u32::from(SEQ_CTX_REGS)));
+        s.point(gatesim, segmented_config(frames, SEQ_CTX_REGS));
+        s.point(gamteb, nsf_config(frames * u32::from(PAR_CTX_REGS)));
+        s.point(gamteb, segmented_config(frames, PAR_CTX_REGS));
+    }
+}
+
+/// The two-workload sweep behind Figures 11 and 12.
+pub(crate) fn size_sweep_grid(scale: u32) -> Sweep {
+    let mut s = Sweep::new();
+    let gatesim = s.workload(nsf_workloads::gatesim::build(scale));
+    let gamteb = s.workload(nsf_workloads::gamteb::build(scale));
+    size_sweep_points(&mut s, gatesim, gamteb);
+    s
+}
+
+/// The Figure 13 line-size sweep over one suite: every width, every
+/// reload policy, every workload (innermost, so each `(width, policy)`
+/// cell is a contiguous chunk to aggregate).
+pub(crate) fn line_size_points(s: &mut Sweep, suite: &[usize], regs: u32, widths: &[u8]) {
+    for &width in widths {
+        for policy in RELOAD_POLICIES {
+            for &w in suite {
+                s.point(w, nsf_lines_config(regs, width, policy));
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Table 1 — characteristics of the benchmark programs.
+
+use super::rule;
+use crate::runner::Sweep;
+use crate::{nsf_config, PAR_FILE_REGS, SEQ_FILE_REGS};
+use nsf_sim::RunReport;
+use std::fmt::Write;
+
+/// One NSF run per paper benchmark at its suite's file size.
+pub fn grid(scale: u32) -> Sweep {
+    let mut s = Sweep::new();
+    for w in nsf_workloads::paper_suite(scale) {
+        let regs = if w.parallel {
+            PAR_FILE_REGS
+        } else {
+            SEQ_FILE_REGS
+        };
+        let idx = s.workload(w);
+        s.point(idx, nsf_config(regs));
+    }
+    s
+}
+
+/// The paper's Table 1 columns per benchmark.
+pub fn render(scale: u32, sweep: &Sweep, reports: &[RunReport], _quiet: bool) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Table 1: Characteristics of benchmark programs (scale {scale})"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>10} {:>8} {:>8} {:>12} {:>12}",
+        "Benchmark", "Type", "Src", "Static", "Executed", "Instr/switch"
+    )
+    .unwrap();
+    rule(&mut out, 66);
+    for (i, r) in reports.iter().enumerate() {
+        let w = sweep.workload_of(i);
+        writeln!(
+            out,
+            "{:<10} {:>10} {:>8} {:>8} {:>12} {:>12.0}",
+            w.name,
+            if w.parallel { "Parallel" } else { "Sequential" },
+            w.source_lines,
+            r.static_instructions,
+            r.instructions,
+            r.instrs_per_switch(),
+        )
+        .unwrap();
+    }
+    out
+}

@@ -23,13 +23,21 @@
 //!
 //! Every binary accepts `--scale N` (default 1): 0 is a smoke-test size,
 //! 1 approximates the paper's behaviour at tractable instruction counts.
-//! This library holds the shared configuration points and run helpers.
+//! Data-driven binaries also accept `--threads N` (default: available
+//! parallelism) to fan the sweep across a thread pool — output is
+//! byte-identical for every thread count — and `--quiet` to drop the
+//! commentary footers. This library holds the shared configuration
+//! points, the sweep runner ([`runner`]) and the per-figure grid/render
+//! pairs ([`figures`]).
 
-use nsf_core::{
-    segmented::FramePolicy, NsfConfig, ReloadPolicy, SegmentedConfig, SpillEngine,
-};
+use nsf_core::{segmented::FramePolicy, NsfConfig, ReloadPolicy, SegmentedConfig, SpillEngine};
 use nsf_sim::{RunReport, SimConfig};
 use nsf_workloads::{run, Workload};
+
+pub mod figures;
+pub mod runner;
+
+pub use runner::{figure_main, Cursor, HarnessArgs, Sweep, SweepPoint};
 
 /// Registers per sequential context (the paper allocates 20).
 pub const SEQ_CTX_REGS: u8 = 20;
@@ -40,14 +48,11 @@ pub const SEQ_FILE_REGS: u32 = 80;
 /// Register file size for the parallel experiments (Figs. 9, 10).
 pub const PAR_FILE_REGS: u32 = 128;
 
-/// Parses `--scale N` (default 1) from the process arguments.
+/// Parses `--scale N` (default 1) from the process arguments. Shorthand
+/// for [`HarnessArgs::parse`] where only the scale matters (the
+/// VLSI-model binaries, which run no simulations).
 pub fn scale_from_args() -> u32 {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1)
+    HarnessArgs::parse().scale
 }
 
 /// The paper's NSF configuration over `total` registers
@@ -140,7 +145,10 @@ pub fn print_area_figure(title: &str, ports: nsf_vlsi::Ports, desc: &str) {
     );
     rule(76);
     let entries: Vec<(&str, AreaBreakdown)> = vec![
-        ("Segment 32x128", model.segmented(Geometry::g32x128(), ports)),
+        (
+            "Segment 32x128",
+            model.segmented(Geometry::g32x128(), ports),
+        ),
         ("Segment 64x64", model.segmented(Geometry::g64x64(), ports)),
         ("NSF 32x128", model.nsf(Geometry::g32x128(), ports)),
         ("NSF 64x64", model.nsf(Geometry::g64x64(), ports)),

@@ -1,0 +1,276 @@
+//! The shared sweep runner: every data-driven experiment binary declares
+//! its grid of (workload, configuration) points once, and this module
+//! fans the independent simulations across a thread pool.
+//!
+//! Two properties are load-bearing:
+//!
+//! 1. **Determinism** — results are returned in *submission order*, so a
+//!    rendered table is byte-identical whether the sweep ran on one
+//!    thread or sixteen. Simulations are themselves deterministic (see
+//!    `CLAUDE.md`), so the only way parallelism could leak into output
+//!    is ordering; the runner removes that channel.
+//! 2. **Memoisation** — each [`Workload`] is built once per sweep and
+//!    shared (by index) between all points that measure it. The seed
+//!    binaries rebuilt suites per figure row; a [`Sweep`] makes the
+//!    sharing explicit and the build cost `O(workloads)`, not
+//!    `O(points)`.
+//!
+//! A panic in any worker (a failed validation in [`crate::measure`])
+//! propagates out of [`Sweep::run`] — a harness bug must never
+//! masquerade as a data point.
+
+use crate::measure;
+use nsf_sim::{RunReport, SimConfig};
+use nsf_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One simulation to run: a workload (by index into the sweep's
+/// memoised workload table) under one configuration.
+#[derive(Clone, Copy)]
+pub struct SweepPoint {
+    /// Index into [`Sweep::workloads`].
+    pub workload: usize,
+    /// The register-file / machine configuration to simulate.
+    pub cfg: SimConfig,
+}
+
+/// A declared grid of simulation points over a set of workloads.
+#[derive(Default)]
+pub struct Sweep {
+    /// Each benchmark, built exactly once.
+    pub workloads: Vec<Workload>,
+    /// The points, in submission (= output) order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// An empty sweep.
+    pub fn new() -> Self {
+        Sweep::default()
+    }
+
+    /// Registers a workload and returns its index for use in
+    /// [`Sweep::point`]. Call once per benchmark; points share it.
+    pub fn workload(&mut self, w: Workload) -> usize {
+        self.workloads.push(w);
+        self.workloads.len() - 1
+    }
+
+    /// Registers a whole suite, returning the indices in order.
+    pub fn suite(&mut self, ws: Vec<Workload>) -> Vec<usize> {
+        ws.into_iter().map(|w| self.workload(w)).collect()
+    }
+
+    /// Appends one simulation point.
+    pub fn point(&mut self, workload: usize, cfg: SimConfig) {
+        assert!(workload < self.workloads.len(), "unknown workload index");
+        self.points.push(SweepPoint { workload, cfg });
+    }
+
+    /// The registered workload behind a point (for rendering names,
+    /// source line counts, etc.).
+    pub fn workload_of(&self, point: usize) -> &Workload {
+        &self.workloads[self.points[point].workload]
+    }
+
+    /// Runs every point and returns the reports in submission order,
+    /// fanning across `threads` OS threads (`<= 1` runs serially on the
+    /// caller's thread). Output is identical for every thread count.
+    pub fn run(&self, threads: usize) -> Vec<RunReport> {
+        if threads <= 1 || self.points.len() <= 1 {
+            return self
+                .points
+                .iter()
+                .map(|p| measure(&self.workloads[p.workload], p.cfg))
+                .collect();
+        }
+        let threads = threads.min(self.points.len());
+        let cursor = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, RunReport)>> =
+            Mutex::new(Vec::with_capacity(self.points.len()));
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(p) = self.points.get(i) else { break };
+                    let report = measure(&self.workloads[p.workload], p.cfg);
+                    done.lock().unwrap().push((i, report));
+                });
+            }
+        });
+        let mut done = done.into_inner().unwrap();
+        done.sort_by_key(|(i, _)| *i);
+        assert_eq!(done.len(), self.points.len(), "runner lost a point");
+        done.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Command-line arguments shared by every experiment binary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// Problem size: 0 = smoke, 1 = the evaluation size in EXPERIMENTS.md.
+    pub scale: u32,
+    /// Worker threads for the sweep (default: available parallelism).
+    pub threads: usize,
+    /// Suppress the commentary footer under each table.
+    pub quiet: bool,
+}
+
+impl HarnessArgs {
+    /// Parses `--scale N`, `--threads N` and `--quiet` from the process
+    /// arguments; unknown arguments are ignored.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit argument list (testable form of
+    /// [`HarnessArgs::parse`]).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let args: Vec<String> = args.into_iter().collect();
+        let value_of = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse::<u64>().ok())
+        };
+        HarnessArgs {
+            scale: value_of("--scale").unwrap_or(1) as u32,
+            threads: value_of("--threads")
+                .map(|t| (t as usize).max(1))
+                .unwrap_or_else(default_threads),
+            quiet: args.iter().any(|a| a == "--quiet"),
+        }
+    }
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            scale: 1,
+            threads: default_threads(),
+            quiet: false,
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The shared `main` of every migrated experiment binary: parse the
+/// harness arguments, build the figure's grid, run it, print the render.
+pub fn figure_main(grid: fn(u32) -> Sweep, render: fn(u32, &Sweep, &[RunReport], bool) -> String) {
+    let args = HarnessArgs::parse();
+    let sweep = grid(args.scale);
+    let reports = sweep.run(args.threads);
+    print!("{}", render(args.scale, &sweep, &reports, args.quiet));
+}
+
+/// A cursor over sweep results for renderers that consume reports in
+/// grid-declaration order (aggregated cells, per-row chunks). Panics on
+/// over- or under-consumption so a renderer can never silently misalign
+/// with its grid.
+pub struct Cursor<'a> {
+    reports: &'a [RunReport],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `reports`.
+    pub fn new(reports: &'a [RunReport]) -> Self {
+        Cursor { reports, pos: 0 }
+    }
+
+    /// The next single report. Not an `Iterator`: exhaustion is a
+    /// renderer bug and panics rather than yielding `None`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> &'a RunReport {
+        let r = &self.reports[self.pos];
+        self.pos += 1;
+        r
+    }
+
+    /// The next `n` reports as a slice.
+    pub fn take(&mut self, n: usize) -> &'a [RunReport] {
+        let s = &self.reports[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Asserts every report was consumed (renderer matches grid).
+    pub fn finish(self) {
+        assert_eq!(
+            self.pos,
+            self.reports.len(),
+            "renderer left unconsumed sweep results"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{nsf_config, segmented_config, SEQ_CTX_REGS, SEQ_FILE_REGS};
+    use nsf_workloads::gatesim;
+
+    fn small_sweep() -> Sweep {
+        let mut s = Sweep::new();
+        let gs = s.workload(gatesim::build(0));
+        s.point(gs, nsf_config(SEQ_FILE_REGS));
+        s.point(gs, segmented_config(4, SEQ_CTX_REGS));
+        s.point(gs, nsf_config(2 * SEQ_FILE_REGS));
+        s
+    }
+
+    #[test]
+    fn parallel_matches_serial_in_order() {
+        let sweep = small_sweep();
+        let serial = sweep.run(1);
+        let threaded = sweep.run(8);
+        assert_eq!(serial, threaded);
+        // Order is grid order, not completion order: the segmented run
+        // is the second point in both.
+        assert!(serial[1].regfile_desc.to_lowercase().contains("segment"));
+    }
+
+    #[test]
+    fn args_parse_defaults_and_flags() {
+        let a =
+            HarnessArgs::from_args(["--scale", "0", "--threads", "3", "--quiet"].map(String::from));
+        assert_eq!(
+            a,
+            HarnessArgs {
+                scale: 0,
+                threads: 3,
+                quiet: true
+            }
+        );
+        let d = HarnessArgs::from_args(std::iter::empty());
+        assert_eq!(d.scale, 1);
+        assert!(d.threads >= 1);
+        assert!(!d.quiet);
+        // --threads 0 clamps to 1 rather than deadlocking.
+        let z = HarnessArgs::from_args(["--threads", "0"].map(String::from));
+        assert_eq!(z.threads, 1);
+    }
+
+    #[test]
+    fn cursor_chunks_and_finishes() {
+        let sweep = small_sweep();
+        let reports = sweep.run(1);
+        let mut c = Cursor::new(&reports);
+        assert_eq!(c.take(2).len(), 2);
+        let _ = c.next();
+        c.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "unconsumed")]
+    fn cursor_flags_underconsumption() {
+        let sweep = small_sweep();
+        let reports = sweep.run(1);
+        let c = Cursor::new(&reports);
+        c.finish();
+    }
+}

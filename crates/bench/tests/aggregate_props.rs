@@ -1,0 +1,88 @@
+//! Algebraic properties of the harness's aggregation layer: suite
+//! aggregation must not depend on report order (the sweep runner may
+//! compute points in any schedule), and `RegFileStats::merge` must be
+//! associative (so chunked aggregation equals one flat pass).
+
+use nsf_bench::aggregate;
+use nsf_core::RegFileStats;
+use nsf_sim::RunReport;
+use proptest::collection;
+use proptest::prelude::*;
+
+fn arb_stats() -> impl Strategy<Value = RegFileStats> {
+    collection::vec(0u64..1_000_000, 14..15).prop_map(|v| RegFileStats {
+        reads: v[0],
+        writes: v[1],
+        read_hits: v[2],
+        read_misses: v[3],
+        write_hits: v[4],
+        write_misses: v[5],
+        lines_reloaded: v[6],
+        regs_reloaded: v[7],
+        live_regs_reloaded: v[8],
+        regs_spilled: v[9],
+        regs_dribbled: v[10],
+        context_switches: v[11],
+        switch_hits: v[12],
+        spill_reload_cycles: v[13],
+    })
+}
+
+/// Reports as they appear within one aggregated suite cell: numeric
+/// fields vary, but every run used the same register file (aggregate
+/// carries the shared description/capacity through).
+fn arb_report() -> impl Strategy<Value = RunReport> {
+    (collection::vec(0u64..1_000_000, 8..9), arb_stats()).prop_map(|(v, regfile)| RunReport {
+        regfile_desc: "prop: shared config".to_owned(),
+        regfile_capacity: 128,
+        instructions: v[0],
+        cycles: v[1],
+        idle_cycles: v[2],
+        context_switches: v[3],
+        thread_switches: v[4],
+        calls: v[5],
+        returns: v[6],
+        spawns: v[7],
+        regfile,
+        ..RunReport::default()
+    })
+}
+
+proptest! {
+    #[test]
+    fn aggregate_is_permutation_invariant(
+        reports in collection::vec(arb_report(), 1..7),
+        rot in any::<u32>(),
+    ) {
+        let mut rotated = reports.clone();
+        rotated.rotate_left(rot as usize % reports.len());
+        prop_assert_eq!(aggregate(&reports), aggregate(&rotated));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in arb_stats(),
+        b in arb_stats(),
+        c in arb_stats(),
+    ) {
+        // (a ⊕ b) ⊕ c
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn aggregate_of_one_is_identity_on_counters(report in arb_report()) {
+        let agg = aggregate(std::slice::from_ref(&report));
+        prop_assert_eq!(agg.instructions, report.instructions);
+        prop_assert_eq!(agg.cycles, report.cycles);
+        prop_assert_eq!(agg.regfile, report.regfile);
+        prop_assert_eq!(agg.regfile_capacity, report.regfile_capacity);
+    }
+}

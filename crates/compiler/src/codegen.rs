@@ -52,7 +52,12 @@ pub struct CompileOpts {
 
 impl Default for CompileOpts {
     fn default() -> Self {
-        CompileOpts { ctx_regs: 20, scratch_regs: 2, optimize: false, free_hints: false }
+        CompileOpts {
+            ctx_regs: 20,
+            scratch_regs: 2,
+            optimize: false,
+            free_hints: false,
+        }
     }
 }
 
@@ -119,7 +124,9 @@ pub fn compile(module: &Module, entry: &str, opts: CompileOpts) -> Result<Progra
                         return Err(CodegenError::UnknownFunction(func.clone()));
                     }
                     if args.len() > 64 {
-                        return Err(CodegenError::TooManyArgs { func: f.name.clone() });
+                        return Err(CodegenError::TooManyArgs {
+                            func: f.name.clone(),
+                        });
                     }
                 }
             }
@@ -212,7 +219,11 @@ fn emit_function(
     b.bind(fl);
     b.export(&f.name);
     if frame != 0 {
-        b.emit(Inst::Addi { rd: nsf_isa::SP, rs1: nsf_isa::SP, imm: -frame });
+        b.emit(Inst::Addi {
+            rd: nsf_isa::SP,
+            rs1: nsf_isa::SP,
+            imm: -frame,
+        });
     }
     for p in 0..f.params {
         // Parameter p at sp + frame_slots + args - 1 - p.
@@ -220,10 +231,22 @@ fn emit_function(
         if let Some(&(_, slot)) = alloc.spilled_params.iter().find(|&&(sp, _)| sp == p) {
             // Spilled parameter: move it straight to its frame slot via
             // scratch, leaving no register occupied.
-            b.emit(Inst::Lw { rd: ctx.scratch0, base: nsf_isa::SP, imm: off });
-            b.emit(Inst::Sw { base: nsf_isa::SP, src: ctx.scratch0, imm: slot as i32 });
+            b.emit(Inst::Lw {
+                rd: ctx.scratch0,
+                base: nsf_isa::SP,
+                imm: off,
+            });
+            b.emit(Inst::Sw {
+                base: nsf_isa::SP,
+                src: ctx.scratch0,
+                imm: slot as i32,
+            });
         } else if alloc.colors.contains_key(&VReg(p)) {
-            b.emit(Inst::Lw { rd: ctx.reg(VReg(p)), base: nsf_isa::SP, imm: off });
+            b.emit(Inst::Lw {
+                rd: ctx.reg(VReg(p)),
+                base: nsf_isa::SP,
+                imm: off,
+            });
         }
         // Dead parameters are not loaded at all.
     }
@@ -286,13 +309,14 @@ fn death_sets(f: &Function, colors: &BTreeMap<VReg, u8>) -> Vec<Vec<Vec<u8>>> {
                 }
             }
             for v in dying {
-                let Some(&color) = colors.get(&v) else { continue };
+                let Some(&color) = colors.get(&v) else {
+                    continue;
+                };
                 // The color is only dead if nothing live after this
                 // instruction maps to it — including `v` itself, which
                 // is live-after when the instruction redefines it (the
                 // `i = i + 1` pattern), and copy-coalesced siblings.
-                let color_still_live =
-                    live_after.iter().any(|w| colors.get(w) == Some(&color));
+                let color_still_live = live_after.iter().any(|w| colors.get(w) == Some(&color));
                 if !color_still_live {
                     deaths[j].push(color);
                 }
@@ -325,38 +349,68 @@ fn emit_inst(
         }
         IrInst::Load { dst, base, offset } => {
             let rb = ctx.operand(b, *base, ctx.scratch0);
-            b.emit(Inst::Lw { rd: ctx.reg(*dst), base: rb, imm: *offset });
+            b.emit(Inst::Lw {
+                rd: ctx.reg(*dst),
+                base: rb,
+                imm: *offset,
+            });
         }
         IrInst::Store { src, base, offset } => {
             let rb = ctx.operand(b, *base, ctx.scratch0);
             let rs = ctx.operand(b, *src, ctx.scratch1);
-            b.emit(Inst::Sw { base: rb, src: rs, imm: *offset });
+            b.emit(Inst::Sw {
+                base: rb,
+                src: rs,
+                imm: *offset,
+            });
         }
         IrInst::SpillLoad { dst, slot } => {
-            b.emit(Inst::Lw { rd: ctx.reg(*dst), base: nsf_isa::SP, imm: *slot as i32 });
+            b.emit(Inst::Lw {
+                rd: ctx.reg(*dst),
+                base: nsf_isa::SP,
+                imm: *slot as i32,
+            });
         }
         IrInst::SpillStore { src, slot } => {
-            b.emit(Inst::Sw { base: nsf_isa::SP, src: ctx.reg(*src), imm: *slot as i32 });
+            b.emit(Inst::Sw {
+                base: nsf_isa::SP,
+                src: ctx.reg(*src),
+                imm: *slot as i32,
+            });
         }
         IrInst::Call { func, args, ret } => {
             // Store arguments below sp.
             for (i, a) in args.iter().enumerate() {
                 let rs = ctx.operand(b, *a, ctx.scratch1);
-                b.emit(Inst::Sw { base: nsf_isa::SP, src: rs, imm: -1 - i as i32 });
+                b.emit(Inst::Sw {
+                    base: nsf_isa::SP,
+                    src: rs,
+                    imm: -1 - i as i32,
+                });
             }
             let label = *fn_labels
                 .get(func)
                 .ok_or_else(|| CodegenError::UnknownFunction(func.clone()))?;
             b.call(label);
             if let Some(r) = ret {
-                b.emit(Inst::Mv { rd: ctx.reg(*r), rs1: nsf_isa::RV });
+                b.emit(Inst::Mv {
+                    rd: ctx.reg(*r),
+                    rs1: nsf_isa::RV,
+                });
             }
         }
     }
     Ok(())
 }
 
-fn emit_bin(b: &mut ProgramBuilder, op: BinOp, dst: VReg, a: Operand, rhs: Operand, ctx: &FnCtx<'_>) {
+fn emit_bin(
+    b: &mut ProgramBuilder,
+    op: BinOp,
+    dst: VReg,
+    a: Operand,
+    rhs: Operand,
+    ctx: &FnCtx<'_>,
+) {
     let rd = ctx.reg(dst);
 
     // Fold constant expressions outright.
@@ -385,19 +439,71 @@ fn emit_bin(b: &mut ProgramBuilder, op: BinOp, dst: VReg, a: Operand, rhs: Opera
     let ra = ctx.operand(b, a, ctx.scratch0);
     let rb = ctx.operand(b, rhs, ctx.scratch1);
     let inst = match op {
-        BinOp::Add => Inst::Add { rd, rs1: ra, rs2: rb },
-        BinOp::Sub => Inst::Sub { rd, rs1: ra, rs2: rb },
-        BinOp::Mul => Inst::Mul { rd, rs1: ra, rs2: rb },
-        BinOp::Div => Inst::Div { rd, rs1: ra, rs2: rb },
-        BinOp::Rem => Inst::Rem { rd, rs1: ra, rs2: rb },
-        BinOp::And => Inst::And { rd, rs1: ra, rs2: rb },
-        BinOp::Or => Inst::Or { rd, rs1: ra, rs2: rb },
-        BinOp::Xor => Inst::Xor { rd, rs1: ra, rs2: rb },
-        BinOp::Sll => Inst::Sll { rd, rs1: ra, rs2: rb },
-        BinOp::Srl => Inst::Srl { rd, rs1: ra, rs2: rb },
-        BinOp::Sra => Inst::Sra { rd, rs1: ra, rs2: rb },
-        BinOp::Slt => Inst::Slt { rd, rs1: ra, rs2: rb },
-        BinOp::Seq => Inst::Seq { rd, rs1: ra, rs2: rb },
+        BinOp::Add => Inst::Add {
+            rd,
+            rs1: ra,
+            rs2: rb,
+        },
+        BinOp::Sub => Inst::Sub {
+            rd,
+            rs1: ra,
+            rs2: rb,
+        },
+        BinOp::Mul => Inst::Mul {
+            rd,
+            rs1: ra,
+            rs2: rb,
+        },
+        BinOp::Div => Inst::Div {
+            rd,
+            rs1: ra,
+            rs2: rb,
+        },
+        BinOp::Rem => Inst::Rem {
+            rd,
+            rs1: ra,
+            rs2: rb,
+        },
+        BinOp::And => Inst::And {
+            rd,
+            rs1: ra,
+            rs2: rb,
+        },
+        BinOp::Or => Inst::Or {
+            rd,
+            rs1: ra,
+            rs2: rb,
+        },
+        BinOp::Xor => Inst::Xor {
+            rd,
+            rs1: ra,
+            rs2: rb,
+        },
+        BinOp::Sll => Inst::Sll {
+            rd,
+            rs1: ra,
+            rs2: rb,
+        },
+        BinOp::Srl => Inst::Srl {
+            rd,
+            rs1: ra,
+            rs2: rb,
+        },
+        BinOp::Sra => Inst::Sra {
+            rd,
+            rs1: ra,
+            rs2: rb,
+        },
+        BinOp::Slt => Inst::Slt {
+            rd,
+            rs1: ra,
+            rs2: rb,
+        },
+        BinOp::Seq => Inst::Seq {
+            rd,
+            rs1: ra,
+            rs2: rb,
+        },
     };
     b.emit(inst);
 }
@@ -444,7 +550,13 @@ fn imm_form(op: BinOp, rd: Reg, rs1: Reg, c: i32) -> Option<Inst> {
 fn emit_term(b: &mut ProgramBuilder, term: &Term, ctx: &FnCtx<'_>) {
     match term {
         Term::Jmp(t) => b.jmp(ctx.block_labels[t.0 as usize]),
-        Term::Br { cond, a, b: rhs, t, e } => {
+        Term::Br {
+            cond,
+            a,
+            b: rhs,
+            t,
+            e,
+        } => {
             let ra = ctx.operand(b, *a, ctx.scratch0);
             let rb = ctx.operand(b, *rhs, ctx.scratch1);
             let tl = ctx.block_labels[t.0 as usize];
@@ -460,13 +572,20 @@ fn emit_term(b: &mut ProgramBuilder, term: &Term, ctx: &FnCtx<'_>) {
             if let Some(v) = val {
                 match *v {
                     Operand::Reg(r) => {
-                        b.emit(Inst::Mv { rd: nsf_isa::RV, rs1: ctx.reg(r) });
+                        b.emit(Inst::Mv {
+                            rd: nsf_isa::RV,
+                            rs1: ctx.reg(r),
+                        });
                     }
                     Operand::Const(c) => b.load_const(nsf_isa::RV, c),
                 }
             }
             if ctx.frame != 0 {
-                b.emit(Inst::Addi { rd: nsf_isa::SP, rs1: nsf_isa::SP, imm: ctx.frame });
+                b.emit(Inst::Addi {
+                    rd: nsf_isa::SP,
+                    rs1: nsf_isa::SP,
+                    imm: ctx.frame,
+                });
             }
             let _ = ctx.args;
             b.emit(Inst::Ret);
@@ -481,7 +600,9 @@ mod tests {
 
     fn add_module() -> Module {
         let mut b = FuncBuilder::new("main", 0);
-        let r = b.call("add3", vec![Operand::Const(1), Operand::Const(2)], true).unwrap();
+        let r = b
+            .call("add3", vec![Operand::Const(1), Operand::Const(2)], true)
+            .unwrap();
         b.ret(Some(r.into()));
         let main = b.finish();
 
@@ -535,7 +656,9 @@ mod tests {
         let m = Module::default().with(b.finish());
         let p = compile(&m, "main", CompileOpts::default()).unwrap();
         assert!(
-            p.insts().iter().any(|i| matches!(i, Inst::Addi { imm: 7, .. })),
+            p.insts()
+                .iter()
+                .any(|i| matches!(i, Inst::Addi { imm: 7, .. })),
             "addi should be used for small constants:\n{p}"
         );
     }
@@ -548,7 +671,9 @@ mod tests {
         let m = Module::default().with(b.finish());
         let p = compile(&m, "main", CompileOpts::default()).unwrap();
         assert!(
-            p.insts().iter().any(|i| matches!(i, Inst::Li { imm: 42, .. })),
+            p.insts()
+                .iter()
+                .any(|i| matches!(i, Inst::Li { imm: 42, .. })),
             "6*7 should fold:\n{p}"
         );
         assert!(!p.insts().iter().any(|i| matches!(i, Inst::Mul { .. })));
@@ -561,11 +686,20 @@ mod tests {
         let hinted = compile(
             &m,
             "main",
-            CompileOpts { free_hints: true, ..Default::default() },
+            CompileOpts {
+                free_hints: true,
+                ..Default::default()
+            },
         )
         .unwrap();
-        assert!(!plain.insts().iter().any(|i| matches!(i, Inst::RFree { .. })));
-        assert!(hinted.insts().iter().any(|i| matches!(i, Inst::RFree { .. })));
+        assert!(!plain
+            .insts()
+            .iter()
+            .any(|i| matches!(i, Inst::RFree { .. })));
+        assert!(hinted
+            .insts()
+            .iter()
+            .any(|i| matches!(i, Inst::RFree { .. })));
         // Stripping the hints recovers the plain instruction stream.
         let stripped: Vec<_> = hinted
             .insts()

@@ -117,8 +117,7 @@ fn try_color(
     already_spilled: &BTreeMap<VReg, u32>,
     first_temp: u32,
 ) -> Result<BTreeMap<VReg, u8>, Vec<VReg>> {
-    let mut degrees: BTreeMap<VReg, usize> =
-        graph.nodes().map(|v| (v, graph.degree(v))).collect();
+    let mut degrees: BTreeMap<VReg, usize> = graph.nodes().map(|v| (v, graph.degree(v))).collect();
     let mut removed: BTreeSet<VReg> = BTreeSet::new();
     let mut stack: Vec<VReg> = Vec::with_capacity(degrees.len());
 
@@ -138,9 +137,7 @@ fn try_color(
                 degrees
                     .iter()
                     .filter(|(v, _)| !removed.contains(v))
-                    .max_by_key(|(v, &d)| {
-                        (v.0 < first_temp && !already_spilled.contains_key(v), d)
-                    })
+                    .max_by_key(|(v, &d)| (v.0 < first_temp && !already_spilled.contains_key(v), d))
                     .map(|(v, _)| *v)
             })
             .expect("non-empty worklist");
@@ -196,7 +193,10 @@ fn rewrite_spills(f: &Function, slot_of: &BTreeMap<VReg, u32>) -> Function {
             let mut replace: BTreeMap<VReg, VReg> = BTreeMap::new();
             for u in uses {
                 let t = *replace.entry(u).or_insert_with(&mut fresh);
-                insts.push(IrInst::SpillLoad { dst: t, slot: slot_of[&u] });
+                insts.push(IrInst::SpillLoad {
+                    dst: t,
+                    slot: slot_of[&u],
+                });
             }
             substitute_uses(&mut inst, &replace);
             // Replace a spilled def with a store from a fresh temporary.
@@ -205,7 +205,10 @@ fn rewrite_spills(f: &Function, slot_of: &BTreeMap<VReg, u32>) -> Function {
                 let t = fresh();
                 substitute_def(&mut inst, t);
                 insts.push(inst);
-                insts.push(IrInst::SpillStore { src: t, slot: slot_of[&d] });
+                insts.push(IrInst::SpillStore {
+                    src: t,
+                    slot: slot_of[&d],
+                });
             } else {
                 insts.push(inst);
             }
@@ -219,7 +222,10 @@ fn rewrite_spills(f: &Function, slot_of: &BTreeMap<VReg, u32>) -> Function {
         let mut replace: BTreeMap<VReg, VReg> = BTreeMap::new();
         for u in term_spills {
             let t = *replace.entry(u).or_insert_with(&mut fresh);
-            insts.push(IrInst::SpillLoad { dst: t, slot: slot_of[&u] });
+            insts.push(IrInst::SpillLoad {
+                dst: t,
+                slot: slot_of[&u],
+            });
         }
         substitute_term_uses(term, &replace);
         block.insts = insts;
@@ -349,7 +355,10 @@ mod tests {
         let mut b = FuncBuilder::new("f", 0);
         b.ret(None);
         let f = b.finish();
-        assert_eq!(allocate(&f, 2).unwrap_err(), ColorError::TooFewRegisters { k: 2 });
+        assert_eq!(
+            allocate(&f, 2).unwrap_err(),
+            ColorError::TooFewRegisters { k: 2 }
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ impl InterferenceGraph {
         // Ensure every vreg has a node, even if isolated.
         for b in &f.blocks {
             for inst in &b.insts {
-                for v in Function::uses_of(inst).into_iter().chain(Function::def_of(inst)) {
+                for v in Function::uses_of(inst)
+                    .into_iter()
+                    .chain(Function::def_of(inst))
+                {
                     g.adj.entry(v).or_default();
                 }
             }
@@ -57,8 +60,8 @@ impl InterferenceGraph {
         for (i, b) in f.blocks.iter().enumerate() {
             let mut live = lv.live_out[i].clone();
             let _ = cfg; // CFG is implicit in the liveness sets.
-            // The terminator reads its operands after every instruction
-            // in the block: its uses are live across all of them.
+                         // The terminator reads its operands after every instruction
+                         // in the block: its uses are live across all of them.
             for u in Function::term_uses(b.term.as_ref().expect("terminated")) {
                 live.insert(u);
             }
@@ -67,7 +70,10 @@ impl InterferenceGraph {
                     // Copy refinement: `dst = src` does not make dst and
                     // src interfere by itself.
                     let copy_src = match inst {
-                        IrInst::Copy { src: Operand::Reg(s), .. } => Some(*s),
+                        IrInst::Copy {
+                            src: Operand::Reg(s),
+                            ..
+                        } => Some(*s),
                         _ => None,
                     };
                     for &l in &live {
@@ -168,7 +174,10 @@ mod tests {
         b.ret(Some(c.into()));
         let f = b.finish();
         let g = graph_of(&f);
-        assert!(!g.interferes(p, c), "copy-related vregs can share a register");
+        assert!(
+            !g.interferes(p, c),
+            "copy-related vregs can share a register"
+        );
     }
 
     #[test]

@@ -320,7 +320,10 @@ impl FuncBuilder {
         FuncBuilder {
             name: name.to_owned(),
             params,
-            blocks: vec![Block { insts: Vec::new(), term: None }],
+            blocks: vec![Block {
+                insts: Vec::new(),
+                term: None,
+            }],
             current: BlockId(0),
             next_vreg: params,
         }
@@ -345,7 +348,10 @@ impl FuncBuilder {
 
     /// Creates a new (empty) block.
     pub fn new_block(&mut self) -> BlockId {
-        self.blocks.push(Block { insts: Vec::new(), term: None });
+        self.blocks.push(Block {
+            insts: Vec::new(),
+            term: None,
+        });
         BlockId(self.blocks.len() as u32 - 1)
     }
 
@@ -368,43 +374,71 @@ impl FuncBuilder {
     /// Emits `dst = a <op> b` into a fresh register and returns it.
     pub fn bin(&mut self, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
         let dst = self.vreg();
-        self.push(IrInst::Bin { op, dst, a: a.into(), b: b.into() });
+        self.push(IrInst::Bin {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
         dst
     }
 
     /// Emits `dst = a <op> b` into an existing register.
     pub fn bin_to(&mut self, dst: VReg, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) {
-        self.push(IrInst::Bin { op, dst, a: a.into(), b: b.into() });
+        self.push(IrInst::Bin {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
     }
 
     /// Emits a copy into a fresh register.
     pub fn copy(&mut self, src: impl Into<Operand>) -> VReg {
         let dst = self.vreg();
-        self.push(IrInst::Copy { dst, src: src.into() });
+        self.push(IrInst::Copy {
+            dst,
+            src: src.into(),
+        });
         dst
     }
 
     /// Emits a copy into an existing register.
     pub fn copy_to(&mut self, dst: VReg, src: impl Into<Operand>) {
-        self.push(IrInst::Copy { dst, src: src.into() });
+        self.push(IrInst::Copy {
+            dst,
+            src: src.into(),
+        });
     }
 
     /// Emits a load into a fresh register.
     pub fn load(&mut self, base: impl Into<Operand>, offset: i32) -> VReg {
         let dst = self.vreg();
-        self.push(IrInst::Load { dst, base: base.into(), offset });
+        self.push(IrInst::Load {
+            dst,
+            base: base.into(),
+            offset,
+        });
         dst
     }
 
     /// Emits a store.
     pub fn store(&mut self, src: impl Into<Operand>, base: impl Into<Operand>, offset: i32) {
-        self.push(IrInst::Store { src: src.into(), base: base.into(), offset });
+        self.push(IrInst::Store {
+            src: src.into(),
+            base: base.into(),
+            offset,
+        });
     }
 
     /// Emits a call whose result (if any) lands in a fresh register.
     pub fn call(&mut self, func: &str, args: Vec<Operand>, want_ret: bool) -> Option<VReg> {
         let ret = want_ret.then(|| self.vreg());
-        self.push(IrInst::Call { func: func.to_owned(), args, ret });
+        self.push(IrInst::Call {
+            func: func.to_owned(),
+            args,
+            ret,
+        });
         ret
     }
 
@@ -428,7 +462,13 @@ impl FuncBuilder {
         t: BlockId,
         e: BlockId,
     ) {
-        self.terminate(Term::Br { cond, a: a.into(), b: b.into(), t, e });
+        self.terminate(Term::Br {
+            cond,
+            a: a.into(),
+            b: b.into(),
+            t,
+            e,
+        });
     }
 
     /// Terminates the current block with a return.

@@ -45,10 +45,18 @@ pub fn fold_binop(op: BinOp, x: i32, y: i32) -> i32 {
         BinOp::Sub => x.wrapping_sub(y),
         BinOp::Mul => x.wrapping_mul(y),
         BinOp::Div => {
-            if y == 0 { 0 } else { x.wrapping_div(y) }
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_div(y)
+            }
         }
         BinOp::Rem => {
-            if y == 0 { 0 } else { x.wrapping_rem(y) }
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_rem(y)
+            }
         }
         BinOp::And => x & y,
         BinOp::Or => x | y,
@@ -67,9 +75,17 @@ pub fn fold_constants(f: &Function) -> Function {
     let mut out = f.clone();
     for block in &mut out.blocks {
         for inst in &mut block.insts {
-            if let IrInst::Bin { op, dst, a: Operand::Const(x), b: Operand::Const(y) } = *inst
+            if let IrInst::Bin {
+                op,
+                dst,
+                a: Operand::Const(x),
+                b: Operand::Const(y),
+            } = *inst
             {
-                *inst = IrInst::Copy { dst, src: Operand::Const(fold_binop(op, x, y)) };
+                *inst = IrInst::Copy {
+                    dst,
+                    src: Operand::Const(fold_binop(op, x, y)),
+                };
             }
         }
     }
@@ -214,7 +230,9 @@ mod tests {
         let opt = optimize(&f);
         assert_eq!(count_insts(&opt), 1, "{:?}", opt.blocks[0].insts);
         match &opt.blocks[0].insts[0] {
-            IrInst::Bin { a: Operand::Reg(v), .. } => assert_eq!(*v, p),
+            IrInst::Bin {
+                a: Operand::Reg(v), ..
+            } => assert_eq!(*v, p),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -273,7 +291,9 @@ mod tests {
         let opt = copy_propagate(&f);
         // The redefinition reads p (propagated), but q must read t.
         match &opt.blocks[0].insts[2] {
-            IrInst::Bin { a: Operand::Reg(v), .. } => assert_eq!(*v, t),
+            IrInst::Bin {
+                a: Operand::Reg(v), ..
+            } => assert_eq!(*v, t),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -301,7 +321,9 @@ mod tests {
         let f = b.finish();
         let opt = copy_propagate(&f);
         match &opt.blocks[3].insts[0] {
-            IrInst::Bin { a: Operand::Reg(v), .. } => assert_eq!(*v, t),
+            IrInst::Bin {
+                a: Operand::Reg(v), ..
+            } => assert_eq!(*v, t),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -34,7 +34,10 @@ fn optimizer_shrinks_static_code_without_changing_results() {
     let module = Module::default().with(main.finish()).with(f);
 
     let run = |optimize: bool| {
-        let opts = CompileOpts { optimize, ..Default::default() };
+        let opts = CompileOpts {
+            optimize,
+            ..Default::default()
+        };
         let program = compile(&module, "main", opts).expect("compiles");
         let len = program.len();
         let mut m = Machine::new(program, SimConfig::default()).unwrap();
@@ -57,7 +60,11 @@ fn arb_recipe() -> impl Strategy<Value = Recipe> {
         proptest::collection::vec((any::<u8>(), 0usize..10, any::<i8>()), 1..40),
         proptest::option::of(0usize..40),
     )
-        .prop_map(|(accumulators, ops, branch_at)| Recipe { accumulators, ops, branch_at })
+        .prop_map(|(accumulators, ops, branch_at)| Recipe {
+            accumulators,
+            ops,
+            branch_at,
+        })
 }
 
 /// Builds the function and mirrors its computation in Rust.

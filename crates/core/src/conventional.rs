@@ -29,7 +29,9 @@ impl ConventionalFile {
         let mut cfg = SegmentedConfig::paper_default(1, regs);
         cfg.engine = engine;
         cfg.policy = FramePolicy::Full;
-        ConventionalFile { inner: SegmentedFile::new(cfg) }
+        ConventionalFile {
+            inner: SegmentedFile::new(cfg),
+        }
     }
 }
 
@@ -106,6 +108,8 @@ mod tests {
 
     #[test]
     fn describe_names_it() {
-        assert!(ConventionalFile::new(32).describe().contains("Conventional"));
+        assert!(ConventionalFile::new(32)
+            .describe()
+            .contains("Conventional"));
     }
 }

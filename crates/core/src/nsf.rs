@@ -86,7 +86,11 @@ struct Line {
 
 impl Line {
     fn new(width: u8) -> Self {
-        Line { regs: vec![0; width as usize].into_boxed_slice(), valid: 0, dirty: 0 }
+        Line {
+            regs: vec![0; width as usize].into_boxed_slice(),
+            valid: 0,
+            dirty: 0,
+        }
     }
 
     fn clear(&mut self) {
@@ -345,14 +349,14 @@ impl RegisterFile for NamedStateFile {
         l.valid |= bit;
         l.dirty |= bit;
         self.picker.touch(slot);
-        Ok(Access { value, stall_cycles: stall, missed: stall > 0 })
+        Ok(Access {
+            value,
+            stall_cycles: stall,
+            missed: stall > 0,
+        })
     }
 
-    fn switch_to(
-        &mut self,
-        cid: Cid,
-        _store: &mut dyn BackingStore,
-    ) -> Result<u32, RegFileError> {
+    fn switch_to(&mut self, cid: Cid, _store: &mut dyn BackingStore) -> Result<u32, RegFileError> {
         // "Context switching is very fast with the NSF, since no registers
         // must be saved or restored."
         self.stats.context_switches += 1;
@@ -396,7 +400,10 @@ impl RegisterFile for NamedStateFile {
             .bound_lines()
             .map(|(s, _)| self.lines[s].valid.count_ones())
             .sum();
-        Occupancy { valid_regs, resident_contexts: self.decoder.resident_contexts() }
+        Occupancy {
+            valid_regs,
+            resident_contexts: self.decoder.resident_contexts(),
+        }
     }
 
     fn stats(&self) -> &RegFileStats {
@@ -466,7 +473,8 @@ mod tests {
         let mut f = file(4, 1); // 4 single-register lines
         let mut s = MapStore::new();
         for i in 0..4 {
-            f.write(RegAddr::new(1, i), u32::from(i) + 100, &mut s).unwrap();
+            f.write(RegAddr::new(1, i), u32::from(i) + 100, &mut s)
+                .unwrap();
         }
         // Fifth write evicts the LRU line (reg 0 of cid 1).
         f.write(RegAddr::new(2, 0), 999, &mut s).unwrap();
@@ -493,7 +501,11 @@ mod tests {
         assert_eq!(f.stats().regs_spilled, 2);
         f.read(RegAddr::new(2, 0), &mut s).unwrap(); // touch <2:0>: clean <1:0> is now LRU
         f.write(RegAddr::new(2, 1), 8, &mut s).unwrap(); // evicts clean <1:0>: no spill
-        assert_eq!(f.stats().regs_spilled, 2, "clean line must not be written back");
+        assert_eq!(
+            f.stats().regs_spilled,
+            2,
+            "clean line must not be written back"
+        );
     }
 
     #[test]
@@ -557,7 +569,11 @@ mod tests {
         s.preload(1, 0, 7);
         s.preload(1, 2, 9);
         f.read(RegAddr::new(1, 0), &mut s).unwrap();
-        assert_eq!(f.stats().regs_reloaded, 2, "only the two present registers move");
+        assert_eq!(
+            f.stats().regs_reloaded,
+            2,
+            "only the two present registers move"
+        );
         assert_eq!(f.stats().live_regs_reloaded, 2);
     }
 
@@ -635,13 +651,18 @@ mod tests {
         let mut f = file(32, 1);
         let mut s = MapStore::new();
         for cid in 0..16 {
-            f.write(RegAddr::new(cid, 0), u32::from(cid), &mut s).unwrap();
-            f.write(RegAddr::new(cid, 1), u32::from(cid) + 1, &mut s).unwrap();
+            f.write(RegAddr::new(cid, 0), u32::from(cid), &mut s)
+                .unwrap();
+            f.write(RegAddr::new(cid, 1), u32::from(cid) + 1, &mut s)
+                .unwrap();
         }
         assert_eq!(f.occupancy().resident_contexts, 16);
         assert_eq!(f.stats().regs_spilled, 0);
         for cid in 0..16 {
-            assert_eq!(f.read(RegAddr::new(cid, 0), &mut s).unwrap().value, u32::from(cid));
+            assert_eq!(
+                f.read(RegAddr::new(cid, 0), &mut s).unwrap().value,
+                u32::from(cid)
+            );
         }
     }
 
@@ -655,7 +676,8 @@ mod tests {
         let mut f = NamedStateFile::new(cfg);
         let mut s = MapStore::new();
         for cid in 0..4u16 {
-            f.write(RegAddr::new(cid, 0), u32::from(cid), &mut s).unwrap();
+            f.write(RegAddr::new(cid, 0), u32::from(cid), &mut s)
+                .unwrap();
         }
         assert_eq!(f.occupancy().resident_contexts, 4);
         // A fifth context evicts a whole line (one register dirty).

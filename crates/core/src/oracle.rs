@@ -105,10 +105,14 @@ mod tests {
         let mut f = OracleFile::new();
         let mut s = MapStore::new();
         for cid in 0..100u16 {
-            f.write(RegAddr::new(cid, 0), u32::from(cid), &mut s).unwrap();
+            f.write(RegAddr::new(cid, 0), u32::from(cid), &mut s)
+                .unwrap();
         }
         for cid in 0..100u16 {
-            assert_eq!(f.read(RegAddr::new(cid, 0), &mut s).unwrap().value, u32::from(cid));
+            assert_eq!(
+                f.read(RegAddr::new(cid, 0), &mut s).unwrap().value,
+                u32::from(cid)
+            );
         }
         assert_eq!(f.occupancy().resident_contexts, 100);
         assert_eq!(f.stats().read_misses, 0);

@@ -73,14 +73,20 @@ pub enum SpillEngine {
 impl SpillEngine {
     /// The hardware engine with the defaults used throughout the study.
     pub fn hardware() -> Self {
-        SpillEngine::Hardware { setup_cycles: 1, per_reg_cycles: 1 }
+        SpillEngine::Hardware {
+            setup_cycles: 1,
+            per_reg_cycles: 1,
+        }
     }
 
     /// The software-trap engine with defaults calibrated to a Sparc-class
     /// trap (tens of cycles of entry/exit, a two-instruction sequence per
     /// register).
     pub fn software() -> Self {
-        SpillEngine::SoftwareTrap { trap_cycles: 40, per_reg_cycles: 2 }
+        SpillEngine::SoftwareTrap {
+            trap_cycles: 40,
+            per_reg_cycles: 2,
+        }
     }
 
     /// Cost of transferring `regs` registers whose raw cache latency summed
@@ -90,12 +96,14 @@ impl SpillEngine {
             return 0;
         }
         match *self {
-            SpillEngine::Hardware { setup_cycles, per_reg_cycles } => {
-                setup_cycles + per_reg_cycles * regs + mem_cycles
-            }
-            SpillEngine::SoftwareTrap { trap_cycles, per_reg_cycles } => {
-                trap_cycles + per_reg_cycles * regs + mem_cycles
-            }
+            SpillEngine::Hardware {
+                setup_cycles,
+                per_reg_cycles,
+            } => setup_cycles + per_reg_cycles * regs + mem_cycles,
+            SpillEngine::SoftwareTrap {
+                trap_cycles,
+                per_reg_cycles,
+            } => trap_cycles + per_reg_cycles * regs + mem_cycles,
         }
     }
 }
@@ -115,7 +123,10 @@ mod tests {
         assert_eq!(ReloadPolicy::default(), ReloadPolicy::SingleRegister);
         assert_eq!(WriteMissPolicy::default(), WriteMissPolicy::WriteAllocate);
         assert_eq!(ReplacementPolicy::default(), ReplacementPolicy::Lru);
-        assert!(matches!(SpillEngine::default(), SpillEngine::Hardware { .. }));
+        assert!(matches!(
+            SpillEngine::default(),
+            SpillEngine::Hardware { .. }
+        ));
     }
 
     #[test]

@@ -105,7 +105,9 @@ mod tests {
     fn random_is_deterministic_per_seed() {
         let picks = |seed| {
             let mut p = VictimPicker::new(8, ReplacementPolicy::Random { seed });
-            (0..10).map(|_| p.pick(&[0, 1, 2, 3, 4, 5, 6, 7])).collect::<Vec<_>>()
+            (0..10)
+                .map(|_| p.pick(&[0, 1, 2, 3, 4, 5, 6, 7]))
+                .collect::<Vec<_>>()
         };
         assert_eq!(picks(42), picks(42));
     }

@@ -133,7 +133,10 @@ impl SegmentedFile {
     /// Panics on zero frames or zero-width frames (configuration bugs).
     pub fn new(cfg: SegmentedConfig) -> Self {
         assert!(cfg.frames > 0, "need at least one frame");
-        assert!(cfg.frame_regs > 0 && cfg.frame_regs <= 64, "1..=64 registers per frame");
+        assert!(
+            cfg.frame_regs > 0 && cfg.frame_regs <= 64,
+            "1..=64 registers per frame"
+        );
         SegmentedFile {
             cfg,
             frames: vec![Frame::new(cfg.frame_regs); cfg.frames as usize],
@@ -178,7 +181,11 @@ impl SegmentedFile {
     }
 
     /// Spills frame `idx` to the backing store per the frame policy.
-    fn spill_frame(&mut self, idx: usize, store: &mut dyn BackingStore) -> Result<u32, RegFileError> {
+    fn spill_frame(
+        &mut self,
+        idx: usize,
+        store: &mut dyn BackingStore,
+    ) -> Result<u32, RegFileError> {
         let width = self.cfg.frame_regs;
         let prepaid_budget = self.prepaid_regs(idx);
         let frame = &mut self.frames[idx];
@@ -513,7 +520,7 @@ mod tests {
         f.write(RegAddr::new(1, 1), 11, &mut s).unwrap();
         f.switch_to(2, &mut s).unwrap(); // spills frame of 1
         f.switch_to(1, &mut s).unwrap(); // reloads
-        // Register 0 was never written; it must still read as undefined.
+                                         // Register 0 was never written; it must still read as undefined.
         assert!(matches!(
             f.read(RegAddr::new(1, 0), &mut s),
             Err(RegFileError::ReadUndefined(_))
@@ -556,11 +563,14 @@ mod tests {
             }
             // Evict the long-idle frame of context 1.
             f.switch_to(3, &mut s).unwrap();
-            (f.stats().spill_reload_cycles, f.stats().regs_spilled, f.stats().regs_dribbled)
+            (
+                f.stats().spill_reload_cycles,
+                f.stats().regs_spilled,
+                f.stats().regs_dribbled,
+            )
         };
         let (plain_cycles, plain_spills, plain_dribbled) = run(None);
-        let (dr_cycles, dr_spills, dr_dribbled) =
-            run(Some(DribbleConfig { ops_per_reg: 8 }));
+        let (dr_cycles, dr_spills, dr_dribbled) = run(Some(DribbleConfig { ops_per_reg: 8 }));
         assert_eq!(plain_dribbled, 0);
         assert_eq!(
             plain_spills, dr_spills,

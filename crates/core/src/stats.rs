@@ -109,8 +109,16 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = RegFileStats { reads: 1, regs_reloaded: 5, ..Default::default() };
-        let b = RegFileStats { reads: 2, regs_reloaded: 7, ..Default::default() };
+        let mut a = RegFileStats {
+            reads: 1,
+            regs_reloaded: 5,
+            ..Default::default()
+        };
+        let b = RegFileStats {
+            reads: 2,
+            regs_reloaded: 7,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.reads, 3);
         assert_eq!(a.regs_reloaded, 12);
@@ -118,7 +126,10 @@ mod tests {
 
     #[test]
     fn reloads_per_instruction_ratio() {
-        let s = RegFileStats { regs_reloaded: 25, ..Default::default() };
+        let s = RegFileStats {
+            regs_reloaded: 25,
+            ..Default::default()
+        };
         assert!((s.reloads_per_instruction(100) - 0.25).abs() < 1e-12);
     }
 }

@@ -24,12 +24,18 @@ impl MapStore {
     /// Creates a store with the default 2-cycle per-register latency
     /// (a first-level cache hit).
     pub fn new() -> Self {
-        MapStore { latency: 2, ..Default::default() }
+        MapStore {
+            latency: 2,
+            ..Default::default()
+        }
     }
 
     /// Creates a store with an explicit per-register latency.
     pub fn with_latency(latency: u32) -> Self {
-        MapStore { latency, ..Default::default() }
+        MapStore {
+            latency,
+            ..Default::default()
+        }
     }
 
     /// Number of spill operations served.
@@ -95,7 +101,10 @@ impl<S: BackingStore> FaultyStore<S> {
     /// Wraps `inner`; the first `ok_ops` spill/reload operations succeed,
     /// everything after faults.
     pub fn new(inner: S, ok_ops: u64) -> Self {
-        FaultyStore { inner, countdown: ok_ops }
+        FaultyStore {
+            inner,
+            countdown: ok_ops,
+        }
     }
 
     fn tick(&mut self) -> Result<(), StoreFault> {

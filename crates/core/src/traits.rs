@@ -87,7 +87,11 @@ pub struct Access {
 impl Access {
     /// A zero-cost hit returning `value`.
     pub fn hit(value: Word) -> Self {
-        Access { value, stall_cycles: 0, missed: false }
+        Access {
+            value,
+            stall_cycles: 0,
+            missed: false,
+        }
     }
 }
 

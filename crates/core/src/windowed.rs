@@ -41,7 +41,11 @@ pub struct WindowedConfig {
 impl WindowedConfig {
     /// A SPARC-like default: 8 windows, software trap handlers.
     pub fn sparc_like(window_regs: u8) -> Self {
-        WindowedConfig { windows: 8, window_regs, engine: SpillEngine::software() }
+        WindowedConfig {
+            windows: 8,
+            window_regs,
+            engine: SpillEngine::software(),
+        }
     }
 }
 
@@ -92,7 +96,10 @@ impl WindowedFile {
     }
 
     fn fresh_window(&self) -> Window {
-        Window { regs: vec![0; self.cfg.window_regs as usize].into_boxed_slice(), valid: 0 }
+        Window {
+            regs: vec![0; self.cfg.window_regs as usize].into_boxed_slice(),
+            valid: 0,
+        }
     }
 
     /// The configuration this file was built with.
@@ -119,7 +126,10 @@ impl WindowedFile {
         store: &mut dyn BackingStore,
     ) -> Result<u32, RegFileError> {
         let cid = self.chain[idx].cid;
-        let w = self.chain[idx].window.take().expect("spilling a resident window");
+        let w = self.chain[idx]
+            .window
+            .take()
+            .expect("spilling a resident window");
         let mut moved = 0u32;
         let mut mem_cycles = 0u32;
         for i in 0..self.cfg.window_regs {
@@ -262,7 +272,10 @@ impl RegisterFile for WindowedFile {
             cycles += self.spill_slot(deepest, store)?;
         }
         let w = self.fresh_window();
-        self.chain.push(Slot { cid, window: Some(w) });
+        self.chain.push(Slot {
+            cid,
+            window: Some(w),
+        });
         Ok(cycles)
     }
 
@@ -274,7 +287,11 @@ impl RegisterFile for WindowedFile {
         store: &mut dyn BackingStore,
     ) -> Result<u32, RegFileError> {
         self.stats.context_switches += 1;
-        if self.chain.last().is_some_and(|s| s.cid == cid && s.window.is_some()) {
+        if self
+            .chain
+            .last()
+            .is_some_and(|s| s.cid == cid && s.window.is_some())
+        {
             self.stats.switch_hits += 1;
             return Ok(0);
         }
@@ -284,15 +301,24 @@ impl RegisterFile for WindowedFile {
             // reloaded eagerly — returns underflow lazily.
             let top = *cids.last().expect("parked chains are non-empty");
             for c in &cids[..cids.len() - 1] {
-                self.chain.push(Slot { cid: *c, window: None });
+                self.chain.push(Slot {
+                    cid: *c,
+                    window: None,
+                });
             }
             let (w, cyc) = self.reload_window(top, store)?;
             cycles += cyc;
-            self.chain.push(Slot { cid: top, window: Some(w) });
+            self.chain.push(Slot {
+                cid: top,
+                window: Some(w),
+            });
         } else {
             // A brand new thread: claim an empty window.
             let w = self.fresh_window();
-            self.chain.push(Slot { cid, window: Some(w) });
+            self.chain.push(Slot {
+                cid,
+                window: Some(w),
+            });
         }
         Ok(cycles)
     }
@@ -321,8 +347,11 @@ impl RegisterFile for WindowedFile {
     }
 
     fn occupancy(&self) -> Occupancy {
-        let resident: Vec<&Window> =
-            self.chain.iter().filter_map(|s| s.window.as_ref()).collect();
+        let resident: Vec<&Window> = self
+            .chain
+            .iter()
+            .filter_map(|s| s.window.as_ref())
+            .collect();
         Occupancy {
             valid_regs: resident.iter().map(|w| w.valid.count_ones()).sum(),
             resident_contexts: resident.len() as u32,
@@ -365,7 +394,8 @@ mod tests {
         f.thread_switch(0, &mut s).unwrap();
         for cid in 1..4u16 {
             assert_eq!(f.call_push(cid, &mut s).unwrap(), 0);
-            f.write(RegAddr::new(cid, 0), u32::from(cid), &mut s).unwrap();
+            f.write(RegAddr::new(cid, 0), u32::from(cid), &mut s)
+                .unwrap();
         }
         assert_eq!(f.stats().regs_spilled, 0);
         assert_eq!(f.occupancy().resident_contexts, 4);

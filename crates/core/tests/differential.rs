@@ -4,9 +4,9 @@
 //! spilling and reloading happens underneath.
 
 use nsf_core::{
-    segmented::FramePolicy, MapStore, NamedStateFile, NsfConfig, OracleFile, RegAddr,
-    RegFileError, RegisterFile, ReloadPolicy, ReplacementPolicy, SegmentedConfig, SegmentedFile,
-    SpillEngine, WriteMissPolicy,
+    segmented::FramePolicy, MapStore, NamedStateFile, NsfConfig, OracleFile, RegAddr, RegFileError,
+    RegisterFile, ReloadPolicy, ReplacementPolicy, SegmentedConfig, SegmentedFile, SpillEngine,
+    WriteMissPolicy,
 };
 use proptest::prelude::*;
 
@@ -90,7 +90,10 @@ fn nsf_variants() -> Vec<NamedStateFile> {
             ReloadPolicy::ValidOnly,
             ReloadPolicy::WholeLine,
         ] {
-            for write_miss in [WriteMissPolicy::WriteAllocate, WriteMissPolicy::FetchOnWrite] {
+            for write_miss in [
+                WriteMissPolicy::WriteAllocate,
+                WriteMissPolicy::FetchOnWrite,
+            ] {
                 let cfg = NsfConfig {
                     total_regs: total,
                     regs_per_line: rpl,
@@ -105,7 +108,10 @@ fn nsf_variants() -> Vec<NamedStateFile> {
         }
     }
     // Non-LRU replacement policies must also stay transparent.
-    for replacement in [ReplacementPolicy::Fifo, ReplacementPolicy::Random { seed: 7 }] {
+    for replacement in [
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random { seed: 7 },
+    ] {
         let cfg = NsfConfig {
             replacement,
             ..NsfConfig::paper_default(8)

@@ -2,9 +2,7 @@
 //! call/return/switch sequences under the processor's discipline must
 //! read back exactly the values a perfect-memory model predicts.
 
-use nsf_core::{
-    MapStore, RegAddr, RegisterFile, SpillEngine, WindowedConfig, WindowedFile, Word,
-};
+use nsf_core::{MapStore, RegAddr, RegisterFile, SpillEngine, WindowedConfig, WindowedFile, Word};
 use proptest::prelude::*;
 use std::collections::HashMap;
 

@@ -46,7 +46,10 @@ impl fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError { line, message: message.into() }
+    AsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// A not-yet-resolved operand: either an absolute index or a label name.
@@ -93,7 +96,11 @@ fn parse_mem(tok: &str, line: usize) -> Result<(i32, Reg), AsmError> {
     if !t.ends_with(')') {
         return Err(err(line, format!("expected `imm(base)`, got `{t}`")));
     }
-    let imm = if open == 0 { 0 } else { parse_imm(&t[..open], line)? };
+    let imm = if open == 0 {
+        0
+    } else {
+        parse_imm(&t[..open], line)?
+    };
     let base = parse_reg(&t[open + 1..t.len() - 1], line)?;
     Ok((imm, base))
 }
@@ -120,7 +127,10 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
             if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
                 return Err(err(line, format!("invalid label `{name}`")));
             }
-            if symbols.insert(name.to_owned(), insts.len() as u32).is_some() {
+            if symbols
+                .insert(name.to_owned(), insts.len() as u32)
+                .is_some()
+            {
                 return Err(err(line, format!("label `{name}` defined twice")));
             }
             text = text[colon + 1..].trim();
@@ -230,7 +240,10 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
             }
             "mv" => {
                 want(2)?;
-                Inst::Mv { rd: parse_reg(ops[0], line)?, rs1: parse_reg(ops[1], line)? }
+                Inst::Mv {
+                    rd: parse_reg(ops[0], line)?,
+                    rs1: parse_reg(ops[1], line)?,
+                }
             }
             "lw" | "lwr" => {
                 want(2)?;
@@ -269,23 +282,46 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
             "spawn" => {
                 want(2)?;
                 let target = push_target(parse_target(ops[0]), &mut fixups);
-                Inst::Spawn { target, arg: parse_reg(ops[1], line)? }
+                Inst::Spawn {
+                    target,
+                    arg: parse_reg(ops[1], line)?,
+                }
             }
-            "ret" => { want(0)?; Inst::Ret }
-            "halt" => { want(0)?; Inst::Halt }
-            "yield" => { want(0)?; Inst::Yield }
-            "nop" => { want(0)?; Inst::Nop }
+            "ret" => {
+                want(0)?;
+                Inst::Ret
+            }
+            "halt" => {
+                want(0)?;
+                Inst::Halt
+            }
+            "yield" => {
+                want(0)?;
+                Inst::Yield
+            }
+            "nop" => {
+                want(0)?;
+                Inst::Nop
+            }
             "chnew" => {
                 want(1)?;
-                Inst::ChNew { rd: parse_reg(ops[0], line)? }
+                Inst::ChNew {
+                    rd: parse_reg(ops[0], line)?,
+                }
             }
             "chsend" => {
                 want(2)?;
-                Inst::ChSend { chan: parse_reg(ops[0], line)?, src: parse_reg(ops[1], line)? }
+                Inst::ChSend {
+                    chan: parse_reg(ops[0], line)?,
+                    src: parse_reg(ops[1], line)?,
+                }
             }
             "chrecv" => {
                 want(2)?;
-                Inst::ChRecv { rd: parse_reg(ops[0], line)?, chan: parse_reg(ops[1], line)? }
+                Inst::ChRecv {
+                    rd: parse_reg(ops[0], line)?,
+                    chan: parse_reg(ops[1], line)?,
+                }
             }
             "amoadd" => {
                 want(2)?;
@@ -300,7 +336,9 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
             }
             "rfree" => {
                 want(1)?;
-                Inst::RFree { reg: parse_reg(ops[0], line)? }
+                Inst::RFree {
+                    reg: parse_reg(ops[0], line)?,
+                }
             }
             other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
         };
@@ -428,7 +466,19 @@ mod tests {
     #[test]
     fn hex_immediates() {
         let p = assemble("li r0, 0x1f\nli r1, -0x10\nhalt").unwrap();
-        assert_eq!(p.insts()[0], Inst::Li { rd: Reg::R(0), imm: 31 });
-        assert_eq!(p.insts()[1], Inst::Li { rd: Reg::R(1), imm: -16 });
+        assert_eq!(
+            p.insts()[0],
+            Inst::Li {
+                rd: Reg::R(0),
+                imm: 31
+            }
+        );
+        assert_eq!(
+            p.insts()[1],
+            Inst::Li {
+                rd: Reg::R(1),
+                imm: -16
+            }
+        );
     }
 }

@@ -75,12 +75,23 @@ pub fn load_const_insts(rd: Reg, value: i32) -> Vec<Inst> {
         return vec![Inst::Li { rd, imm: value }];
     }
     let v = value as u32;
-    let mut out = vec![Inst::Li { rd, imm: ((v >> 21) as i32) << 21 >> 21 }];
+    let mut out = vec![Inst::Li {
+        rd,
+        imm: ((v >> 21) as i32) << 21 >> 21,
+    }];
     for chunk_idx in (0..3).rev() {
         let chunk = ((v >> (7 * chunk_idx)) & 0x7F) as i32;
-        out.push(Inst::Slli { rd, rs1: rd, imm: 7 });
+        out.push(Inst::Slli {
+            rd,
+            rs1: rd,
+            imm: 7,
+        });
         if chunk != 0 {
-            out.push(Inst::Ori { rd, rs1: rd, imm: chunk });
+            out.push(Inst::Ori {
+                rd,
+                rs1: rd,
+                imm: chunk,
+            });
         }
     }
     out
@@ -149,22 +160,50 @@ impl ProgramBuilder {
 
     /// Emits `beq rs1, rs2, label`.
     pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: Label) {
-        self.emit_fixup(Inst::Beq { rs1, rs2, target: 0 }, label);
+        self.emit_fixup(
+            Inst::Beq {
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        );
     }
 
     /// Emits `bne rs1, rs2, label`.
     pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: Label) {
-        self.emit_fixup(Inst::Bne { rs1, rs2, target: 0 }, label);
+        self.emit_fixup(
+            Inst::Bne {
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        );
     }
 
     /// Emits `blt rs1, rs2, label`.
     pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: Label) {
-        self.emit_fixup(Inst::Blt { rs1, rs2, target: 0 }, label);
+        self.emit_fixup(
+            Inst::Blt {
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        );
     }
 
     /// Emits `bge rs1, rs2, label`.
     pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: Label) {
-        self.emit_fixup(Inst::Bge { rs1, rs2, target: 0 }, label);
+        self.emit_fixup(
+            Inst::Bge {
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        );
     }
 
     /// Emits `jmp label`.
@@ -259,10 +298,7 @@ mod tests {
     #[test]
     fn empty_program_missing_entry() {
         let b = ProgramBuilder::new();
-        assert!(matches!(
-            b.finish("main"),
-            Err(BuildError::MissingEntry(_))
-        ));
+        assert!(matches!(b.finish("main"), Err(BuildError::MissingEntry(_))));
     }
 
     #[test]

@@ -194,9 +194,7 @@ pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
         Jmp { target } => fmt_j(op::JMP, target)?,
         Call { target } => fmt_j(op::CALL, target)?,
         Ret => op::RET << 26,
-        Spawn { target, arg } => {
-            (op::SPAWN << 26) | (arg.to_field() << 20) | target14(target)?
-        }
+        Spawn { target, arg } => (op::SPAWN << 26) | (arg.to_field() << 20) | target14(target)?,
         Halt => op::HALT << 26,
         Yield => op::YIELD << 26,
         ChNew { rd } => (op::CHNEW << 26) | (rd.to_field() << 20),
@@ -228,54 +226,181 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
     let t14 = word & 0x3FFF;
     let t26 = word & 0x03FF_FFFF;
 
-    let r3 = || -> Result<(Reg, Reg, Reg), DecodeError> {
-        Ok((reg(rd_f)?, reg(rs1_f)?, reg(rs2_f)?))
-    };
+    let r3 =
+        || -> Result<(Reg, Reg, Reg), DecodeError> { Ok((reg(rd_f)?, reg(rs1_f)?, reg(rs2_f)?)) };
 
     Ok(match opc {
-        op::ADD => { let (rd, rs1, rs2) = r3()?; Add { rd, rs1, rs2 } }
-        op::SUB => { let (rd, rs1, rs2) = r3()?; Sub { rd, rs1, rs2 } }
-        op::MUL => { let (rd, rs1, rs2) = r3()?; Mul { rd, rs1, rs2 } }
-        op::DIV => { let (rd, rs1, rs2) = r3()?; Div { rd, rs1, rs2 } }
-        op::REM => { let (rd, rs1, rs2) = r3()?; Rem { rd, rs1, rs2 } }
-        op::AND => { let (rd, rs1, rs2) = r3()?; And { rd, rs1, rs2 } }
-        op::OR => { let (rd, rs1, rs2) = r3()?; Or { rd, rs1, rs2 } }
-        op::XOR => { let (rd, rs1, rs2) = r3()?; Xor { rd, rs1, rs2 } }
-        op::SLL => { let (rd, rs1, rs2) = r3()?; Sll { rd, rs1, rs2 } }
-        op::SRL => { let (rd, rs1, rs2) = r3()?; Srl { rd, rs1, rs2 } }
-        op::SRA => { let (rd, rs1, rs2) = r3()?; Sra { rd, rs1, rs2 } }
-        op::SLT => { let (rd, rs1, rs2) = r3()?; Slt { rd, rs1, rs2 } }
-        op::SLTU => { let (rd, rs1, rs2) = r3()?; Sltu { rd, rs1, rs2 } }
-        op::SEQ => { let (rd, rs1, rs2) = r3()?; Seq { rd, rs1, rs2 } }
-        op::ADDI => Addi { rd: reg(rd_f)?, rs1: reg(rs1_f)?, imm },
-        op::ANDI => Andi { rd: reg(rd_f)?, rs1: reg(rs1_f)?, imm },
-        op::ORI => Ori { rd: reg(rd_f)?, rs1: reg(rs1_f)?, imm },
-        op::XORI => Xori { rd: reg(rd_f)?, rs1: reg(rs1_f)?, imm },
-        op::SLLI => Slli { rd: reg(rd_f)?, rs1: reg(rs1_f)?, imm },
-        op::SRLI => Srli { rd: reg(rd_f)?, rs1: reg(rs1_f)?, imm },
-        op::SRAI => Srai { rd: reg(rd_f)?, rs1: reg(rs1_f)?, imm },
-        op::SLTI => Slti { rd: reg(rd_f)?, rs1: reg(rs1_f)?, imm },
-        op::LI => Li { rd: reg(rd_f)?, imm },
-        op::MV => Mv { rd: reg(rd_f)?, rs1: reg(rs1_f)? },
-        op::LW => Lw { rd: reg(rd_f)?, base: reg(rs1_f)?, imm },
-        op::SW => Sw { src: reg(rd_f)?, base: reg(rs1_f)?, imm },
-        op::LWR => LwRemote { rd: reg(rd_f)?, base: reg(rs1_f)?, imm },
-        op::SWR => SwRemote { src: reg(rd_f)?, base: reg(rs1_f)?, imm },
-        op::BEQ => Beq { rs1: reg(rd_f)?, rs2: reg(rs1_f)?, target: t14 },
-        op::BNE => Bne { rs1: reg(rd_f)?, rs2: reg(rs1_f)?, target: t14 },
-        op::BLT => Blt { rs1: reg(rd_f)?, rs2: reg(rs1_f)?, target: t14 },
-        op::BGE => Bge { rs1: reg(rd_f)?, rs2: reg(rs1_f)?, target: t14 },
+        op::ADD => {
+            let (rd, rs1, rs2) = r3()?;
+            Add { rd, rs1, rs2 }
+        }
+        op::SUB => {
+            let (rd, rs1, rs2) = r3()?;
+            Sub { rd, rs1, rs2 }
+        }
+        op::MUL => {
+            let (rd, rs1, rs2) = r3()?;
+            Mul { rd, rs1, rs2 }
+        }
+        op::DIV => {
+            let (rd, rs1, rs2) = r3()?;
+            Div { rd, rs1, rs2 }
+        }
+        op::REM => {
+            let (rd, rs1, rs2) = r3()?;
+            Rem { rd, rs1, rs2 }
+        }
+        op::AND => {
+            let (rd, rs1, rs2) = r3()?;
+            And { rd, rs1, rs2 }
+        }
+        op::OR => {
+            let (rd, rs1, rs2) = r3()?;
+            Or { rd, rs1, rs2 }
+        }
+        op::XOR => {
+            let (rd, rs1, rs2) = r3()?;
+            Xor { rd, rs1, rs2 }
+        }
+        op::SLL => {
+            let (rd, rs1, rs2) = r3()?;
+            Sll { rd, rs1, rs2 }
+        }
+        op::SRL => {
+            let (rd, rs1, rs2) = r3()?;
+            Srl { rd, rs1, rs2 }
+        }
+        op::SRA => {
+            let (rd, rs1, rs2) = r3()?;
+            Sra { rd, rs1, rs2 }
+        }
+        op::SLT => {
+            let (rd, rs1, rs2) = r3()?;
+            Slt { rd, rs1, rs2 }
+        }
+        op::SLTU => {
+            let (rd, rs1, rs2) = r3()?;
+            Sltu { rd, rs1, rs2 }
+        }
+        op::SEQ => {
+            let (rd, rs1, rs2) = r3()?;
+            Seq { rd, rs1, rs2 }
+        }
+        op::ADDI => Addi {
+            rd: reg(rd_f)?,
+            rs1: reg(rs1_f)?,
+            imm,
+        },
+        op::ANDI => Andi {
+            rd: reg(rd_f)?,
+            rs1: reg(rs1_f)?,
+            imm,
+        },
+        op::ORI => Ori {
+            rd: reg(rd_f)?,
+            rs1: reg(rs1_f)?,
+            imm,
+        },
+        op::XORI => Xori {
+            rd: reg(rd_f)?,
+            rs1: reg(rs1_f)?,
+            imm,
+        },
+        op::SLLI => Slli {
+            rd: reg(rd_f)?,
+            rs1: reg(rs1_f)?,
+            imm,
+        },
+        op::SRLI => Srli {
+            rd: reg(rd_f)?,
+            rs1: reg(rs1_f)?,
+            imm,
+        },
+        op::SRAI => Srai {
+            rd: reg(rd_f)?,
+            rs1: reg(rs1_f)?,
+            imm,
+        },
+        op::SLTI => Slti {
+            rd: reg(rd_f)?,
+            rs1: reg(rs1_f)?,
+            imm,
+        },
+        op::LI => Li {
+            rd: reg(rd_f)?,
+            imm,
+        },
+        op::MV => Mv {
+            rd: reg(rd_f)?,
+            rs1: reg(rs1_f)?,
+        },
+        op::LW => Lw {
+            rd: reg(rd_f)?,
+            base: reg(rs1_f)?,
+            imm,
+        },
+        op::SW => Sw {
+            src: reg(rd_f)?,
+            base: reg(rs1_f)?,
+            imm,
+        },
+        op::LWR => LwRemote {
+            rd: reg(rd_f)?,
+            base: reg(rs1_f)?,
+            imm,
+        },
+        op::SWR => SwRemote {
+            src: reg(rd_f)?,
+            base: reg(rs1_f)?,
+            imm,
+        },
+        op::BEQ => Beq {
+            rs1: reg(rd_f)?,
+            rs2: reg(rs1_f)?,
+            target: t14,
+        },
+        op::BNE => Bne {
+            rs1: reg(rd_f)?,
+            rs2: reg(rs1_f)?,
+            target: t14,
+        },
+        op::BLT => Blt {
+            rs1: reg(rd_f)?,
+            rs2: reg(rs1_f)?,
+            target: t14,
+        },
+        op::BGE => Bge {
+            rs1: reg(rd_f)?,
+            rs2: reg(rs1_f)?,
+            target: t14,
+        },
         op::JMP => Jmp { target: t26 },
         op::CALL => Call { target: t26 },
         op::RET => Ret,
-        op::SPAWN => Spawn { target: t14, arg: reg(rd_f)? },
+        op::SPAWN => Spawn {
+            target: t14,
+            arg: reg(rd_f)?,
+        },
         op::HALT => Halt,
         op::YIELD => Yield,
         op::CHNEW => ChNew { rd: reg(rd_f)? },
-        op::CHSEND => ChSend { chan: reg(rd_f)?, src: reg(rs1_f)? },
-        op::CHRECV => ChRecv { rd: reg(rd_f)?, chan: reg(rs1_f)? },
-        op::AMOADD => AmoAdd { rd: reg(rd_f)?, base: reg(rs1_f)?, imm },
-        op::SYNCWAIT => SyncWait { base: reg(rs1_f)?, imm },
+        op::CHSEND => ChSend {
+            chan: reg(rd_f)?,
+            src: reg(rs1_f)?,
+        },
+        op::CHRECV => ChRecv {
+            rd: reg(rd_f)?,
+            chan: reg(rs1_f)?,
+        },
+        op::AMOADD => AmoAdd {
+            rd: reg(rd_f)?,
+            base: reg(rs1_f)?,
+            imm,
+        },
+        op::SYNCWAIT => SyncWait {
+            base: reg(rs1_f)?,
+            imm,
+        },
         op::RFREE => RFree { reg: reg(rd_f)? },
         op::NOP => Nop,
         other => return Err(DecodeError::BadOpcode(other)),
@@ -298,26 +423,79 @@ mod tests {
         let r = Reg::R;
         let g = Reg::G;
         for i in [
-            Inst::Add { rd: r(1), rs1: r(2), rs2: r(3) },
-            Inst::Sub { rd: g(1), rs1: r(31), rs2: g(0) },
-            Inst::Addi { rd: r(5), rs1: r(5), imm: -8191 },
-            Inst::Li { rd: r(9), imm: 8191 },
-            Inst::Mv { rd: r(0), rs1: g(3) },
-            Inst::Lw { rd: r(7), base: g(0), imm: 44 },
-            Inst::Sw { base: g(0), src: r(7), imm: -44 },
-            Inst::LwRemote { rd: r(2), base: r(3), imm: 0 },
-            Inst::SwRemote { base: r(3), src: r(2), imm: 12 },
-            Inst::Beq { rs1: r(1), rs2: r(2), target: 16383 },
-            Inst::Jmp { target: (1 << 26) - 1 },
+            Inst::Add {
+                rd: r(1),
+                rs1: r(2),
+                rs2: r(3),
+            },
+            Inst::Sub {
+                rd: g(1),
+                rs1: r(31),
+                rs2: g(0),
+            },
+            Inst::Addi {
+                rd: r(5),
+                rs1: r(5),
+                imm: -8191,
+            },
+            Inst::Li {
+                rd: r(9),
+                imm: 8191,
+            },
+            Inst::Mv {
+                rd: r(0),
+                rs1: g(3),
+            },
+            Inst::Lw {
+                rd: r(7),
+                base: g(0),
+                imm: 44,
+            },
+            Inst::Sw {
+                base: g(0),
+                src: r(7),
+                imm: -44,
+            },
+            Inst::LwRemote {
+                rd: r(2),
+                base: r(3),
+                imm: 0,
+            },
+            Inst::SwRemote {
+                base: r(3),
+                src: r(2),
+                imm: 12,
+            },
+            Inst::Beq {
+                rs1: r(1),
+                rs2: r(2),
+                target: 16383,
+            },
+            Inst::Jmp {
+                target: (1 << 26) - 1,
+            },
             Inst::Call { target: 1234 },
             Inst::Ret,
-            Inst::Spawn { target: 99, arg: r(4) },
+            Inst::Spawn {
+                target: 99,
+                arg: r(4),
+            },
             Inst::Halt,
             Inst::Yield,
             Inst::ChNew { rd: r(1) },
-            Inst::ChSend { chan: r(1), src: r(2) },
-            Inst::ChRecv { rd: r(3), chan: r(1) },
-            Inst::AmoAdd { rd: r(1), base: r(2), imm: -1 },
+            Inst::ChSend {
+                chan: r(1),
+                src: r(2),
+            },
+            Inst::ChRecv {
+                rd: r(3),
+                chan: r(1),
+            },
+            Inst::AmoAdd {
+                rd: r(1),
+                base: r(2),
+                imm: -1,
+            },
             Inst::SyncWait { base: r(2), imm: 4 },
             Inst::RFree { reg: r(30) },
             Inst::Nop,
@@ -328,15 +506,26 @@ mod tests {
 
     #[test]
     fn imm_range_checked() {
-        let i = Inst::Addi { rd: Reg::R(0), rs1: Reg::R(0), imm: 8192 };
+        let i = Inst::Addi {
+            rd: Reg::R(0),
+            rs1: Reg::R(0),
+            imm: 8192,
+        };
         assert_eq!(encode(&i), Err(EncodeError::ImmOutOfRange(8192)));
-        let i = Inst::Li { rd: Reg::R(0), imm: -8193 };
+        let i = Inst::Li {
+            rd: Reg::R(0),
+            imm: -8193,
+        };
         assert_eq!(encode(&i), Err(EncodeError::ImmOutOfRange(-8193)));
     }
 
     #[test]
     fn target_range_checked() {
-        let i = Inst::Beq { rs1: Reg::R(0), rs2: Reg::R(0), target: 1 << 14 };
+        let i = Inst::Beq {
+            rs1: Reg::R(0),
+            rs2: Reg::R(0),
+            target: 1 << 14,
+        };
         assert!(matches!(encode(&i), Err(EncodeError::TargetOutOfRange(_))));
         let i = Inst::Jmp { target: 1 << 26 };
         assert!(matches!(encode(&i), Err(EncodeError::TargetOutOfRange(_))));

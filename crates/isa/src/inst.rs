@@ -245,7 +245,12 @@ impl Inst {
             LwRemote { .. } | SwRemote { .. } => InstClass::RemoteMem,
             Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } | Jmp { .. } => InstClass::Control,
             Call { .. } | Ret => InstClass::Proc,
-            Spawn { .. } | Halt | Yield | ChNew { .. } | ChSend { .. } | ChRecv { .. }
+            Spawn { .. }
+            | Halt
+            | Yield
+            | ChNew { .. }
+            | ChSend { .. }
+            | ChRecv { .. }
             | SyncWait { .. } => InstClass::Thread,
             RFree { .. } | Nop => InstClass::Misc,
             _ => InstClass::Alu,
@@ -270,8 +275,13 @@ impl Inst {
     pub fn target(&self) -> Option<u32> {
         use Inst::*;
         match *self {
-            Beq { target, .. } | Bne { target, .. } | Blt { target, .. } | Bge { target, .. }
-            | Jmp { target } | Call { target } | Spawn { target, .. } => Some(target),
+            Beq { target, .. }
+            | Bne { target, .. }
+            | Blt { target, .. }
+            | Bge { target, .. }
+            | Jmp { target }
+            | Call { target }
+            | Spawn { target, .. } => Some(target),
             _ => None,
         }
     }
@@ -282,8 +292,13 @@ impl Inst {
     pub fn set_target(&mut self, new: u32) -> bool {
         use Inst::*;
         match self {
-            Beq { target, .. } | Bne { target, .. } | Blt { target, .. } | Bge { target, .. }
-            | Jmp { target } | Call { target } | Spawn { target, .. } => {
+            Beq { target, .. }
+            | Bne { target, .. }
+            | Blt { target, .. }
+            | Bge { target, .. }
+            | Jmp { target }
+            | Call { target }
+            | Spawn { target, .. } => {
                 *target = new;
                 true
             }
@@ -354,10 +369,25 @@ mod tests {
     fn reads_writes_ports() {
         // No instruction exceeds 2 reads + 1 write (3-ported file).
         let samples = [
-            Inst::Add { rd: Reg::R(1), rs1: Reg::R(2), rs2: Reg::R(3) },
-            Inst::Sw { base: Reg::G(0), src: Reg::R(4), imm: 8 },
-            Inst::ChSend { chan: Reg::R(0), src: Reg::R(1) },
-            Inst::Beq { rs1: Reg::R(0), rs2: Reg::R(1), target: 7 },
+            Inst::Add {
+                rd: Reg::R(1),
+                rs1: Reg::R(2),
+                rs2: Reg::R(3),
+            },
+            Inst::Sw {
+                base: Reg::G(0),
+                src: Reg::R(4),
+                imm: 8,
+            },
+            Inst::ChSend {
+                chan: Reg::R(0),
+                src: Reg::R(1),
+            },
+            Inst::Beq {
+                rs1: Reg::R(0),
+                rs2: Reg::R(1),
+                target: 7,
+            },
         ];
         for i in &samples {
             assert!(i.reads().len() <= 2, "{i}");
@@ -368,10 +398,24 @@ mod tests {
 
     #[test]
     fn blocking_classification() {
-        assert!(Inst::LwRemote { rd: Reg::R(0), base: Reg::R(1), imm: 0 }.may_block());
+        assert!(Inst::LwRemote {
+            rd: Reg::R(0),
+            base: Reg::R(1),
+            imm: 0
+        }
+        .may_block());
         assert!(Inst::Yield.may_block());
-        assert!(!Inst::Lw { rd: Reg::R(0), base: Reg::R(1), imm: 0 }.may_block());
-        assert!(Inst::ChSend { chan: Reg::R(0), src: Reg::R(1) }.may_block());
+        assert!(!Inst::Lw {
+            rd: Reg::R(0),
+            base: Reg::R(1),
+            imm: 0
+        }
+        .may_block());
+        assert!(Inst::ChSend {
+            chan: Reg::R(0),
+            src: Reg::R(1)
+        }
+        .may_block());
     }
 
     #[test]
@@ -390,7 +434,12 @@ mod tests {
         assert_eq!(Inst::Halt.class(), InstClass::Thread);
         assert_eq!(Inst::Nop.class(), InstClass::Misc);
         assert_eq!(
-            Inst::LwRemote { rd: Reg::R(0), base: Reg::R(0), imm: 0 }.class(),
+            Inst::LwRemote {
+                rd: Reg::R(0),
+                base: Reg::R(0),
+                imm: 0
+            }
+            .class(),
             InstClass::RemoteMem
         );
     }

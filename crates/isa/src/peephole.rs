@@ -12,7 +12,6 @@
 use crate::inst::Inst;
 use crate::program::{Program, ProgramError};
 
-
 /// `true` if `inst` at index `i` has no architectural effect.
 fn is_removable(inst: &Inst, i: usize) -> bool {
     match *inst {
@@ -116,17 +115,21 @@ mod tests {
 
     #[test]
     fn removes_self_moves_and_identity_arith() {
-        let (p, removed) = opt(
-            "main: mv r0, r0
+        let (p, removed) = opt("main: mv r0, r0
                    addi r1, r1, 0
                    slli r2, r2, 0
                    nop
                    mv r0, r1
-                   halt",
-        );
+                   halt");
         assert_eq!(removed, 4);
         assert_eq!(p.len(), 2);
-        assert!(matches!(p.insts()[0], Inst::Mv { rd: Reg::R(0), rs1: Reg::R(1) }));
+        assert!(matches!(
+            p.insts()[0],
+            Inst::Mv {
+                rd: Reg::R(0),
+                rs1: Reg::R(1)
+            }
+        ));
     }
 
     #[test]
@@ -139,12 +142,10 @@ mod tests {
 
     #[test]
     fn removes_jump_to_next_and_retargets() {
-        let (p, removed) = opt(
-            "main: jmp next
+        let (p, removed) = opt("main: jmp next
              next: nop
                    beq r0, r0, next
-                   halt",
-        );
+                   halt");
         // `jmp next` falls through; `nop` drops; the branch target shifts.
         assert_eq!(removed, 2);
         assert!(matches!(p.insts()[0], Inst::Beq { target: 0, .. }));
@@ -162,14 +163,12 @@ mod tests {
 
     #[test]
     fn backward_jumps_survive() {
-        let (p, removed) = opt(
-            "main: li r0, 3
+        let (p, removed) = opt("main: li r0, 3
              top:  addi r0, r0, -1
                    li r1, 0
                    bne r0, r1, top
                    jmp top
-                   halt",
-        );
+                   halt");
         assert_eq!(removed, 0);
         assert_eq!(p.len(), 6);
     }

@@ -78,7 +78,11 @@ impl Program {
         symbols: BTreeMap<String, u32>,
         entry: u32,
     ) -> Result<Self, ProgramError> {
-        let p = Program { insts, symbols, entry };
+        let p = Program {
+            insts,
+            symbols,
+            entry,
+        };
         p.validate()?;
         Ok(p)
     }
@@ -128,7 +132,10 @@ impl Program {
         for (i, inst) in self.insts.iter().enumerate() {
             if let Some(t) = inst.target() {
                 if t >= n {
-                    return Err(ProgramError::TargetOutOfBounds { at: i as u32, target: t });
+                    return Err(ProgramError::TargetOutOfBounds {
+                        at: i as u32,
+                        target: t,
+                    });
                 }
             }
             let regs_ok = inst
@@ -197,8 +204,15 @@ mod tests {
         syms.insert("main".to_owned(), 0);
         let p = Program::new(
             vec![
-                Inst::Li { rd: Reg::R(0), imm: 5 },
-                Inst::Addi { rd: Reg::R(0), rs1: Reg::R(0), imm: -1 },
+                Inst::Li {
+                    rd: Reg::R(0),
+                    imm: 5,
+                },
+                Inst::Addi {
+                    rd: Reg::R(0),
+                    rs1: Reg::R(0),
+                    imm: -1,
+                },
                 Inst::Halt,
             ],
             syms,
@@ -216,7 +230,13 @@ mod tests {
         let mut syms = BTreeMap::new();
         syms.insert("f".to_owned(), 0);
         let p = Program::new(
-            vec![Inst::Mv { rd: Reg::R(0), rs1: Reg::G(1) }, Inst::Ret],
+            vec![
+                Inst::Mv {
+                    rd: Reg::R(0),
+                    rs1: Reg::G(1),
+                },
+                Inst::Ret,
+            ],
             syms,
             0,
         )

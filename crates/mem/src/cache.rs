@@ -99,9 +99,15 @@ impl Cache {
     /// two, or if any parameter is zero — configuration bugs, not runtime
     /// conditions.
     pub fn new(cfg: CacheConfig) -> Self {
-        assert!(cfg.line_words.is_power_of_two(), "line_words must be a power of two");
+        assert!(
+            cfg.line_words.is_power_of_two(),
+            "line_words must be a power of two"
+        );
         assert!(cfg.ways >= 1, "ways must be >= 1");
-        assert!(cfg.sets().is_power_of_two(), "set count must be a power of two");
+        assert!(
+            cfg.sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
         let entries = (cfg.sets() * cfg.ways) as usize;
         Cache {
             cfg,
@@ -160,7 +166,12 @@ impl Cache {
             // Write-back costs another memory transaction.
             cycles += self.cfg.miss_penalty;
         }
-        *victim = Way { tag, valid: true, dirty: write, stamp: self.clock };
+        *victim = Way {
+            tag,
+            valid: true,
+            dirty: write,
+            stamp: self.clock,
+        };
         cycles
     }
 

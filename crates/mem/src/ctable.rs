@@ -23,7 +23,11 @@ pub struct CtableError {
 
 impl fmt::Display for CtableError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Ctable has no backing-store mapping for context {}", self.cid)
+        write!(
+            f,
+            "Ctable has no backing-store mapping for context {}",
+            self.cid
+        )
     }
 }
 
@@ -39,7 +43,9 @@ pub struct Ctable {
 impl Ctable {
     /// Creates a table with room for `capacity` Context IDs.
     pub fn new(capacity: usize) -> Self {
-        Ctable { entries: vec![None; capacity] }
+        Ctable {
+            entries: vec![None; capacity],
+        }
     }
 
     /// Number of CID slots.

@@ -44,7 +44,9 @@ impl MainMemory {
         self.writes += 1;
         let page = addr >> PAGE_SHIFT;
         let off = (addr as usize) & (PAGE_WORDS - 1);
-        self.pages.entry(page).or_insert_with(|| Box::new([0; PAGE_WORDS]))[off] = value;
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0; PAGE_WORDS]))[off] = value;
     }
 
     /// Writes a slice of words starting at `addr`.

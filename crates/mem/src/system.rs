@@ -17,7 +17,10 @@ pub struct MemConfig {
 
 impl Default for MemConfig {
     fn default() -> Self {
-        MemConfig { dcache: CacheConfig::default(), ctable_slots: 4096 }
+        MemConfig {
+            dcache: CacheConfig::default(),
+            ctable_slots: 4096,
+        }
     }
 }
 

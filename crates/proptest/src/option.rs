@@ -1,0 +1,44 @@
+//! Optional-value strategies (`option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// `Some` with probability ½, else `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn pick(&self, rng: &mut TestRng) -> Option<S::Value> {
+        rng.coin().then(|| self.inner.pick(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yields_both_variants() {
+        let mut rng = TestRng::for_case("option::of", 0);
+        let s = of(0u8..4);
+        let mut some = false;
+        let mut none = false;
+        for _ in 0..100 {
+            match s.pick(&mut rng) {
+                Some(v) => {
+                    assert!(v < 4);
+                    some = true;
+                }
+                None => none = true,
+            }
+        }
+        assert!(some && none);
+    }
+}

@@ -1,0 +1,38 @@
+//! Sampling from explicit value lists (`sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`select`].
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+/// Picks uniformly from `items` (non-empty).
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "sample::select needs at least one item");
+    Select { items }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_every_item_eventually() {
+        let mut rng = TestRng::for_case("sample::select", 0);
+        let s = select(vec!["a", "b", "c"]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.pick(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -1,0 +1,204 @@
+//! Strategies: deterministic samplers with `prop_map`, tuples, ranges,
+//! unions and boxing. No shrinking — `pick` returns a raw sample.
+
+use crate::test_runner::TestRng;
+use rand::SampleRange;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.pick(rng)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn pick(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn pick(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.pick(rng))
+    }
+}
+
+/// Weighted choice among type-erased strategies
+/// (what [`crate::prop_oneof!`] builds).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// A union over `(weight, strategy)` arms; weights must sum > 0.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        let mut ticket = rng.below(self.total);
+        for (w, arm) in &self.arms {
+            let w = u64::from(*w);
+            if ticket < w {
+                return arm.pick(rng);
+            }
+            ticket -= w;
+        }
+        unreachable!("ticket below total weight")
+    }
+}
+
+impl<T: Copy> Strategy for Range<T>
+where
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        SampleRange::sample(self, rng.core())
+    }
+}
+
+impl<T: Copy> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        SampleRange::sample(self, rng.core())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.pick(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+/// `&str` patterns of the form `".{lo,hi}"` generate random strings of
+/// `lo..=hi` characters (mostly printable ASCII, salted with newlines,
+/// tabs and multibyte chars). Any other pattern yields itself literally
+/// — the shim does not implement general regex generation.
+impl Strategy for &str {
+    type Value = String;
+    fn pick(&self, rng: &mut TestRng) -> String {
+        match parse_dot_repeat(self) {
+            Some((lo, hi)) => {
+                let len = lo + rng.below(hi - lo as u64 + 1) as usize;
+                (0..len).map(|_| random_char(rng)).collect()
+            }
+            None => (*self).to_owned(),
+        }
+    }
+}
+
+/// Parses `".{lo,hi}"`, the one regex shape the workspace uses.
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, u64)> {
+    let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    let lo: usize = lo.trim().parse().ok()?;
+    let hi: u64 = hi.trim().parse().ok()?;
+    (lo as u64 <= hi).then_some((lo, hi))
+}
+
+fn random_char(rng: &mut TestRng) -> char {
+    match rng.below(16) {
+        0 => '\n',
+        1 => ['\t', '\r', ' ', ';', ':', ','][rng.below(6) as usize],
+        2 => char::from_u32(rng.below(0xD7FF) as u32 + 1).unwrap_or('x'),
+        _ => (0x20 + rng.below(0x5F) as u8) as char,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_sample_in_bounds() {
+        let mut rng = TestRng::for_case("strategy::test", 0);
+        let s = (0u8..4, 10i32..=20).prop_map(|(a, b)| (b, a));
+        for _ in 0..500 {
+            let (b, a) = s.pick(&mut rng);
+            assert!(a < 4 && (10..=20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weight_arms_never() {
+        let mut rng = TestRng::for_case("strategy::union", 0);
+        let u = Union::new(vec![(0u32, Just(1u8).boxed()), (3, Just(2u8).boxed())]);
+        for _ in 0..200 {
+            assert_eq!(u.pick(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn dot_repeat_patterns_bound_length() {
+        let mut rng = TestRng::for_case("strategy::str", 0);
+        for _ in 0..100 {
+            let s = ".{0,40}".pick(&mut rng);
+            assert!(s.chars().count() <= 40);
+        }
+        assert_eq!("literal".pick(&mut rng), "literal");
+    }
+}

@@ -201,12 +201,11 @@ impl Scheduler {
             let id = i as ThreadId;
             let wake = match self.threads[i].state {
                 ThreadState::Blocked(BlockReason::RemoteLoad { ready_at }) => ready_at <= now,
-                ThreadState::Blocked(BlockReason::Recv { chan }) => {
-                    self.channels.next_delivery(chan).is_some_and(|at| at <= now)
-                }
-                ThreadState::Blocked(BlockReason::Send { chan }) => {
-                    self.channels.has_space(chan)
-                }
+                ThreadState::Blocked(BlockReason::Recv { chan }) => self
+                    .channels
+                    .next_delivery(chan)
+                    .is_some_and(|at| at <= now),
+                ThreadState::Blocked(BlockReason::Send { chan }) => self.channels.has_space(chan),
                 ThreadState::Blocked(BlockReason::Sync { addr }) => sync_clear(addr),
                 _ => false,
             };
@@ -335,7 +334,10 @@ mod tests {
 
     #[test]
     fn cids_recycle() {
-        let cfg = SchedulerConfig { cid_capacity: 2, ..Default::default() };
+        let cfg = SchedulerConfig {
+            cid_capacity: 2,
+            ..Default::default()
+        };
         let mut s = Scheduler::new(cfg);
         let a = s.alloc_cid().unwrap();
         let _b = s.alloc_cid().unwrap();
@@ -346,7 +348,10 @@ mod tests {
 
     #[test]
     fn thread_limit_enforced() {
-        let cfg = SchedulerConfig { max_threads: 1, ..Default::default() };
+        let cfg = SchedulerConfig {
+            max_threads: 1,
+            ..Default::default()
+        };
         let mut s = Scheduler::new(cfg);
         s.spawn(0, 0).unwrap();
         assert_eq!(s.spawn(0, 0), Err(SchedulerError::TooManyThreads));

@@ -108,7 +108,10 @@ mod tests {
     #[test]
     fn spill_reload_through_cache() {
         let (mut mem, mut map) = setup();
-        let mut b = CtableBacking { mem: &mut mem, map: &mut map };
+        let mut b = CtableBacking {
+            mem: &mut mem,
+            map: &mut map,
+        };
         let c1 = b.spill(3, 2, 77).unwrap();
         assert!(c1 >= 1);
         assert!(b.is_present(3, 2));
@@ -116,13 +119,19 @@ mod tests {
         assert_eq!(v, Some(77));
         // The data physically lives at ctable(3) + 2.
         assert_eq!(mem.peek(0x9002), 77);
-        assert!(mem.dcache_stats().accesses >= 2, "traffic goes through the cache");
+        assert!(
+            mem.dcache_stats().accesses >= 2,
+            "traffic goes through the cache"
+        );
     }
 
     #[test]
     fn absent_register_reloads_no_data() {
         let (mut mem, mut map) = setup();
-        let mut b = CtableBacking { mem: &mut mem, map: &mut map };
+        let mut b = CtableBacking {
+            mem: &mut mem,
+            map: &mut map,
+        };
         let (v, cycles) = b.reload(3, 5).unwrap();
         assert_eq!(v, None);
         assert!(cycles >= 1, "the transfer still costs memory cycles");
@@ -131,7 +140,10 @@ mod tests {
     #[test]
     fn unmapped_context_faults() {
         let (mut mem, mut map) = setup();
-        let mut b = CtableBacking { mem: &mut mem, map: &mut map };
+        let mut b = CtableBacking {
+            mem: &mut mem,
+            map: &mut map,
+        };
         assert_eq!(b.spill(9, 0, 1), Err(StoreFault::Unmapped(9)));
         assert!(matches!(b.reload(9, 0), Err(StoreFault::Unmapped(9))));
     }
@@ -139,7 +151,10 @@ mod tests {
     #[test]
     fn discards_clear_presence() {
         let (mut mem, mut map) = setup();
-        let mut b = CtableBacking { mem: &mut mem, map: &mut map };
+        let mut b = CtableBacking {
+            mem: &mut mem,
+            map: &mut map,
+        };
         b.spill(3, 0, 1).unwrap();
         b.spill(3, 1, 2).unwrap();
         b.discard_reg(3, 0);

@@ -1,8 +1,8 @@
 //! Simulator configuration.
 
 use nsf_core::{
-    segmented::FramePolicy, ConventionalFile, NamedStateFile, NsfConfig, OracleFile,
-    RegisterFile, SegmentedConfig, SpillEngine, WindowedConfig, WindowedFile,
+    segmented::FramePolicy, ConventionalFile, NamedStateFile, NsfConfig, OracleFile, RegisterFile,
+    SegmentedConfig, SpillEngine, WindowedConfig, WindowedFile,
 };
 use nsf_mem::{Addr, MemConfig};
 use nsf_runtime::SchedulerConfig;
@@ -173,7 +173,10 @@ impl Default for SimConfig {
 impl SimConfig {
     /// A config with everything default except the register file.
     pub fn with_regfile(regfile: RegFileSpec) -> Self {
-        SimConfig { regfile, ..Default::default() }
+        SimConfig {
+            regfile,
+            ..Default::default()
+        }
     }
 }
 
@@ -183,12 +186,18 @@ mod tests {
 
     #[test]
     fn specs_build_the_right_organization() {
-        assert!(RegFileSpec::paper_nsf(128).build().describe().contains("NSF"));
+        assert!(RegFileSpec::paper_nsf(128)
+            .build()
+            .describe()
+            .contains("NSF"));
         assert!(RegFileSpec::paper_segmented(4, 32)
             .build()
             .describe()
             .contains("Segmented"));
-        let conv = RegFileSpec::Conventional { regs: 32, engine: SpillEngine::hardware() };
+        let conv = RegFileSpec::Conventional {
+            regs: 32,
+            engine: SpillEngine::hardware(),
+        };
         assert!(conv.build().describe().contains("Conventional"));
         assert!(RegFileSpec::Oracle.build().describe().contains("Oracle"));
     }

@@ -245,8 +245,12 @@ impl Machine {
         self.report.regfile_capacity = self.regfile.capacity();
         self.report.dcache = self.mem.dcache_stats();
         self.report.static_instructions = self.program.len();
-        self.report.thread_instructions =
-            self.sched.threads().iter().map(|t| t.instructions).collect();
+        self.report.thread_instructions = self
+            .sched
+            .threads()
+            .iter()
+            .map(|t| t.instructions)
+            .collect();
         self.report.icache = self.icache.as_ref().map(|c| c.stats());
     }
 
@@ -263,7 +267,10 @@ impl Machine {
         if self.active_cid == Some(cid) {
             return Ok(());
         }
-        let mut store = CtableBacking { mem: &mut self.mem, map: &mut self.backing };
+        let mut store = CtableBacking {
+            mem: &mut self.mem,
+            map: &mut self.backing,
+        };
         let result = match kind {
             SwitchKind::Plain => self.regfile.switch_to(cid, &mut store),
             SwitchKind::CallPush => self.regfile.call_push(cid, &mut store),
@@ -284,7 +291,10 @@ impl Machine {
         match r {
             Reg::G(i) => Ok(self.sched.current_mut().globals[i as usize]),
             Reg::R(off) => {
-                let mut store = CtableBacking { mem: &mut self.mem, map: &mut self.backing };
+                let mut store = CtableBacking {
+                    mem: &mut self.mem,
+                    map: &mut self.backing,
+                };
                 let acc = self
                     .regfile
                     .read(RegAddr::new(cid, off), &mut store)
@@ -302,7 +312,10 @@ impl Machine {
                 Ok(())
             }
             Reg::R(off) => {
-                let mut store = CtableBacking { mem: &mut self.mem, map: &mut self.backing };
+                let mut store = CtableBacking {
+                    mem: &mut self.mem,
+                    map: &mut self.backing,
+                };
                 let acc = self
                     .regfile
                     .write(RegAddr::new(cid, off), value, &mut store)
@@ -317,7 +330,9 @@ impl Machine {
         let mut issued: u64 = 0;
         loop {
             if self.report.instructions >= self.cfg.max_instructions {
-                return Err(SimError::MaxInstructions { limit: self.cfg.max_instructions });
+                return Err(SimError::MaxInstructions {
+                    limit: self.cfg.max_instructions,
+                });
             }
             match self.step()? {
                 Status::Continue => {}
@@ -365,10 +380,20 @@ impl Machine {
 
         if self.trace.enabled() {
             let tid = self.sched.current().expect("running").id;
-            self.trace.record(TraceEntry { cycle: self.clock, tid, cid, pc, inst });
+            self.trace.record(TraceEntry {
+                cycle: self.clock,
+                tid,
+                cid,
+                pc,
+                inst,
+            });
         }
 
-        if self.report.instructions.is_multiple_of(self.cfg.sample_interval) {
+        if self
+            .report
+            .instructions
+            .is_multiple_of(self.cfg.sample_interval)
+        {
             self.report.occupancy.record(self.regfile.occupancy());
         }
 
@@ -437,10 +462,13 @@ impl Machine {
             Sll { rd, rs1, rs2 } => alu3!(rd, rs1, rs2, |x: Word, y: Word| x << (y & 31)),
             Srl { rd, rs1, rs2 } => alu3!(rd, rs1, rs2, |x: Word, y: Word| x >> (y & 31)),
             Sra { rd, rs1, rs2 } => {
-                alu3!(rd, rs1, rs2, |x: Word, y: Word| ((x as i32) >> (y & 31)) as Word)
+                alu3!(rd, rs1, rs2, |x: Word, y: Word| ((x as i32) >> (y & 31))
+                    as Word)
             }
             Slt { rd, rs1, rs2 } => {
-                alu3!(rd, rs1, rs2, |x: Word, y: Word| Word::from((x as i32) < (y as i32)))
+                alu3!(rd, rs1, rs2, |x: Word, y: Word| Word::from(
+                    (x as i32) < (y as i32)
+                ))
             }
             Sltu { rd, rs1, rs2 } => alu3!(rd, rs1, rs2, |x: Word, y: Word| Word::from(x < y)),
             Seq { rd, rs1, rs2 } => alu3!(rd, rs1, rs2, |x: Word, y: Word| Word::from(x == y)),
@@ -452,10 +480,13 @@ impl Machine {
             Slli { rd, rs1, imm } => alui!(rd, rs1, imm, |x: Word, y: Word| x << (y & 31)),
             Srli { rd, rs1, imm } => alui!(rd, rs1, imm, |x: Word, y: Word| x >> (y & 31)),
             Srai { rd, rs1, imm } => {
-                alui!(rd, rs1, imm, |x: Word, y: Word| ((x as i32) >> (y & 31)) as Word)
+                alui!(rd, rs1, imm, |x: Word, y: Word| ((x as i32) >> (y & 31))
+                    as Word)
             }
             Slti { rd, rs1, imm } => {
-                alui!(rd, rs1, imm, |x: Word, y: Word| Word::from((x as i32) < (y as i32)))
+                alui!(rd, rs1, imm, |x: Word, y: Word| Word::from(
+                    (x as i32) < (y as i32)
+                ))
             }
             Li { rd, imm } => {
                 self.write_reg(cid, rd, imm as Word, pc)?;
@@ -490,7 +521,8 @@ impl Machine {
                 let t = self.sched.current_mut();
                 t.pending_write = Some((rd, value));
                 t.pc = pc + 1;
-                self.sched.block_current(BlockReason::RemoteLoad { ready_at });
+                self.sched
+                    .block_current(BlockReason::RemoteLoad { ready_at });
                 return Ok(Status::Suspended);
             }
             SwRemote { base, src, imm } => {
@@ -507,7 +539,8 @@ impl Machine {
                 branch!(rs1, rs2, target, |x: Word, y: Word| (x as i32) < (y as i32))
             }
             Bge { rs1, rs2, target } => {
-                branch!(rs1, rs2, target, |x: Word, y: Word| (x as i32) >= (y as i32))
+                branch!(rs1, rs2, target, |x: Word, y: Word| (x as i32)
+                    >= (y as i32))
             }
             Jmp { target } => {
                 self.sched.current_mut().pc = target;
@@ -622,8 +655,10 @@ impl Machine {
 
             RFree { reg } => {
                 if let Reg::R(off) = reg {
-                    let mut store =
-                        CtableBacking { mem: &mut self.mem, map: &mut self.backing };
+                    let mut store = CtableBacking {
+                        mem: &mut self.mem,
+                        map: &mut self.backing,
+                    };
                     self.regfile.free_reg(RegAddr::new(cid, off), &mut store);
                 }
                 self.advance(1);
@@ -639,7 +674,10 @@ impl Machine {
 
     /// Frees a dead context everywhere: register file, Ctable, CID pool.
     fn release_context(&mut self, cid: Cid) {
-        let mut store = CtableBacking { mem: &mut self.mem, map: &mut self.backing };
+        let mut store = CtableBacking {
+            mem: &mut self.mem,
+            map: &mut self.backing,
+        };
         self.regfile.free_context(cid, &mut store);
         self.mem.ctable_mut().unmap(cid);
         self.sched.free_cid(cid);
@@ -690,7 +728,10 @@ mod tests {
 
     fn run_asm(src: &str) -> RunReport {
         let p = assemble(src).expect("assembles");
-        Machine::new(p, SimConfig::default()).unwrap().run().unwrap()
+        Machine::new(p, SimConfig::default())
+            .unwrap()
+            .run()
+            .unwrap()
     }
 
     fn run_asm_peek(src: &str, addr: Addr) -> (RunReport, Word) {
@@ -805,7 +846,11 @@ mod tests {
         );
         assert_eq!(v, 99);
         // The remote round trip must show up in execution time.
-        assert!(r.cycles >= 100, "cycles {} must include remote latency", r.cycles);
+        assert!(
+            r.cycles >= 100,
+            "cycles {} must include remote latency",
+            r.cycles
+        );
         assert!(r.idle_cycles > 0, "single thread idles while waiting");
     }
 
@@ -838,31 +883,46 @@ mod tests {
     #[test]
     fn deadlock_detected() {
         let p = assemble("main: chnew r0\n chrecv r1, r0\n halt").unwrap();
-        let err = Machine::new(p, SimConfig::default()).unwrap().run().unwrap_err();
+        let err = Machine::new(p, SimConfig::default())
+            .unwrap()
+            .run()
+            .unwrap_err();
         assert!(matches!(err, SimError::Deadlock { .. }));
     }
 
     #[test]
     fn read_undefined_register_reported() {
         let p = assemble("main: add r0, r1, r2\n halt").unwrap();
-        let err = Machine::new(p, SimConfig::default()).unwrap().run().unwrap_err();
+        let err = Machine::new(p, SimConfig::default())
+            .unwrap()
+            .run()
+            .unwrap_err();
         assert!(matches!(
             err,
-            SimError::RegFile { source: RegFileError::ReadUndefined(_), .. }
+            SimError::RegFile {
+                source: RegFileError::ReadUndefined(_),
+                ..
+            }
         ));
     }
 
     #[test]
     fn bad_channel_reported() {
         let p = assemble("main: li r0, 77\n chsend r0, r0\n halt").unwrap();
-        let err = Machine::new(p, SimConfig::default()).unwrap().run().unwrap_err();
+        let err = Machine::new(p, SimConfig::default())
+            .unwrap()
+            .run()
+            .unwrap_err();
         assert!(matches!(err, SimError::BadChannel { id: 77 }));
     }
 
     #[test]
     fn instruction_budget_enforced() {
         let p = assemble("main: jmp main").unwrap();
-        let cfg = SimConfig { max_instructions: 1000, ..Default::default() };
+        let cfg = SimConfig {
+            max_instructions: 1000,
+            ..Default::default()
+        };
         let err = Machine::new(p, cfg).unwrap().run().unwrap_err();
         assert!(matches!(err, SimError::MaxInstructions { limit: 1000 }));
     }
@@ -942,7 +1002,10 @@ mod tests {
                 sw r8, (r7)
                 halt";
         let p = assemble(src).unwrap();
-        let cfg = SimConfig { channel_capacity: Some(1), ..Default::default() };
+        let cfg = SimConfig {
+            channel_capacity: Some(1),
+            ..Default::default()
+        };
         let mut m = Machine::new(p, cfg).unwrap();
         let r = m.run_and_keep().unwrap();
         for i in 0..8u32 {
@@ -983,7 +1046,10 @@ mod tests {
             .unwrap()
             .run()
             .unwrap();
-        let cfg = SimConfig { quantum: Some(16), ..Default::default() };
+        let cfg = SimConfig {
+            quantum: Some(16),
+            ..Default::default()
+        };
         let interleaved = Machine::new(p, cfg).unwrap().run().unwrap();
         assert!(
             interleaved.thread_switches > blocked.thread_switches + 10,
@@ -1018,7 +1084,10 @@ mod tests {
                 halt",
         )
         .unwrap();
-        let r = Machine::new(p, SimConfig::default()).unwrap().run().unwrap();
+        let r = Machine::new(p, SimConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(r.thread_instructions.len(), 3, "main + two children");
         assert_eq!(
             r.thread_instructions.iter().sum::<u64>(),
@@ -1031,7 +1100,10 @@ mod tests {
     #[test]
     fn trace_records_recent_instructions() {
         let p = assemble("main: li r0, 1\n addi r0, r0, 1\n addi r0, r0, 2\n halt").unwrap();
-        let cfg = SimConfig { trace_depth: 2, ..Default::default() };
+        let cfg = SimConfig {
+            trace_depth: 2,
+            ..Default::default()
+        };
         let mut m = Machine::new(p, cfg).unwrap();
         m.run_and_keep().unwrap();
         let entries: Vec<_> = m.trace().entries().copied().collect();

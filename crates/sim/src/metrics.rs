@@ -6,7 +6,7 @@ use nsf_mem::CacheStats;
 
 /// Occupancy averages accumulated by periodic sampling (the paper samples
 /// "active registers" and "resident contexts" over the whole run).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OccupancySummary {
     /// Number of samples taken.
     pub samples: u64,
@@ -50,7 +50,7 @@ impl OccupancySummary {
 }
 
 /// Everything measured over one program run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunReport {
     /// Which register file ran (human readable).
     pub regfile_desc: String,
@@ -171,8 +171,14 @@ mod tests {
     #[test]
     fn occupancy_averaging() {
         let mut s = OccupancySummary::default();
-        s.record(Occupancy { valid_regs: 10, resident_contexts: 2 });
-        s.record(Occupancy { valid_regs: 20, resident_contexts: 4 });
+        s.record(Occupancy {
+            valid_regs: 10,
+            resident_contexts: 2,
+        });
+        s.record(Occupancy {
+            valid_regs: 20,
+            resident_contexts: 4,
+        });
         assert_eq!(s.avg_valid_regs(), 15.0);
         assert_eq!(s.avg_contexts(), 3.0);
         assert_eq!(s.max_valid_regs, 20);
@@ -190,7 +196,10 @@ mod tests {
         };
         r.regfile.regs_reloaded = 10;
         r.regfile.spill_reload_cycles = 200;
-        r.occupancy.record(Occupancy { valid_regs: 70, resident_contexts: 5 });
+        r.occupancy.record(Occupancy {
+            valid_regs: 70,
+            resident_contexts: 5,
+        });
         assert_eq!(r.instrs_per_switch(), 20.0);
         assert_eq!(r.reloads_per_instr(), 0.01);
         assert_eq!(r.utilization(), 0.7);

@@ -47,7 +47,10 @@ pub struct TraceBuffer {
 impl TraceBuffer {
     /// Creates a buffer holding at most `depth` entries (0 disables it).
     pub fn new(depth: usize) -> Self {
-        TraceBuffer { depth, ring: VecDeque::with_capacity(depth.min(4096)) }
+        TraceBuffer {
+            depth,
+            ring: VecDeque::with_capacity(depth.min(4096)),
+        }
     }
 
     /// Whether recording is enabled.
@@ -96,7 +99,13 @@ mod tests {
     use super::*;
 
     fn entry(cycle: u64) -> TraceEntry {
-        TraceEntry { cycle, tid: 0, cid: 1, pc: cycle as u32, inst: Inst::Nop }
+        TraceEntry {
+            cycle,
+            tid: 0,
+            cid: 1,
+            pc: cycle as u32,
+            inst: Inst::Nop,
+        }
     }
 
     #[test]

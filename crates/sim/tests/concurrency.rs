@@ -63,7 +63,11 @@ fn two_receivers_share_one_channel_without_losing_messages() {
             halt",
         &[7001, 7000],
     );
-    assert_eq!(vals[0], (10..16).sum::<u32>(), "all six payloads consumed once");
+    assert_eq!(
+        vals[0],
+        (10..16).sum::<u32>(),
+        "all six payloads consumed once"
+    );
     assert_eq!(vals[1], 0);
 }
 

@@ -29,7 +29,9 @@ enum Op {
 impl Op {
     fn all() -> [Op; 14] {
         use Op::*;
-        [Add, Sub, Mul, Div, Rem, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Seq]
+        [
+            Add, Sub, Mul, Div, Rem, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Seq,
+        ]
     }
 
     fn inst(self, rd: Reg, rs1: Reg, rs2: Reg) -> Inst {
@@ -60,10 +62,18 @@ impl Op {
             Op::Sub => x.wrapping_sub(y),
             Op::Mul => x.wrapping_mul(y),
             Op::Div => {
-                if ys == 0 { 0 } else { xs.wrapping_div(ys) as u32 }
+                if ys == 0 {
+                    0
+                } else {
+                    xs.wrapping_div(ys) as u32
+                }
             }
             Op::Rem => {
-                if ys == 0 { 0 } else { xs.wrapping_rem(ys) as u32 }
+                if ys == 0 {
+                    0
+                } else {
+                    xs.wrapping_rem(ys) as u32
+                }
             }
             Op::And => x & y,
             Op::Or => x | y,

@@ -40,28 +40,50 @@ fn build(steps: &[Step]) -> nsf_isa::Program {
     let mut b = ProgramBuilder::new();
     b.export("main");
     for i in 0..6u8 {
-        b.emit(Inst::Li { rd: r(i), imm: i32::from(i) * 3 + 1 });
+        b.emit(Inst::Li {
+            rd: r(i),
+            imm: i32::from(i) * 3 + 1,
+        });
     }
     b.load_const(r(7), OUT);
     for step in steps {
         match *step {
             Step::Add(d, a, c) => {
-                b.emit(Inst::Add { rd: r(d), rs1: r(a), rs2: r(c) });
+                b.emit(Inst::Add {
+                    rd: r(d),
+                    rs1: r(a),
+                    rs2: r(c),
+                });
             }
             Step::Xori(d, i) => {
-                b.emit(Inst::Xori { rd: r(d), rs1: r(d), imm: i32::from(i) });
+                b.emit(Inst::Xori {
+                    rd: r(d),
+                    rs1: r(d),
+                    imm: i32::from(i),
+                });
             }
             Step::Store(src, slot) => {
-                b.emit(Inst::Sw { base: r(7), src: r(src), imm: i32::from(slot) });
+                b.emit(Inst::Sw {
+                    base: r(7),
+                    src: r(src),
+                    imm: i32::from(slot),
+                });
             }
             Step::JunkNop => {
                 b.emit(Inst::Nop);
             }
             Step::JunkSelfMove(d) => {
-                b.emit(Inst::Mv { rd: r(d), rs1: r(d) });
+                b.emit(Inst::Mv {
+                    rd: r(d),
+                    rs1: r(d),
+                });
             }
             Step::JunkAddiZero(d) => {
-                b.emit(Inst::Addi { rd: r(d), rs1: r(d), imm: 0 });
+                b.emit(Inst::Addi {
+                    rd: r(d),
+                    rs1: r(d),
+                    imm: 0,
+                });
             }
             Step::JunkJumpNext => {
                 let l = b.new_label();
@@ -71,14 +93,22 @@ fn build(steps: &[Step]) -> nsf_isa::Program {
             Step::SkipOne(x) => {
                 let l = b.new_label();
                 b.beq(r(x), r(x), l);
-                b.emit(Inst::Xori { rd: r(x), rs1: r(x), imm: 0x55 }); // skipped
+                b.emit(Inst::Xori {
+                    rd: r(x),
+                    rs1: r(x),
+                    imm: 0x55,
+                }); // skipped
                 b.bind(l);
             }
         }
     }
     // Final dump of all six registers.
     for i in 0..6u8 {
-        b.emit(Inst::Sw { base: r(7), src: r(i), imm: 20 + i32::from(i) });
+        b.emit(Inst::Sw {
+            base: r(7),
+            src: r(i),
+            imm: 20 + i32::from(i),
+        });
     }
     b.emit(Inst::Halt);
     b.finish("main").expect("builds")

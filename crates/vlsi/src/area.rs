@@ -125,8 +125,7 @@ impl AreaModel {
     pub fn nsf(&self, geom: Geometry, ports: Ports) -> AreaBreakdown {
         let p = f64::from(ports.total());
         let cell_h = Self::cell_dim(ports);
-        let cam_width =
-            f64::from(geom.tag_bits) * (CAM_BIT_BASE + CAM_BIT_PORT * p) + CAM_DRIVER;
+        let cam_width = f64::from(geom.tag_bits) * (CAM_BIT_BASE + CAM_BIT_PORT * p) + CAM_DRIVER;
         let decode = f64::from(geom.rows) * cam_width * CAM_ROW_PITCH;
         let logic = f64::from(geom.rows)
             * (NSF_LOGIC_PER_REG * f64::from(geom.regs_per_row) + NSF_LOGIC_ROW_BASE)
@@ -224,7 +223,9 @@ mod tests {
     #[test]
     fn absolute_scale_is_plausible_for_1p2um() {
         // Paper Figure 7 shows totals of a few million µm².
-        let total = model().segmented(Geometry::g32x128(), Ports::three()).total_um2();
+        let total = model()
+            .segmented(Geometry::g32x128(), Ports::three())
+            .total_um2();
         assert!((1.0e6..=8.0e6).contains(&total), "{total}");
     }
 

@@ -13,12 +13,18 @@ impl Ports {
     /// The paper's baseline: two reads, one write (Figures 6 and 7, and
     /// the prototype chip).
     pub fn three() -> Self {
-        Ports { reads: 2, writes: 1 }
+        Ports {
+            reads: 2,
+            writes: 1,
+        }
     }
 
     /// The superscalar configuration of Figure 8: four reads, two writes.
     pub fn six() -> Self {
-        Ports { reads: 4, writes: 2 }
+        Ports {
+            reads: 4,
+            writes: 2,
+        }
     }
 
     /// Total port count.
@@ -52,12 +58,24 @@ pub struct Geometry {
 impl Geometry {
     /// 128 rows × 32 bits: single-register lines.
     pub fn g32x128() -> Self {
-        Geometry { rows: 128, bits_per_row: 32, regs_per_row: 1, tag_bits: 11, addr_bits: 7 }
+        Geometry {
+            rows: 128,
+            bits_per_row: 32,
+            regs_per_row: 1,
+            tag_bits: 11,
+            addr_bits: 7,
+        }
     }
 
     /// 64 rows × 64 bits: two-register lines.
     pub fn g64x64() -> Self {
-        Geometry { rows: 64, bits_per_row: 64, regs_per_row: 2, tag_bits: 10, addr_bits: 6 }
+        Geometry {
+            rows: 64,
+            bits_per_row: 64,
+            regs_per_row: 2,
+            tag_bits: 10,
+            addr_bits: 6,
+        }
     }
 
     /// The proof-of-concept prototype chip of the paper's Figure 5:
@@ -66,7 +84,13 @@ impl Geometry {
     /// reloads", fabricated in 2 µm CMOS with two read ports and one
     /// write port.
     pub fn prototype() -> Self {
-        Geometry { rows: 32, bits_per_row: 32, regs_per_row: 1, tag_bits: 10, addr_bits: 5 }
+        Geometry {
+            rows: 32,
+            bits_per_row: 32,
+            regs_per_row: 1,
+            tag_bits: 10,
+            addr_bits: 5,
+        }
     }
 
     /// Total data bits in the array.
@@ -88,7 +112,10 @@ mod tests {
     fn both_paper_geometries_hold_128_registers() {
         assert_eq!(Geometry::g32x128().total_regs(), 128);
         assert_eq!(Geometry::g64x64().total_regs(), 128);
-        assert_eq!(Geometry::g32x128().data_bits(), Geometry::g64x64().data_bits());
+        assert_eq!(
+            Geometry::g32x128().data_bits(),
+            Geometry::g64x64().data_bits()
+        );
     }
 
     #[test]

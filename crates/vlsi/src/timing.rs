@@ -103,9 +103,7 @@ impl TimingModel {
             decode_ns: DEC_FIXED
                 + DEC_PER_TAG_BIT * f64::from(geom.tag_bits)
                 + DEC_PER_ROW_NSF * f64::from(geom.rows),
-            word_select_ns: WS_FIXED
-                + WS_PER_BIT * f64::from(geom.bits_per_row)
-                + WS_NSF_COMBINE,
+            word_select_ns: WS_FIXED + WS_PER_BIT * f64::from(geom.bits_per_row) + WS_NSF_COMBINE,
             data_read_ns: RD_FIXED
                 + RD_PER_ROW * f64::from(geom.rows)
                 + RD_PER_BIT * f64::from(geom.bits_per_row),
@@ -174,7 +172,9 @@ mod tests {
     #[test]
     fn coarser_process_is_slower() {
         let t12 = model().nsf(Geometry::g32x128()).total_ns();
-        let t20 = TimingModel::new(Tech::cmos_2um()).nsf(Geometry::g32x128()).total_ns();
+        let t20 = TimingModel::new(Tech::cmos_2um())
+            .nsf(Geometry::g32x128())
+            .total_ns();
         assert!(t20 > t12 * 1.5);
     }
 }

@@ -66,45 +66,108 @@ pub fn build(scale: u32) -> Workload {
     b.export("main");
     b.load_const(r(0), THREADS as i32);
     b.load_const(r(1), join_addr);
-    b.emit(Inst::Sw { base: r(1), src: r(0), imm: 0 });
+    b.emit(Inst::Sw {
+        base: r(1),
+        src: r(0),
+        imm: 0,
+    });
     for k in 0..THREADS {
         b.load_const(r(2), k as i32);
         b.spawn(worker, r(2));
     }
     b.emit(Inst::SyncWait { base: r(1), imm: 0 });
     b.load_const(r(3), sum_addr);
-    b.emit(Inst::Lw { rd: r(4), base: r(3), imm: 0 });
+    b.emit(Inst::Lw {
+        rd: r(4),
+        base: r(3),
+        imm: 0,
+    });
     b.load_const(r(5), RESULT_BASE as i32);
-    b.emit(Inst::Sw { base: r(5), src: r(4), imm: 0 });
+    b.emit(Inst::Sw {
+        base: r(5),
+        src: r(4),
+        imm: 0,
+    });
     b.emit(Inst::Halt);
 
     // worker(k): sweep slice [k*chunk, (k+1)*chunk).
     b.bind(worker);
     b.export("worker");
-    b.emit(Inst::Mv { rd: r(0), rs1: nsf_isa::RV }); // k
+    b.emit(Inst::Mv {
+        rd: r(0),
+        rs1: nsf_isa::RV,
+    }); // k
     b.load_const(r(1), chunk);
-    b.emit(Inst::Mul { rd: r(2), rs1: r(0), rs2: r(1) }); // lo = running index
-    b.emit(Inst::Add { rd: r(3), rs1: r(2), rs2: r(1) }); // hi
+    b.emit(Inst::Mul {
+        rd: r(2),
+        rs1: r(0),
+        rs2: r(1),
+    }); // lo = running index
+    b.emit(Inst::Add {
+        rd: r(3),
+        rs1: r(2),
+        rs2: r(1),
+    }); // hi
     b.load_const(r(4), a_base);
-    b.emit(Inst::Add { rd: r(5), rs1: r(4), rs2: r(2) }); // ptr
-    b.emit(Inst::Add { rd: r(6), rs1: r(4), rs2: r(3) }); // end
+    b.emit(Inst::Add {
+        rd: r(5),
+        rs1: r(4),
+        rs2: r(2),
+    }); // ptr
+    b.emit(Inst::Add {
+        rd: r(6),
+        rs1: r(4),
+        rs2: r(3),
+    }); // end
     b.emit(Inst::Li { rd: r(7), imm: 0 }); // partial sum
     b.emit(Inst::Li { rd: r(8), imm: 3 }); // multiplier, live whole thread
     let loop_hdr = b.new_label();
     let loop_end = b.new_label();
     b.bind(loop_hdr);
     b.bge(r(5), r(6), loop_end);
-    b.emit(Inst::Lw { rd: r(10), base: r(5), imm: 0 });
-    b.emit(Inst::Mul { rd: r(11), rs1: r(10), rs2: r(8) });
-    b.emit(Inst::Add { rd: r(12), rs1: r(11), rs2: r(2) }); // + index
-    b.emit(Inst::Sw { base: r(5), src: r(12), imm: 0 });
-    b.emit(Inst::Add { rd: r(7), rs1: r(7), rs2: r(12) });
-    b.emit(Inst::Addi { rd: r(5), rs1: r(5), imm: 1 });
-    b.emit(Inst::Addi { rd: r(2), rs1: r(2), imm: 1 });
+    b.emit(Inst::Lw {
+        rd: r(10),
+        base: r(5),
+        imm: 0,
+    });
+    b.emit(Inst::Mul {
+        rd: r(11),
+        rs1: r(10),
+        rs2: r(8),
+    });
+    b.emit(Inst::Add {
+        rd: r(12),
+        rs1: r(11),
+        rs2: r(2),
+    }); // + index
+    b.emit(Inst::Sw {
+        base: r(5),
+        src: r(12),
+        imm: 0,
+    });
+    b.emit(Inst::Add {
+        rd: r(7),
+        rs1: r(7),
+        rs2: r(12),
+    });
+    b.emit(Inst::Addi {
+        rd: r(5),
+        rs1: r(5),
+        imm: 1,
+    });
+    b.emit(Inst::Addi {
+        rd: r(2),
+        rs1: r(2),
+        imm: 1,
+    });
     // Scheduling quantum: rotate threads every 256 elements, so the
     // resident-thread set actually cycles like on the paper's machine.
     let no_yield = b.new_label();
-    b.emit(Inst::Andi { rd: r(9), rs1: r(2), imm: 255 });
+    b.emit(Inst::Andi {
+        rd: r(9),
+        rs1: r(2),
+        imm: 255,
+    });
     b.emit(Inst::Li { rd: r(18), imm: 0 });
     b.bne(r(9), r(18), no_yield);
     b.emit(Inst::Yield);
@@ -114,11 +177,27 @@ pub fn build(scale: u32) -> Workload {
     // Fold into the shared sum (non-blocking RMW is atomic under block
     // multithreading), then join.
     b.load_const(r(13), sum_addr);
-    b.emit(Inst::Lw { rd: r(14), base: r(13), imm: 0 });
-    b.emit(Inst::Add { rd: r(15), rs1: r(14), rs2: r(7) });
-    b.emit(Inst::Sw { base: r(13), src: r(15), imm: 0 });
+    b.emit(Inst::Lw {
+        rd: r(14),
+        base: r(13),
+        imm: 0,
+    });
+    b.emit(Inst::Add {
+        rd: r(15),
+        rs1: r(14),
+        rs2: r(7),
+    });
+    b.emit(Inst::Sw {
+        base: r(13),
+        src: r(15),
+        imm: 0,
+    });
     b.load_const(r(16), join_addr);
-    b.emit(Inst::AmoAdd { rd: r(17), base: r(16), imm: -1 });
+    b.emit(Inst::AmoAdd {
+        rd: r(17),
+        base: r(16),
+        imm: -1,
+    });
     b.emit(Inst::Halt);
 
     let program = b.finish("main").expect("as_bench builds");

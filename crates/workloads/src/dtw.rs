@@ -24,15 +24,24 @@ const BLOCKS: u32 = 4;
 const INF: u32 = 0x3FFF_FFFF;
 
 struct Params {
-    n: u32,          // |X| (rows)
+    n: u32,            // |X| (rows)
     cols_per_blk: u32, // M = BLOCKS * cols_per_blk
 }
 
 fn params(scale: u32) -> Params {
     match scale {
-        0 => Params { n: 12, cols_per_blk: 4 },
-        1 => Params { n: 64, cols_per_blk: 16 },
-        s => Params { n: 64 * s, cols_per_blk: 16 },
+        0 => Params {
+            n: 12,
+            cols_per_blk: 4,
+        },
+        1 => Params {
+            n: 64,
+            cols_per_blk: 16,
+        },
+        s => Params {
+            n: 64 * s,
+            cols_per_blk: 16,
+        },
     }
 }
 
@@ -93,11 +102,19 @@ pub fn build(scale: u32) -> Workload {
     b.export("main");
     b.load_const(r(0), BLOCKS as i32);
     b.load_const(r(1), join_addr);
-    b.emit(Inst::Sw { base: r(1), src: r(0), imm: 0 });
+    b.emit(Inst::Sw {
+        base: r(1),
+        src: r(0),
+        imm: 0,
+    });
     b.load_const(r(2), chans_base);
     for k in 0..=BLOCKS {
         b.emit(Inst::ChNew { rd: r(3) });
-        b.emit(Inst::Sw { base: r(2), src: r(3), imm: k as i32 });
+        b.emit(Inst::Sw {
+            base: r(2),
+            src: r(3),
+            imm: k as i32,
+        });
     }
     for k in 0..BLOCKS {
         b.load_const(r(4), k as i32);
@@ -105,23 +122,58 @@ pub fn build(scale: u32) -> Workload {
     }
     b.emit(Inst::SyncWait { base: r(1), imm: 0 });
     b.load_const(r(5), d_base + n * stride + m);
-    b.emit(Inst::Lw { rd: r(6), base: r(5), imm: 0 });
+    b.emit(Inst::Lw {
+        rd: r(6),
+        base: r(5),
+        imm: 0,
+    });
     b.load_const(r(7), RESULT_BASE as i32);
-    b.emit(Inst::Sw { base: r(7), src: r(6), imm: 0 });
+    b.emit(Inst::Sw {
+        base: r(7),
+        src: r(6),
+        imm: 0,
+    });
     b.emit(Inst::Halt);
 
     // worker(k): pipeline stage over columns [1+k*CB, 1+(k+1)*CB).
     b.bind(worker);
     b.export("dtw_block");
-    b.emit(Inst::Mv { rd: r(0), rs1: nsf_isa::RV }); // k
+    b.emit(Inst::Mv {
+        rd: r(0),
+        rs1: nsf_isa::RV,
+    }); // k
     b.load_const(r(1), chans_base);
-    b.emit(Inst::Add { rd: r(2), rs1: r(1), rs2: r(0) });
-    b.emit(Inst::Lw { rd: r(3), base: r(2), imm: 0 }); // my channel
-    b.emit(Inst::Lw { rd: r(4), base: r(2), imm: 1 }); // next channel
+    b.emit(Inst::Add {
+        rd: r(2),
+        rs1: r(1),
+        rs2: r(0),
+    });
+    b.emit(Inst::Lw {
+        rd: r(3),
+        base: r(2),
+        imm: 0,
+    }); // my channel
+    b.emit(Inst::Lw {
+        rd: r(4),
+        base: r(2),
+        imm: 1,
+    }); // next channel
     b.load_const(r(5), p.cols_per_blk as i32);
-    b.emit(Inst::Mul { rd: r(6), rs1: r(0), rs2: r(5) });
-    b.emit(Inst::Addi { rd: r(6), rs1: r(6), imm: 1 }); // j_lo
-    b.emit(Inst::Add { rd: r(7), rs1: r(6), rs2: r(5) }); // j_hi
+    b.emit(Inst::Mul {
+        rd: r(6),
+        rs1: r(0),
+        rs2: r(5),
+    });
+    b.emit(Inst::Addi {
+        rd: r(6),
+        rs1: r(6),
+        imm: 1,
+    }); // j_lo
+    b.emit(Inst::Add {
+        rd: r(7),
+        rs1: r(6),
+        rs2: r(5),
+    }); // j_hi
     b.load_const(r(8), d_base);
     b.load_const(r(9), stride);
     b.load_const(r(10), x_base);
@@ -137,14 +189,40 @@ pub fn build(scale: u32) -> Workload {
     // left neighbour's row token.
     b.emit(Inst::Li { rd: r(14), imm: 0 });
     b.beq(r(0), r(14), no_recv);
-    b.emit(Inst::ChRecv { rd: r(15), chan: r(3) });
+    b.emit(Inst::ChRecv {
+        rd: r(15),
+        chan: r(3),
+    });
     b.bind(no_recv);
-    b.emit(Inst::Add { rd: r(16), rs1: r(10), rs2: r(12) });
-    b.emit(Inst::Lw { rd: r(16), base: r(16), imm: -1 }); // xi
-    b.emit(Inst::Mul { rd: r(17), rs1: r(12), rs2: r(9) });
-    b.emit(Inst::Add { rd: r(17), rs1: r(17), rs2: r(8) }); // row base
-    b.emit(Inst::Sub { rd: r(18), rs1: r(17), rs2: r(9) }); // prev row base
-    b.emit(Inst::Mv { rd: r(19), rs1: r(6) }); // j
+    b.emit(Inst::Add {
+        rd: r(16),
+        rs1: r(10),
+        rs2: r(12),
+    });
+    b.emit(Inst::Lw {
+        rd: r(16),
+        base: r(16),
+        imm: -1,
+    }); // xi
+    b.emit(Inst::Mul {
+        rd: r(17),
+        rs1: r(12),
+        rs2: r(9),
+    });
+    b.emit(Inst::Add {
+        rd: r(17),
+        rs1: r(17),
+        rs2: r(8),
+    }); // row base
+    b.emit(Inst::Sub {
+        rd: r(18),
+        rs1: r(17),
+        rs2: r(9),
+    }); // prev row base
+    b.emit(Inst::Mv {
+        rd: r(19),
+        rs1: r(6),
+    }); // j
     let col_loop = b.new_label();
     let col_done = b.new_label();
     let abs_pos = b.new_label();
@@ -152,42 +230,110 @@ pub fn build(scale: u32) -> Workload {
     let min_2 = b.new_label();
     b.bind(col_loop);
     b.bge(r(19), r(7), col_done);
-    b.emit(Inst::Add { rd: r(20), rs1: r(11), rs2: r(19) });
-    b.emit(Inst::Lw { rd: r(20), base: r(20), imm: -1 }); // yj
-    b.emit(Inst::Sub { rd: r(21), rs1: r(16), rs2: r(20) }); // xi - yj
+    b.emit(Inst::Add {
+        rd: r(20),
+        rs1: r(11),
+        rs2: r(19),
+    });
+    b.emit(Inst::Lw {
+        rd: r(20),
+        base: r(20),
+        imm: -1,
+    }); // yj
+    b.emit(Inst::Sub {
+        rd: r(21),
+        rs1: r(16),
+        rs2: r(20),
+    }); // xi - yj
     b.emit(Inst::Li { rd: r(22), imm: 0 });
     b.bge(r(21), r(22), abs_pos);
-    b.emit(Inst::Sub { rd: r(21), rs1: r(22), rs2: r(21) });
+    b.emit(Inst::Sub {
+        rd: r(21),
+        rs1: r(22),
+        rs2: r(21),
+    });
     b.bind(abs_pos);
-    b.emit(Inst::Add { rd: r(23), rs1: r(18), rs2: r(19) });
-    b.emit(Inst::Lw { rd: r(24), base: r(23), imm: 0 }); // up
-    b.emit(Inst::Lw { rd: r(25), base: r(23), imm: -1 }); // diag
-    b.emit(Inst::Add { rd: r(26), rs1: r(17), rs2: r(19) });
-    b.emit(Inst::Lw { rd: r(27), base: r(26), imm: -1 }); // left
-    // best = min(up, diag, left)
-    b.emit(Inst::Mv { rd: r(28), rs1: r(24) });
+    b.emit(Inst::Add {
+        rd: r(23),
+        rs1: r(18),
+        rs2: r(19),
+    });
+    b.emit(Inst::Lw {
+        rd: r(24),
+        base: r(23),
+        imm: 0,
+    }); // up
+    b.emit(Inst::Lw {
+        rd: r(25),
+        base: r(23),
+        imm: -1,
+    }); // diag
+    b.emit(Inst::Add {
+        rd: r(26),
+        rs1: r(17),
+        rs2: r(19),
+    });
+    b.emit(Inst::Lw {
+        rd: r(27),
+        base: r(26),
+        imm: -1,
+    }); // left
+        // best = min(up, diag, left)
+    b.emit(Inst::Mv {
+        rd: r(28),
+        rs1: r(24),
+    });
     b.blt(r(28), r(25), min_1);
-    b.emit(Inst::Mv { rd: r(28), rs1: r(25) });
+    b.emit(Inst::Mv {
+        rd: r(28),
+        rs1: r(25),
+    });
     b.bind(min_1);
     b.blt(r(28), r(27), min_2);
-    b.emit(Inst::Mv { rd: r(28), rs1: r(27) });
+    b.emit(Inst::Mv {
+        rd: r(28),
+        rs1: r(27),
+    });
     b.bind(min_2);
-    b.emit(Inst::Add { rd: r(29), rs1: r(28), rs2: r(21) });
-    b.emit(Inst::Sw { base: r(26), src: r(29), imm: 0 });
-    b.emit(Inst::Addi { rd: r(19), rs1: r(19), imm: 1 });
+    b.emit(Inst::Add {
+        rd: r(29),
+        rs1: r(28),
+        rs2: r(21),
+    });
+    b.emit(Inst::Sw {
+        base: r(26),
+        src: r(29),
+        imm: 0,
+    });
+    b.emit(Inst::Addi {
+        rd: r(19),
+        rs1: r(19),
+        imm: 1,
+    });
     b.jmp(col_loop);
     b.bind(col_done);
     // Pass the row token to the right neighbour (the last block's tokens
     // accumulate unread in the terminal channel).
-    b.emit(Inst::ChSend { chan: r(4), src: r(12) });
+    b.emit(Inst::ChSend {
+        chan: r(4),
+        src: r(12),
+    });
     // End of the row activation: yield the processor, TAM-style, so the
     // pipeline actually interleaves (a sender never blocks otherwise).
     b.emit(Inst::Yield);
-    b.emit(Inst::Addi { rd: r(12), rs1: r(12), imm: 1 });
+    b.emit(Inst::Addi {
+        rd: r(12),
+        rs1: r(12),
+        imm: 1,
+    });
     b.jmp(row_loop);
     b.bind(done);
     b.load_const(r(30), join_addr);
-    b.emit(Inst::AmoAdd { rd: r(31), base: r(30), imm: -1 });
+    b.emit(Inst::AmoAdd {
+        rd: r(31),
+        base: r(30),
+        imm: -1,
+    });
     b.emit(Inst::Halt);
 
     let program = b.finish("main").expect("dtw builds");

@@ -83,7 +83,11 @@ pub fn build(scale: u32) -> Workload {
     b.export("main");
     b.load_const(r(0), p.particles as i32);
     b.load_const(r(1), join_addr);
-    b.emit(Inst::Sw { base: r(1), src: r(0), imm: 0 });
+    b.emit(Inst::Sw {
+        base: r(1),
+        src: r(0),
+        imm: 0,
+    });
     for seed in seeds(&p) {
         b.load_const(r(2), seed as i32);
         b.spawn(particle, r(2));
@@ -98,21 +102,48 @@ pub fn build(scale: u32) -> Workload {
     let sum_end = b.new_label();
     b.bind(sum_hdr);
     b.bge(r(5), r(6), sum_end);
-    b.emit(Inst::Add { rd: r(8), rs1: r(3), rs2: r(5) });
-    b.emit(Inst::Lw { rd: r(9), base: r(8), imm: 0 });
-    b.emit(Inst::Mul { rd: r(4), rs1: r(4), rs2: r(7) });
-    b.emit(Inst::Add { rd: r(4), rs1: r(4), rs2: r(9) });
-    b.emit(Inst::Addi { rd: r(5), rs1: r(5), imm: 1 });
+    b.emit(Inst::Add {
+        rd: r(8),
+        rs1: r(3),
+        rs2: r(5),
+    });
+    b.emit(Inst::Lw {
+        rd: r(9),
+        base: r(8),
+        imm: 0,
+    });
+    b.emit(Inst::Mul {
+        rd: r(4),
+        rs1: r(4),
+        rs2: r(7),
+    });
+    b.emit(Inst::Add {
+        rd: r(4),
+        rs1: r(4),
+        rs2: r(9),
+    });
+    b.emit(Inst::Addi {
+        rd: r(5),
+        rs1: r(5),
+        imm: 1,
+    });
     b.jmp(sum_hdr);
     b.bind(sum_end);
     b.load_const(r(10), RESULT_BASE as i32);
-    b.emit(Inst::Sw { base: r(10), src: r(4), imm: 0 });
+    b.emit(Inst::Sw {
+        base: r(10),
+        src: r(4),
+        imm: 0,
+    });
     b.emit(Inst::Halt);
 
     // particle(seed): bounce until absorbed or MAX_BOUNCES.
     b.bind(particle);
     b.export("particle");
-    b.emit(Inst::Mv { rd: r(0), rs1: nsf_isa::RV }); // x = seed
+    b.emit(Inst::Mv {
+        rd: r(0),
+        rs1: nsf_isa::RV,
+    }); // x = seed
     b.load_const(r(1), tally_base);
     b.load_const(r(2), xsec_base);
     b.load_const(r(3), CELLS as i32);
@@ -126,22 +157,70 @@ pub fn build(scale: u32) -> Workload {
     let absorbed = b.new_label();
     b.bind(bounce);
     b.bge(r(4), r(5), absorbed);
-    b.emit(Inst::Mul { rd: r(0), rs1: r(0), rs2: r(7) });
-    b.emit(Inst::Add { rd: r(0), rs1: r(0), rs2: r(8) });
-    b.emit(Inst::Srli { rd: r(10), rs1: r(0), imm: 5 });
-    b.emit(Inst::Rem { rd: r(11), rs1: r(10), rs2: r(3) }); // cell
-    b.emit(Inst::Add { rd: r(12), rs1: r(1), rs2: r(11) });
-    b.emit(Inst::AmoAdd { rd: r(13), base: r(12), imm: 1 }); // score
-    b.emit(Inst::Add { rd: r(14), rs1: r(2), rs2: r(11) });
+    b.emit(Inst::Mul {
+        rd: r(0),
+        rs1: r(0),
+        rs2: r(7),
+    });
+    b.emit(Inst::Add {
+        rd: r(0),
+        rs1: r(0),
+        rs2: r(8),
+    });
+    b.emit(Inst::Srli {
+        rd: r(10),
+        rs1: r(0),
+        imm: 5,
+    });
+    b.emit(Inst::Rem {
+        rd: r(11),
+        rs1: r(10),
+        rs2: r(3),
+    }); // cell
+    b.emit(Inst::Add {
+        rd: r(12),
+        rs1: r(1),
+        rs2: r(11),
+    });
+    b.emit(Inst::AmoAdd {
+        rd: r(13),
+        base: r(12),
+        imm: 1,
+    }); // score
+    b.emit(Inst::Add {
+        rd: r(14),
+        rs1: r(2),
+        rs2: r(11),
+    });
     // Cross-section lives on a remote node: round trip + switch.
-    b.emit(Inst::LwRemote { rd: r(15), base: r(14), imm: 0 });
-    b.emit(Inst::Srli { rd: r(16), rs1: r(0), imm: 11 });
-    b.emit(Inst::Rem { rd: r(17), rs1: r(16), rs2: r(9) }); // roll
+    b.emit(Inst::LwRemote {
+        rd: r(15),
+        base: r(14),
+        imm: 0,
+    });
+    b.emit(Inst::Srli {
+        rd: r(16),
+        rs1: r(0),
+        imm: 11,
+    });
+    b.emit(Inst::Rem {
+        rd: r(17),
+        rs1: r(16),
+        rs2: r(9),
+    }); // roll
     b.blt(r(17), r(15), absorbed);
-    b.emit(Inst::Addi { rd: r(4), rs1: r(4), imm: 1 });
+    b.emit(Inst::Addi {
+        rd: r(4),
+        rs1: r(4),
+        imm: 1,
+    });
     b.jmp(bounce);
     b.bind(absorbed);
-    b.emit(Inst::AmoAdd { rd: r(18), base: r(6), imm: -1 });
+    b.emit(Inst::AmoAdd {
+        rd: r(18),
+        base: r(6),
+        imm: -1,
+    });
     b.emit(Inst::Halt);
 
     let program = b.finish("main").expect("gamteb builds");

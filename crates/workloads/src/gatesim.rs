@@ -34,9 +34,21 @@ struct Params {
 
 fn params(scale: u32) -> Params {
     match scale {
-        0 => Params { gates: 24, inputs: 8, steps: 4 },
-        1 => Params { gates: 120, inputs: 16, steps: 40 },
-        n => Params { gates: 120 * n, inputs: 16, steps: 40 * n },
+        0 => Params {
+            gates: 24,
+            inputs: 8,
+            steps: 4,
+        },
+        1 => Params {
+            gates: 120,
+            inputs: 16,
+            steps: 40,
+        },
+        n => Params {
+            gates: 120 * n,
+            inputs: 16,
+            steps: 40 * n,
+        },
     }
 }
 
@@ -50,7 +62,11 @@ fn netlist(p: &Params) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
         x = lcg(x);
         // Roughly one gate in eight is a latch (state element); the rest
         // are combinational.
-        ops.push(if (x >> 21).is_multiple_of(8) { 4 } else { (x >> 13) & 3 });
+        ops.push(if (x >> 21).is_multiple_of(8) {
+            4
+        } else {
+            (x >> 13) & 3
+        });
         // Inputs come from primary inputs or earlier gates only; bias
         // toward recent gates so fan-in cones grow deep.
         let pool = p.inputs + g;
@@ -301,7 +317,10 @@ pub fn build_with_hints(scale: u32, free_hints: bool) -> Workload {
         .with(load_inputs)
         .with(update_latches)
         .with(eval);
-    let opts = CompileOpts { free_hints, ..Default::default() };
+    let opts = CompileOpts {
+        free_hints,
+        ..Default::default()
+    };
     let program = compile(&module, "main", opts).expect("gatesim compiles");
 
     let (ops, in1, in2) = netlist(&p);

@@ -26,6 +26,16 @@ pub struct Workload {
     pub check: Check,
 }
 
+/// The sweep runner in `nsf-bench` shares built workloads by reference
+/// across worker threads, so a [`Workload`] must stay `Send + Sync`
+/// (the [`Check`] closure is the only part that could regress — it is
+/// explicitly bounded above). This assertion fails to compile if a
+/// non-thread-safe field is ever added.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Workload>();
+};
+
 impl fmt::Debug for Workload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Workload")

@@ -30,7 +30,6 @@
 //! register file bugs cannot hide behind plausible-looking statistics.
 
 pub mod as_bench;
-pub mod util;
 pub mod dtw;
 pub mod gamteb;
 pub mod gatesim;
@@ -39,6 +38,7 @@ pub mod paraffins;
 pub mod quicksort;
 pub mod rtlsim;
 pub mod synth;
+pub mod util;
 pub mod wavefront;
 pub mod zipfile;
 
@@ -62,7 +62,11 @@ pub fn paper_suite(scale: u32) -> Vec<Workload> {
 
 /// The three sequential benchmarks.
 pub fn sequential_suite(scale: u32) -> Vec<Workload> {
-    vec![gatesim::build(scale), rtlsim::build(scale), zipfile::build(scale)]
+    vec![
+        gatesim::build(scale),
+        rtlsim::build(scale),
+        zipfile::build(scale),
+    ]
 }
 
 /// The six parallel benchmarks.

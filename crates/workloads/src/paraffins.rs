@@ -36,7 +36,9 @@ fn params(scale: u32) -> Params {
     match scale {
         0 => Params { n_max: 8 },
         1 => Params { n_max: 12 },
-        s => Params { n_max: (12 + s).min(20) },
+        s => Params {
+            n_max: (12 + s).min(20),
+        },
     }
 }
 
@@ -106,7 +108,11 @@ pub fn build(scale: u32) -> Workload {
     b.export("main");
     b.load_const(r(0), n_max as i32);
     b.load_const(r(1), join_addr);
-    b.emit(Inst::Sw { base: r(1), src: r(0), imm: 0 });
+    b.emit(Inst::Sw {
+        base: r(1),
+        src: r(0),
+        imm: 0,
+    });
     for (idx, w) in size_workers.iter().enumerate() {
         b.load_const(r(2), idx as i32 + 1);
         b.spawn(*w, r(2));
@@ -126,7 +132,11 @@ pub fn build(scale: u32) -> Workload {
         // TERM_JOIN[n] = #terms, then spawn each term thread.
         b.load_const(r(1), tjoin_base + n as i32);
         b.load_const(r(2), terms.len() as i32);
-        b.emit(Inst::Sw { base: r(1), src: r(2), imm: 0 });
+        b.emit(Inst::Sw {
+            base: r(1),
+            src: r(2),
+            imm: 0,
+        });
         for t in terms {
             b.emit(Inst::Li { rd: r(3), imm: 0 });
             b.spawn(*t, r(3));
@@ -135,9 +145,17 @@ pub fn build(scale: u32) -> Workload {
         // READY[n] = 0; join main.
         b.load_const(r(4), ready_base + n as i32);
         b.emit(Inst::Li { rd: r(5), imm: 0 });
-        b.emit(Inst::Sw { base: r(4), src: r(5), imm: 0 });
+        b.emit(Inst::Sw {
+            base: r(4),
+            src: r(5),
+            imm: 0,
+        });
         b.load_const(r(6), join_addr);
-        b.emit(Inst::AmoAdd { rd: r(7), base: r(6), imm: -1 });
+        b.emit(Inst::AmoAdd {
+            rd: r(7),
+            base: r(6),
+            imm: -1,
+        });
         b.emit(Inst::Halt);
     }
 
@@ -151,38 +169,126 @@ pub fn build(scale: u32) -> Workload {
             b.load_const(r(0), r_base);
             // Radical table entries live on remote heap nodes: each
             // fetch blocks (the paper's fine-grain behaviour).
-            b.emit(Inst::LwRemote { rd: r(1), base: r(0), imm: i as i32 });
-            b.emit(Inst::LwRemote { rd: r(2), base: r(0), imm: j as i32 });
-            b.emit(Inst::LwRemote { rd: r(3), base: r(0), imm: k as i32 });
+            b.emit(Inst::LwRemote {
+                rd: r(1),
+                base: r(0),
+                imm: i as i32,
+            });
+            b.emit(Inst::LwRemote {
+                rd: r(2),
+                base: r(0),
+                imm: j as i32,
+            });
+            b.emit(Inst::LwRemote {
+                rd: r(3),
+                base: r(0),
+                imm: k as i32,
+            });
             // Term value into r7 (locals r4-r6 are scratch, never reused).
             if i == j && j == k {
-                b.emit(Inst::Addi { rd: r(4), rs1: r(1), imm: 1 });
-                b.emit(Inst::Addi { rd: r(5), rs1: r(1), imm: 2 });
-                b.emit(Inst::Mul { rd: r(7), rs1: r(1), rs2: r(4) });
-                b.emit(Inst::Mul { rd: r(7), rs1: r(7), rs2: r(5) });
+                b.emit(Inst::Addi {
+                    rd: r(4),
+                    rs1: r(1),
+                    imm: 1,
+                });
+                b.emit(Inst::Addi {
+                    rd: r(5),
+                    rs1: r(1),
+                    imm: 2,
+                });
+                b.emit(Inst::Mul {
+                    rd: r(7),
+                    rs1: r(1),
+                    rs2: r(4),
+                });
+                b.emit(Inst::Mul {
+                    rd: r(7),
+                    rs1: r(7),
+                    rs2: r(5),
+                });
                 b.emit(Inst::Li { rd: r(6), imm: 6 });
-                b.emit(Inst::Div { rd: r(7), rs1: r(7), rs2: r(6) });
+                b.emit(Inst::Div {
+                    rd: r(7),
+                    rs1: r(7),
+                    rs2: r(6),
+                });
             } else if i == j {
-                b.emit(Inst::Addi { rd: r(4), rs1: r(1), imm: 1 });
-                b.emit(Inst::Mul { rd: r(7), rs1: r(1), rs2: r(4) });
-                b.emit(Inst::Srli { rd: r(7), rs1: r(7), imm: 1 });
-                b.emit(Inst::Mul { rd: r(7), rs1: r(7), rs2: r(3) });
+                b.emit(Inst::Addi {
+                    rd: r(4),
+                    rs1: r(1),
+                    imm: 1,
+                });
+                b.emit(Inst::Mul {
+                    rd: r(7),
+                    rs1: r(1),
+                    rs2: r(4),
+                });
+                b.emit(Inst::Srli {
+                    rd: r(7),
+                    rs1: r(7),
+                    imm: 1,
+                });
+                b.emit(Inst::Mul {
+                    rd: r(7),
+                    rs1: r(7),
+                    rs2: r(3),
+                });
             } else if j == k {
-                b.emit(Inst::Addi { rd: r(4), rs1: r(2), imm: 1 });
-                b.emit(Inst::Mul { rd: r(7), rs1: r(2), rs2: r(4) });
-                b.emit(Inst::Srli { rd: r(7), rs1: r(7), imm: 1 });
-                b.emit(Inst::Mul { rd: r(7), rs1: r(7), rs2: r(1) });
+                b.emit(Inst::Addi {
+                    rd: r(4),
+                    rs1: r(2),
+                    imm: 1,
+                });
+                b.emit(Inst::Mul {
+                    rd: r(7),
+                    rs1: r(2),
+                    rs2: r(4),
+                });
+                b.emit(Inst::Srli {
+                    rd: r(7),
+                    rs1: r(7),
+                    imm: 1,
+                });
+                b.emit(Inst::Mul {
+                    rd: r(7),
+                    rs1: r(7),
+                    rs2: r(1),
+                });
             } else {
-                b.emit(Inst::Mul { rd: r(7), rs1: r(1), rs2: r(2) });
-                b.emit(Inst::Mul { rd: r(7), rs1: r(7), rs2: r(3) });
+                b.emit(Inst::Mul {
+                    rd: r(7),
+                    rs1: r(1),
+                    rs2: r(2),
+                });
+                b.emit(Inst::Mul {
+                    rd: r(7),
+                    rs1: r(7),
+                    rs2: r(3),
+                });
             }
             // r[n] += term. The load/add/store triplet cannot be torn:
             // block multithreading switches only at blocking points.
-            b.emit(Inst::Lw { rd: r(8), base: r(0), imm: n as i32 });
-            b.emit(Inst::Add { rd: r(9), rs1: r(8), rs2: r(7) });
-            b.emit(Inst::Sw { base: r(0), src: r(9), imm: n as i32 });
+            b.emit(Inst::Lw {
+                rd: r(8),
+                base: r(0),
+                imm: n as i32,
+            });
+            b.emit(Inst::Add {
+                rd: r(9),
+                rs1: r(8),
+                rs2: r(7),
+            });
+            b.emit(Inst::Sw {
+                base: r(0),
+                src: r(9),
+                imm: n as i32,
+            });
             b.load_const(r(10), tjoin_base + n as i32);
-            b.emit(Inst::AmoAdd { rd: r(11), base: r(10), imm: -1 });
+            b.emit(Inst::AmoAdd {
+                rd: r(11),
+                base: r(10),
+                imm: -1,
+            });
             b.emit(Inst::Halt);
         }
     }

@@ -56,9 +56,17 @@ pub fn build(scale: u32) -> Workload {
     b.export("main");
     b.load_const(r(0), arena_base);
     b.emit(Inst::Li { rd: r(1), imm: 0 });
-    b.emit(Inst::Sw { base: r(0), src: r(1), imm: 0 }); // lo = 0
+    b.emit(Inst::Sw {
+        base: r(0),
+        src: r(1),
+        imm: 0,
+    }); // lo = 0
     b.load_const(r(2), p.n as i32);
-    b.emit(Inst::Sw { base: r(0), src: r(2), imm: 1 }); // hi = n
+    b.emit(Inst::Sw {
+        base: r(0),
+        src: r(2),
+        imm: 1,
+    }); // hi = n
     b.spawn(task, r(0));
     b.load_const(r(3), open_addr);
     b.emit(Inst::SyncWait { base: r(3), imm: 0 });
@@ -67,9 +75,20 @@ pub fn build(scale: u32) -> Workload {
     // task(desc): partition loop with child spawns.
     b.bind(task);
     b.export("qsort_task");
-    b.emit(Inst::Mv { rd: r(0), rs1: nsf_isa::RV }); // desc
-    b.emit(Inst::Lw { rd: r(1), base: r(0), imm: 0 }); // lo
-    b.emit(Inst::Lw { rd: r(2), base: r(0), imm: 1 }); // hi
+    b.emit(Inst::Mv {
+        rd: r(0),
+        rs1: nsf_isa::RV,
+    }); // desc
+    b.emit(Inst::Lw {
+        rd: r(1),
+        base: r(0),
+        imm: 0,
+    }); // lo
+    b.emit(Inst::Lw {
+        rd: r(2),
+        base: r(0),
+        imm: 1,
+    }); // hi
     b.load_const(r(3), a_base);
     b.load_const(r(4), CUTOFF);
     b.load_const(r(5), open_addr);
@@ -77,77 +96,218 @@ pub fn build(scale: u32) -> Workload {
     let part_loop = b.new_label();
     let small = b.new_label();
     b.bind(part_loop);
-    b.emit(Inst::Sub { rd: r(7), rs1: r(2), rs2: r(1) });
+    b.emit(Inst::Sub {
+        rd: r(7),
+        rs1: r(2),
+        rs2: r(1),
+    });
     b.blt(r(7), r(4), small);
     // Lomuto partition, pivot = A[hi-1].
-    b.emit(Inst::Add { rd: r(8), rs1: r(3), rs2: r(2) });
-    b.emit(Inst::Lw { rd: r(9), base: r(8), imm: -1 }); // pivot
-    b.emit(Inst::Mv { rd: r(10), rs1: r(1) }); // i
-    b.emit(Inst::Mv { rd: r(11), rs1: r(1) }); // j
-    b.emit(Inst::Addi { rd: r(12), rs1: r(2), imm: -1 }); // hi-1
+    b.emit(Inst::Add {
+        rd: r(8),
+        rs1: r(3),
+        rs2: r(2),
+    });
+    b.emit(Inst::Lw {
+        rd: r(9),
+        base: r(8),
+        imm: -1,
+    }); // pivot
+    b.emit(Inst::Mv {
+        rd: r(10),
+        rs1: r(1),
+    }); // i
+    b.emit(Inst::Mv {
+        rd: r(11),
+        rs1: r(1),
+    }); // j
+    b.emit(Inst::Addi {
+        rd: r(12),
+        rs1: r(2),
+        imm: -1,
+    }); // hi-1
     let scan = b.new_label();
     let scan_done = b.new_label();
     let no_swap = b.new_label();
     b.bind(scan);
     b.bge(r(11), r(12), scan_done);
-    b.emit(Inst::Add { rd: r(13), rs1: r(3), rs2: r(11) });
-    b.emit(Inst::Lw { rd: r(14), base: r(13), imm: 0 });
+    b.emit(Inst::Add {
+        rd: r(13),
+        rs1: r(3),
+        rs2: r(11),
+    });
+    b.emit(Inst::Lw {
+        rd: r(14),
+        base: r(13),
+        imm: 0,
+    });
     b.bge(r(14), r(9), no_swap);
-    b.emit(Inst::Add { rd: r(15), rs1: r(3), rs2: r(10) });
-    b.emit(Inst::Lw { rd: r(16), base: r(15), imm: 0 });
-    b.emit(Inst::Sw { base: r(15), src: r(14), imm: 0 });
-    b.emit(Inst::Sw { base: r(13), src: r(16), imm: 0 });
-    b.emit(Inst::Addi { rd: r(10), rs1: r(10), imm: 1 });
+    b.emit(Inst::Add {
+        rd: r(15),
+        rs1: r(3),
+        rs2: r(10),
+    });
+    b.emit(Inst::Lw {
+        rd: r(16),
+        base: r(15),
+        imm: 0,
+    });
+    b.emit(Inst::Sw {
+        base: r(15),
+        src: r(14),
+        imm: 0,
+    });
+    b.emit(Inst::Sw {
+        base: r(13),
+        src: r(16),
+        imm: 0,
+    });
+    b.emit(Inst::Addi {
+        rd: r(10),
+        rs1: r(10),
+        imm: 1,
+    });
     b.bind(no_swap);
-    b.emit(Inst::Addi { rd: r(11), rs1: r(11), imm: 1 });
+    b.emit(Inst::Addi {
+        rd: r(11),
+        rs1: r(11),
+        imm: 1,
+    });
     b.jmp(scan);
     b.bind(scan_done);
     // Swap pivot into place: A[i] <-> A[hi-1].
-    b.emit(Inst::Add { rd: r(17), rs1: r(3), rs2: r(10) });
-    b.emit(Inst::Lw { rd: r(18), base: r(17), imm: 0 });
-    b.emit(Inst::Lw { rd: r(19), base: r(8), imm: -1 });
-    b.emit(Inst::Sw { base: r(17), src: r(19), imm: 0 });
-    b.emit(Inst::Sw { base: r(8), src: r(18), imm: -1 });
+    b.emit(Inst::Add {
+        rd: r(17),
+        rs1: r(3),
+        rs2: r(10),
+    });
+    b.emit(Inst::Lw {
+        rd: r(18),
+        base: r(17),
+        imm: 0,
+    });
+    b.emit(Inst::Lw {
+        rd: r(19),
+        base: r(8),
+        imm: -1,
+    });
+    b.emit(Inst::Sw {
+        base: r(17),
+        src: r(19),
+        imm: 0,
+    });
+    b.emit(Inst::Sw {
+        base: r(8),
+        src: r(18),
+        imm: -1,
+    });
     // Spawn the left half [lo, i) as a child task.
-    b.emit(Inst::AmoAdd { rd: r(20), base: r(5), imm: 1 }); // open++
-    b.emit(Inst::AmoAdd { rd: r(21), base: r(6), imm: 2 }); // bump arena
-    b.emit(Inst::Sw { base: r(21), src: r(1), imm: 0 });
-    b.emit(Inst::Sw { base: r(21), src: r(10), imm: 1 });
+    b.emit(Inst::AmoAdd {
+        rd: r(20),
+        base: r(5),
+        imm: 1,
+    }); // open++
+    b.emit(Inst::AmoAdd {
+        rd: r(21),
+        base: r(6),
+        imm: 2,
+    }); // bump arena
+    b.emit(Inst::Sw {
+        base: r(21),
+        src: r(1),
+        imm: 0,
+    });
+    b.emit(Inst::Sw {
+        base: r(21),
+        src: r(10),
+        imm: 1,
+    });
     b.spawn(task, r(21));
     // Iterate on the right half [i+1, hi); yield at the activation
     // boundary like a TAM thread split.
-    b.emit(Inst::Addi { rd: r(1), rs1: r(10), imm: 1 });
+    b.emit(Inst::Addi {
+        rd: r(1),
+        rs1: r(10),
+        imm: 1,
+    });
     b.emit(Inst::Yield);
     b.jmp(part_loop);
     // Insertion sort for [lo, hi).
     b.bind(small);
-    b.emit(Inst::Addi { rd: r(22), rs1: r(1), imm: 1 }); // i
+    b.emit(Inst::Addi {
+        rd: r(22),
+        rs1: r(1),
+        imm: 1,
+    }); // i
     let ins_outer = b.new_label();
     let ins_inner = b.new_label();
     let ins_place = b.new_label();
     let ins_done = b.new_label();
     b.bind(ins_outer);
     b.bge(r(22), r(2), ins_done);
-    b.emit(Inst::Add { rd: r(23), rs1: r(3), rs2: r(22) });
-    b.emit(Inst::Lw { rd: r(24), base: r(23), imm: 0 }); // key
-    b.emit(Inst::Mv { rd: r(25), rs1: r(22) }); // j
+    b.emit(Inst::Add {
+        rd: r(23),
+        rs1: r(3),
+        rs2: r(22),
+    });
+    b.emit(Inst::Lw {
+        rd: r(24),
+        base: r(23),
+        imm: 0,
+    }); // key
+    b.emit(Inst::Mv {
+        rd: r(25),
+        rs1: r(22),
+    }); // j
     b.bind(ins_inner);
     b.bge(r(1), r(25), ins_place); // j <= lo
-    b.emit(Inst::Add { rd: r(26), rs1: r(3), rs2: r(25) });
-    b.emit(Inst::Lw { rd: r(27), base: r(26), imm: -1 });
+    b.emit(Inst::Add {
+        rd: r(26),
+        rs1: r(3),
+        rs2: r(25),
+    });
+    b.emit(Inst::Lw {
+        rd: r(27),
+        base: r(26),
+        imm: -1,
+    });
     b.bge(r(24), r(27), ins_place); // A[j-1] <= key
-    b.emit(Inst::Sw { base: r(26), src: r(27), imm: 0 });
-    b.emit(Inst::Addi { rd: r(25), rs1: r(25), imm: -1 });
+    b.emit(Inst::Sw {
+        base: r(26),
+        src: r(27),
+        imm: 0,
+    });
+    b.emit(Inst::Addi {
+        rd: r(25),
+        rs1: r(25),
+        imm: -1,
+    });
     b.jmp(ins_inner);
     b.bind(ins_place);
-    b.emit(Inst::Add { rd: r(28), rs1: r(3), rs2: r(25) });
-    b.emit(Inst::Sw { base: r(28), src: r(24), imm: 0 });
-    b.emit(Inst::Addi { rd: r(22), rs1: r(22), imm: 1 });
+    b.emit(Inst::Add {
+        rd: r(28),
+        rs1: r(3),
+        rs2: r(25),
+    });
+    b.emit(Inst::Sw {
+        base: r(28),
+        src: r(24),
+        imm: 0,
+    });
+    b.emit(Inst::Addi {
+        rd: r(22),
+        rs1: r(22),
+        imm: 1,
+    });
     // Each inserted element is its own TAM activation: yield.
     b.emit(Inst::Yield);
     b.jmp(ins_outer);
     b.bind(ins_done);
-    b.emit(Inst::AmoAdd { rd: r(29), base: r(5), imm: -1 }); // open--
+    b.emit(Inst::AmoAdd {
+        rd: r(29),
+        base: r(5),
+        imm: -1,
+    }); // open--
     b.emit(Inst::Halt);
 
     let program = b.finish("main").expect("quicksort builds");

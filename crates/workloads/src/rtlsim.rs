@@ -29,9 +29,21 @@ struct Params {
 
 fn params(scale: u32) -> Params {
     match scale {
-        0 => Params { uops: 16, regs: 8, cycles: 5 },
-        1 => Params { uops: 64, regs: 16, cycles: 60 },
-        n => Params { uops: 64, regs: 16, cycles: 60 * n },
+        0 => Params {
+            uops: 16,
+            regs: 8,
+            cycles: 5,
+        },
+        1 => Params {
+            uops: 64,
+            regs: 16,
+            cycles: 60,
+        },
+        n => Params {
+            uops: 64,
+            regs: 16,
+            cycles: 60 * n,
+        },
     }
 }
 

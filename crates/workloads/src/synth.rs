@@ -26,7 +26,11 @@ pub struct SeqParams {
 
 impl Default for SeqParams {
     fn default() -> Self {
-        SeqParams { depth: 8, fanout: 2, locals: 8 }
+        SeqParams {
+            depth: 8,
+            fanout: 2,
+            locals: 8,
+        }
     }
 }
 
@@ -120,7 +124,12 @@ pub struct ParParams {
 
 impl Default for ParParams {
     fn default() -> Self {
-        ParParams { threads: 8, iters: 32, work: 20, active_regs: 20 }
+        ParParams {
+            threads: 8,
+            iters: 32,
+            work: 20,
+            active_regs: 20,
+        }
     }
 }
 
@@ -136,7 +145,11 @@ pub fn parallel(p: ParParams) -> Workload {
     b.export("main");
     b.load_const(r(0), p.threads as i32);
     b.load_const(r(1), join_addr);
-    b.emit(Inst::Sw { base: r(1), src: r(0), imm: 0 });
+    b.emit(Inst::Sw {
+        base: r(1),
+        src: r(0),
+        imm: 0,
+    });
     for k in 0..p.threads {
         b.load_const(r(2), k as i32 + 1);
         b.spawn(worker, r(2));
@@ -145,7 +158,11 @@ pub fn parallel(p: ParParams) -> Workload {
     // Publish a token so the check has something to verify.
     b.load_const(r(3), RESULT_BASE as i32);
     b.load_const(r(4), 0x600D);
-    b.emit(Inst::Sw { base: r(3), src: r(4), imm: 0 });
+    b.emit(Inst::Sw {
+        base: r(3),
+        src: r(4),
+        imm: 0,
+    });
     b.emit(Inst::Halt);
 
     b.bind(worker);
@@ -153,7 +170,10 @@ pub fn parallel(p: ParParams) -> Workload {
     let live = p.active_regs;
     // Materialise `live` registers, all kept live across the loop.
     for i in 0..live {
-        b.emit(Inst::Li { rd: r(i), imm: i32::from(i) + 1 });
+        b.emit(Inst::Li {
+            rd: r(i),
+            imm: i32::from(i) + 1,
+        });
     }
     let ctr = r(30);
     let limit = r(31);
@@ -168,7 +188,11 @@ pub fn parallel(p: ParParams) -> Workload {
     while emitted < p.work {
         for i in 0..live {
             let j = (i + 1) % live;
-            b.emit(Inst::Add { rd: r(i), rs1: r(i), rs2: r(j) });
+            b.emit(Inst::Add {
+                rd: r(i),
+                rs1: r(i),
+                rs2: r(j),
+            });
             emitted += 1;
             if emitted >= p.work {
                 break;
@@ -176,11 +200,19 @@ pub fn parallel(p: ParParams) -> Workload {
         }
     }
     b.emit(Inst::Yield);
-    b.emit(Inst::Addi { rd: ctr, rs1: ctr, imm: 1 });
+    b.emit(Inst::Addi {
+        rd: ctr,
+        rs1: ctr,
+        imm: 1,
+    });
     b.jmp(hdr);
     b.bind(end);
     b.load_const(r(29), join_addr);
-    b.emit(Inst::AmoAdd { rd: r(28), base: r(29), imm: -1 });
+    b.emit(Inst::AmoAdd {
+        rd: r(28),
+        base: r(29),
+        imm: -1,
+    });
     b.emit(Inst::Halt);
 
     let program = b.finish("main").expect("synth parallel builds");
@@ -202,14 +234,23 @@ mod tests {
 
     #[test]
     fn sequential_depth_drives_call_chain() {
-        let w = sequential(SeqParams { depth: 6, fanout: 1, locals: 6 });
+        let w = sequential(SeqParams {
+            depth: 6,
+            fanout: 1,
+            locals: 6,
+        });
         let r = run(&w, SimConfig::default()).expect("synth seq validates");
         assert!(r.calls >= 6);
     }
 
     #[test]
     fn parallel_yields_drive_switches() {
-        let w = parallel(ParParams { threads: 4, iters: 8, work: 16, active_regs: 12 });
+        let w = parallel(ParParams {
+            threads: 4,
+            iters: 8,
+            work: 16,
+            active_regs: 12,
+        });
         let r = run(&w, SimConfig::default()).expect("synth par validates");
         assert!(r.thread_switches > 8, "yields must rotate threads");
     }
@@ -217,6 +258,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "active_regs")]
     fn parallel_rejects_bad_pressure() {
-        parallel(ParParams { active_regs: 31, ..Default::default() });
+        parallel(ParParams {
+            active_regs: 31,
+            ..Default::default()
+        });
     }
 }

@@ -44,7 +44,11 @@ pub fn asm_loop(
     b.bind(hdr);
     b.bge(ctr, limit_reg, exit);
     body(b);
-    b.emit(Inst::Addi { rd: ctr, rs1: ctr, imm: 1 });
+    b.emit(Inst::Addi {
+        rd: ctr,
+        rs1: ctr,
+        imm: 1,
+    });
     b.jmp(hdr);
     b.bind(exit);
 }
@@ -59,9 +63,17 @@ pub fn lcg(x: u32) -> u32 {
 /// using `tmp` as scratch.
 pub fn asm_lcg_step(b: &mut ProgramBuilder, x: Reg, tmp: Reg) {
     b.load_const(tmp, 1_664_525);
-    b.emit(Inst::Mul { rd: x, rs1: x, rs2: tmp });
+    b.emit(Inst::Mul {
+        rd: x,
+        rs1: x,
+        rs2: tmp,
+    });
     b.load_const(tmp, 1_013_904_223);
-    b.emit(Inst::Add { rd: x, rs1: x, rs2: tmp });
+    b.emit(Inst::Add {
+        rd: x,
+        rs1: x,
+        rs2: tmp,
+    });
 }
 
 /// The `Label` re-export used by benchmark builders.

@@ -23,9 +23,18 @@ struct Params {
 
 fn params(scale: u32) -> Params {
     match scale {
-        0 => Params { rows_per_band: 3, cols: 16 },
-        1 => Params { rows_per_band: 16, cols: 96 },
-        s => Params { rows_per_band: 16 * s, cols: 96 },
+        0 => Params {
+            rows_per_band: 3,
+            cols: 16,
+        },
+        1 => Params {
+            rows_per_band: 16,
+            cols: 96,
+        },
+        s => Params {
+            rows_per_band: 16 * s,
+            cols: 96,
+        },
     }
 }
 
@@ -84,7 +93,11 @@ pub fn build(scale: u32) -> Workload {
     b.export("main");
     b.load_const(r(0), BANDS as i32);
     b.load_const(r(1), join_addr);
-    b.emit(Inst::Sw { base: r(1), src: r(0), imm: 0 });
+    b.emit(Inst::Sw {
+        base: r(1),
+        src: r(0),
+        imm: 0,
+    });
     for k in 0..BANDS {
         b.load_const(r(2), k as i32);
         b.spawn(worker, r(2));
@@ -100,67 +113,177 @@ pub fn build(scale: u32) -> Workload {
     let sum_end = b.new_label();
     b.bind(sum_hdr);
     b.bge(r(5), r(6), sum_end);
-    b.emit(Inst::Add { rd: r(8), rs1: r(3), rs2: r(5) });
-    b.emit(Inst::Lw { rd: r(9), base: r(8), imm: 0 });
-    b.emit(Inst::Mul { rd: r(4), rs1: r(4), rs2: r(7) });
-    b.emit(Inst::Add { rd: r(4), rs1: r(4), rs2: r(9) });
-    b.emit(Inst::Addi { rd: r(5), rs1: r(5), imm: 1 });
+    b.emit(Inst::Add {
+        rd: r(8),
+        rs1: r(3),
+        rs2: r(5),
+    });
+    b.emit(Inst::Lw {
+        rd: r(9),
+        base: r(8),
+        imm: 0,
+    });
+    b.emit(Inst::Mul {
+        rd: r(4),
+        rs1: r(4),
+        rs2: r(7),
+    });
+    b.emit(Inst::Add {
+        rd: r(4),
+        rs1: r(4),
+        rs2: r(9),
+    });
+    b.emit(Inst::Addi {
+        rd: r(5),
+        rs1: r(5),
+        imm: 1,
+    });
     b.jmp(sum_hdr);
     b.bind(sum_end);
     b.load_const(r(10), RESULT_BASE as i32);
-    b.emit(Inst::Sw { base: r(10), src: r(4), imm: 0 });
+    b.emit(Inst::Sw {
+        base: r(10),
+        src: r(4),
+        imm: 0,
+    });
     b.emit(Inst::Halt);
 
     // worker(band): wait for band-1, relax rows, mark done, join.
     b.bind(worker);
     b.export("worker");
-    b.emit(Inst::Mv { rd: r(0), rs1: nsf_isa::RV }); // band index
+    b.emit(Inst::Mv {
+        rd: r(0),
+        rs1: nsf_isa::RV,
+    }); // band index
     let compute = b.new_label();
     b.emit(Inst::Li { rd: r(1), imm: 0 });
     b.beq(r(0), r(1), compute);
     b.load_const(r(2), flags_base);
-    b.emit(Inst::Add { rd: r(3), rs1: r(2), rs2: r(0) });
-    b.emit(Inst::SyncWait { base: r(3), imm: -1 }); // DONE[band-1] == 0
+    b.emit(Inst::Add {
+        rd: r(3),
+        rs1: r(2),
+        rs2: r(0),
+    });
+    b.emit(Inst::SyncWait {
+        base: r(3),
+        imm: -1,
+    }); // DONE[band-1] == 0
     b.bind(compute);
     b.load_const(r(4), p.rows_per_band as i32);
-    b.emit(Inst::Mul { rd: r(5), rs1: r(0), rs2: r(4) });
-    b.emit(Inst::Addi { rd: r(5), rs1: r(5), imm: 1 }); // first row
-    b.emit(Inst::Add { rd: r(6), rs1: r(5), rs2: r(4) }); // end row
+    b.emit(Inst::Mul {
+        rd: r(5),
+        rs1: r(0),
+        rs2: r(4),
+    });
+    b.emit(Inst::Addi {
+        rd: r(5),
+        rs1: r(5),
+        imm: 1,
+    }); // first row
+    b.emit(Inst::Add {
+        rd: r(6),
+        rs1: r(5),
+        rs2: r(4),
+    }); // end row
     b.load_const(r(7), stride);
     b.load_const(r(8), g_base);
     let row_hdr = b.new_label();
     let row_end = b.new_label();
     b.bind(row_hdr);
     b.bge(r(5), r(6), row_end);
-    b.emit(Inst::Mul { rd: r(10), rs1: r(5), rs2: r(7) });
-    b.emit(Inst::Add { rd: r(11), rs1: r(10), rs2: r(8) }); // row base
-    b.emit(Inst::Sub { rd: r(12), rs1: r(11), rs2: r(7) }); // prev row base
+    b.emit(Inst::Mul {
+        rd: r(10),
+        rs1: r(5),
+        rs2: r(7),
+    });
+    b.emit(Inst::Add {
+        rd: r(11),
+        rs1: r(10),
+        rs2: r(8),
+    }); // row base
+    b.emit(Inst::Sub {
+        rd: r(12),
+        rs1: r(11),
+        rs2: r(7),
+    }); // prev row base
     b.emit(Inst::Li { rd: r(13), imm: 1 }); // j
     let col_hdr = b.new_label();
     let col_end = b.new_label();
     b.bind(col_hdr);
     b.bge(r(13), r(7), col_end); // j < stride  (== j <= cols)
-    b.emit(Inst::Add { rd: r(15), rs1: r(12), rs2: r(13) });
-    b.emit(Inst::Lw { rd: r(16), base: r(15), imm: 0 }); // up
-    b.emit(Inst::Add { rd: r(17), rs1: r(11), rs2: r(13) });
-    b.emit(Inst::Lw { rd: r(18), base: r(17), imm: -1 }); // left
-    b.emit(Inst::Add { rd: r(19), rs1: r(16), rs2: r(18) });
-    b.emit(Inst::Addi { rd: r(19), rs1: r(19), imm: 1 });
-    b.emit(Inst::Srli { rd: r(19), rs1: r(19), imm: 1 });
-    b.emit(Inst::Sw { base: r(17), src: r(19), imm: 0 });
-    b.emit(Inst::Addi { rd: r(13), rs1: r(13), imm: 1 });
+    b.emit(Inst::Add {
+        rd: r(15),
+        rs1: r(12),
+        rs2: r(13),
+    });
+    b.emit(Inst::Lw {
+        rd: r(16),
+        base: r(15),
+        imm: 0,
+    }); // up
+    b.emit(Inst::Add {
+        rd: r(17),
+        rs1: r(11),
+        rs2: r(13),
+    });
+    b.emit(Inst::Lw {
+        rd: r(18),
+        base: r(17),
+        imm: -1,
+    }); // left
+    b.emit(Inst::Add {
+        rd: r(19),
+        rs1: r(16),
+        rs2: r(18),
+    });
+    b.emit(Inst::Addi {
+        rd: r(19),
+        rs1: r(19),
+        imm: 1,
+    });
+    b.emit(Inst::Srli {
+        rd: r(19),
+        rs1: r(19),
+        imm: 1,
+    });
+    b.emit(Inst::Sw {
+        base: r(17),
+        src: r(19),
+        imm: 0,
+    });
+    b.emit(Inst::Addi {
+        rd: r(13),
+        rs1: r(13),
+        imm: 1,
+    });
     b.jmp(col_hdr);
     b.bind(col_end);
-    b.emit(Inst::Addi { rd: r(5), rs1: r(5), imm: 1 });
+    b.emit(Inst::Addi {
+        rd: r(5),
+        rs1: r(5),
+        imm: 1,
+    });
     b.jmp(row_hdr);
     b.bind(row_end);
     // DONE[band] = 0; join--.
     b.load_const(r(20), flags_base);
-    b.emit(Inst::Add { rd: r(21), rs1: r(20), rs2: r(0) });
+    b.emit(Inst::Add {
+        rd: r(21),
+        rs1: r(20),
+        rs2: r(0),
+    });
     b.emit(Inst::Li { rd: r(22), imm: 0 });
-    b.emit(Inst::Sw { base: r(21), src: r(22), imm: 0 });
+    b.emit(Inst::Sw {
+        base: r(21),
+        src: r(22),
+        imm: 0,
+    });
     b.load_const(r(23), join_addr);
-    b.emit(Inst::AmoAdd { rd: r(24), base: r(23), imm: -1 });
+    b.emit(Inst::AmoAdd {
+        rd: r(24),
+        base: r(23),
+        imm: -1,
+    });
     b.emit(Inst::Halt);
 
     let program = b.finish("main").expect("wavefront builds");

@@ -8,8 +8,8 @@ use nsf_isa::asm::{assemble, disassemble};
 fn all_paper_programs_roundtrip_through_the_assembler() {
     for w in nsf_workloads::paper_suite(0) {
         let text = disassemble(&w.program);
-        let back = assemble(&text)
-            .unwrap_or_else(|e| panic!("{} failed to reassemble: {e}", w.name));
+        let back =
+            assemble(&text).unwrap_or_else(|e| panic!("{} failed to reassemble: {e}", w.name));
         assert_eq!(
             w.program.insts(),
             back.insts(),
@@ -64,8 +64,8 @@ fn all_paper_programs_encode_to_machine_words() {
         for (i, inst) in w.program.insts().iter().enumerate() {
             let word = encode(inst)
                 .unwrap_or_else(|e| panic!("{} inst {i} ({inst}) unencodable: {e}", w.name));
-            let back = decode(word)
-                .unwrap_or_else(|e| panic!("{} inst {i} undecodable: {e}", w.name));
+            let back =
+                decode(word).unwrap_or_else(|e| panic!("{} inst {i} undecodable: {e}", w.name));
             assert_eq!(*inst, back, "{} inst {i}", w.name);
         }
     }

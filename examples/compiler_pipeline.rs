@@ -35,8 +35,10 @@ fn main() {
 
     // Step 1: register allocation in isolation.
     let alloc = color::allocate(module.func("triangle").unwrap(), 18).unwrap();
-    println!("triangle: {} colors, {} rounds, {} spill slots",
-        alloc.colors_used, alloc.rounds, alloc.frame_slots);
+    println!(
+        "triangle: {} colors, {} rounds, {} spill slots",
+        alloc.colors_used, alloc.rounds, alloc.frame_slots
+    );
 
     // Step 2: full compilation to the ISA.
     let program = compile(&module, "main", CompileOpts::default()).unwrap();

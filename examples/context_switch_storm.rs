@@ -21,8 +21,14 @@ fn main() {
     software.engine = SpillEngine::software();
 
     let configs: Vec<(&str, SimConfig)> = vec![
-        ("Oracle (infinite file)", SimConfig::with_regfile(RegFileSpec::Oracle)),
-        ("NSF 128x1", SimConfig::with_regfile(RegFileSpec::paper_nsf(128))),
+        (
+            "Oracle (infinite file)",
+            SimConfig::with_regfile(RegFileSpec::Oracle),
+        ),
+        (
+            "NSF 128x1",
+            SimConfig::with_regfile(RegFileSpec::paper_nsf(128)),
+        ),
         (
             "Segmented 4x32, hardware",
             SimConfig::with_regfile(RegFileSpec::paper_segmented(4, 32)),

@@ -48,17 +48,29 @@ fn build() -> Workload {
     b.load_const(r(0), chans);
     for k in 0..4 {
         b.emit(Inst::ChNew { rd: r(1) });
-        b.emit(Inst::Sw { base: r(0), src: r(1), imm: k });
+        b.emit(Inst::Sw {
+            base: r(0),
+            src: r(1),
+            imm: k,
+        });
     }
     b.load_const(r(2), join);
     b.emit(Inst::Li { rd: r(3), imm: 1 });
-    b.emit(Inst::Sw { base: r(2), src: r(3), imm: 0 });
+    b.emit(Inst::Sw {
+        base: r(2),
+        src: r(3),
+        imm: 0,
+    });
     for (label, k) in [(stage1, 0i32), (stage2, 1), (stage3, 2), (sink, 3)] {
         b.load_const(r(4), chans + k);
         b.spawn(label, r(4));
     }
     // Producer loop: v = (i * 2654435761) >> 8 into channel 0.
-    b.emit(Inst::Lw { rd: r(5), base: r(0), imm: 0 });
+    b.emit(Inst::Lw {
+        rd: r(5),
+        base: r(0),
+        imm: 0,
+    });
     b.emit(Inst::Li { rd: r(6), imm: 0 });
     b.load_const(r(7), STREAM as i32);
     b.load_const(r(8), 2654435761u32 as i32);
@@ -66,10 +78,25 @@ fn build() -> Workload {
     let fin = b.new_label();
     b.bind(produce);
     b.bge(r(6), r(7), fin);
-    b.emit(Inst::Mul { rd: r(9), rs1: r(6), rs2: r(8) });
-    b.emit(Inst::Srli { rd: r(9), rs1: r(9), imm: 8 });
-    b.emit(Inst::ChSend { chan: r(5), src: r(9) });
-    b.emit(Inst::Addi { rd: r(6), rs1: r(6), imm: 1 });
+    b.emit(Inst::Mul {
+        rd: r(9),
+        rs1: r(6),
+        rs2: r(8),
+    });
+    b.emit(Inst::Srli {
+        rd: r(9),
+        rs1: r(9),
+        imm: 8,
+    });
+    b.emit(Inst::ChSend {
+        chan: r(5),
+        src: r(9),
+    });
+    b.emit(Inst::Addi {
+        rd: r(6),
+        rs1: r(6),
+        imm: 1,
+    });
     b.jmp(produce);
     b.bind(fin);
     b.emit(Inst::SyncWait { base: r(2), imm: 0 });
@@ -79,18 +106,36 @@ fn build() -> Workload {
     // forward to the next channel.
     let stage = |b: &mut ProgramBuilder, label, f: &dyn Fn(&mut ProgramBuilder)| {
         b.bind(label);
-        b.emit(Inst::Mv { rd: r(0), rs1: nsf::isa::RV });
-        b.emit(Inst::Lw { rd: r(1), base: r(0), imm: 0 }); // in
-        b.emit(Inst::Lw { rd: r(2), base: r(0), imm: 1 }); // out (sink: unused)
+        b.emit(Inst::Mv {
+            rd: r(0),
+            rs1: nsf::isa::RV,
+        });
+        b.emit(Inst::Lw {
+            rd: r(1),
+            base: r(0),
+            imm: 0,
+        }); // in
+        b.emit(Inst::Lw {
+            rd: r(2),
+            base: r(0),
+            imm: 1,
+        }); // out (sink: unused)
         b.emit(Inst::Li { rd: r(3), imm: 0 });
         b.load_const(r(4), STREAM as i32);
         let lp = b.new_label();
         let done = b.new_label();
         b.bind(lp);
         b.bge(r(3), r(4), done);
-        b.emit(Inst::ChRecv { rd: r(5), chan: r(1) });
+        b.emit(Inst::ChRecv {
+            rd: r(5),
+            chan: r(1),
+        });
         f(b); // transform r5 (may use r6+)
-        b.emit(Inst::Addi { rd: r(3), rs1: r(3), imm: 1 });
+        b.emit(Inst::Addi {
+            rd: r(3),
+            rs1: r(3),
+            imm: 1,
+        });
         b.jmp(lp);
         b.bind(done);
         b.emit(Inst::Halt);
@@ -98,23 +143,55 @@ fn build() -> Workload {
     };
 
     stage(&mut b, stage1, &|b| {
-        b.emit(Inst::Addi { rd: r(5), rs1: r(5), imm: 17 });
-        b.emit(Inst::ChSend { chan: r(2), src: r(5) });
+        b.emit(Inst::Addi {
+            rd: r(5),
+            rs1: r(5),
+            imm: 17,
+        });
+        b.emit(Inst::ChSend {
+            chan: r(2),
+            src: r(5),
+        });
     });
     stage(&mut b, stage2, &|b| {
-        b.emit(Inst::Srli { rd: r(6), rs1: r(5), imm: 3 });
-        b.emit(Inst::Xor { rd: r(5), rs1: r(5), rs2: r(6) });
-        b.emit(Inst::ChSend { chan: r(2), src: r(5) });
+        b.emit(Inst::Srli {
+            rd: r(6),
+            rs1: r(5),
+            imm: 3,
+        });
+        b.emit(Inst::Xor {
+            rd: r(5),
+            rs1: r(5),
+            rs2: r(6),
+        });
+        b.emit(Inst::ChSend {
+            chan: r(2),
+            src: r(5),
+        });
     });
     stage(&mut b, stage3, &|b| {
         b.emit(Inst::Li { rd: r(6), imm: 3 });
-        b.emit(Inst::Mul { rd: r(5), rs1: r(5), rs2: r(6) });
-        b.emit(Inst::ChSend { chan: r(2), src: r(5) });
+        b.emit(Inst::Mul {
+            rd: r(5),
+            rs1: r(5),
+            rs2: r(6),
+        });
+        b.emit(Inst::ChSend {
+            chan: r(2),
+            src: r(5),
+        });
     });
     // Sink: fold, publish, release the join.
     b.bind(sink);
-    b.emit(Inst::Mv { rd: r(0), rs1: nsf::isa::RV });
-    b.emit(Inst::Lw { rd: r(1), base: r(0), imm: 0 });
+    b.emit(Inst::Mv {
+        rd: r(0),
+        rs1: nsf::isa::RV,
+    });
+    b.emit(Inst::Lw {
+        rd: r(1),
+        base: r(0),
+        imm: 0,
+    });
     b.emit(Inst::Li { rd: r(2), imm: 0 }); // acc
     b.emit(Inst::Li { rd: r(3), imm: 0 });
     b.load_const(r(4), STREAM as i32);
@@ -123,17 +200,40 @@ fn build() -> Workload {
     let done = b.new_label();
     b.bind(lp);
     b.bge(r(3), r(4), done);
-    b.emit(Inst::ChRecv { rd: r(5), chan: r(1) });
-    b.emit(Inst::Mul { rd: r(2), rs1: r(2), rs2: r(7) });
-    b.emit(Inst::Add { rd: r(2), rs1: r(2), rs2: r(5) });
-    b.emit(Inst::Addi { rd: r(3), rs1: r(3), imm: 1 });
+    b.emit(Inst::ChRecv {
+        rd: r(5),
+        chan: r(1),
+    });
+    b.emit(Inst::Mul {
+        rd: r(2),
+        rs1: r(2),
+        rs2: r(7),
+    });
+    b.emit(Inst::Add {
+        rd: r(2),
+        rs1: r(2),
+        rs2: r(5),
+    });
+    b.emit(Inst::Addi {
+        rd: r(3),
+        rs1: r(3),
+        imm: 1,
+    });
     b.jmp(lp);
     b.bind(done);
     b.load_const(r(8), RESULT as i32);
-    b.emit(Inst::Sw { base: r(8), src: r(2), imm: 0 });
+    b.emit(Inst::Sw {
+        base: r(8),
+        src: r(2),
+        imm: 0,
+    });
     b.load_const(r(9), join);
     b.emit(Inst::Li { rd: r(10), imm: 0 });
-    b.emit(Inst::Sw { base: r(9), src: r(10), imm: 0 });
+    b.emit(Inst::Sw {
+        base: r(9),
+        src: r(10),
+        imm: 0,
+    });
     b.emit(Inst::Halt);
 
     let program = b.finish("main").expect("builds");
@@ -192,7 +292,10 @@ fn main() {
         );
     }
     println!("{}", "-".repeat(70));
-    println!("Every row validated the same checksum ({:#x}).", reference());
+    println!(
+        "Every row validated the same checksum ({:#x}).",
+        reference()
+    );
     println!("Channels are bounded to 2 messages (hardware queues with sender");
     println!("backpressure), so the five threads rotate constantly — remove");
     println!("`channel_capacity` and the contrast collapses to zero.");

@@ -63,7 +63,10 @@ fn main() {
     println!("context switches   : {}", report.context_switches);
     println!("instrs per switch  : {:.1}", report.instrs_per_switch());
     println!("registers reloaded : {}", report.regfile.regs_reloaded);
-    println!("spill overhead     : {:.2}%", report.spill_overhead() * 100.0);
+    println!(
+        "spill overhead     : {:.2}%",
+        report.spill_overhead() * 100.0
+    );
     println!("file utilization   : {:.1}%", report.utilization() * 100.0);
     println!("register file      : {}", report.regfile_desc);
 }

@@ -27,14 +27,20 @@ fn main() {
     )
     .expect("assembles");
 
-    let cfg = SimConfig { trace_depth: 8, ..Default::default() };
+    let cfg = SimConfig {
+        trace_depth: 8,
+        ..Default::default()
+    };
     let mut machine = Machine::new(program, cfg).expect("valid config");
 
     match machine.run_and_keep() {
         Ok(_) => println!("unexpectedly succeeded"),
         Err(e) => {
             println!("simulation failed: {e}\n");
-            println!("last {} instructions before the fault:", machine.trace().len());
+            println!(
+                "last {} instructions before the fault:",
+                machine.trace().len()
+            );
             print!("{}", machine.trace());
             println!("\nThe trace shows the fresh context (its CID) entering `scale`");
             println!("and faulting on the first use of r1 — a register this");

@@ -51,7 +51,10 @@ fn recursive_factorial() {
         SimConfig::with_regfile(RegFileSpec::paper_segmented(4, 20)),
         SimConfig::with_regfile(RegFileSpec::Oracle),
     ] {
-        assert_eq!(run_module(&fact_module(), CompileOpts::default(), cfg), expected);
+        assert_eq!(
+            run_module(&fact_module(), CompileOpts::default(), cfg),
+            expected
+        );
     }
 }
 
@@ -78,7 +81,11 @@ fn iterative_gcd() {
 
     let mut m = FuncBuilder::new("main", 0);
     let v = m
-        .call("gcd", vec![Operand::Const(3528), Operand::Const(3780)], true)
+        .call(
+            "gcd",
+            vec![Operand::Const(3528), Operand::Const(3780)],
+            true,
+        )
         .unwrap();
     store_result(&mut m, v);
     m.ret(None);
@@ -116,7 +123,10 @@ fn forced_spilling_preserves_semantics() {
         }
         acc
     };
-    let tight = CompileOpts { ctx_regs: 10, ..Default::default() };
+    let tight = CompileOpts {
+        ctx_regs: 10,
+        ..Default::default()
+    };
     let roomy = CompileOpts::default();
     assert_eq!(run_module(&build(), tight, SimConfig::default()), expected);
     assert_eq!(run_module(&build(), roomy, SimConfig::default()), expected);
@@ -156,7 +166,10 @@ fn deep_mutual_recursion() {
     let v = m.call("is_even", vec![Operand::Const(101)], true).unwrap();
     store_result(&mut m, v);
     m.ret(None);
-    let module = Module::default().with(m.finish()).with(is_even).with(is_odd);
+    let module = Module::default()
+        .with(m.finish())
+        .with(is_even)
+        .with(is_odd);
 
     // Depth-101 call chain on a tiny segmented file: heavy window
     // overflow/underflow, still correct.

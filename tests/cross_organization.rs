@@ -8,9 +8,16 @@ use nsf::sim::{RegFileSpec, SimConfig};
 use nsf::workloads::{self, run, Workload};
 
 fn configs_for(w: &Workload) -> Vec<(&'static str, SimConfig)> {
-    let (nsf_regs, frames, frame_regs) = if w.parallel { (128, 4, 32) } else { (80, 4, 20) };
+    let (nsf_regs, frames, frame_regs) = if w.parallel {
+        (128, 4, 32)
+    } else {
+        (80, 4, 20)
+    };
     vec![
-        ("nsf", SimConfig::with_regfile(RegFileSpec::paper_nsf(nsf_regs))),
+        (
+            "nsf",
+            SimConfig::with_regfile(RegFileSpec::paper_nsf(nsf_regs)),
+        ),
         (
             "segmented",
             SimConfig::with_regfile(RegFileSpec::paper_segmented(frames, frame_regs)),
@@ -38,8 +45,7 @@ fn configs_for(w: &Workload) -> Vec<(&'static str, SimConfig)> {
 fn every_benchmark_validates_on_every_organization() {
     for w in workloads::paper_suite(0) {
         for (tag, cfg) in configs_for(&w) {
-            let r = run(&w, cfg)
-                .unwrap_or_else(|e| panic!("{} on {tag}: {e}", w.name));
+            let r = run(&w, cfg).unwrap_or_else(|e| panic!("{} on {tag}: {e}", w.name));
             assert!(r.instructions > 0, "{} on {tag} executed nothing", w.name);
         }
     }
@@ -48,9 +54,16 @@ fn every_benchmark_validates_on_every_organization() {
 #[test]
 fn nsf_never_reloads_more_than_the_segmented_file() {
     for w in workloads::paper_suite(0) {
-        let (nsf_regs, frames, frame_regs) =
-            if w.parallel { (128, 4, 32) } else { (80, 4, 20) };
-        let nsf = run(&w, SimConfig::with_regfile(RegFileSpec::paper_nsf(nsf_regs))).unwrap();
+        let (nsf_regs, frames, frame_regs) = if w.parallel {
+            (128, 4, 32)
+        } else {
+            (80, 4, 20)
+        };
+        let nsf = run(
+            &w,
+            SimConfig::with_regfile(RegFileSpec::paper_nsf(nsf_regs)),
+        )
+        .unwrap();
         let seg = run(
             &w,
             SimConfig::with_regfile(RegFileSpec::paper_segmented(frames, frame_regs)),
@@ -69,9 +82,16 @@ fn nsf_never_reloads_more_than_the_segmented_file() {
 #[test]
 fn nsf_utilization_at_least_matches_segmented() {
     for w in workloads::paper_suite(0) {
-        let (nsf_regs, frames, frame_regs) =
-            if w.parallel { (128, 4, 32) } else { (80, 4, 20) };
-        let nsf = run(&w, SimConfig::with_regfile(RegFileSpec::paper_nsf(nsf_regs))).unwrap();
+        let (nsf_regs, frames, frame_regs) = if w.parallel {
+            (128, 4, 32)
+        } else {
+            (80, 4, 20)
+        };
+        let nsf = run(
+            &w,
+            SimConfig::with_regfile(RegFileSpec::paper_nsf(nsf_regs)),
+        )
+        .unwrap();
         let seg = run(
             &w,
             SimConfig::with_regfile(RegFileSpec::paper_segmented(frames, frame_regs)),
@@ -97,11 +117,7 @@ fn software_traps_cost_more_than_hardware_assist() {
         .unwrap();
         let mut seg_cfg = nsf::core::SegmentedConfig::paper_default(4, 32);
         seg_cfg.engine = SpillEngine::software();
-        let sw = run(
-            &w,
-            SimConfig::with_regfile(RegFileSpec::Segmented(seg_cfg)),
-        )
-        .unwrap();
+        let sw = run(&w, SimConfig::with_regfile(RegFileSpec::Segmented(seg_cfg))).unwrap();
         assert!(
             sw.regfile.spill_reload_cycles >= hw.regfile.spill_reload_cycles,
             "{}: sw {} < hw {}",

@@ -16,7 +16,11 @@ fn repeated_runs_are_bit_identical() {
         assert_eq!(a.context_switches, b.context_switches, "{}", w.name);
         assert_eq!(a.regfile, b.regfile, "{}", w.name);
         assert_eq!(a.dcache, b.dcache, "{}", w.name);
-        assert_eq!(a.occupancy.sum_valid_regs, b.occupancy.sum_valid_regs, "{}", w.name);
+        assert_eq!(
+            a.occupancy.sum_valid_regs, b.occupancy.sum_valid_regs,
+            "{}",
+            w.name
+        );
     }
 }
 

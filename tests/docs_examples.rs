@@ -27,8 +27,8 @@ fn readme_figure_block_matches_current_fig14() {
     let mut hw_spill = 0;
     let mut hw_cycles = 0;
     for w in &seq {
-        let n = nsf::workloads::run(w, SimConfig::with_regfile(RegFileSpec::paper_nsf(120)))
-            .unwrap();
+        let n =
+            nsf::workloads::run(w, SimConfig::with_regfile(RegFileSpec::paper_nsf(120))).unwrap();
         let h = nsf::workloads::run(
             w,
             SimConfig::with_regfile(RegFileSpec::paper_segmented(6, 20)),
@@ -41,6 +41,12 @@ fn readme_figure_block_matches_current_fig14() {
     }
     let nsf_frac = nsf_spill as f64 / nsf_cycles as f64;
     let hw_frac = hw_spill as f64 / hw_cycles as f64;
-    assert!(nsf_frac < 0.005, "README claims ~0% serial NSF overhead, got {nsf_frac}");
-    assert!(hw_frac > 0.01, "README claims multi-percent segmented overhead, got {hw_frac}");
+    assert!(
+        nsf_frac < 0.005,
+        "README claims ~0% serial NSF overhead, got {nsf_frac}"
+    );
+    assert!(
+        hw_frac > 0.01,
+        "README claims multi-percent segmented overhead, got {hw_frac}"
+    );
 }

@@ -59,7 +59,10 @@ fn machine_reports_read_of_undefined_register_with_pc() {
         .run()
         .unwrap_err();
     match err {
-        SimError::RegFile { pc, source: RegFileError::ReadUndefined(_) } => {
+        SimError::RegFile {
+            pc,
+            source: RegFileError::ReadUndefined(_),
+        } => {
             assert_eq!(pc, 1, "error must point at the faulting instruction");
         }
         other => panic!("wrong error: {other}"),

@@ -1,0 +1,84 @@
+//! Thread-count independence of the sweep harness.
+//!
+//! Every migrated experiment grid must produce field-for-field identical
+//! reports — and byte-identical rendered tables — whether the sweep ran
+//! on one worker thread or eight. The simulations themselves are
+//! deterministic (see `tests/determinism.rs`); these tests pin the one
+//! channel parallelism could open: result ordering.
+
+use nsf_bench::figures;
+use nsf_bench::Sweep;
+use nsf_sim::RunReport;
+
+type Render = fn(u32, &Sweep, &[RunReport], bool) -> String;
+
+/// Runs one grid serially and with 8 workers, asserting both report
+/// streams and both rendered tables match exactly.
+fn assert_thread_independent(name: &str, grid: fn(u32) -> Sweep, render: Render) {
+    let sweep = grid(0);
+    let serial = sweep.run(1);
+    let threaded = sweep.run(8);
+    assert_eq!(
+        serial, threaded,
+        "{name}: reports differ across thread counts"
+    );
+    for quiet in [false, true] {
+        let a = render(0, &sweep, &serial, quiet);
+        let b = render(0, &sweep, &threaded, quiet);
+        assert_eq!(a, b, "{name}: rendered output differs across thread counts");
+        assert!(!a.is_empty(), "{name}: empty render");
+    }
+}
+
+macro_rules! determinism_test {
+    ($($name:ident),+ $(,)?) => {$(
+        #[test]
+        fn $name() {
+            assert_thread_independent(
+                stringify!($name),
+                figures::$name::grid,
+                figures::$name::render,
+            );
+        }
+    )+};
+}
+
+determinism_test!(
+    table1,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    ablations,
+    related_work,
+    depth_sweep,
+    summary,
+);
+
+/// `export_csv` renders to CSV files rather than a table; compare the
+/// full set of (name, header, rows) across thread counts.
+#[test]
+fn export_csv() {
+    let sweep = figures::export_csv::grid(0);
+    let serial = sweep.run(1);
+    let threaded = sweep.run(8);
+    assert_eq!(
+        serial, threaded,
+        "export_csv: reports differ across thread counts"
+    );
+    let a = figures::export_csv::csvs(&sweep, &serial);
+    let b = figures::export_csv::csvs(&sweep, &threaded);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.header, y.header);
+        assert_eq!(
+            x.rows, y.rows,
+            "{}: rows differ across thread counts",
+            x.name
+        );
+    }
+    assert_eq!(a.len(), 3, "expected the three documented CSV files");
+}

@@ -15,7 +15,11 @@ fn spills_appear_in_dcache_statistics() {
     // A thrashing segmented file must generate far more cache accesses
     // than the same program on an oracle (whose register traffic is 0).
     let w = gamteb::build(0);
-    let seg = run(&w, SimConfig::with_regfile(RegFileSpec::paper_segmented(4, 32))).unwrap();
+    let seg = run(
+        &w,
+        SimConfig::with_regfile(RegFileSpec::paper_segmented(4, 32)),
+    )
+    .unwrap();
     let oracle = run(&w, SimConfig::with_regfile(RegFileSpec::Oracle)).unwrap();
     let extra = seg.dcache.accesses.saturating_sub(oracle.dcache.accesses);
     let moved = seg.regfile.regs_reloaded + seg.regfile.regs_spilled;
@@ -35,7 +39,10 @@ fn slower_cache_amplifies_spill_overhead() {
         hit_cycles: 1,
         miss_penalty: 10,
     };
-    let slow = CacheConfig { miss_penalty: 200, ..fast };
+    let slow = CacheConfig {
+        miss_penalty: 200,
+        ..fast
+    };
     let base = SimConfig::with_regfile(RegFileSpec::paper_segmented(4, 32));
     let r_fast = run(&w, with_cache(base, fast)).unwrap();
     let r_slow = run(&w, with_cache(base, slow)).unwrap();
@@ -61,7 +68,11 @@ fn tiny_cache_still_computes_correctly() {
     for w in [quicksort::build(0), gamteb::build(0)] {
         let cfg = with_cache(SimConfig::with_regfile(RegFileSpec::paper_nsf(128)), tiny);
         let r = run(&w, cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        assert!(r.dcache.miss_ratio() > 0.05, "{}: tiny cache should thrash", w.name);
+        assert!(
+            r.dcache.miss_ratio() > 0.05,
+            "{}: tiny cache should thrash",
+            w.name
+        );
     }
 }
 

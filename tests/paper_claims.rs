@@ -97,12 +97,18 @@ fn claim_line_size_shape() {
     let whole_1 = traffic(1, ReloadPolicy::WholeLine);
     let whole_4 = traffic(4, ReloadPolicy::WholeLine);
     let whole_16 = traffic(16, ReloadPolicy::WholeLine);
-    assert!(whole_1 <= whole_4 && whole_4 <= whole_16, "A-curve must grow");
+    assert!(
+        whole_1 <= whole_4 && whole_4 <= whole_16,
+        "A-curve must grow"
+    );
     for width in [4u8, 16] {
         let a = traffic(width, ReloadPolicy::WholeLine);
         let b = traffic(width, ReloadPolicy::ValidOnly);
         let c = traffic(width, ReloadPolicy::SingleRegister);
-        assert!(a >= b && b >= c, "A >= B >= C violated at width {width}: {a} {b} {c}");
+        assert!(
+            a >= b && b >= c,
+            "A >= B >= C violated at width {width}: {a} {b} {c}"
+        );
     }
 }
 
@@ -141,7 +147,10 @@ fn claim_vlsi_costs() {
         (Geometry::g64x64(), Ports::six()),
     ] {
         let a = area.nsf_overhead(geom, ports);
-        assert!((0.05..=0.65).contains(&a), "{geom:?}/{ports:?} area overhead {a}");
+        assert!(
+            (0.05..=0.65).contains(&a),
+            "{geom:?}/{ports:?} area overhead {a}"
+        );
     }
 }
 
