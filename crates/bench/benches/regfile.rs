@@ -130,5 +130,122 @@ fn bench_switch(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_hits, bench_miss_paths, bench_switch);
+fn bench_switch_storm(c: &mut Criterion) {
+    // Context switches against a large file with many resident contexts:
+    // with the per-context residency index, cost must not depend on how
+    // many lines each context holds.
+    let mut g = c.benchmark_group("switch_storm");
+    g.bench_function("nsf_switch_64_resident_contexts", |b| {
+        let mut f = NamedStateFile::new(NsfConfig::paper_default(2048));
+        let mut s = MapStore::new();
+        for cid in 0..64u16 {
+            for off in 0..32u8 {
+                f.write(RegAddr::new(cid, off), 1, &mut s).unwrap();
+            }
+        }
+        let mut cid = 0u16;
+        b.iter(|| {
+            cid = (cid + 1) % 64;
+            f.switch_to(black_box(cid), &mut s).unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_eviction_storm(c: &mut Criterion) {
+    // Steady-state eviction at 100% occupancy. Run the identical storm at
+    // two file sizes: per-write cost should be flat across sizes now that
+    // victim selection and writeback no longer scan the file.
+    let mut g = c.benchmark_group("eviction_storm");
+    for total in [128u32, 2048] {
+        g.bench_function(format!("nsf_evict_every_write_{total}_regs"), |b| {
+            let mut f = NamedStateFile::new(NsfConfig::paper_default(total));
+            let mut s = MapStore::new();
+            let contexts = (total / 32) as u16;
+            for cid in 0..contexts {
+                for off in 0..32u8 {
+                    f.write(RegAddr::new(cid, off), 1, &mut s).unwrap();
+                }
+            }
+            // Every write below targets a non-resident register of a
+            // fresh context, so it allocates — and the file being full,
+            // each allocation evicts exactly one line.
+            let mut n = 0u32;
+            b.iter(|| {
+                let cid = contexts + (n / 32 % 1024) as u16;
+                let off = (n % 32) as u8;
+                n += 1;
+                f.write(black_box(RegAddr::new(cid, off)), n, &mut s)
+                    .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_free_context(c: &mut Criterion) {
+    // Tearing down a context that owns many lines: the residency index
+    // hands over exactly the owned slots, instead of scanning every tag.
+    let mut g = c.benchmark_group("free_context");
+    g.bench_function("nsf_free_32_line_context", |b| {
+        let mut f = NamedStateFile::new(NsfConfig::paper_default(2048));
+        let mut s = MapStore::new();
+        for cid in 1..64u16 {
+            for off in 0..32u8 {
+                f.write(RegAddr::new(cid, off), 1, &mut s).unwrap();
+            }
+        }
+        b.iter_batched(
+            || (),
+            |()| {
+                for off in 0..32u8 {
+                    f.write(RegAddr::new(0, off), 1, &mut s).unwrap();
+                }
+                f.free_context(black_box(0), &mut s);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_occupancy(c: &mut Criterion) {
+    // The simulator samples occupancy every 16 instructions; with the
+    // incremental counters this is a two-field read however large the
+    // file is.
+    let mut g = c.benchmark_group("occupancy");
+    g.bench_function("nsf_occupancy_2048_regs", |b| {
+        let mut f = NamedStateFile::new(NsfConfig::paper_default(2048));
+        let mut s = MapStore::new();
+        for cid in 0..64u16 {
+            for off in 0..32u8 {
+                f.write(RegAddr::new(cid, off), 1, &mut s).unwrap();
+            }
+        }
+        b.iter(|| black_box(f.occupancy()));
+    });
+    g.bench_function("segmented_occupancy_64_frames", |b| {
+        let mut f = SegmentedFile::new(SegmentedConfig::paper_default(64, 32));
+        let mut s = MapStore::new();
+        for cid in 0..64u16 {
+            f.switch_to(cid, &mut s).unwrap();
+            for off in 0..32u8 {
+                f.write(RegAddr::new(cid, off), 1, &mut s).unwrap();
+            }
+        }
+        b.iter(|| black_box(f.occupancy()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hits,
+    bench_miss_paths,
+    bench_switch,
+    bench_switch_storm,
+    bench_eviction_storm,
+    bench_free_context,
+    bench_occupancy
+);
 criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Simulator throughput report: wall-clock time and simulated-event rate
+//! for every figure grid.
+//!
+//! ```sh
+//! cargo run --release -p nsf-bench --bin perf_report -- --scale 1
+//! ```
+//!
+//! This measures the *simulator*, not the modeled machine: each figure's
+//! grid is built and run exactly as its binary would (render excluded, so
+//! nothing is printed or written per figure), and the elapsed wall time is
+//! divided into the total instructions simulated. The numbers land in
+//! `results/BENCH_regfile.json` and a table on stdout; EXPERIMENTS.md
+//! records the `--scale 1` history. Wall-clock timing is inherently
+//! machine-dependent — these numbers never feed a figure, so the
+//! determinism rule for results paths does not apply here.
+
+use nsf_bench::figures::{
+    ablations, depth_sweep, export_csv, fig09, fig10, fig11, fig12, fig13, fig14, related_work,
+    summary, table1,
+};
+use nsf_bench::{HarnessArgs, Sweep};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+/// Builds one figure's (workload, config) point set at a given scale.
+type GridFn = fn(u32) -> Sweep;
+
+/// Every data-driven figure grid, in binary name order.
+const GRIDS: &[(&str, GridFn)] = &[
+    ("ablations", ablations::grid),
+    ("depth_sweep", depth_sweep::grid),
+    ("export_csv", export_csv::grid),
+    ("fig09_utilization", fig09::grid),
+    ("fig10_reload_traffic", fig10::grid),
+    ("fig11_resident_contexts", fig11::grid),
+    ("fig12_reload_vs_size", fig12::grid),
+    ("fig13_line_size", fig13::grid),
+    ("fig14_overhead", fig14::grid),
+    ("related_work", related_work::grid),
+    ("summary", summary::grid),
+    ("table1", table1::grid),
+];
+
+struct Row {
+    name: &'static str,
+    points: usize,
+    events: u64,
+    wall_ns: u128,
+}
+
+impl Row {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.events as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut rows = Vec::new();
+
+    println!(
+        "Simulator throughput (scale {}, {} threads)",
+        args.scale, args.threads
+    );
+    println!(
+        "{:<26} {:>7} {:>14} {:>10} {:>14}",
+        "Grid", "Points", "Instructions", "Wall ms", "Instr/sec"
+    );
+    nsf_bench::rule(74);
+    for &(name, grid) in GRIDS {
+        let t = Instant::now();
+        let sweep = grid(args.scale);
+        let reports = sweep.run(args.threads);
+        let wall_ns = t.elapsed().as_nanos();
+        let events: u64 = reports.iter().map(|r| r.instructions).sum();
+        let row = Row {
+            name,
+            points: reports.len(),
+            events,
+            wall_ns,
+        };
+        println!(
+            "{:<26} {:>7} {:>14} {:>10.1} {:>14.0}",
+            row.name,
+            row.points,
+            row.events,
+            row.wall_ns as f64 / 1e6,
+            row.events_per_sec(),
+        );
+        rows.push(row);
+    }
+    nsf_bench::rule(74);
+    let total_events: u64 = rows.iter().map(|r| r.events).sum();
+    let total_ns: u128 = rows.iter().map(|r| r.wall_ns).sum();
+    println!(
+        "{:<26} {:>7} {:>14} {:>10.1} {:>14.0}",
+        "total",
+        rows.iter().map(|r| r.points).sum::<usize>(),
+        total_events,
+        total_ns as f64 / 1e6,
+        if total_ns == 0 {
+            0.0
+        } else {
+            total_events as f64 * 1e9 / total_ns as f64
+        },
+    );
+
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"scale\": {},", args.scale).unwrap();
+    writeln!(json, "  \"threads\": {},", args.threads).unwrap();
+    json.push_str("  \"grids\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"config\": \"scale {}\", \
+             \"events\": {}, \"wall_ns\": {}, \"events_per_sec\": {:.0}}}{}",
+            r.name,
+            args.scale,
+            r.events,
+            r.wall_ns,
+            r.events_per_sec(),
+            if i + 1 < rows.len() { "," } else { "" },
+        )
+        .unwrap();
+    }
+    json.push_str("  ]\n}\n");
+
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results/");
+    let path = dir.join("BENCH_regfile.json");
+    fs::write(&path, json).expect("write BENCH_regfile.json");
+    println!("\nwrote {}", path.display());
+}

@@ -9,7 +9,12 @@
 //!
 //! Hardware performs the comparison in every line simultaneously; the model
 //! keeps a hash index alongside the tag array so simulation cost stays
-//! O(1) per access while the tag array remains the source of truth.
+//! O(1) per access while the tag array remains the source of truth. A
+//! **per-context residency index** (context → bound slots, with each
+//! slot's position stored inline) likewise makes `has_context`,
+//! `resident_contexts` and context teardown O(1) per line — `switch_to`
+//! consults it on every simulated context switch, so a tag scan there
+//! would dominate large sweeps.
 
 use crate::addr::Cid;
 use std::collections::HashMap;
@@ -31,6 +36,13 @@ pub struct AssocDecoder {
     tags: Vec<Option<LineTag>>,
     index: HashMap<LineTag, usize>,
     free: Vec<usize>,
+    /// Residency index: context → its bound slots (unordered).
+    by_ctx: HashMap<Cid, Vec<usize>>,
+    /// For each bound slot, its position within its context's slot list
+    /// (so unbinding is a swap-remove, not a search).
+    ctx_pos: Vec<usize>,
+    /// Recycled slot lists, so steady-state bind/unbind never allocates.
+    spare: Vec<Vec<usize>>,
 }
 
 impl AssocDecoder {
@@ -40,6 +52,9 @@ impl AssocDecoder {
             tags: vec![None; lines],
             index: HashMap::with_capacity(lines),
             free: (0..lines).rev().collect(),
+            by_ctx: HashMap::new(),
+            ctx_pos: vec![0; lines],
+            spare: Vec::new(),
         }
     }
 
@@ -80,37 +95,79 @@ impl AssocDecoder {
         let prev = self.index.insert(tag, slot);
         assert!(prev.is_none(), "tag {tag:?} bound twice");
         self.tags[slot] = Some(tag);
+        let slots = self
+            .by_ctx
+            .entry(cid)
+            .or_insert_with(|| self.spare.pop().unwrap_or_default());
+        self.ctx_pos[slot] = slots.len();
+        slots.push(slot);
+    }
+
+    /// Removes `slot` from its context's residency list (swap-remove,
+    /// updating the displaced slot's stored position). The caller has
+    /// already taken `slot`'s tag.
+    fn drop_from_ctx(&mut self, cid: Cid, slot: usize) {
+        let slots = self.by_ctx.get_mut(&cid).expect("context indexed");
+        let pos = self.ctx_pos[slot];
+        debug_assert_eq!(slots[pos], slot);
+        slots.swap_remove(pos);
+        if let Some(&moved) = slots.get(pos) {
+            self.ctx_pos[moved] = pos;
+        }
+        if slots.is_empty() {
+            let empty = self.by_ctx.remove(&cid).expect("just present");
+            self.spare.push(empty);
+        }
     }
 
     /// Clears `slot`, returning its previous tag (if it was bound).
     pub fn unbind(&mut self, slot: usize) -> Option<LineTag> {
         let tag = self.tags[slot].take()?;
         self.index.remove(&tag);
+        self.drop_from_ctx(tag.cid, slot);
         self.free.push(slot);
         Some(tag)
     }
 
-    /// All physical slots currently bound to context `cid`.
-    pub fn slots_of(&self, cid: Cid) -> Vec<usize> {
-        self.tags
-            .iter()
-            .enumerate()
-            .filter_map(|(i, t)| match t {
-                Some(tag) if tag.cid == cid => Some(i),
-                _ => None,
-            })
-            .collect()
+    /// Unbinds every line of `cid`, invoking `f(slot)` per line in
+    /// ascending slot order (the order the historical tag scan released
+    /// slots in, which fixes the free-list pop order and therefore the
+    /// exact slot-assignment sequence downstream).
+    pub fn unbind_context(&mut self, cid: Cid, mut f: impl FnMut(usize)) {
+        let Some(mut slots) = self.by_ctx.remove(&cid) else {
+            return;
+        };
+        slots.sort_unstable();
+        for &slot in &slots {
+            let tag = self.tags[slot].take().expect("indexed slot is bound");
+            debug_assert_eq!(tag.cid, cid);
+            self.index.remove(&tag);
+            self.free.push(slot);
+            f(slot);
+        }
+        slots.clear();
+        self.spare.push(slots);
+    }
+
+    /// Whether context `cid` has at least one bound line — the O(1) query
+    /// behind every simulated context switch.
+    pub fn has_context(&self, cid: Cid) -> bool {
+        self.by_ctx.contains_key(&cid)
+    }
+
+    /// The physical slots currently bound to context `cid`, in no
+    /// particular order.
+    pub fn slots_of(&self, cid: Cid) -> &[usize] {
+        self.by_ctx.get(&cid).map_or(&[], |v| v.as_slice())
     }
 
     /// Number of distinct contexts with at least one bound line.
     pub fn resident_contexts(&self) -> u32 {
-        let mut cids: Vec<Cid> = self.tags.iter().flatten().map(|t| t.cid).collect();
-        cids.sort_unstable();
-        cids.dedup();
-        cids.len() as u32
+        self.by_ctx.len() as u32
     }
 
-    /// Iterates over `(slot, tag)` for all bound lines.
+    /// Iterates over `(slot, tag)` for all bound lines (diagnostics and
+    /// tests; not on any simulation hot path).
     pub fn bound_lines(&self) -> impl Iterator<Item = (usize, LineTag)> + '_ {
         self.tags
             .iter()
@@ -132,9 +189,11 @@ mod tests {
         assert_eq!(d.lookup(7, 3), Some(s));
         assert_eq!(d.lookup(7, 2), None);
         assert_eq!(d.bound(), 1);
+        assert!(d.has_context(7));
         assert_eq!(d.unbind(s), Some(LineTag { cid: 7, line: 3 }));
         assert_eq!(d.lookup(7, 3), None);
         assert_eq!(d.bound(), 0);
+        assert!(!d.has_context(7));
     }
 
     #[test]
@@ -157,6 +216,64 @@ mod tests {
         assert_eq!(d.slots_of(2).len(), 1);
         assert_eq!(d.slots_of(3).len(), 0);
         assert_eq!(d.resident_contexts(), 2);
+    }
+
+    #[test]
+    fn unbind_context_releases_in_ascending_slot_order() {
+        let mut d = AssocDecoder::new(8);
+        // Free slots pop in ascending order, so cid 5 lands in 0, 1, 2
+        // and cid 9 in 3. Unbind 2 and 0, rebind them to cid 5 in the
+        // order 2, then 0, so the residency list is scrambled: [1, 2, 0].
+        for line in 0..3u8 {
+            let s = d.take_free().unwrap();
+            d.bind(s, 5, line);
+        }
+        let other = d.take_free().unwrap();
+        d.bind(other, 9, 0);
+        d.unbind(2);
+        d.unbind(0);
+        let s = d.take_free().unwrap(); // 0 (last freed)
+        d.bind(s, 5, 0);
+        let s = d.take_free().unwrap(); // 2
+        d.bind(s, 5, 2);
+        let mut released = Vec::new();
+        d.unbind_context(5, |s| released.push(s));
+        assert_eq!(released, vec![0, 1, 2], "ascending slot order");
+        assert!(!d.has_context(5));
+        assert!(d.has_context(9));
+        assert_eq!(d.resident_contexts(), 1);
+        // The freed slots pop back LIFO: 2 first (the seed's order).
+        assert_eq!(d.take_free(), Some(2));
+    }
+
+    #[test]
+    fn unbind_context_of_absent_context_is_noop() {
+        let mut d = AssocDecoder::new(2);
+        let mut called = false;
+        d.unbind_context(3, |_| called = true);
+        assert!(!called);
+    }
+
+    #[test]
+    fn residency_index_survives_swap_remove_churn() {
+        let mut d = AssocDecoder::new(6);
+        let slots: Vec<usize> = (0..6)
+            .map(|i| {
+                let s = d.take_free().unwrap();
+                d.bind(s, 1, i as u8);
+                s
+            })
+            .collect();
+        // Unbind from the middle to force swap-remove position fixups.
+        d.unbind(slots[2]);
+        d.unbind(slots[0]);
+        d.unbind(slots[4]);
+        let mut left: Vec<usize> = d.slots_of(1).to_vec();
+        left.sort_unstable();
+        let mut want = vec![slots[1], slots[3], slots[5]];
+        want.sort_unstable();
+        assert_eq!(left, want);
+        assert_eq!(d.resident_contexts(), 1);
     }
 
     #[test]

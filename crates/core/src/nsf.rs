@@ -125,6 +125,10 @@ pub struct NamedStateFile {
     lines: Vec<Line>,
     picker: VictimPicker,
     stats: RegFileStats,
+    /// Running count of set valid bits across all lines, maintained
+    /// incrementally so `occupancy()` is O(1) — the machine loop samples
+    /// it every few instructions.
+    valid_count: u32,
 }
 
 impl NamedStateFile {
@@ -153,6 +157,7 @@ impl NamedStateFile {
             lines: vec![Line::new(cfg.regs_per_line); n],
             picker: VictimPicker::new(n, cfg.replacement),
             stats: RegFileStats::default(),
+            valid_count: 0,
         }
     }
 
@@ -171,21 +176,24 @@ impl NamedStateFile {
 
     /// Spills the victim line's dirty registers and unbinds it.
     /// Returns the cycle cost.
+    ///
+    /// Only called with the file full (every slot bound), so the picker
+    /// chooses among all slots — no candidate list is materialized.
     fn evict_one(&mut self, store: &mut dyn BackingStore) -> Result<u32, RegFileError> {
-        let candidates: Vec<usize> = self.decoder.bound_lines().map(|(s, _)| s).collect();
-        let victim = self.picker.pick(&candidates);
+        let victim = self.picker.pick();
         let tag = self.decoder.unbind(victim).expect("victim was bound");
         let line = &mut self.lines[victim];
         let mut moved = 0u32;
         let mut mem_cycles = 0u32;
-        for i in 0..self.cfg.regs_per_line {
-            let bit = 1u32 << i;
-            if line.valid & bit != 0 && line.dirty & bit != 0 {
-                let offset = tag.line * self.cfg.regs_per_line + i;
-                mem_cycles += store.spill(tag.cid, offset, line.regs[i as usize])?;
-                moved += 1;
-            }
+        let mut writeback = line.valid & line.dirty;
+        while writeback != 0 {
+            let i = writeback.trailing_zeros() as u8;
+            writeback &= writeback - 1;
+            let offset = tag.line * self.cfg.regs_per_line + i;
+            mem_cycles += store.spill(tag.cid, offset, line.regs[i as usize])?;
+            moved += 1;
         }
+        self.valid_count -= line.valid.count_ones();
         line.clear();
         self.stats.regs_spilled += u64::from(moved);
         let cycles = self.cfg.engine.transfer_cost(moved, mem_cycles);
@@ -231,20 +239,31 @@ impl NamedStateFile {
         let mut live = 0u32;
         let mut mem_cycles = 0u32;
 
-        let slots_to_fetch: Vec<u8> = match self.cfg.reload {
-            ReloadPolicy::SingleRegister => vec![demand],
-            ReloadPolicy::WholeLine => (0..rpl)
-                .filter(|&i| self.lines[slot].valid & (1 << i) == 0)
-                .collect(),
-            ReloadPolicy::ValidOnly => (0..rpl)
-                .filter(|&i| {
-                    self.lines[slot].valid & (1 << i) == 0
-                        && (i == demand || store.is_present(cid, base + i))
-                })
-                .collect(),
+        // Registers still missing from the line, as a bitmask (the demand
+        // register is always among them: reload_line only runs on a miss).
+        let full: u32 = if rpl >= 32 { u32::MAX } else { (1 << rpl) - 1 };
+        let missing = full & !self.lines[slot].valid;
+        debug_assert_ne!(missing & (1 << demand), 0, "demand register resident");
+        let mut fetch = match self.cfg.reload {
+            ReloadPolicy::SingleRegister => 1 << demand,
+            ReloadPolicy::WholeLine => missing,
+            ReloadPolicy::ValidOnly => {
+                let mut mask = 1u32 << demand;
+                let mut rest = missing & !mask;
+                while rest != 0 {
+                    let i = rest.trailing_zeros() as u8;
+                    rest &= rest - 1;
+                    if store.is_present(cid, base + i) {
+                        mask |= 1 << i;
+                    }
+                }
+                mask
+            }
         };
 
-        for i in slots_to_fetch {
+        while fetch != 0 {
+            let i = fetch.trailing_zeros() as u8;
+            fetch &= fetch - 1;
             let (value, cyc) = store.reload(cid, base + i)?;
             mem_cycles += cyc;
             moved += 1;
@@ -254,6 +273,7 @@ impl NamedStateFile {
                 l.regs[i as usize] = v;
                 l.valid |= 1 << i;
                 l.dirty &= !(1 << i); // freshly loaded ⇒ clean
+                self.valid_count += 1;
             }
         }
 
@@ -345,6 +365,9 @@ impl RegisterFile for NamedStateFile {
         };
 
         let l = &mut self.lines[slot];
+        if l.valid & bit == 0 {
+            self.valid_count += 1;
+        }
         l.regs[within as usize] = value;
         l.valid |= bit;
         l.dirty |= bit;
@@ -360,17 +383,23 @@ impl RegisterFile for NamedStateFile {
         // "Context switching is very fast with the NSF, since no registers
         // must be saved or restored."
         self.stats.context_switches += 1;
-        if !self.decoder.slots_of(cid).is_empty() {
+        if self.decoder.has_context(cid) {
             self.stats.switch_hits += 1;
         }
         Ok(0)
     }
 
     fn free_context(&mut self, cid: Cid, store: &mut dyn BackingStore) {
-        for slot in self.decoder.slots_of(cid) {
-            self.decoder.unbind(slot);
-            self.lines[slot].clear();
-        }
+        let NamedStateFile {
+            decoder,
+            lines,
+            valid_count,
+            ..
+        } = self;
+        decoder.unbind_context(cid, |slot| {
+            *valid_count -= lines[slot].valid.count_ones();
+            lines[slot].clear();
+        });
         store.discard_context(cid);
     }
 
@@ -380,6 +409,9 @@ impl RegisterFile for NamedStateFile {
         let bit = 1u32 << addr.line_slot(rpl);
         if let Some(slot) = self.decoder.lookup(addr.cid, line) {
             let l = &mut self.lines[slot];
+            if l.valid & bit != 0 {
+                self.valid_count -= 1;
+            }
             l.valid &= !bit;
             l.dirty &= !bit;
             if l.valid == 0 {
@@ -395,13 +427,8 @@ impl RegisterFile for NamedStateFile {
     }
 
     fn occupancy(&self) -> Occupancy {
-        let valid_regs = self
-            .decoder
-            .bound_lines()
-            .map(|(s, _)| self.lines[s].valid.count_ones())
-            .sum();
         Occupancy {
-            valid_regs,
+            valid_regs: self.valid_count,
             resident_contexts: self.decoder.resident_contexts(),
         }
     }

@@ -123,6 +123,12 @@ pub struct SegmentedFile {
     ops: u64,
     /// `ops` value when each frame was last touched.
     last_touch: Vec<u64>,
+    /// Bitmask of unowned frames (bit i ⇔ frame i free), so claiming the
+    /// lowest-index free frame is a word scan, not a frame scan.
+    free_mask: Vec<u64>,
+    /// Running count of set valid bits across owned frames (O(1)
+    /// occupancy sampling).
+    valid_count: u32,
 }
 
 impl SegmentedFile {
@@ -137,16 +143,41 @@ impl SegmentedFile {
             cfg.frame_regs > 0 && cfg.frame_regs <= 64,
             "1..=64 registers per frame"
         );
+        let n = cfg.frames as usize;
+        let mut free_mask = vec![u64::MAX; n.div_ceil(64)];
+        if !n.is_multiple_of(64) {
+            *free_mask.last_mut().expect("at least one word") = (1u64 << (n % 64)) - 1;
+        }
         SegmentedFile {
             cfg,
-            frames: vec![Frame::new(cfg.frame_regs); cfg.frames as usize],
+            frames: vec![Frame::new(cfg.frame_regs); n],
             resident: HashMap::new(),
             current: None,
-            picker: VictimPicker::new(cfg.frames as usize, cfg.replacement),
+            picker: VictimPicker::new(n, cfg.replacement),
             stats: RegFileStats::default(),
             ops: 0,
-            last_touch: vec![0; cfg.frames as usize],
+            last_touch: vec![0; n],
+            free_mask,
+            valid_count: 0,
         }
+    }
+
+    /// The lowest-index unowned frame, if any (the frame the historical
+    /// `position(|f| f.owner.is_none())` scan would return).
+    fn first_free_frame(&self) -> Option<usize> {
+        self.free_mask
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(word, &w)| word * 64 + w.trailing_zeros() as usize)
+    }
+
+    fn mark_free(&mut self, idx: usize) {
+        self.free_mask[idx / 64] |= 1 << (idx % 64);
+    }
+
+    fn mark_owned(&mut self, idx: usize) {
+        self.free_mask[idx / 64] &= !(1 << (idx % 64));
     }
 
     /// The configuration this file was built with.
@@ -220,8 +251,11 @@ impl SegmentedFile {
                 }
             }
         }
+        let freed = frame.valid.count_ones();
         frame.clear();
+        self.valid_count -= freed;
         self.resident.remove(&cid);
+        self.mark_free(idx);
         let prepaid = moved.min(prepaid_budget);
         self.stats.regs_spilled += u64::from(moved);
         self.stats.regs_dribbled += u64::from(prepaid);
@@ -266,6 +300,7 @@ impl SegmentedFile {
                 frame.valid |= 1 << i;
             }
         }
+        self.valid_count += live;
         self.stats.lines_reloaded += 1;
         self.stats.regs_reloaded += u64::from(moved);
         self.stats.live_regs_reloaded += u64::from(live);
@@ -311,6 +346,9 @@ impl RegisterFile for SegmentedFile {
         let idx = self.current_frame(addr.cid)?;
         self.touch(idx);
         let frame = &mut self.frames[idx];
+        if frame.valid & (1 << addr.offset) == 0 {
+            self.valid_count += 1;
+        }
         frame.regs[addr.offset as usize] = value;
         frame.valid |= 1 << addr.offset;
         frame.dirty |= 1 << addr.offset;
@@ -328,18 +366,19 @@ impl RegisterFile for SegmentedFile {
             self.touch(idx);
             return Ok(0);
         }
-        // Frame miss: claim a free frame or spill a victim.
+        // Frame miss: claim a free frame or spill a victim (the file is
+        // full in that case, so the picker chooses among all frames).
         let mut cycles = 0;
-        let idx = match self.frames.iter().position(|f| f.owner.is_none()) {
+        let idx = match self.first_free_frame() {
             Some(free) => free,
             None => {
-                let occupied: Vec<usize> = (0..self.frames.len()).collect();
-                let victim = self.picker.pick(&occupied);
+                let victim = self.picker.pick();
                 cycles += self.spill_frame(victim, store)?;
                 victim
             }
         };
         self.frames[idx].owner = Some(cid);
+        self.mark_owned(idx);
         self.resident.insert(cid, idx);
         self.picker.allocate(idx);
         self.ops += 1;
@@ -351,7 +390,9 @@ impl RegisterFile for SegmentedFile {
 
     fn free_context(&mut self, cid: Cid, store: &mut dyn BackingStore) {
         if let Some(idx) = self.resident.remove(&cid) {
+            self.valid_count -= self.frames[idx].valid.count_ones();
             self.frames[idx].clear();
+            self.mark_free(idx);
             if self.current == Some(idx) {
                 self.current = None;
             }
@@ -362,6 +403,9 @@ impl RegisterFile for SegmentedFile {
     fn free_reg(&mut self, addr: RegAddr, store: &mut dyn BackingStore) {
         if let Some(&idx) = self.resident.get(&addr.cid) {
             let bit = 1u64 << addr.offset;
+            if self.frames[idx].valid & bit != 0 {
+                self.valid_count -= 1;
+            }
             self.frames[idx].valid &= !bit;
             self.frames[idx].dirty &= !bit;
         }
@@ -374,13 +418,8 @@ impl RegisterFile for SegmentedFile {
 
     fn occupancy(&self) -> Occupancy {
         Occupancy {
-            valid_regs: self
-                .frames
-                .iter()
-                .filter(|f| f.owner.is_some())
-                .map(|f| f.valid.count_ones())
-                .sum(),
-            resident_contexts: self.frames.iter().filter(|f| f.owner.is_some()).count() as u32,
+            valid_regs: self.valid_count,
+            resident_contexts: self.resident.len() as u32,
         }
     }
 

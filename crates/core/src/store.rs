@@ -10,10 +10,59 @@ use crate::traits::{BackingStore, StoreFault};
 use crate::Word;
 use std::collections::HashMap;
 
+/// One context's backing page: a dense 256-entry register array (offsets
+/// are `u8`) plus a presence bitmap. Every per-register operation is O(1),
+/// and `any_present` is a counter check rather than a map walk.
+#[derive(Debug)]
+struct Page {
+    regs: Box<[Word]>,
+    present: [u64; 4],
+    count: u16,
+}
+
+impl Page {
+    fn new() -> Self {
+        Page {
+            regs: vec![0; 256].into_boxed_slice(),
+            present: [0; 4],
+            count: 0,
+        }
+    }
+
+    fn has(&self, offset: u8) -> bool {
+        self.present[usize::from(offset) >> 6] & (1 << (offset & 63)) != 0
+    }
+
+    fn get(&self, offset: u8) -> Option<Word> {
+        self.has(offset).then(|| self.regs[usize::from(offset)])
+    }
+
+    fn set(&mut self, offset: u8, value: Word) {
+        if !self.has(offset) {
+            self.present[usize::from(offset) >> 6] |= 1 << (offset & 63);
+            self.count += 1;
+        }
+        self.regs[usize::from(offset)] = value;
+    }
+
+    fn clear(&mut self, offset: u8) {
+        if self.has(offset) {
+            self.present[usize::from(offset) >> 6] &= !(1 << (offset & 63));
+            self.count -= 1;
+        }
+    }
+}
+
 /// An in-memory backing store with a fixed per-register latency.
+///
+/// Registers live in per-context [`Page`]s, so context-granular queries
+/// (`any_present`) and teardown (`discard_context`) touch one map entry
+/// instead of walking every backed register in the machine — the seed's
+/// flat `(Cid, offset)` map made both O(total backed registers), which
+/// dominated workloads that create and retire many activations.
 #[derive(Debug, Default)]
 pub struct MapStore {
-    regs: HashMap<(Cid, u8), Word>,
+    pages: HashMap<Cid, Page>,
     /// Cycles charged per register moved (a cache-hit-like constant).
     latency: u32,
     spills: u64,
@@ -50,41 +99,49 @@ impl MapStore {
 
     /// Direct inspection of a backed register (tests).
     pub fn peek(&self, cid: Cid, offset: u8) -> Option<Word> {
-        self.regs.get(&(cid, offset)).copied()
+        self.pages.get(&cid).and_then(|p| p.get(offset))
     }
 
     /// Pre-populates a backed register (tests).
     pub fn preload(&mut self, cid: Cid, offset: u8, value: Word) {
-        self.regs.insert((cid, offset), value);
+        self.pages
+            .entry(cid)
+            .or_insert_with(Page::new)
+            .set(offset, value);
     }
 }
 
 impl BackingStore for MapStore {
     fn spill(&mut self, cid: Cid, offset: u8, value: Word) -> Result<u32, StoreFault> {
         self.spills += 1;
-        self.regs.insert((cid, offset), value);
+        self.pages
+            .entry(cid)
+            .or_insert_with(Page::new)
+            .set(offset, value);
         Ok(self.latency)
     }
 
     fn reload(&mut self, cid: Cid, offset: u8) -> Result<(Option<Word>, u32), StoreFault> {
         self.reloads += 1;
-        Ok((self.regs.get(&(cid, offset)).copied(), self.latency))
+        Ok((self.peek(cid, offset), self.latency))
     }
 
     fn is_present(&self, cid: Cid, offset: u8) -> bool {
-        self.regs.contains_key(&(cid, offset))
+        self.pages.get(&cid).is_some_and(|p| p.has(offset))
     }
 
     fn any_present(&self, cid: Cid) -> bool {
-        self.regs.keys().any(|&(c, _)| c == cid)
+        self.pages.get(&cid).is_some_and(|p| p.count > 0)
     }
 
     fn discard_context(&mut self, cid: Cid) {
-        self.regs.retain(|&(c, _), _| c != cid);
+        self.pages.remove(&cid);
     }
 
     fn discard_reg(&mut self, cid: Cid, offset: u8) {
-        self.regs.remove(&(cid, offset));
+        if let Some(p) = self.pages.get_mut(&cid) {
+            p.clear(offset);
+        }
     }
 }
 
@@ -169,6 +226,39 @@ mod tests {
         s.discard_context(1);
         assert!(!s.any_present(1));
         assert!(s.any_present(2));
+        assert_eq!(s.peek(1, 0), None, "peek sees the discard");
+        assert_eq!(s.peek(2, 0), Some(2));
+    }
+
+    #[test]
+    fn discard_reg_clears_presence() {
+        let mut s = MapStore::new();
+        s.spill(3, 0, 7).unwrap();
+        s.spill(3, 63, 8).unwrap();
+        s.spill(3, 64, 9).unwrap(); // second presence word
+        s.spill(3, 255, 10).unwrap(); // last offset
+        s.discard_reg(3, 63);
+        assert!(!s.is_present(3, 63));
+        assert!(s.is_present(3, 0));
+        assert!(s.is_present(3, 64));
+        assert!(s.is_present(3, 255));
+        assert!(s.any_present(3));
+        s.discard_reg(3, 0);
+        s.discard_reg(3, 64);
+        s.discard_reg(3, 255);
+        assert!(!s.any_present(3), "count reaches zero");
+        // Re-spilling after a full clear works and re-reports presence.
+        s.spill(3, 64, 11).unwrap();
+        assert_eq!(s.peek(3, 64), Some(11));
+    }
+
+    #[test]
+    fn preload_and_peek_roundtrip() {
+        let mut s = MapStore::new();
+        s.preload(9, 200, 12345);
+        assert_eq!(s.peek(9, 200), Some(12345));
+        assert!(s.is_present(9, 200));
+        assert_eq!(s.reload(9, 200).unwrap(), (Some(12345), 2));
     }
 
     #[test]
@@ -177,5 +267,18 @@ mod tests {
         assert!(s.spill(1, 0, 1).is_ok());
         assert!(s.reload(1, 0).is_ok());
         assert!(matches!(s.spill(1, 1, 2), Err(StoreFault::Io(_))));
+    }
+
+    #[test]
+    fn faulty_store_forwards_queries() {
+        let mut s = FaultyStore::new(MapStore::new(), 10);
+        s.spill(4, 1, 42).unwrap();
+        assert!(s.is_present(4, 1));
+        assert!(s.any_present(4));
+        s.discard_reg(4, 1);
+        assert!(!s.any_present(4));
+        s.spill(4, 2, 43).unwrap();
+        s.discard_context(4);
+        assert!(!s.is_present(4, 2));
     }
 }

@@ -66,13 +66,20 @@ struct Slot {
 pub struct WindowedFile {
     cfg: WindowedConfig,
     /// The current thread's call chain, outermost first; at most
-    /// `cfg.windows` slots hold a resident window at any time.
+    /// `cfg.windows` slots hold a resident window at any time. Spills
+    /// always take the deepest resident window, so the resident windows
+    /// form a contiguous *suffix* of the chain — the deepest resident is
+    /// always at index `chain.len() - resident_count`.
     chain: Vec<Slot>,
     /// Parked chains of other threads, keyed by their innermost CID.
     /// Parked chains are fully spilled (register values live in the
     /// backing store; only the CID order is kept).
     parked: HashMap<Cid, Vec<Cid>>,
     stats: RegFileStats,
+    /// Number of chain slots holding a resident window.
+    resident_count: usize,
+    /// Set valid bits across resident windows (O(1) occupancy sampling).
+    valid_count: u32,
 }
 
 impl WindowedFile {
@@ -92,6 +99,8 @@ impl WindowedFile {
             chain: Vec::new(),
             parked: HashMap::new(),
             stats: RegFileStats::default(),
+            resident_count: 0,
+            valid_count: 0,
         }
     }
 
@@ -115,8 +124,14 @@ impl WindowedFile {
         }
     }
 
-    fn resident(&self) -> usize {
-        self.chain.iter().filter(|s| s.window.is_some()).count()
+    /// Index of the deepest (outermost) resident window. Resident windows
+    /// are a contiguous suffix of the chain (see the field docs), so this
+    /// is pure arithmetic, not a scan.
+    fn deepest_resident(&self) -> usize {
+        debug_assert!(self.resident_count > 0);
+        let idx = self.chain.len() - self.resident_count;
+        debug_assert!(self.chain[idx].window.is_some());
+        idx
     }
 
     /// Spills slot `idx`'s window (must be resident). Returns cycles.
@@ -130,6 +145,8 @@ impl WindowedFile {
             .window
             .take()
             .expect("spilling a resident window");
+        self.resident_count -= 1;
+        self.valid_count -= w.valid.count_ones();
         let mut moved = 0u32;
         let mut mem_cycles = 0u32;
         for i in 0..self.cfg.window_regs {
@@ -175,10 +192,10 @@ impl WindowedFile {
     /// Flushes the current chain's resident windows and parks it.
     fn park_current(&mut self, store: &mut dyn BackingStore) -> Result<u32, RegFileError> {
         let mut cycles = 0;
-        for idx in 0..self.chain.len() {
-            if self.chain[idx].window.is_some() {
-                cycles += self.spill_slot(idx, store)?;
-            }
+        // Resident windows are the suffix [len - resident_count, len).
+        let start = self.chain.len() - self.resident_count;
+        for idx in start..self.chain.len() {
+            cycles += self.spill_slot(idx, store)?;
         }
         if !self.chain.is_empty() {
             let key = self.chain.last().expect("non-empty").cid;
@@ -227,6 +244,9 @@ impl RegisterFile for WindowedFile {
         let Some(w) = cur else {
             return Err(RegFileError::NotCurrent(addr.cid));
         };
+        if w.valid & (1 << addr.offset) == 0 {
+            self.valid_count += 1;
+        }
         w.regs[addr.offset as usize] = value;
         w.valid |= 1 << addr.offset;
         self.stats.write_hits += 1;
@@ -246,6 +266,8 @@ impl RegisterFile for WindowedFile {
             Some(s) if s.cid == cid => {
                 // Underflow: the caller's window was spilled earlier.
                 let (w, cycles) = self.reload_window(cid, store)?;
+                self.resident_count += 1;
+                self.valid_count += w.valid.count_ones();
                 self.chain.last_mut().expect("just matched").window = Some(w);
                 Ok(cycles)
             }
@@ -263,15 +285,12 @@ impl RegisterFile for WindowedFile {
     fn call_push(&mut self, cid: Cid, store: &mut dyn BackingStore) -> Result<u32, RegFileError> {
         self.stats.context_switches += 1;
         let mut cycles = 0;
-        if self.resident() as u32 >= self.cfg.windows {
-            let deepest = self
-                .chain
-                .iter()
-                .position(|s| s.window.is_some())
-                .expect("resident count > 0");
+        if self.resident_count as u32 >= self.cfg.windows {
+            let deepest = self.deepest_resident();
             cycles += self.spill_slot(deepest, store)?;
         }
         let w = self.fresh_window();
+        self.resident_count += 1;
         self.chain.push(Slot {
             cid,
             window: Some(w),
@@ -308,6 +327,8 @@ impl RegisterFile for WindowedFile {
             }
             let (w, cyc) = self.reload_window(top, store)?;
             cycles += cyc;
+            self.resident_count += 1;
+            self.valid_count += w.valid.count_ones();
             self.chain.push(Slot {
                 cid: top,
                 window: Some(w),
@@ -315,6 +336,7 @@ impl RegisterFile for WindowedFile {
         } else {
             // A brand new thread: claim an empty window.
             let w = self.fresh_window();
+            self.resident_count += 1;
             self.chain.push(Slot {
                 cid,
                 window: Some(w),
@@ -325,7 +347,11 @@ impl RegisterFile for WindowedFile {
 
     fn free_context(&mut self, cid: Cid, store: &mut dyn BackingStore) {
         if self.chain.last().is_some_and(|s| s.cid == cid) {
-            self.chain.pop();
+            let slot = self.chain.pop().expect("just matched");
+            if let Some(w) = slot.window {
+                self.resident_count -= 1;
+                self.valid_count -= w.valid.count_ones();
+            }
         }
         self.parked.remove(&cid);
         store.discard_context(cid);
@@ -335,6 +361,9 @@ impl RegisterFile for WindowedFile {
         if let Some(s) = self.chain.last_mut() {
             if s.cid == addr.cid {
                 if let Some(w) = s.window.as_mut() {
+                    if w.valid & (1 << addr.offset) != 0 {
+                        self.valid_count -= 1;
+                    }
                     w.valid &= !(1 << addr.offset);
                 }
             }
@@ -347,14 +376,9 @@ impl RegisterFile for WindowedFile {
     }
 
     fn occupancy(&self) -> Occupancy {
-        let resident: Vec<&Window> = self
-            .chain
-            .iter()
-            .filter_map(|s| s.window.as_ref())
-            .collect();
         Occupancy {
-            valid_regs: resident.iter().map(|w| w.valid.count_ones()).sum(),
-            resident_contexts: resident.len() as u32,
+            valid_regs: self.valid_count,
+            resident_contexts: self.resident_count as u32,
         }
     }
 

@@ -1,0 +1,465 @@
+//! Equivalence properties for the O(1) hot-path rewrite.
+//!
+//! The intrusive-list [`VictimPicker`] and the residency-indexed
+//! [`NamedStateFile`] must be *observationally identical* to the
+//! historical implementations they replaced — every figure in
+//! EXPERIMENTS.md depends on the exact eviction sequence, so "roughly the
+//! same statistics" is not good enough. Two layers of defence:
+//!
+//! 1. [`TimestampPicker`] (the retained O(n)-scan reference) is driven
+//!    with the same operation sequence as [`VictimPicker`]; picks must
+//!    agree exactly, with candidates fixed to the full ascending slot
+//!    list — the only pattern the register files ever used, because
+//!    eviction happens exclusively at full occupancy.
+//! 2. A from-scratch reference NSF (linear tag scan + timestamp picker +
+//!    `Vec`-building reload, transcribed from the seed implementation)
+//!    is run against [`NamedStateFile`] on arbitrary programs; per-access
+//!    results, typed errors, final [`RegFileStats`] and per-step
+//!    occupancy must all match.
+
+use nsf_core::replacement::{TimestampPicker, VictimPicker};
+use nsf_core::{
+    Access, BackingStore, MapStore, NamedStateFile, NsfConfig, Occupancy, RegAddr, RegFileError,
+    RegFileStats, RegisterFile, ReloadPolicy, ReplacementPolicy, SpillEngine, Word,
+    WriteMissPolicy,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Layer 1: picker vs picker.
+// ---------------------------------------------------------------------------
+
+/// One step of picker exercise.
+#[derive(Clone, Copy, Debug)]
+enum PickerOp {
+    Touch(usize),
+    Allocate(usize),
+    Pick,
+}
+
+fn arb_picker_ops(slots: usize) -> impl Strategy<Value = Vec<PickerOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0..slots).prop_map(PickerOp::Touch),
+            3 => (0..slots).prop_map(PickerOp::Allocate),
+            1 => Just(PickerOp::Pick),
+        ],
+        1..200,
+    )
+}
+
+fn arb_policy() -> impl Strategy<Value = ReplacementPolicy> {
+    prop_oneof![
+        Just(ReplacementPolicy::Lru),
+        Just(ReplacementPolicy::Fifo),
+        any::<u64>().prop_map(|seed| ReplacementPolicy::Random { seed }),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: NSF vs a transcription of the seed implementation.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct RefLine {
+    regs: Box<[Word]>,
+    valid: u32,
+    dirty: u32,
+}
+
+/// The seed `NamedStateFile`, reconstructed with deliberately naive
+/// bookkeeping: a linear-scan tag array in place of the CAM index, the
+/// timestamp picker in place of the intrusive lists, and `Vec`-building
+/// reloads. Slow and simple — exactly what the optimized file must match.
+struct RefNsf {
+    cfg: NsfConfig,
+    tags: Vec<Option<(u16, u8)>>,
+    free: Vec<usize>,
+    lines: Vec<RefLine>,
+    picker: TimestampPicker,
+    stats: RegFileStats,
+}
+
+impl RefNsf {
+    fn new(cfg: NsfConfig) -> Self {
+        let n = (cfg.total_regs / u32::from(cfg.regs_per_line)) as usize;
+        RefNsf {
+            cfg,
+            tags: vec![None; n],
+            free: (0..n).rev().collect(),
+            lines: vec![
+                RefLine {
+                    regs: vec![0; cfg.regs_per_line as usize].into_boxed_slice(),
+                    valid: 0,
+                    dirty: 0,
+                };
+                n
+            ],
+            picker: TimestampPicker::new(n, cfg.replacement),
+            stats: RegFileStats::default(),
+        }
+    }
+
+    fn lookup(&self, cid: u16, line: u8) -> Option<usize> {
+        self.tags.iter().position(|t| *t == Some((cid, line)))
+    }
+
+    fn unbind(&mut self, slot: usize) {
+        assert!(self.tags[slot].take().is_some());
+        self.free.push(slot);
+    }
+
+    fn evict_one(&mut self, store: &mut dyn BackingStore) -> Result<u32, RegFileError> {
+        let candidates: Vec<usize> = (0..self.tags.len())
+            .filter(|&s| self.tags[s].is_some())
+            .collect();
+        let victim = self.picker.pick(&candidates);
+        let (cid, line) = self.tags[victim].expect("victim was bound");
+        self.unbind(victim);
+        let l = &mut self.lines[victim];
+        let mut moved = 0u32;
+        let mut mem_cycles = 0u32;
+        for i in 0..self.cfg.regs_per_line {
+            let bit = 1u32 << i;
+            if l.valid & bit != 0 && l.dirty & bit != 0 {
+                let offset = line * self.cfg.regs_per_line + i;
+                mem_cycles += store.spill(cid, offset, l.regs[i as usize])?;
+                moved += 1;
+            }
+        }
+        l.valid = 0;
+        l.dirty = 0;
+        self.stats.regs_spilled += u64::from(moved);
+        let cycles = self.cfg.engine.transfer_cost(moved, mem_cycles);
+        self.stats.spill_reload_cycles += u64::from(cycles);
+        Ok(cycles)
+    }
+
+    fn allocate_line(
+        &mut self,
+        cid: u16,
+        line: u8,
+        store: &mut dyn BackingStore,
+    ) -> Result<(usize, u32), RegFileError> {
+        let mut cycles = 0;
+        let slot = loop {
+            if let Some(free) = self.free.pop() {
+                break free;
+            }
+            cycles += self.evict_one(store)?;
+        };
+        self.tags[slot] = Some((cid, line));
+        self.picker.allocate(slot);
+        Ok((slot, cycles))
+    }
+
+    fn reload_line(
+        &mut self,
+        slot: usize,
+        cid: u16,
+        line: u8,
+        demand: u8,
+        store: &mut dyn BackingStore,
+    ) -> Result<u32, RegFileError> {
+        let rpl = self.cfg.regs_per_line;
+        let base = line * rpl;
+        let mut moved = 0u32;
+        let mut live = 0u32;
+        let mut mem_cycles = 0u32;
+        let slots_to_fetch: Vec<u8> = match self.cfg.reload {
+            ReloadPolicy::SingleRegister => vec![demand],
+            ReloadPolicy::WholeLine => (0..rpl)
+                .filter(|&i| self.lines[slot].valid & (1 << i) == 0)
+                .collect(),
+            ReloadPolicy::ValidOnly => (0..rpl)
+                .filter(|&i| {
+                    self.lines[slot].valid & (1 << i) == 0
+                        && (i == demand || store.is_present(cid, base + i))
+                })
+                .collect(),
+        };
+        for i in slots_to_fetch {
+            let (value, cyc) = store.reload(cid, base + i)?;
+            mem_cycles += cyc;
+            moved += 1;
+            if let Some(v) = value {
+                live += 1;
+                let l = &mut self.lines[slot];
+                l.regs[i as usize] = v;
+                l.valid |= 1 << i;
+                l.dirty &= !(1 << i);
+            }
+        }
+        self.stats.lines_reloaded += 1;
+        self.stats.regs_reloaded += u64::from(moved);
+        self.stats.live_regs_reloaded += u64::from(live);
+        let cycles = self.cfg.engine.transfer_cost(moved, mem_cycles);
+        self.stats.spill_reload_cycles += u64::from(cycles);
+        Ok(cycles)
+    }
+
+    fn read(
+        &mut self,
+        addr: RegAddr,
+        store: &mut dyn BackingStore,
+    ) -> Result<Access, RegFileError> {
+        if addr.offset >= self.cfg.ctx_regs {
+            return Err(RegFileError::BadOffset(addr));
+        }
+        self.stats.reads += 1;
+        let rpl = self.cfg.regs_per_line;
+        let line = addr.line_index(rpl);
+        let within = addr.line_slot(rpl);
+        let bit = 1u32 << within;
+        if let Some(slot) = self.lookup(addr.cid, line) {
+            if self.lines[slot].valid & bit != 0 {
+                self.stats.read_hits += 1;
+                self.picker.touch(slot);
+                return Ok(Access::hit(self.lines[slot].regs[within as usize]));
+            }
+            self.stats.read_misses += 1;
+            let cycles = self.reload_line(slot, addr.cid, line, within, store)?;
+            self.picker.touch(slot);
+            if self.lines[slot].valid & bit == 0 {
+                return Err(RegFileError::ReadUndefined(addr));
+            }
+            return Ok(Access {
+                value: self.lines[slot].regs[within as usize],
+                stall_cycles: cycles,
+                missed: true,
+            });
+        }
+        self.stats.read_misses += 1;
+        let (slot, alloc_cycles) = self.allocate_line(addr.cid, line, store)?;
+        let reload_cycles = self.reload_line(slot, addr.cid, line, within, store)?;
+        self.picker.touch(slot);
+        if self.lines[slot].valid & bit == 0 {
+            if self.lines[slot].valid == 0 {
+                self.unbind(slot);
+            }
+            return Err(RegFileError::ReadUndefined(addr));
+        }
+        Ok(Access {
+            value: self.lines[slot].regs[within as usize],
+            stall_cycles: alloc_cycles + reload_cycles,
+            missed: true,
+        })
+    }
+
+    fn write(
+        &mut self,
+        addr: RegAddr,
+        value: Word,
+        store: &mut dyn BackingStore,
+    ) -> Result<Access, RegFileError> {
+        if addr.offset >= self.cfg.ctx_regs {
+            return Err(RegFileError::BadOffset(addr));
+        }
+        self.stats.writes += 1;
+        let rpl = self.cfg.regs_per_line;
+        let line = addr.line_index(rpl);
+        let within = addr.line_slot(rpl);
+        let bit = 1u32 << within;
+        let (slot, stall) = if let Some(slot) = self.lookup(addr.cid, line) {
+            self.stats.write_hits += 1;
+            (slot, 0)
+        } else {
+            self.stats.write_misses += 1;
+            let (slot, mut cycles) = self.allocate_line(addr.cid, line, store)?;
+            if self.cfg.write_miss == WriteMissPolicy::FetchOnWrite {
+                cycles += self.reload_line(slot, addr.cid, line, within, store)?;
+            }
+            (slot, cycles)
+        };
+        let l = &mut self.lines[slot];
+        l.regs[within as usize] = value;
+        l.valid |= bit;
+        l.dirty |= bit;
+        self.picker.touch(slot);
+        Ok(Access {
+            value,
+            stall_cycles: stall,
+            missed: stall > 0,
+        })
+    }
+
+    fn switch_to(&mut self, cid: u16) {
+        self.stats.context_switches += 1;
+        if self.tags.iter().any(|t| t.is_some_and(|(c, _)| c == cid)) {
+            self.stats.switch_hits += 1;
+        }
+    }
+
+    fn free_context(&mut self, cid: u16, store: &mut dyn BackingStore) {
+        // The seed released a context's slots in ascending slot order.
+        for slot in 0..self.tags.len() {
+            if self.tags[slot].is_some_and(|(c, _)| c == cid) {
+                self.unbind(slot);
+                self.lines[slot].valid = 0;
+                self.lines[slot].dirty = 0;
+            }
+        }
+        store.discard_context(cid);
+    }
+
+    fn free_reg(&mut self, addr: RegAddr, store: &mut dyn BackingStore) {
+        let rpl = self.cfg.regs_per_line;
+        let line = addr.line_index(rpl);
+        let bit = 1u32 << addr.line_slot(rpl);
+        if let Some(slot) = self.lookup(addr.cid, line) {
+            let l = &mut self.lines[slot];
+            l.valid &= !bit;
+            l.dirty &= !bit;
+            if l.valid == 0 {
+                self.unbind(slot);
+            }
+        }
+        store.discard_reg(addr.cid, addr.offset);
+    }
+
+    fn occupancy(&self) -> Occupancy {
+        let mut contexts: Vec<u16> = self.tags.iter().filter_map(|t| t.map(|(c, _)| c)).collect();
+        contexts.sort_unstable();
+        contexts.dedup();
+        Occupancy {
+            valid_regs: (0..self.tags.len())
+                .filter(|&s| self.tags[s].is_some())
+                .map(|s| self.lines[s].valid.count_ones())
+                .sum(),
+            resident_contexts: contexts.len() as u32,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared workload vocabulary.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Write(RegAddr, u32),
+    Read(RegAddr),
+    Switch(u16),
+    FreeReg(RegAddr),
+    FreeContext(u16),
+}
+
+fn arb_addr() -> impl Strategy<Value = RegAddr> {
+    // Small spaces create heavy eviction pressure on an 8-register file.
+    (0u16..6, 0u8..8).prop_map(|(cid, offset)| RegAddr::new(cid, offset))
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (arb_addr(), any::<u32>()).prop_map(|(a, v)| Op::Write(a, v)),
+        4 => arb_addr().prop_map(Op::Read),
+        2 => (0u16..6).prop_map(Op::Switch),
+        1 => arb_addr().prop_map(Op::FreeReg),
+        1 => (0u16..6).prop_map(Op::FreeContext),
+    ]
+}
+
+fn nsf_cfg(total: u32, rpl: u8, reload: ReloadPolicy, replacement: ReplacementPolicy) -> NsfConfig {
+    NsfConfig {
+        total_regs: total,
+        regs_per_line: rpl,
+        ctx_regs: 32,
+        reload,
+        write_miss: WriteMissPolicy::WriteAllocate,
+        replacement,
+        engine: SpillEngine::hardware(),
+    }
+}
+
+fn run_against_reference(cfg: NsfConfig, ops: &[Op]) {
+    let mut file = NamedStateFile::new(cfg);
+    let mut reference = RefNsf::new(cfg);
+    let mut store = MapStore::new();
+    let mut ref_store = MapStore::new();
+    for op in ops {
+        match *op {
+            Op::Write(a, v) => {
+                let got = file.write(a, v, &mut store);
+                let want = reference.write(a, v, &mut ref_store);
+                assert_eq!(got, want, "write {a} under {cfg:?}");
+            }
+            Op::Read(a) => {
+                let got = file.read(a, &mut store);
+                let want = reference.read(a, &mut ref_store);
+                assert_eq!(got, want, "read {a} under {cfg:?}");
+            }
+            Op::Switch(c) => {
+                file.switch_to(c, &mut store).unwrap();
+                reference.switch_to(c);
+            }
+            Op::FreeReg(a) => {
+                file.free_reg(a, &mut store);
+                reference.free_reg(a, &mut ref_store);
+            }
+            Op::FreeContext(c) => {
+                file.free_context(c, &mut store);
+                reference.free_context(c, &mut ref_store);
+            }
+        }
+        assert_eq!(file.occupancy(), reference.occupancy(), "after {op:?}");
+    }
+    assert_eq!(*file.stats(), reference.stats, "final stats under {cfg:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The intrusive-list picker agrees with the timestamp scan on every
+    /// operation sequence, under every policy, when picks range over the
+    /// full ascending slot list (the register files' only usage pattern).
+    #[test]
+    fn picker_matches_timestamp_reference(
+        policy in arb_policy(),
+        ops in arb_picker_ops(8),
+    ) {
+        let mut fast = VictimPicker::new(8, policy);
+        let mut slow = TimestampPicker::new(8, policy);
+        let all: Vec<usize> = (0..8).collect();
+        for op in ops {
+            match op {
+                PickerOp::Touch(s) => {
+                    fast.touch(s);
+                    slow.touch(s);
+                }
+                PickerOp::Allocate(s) => {
+                    fast.allocate(s);
+                    slow.allocate(s);
+                }
+                PickerOp::Pick => {
+                    prop_assert_eq!(fast.pick(), slow.pick(&all), "policy {:?}", policy);
+                }
+            }
+        }
+    }
+
+    /// The optimized NSF is operation-for-operation identical to the seed
+    /// implementation: same access results, same errors, same statistics,
+    /// same occupancy — across line widths, reload policies and
+    /// replacement policies, under heavy eviction pressure.
+    #[test]
+    fn nsf_matches_seed_reference(ops in proptest::collection::vec(arb_op(), 1..150)) {
+        for rpl in [1u8, 2, 4] {
+            for reload in [
+                ReloadPolicy::SingleRegister,
+                ReloadPolicy::ValidOnly,
+                ReloadPolicy::WholeLine,
+            ] {
+                run_against_reference(nsf_cfg(8, rpl, reload, ReplacementPolicy::Lru), &ops);
+            }
+        }
+        for replacement in [
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random { seed: 42 },
+        ] {
+            run_against_reference(
+                nsf_cfg(8, 1, ReloadPolicy::SingleRegister, replacement),
+                &ops,
+            );
+        }
+    }
+}

@@ -28,22 +28,37 @@ pub enum BatchSize {
 pub struct Bencher {
     samples: Vec<Duration>,
     iters_per_sample: u64,
+    /// In `--test` mode each routine runs exactly once, untimed — a
+    /// smoke-execution of every bench body (mirrors `cargo bench -- --test`
+    /// on real criterion; CI uses it to keep the benches compiling *and*
+    /// running without paying for measurement).
+    test_mode: bool,
 }
 
 const SAMPLES: usize = 11;
 const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// Whether the bench binary was invoked with `--test`.
+fn test_mode_requested() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
 
 impl Bencher {
     fn new() -> Self {
         Bencher {
             samples: Vec::new(),
             iters_per_sample: 1,
+            test_mode: false,
         }
     }
 
     /// Times `routine` over repeated calls; the result is kept live via
     /// a volatile read so the optimizer cannot discard the work.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
         // Calibrate: how many iterations fill one sample window?
         let start = Instant::now();
         let mut calib = 0u64;
@@ -69,6 +84,11 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
+        if self.test_mode {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            return;
+        }
         self.iters_per_sample = 1;
         self.samples.clear();
         // One warm-up batch, then timed batches.
@@ -114,10 +134,30 @@ fn report(name: &str, b: &Bencher) {
 }
 
 /// Entry point mirroring `criterion::Criterion`.
-#[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: test_mode_requested(),
+        }
+    }
+}
 
 impl Criterion {
+    fn run_one(&self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher::new();
+        b.test_mode = self.test_mode;
+        f(&mut b);
+        if self.test_mode {
+            println!("Testing {name}: ok");
+        } else {
+            report(name, &b);
+        }
+    }
+
     /// Runs and reports one stand-alone benchmark.
     pub fn bench_function<S, F>(&mut self, name: S, mut f: F) -> &mut Self
     where
@@ -125,9 +165,7 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let name = name.into();
-        let mut b = Bencher::new();
-        f(&mut b);
-        report(&name, &b);
+        self.run_one(&name, &mut f);
         self
     }
 
@@ -161,9 +199,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, name.into());
-        let mut b = Bencher::new();
-        f(&mut b);
-        report(&full, &b);
+        self._parent.run_one(&full, &mut f);
         self
     }
 
@@ -209,6 +245,19 @@ mod tests {
         b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
         assert_eq!(b.samples.len(), SAMPLES);
         assert!(b.median_ns_per_iter() >= 0.0);
+    }
+
+    #[test]
+    fn test_mode_runs_routine_once_untimed() {
+        let mut b = Bencher::new();
+        b.test_mode = true;
+        let mut runs = 0u32;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+        assert!(b.samples.is_empty());
+        let mut setups = 0u32;
+        b.iter_batched(|| setups += 1, |()| (), BatchSize::SmallInput);
+        assert_eq!(setups, 1);
     }
 
     #[test]
