@@ -6,21 +6,22 @@
 //! ```
 //!
 //! The simulations come from one [`nsf_bench::figures::export_csv`]
-//! sweep; only the file writing lives here.
+//! sweep; only the file writing lives here. Files land in the workspace
+//! `results/` directory wherever the binary is invoked from; `--out DIR`
+//! redirects them.
 
 use nsf_bench::figures::export_csv;
 use nsf_bench::HarnessArgs;
 use std::fs;
 use std::io::Write as _;
-use std::path::Path;
 
 fn main() {
     let args = HarnessArgs::parse();
     let sweep = export_csv::grid(args.scale);
     let reports = sweep.run(args.threads);
 
-    let dir = Path::new("results");
-    fs::create_dir_all(dir).expect("create results/");
+    let dir = args.results_dir();
+    fs::create_dir_all(&dir).expect("create results dir");
     for csv in export_csv::csvs(&sweep, &reports) {
         let path = dir.join(csv.name);
         let mut f = fs::File::create(&path).expect("create CSV");

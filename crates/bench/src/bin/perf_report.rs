@@ -1,5 +1,6 @@
 //! Simulator throughput report: wall-clock time and simulated-event rate
-//! for every figure grid.
+//! for every figure grid, plus the trace-replay path's throughput and
+//! its speedup over live simulation.
 //!
 //! ```sh
 //! cargo run --release -p nsf-bench --bin perf_report -- --scale 1
@@ -8,20 +9,27 @@
 //! This measures the *simulator*, not the modeled machine: each figure's
 //! grid is built and run exactly as its binary would (render excluded, so
 //! nothing is printed or written per figure), and the elapsed wall time is
-//! divided into the total instructions simulated. The numbers land in
-//! `results/BENCH_regfile.json` and a table on stdout; EXPERIMENTS.md
-//! records the `--scale 1` history. Wall-clock timing is inherently
-//! machine-dependent — these numbers never feed a figure, so the
-//! determinism rule for results paths does not apply here.
+//! divided into the total instructions simulated. A second section
+//! captures the Figure 12 workloads as `.nsftrace` streams and re-sweeps
+//! the figure's whole configuration grid by *replay* — the design-space
+//! shortcut `trace_tool` offers — reporting events/sec through each
+//! engine family and the replay-vs-live speedup. The numbers land in
+//! `results/BENCH_regfile.json` (override the directory with `--out`)
+//! and a table on stdout; EXPERIMENTS.md records the `--scale 1`
+//! history. Wall-clock timing is inherently machine-dependent — these
+//! numbers never feed a figure, so the determinism rule for results
+//! paths does not apply here.
 
 use nsf_bench::figures::{
     ablations, depth_sweep, export_csv, fig09, fig10, fig11, fig12, fig13, fig14, related_work,
     summary, table1,
 };
 use nsf_bench::{HarnessArgs, Sweep};
+use nsf_sim::SimConfig;
+use nsf_trace::{capture, parse_engine, replay_events, Trace};
 use std::fmt::Write as _;
 use std::fs;
-use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Builds one figure's (workload, config) point set at a given scale.
@@ -43,6 +51,23 @@ const GRIDS: &[(&str, GridFn)] = &[
     ("table1", table1::grid),
 ];
 
+/// Engine families the captured traces are replayed through, per
+/// workload class (specs for `nsf_trace::parse_engine`).
+const SEQ_ENGINES: &[&str] = &[
+    "nsf:80",
+    "segmented:8x20",
+    "segmented-sw:8x20",
+    "windowed:20",
+    "conventional:32",
+];
+const PAR_ENGINES: &[&str] = &[
+    "nsf:128",
+    "segmented:4x32",
+    "segmented-sw:4x32",
+    "windowed:32",
+    "conventional:32",
+];
+
 struct Row {
     name: &'static str,
     points: usize,
@@ -52,11 +77,126 @@ struct Row {
 
 impl Row {
     fn events_per_sec(&self) -> f64 {
-        if self.wall_ns == 0 {
+        rate(self.events, self.wall_ns)
+    }
+}
+
+fn rate(events: u64, wall_ns: u128) -> f64 {
+    if wall_ns == 0 {
+        0.0
+    } else {
+        events as f64 * 1e9 / wall_ns as f64
+    }
+}
+
+/// One engine-family replay measurement.
+struct EngineRow {
+    workload: String,
+    engine: &'static str,
+    events: u64,
+    wall_ns: u128,
+}
+
+/// The replay-vs-live measurement over the Figure 12 grid.
+struct ReplaySection {
+    live_wall_ns: u128,
+    capture_wall_ns: u128,
+    replay_wall_ns: u128,
+    replayed_points: usize,
+    engines: Vec<EngineRow>,
+}
+
+impl ReplaySection {
+    fn speedup(&self) -> f64 {
+        if self.replay_wall_ns == 0 {
             0.0
         } else {
-            self.events as f64 * 1e9 / self.wall_ns as f64
+            self.live_wall_ns as f64 / self.replay_wall_ns as f64
         }
+    }
+}
+
+/// Replays every point of the Figure 12 sweep from recorded traces,
+/// fanning across `threads` workers (same pool shape as `Sweep::run`).
+fn replay_grid(sweep: &Sweep, traces: &[Trace], threads: usize) -> usize {
+    let replay_point = |p: &nsf_bench::SweepPoint| {
+        replay_events(&traces[p.workload].events, &p.cfg)
+            .unwrap_or_else(|e| panic!("grid replay failed: {e}"))
+    };
+    if threads <= 1 {
+        for p in &sweep.points {
+            replay_point(p);
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads.min(sweep.points.len()) {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(p) = sweep.points.get(i) else { break };
+                    replay_point(p);
+                });
+            }
+        });
+    }
+    sweep.points.len()
+}
+
+/// Captures the Figure 12 workloads and measures the replay path:
+/// per-engine throughput and the grid-sweep speedup over `live_wall_ns`
+/// (the live Figure 12 run timed in the main loop).
+fn replay_section(args: &HarnessArgs, live_wall_ns: u128) -> ReplaySection {
+    let workloads = [
+        nsf_workloads::gatesim::build(args.scale),
+        nsf_workloads::gamteb::build(args.scale),
+    ];
+    let t = Instant::now();
+    let traces: Vec<Trace> = workloads
+        .iter()
+        .map(|w| {
+            let spec = nsf_trace::default_engine_spec(w.parallel);
+            let cfg = SimConfig::with_regfile(parse_engine(spec).expect("default spec"));
+            let (trace, _) = capture(w, cfg, spec, args.scale)
+                .unwrap_or_else(|e| panic!("{} capture failed: {e}", w.name));
+            trace
+        })
+        .collect();
+    let capture_wall_ns = t.elapsed().as_nanos();
+
+    // The Figure 12 sweep again, but replayed from the traces instead of
+    // re-running compiler + runtime + scheduler per configuration.
+    let sweep = fig12::grid(args.scale);
+    let t = Instant::now();
+    let replayed_points = replay_grid(&sweep, &traces, args.threads);
+    let replay_wall_ns = t.elapsed().as_nanos();
+
+    // Per-engine-family throughput, measured serially.
+    let mut engines = Vec::new();
+    for trace in &traces {
+        let specs = if trace.meta.workload == "GateSim" {
+            SEQ_ENGINES
+        } else {
+            PAR_ENGINES
+        };
+        for &spec in specs {
+            let cfg = SimConfig::with_regfile(parse_engine(spec).expect("engine spec"));
+            let t = Instant::now();
+            let r = replay_events(&trace.events, &cfg)
+                .unwrap_or_else(|e| panic!("{spec} replay failed: {e}"));
+            engines.push(EngineRow {
+                workload: trace.meta.workload.clone(),
+                engine: spec,
+                events: r.events,
+                wall_ns: t.elapsed().as_nanos(),
+            });
+        }
+    }
+    ReplaySection {
+        live_wall_ns,
+        capture_wall_ns,
+        replay_wall_ns,
+        replayed_points,
+        engines,
     }
 }
 
@@ -104,11 +244,41 @@ fn main() {
         rows.iter().map(|r| r.points).sum::<usize>(),
         total_events,
         total_ns as f64 / 1e6,
-        if total_ns == 0 {
-            0.0
-        } else {
-            total_events as f64 * 1e9 / total_ns as f64
-        },
+        rate(total_events, total_ns),
+    );
+
+    let live_fig12_ns = rows
+        .iter()
+        .find(|r| r.name == "fig12_reload_vs_size")
+        .expect("fig12 is in GRIDS")
+        .wall_ns;
+    let replay = replay_section(&args, live_fig12_ns);
+
+    println!("\nTrace replay throughput (events/sec through each engine)");
+    println!(
+        "{:<10} {:<18} {:>12} {:>10} {:>14}",
+        "Trace", "Engine", "Events", "Wall ms", "Events/sec"
+    );
+    nsf_bench::rule(68);
+    for e in &replay.engines {
+        println!(
+            "{:<10} {:<18} {:>12} {:>10.1} {:>14.0}",
+            e.workload,
+            e.engine,
+            e.events,
+            e.wall_ns as f64 / 1e6,
+            rate(e.events, e.wall_ns),
+        );
+    }
+    nsf_bench::rule(68);
+    println!(
+        "Fig. 12 grid ({} points): live {:.1} ms, capture {:.1} ms, replay {:.1} ms \
+         -> replay speedup {:.1}x",
+        replay.replayed_points,
+        replay.live_wall_ns as f64 / 1e6,
+        replay.capture_wall_ns as f64 / 1e6,
+        replay.replay_wall_ns as f64 / 1e6,
+        replay.speedup(),
     );
 
     let mut json = String::from("{\n");
@@ -129,10 +299,37 @@ fn main() {
         )
         .unwrap();
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"replay\": {\n");
+    writeln!(json, "    \"grid\": \"fig12_reload_vs_size\",").unwrap();
+    writeln!(json, "    \"points\": {},", replay.replayed_points).unwrap();
+    writeln!(json, "    \"live_wall_ns\": {},", replay.live_wall_ns).unwrap();
+    writeln!(json, "    \"capture_wall_ns\": {},", replay.capture_wall_ns).unwrap();
+    writeln!(json, "    \"replay_wall_ns\": {},", replay.replay_wall_ns).unwrap();
+    writeln!(json, "    \"speedup\": {:.2},", replay.speedup()).unwrap();
+    json.push_str("    \"engines\": [\n");
+    for (i, e) in replay.engines.iter().enumerate() {
+        writeln!(
+            json,
+            "      {{\"workload\": \"{}\", \"engine\": \"{}\", \"events\": {}, \
+             \"wall_ns\": {}, \"events_per_sec\": {:.0}}}{}",
+            e.workload,
+            e.engine,
+            e.events,
+            e.wall_ns,
+            rate(e.events, e.wall_ns),
+            if i + 1 < replay.engines.len() {
+                ","
+            } else {
+                ""
+            },
+        )
+        .unwrap();
+    }
+    json.push_str("    ]\n  }\n}\n");
 
-    let dir = Path::new("results");
-    fs::create_dir_all(dir).expect("create results/");
+    let dir = args.results_dir();
+    fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join("BENCH_regfile.json");
     fs::write(&path, json).expect("write BENCH_regfile.json");
     println!("\nwrote {}", path.display());

@@ -1,0 +1,330 @@
+//! Record, inspect, replay and diff `.nsftrace` register-event traces.
+//!
+//! ```sh
+//! # Capture a benchmark's operation stream (validated live run):
+//! cargo run --release -p nsf-bench --bin trace_tool -- \
+//!     record --workload gatesim --scale 1 --out gatesim.nsftrace
+//!
+//! # Header, event histogram and sizes:
+//! cargo run --release -p nsf-bench --bin trace_tool -- info gatesim.nsftrace
+//!
+//! # Re-sweep the design space from the trace (no workload re-execution);
+//! # several engines fan across --threads workers:
+//! cargo run --release -p nsf-bench --bin trace_tool -- \
+//!     replay gatesim.nsftrace --engine nsf:80 --engine segmented:4x20 --threads 2
+//!
+//! # First divergent operation and per-statistic deltas between engines:
+//! cargo run --release -p nsf-bench --bin trace_tool -- \
+//!     diff gatesim.nsftrace --a nsf:80 --b nsf:40
+//! ```
+//!
+//! Engine specs follow `nsf_trace::spec` (`nsf:80`, `nsf:128x4`,
+//! `segmented:4x32`, `segmented-sw:...`, `segmented-valid:...`,
+//! `windowed:20`, `conventional:32`, `oracle`). Replaying a trace
+//! through the engine that recorded it reproduces the live run's
+//! statistics exactly; other engines answer "what would this op stream
+//! have cost on that file?".
+
+use nsf_sim::SimConfig;
+use nsf_trace::{capture, diff, parse_engine, replay, ReplayReport, Trace, TraceReader};
+use nsf_workloads::Workload;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: trace_tool record --workload NAME [--engine SPEC] [--scale N] [--out FILE]\n\
+         \x20      trace_tool info FILE\n\
+         \x20      trace_tool replay FILE [--engine SPEC]... [--threads N]\n\
+         \x20      trace_tool diff FILE --a SPEC --b SPEC"
+    );
+    ExitCode::from(64)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("trace_tool: {msg}");
+    ExitCode::from(2)
+}
+
+/// Values of every `--flag value` occurrence, plus positional operands.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Self {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it.next().cloned().unwrap_or_default();
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn flag_all(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+}
+
+/// Builds the named paper benchmark (case-insensitive) at `scale`.
+fn workload_by_name(name: &str, scale: u32) -> Result<Workload, String> {
+    let suite = nsf_workloads::paper_suite(scale);
+    let names: Vec<&str> = suite.iter().map(|w| w.name).collect();
+    suite
+        .into_iter()
+        .find(|w| w.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown workload {name:?}; known: {}", names.join(", ")))
+}
+
+fn engine_config(spec: &str) -> Result<SimConfig, String> {
+    Ok(SimConfig::with_regfile(
+        parse_engine(spec).map_err(|e| e.to_string())?,
+    ))
+}
+
+fn cmd_record(args: &Args) -> Result<(), String> {
+    let name = args
+        .flag("workload")
+        .ok_or("record needs --workload NAME")?;
+    let scale: u32 = match args.flag("scale") {
+        Some(s) => s.parse().map_err(|_| format!("bad --scale {s:?}"))?,
+        None => 1,
+    };
+    let workload = workload_by_name(name, scale)?;
+    let spec = args
+        .flag("engine")
+        .unwrap_or_else(|| nsf_trace::default_engine_spec(workload.parallel));
+    let out = args
+        .flag("out")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{}.nsftrace", workload.name.to_lowercase()));
+    let cfg = engine_config(spec)?;
+    let t = Instant::now();
+    let (trace, report) =
+        capture(&workload, cfg, spec, scale).map_err(|e| format!("capture failed: {e}"))?;
+    trace
+        .write_file(&out)
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "recorded {}: {} events ({} register ops) from {} instructions under {} in {:.1} ms",
+        out,
+        trace.events.len(),
+        trace.events.iter().filter(|e| !e.event.is_mem()).count(),
+        report.instructions,
+        spec,
+        t.elapsed().as_secs_f64() * 1e3,
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("info needs a trace file")?;
+    let file = File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    let bytes = file
+        .metadata()
+        .map_err(|e| format!("stat {path}: {e}"))?
+        .len();
+    // Stream rather than slurp: info must work on traces larger than RAM
+    // would comfortably hold, and it doubles as a full integrity check
+    // (count + checksum are verified at the trailer).
+    let mut reader =
+        TraceReader::new(BufReader::new(file)).map_err(|e| format!("reading {path}: {e}"))?;
+    let meta = reader.meta().clone();
+    let mut kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut last_cycle = 0;
+    while let Some(te) = reader
+        .next_event()
+        .map_err(|e| format!("reading {path}: {e}"))?
+    {
+        *kinds.entry(te.event.kind()).or_insert(0) += 1;
+        last_cycle = te.cycle;
+    }
+    let events = reader.events_read();
+    println!("{path}: nsftrace v{}", nsf_trace::FORMAT_VERSION);
+    println!("  workload          {}", meta.workload);
+    println!("  engine            {}", meta.engine);
+    println!("  scale             {}", meta.scale);
+    println!("  instructions      {}", meta.instructions);
+    println!("  cycles            {}", meta.cycles);
+    println!("  context switches  {}", meta.context_switches);
+    println!("  events            {events} (last stamped cycle {last_cycle})");
+    println!(
+        "  size              {bytes} bytes ({:.2} bytes/event)",
+        if events == 0 {
+            0.0
+        } else {
+            bytes as f64 / events as f64
+        }
+    );
+    for (kind, n) in kinds {
+        println!("    {kind:<15} {n}");
+    }
+    println!("  integrity         ok (count + checksum verified)");
+    Ok(())
+}
+
+fn print_replay(spec: &str, meta_instructions: u64, r: &ReplayReport, wall_ms: f64) {
+    let s = &r.stats;
+    println!(
+        "{:<18} {:>10} {:>10} {:>9} {:>9} {:>11} {:>9.4} {:>9.1}",
+        spec,
+        s.reads,
+        s.writes,
+        s.regs_reloaded,
+        s.regs_spilled,
+        s.spill_reload_cycles,
+        s.reloads_per_instruction(meta_instructions),
+        wall_ms,
+    );
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("replay needs a trace file")?;
+    let trace = Trace::read_file(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut specs: Vec<String> = args
+        .flag_all("engine")
+        .iter()
+        .flat_map(|s| s.split(','))
+        .map(str::to_string)
+        .collect();
+    if specs.is_empty() {
+        specs.push(trace.meta.engine.clone());
+    }
+    let threads: usize = match args.flag("threads") {
+        Some(t) => t.parse().map_err(|_| format!("bad --threads {t:?}"))?,
+        None => 1,
+    };
+    let configs: Vec<(String, SimConfig)> = specs
+        .iter()
+        .map(|s| Ok((s.clone(), engine_config(s)?)))
+        .collect::<Result<_, String>>()?;
+
+    println!(
+        "replaying {} ({} events, {} instructions live) through {} engine(s)",
+        path,
+        trace.events.len(),
+        trace.meta.instructions,
+        configs.len()
+    );
+    println!(
+        "{:<18} {:>10} {:>10} {:>9} {:>9} {:>11} {:>9} {:>9}",
+        "Engine", "Reads", "Writes", "Reloads", "Spills", "SpillCyc", "Rld/inst", "Wall ms"
+    );
+    nsf_bench::rule(92);
+    let results: Vec<(ReplayReport, f64)> = if threads <= 1 || configs.len() <= 1 {
+        configs
+            .iter()
+            .map(|(spec, cfg)| {
+                let t = Instant::now();
+                let r = replay(&trace, cfg).map_err(|e| format!("{spec}: {e}"))?;
+                Ok((r, t.elapsed().as_secs_f64() * 1e3))
+            })
+            .collect::<Result<_, String>>()?
+    } else {
+        // Engines are independent; fan them across worker threads. The
+        // printed order stays the spec order regardless of completion.
+        let mut slots: Vec<Option<Result<(ReplayReport, f64), String>>> =
+            (0..configs.len()).map(|_| None).collect();
+        let trace_ref = &trace;
+        std::thread::scope(|s| {
+            for ((spec, cfg), slot) in configs.iter().zip(slots.iter_mut()) {
+                s.spawn(move || {
+                    let t = Instant::now();
+                    *slot = Some(
+                        replay(trace_ref, cfg)
+                            .map(|r| (r, t.elapsed().as_secs_f64() * 1e3))
+                            .map_err(|e| format!("{spec}: {e}")),
+                    );
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("worker filled its slot"))
+            .collect::<Result<_, String>>()?
+    };
+    for ((spec, _), (r, wall_ms)) in configs.iter().zip(&results) {
+        print_replay(spec, trace.meta.instructions, r, *wall_ms);
+    }
+    if let Some((same, _)) = configs
+        .iter()
+        .zip(&results)
+        .find(|((spec, _), _)| **spec == trace.meta.engine)
+    {
+        println!(
+            "note: {} is the recording engine; its replayed statistics are exact",
+            same.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_diff(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("diff needs a trace file")?;
+    let spec_a = args.flag("a").ok_or("diff needs --a SPEC")?;
+    let spec_b = args.flag("b").ok_or("diff needs --b SPEC")?;
+    let trace = Trace::read_file(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let d = diff(&trace, &engine_config(spec_a)?, &engine_config(spec_b)?)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "diffing {} ({} events) — A: {} | B: {}",
+        path, d.a.events, d.a.regfile_desc, d.b.regfile_desc
+    );
+    match &d.first_divergence {
+        Some(div) => println!(
+            "first divergence at event {} (cycle {}): {}\n  {}",
+            div.index, div.event.cycle, div.event.event, div.detail
+        ),
+        None => println!("no per-operation divergence"),
+    }
+    if d.deltas.is_empty() {
+        println!("statistics identical");
+    } else {
+        println!("{:<22} {:>12} {:>12} {:>12}", "Statistic", "A", "B", "B-A");
+        nsf_bench::rule(62);
+        for s in &d.deltas {
+            println!("{:<22} {:>12} {:>12} {:>+12}", s.name, s.a, s.b, s.delta());
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().map(String::as_str) else {
+        return usage();
+    };
+    let args = Args::parse(&raw[1..]);
+    let result = match cmd {
+        "record" => cmd_record(&args),
+        "info" => cmd_info(&args),
+        "replay" => cmd_replay(&args),
+        "diff" => cmd_diff(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(e),
+    }
+}

@@ -37,7 +37,7 @@ use nsf_workloads::{run, Workload};
 pub mod figures;
 pub mod runner;
 
-pub use runner::{figure_main, Cursor, HarnessArgs, Sweep, SweepPoint};
+pub use runner::{figure_main, workspace_results_dir, Cursor, HarnessArgs, Sweep, SweepPoint};
 
 /// Registers per sequential context (the paper allocates 20).
 pub const SEQ_CTX_REGS: u8 = 20;

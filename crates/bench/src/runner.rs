@@ -107,7 +107,7 @@ impl Sweep {
 }
 
 /// Command-line arguments shared by every experiment binary.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HarnessArgs {
     /// Problem size: 0 = smoke, 1 = the evaluation size in EXPERIMENTS.md.
     pub scale: u32,
@@ -115,11 +115,14 @@ pub struct HarnessArgs {
     pub threads: usize,
     /// Suppress the commentary footer under each table.
     pub quiet: bool,
+    /// Output directory override for binaries that write artifacts
+    /// (`--out <dir>`); `None` means the workspace `results/` directory.
+    pub out: Option<String>,
 }
 
 impl HarnessArgs {
-    /// Parses `--scale N`, `--threads N` and `--quiet` from the process
-    /// arguments; unknown arguments are ignored.
+    /// Parses `--scale N`, `--threads N`, `--quiet` and `--out DIR` from
+    /// the process arguments; unknown arguments are ignored.
     pub fn parse() -> Self {
         Self::from_args(std::env::args().skip(1))
     }
@@ -128,20 +131,39 @@ impl HarnessArgs {
     /// [`HarnessArgs::parse`]).
     pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
         let args: Vec<String> = args.into_iter().collect();
-        let value_of = |flag: &str| {
+        let str_of = |flag: &str| {
             args.iter()
                 .position(|a| a == flag)
                 .and_then(|i| args.get(i + 1))
-                .and_then(|v| v.parse::<u64>().ok())
+                .cloned()
         };
+        let value_of = |flag: &str| str_of(flag).and_then(|v| v.parse::<u64>().ok());
         HarnessArgs {
             scale: value_of("--scale").unwrap_or(1) as u32,
             threads: value_of("--threads")
                 .map(|t| (t as usize).max(1))
                 .unwrap_or_else(default_threads),
             quiet: args.iter().any(|a| a == "--quiet"),
+            out: str_of("--out"),
         }
     }
+
+    /// The directory artifact-writing binaries should use: `--out` if
+    /// given, else the workspace `results/` directory — resolved against
+    /// this crate's manifest, so the path is correct from any working
+    /// directory (the seed resolved `results/` relative to the *current*
+    /// directory, scattering artifacts when invoked from a subcrate).
+    pub fn results_dir(&self) -> std::path::PathBuf {
+        match &self.out {
+            Some(dir) => std::path::PathBuf::from(dir),
+            None => workspace_results_dir(),
+        }
+    }
+}
+
+/// The checked-in `results/` directory at the workspace root.
+pub fn workspace_results_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
 }
 
 impl Default for HarnessArgs {
@@ -150,6 +172,7 @@ impl Default for HarnessArgs {
             scale: 1,
             threads: default_threads(),
             quiet: false,
+            out: None,
         }
     }
 }
@@ -243,7 +266,8 @@ mod tests {
             HarnessArgs {
                 scale: 0,
                 threads: 3,
-                quiet: true
+                quiet: true,
+                out: None
             }
         );
         let d = HarnessArgs::from_args(std::iter::empty());
@@ -253,6 +277,23 @@ mod tests {
         // --threads 0 clamps to 1 rather than deadlocking.
         let z = HarnessArgs::from_args(["--threads", "0"].map(String::from));
         assert_eq!(z.threads, 1);
+    }
+
+    #[test]
+    fn out_flag_overrides_results_dir() {
+        let a = HarnessArgs::from_args(["--out", "/tmp/elsewhere"].map(String::from));
+        assert_eq!(a.out.as_deref(), Some("/tmp/elsewhere"));
+        assert_eq!(a.results_dir(), std::path::Path::new("/tmp/elsewhere"));
+        // Without --out, artifacts land in the workspace results/
+        // directory regardless of the invoking working directory.
+        let d = HarnessArgs::default();
+        assert!(d.results_dir().ends_with("results"));
+        assert!(d
+            .results_dir()
+            .parent()
+            .unwrap()
+            .join("Cargo.toml")
+            .exists());
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod conventional;
 pub mod nsf;
 pub mod oracle;
 pub mod policy;
+pub mod record;
 pub mod replacement;
 pub mod segmented;
 pub mod stats;
@@ -54,6 +55,7 @@ pub use conventional::ConventionalFile;
 pub use nsf::{NamedStateFile, NsfConfig};
 pub use oracle::OracleFile;
 pub use policy::{ReloadPolicy, ReplacementPolicy, SpillEngine, WriteMissPolicy};
+pub use record::{EventSink, RecordingFile, SharedSink};
 pub use segmented::{SegmentedConfig, SegmentedFile};
 pub use stats::{Occupancy, RegFileStats};
 pub use store::{FaultyStore, MapStore};

@@ -1,0 +1,268 @@
+//! Event capture: the [`EventSink`] hook and the [`RecordingFile`]
+//! wrapper that interposes on any [`RegisterFile`] without the wrapped
+//! organization (or the code driving it) knowing.
+//!
+//! The paper's evaluation (Figs. 9–13) depends only on the stream of
+//! register-file operations, not on how the processor produced them.
+//! A sink observes exactly that stream: every access, context switch
+//! and deallocation the engine sees, in call order — plus the program's
+//! own data-cache traffic, because spills and reloads go *through the
+//! data cache* (paper Fig. 4), so cache state (and therefore spill and
+//! reload cycle costs) is a function of the interleaved register and
+//! program memory streams. A trace carrying both replays to
+//! bit-identical [`crate::RegFileStats`] (see the `nsf-trace` crate).
+//!
+//! Recording is strictly observational: [`RecordingFile`] forwards every
+//! call unchanged and never perturbs timing, statistics or results.
+
+use crate::addr::{Cid, RegAddr};
+use crate::stats::Occupancy;
+use crate::traits::{Access, BackingStore, RegFileError, RegisterFile};
+use crate::{RegFileStats, Word};
+use nsf_mem::Addr;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Observer of the engine-facing operation stream.
+///
+/// Methods are invoked *before* the operation executes, so the recorded
+/// order is the call order even when an operation fails. All methods
+/// take `&mut self`; sinks are shared via `Rc<RefCell<_>>` between the
+/// [`RecordingFile`] (register events) and the simulator (memory events
+/// and clock stamps).
+pub trait EventSink {
+    /// The simulator's clock advanced to `cycle`. Stamps subsequent
+    /// events; purely informational (replay ignores it). Called once per
+    /// instruction, not per event.
+    fn clock(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
+
+    /// A register read was issued.
+    fn reg_read(&mut self, addr: RegAddr);
+
+    /// A register write of `value` was issued.
+    fn reg_write(&mut self, addr: RegAddr, value: Word);
+
+    /// `cid` became current via a plain switch (procedure return).
+    fn switch_to(&mut self, cid: Cid);
+
+    /// `cid` became current via a procedure call (fresh context — this
+    /// is the allocation edge of a context's lifetime).
+    fn call_push(&mut self, cid: Cid);
+
+    /// `cid` became current via a thread dispatch.
+    fn thread_switch(&mut self, cid: Cid);
+
+    /// Every register of `cid` was declared dead.
+    fn free_context(&mut self, cid: Cid);
+
+    /// A single register was explicitly deallocated (paper §4.2).
+    fn free_reg(&mut self, addr: RegAddr);
+
+    /// The program loaded from data memory (through the data cache).
+    fn mem_read(&mut self, addr: Addr);
+
+    /// The program stored to data memory (through the data cache).
+    fn mem_write(&mut self, addr: Addr);
+}
+
+/// A shareable sink handle, as held by the simulator and the wrapper.
+pub type SharedSink = Rc<RefCell<dyn EventSink>>;
+
+/// A [`RegisterFile`] wrapper that reports every operation to an
+/// [`EventSink`] and then forwards it to the wrapped organization.
+///
+/// Statistics, occupancy, capacity and description all come from the
+/// inner file, so a recorded run reports exactly what an unrecorded run
+/// would.
+pub struct RecordingFile {
+    inner: Box<dyn RegisterFile>,
+    sink: SharedSink,
+}
+
+impl RecordingFile {
+    /// Wraps `inner`, reporting its operation stream to `sink`.
+    pub fn new(inner: Box<dyn RegisterFile>, sink: SharedSink) -> Self {
+        RecordingFile { inner, sink }
+    }
+
+    /// Unwraps, returning the inner file.
+    pub fn into_inner(self) -> Box<dyn RegisterFile> {
+        self.inner
+    }
+}
+
+impl RegisterFile for RecordingFile {
+    fn read(
+        &mut self,
+        addr: RegAddr,
+        store: &mut dyn BackingStore,
+    ) -> Result<Access, RegFileError> {
+        self.sink.borrow_mut().reg_read(addr);
+        self.inner.read(addr, store)
+    }
+
+    fn write(
+        &mut self,
+        addr: RegAddr,
+        value: Word,
+        store: &mut dyn BackingStore,
+    ) -> Result<Access, RegFileError> {
+        self.sink.borrow_mut().reg_write(addr, value);
+        self.inner.write(addr, value, store)
+    }
+
+    fn switch_to(&mut self, cid: Cid, store: &mut dyn BackingStore) -> Result<u32, RegFileError> {
+        self.sink.borrow_mut().switch_to(cid);
+        self.inner.switch_to(cid, store)
+    }
+
+    fn call_push(&mut self, cid: Cid, store: &mut dyn BackingStore) -> Result<u32, RegFileError> {
+        self.sink.borrow_mut().call_push(cid);
+        self.inner.call_push(cid, store)
+    }
+
+    fn thread_switch(
+        &mut self,
+        cid: Cid,
+        store: &mut dyn BackingStore,
+    ) -> Result<u32, RegFileError> {
+        self.sink.borrow_mut().thread_switch(cid);
+        self.inner.thread_switch(cid, store)
+    }
+
+    fn free_context(&mut self, cid: Cid, store: &mut dyn BackingStore) {
+        self.sink.borrow_mut().free_context(cid);
+        self.inner.free_context(cid, store);
+    }
+
+    fn free_reg(&mut self, addr: RegAddr, store: &mut dyn BackingStore) {
+        self.sink.borrow_mut().free_reg(addr);
+        self.inner.free_reg(addr, store);
+    }
+
+    fn capacity(&self) -> u32 {
+        self.inner.capacity()
+    }
+
+    fn occupancy(&self) -> Occupancy {
+        self.inner.occupancy()
+    }
+
+    fn stats(&self) -> &RegFileStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+    }
+
+    fn describe(&self) -> String {
+        self.inner.describe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MapStore;
+    use crate::{NamedStateFile, NsfConfig};
+
+    /// A sink that tallies calls per kind.
+    #[derive(Default)]
+    struct CountingSink {
+        reads: u32,
+        writes: u32,
+        switches: u32,
+        calls: u32,
+        threads: u32,
+        free_ctx: u32,
+        free_reg: u32,
+        mem: u32,
+        last_clock: u64,
+    }
+
+    impl EventSink for CountingSink {
+        fn clock(&mut self, cycle: u64) {
+            self.last_clock = cycle;
+        }
+        fn reg_read(&mut self, _: RegAddr) {
+            self.reads += 1;
+        }
+        fn reg_write(&mut self, _: RegAddr, _: Word) {
+            self.writes += 1;
+        }
+        fn switch_to(&mut self, _: Cid) {
+            self.switches += 1;
+        }
+        fn call_push(&mut self, _: Cid) {
+            self.calls += 1;
+        }
+        fn thread_switch(&mut self, _: Cid) {
+            self.threads += 1;
+        }
+        fn free_context(&mut self, _: Cid) {
+            self.free_ctx += 1;
+        }
+        fn free_reg(&mut self, _: RegAddr) {
+            self.free_reg += 1;
+        }
+        fn mem_read(&mut self, _: Addr) {
+            self.mem += 1;
+        }
+        fn mem_write(&mut self, _: Addr) {
+            self.mem += 1;
+        }
+    }
+
+    #[test]
+    fn wrapper_records_and_forwards() {
+        let sink = Rc::new(RefCell::new(CountingSink::default()));
+        let inner = Box::new(NamedStateFile::new(NsfConfig::paper_default(16)));
+        let mut f = RecordingFile::new(inner, sink.clone());
+        let mut store = MapStore::new();
+
+        f.switch_to(1, &mut store).unwrap();
+        f.write(RegAddr::new(1, 0), 7, &mut store).unwrap();
+        let v = f.read(RegAddr::new(1, 0), &mut store).unwrap();
+        assert_eq!(v.value, 7, "forwarding preserves results");
+        f.call_push(2, &mut store).unwrap();
+        f.thread_switch(1, &mut store).unwrap();
+        f.free_reg(RegAddr::new(1, 0), &mut store);
+        f.free_context(2, &mut store);
+
+        let s = sink.borrow();
+        assert_eq!(
+            (s.reads, s.writes, s.switches, s.calls, s.threads),
+            (1, 1, 1, 1, 1)
+        );
+        assert_eq!((s.free_ctx, s.free_reg), (1, 1));
+        drop(s);
+
+        // Stats flow through from the inner file.
+        assert_eq!(f.stats().reads, 1);
+        assert_eq!(f.stats().writes, 1);
+        assert!(f.describe().contains("NSF"));
+        assert_eq!(f.capacity(), 16);
+        let inner = f.into_inner();
+        assert_eq!(inner.stats().reads, 1);
+    }
+
+    #[test]
+    fn clock_default_is_noop() {
+        struct Minimal;
+        impl EventSink for Minimal {
+            fn reg_read(&mut self, _: RegAddr) {}
+            fn reg_write(&mut self, _: RegAddr, _: Word) {}
+            fn switch_to(&mut self, _: Cid) {}
+            fn call_push(&mut self, _: Cid) {}
+            fn thread_switch(&mut self, _: Cid) {}
+            fn free_context(&mut self, _: Cid) {}
+            fn free_reg(&mut self, _: RegAddr) {}
+            fn mem_read(&mut self, _: Addr) {}
+            fn mem_write(&mut self, _: Addr) {}
+        }
+        Minimal.clock(42); // must compile and do nothing
+    }
+}

@@ -35,7 +35,7 @@ pub mod machine;
 pub mod metrics;
 pub mod trace;
 
-pub use backing::BackingMap;
+pub use backing::{BackingMap, CtableBacking};
 pub use config::{CycleTable, RegFileSpec, SimConfig};
 pub use machine::{Machine, SimError};
 pub use metrics::{OccupancySummary, RunReport};

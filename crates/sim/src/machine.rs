@@ -5,7 +5,7 @@ use crate::backing::{BackingMap, CtableBacking};
 use crate::config::SimConfig;
 use crate::metrics::RunReport;
 use crate::trace::{TraceBuffer, TraceEntry};
-use nsf_core::{Cid, RegAddr, RegFileError, RegisterFile};
+use nsf_core::{Cid, RecordingFile, RegAddr, RegFileError, RegisterFile, SharedSink};
 use nsf_isa::{Inst, InstClass, Program, Reg};
 use nsf_mem::{Addr, Cache, MemSystem, Word};
 use nsf_runtime::{BlockReason, SchedDecision, Scheduler, SchedulerError, ThreadId};
@@ -139,6 +139,7 @@ pub struct Machine {
     active_cid: Option<Cid>,
     trace: TraceBuffer,
     icache: Option<Cache>,
+    sink: Option<SharedSink>,
 }
 
 impl fmt::Debug for Machine {
@@ -175,6 +176,7 @@ impl Machine {
             active_cid: None,
             trace: TraceBuffer::new(cfg.trace_depth),
             icache: cfg.icache.map(Cache::new),
+            sink: None,
             cfg,
         };
         let entry = m.program.entry();
@@ -198,6 +200,20 @@ impl Machine {
     /// `SimConfig::trace_depth > 0`).
     pub fn trace(&self) -> &TraceBuffer {
         &self.trace
+    }
+
+    /// Attaches an event sink that observes the register-file operation
+    /// stream (via a [`RecordingFile`] wrapper around the configured
+    /// organization), the program's data-cache traffic, and per
+    /// instruction clock stamps. Call before [`Machine::run_and_keep`];
+    /// recording is observational and never changes results or timing.
+    pub fn attach_sink(&mut self, sink: SharedSink) {
+        let inner = std::mem::replace(
+            &mut self.regfile,
+            Box::new(nsf_core::OracleFile::new()), // placeholder, swapped below
+        );
+        self.regfile = Box::new(RecordingFile::new(inner, sink.clone()));
+        self.sink = Some(sink);
     }
 
     /// Runs to completion and returns the measurement report.
@@ -350,8 +366,30 @@ impl Machine {
         }
     }
 
+    /// Stamps the sink (if any) with the current clock.
+    fn note_clock(&self) {
+        if let Some(s) = &self.sink {
+            s.borrow_mut().clock(self.clock);
+        }
+    }
+
+    /// Reports a cached program load to the sink (if any).
+    fn note_mem_read(&self, addr: Addr) {
+        if let Some(s) = &self.sink {
+            s.borrow_mut().mem_read(addr);
+        }
+    }
+
+    /// Reports a cached program store to the sink (if any).
+    fn note_mem_write(&self, addr: Addr) {
+        if let Some(s) = &self.sink {
+            s.borrow_mut().mem_write(addr);
+        }
+    }
+
     /// Executes one instruction of the running thread.
     fn step(&mut self) -> Result<Status, SimError> {
+        self.note_clock();
         // Deliver a pending remote-load/receive value first.
         let (pc, cid) = {
             let t = self.sched.current_mut();
@@ -500,6 +538,7 @@ impl Machine {
 
             Lw { rd, base, imm } => {
                 let addr = self.read_reg(cid, base, pc)?.wrapping_add(imm as Word);
+                self.note_mem_read(addr);
                 let (v, cycles) = self.mem.load(addr);
                 self.clock += u64::from(cycles);
                 self.write_reg(cid, rd, v, pc)?;
@@ -508,6 +547,7 @@ impl Machine {
             Sw { base, src, imm } => {
                 let addr = self.read_reg(cid, base, pc)?.wrapping_add(imm as Word);
                 let v = self.read_reg(cid, src, pc)?;
+                self.note_mem_write(addr);
                 let cycles = self.mem.store(addr, v);
                 self.clock += u64::from(cycles);
                 self.advance(1);
@@ -636,6 +676,7 @@ impl Machine {
             }
             AmoAdd { rd, base, imm } => {
                 let addr = self.read_reg(cid, base, pc)?;
+                self.note_mem_write(addr);
                 let (old, cycles) = self.mem.fetch_add(addr, imm);
                 self.clock += u64::from(cycles);
                 self.write_reg(cid, rd, old, pc)?;
@@ -643,6 +684,7 @@ impl Machine {
             }
             SyncWait { base, imm } => {
                 let addr = self.read_reg(cid, base, pc)?.wrapping_add(imm as Word);
+                self.note_mem_read(addr);
                 let (v, cycles) = self.mem.load(addr);
                 self.clock += u64::from(cycles);
                 if v == 0 {

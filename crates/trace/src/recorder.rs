@@ -1,0 +1,134 @@
+//! The [`TraceRecorder`]: an [`EventSink`] that accumulates the
+//! operation stream in memory, ready to be serialized as a
+//! [`crate::Trace`].
+
+use crate::event::{RegEvent, TimedEvent};
+use nsf_core::{Cid, EventSink, RegAddr, Word};
+use nsf_mem::Addr;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// An in-memory event accumulator.
+///
+/// Share one with the harness via [`TraceRecorder::shared`], hand a
+/// clone to [`nsf_workloads::run_recorded`], and take the events back
+/// with [`TraceRecorder::take_events`] when the run completes:
+///
+/// ```no_run
+/// use nsf_trace::TraceRecorder;
+/// # let workload = nsf_workloads::paper_suite(0).remove(0);
+/// # let cfg = nsf_sim::SimConfig::default();
+/// let rec = TraceRecorder::shared();
+/// let report = nsf_workloads::run_recorded(&workload, cfg, rec.clone()).unwrap();
+/// let events = rec.borrow_mut().take_events();
+/// ```
+#[derive(Default)]
+pub struct TraceRecorder {
+    cycle: u64,
+    events: Vec<TimedEvent>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty recorder behind the shared handle the harness
+    /// expects (the concrete `Rc` coerces to [`nsf_core::SharedSink`]).
+    pub fn shared() -> Rc<RefCell<TraceRecorder>> {
+        Rc::new(RefCell::new(TraceRecorder::new()))
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Takes the recorded events, leaving the recorder empty.
+    pub fn take_events(&mut self) -> Vec<TimedEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn push(&mut self, event: RegEvent) {
+        self.events.push(TimedEvent {
+            cycle: self.cycle,
+            event,
+        });
+    }
+}
+
+impl EventSink for TraceRecorder {
+    fn clock(&mut self, cycle: u64) {
+        self.cycle = cycle;
+    }
+
+    fn reg_read(&mut self, addr: RegAddr) {
+        self.push(RegEvent::Read { addr });
+    }
+
+    fn reg_write(&mut self, addr: RegAddr, value: Word) {
+        self.push(RegEvent::Write { addr, value });
+    }
+
+    fn switch_to(&mut self, cid: Cid) {
+        self.push(RegEvent::SwitchTo { cid });
+    }
+
+    fn call_push(&mut self, cid: Cid) {
+        self.push(RegEvent::CallPush { cid });
+    }
+
+    fn thread_switch(&mut self, cid: Cid) {
+        self.push(RegEvent::ThreadSwitch { cid });
+    }
+
+    fn free_context(&mut self, cid: Cid) {
+        self.push(RegEvent::FreeContext { cid });
+    }
+
+    fn free_reg(&mut self, addr: RegAddr) {
+        self.push(RegEvent::FreeReg { addr });
+    }
+
+    fn mem_read(&mut self, addr: Addr) {
+        self.push(RegEvent::MemRead { addr });
+    }
+
+    fn mem_write(&mut self, addr: Addr) {
+        self.push(RegEvent::MemWrite { addr });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_call_order_with_clock_stamps() {
+        let mut r = TraceRecorder::new();
+        r.clock(3);
+        r.reg_write(RegAddr::new(1, 0), 9);
+        r.reg_read(RegAddr::new(1, 0));
+        r.clock(7);
+        r.mem_read(0x100);
+        r.free_context(1);
+        assert_eq!(r.len(), 4);
+        let events = r.take_events();
+        assert!(r.is_empty());
+        assert_eq!(events[0].cycle, 3);
+        assert_eq!(events[2].cycle, 7);
+        assert_eq!(
+            events[1].event,
+            RegEvent::Read {
+                addr: RegAddr::new(1, 0)
+            }
+        );
+        assert_eq!(events[3].event, RegEvent::FreeContext { cid: 1 });
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the capture → serialize → deserialize → replay
+//! pipeline: for arbitrary synthetic workloads, a trace re-read from
+//! its own bytes and replayed through the organization that recorded it
+//! must reproduce the live run's register-file statistics exactly —
+//! for every organization family.
+
+use nsf_sim::SimConfig;
+use nsf_trace::{capture, parse_engine, replay, Trace};
+use nsf_workloads::synth::{parallel, sequential, ParParams, SeqParams};
+use proptest::prelude::*;
+
+/// Captures `workload` under `spec`, round-trips the bytes, replays,
+/// and asserts statistics match the live run bit for bit.
+fn assert_exact_roundtrip(workload: &nsf_workloads::Workload, spec: &str) {
+    let cfg = SimConfig::with_regfile(parse_engine(spec).expect("spec parses"));
+    let (trace, report) = capture(workload, cfg, spec, 0).expect("live run validates");
+    let back = Trace::from_bytes(&trace.to_bytes()).expect("own bytes decode");
+    prop_assert_eq!(&back, &trace, "serialization round-trips");
+    let replayed = replay(&back, &cfg).expect("replay succeeds");
+    prop_assert_eq!(
+        replayed.stats,
+        report.regfile,
+        "replayed stats must equal live stats for {} under {}",
+        workload.name,
+        spec
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Sequential call trees: NSF, segmented, windowed and conventional
+    /// files all replay to their own live statistics.
+    #[test]
+    fn sequential_synth_replays_exactly_on_all_engines(
+        depth in 0u32..6,
+        fanout in 1u32..3,
+        locals in 1u32..10,
+    ) {
+        let w = sequential(SeqParams { depth, fanout, locals });
+        // Windows must span the 20-register sequential context (offset
+        // 19 is addressed), mirroring the related-work grid's sizing.
+        for spec in ["nsf:80", "segmented:4x20", "windowed:20", "conventional:32"] {
+            assert_exact_roundtrip(&w, spec);
+        }
+    }
+
+    /// Multithreaded workloads: the interleaved stream (including the
+    /// segmented dribble-free baseline's op-counted engine) replays
+    /// exactly too.
+    #[test]
+    fn parallel_synth_replays_exactly_on_all_engines(
+        threads in 2u32..6,
+        iters in 1u32..6,
+        active in 4u8..24,
+    ) {
+        let w = parallel(ParParams { threads, iters, work: 12, active_regs: active });
+        for spec in ["nsf:128", "segmented:4x32", "segmented-sw:4x32", "windowed:32", "conventional:32"] {
+            assert_exact_roundtrip(&w, spec);
+        }
+    }
+
+    /// Line-size and valid-bit variants (the Fig. 13 / §7.3 design
+    /// points) keep the exact-replay property as well.
+    #[test]
+    fn design_variants_replay_exactly(
+        depth in 1u32..5,
+        locals in 2u32..10,
+    ) {
+        let w = sequential(SeqParams { depth, fanout: 2, locals });
+        for spec in ["nsf:80x4", "segmented-valid:4x20"] {
+            assert_exact_roundtrip(&w, spec);
+        }
+    }
+}

@@ -89,7 +89,33 @@ impl From<SimError> for WorkloadError {
 /// Runs `workload` under `cfg`, validates its output, and returns the
 /// measurement report.
 pub fn run(workload: &Workload, cfg: SimConfig) -> Result<RunReport, WorkloadError> {
+    run_inner(workload, cfg, None)
+}
+
+/// Runs `workload` under `cfg` exactly as [`run`] does — same
+/// validation, same report — while streaming the register-file
+/// operation stream (and the program's data-cache traffic) into `sink`.
+///
+/// Recording is observational: the report is identical to an unrecorded
+/// run's, so any engine under any workload can be captured without the
+/// workload knowing (see the `nsf-trace` crate).
+pub fn run_recorded(
+    workload: &Workload,
+    cfg: SimConfig,
+    sink: nsf_core::SharedSink,
+) -> Result<RunReport, WorkloadError> {
+    run_inner(workload, cfg, Some(sink))
+}
+
+fn run_inner(
+    workload: &Workload,
+    cfg: SimConfig,
+    sink: Option<nsf_core::SharedSink>,
+) -> Result<RunReport, WorkloadError> {
     let mut machine = Machine::new(workload.program.clone(), cfg)?;
+    if let Some(sink) = sink {
+        machine.attach_sink(sink);
+    }
     for (addr, words) in &workload.mem_init {
         machine.mem.poke_block(*addr, words);
     }
