@@ -24,7 +24,7 @@ use nsf_bench::figures::{
     ablations, depth_sweep, export_csv, fig09, fig10, fig11, fig12, fig13, fig14, related_work,
     summary, table1,
 };
-use nsf_bench::{HarnessArgs, Sweep};
+use nsf_bench::{CliArgs, CliError, CliSpec, HarnessArgs, Sweep};
 use nsf_sim::SimConfig;
 use nsf_trace::{capture, parse_engine, replay_events, Trace};
 use std::fmt::Write as _;
@@ -200,8 +200,35 @@ fn replay_section(args: &HarnessArgs, live_wall_ns: u128) -> ReplaySection {
     }
 }
 
+/// Strict argument parsing: unlike the figure binaries (which share a
+/// flag set through [`HarnessArgs`] and ignore strays by design), a typo
+/// here silently times the wrong experiment — reject it with usage.
+fn parse_args() -> Result<HarnessArgs, CliError> {
+    const SPEC: CliSpec = CliSpec {
+        value_flags: &["scale", "threads", "out"],
+        switches: &["quiet"],
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = CliArgs::parse(&raw, &SPEC)?;
+    let defaults = HarnessArgs::default();
+    Ok(HarnessArgs {
+        scale: args.parsed_or("scale", 1u32)?,
+        threads: args.parsed_or("threads", defaults.threads)?.max(1),
+        quiet: args.switch("quiet"),
+        out: args.flag("out").map(str::to_string),
+    })
+}
+
 fn main() {
-    let args = HarnessArgs::parse();
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!(
+                "perf_report: {e}\nusage: perf_report [--scale N] [--threads N] [--out DIR] [--quiet]"
+            );
+            std::process::exit(64);
+        }
+    };
     let mut rows = Vec::new();
 
     println!(

@@ -25,6 +25,7 @@
 //! statistics exactly; other engines answer "what would this op stream
 //! have cost on that file?".
 
+use nsf_bench::{CliArgs, CliSpec};
 use nsf_sim::SimConfig;
 use nsf_trace::{capture, diff, parse_engine, replay, ReplayReport, Trace, TraceReader};
 use nsf_workloads::Workload;
@@ -49,43 +50,22 @@ fn fail(msg: impl std::fmt::Display) -> ExitCode {
     ExitCode::from(2)
 }
 
-/// Values of every `--flag value` occurrence, plus positional operands.
-struct Args {
-    positional: Vec<String>,
-    flags: Vec<(String, String)>,
+/// The flags each subcommand accepts (strict: anything else errors).
+fn spec_for(cmd: &str) -> Option<CliSpec> {
+    let value_flags: &'static [&'static str] = match cmd {
+        "record" => &["workload", "engine", "scale", "out"],
+        "info" => &[],
+        "replay" => &["engine", "threads"],
+        "diff" => &["a", "b"],
+        _ => return None,
+    };
+    Some(CliSpec {
+        value_flags,
+        switches: &[],
+    })
 }
 
-impl Args {
-    fn parse(raw: &[String]) -> Self {
-        let mut positional = Vec::new();
-        let mut flags = Vec::new();
-        let mut it = raw.iter().peekable();
-        while let Some(a) = it.next() {
-            if let Some(name) = a.strip_prefix("--") {
-                let value = it.next().cloned().unwrap_or_default();
-                flags.push((name.to_string(), value));
-            } else {
-                positional.push(a.clone());
-            }
-        }
-        Args { positional, flags }
-    }
-
-    fn flag(&self, name: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v.as_str())
-    }
-
-    fn flag_all(&self, name: &str) -> Vec<&str> {
-        self.flags
-            .iter()
-            .filter(|(n, _)| n == name)
-            .map(|(_, v)| v.as_str())
-            .collect()
-    }
-}
+type Args = CliArgs;
 
 /// Builds the named paper benchmark (case-insensitive) at `scale`.
 fn workload_by_name(name: &str, scale: u32) -> Result<Workload, String> {
@@ -139,7 +119,7 @@ fn cmd_record(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_info(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("info needs a trace file")?;
+    let path = args.positional().first().ok_or("info needs a trace file")?;
     let file = File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
     let bytes = file
         .metadata()
@@ -200,7 +180,10 @@ fn print_replay(spec: &str, meta_instructions: u64, r: &ReplayReport, wall_ms: f
 }
 
 fn cmd_replay(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("replay needs a trace file")?;
+    let path = args
+        .positional()
+        .first()
+        .ok_or("replay needs a trace file")?;
     let trace = Trace::read_file(path).map_err(|e| format!("reading {path}: {e}"))?;
     let mut specs: Vec<String> = args
         .flag_all("engine")
@@ -281,7 +264,7 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_diff(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("diff needs a trace file")?;
+    let path = args.positional().first().ok_or("diff needs a trace file")?;
     let spec_a = args.flag("a").ok_or("diff needs --a SPEC")?;
     let spec_b = args.flag("b").ok_or("diff needs --b SPEC")?;
     let trace = Trace::read_file(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -315,13 +298,22 @@ fn main() -> ExitCode {
     let Some(cmd) = raw.first().map(String::as_str) else {
         return usage();
     };
-    let args = Args::parse(&raw[1..]);
+    let Some(spec) = spec_for(cmd) else {
+        return usage();
+    };
+    let args = match Args::parse(&raw[1..], &spec) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("trace_tool {cmd}: {e}");
+            return usage();
+        }
+    };
     let result = match cmd {
         "record" => cmd_record(&args),
         "info" => cmd_info(&args),
         "replay" => cmd_replay(&args),
         "diff" => cmd_diff(&args),
-        _ => return usage(),
+        _ => unreachable!("spec_for gated the command"),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

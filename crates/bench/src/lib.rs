@@ -34,9 +34,11 @@ use nsf_core::{segmented::FramePolicy, NsfConfig, ReloadPolicy, SegmentedConfig,
 use nsf_sim::{RunReport, SimConfig};
 use nsf_workloads::{run, Workload};
 
+pub mod cli;
 pub mod figures;
 pub mod runner;
 
+pub use cli::{CliArgs, CliError, CliSpec};
 pub use runner::{figure_main, workspace_results_dir, Cursor, HarnessArgs, Sweep, SweepPoint};
 
 /// Registers per sequential context (the paper allocates 20).

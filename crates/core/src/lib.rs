@@ -58,7 +58,7 @@ pub use policy::{ReloadPolicy, ReplacementPolicy, SpillEngine, WriteMissPolicy};
 pub use record::{EventSink, RecordingFile, SharedSink};
 pub use segmented::{SegmentedConfig, SegmentedFile};
 pub use stats::{Occupancy, RegFileStats};
-pub use store::{FaultyStore, MapStore};
+pub use store::{FaultPlan, FaultyStore, MapStore};
 pub use traits::{Access, BackingStore, RegFileError, RegisterFile, StoreFault};
 pub use windowed::{WindowedConfig, WindowedFile};
 

@@ -181,8 +181,11 @@ impl NamedStateFile {
     /// chooses among all slots — no candidate list is materialized.
     fn evict_one(&mut self, store: &mut dyn BackingStore) -> Result<u32, RegFileError> {
         let victim = self.picker.pick();
-        let tag = self.decoder.unbind(victim).expect("victim was bound");
-        let line = &mut self.lines[victim];
+        let tag = self.decoder.tag(victim).expect("victim was bound");
+        // Write back while the line is still bound: a store fault mid-spill
+        // must leave the victim resident and the operation retryable, not
+        // push a slot with live valid bits onto the free list.
+        let line = &self.lines[victim];
         let mut moved = 0u32;
         let mut mem_cycles = 0u32;
         let mut writeback = line.valid & line.dirty;
@@ -193,6 +196,8 @@ impl NamedStateFile {
             mem_cycles += store.spill(tag.cid, offset, line.regs[i as usize])?;
             moved += 1;
         }
+        self.decoder.unbind(victim);
+        let line = &mut self.lines[victim];
         self.valid_count -= line.valid.count_ones();
         line.clear();
         self.stats.regs_spilled += u64::from(moved);

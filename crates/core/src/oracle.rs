@@ -38,7 +38,10 @@ impl RegisterFile for OracleFile {
                 self.stats.read_hits += 1;
                 Ok(Access::hit(v))
             }
-            None => Err(RegFileError::ReadUndefined(addr)),
+            None => {
+                self.stats.read_misses += 1;
+                Err(RegFileError::ReadUndefined(addr))
+            }
         }
     }
 

@@ -298,9 +298,11 @@ impl SegmentedFile {
                 let frame = &mut self.frames[idx];
                 frame.regs[i as usize] = v;
                 frame.valid |= 1 << i;
+                // Counted per register, not batched after the loop: a store
+                // fault mid-reload must not desync the count from the bits.
+                self.valid_count += 1;
             }
         }
-        self.valid_count += live;
         self.stats.lines_reloaded += 1;
         self.stats.regs_reloaded += u64::from(moved);
         self.stats.live_regs_reloaded += u64::from(live);
@@ -324,11 +326,14 @@ impl RegisterFile for SegmentedFile {
         _store: &mut dyn BackingStore,
     ) -> Result<Access, RegFileError> {
         self.check(addr)?;
-        self.stats.reads += 1;
+        // A NotCurrent rejection never reaches the file; only accesses
+        // that do are counted, keeping hits + misses == accesses.
         let idx = self.current_frame(addr.cid)?;
+        self.stats.reads += 1;
         self.touch(idx);
         let frame = &self.frames[idx];
         if frame.valid & (1 << addr.offset) == 0 {
+            self.stats.read_misses += 1;
             return Err(RegFileError::ReadUndefined(addr));
         }
         self.stats.read_hits += 1;
@@ -342,8 +347,8 @@ impl RegisterFile for SegmentedFile {
         _store: &mut dyn BackingStore,
     ) -> Result<Access, RegFileError> {
         self.check(addr)?;
-        self.stats.writes += 1;
         let idx = self.current_frame(addr.cid)?;
+        self.stats.writes += 1;
         self.touch(idx);
         let frame = &mut self.frames[idx];
         if frame.valid & (1 << addr.offset) == 0 {
@@ -383,7 +388,21 @@ impl RegisterFile for SegmentedFile {
         self.picker.allocate(idx);
         self.ops += 1;
         self.last_touch[idx] = self.ops;
-        cycles += self.reload_frame(idx, cid, store)?;
+        match self.reload_frame(idx, cid, store) {
+            Ok(c) => cycles += c,
+            Err(e) => {
+                // A faulted reload must not leave the context claimed: a
+                // partially filled frame would satisfy the next switch as
+                // resident while its remaining registers sit unreadable in
+                // the backing store. Drop the claim so a retry reloads
+                // from scratch.
+                self.valid_count -= self.frames[idx].valid.count_ones();
+                self.frames[idx].clear();
+                self.resident.remove(&cid);
+                self.mark_free(idx);
+                return Err(e);
+            }
+        }
         self.current = Some(idx);
         Ok(cycles)
     }
@@ -634,6 +653,67 @@ mod tests {
         // Immediately evicted: no idle time, nothing prepaid.
         f.switch_to(2, &mut s).unwrap();
         assert_eq!(f.stats().regs_dribbled, 0);
+    }
+
+    #[test]
+    fn dribble_counts_idle_from_allocation_not_run_start() {
+        // A frame allocated late and never touched must accrue prepaid
+        // writebacks only for the operations after its allocation — if
+        // `last_touch` were left at its initial 0, the whole run's op
+        // count would count as idle time and the eviction would be
+        // spuriously prepaid.
+        use crate::segmented::DribbleConfig;
+        let mut cfg = SegmentedConfig::paper_default(2, 4);
+        cfg.dribble = Some(DribbleConfig { ops_per_reg: 8 });
+        let mut f = SegmentedFile::new(cfg);
+        let mut s = MapStore::new();
+        // A long busy prefix on frame 0.
+        f.switch_to(1, &mut s).unwrap();
+        for _ in 0..200 {
+            f.write(RegAddr::new(1, 0), 1, &mut s).unwrap();
+        }
+        // Frame 1 allocated late, never touched afterwards.
+        f.switch_to(2, &mut s).unwrap();
+        // Make frame 1 the LRU victim, then evict it almost immediately.
+        f.switch_to(1, &mut s).unwrap();
+        f.switch_to(3, &mut s).unwrap(); // evicts the never-touched frame 1
+        assert_eq!(
+            f.stats().regs_dribbled,
+            0,
+            "2 idle ops cannot prepay anything; 200 pre-allocation ops must not count"
+        );
+        // Full policy still moved the whole 4-register frame.
+        assert_eq!(f.stats().regs_spilled, 4);
+    }
+
+    #[test]
+    fn dribble_just_allocated_never_written_frame_earns_its_idle() {
+        // The complementary case: a never-touched frame that genuinely
+        // idles after allocation earns prepaid credit for exactly that
+        // idle span (and never more than the transfer it prepays).
+        use crate::segmented::DribbleConfig;
+        let mut cfg = SegmentedConfig::paper_default(2, 4);
+        cfg.dribble = Some(DribbleConfig { ops_per_reg: 8 });
+        let mut f = SegmentedFile::new(cfg);
+        let mut s = MapStore::new();
+        // Frame 0: context 2, allocated first, never read or written.
+        f.switch_to(2, &mut s).unwrap();
+        // Frame 1: busy context — 100 ops of idle time for frame 0.
+        f.switch_to(1, &mut s).unwrap();
+        for _ in 0..100 {
+            f.write(RegAddr::new(1, 0), 1, &mut s).unwrap();
+        }
+        f.switch_to(3, &mut s).unwrap(); // evicts frame 0 (LRU)
+        assert_eq!(f.stats().regs_spilled, 4, "Full policy moves the frame");
+        assert_eq!(
+            f.stats().regs_dribbled,
+            4,
+            "100 idle ops / 8 per reg covers the whole 4-register transfer"
+        );
+        assert_eq!(
+            f.stats().invariant_violation().as_deref().unwrap_or("none"),
+            "none"
+        );
     }
 
     #[test]

@@ -64,6 +64,45 @@ impl RegFileStats {
         }
     }
 
+    /// Checks the cross-counter invariants every organization must
+    /// maintain, returning a description of the first violation. Used by
+    /// the differential checker (`nsf-check`) and the fault-injection
+    /// tests: a store fault may abort an operation mid-way, but it must
+    /// never leave the counters contradicting each other.
+    pub fn invariant_violation(&self) -> Option<String> {
+        if self.read_hits + self.read_misses != self.reads {
+            return Some(format!(
+                "read_hits {} + read_misses {} != reads {}",
+                self.read_hits, self.read_misses, self.reads
+            ));
+        }
+        if self.write_hits + self.write_misses != self.writes {
+            return Some(format!(
+                "write_hits {} + write_misses {} != writes {}",
+                self.write_hits, self.write_misses, self.writes
+            ));
+        }
+        if self.live_regs_reloaded > self.regs_reloaded {
+            return Some(format!(
+                "live_regs_reloaded {} > regs_reloaded {}",
+                self.live_regs_reloaded, self.regs_reloaded
+            ));
+        }
+        if self.regs_dribbled > self.regs_spilled {
+            return Some(format!(
+                "regs_dribbled {} > regs_spilled {}",
+                self.regs_dribbled, self.regs_spilled
+            ));
+        }
+        if self.switch_hits > self.context_switches {
+            return Some(format!(
+                "switch_hits {} > context_switches {}",
+                self.switch_hits, self.context_switches
+            ));
+        }
+        None
+    }
+
     /// Merges another stats block into this one (used when aggregating
     /// across benchmark runs).
     pub fn merge(&mut self, other: &RegFileStats) {
@@ -122,6 +161,42 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.reads, 3);
         assert_eq!(a.regs_reloaded, 12);
+    }
+
+    #[test]
+    fn invariants_catch_counter_drift() {
+        assert_eq!(RegFileStats::default().invariant_violation(), None);
+        let ok = RegFileStats {
+            reads: 3,
+            read_hits: 2,
+            read_misses: 1,
+            writes: 1,
+            write_hits: 1,
+            regs_reloaded: 4,
+            live_regs_reloaded: 4,
+            regs_spilled: 2,
+            regs_dribbled: 1,
+            context_switches: 5,
+            switch_hits: 5,
+            ..Default::default()
+        };
+        assert_eq!(ok.invariant_violation(), None);
+        let drifted = RegFileStats {
+            reads: 3,
+            read_hits: 1,
+            read_misses: 1,
+            ..Default::default()
+        };
+        assert!(drifted.invariant_violation().unwrap().contains("reads"));
+        let dribble = RegFileStats {
+            regs_dribbled: 2,
+            regs_spilled: 1,
+            ..Default::default()
+        };
+        assert!(dribble
+            .invariant_violation()
+            .unwrap()
+            .contains("regs_dribbled"));
     }
 
     #[test]

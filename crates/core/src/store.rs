@@ -145,30 +145,108 @@ impl BackingStore for MapStore {
     }
 }
 
-/// A wrapper that injects faults after a countdown — used to verify that
-/// register files surface backing failures as typed errors instead of
-/// panicking.
+/// When a [`FaultyStore`] injects its fault (all counts are 1-based and
+/// measured from the most recent [`FaultyStore::arm`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// Never faults (a transparent wrapper).
+    Never,
+    /// The first `N` spill/reload operations succeed; every later one
+    /// faults (persistent — the historical countdown behavior).
+    AfterOps(u64),
+    /// The `n`th spill faults once; the store then heals.
+    NthSpill(u64),
+    /// The `n`th reload faults once; the store then heals.
+    NthReload(u64),
+    /// The `n`th spill-or-reload touching `cid` faults once; the store
+    /// then heals.
+    NthForContext(Cid, u64),
+}
+
+/// A wrapper that injects faults per a deterministic [`FaultPlan`] — used
+/// to verify that register files surface backing failures as typed errors
+/// instead of panicking, and by the differential checker to prove faults
+/// leave resident state intact.
 pub struct FaultyStore<S> {
     inner: S,
-    /// Operations remaining before every subsequent spill/reload faults.
-    countdown: u64,
+    plan: FaultPlan,
+    /// Spill/reload operations observed since the last arm.
+    ops: u64,
+    spills: u64,
+    reloads: u64,
+    /// Ops touching the planned context since the last arm.
+    ctx_ops: u64,
+    /// Faults injected over the store's whole lifetime.
+    injected: u64,
 }
 
 impl<S: BackingStore> FaultyStore<S> {
     /// Wraps `inner`; the first `ok_ops` spill/reload operations succeed,
-    /// everything after faults.
+    /// everything after faults (shorthand for [`FaultPlan::AfterOps`]).
     pub fn new(inner: S, ok_ops: u64) -> Self {
+        Self::with_plan(inner, FaultPlan::AfterOps(ok_ops))
+    }
+
+    /// Wraps `inner` with an explicit fault plan.
+    pub fn with_plan(inner: S, plan: FaultPlan) -> Self {
         FaultyStore {
             inner,
-            countdown: ok_ops,
+            plan,
+            ops: 0,
+            spills: 0,
+            reloads: 0,
+            ctx_ops: 0,
+            injected: 0,
         }
     }
 
-    fn tick(&mut self) -> Result<(), StoreFault> {
-        if self.countdown == 0 {
+    /// Replaces the fault plan and restarts its counters (counts in the
+    /// new plan are relative to this call).
+    pub fn arm(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+        self.ops = 0;
+        self.spills = 0;
+        self.reloads = 0;
+        self.ctx_ops = 0;
+    }
+
+    /// Number of faults injected so far (lifetime total).
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn tick(&mut self, is_spill: bool, cid: Cid) -> Result<(), StoreFault> {
+        self.ops += 1;
+        if is_spill {
+            self.spills += 1;
+        } else {
+            self.reloads += 1;
+        }
+        let fire = match self.plan {
+            FaultPlan::Never => false,
+            FaultPlan::AfterOps(ok_ops) => self.ops > ok_ops,
+            FaultPlan::NthSpill(n) => is_spill && self.spills == n,
+            FaultPlan::NthReload(n) => !is_spill && self.reloads == n,
+            FaultPlan::NthForContext(planned, n) => {
+                if cid == planned {
+                    self.ctx_ops += 1;
+                }
+                cid == planned && self.ctx_ops == n
+            }
+        };
+        if fire {
+            // One-shot plans heal after firing; AfterOps keeps faulting.
+            if !matches!(self.plan, FaultPlan::AfterOps(_)) {
+                self.plan = FaultPlan::Never;
+            }
+            self.injected += 1;
             Err(StoreFault::Io("injected fault".into()))
         } else {
-            self.countdown -= 1;
             Ok(())
         }
     }
@@ -176,12 +254,12 @@ impl<S: BackingStore> FaultyStore<S> {
 
 impl<S: BackingStore> BackingStore for FaultyStore<S> {
     fn spill(&mut self, cid: Cid, offset: u8, value: Word) -> Result<u32, StoreFault> {
-        self.tick()?;
+        self.tick(true, cid)?;
         self.inner.spill(cid, offset, value)
     }
 
     fn reload(&mut self, cid: Cid, offset: u8) -> Result<(Option<Word>, u32), StoreFault> {
-        self.tick()?;
+        self.tick(false, cid)?;
         self.inner.reload(cid, offset)
     }
 
@@ -267,6 +345,50 @@ mod tests {
         assert!(s.spill(1, 0, 1).is_ok());
         assert!(s.reload(1, 0).is_ok());
         assert!(matches!(s.spill(1, 1, 2), Err(StoreFault::Io(_))));
+    }
+
+    #[test]
+    fn nth_spill_plan_fires_once_then_heals() {
+        let mut s = FaultyStore::with_plan(MapStore::new(), FaultPlan::NthSpill(2));
+        assert!(s.spill(1, 0, 1).is_ok());
+        assert!(s.reload(1, 0).is_ok(), "reloads don't count toward spills");
+        assert!(matches!(s.spill(1, 1, 2), Err(StoreFault::Io(_))));
+        assert_eq!(s.injected(), 1);
+        // Healed: the faulted write never reached the store, a retry does.
+        assert!(s.spill(1, 1, 2).is_ok());
+        assert_eq!(s.inner().peek(1, 1), Some(2));
+        assert_eq!(s.injected(), 1);
+    }
+
+    #[test]
+    fn nth_reload_plan_counts_only_reloads() {
+        let mut s = FaultyStore::with_plan(MapStore::new(), FaultPlan::NthReload(1));
+        assert!(s.spill(1, 0, 7).is_ok());
+        assert!(matches!(s.reload(1, 0), Err(StoreFault::Io(_))));
+        assert_eq!(s.reload(1, 0).unwrap().0, Some(7));
+    }
+
+    #[test]
+    fn per_context_plan_ignores_other_contexts() {
+        let mut s = FaultyStore::with_plan(MapStore::new(), FaultPlan::NthForContext(5, 2));
+        assert!(s.spill(4, 0, 1).is_ok());
+        assert!(s.spill(5, 0, 1).is_ok());
+        assert!(s.spill(4, 1, 1).is_ok());
+        assert!(matches!(s.reload(5, 0), Err(StoreFault::Io(_))));
+        assert!(s.reload(5, 0).is_ok(), "one-shot plan heals");
+    }
+
+    #[test]
+    fn arm_restarts_counters() {
+        let mut s = FaultyStore::with_plan(MapStore::new(), FaultPlan::Never);
+        for i in 0..10 {
+            s.spill(1, i, 0).unwrap();
+        }
+        s.arm(FaultPlan::NthSpill(1));
+        assert!(
+            matches!(s.spill(1, 0, 0), Err(StoreFault::Io(_))),
+            "counts are relative to arm, not store lifetime"
+        );
     }
 
     #[test]

@@ -141,20 +141,26 @@ impl WindowedFile {
         store: &mut dyn BackingStore,
     ) -> Result<u32, RegFileError> {
         let cid = self.chain[idx].cid;
-        let w = self.chain[idx]
-            .window
-            .take()
-            .expect("spilling a resident window");
-        self.resident_count -= 1;
-        self.valid_count -= w.valid.count_ones();
         let mut moved = 0u32;
         let mut mem_cycles = 0u32;
-        for i in 0..self.cfg.window_regs {
-            if w.valid & (1 << i) != 0 {
-                mem_cycles += store.spill(cid, i, w.regs[i as usize])?;
-                moved += 1;
+        {
+            // Spill with the window still in place: a store fault mid-spill
+            // must leave the activation resident, not silently drop the
+            // registers that were never written back.
+            let w = self.chain[idx]
+                .window
+                .as_ref()
+                .expect("spilling a resident window");
+            for i in 0..self.cfg.window_regs {
+                if w.valid & (1 << i) != 0 {
+                    mem_cycles += store.spill(cid, i, w.regs[i as usize])?;
+                    moved += 1;
+                }
             }
         }
+        let w = self.chain[idx].window.take().expect("still resident");
+        self.resident_count -= 1;
+        self.valid_count -= w.valid.count_ones();
         self.stats.regs_spilled += u64::from(moved);
         let cycles = self.cfg.engine.transfer_cost(moved, mem_cycles);
         self.stats.spill_reload_cycles += u64::from(cycles);
@@ -213,15 +219,17 @@ impl RegisterFile for WindowedFile {
         _store: &mut dyn BackingStore,
     ) -> Result<Access, RegFileError> {
         self.check(addr)?;
-        self.stats.reads += 1;
         let cur = match self.chain.last() {
             Some(s) if s.cid == addr.cid => s.window.as_ref(),
             _ => None,
         };
         let Some(w) = cur else {
+            // Rejected before reaching the file — not a counted access.
             return Err(RegFileError::NotCurrent(addr.cid));
         };
+        self.stats.reads += 1;
         if w.valid & (1 << addr.offset) == 0 {
+            self.stats.read_misses += 1;
             return Err(RegFileError::ReadUndefined(addr));
         }
         let value = w.regs[addr.offset as usize];
@@ -236,7 +244,6 @@ impl RegisterFile for WindowedFile {
         _store: &mut dyn BackingStore,
     ) -> Result<Access, RegFileError> {
         self.check(addr)?;
-        self.stats.writes += 1;
         let cur = match self.chain.last_mut() {
             Some(s) if s.cid == addr.cid => s.window.as_mut(),
             _ => None,
@@ -244,6 +251,7 @@ impl RegisterFile for WindowedFile {
         let Some(w) = cur else {
             return Err(RegFileError::NotCurrent(addr.cid));
         };
+        self.stats.writes += 1;
         if w.valid & (1 << addr.offset) == 0 {
             self.valid_count += 1;
         }
@@ -315,17 +323,23 @@ impl RegisterFile for WindowedFile {
             return Ok(0);
         }
         let mut cycles = self.park_current(store)?;
-        if let Some(cids) = self.parked.remove(&cid) {
+        let parked_top = self
+            .parked
+            .get(&cid)
+            .map(|cids| *cids.last().expect("parked chains are non-empty"));
+        if let Some(top) = parked_top {
             // Known chain: restore its CID order; only the top window is
-            // reloaded eagerly — returns underflow lazily.
-            let top = *cids.last().expect("parked chains are non-empty");
+            // reloaded eagerly — returns underflow lazily. Reload before
+            // consuming the parked entry: a store fault must leave the
+            // chain parked and the dispatch retryable.
+            let (w, cyc) = self.reload_window(top, store)?;
+            let cids = self.parked.remove(&cid).expect("just found");
             for c in &cids[..cids.len() - 1] {
                 self.chain.push(Slot {
                     cid: *c,
                     window: None,
                 });
             }
-            let (w, cyc) = self.reload_window(top, store)?;
             cycles += cyc;
             self.resident_count += 1;
             self.valid_count += w.valid.count_ones();
