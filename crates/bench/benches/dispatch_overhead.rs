@@ -1,0 +1,51 @@
+//! Criterion microbenchmark pitting `EngineDispatch`'s static match
+//! dispatch against its `Boxed` escape hatch on identical traffic: the
+//! switch_storm workload (a large NSF file with many resident contexts,
+//! round-robin context switches). The pair bounds what de-virtualizing
+//! the simulator's per-instruction path buys.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nsf_core::{EngineDispatch, MapStore, NamedStateFile, NsfConfig, RegAddr, RegisterFile};
+use std::hint::black_box;
+
+/// Builds the switch_storm fixture behind either dispatch mechanism:
+/// 2048 registers, 64 contexts each holding 32 written registers.
+fn storm_fixture(boxed: bool) -> (EngineDispatch, MapStore) {
+    let inner = NamedStateFile::new(NsfConfig::paper_default(2048));
+    let mut f = if boxed {
+        EngineDispatch::boxed(Box::new(inner))
+    } else {
+        EngineDispatch::from(inner)
+    };
+    let mut s = MapStore::new();
+    for cid in 0..64u16 {
+        for off in 0..32u8 {
+            f.write(RegAddr::new(cid, off), 1, &mut s).unwrap();
+        }
+    }
+    (f, s)
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch_overhead");
+    for (name, boxed) in [("enum_switch_storm", false), ("boxed_switch_storm", true)] {
+        g.bench_function(name, |b| {
+            let (mut f, mut s) = storm_fixture(boxed);
+            let mut cid = 0u16;
+            b.iter(|| {
+                cid = (cid + 1) % 64;
+                f.switch_to(black_box(cid), &mut s).unwrap()
+            });
+        });
+    }
+    for (name, boxed) in [("enum_read_hit", false), ("boxed_read_hit", true)] {
+        g.bench_function(name, |b| {
+            let (mut f, mut s) = storm_fixture(boxed);
+            b.iter(|| f.read(black_box(RegAddr::new(1, 5)), &mut s).unwrap().value);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

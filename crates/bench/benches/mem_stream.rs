@@ -1,0 +1,89 @@
+//! Criterion microbenchmarks of raw `MainMemory` word traffic: the flat
+//! two-level page table against the access patterns the simulator
+//! actually generates — sequential instruction-ish streams, strided
+//! context-save sweeps, scattered heap traffic, and the block transfers
+//! used by program loading and trace replay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nsf_mem::MainMemory;
+use std::hint::black_box;
+
+/// Matches the simulator's backing arena base, so the benchmarks stress
+/// the same high-address directory region the spill paths do.
+const BACKING_BASE: u32 = 0x4000_0000;
+
+fn bench_word_traffic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem_stream");
+
+    g.bench_function("sequential_read_4k", |b| {
+        let mut m = MainMemory::new();
+        for a in 0..4096u32 {
+            m.write(a, a);
+        }
+        b.iter(|| {
+            let mut sum = 0u32;
+            for a in 0..4096u32 {
+                sum = sum.wrapping_add(m.read(black_box(a)));
+            }
+            sum
+        });
+    });
+
+    g.bench_function("strided_read_64w_stride", |b| {
+        // The context-save sweep shape: one word per 64-word save area,
+        // walking 4096 contexts of the backing arena.
+        let mut m = MainMemory::new();
+        for i in 0..4096u32 {
+            m.write(BACKING_BASE + i * 64, i);
+        }
+        b.iter(|| {
+            let mut sum = 0u32;
+            for i in 0..4096u32 {
+                sum = sum.wrapping_add(m.read(black_box(BACKING_BASE + i * 64)));
+            }
+            sum
+        });
+    });
+
+    g.bench_function("random_read_resident_pages", |b| {
+        // Scattered traffic across several resident pages: defeats the
+        // last-page cache, isolating the directory-walk cost.
+        let mut m = MainMemory::new();
+        let addrs: Vec<u32> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761)) % (8 << 16))
+            .collect();
+        for &a in &addrs {
+            m.write(a, a);
+        }
+        b.iter(|| {
+            let mut sum = 0u32;
+            for &a in &addrs {
+                sum = sum.wrapping_add(m.read(black_box(a)));
+            }
+            sum
+        });
+    });
+
+    g.bench_function("write_block_4k", |b| {
+        let mut m = MainMemory::new();
+        let block = vec![7u32; 4096];
+        b.iter(|| m.write_block(black_box(0x1_0000 - 2048), &block));
+    });
+
+    g.bench_function("read_into_4k", |b| {
+        let mut m = MainMemory::new();
+        let block = vec![7u32; 4096];
+        // Straddles a page boundary so the chunked loop takes both arms.
+        m.write_block(0x1_0000 - 2048, &block);
+        let mut out = vec![0u32; 4096];
+        b.iter(|| {
+            m.read_into(black_box(0x1_0000 - 2048), &mut out);
+            out[0]
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_word_traffic);
+criterion_main!(benches);

@@ -68,16 +68,54 @@ const PAR_ENGINES: &[&str] = &[
     "conventional:32",
 ];
 
+/// Simulation-core throughput (instr/sec, `Sweep::run` only, grid build
+/// excluded) per grid at `--scale 1 --threads 1`, measured at the
+/// pre-devirtualization HEAD on the reference container as the median of
+/// five runs interleaved with the de-virtualized build (interleaving
+/// cancels host-load drift). The `sim_core` section reports current
+/// throughput against these so the speedup of the flat-memory +
+/// static-dispatch core is recorded in `results/BENCH_regfile.json`
+/// alongside the absolute numbers. Wall clocks are machine-dependent;
+/// the ratio is only quoted for runs that match the baseline protocol
+/// (scale 1, one thread).
+const SIM_CORE_BASELINE: &[(&str, f64)] = &[
+    ("ablations", 10_672_498.0),
+    ("depth_sweep", 8_714_106.0),
+    ("export_csv", 12_716_479.0),
+    ("fig09_utilization", 14_028_991.0),
+    ("fig10_reload_traffic", 15_558_061.0),
+    ("fig11_resident_contexts", 16_458_353.0),
+    ("fig12_reload_vs_size", 15_309_296.0),
+    ("fig13_line_size", 13_071_597.0),
+    ("fig14_overhead", 16_154_492.0),
+    ("related_work", 18_143_733.0),
+    ("summary", 16_537_927.0),
+    ("table1", 14_563_774.0),
+];
+
 struct Row {
     name: &'static str,
     points: usize,
     events: u64,
     wall_ns: u128,
+    run_ns: u128,
 }
 
 impl Row {
     fn events_per_sec(&self) -> f64 {
         rate(self.events, self.wall_ns)
+    }
+
+    /// Instr/sec through the simulation core alone (grid build excluded).
+    fn sim_events_per_sec(&self) -> f64 {
+        rate(self.events, self.run_ns)
+    }
+
+    fn baseline(&self) -> Option<f64> {
+        SIM_CORE_BASELINE
+            .iter()
+            .find(|&&(n, _)| n == self.name)
+            .map(|&(_, r)| r)
     }
 }
 
@@ -243,14 +281,17 @@ fn main() {
     for &(name, grid) in GRIDS {
         let t = Instant::now();
         let sweep = grid(args.scale);
+        let build_ns = t.elapsed().as_nanos();
+        let t = Instant::now();
         let reports = sweep.run(args.threads);
-        let wall_ns = t.elapsed().as_nanos();
+        let run_ns = t.elapsed().as_nanos();
         let events: u64 = reports.iter().map(|r| r.instructions).sum();
         let row = Row {
             name,
             points: reports.len(),
             events,
-            wall_ns,
+            wall_ns: build_ns + run_ns,
+            run_ns,
         };
         println!(
             "{:<26} {:>7} {:>14} {:>10.1} {:>14.0}",
@@ -273,6 +314,32 @@ fn main() {
         total_ns as f64 / 1e6,
         rate(total_events, total_ns),
     );
+
+    // The simulation core alone: grid build (compiler + workload
+    // generation) excluded, so this isolates the fetch/execute/register/
+    // memory loop the devirtualized dispatch and flat page table serve.
+    let compare = args.scale == 1 && args.threads == 1;
+    println!("\nSimulation core (sweep.run only, grid build excluded)");
+    println!(
+        "{:<26} {:>10} {:>14} {:>14} {:>8}",
+        "Grid", "Run ms", "Instr/sec", "Baseline", "Speedup"
+    );
+    nsf_bench::rule(76);
+    for r in &rows {
+        let base = if compare { r.baseline() } else { None };
+        println!(
+            "{:<26} {:>10.1} {:>14.0} {:>14} {:>8}",
+            r.name,
+            r.run_ns as f64 / 1e6,
+            r.sim_events_per_sec(),
+            base.map_or_else(|| "-".into(), |b| format!("{b:.0}")),
+            base.map_or_else(
+                || "-".into(),
+                |b| format!("{:.2}x", r.sim_events_per_sec() / b)
+            ),
+        );
+    }
+    nsf_bench::rule(76);
 
     let live_fig12_ns = rows
         .iter()
@@ -322,6 +389,32 @@ fn main() {
             r.events,
             r.wall_ns,
             r.events_per_sec(),
+            if i + 1 < rows.len() { "," } else { "" },
+        )
+        .unwrap();
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"sim_core\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let base = if compare { r.baseline() } else { None };
+        let (base_s, speedup_s) = match base {
+            Some(b) => (
+                format!("{b:.0}"),
+                format!("{:.2}", r.sim_events_per_sec() / b),
+            ),
+            None => ("null".into(), "null".into()),
+        };
+        writeln!(
+            json,
+            "    {{\"grid\": \"{}\", \"events\": {}, \"run_wall_ns\": {}, \
+             \"instr_per_sec\": {:.0}, \"baseline_instr_per_sec\": {}, \
+             \"speedup\": {}}}{}",
+            r.name,
+            r.events,
+            r.run_ns,
+            r.sim_events_per_sec(),
+            base_s,
+            speedup_s,
             if i + 1 < rows.len() { "," } else { "" },
         )
         .unwrap();

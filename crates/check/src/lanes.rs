@@ -9,7 +9,7 @@
 //! [`nsf_trace::parse_engine`] strings, so a lane name in a divergence
 //! report is directly replayable from the command line.
 
-use nsf_core::{RegFileStats, RegisterFile};
+use nsf_core::{EngineDispatch, RegFileStats};
 use nsf_trace::parse_engine;
 
 /// An engine family under test. Families partition the lane list; the
@@ -97,7 +97,7 @@ impl std::fmt::Display for Family {
 ///
 /// Panics on an unparseable spec — lane lists are compile-time constants,
 /// so that is a checker bug, not an input error.
-pub fn build_lane(spec: &str) -> Box<dyn RegisterFile> {
+pub fn build_lane(spec: &str) -> EngineDispatch {
     parse_engine(spec)
         .unwrap_or_else(|e| panic!("lane spec must parse: {e}"))
         .build()
@@ -127,6 +127,7 @@ pub fn traffic_counts(s: &RegFileStats) -> [(&'static str, u64); 13] {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nsf_core::RegisterFile;
 
     #[test]
     fn every_lane_spec_builds() {

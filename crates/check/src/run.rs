@@ -202,11 +202,11 @@ pub fn check_lane(
     let mut faults_absorbed = 0u64;
 
     for (i, ev) in ops.iter().enumerate() {
-        let mut got = apply(file.as_mut(), ev, &mut store);
+        let mut got = apply(&mut file, ev, &mut store);
         if got == Outcome::StoreFault {
             faults_absorbed += 1;
             // Contract 1: the fault left the counters coherent.
-            if let Some(v) = invariant_or_capacity_violation(file.as_ref()) {
+            if let Some(v) = invariant_or_capacity_violation(&file) {
                 return diverge(
                     Some(i),
                     DivergenceKind::FaultRecovery,
@@ -215,7 +215,7 @@ pub fn check_lane(
             }
             // Contract 2: one-shot plans heal, so the retry must not see
             // the store fail again...
-            got = apply(file.as_mut(), ev, &mut store);
+            got = apply(&mut file, ev, &mut store);
             if got == Outcome::StoreFault {
                 return diverge(
                     Some(i),
@@ -233,7 +233,7 @@ pub fn check_lane(
                 format!("`{ev}`: lane {got:?}, oracle {:?}", expected[i]),
             );
         }
-        if let Some(v) = invariant_or_capacity_violation(file.as_ref()) {
+        if let Some(v) = invariant_or_capacity_violation(&file) {
             return diverge(
                 Some(i),
                 DivergenceKind::Invariant,

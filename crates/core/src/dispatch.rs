@@ -1,0 +1,203 @@
+//! Static dispatch over the concrete register-file organizations.
+//!
+//! The simulator's inner loop issues a register read or write per
+//! instruction; holding the engine as a `Box<dyn RegisterFile>` put a
+//! vtable call on that path. [`EngineDispatch`] enumerates the concrete
+//! engine families instead, so a machine that owns one by value
+//! dispatches with a predictable `match` the compiler can inline
+//! through. The [`EngineDispatch::Boxed`] escape hatch keeps dynamic
+//! engines (event-recording wrappers, test doubles) usable behind the
+//! same type at their old cost.
+
+use crate::addr::{Cid, RegAddr};
+use crate::stats::{Occupancy, RegFileStats};
+use crate::traits::{Access, BackingStore, RegFileError, RegisterFile};
+use crate::Word;
+use crate::{ConventionalFile, NamedStateFile, OracleFile, SegmentedFile, WindowedFile};
+
+/// A register file organization, dispatched statically.
+///
+/// One variant per concrete engine family (the segmented family covers
+/// both hardware- and software-spill engines — that choice is a
+/// [`crate::SpillEngine`] parameter, not a type), plus [`Self::Boxed`]
+/// for anything only known at run time, e.g. [`crate::RecordingFile`].
+pub enum EngineDispatch {
+    /// The Named-State Register File.
+    Nsf(NamedStateFile),
+    /// A segmented multithreaded file (hardware or software spill).
+    Segmented(SegmentedFile),
+    /// SPARC-style overlapping register windows.
+    Windowed(WindowedFile),
+    /// A conventional single-context file.
+    Conventional(ConventionalFile),
+    /// The infinite oracle (differential testing).
+    Oracle(OracleFile),
+    /// Dynamic escape hatch: recording wrappers and custom engines.
+    Boxed(Box<dyn RegisterFile>),
+}
+
+impl EngineDispatch {
+    /// Wraps a dynamic engine (kept for recording wrappers and tests).
+    pub fn boxed(inner: Box<dyn RegisterFile>) -> Self {
+        EngineDispatch::Boxed(inner)
+    }
+}
+
+impl From<NamedStateFile> for EngineDispatch {
+    fn from(e: NamedStateFile) -> Self {
+        EngineDispatch::Nsf(e)
+    }
+}
+
+impl From<SegmentedFile> for EngineDispatch {
+    fn from(e: SegmentedFile) -> Self {
+        EngineDispatch::Segmented(e)
+    }
+}
+
+impl From<WindowedFile> for EngineDispatch {
+    fn from(e: WindowedFile) -> Self {
+        EngineDispatch::Windowed(e)
+    }
+}
+
+impl From<ConventionalFile> for EngineDispatch {
+    fn from(e: ConventionalFile) -> Self {
+        EngineDispatch::Conventional(e)
+    }
+}
+
+impl From<OracleFile> for EngineDispatch {
+    fn from(e: OracleFile) -> Self {
+        EngineDispatch::Oracle(e)
+    }
+}
+
+/// Forwards one method call to whichever engine is inside. Concrete
+/// variants resolve statically (including each engine's own overrides
+/// of the trait's defaulted methods); `Boxed` pays the vtable as before.
+macro_rules! forward {
+    ($self:expr, $method:ident ( $($arg:expr),* )) => {
+        match $self {
+            EngineDispatch::Nsf(e) => e.$method($($arg),*),
+            EngineDispatch::Segmented(e) => e.$method($($arg),*),
+            EngineDispatch::Windowed(e) => e.$method($($arg),*),
+            EngineDispatch::Conventional(e) => e.$method($($arg),*),
+            EngineDispatch::Oracle(e) => e.$method($($arg),*),
+            EngineDispatch::Boxed(e) => e.$method($($arg),*),
+        }
+    };
+}
+
+impl RegisterFile for EngineDispatch {
+    #[inline]
+    fn read(
+        &mut self,
+        addr: RegAddr,
+        store: &mut dyn BackingStore,
+    ) -> Result<Access, RegFileError> {
+        forward!(self, read(addr, store))
+    }
+
+    #[inline]
+    fn write(
+        &mut self,
+        addr: RegAddr,
+        value: Word,
+        store: &mut dyn BackingStore,
+    ) -> Result<Access, RegFileError> {
+        forward!(self, write(addr, value, store))
+    }
+
+    #[inline]
+    fn switch_to(&mut self, cid: Cid, store: &mut dyn BackingStore) -> Result<u32, RegFileError> {
+        forward!(self, switch_to(cid, store))
+    }
+
+    #[inline]
+    fn call_push(&mut self, cid: Cid, store: &mut dyn BackingStore) -> Result<u32, RegFileError> {
+        forward!(self, call_push(cid, store))
+    }
+
+    #[inline]
+    fn thread_switch(
+        &mut self,
+        cid: Cid,
+        store: &mut dyn BackingStore,
+    ) -> Result<u32, RegFileError> {
+        forward!(self, thread_switch(cid, store))
+    }
+
+    #[inline]
+    fn free_context(&mut self, cid: Cid, store: &mut dyn BackingStore) {
+        forward!(self, free_context(cid, store))
+    }
+
+    #[inline]
+    fn free_reg(&mut self, addr: RegAddr, store: &mut dyn BackingStore) {
+        forward!(self, free_reg(addr, store))
+    }
+
+    #[inline]
+    fn capacity(&self) -> u32 {
+        forward!(self, capacity())
+    }
+
+    #[inline]
+    fn occupancy(&self) -> Occupancy {
+        forward!(self, occupancy())
+    }
+
+    #[inline]
+    fn stats(&self) -> &RegFileStats {
+        forward!(self, stats())
+    }
+
+    #[inline]
+    fn reset_stats(&mut self) {
+        forward!(self, reset_stats())
+    }
+
+    fn describe(&self) -> String {
+        forward!(self, describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MapStore;
+    use crate::NsfConfig;
+
+    #[test]
+    fn dispatch_matches_inner_engine() {
+        let mut store = MapStore::new();
+        let mut direct = NamedStateFile::new(NsfConfig::paper_default(64));
+        let mut via: EngineDispatch = NamedStateFile::new(NsfConfig::paper_default(64)).into();
+        assert_eq!(via.describe(), direct.describe());
+        assert_eq!(via.capacity(), direct.capacity());
+        for i in 0..8 {
+            let a = RegAddr::new(1, i);
+            let d = direct.write(a, Word::from(i) + 1, &mut store);
+            let v = via.write(a, Word::from(i) + 1, &mut store);
+            assert_eq!(d, v);
+            assert_eq!(
+                direct.read(a, &mut store).unwrap(),
+                via.read(a, &mut store).unwrap()
+            );
+        }
+        assert_eq!(direct.stats(), via.stats());
+        assert_eq!(direct.occupancy().valid_regs, via.occupancy().valid_regs);
+    }
+
+    #[test]
+    fn boxed_escape_hatch_forwards() {
+        let mut store = MapStore::new();
+        let mut e = EngineDispatch::boxed(Box::new(OracleFile::new()));
+        assert!(e.describe().contains("Oracle"));
+        e.write(RegAddr::new(3, 0), 7, &mut store).unwrap();
+        assert_eq!(e.read(RegAddr::new(3, 0), &mut store).unwrap().value, 7);
+        e.free_context(3, &mut store);
+        assert_eq!(e.occupancy().valid_regs, 0);
+    }
+}

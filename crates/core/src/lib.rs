@@ -39,6 +39,7 @@
 pub mod addr;
 pub mod cam;
 pub mod conventional;
+pub mod dispatch;
 pub mod nsf;
 pub mod oracle;
 pub mod policy;
@@ -52,6 +53,7 @@ pub mod windowed;
 
 pub use addr::{Cid, RegAddr};
 pub use conventional::ConventionalFile;
+pub use dispatch::EngineDispatch;
 pub use nsf::{NamedStateFile, NsfConfig};
 pub use oracle::OracleFile;
 pub use policy::{ReloadPolicy, ReplacementPolicy, SpillEngine, WriteMissPolicy};

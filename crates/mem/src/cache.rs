@@ -86,6 +86,13 @@ struct Way {
 pub struct Cache {
     cfg: CacheConfig,
     sets: Vec<Way>, // sets() * ways entries, set-major
+    // Geometry, precomputed at construction so `access` indexes with
+    // shifts and masks only (line_words and the set count are asserted
+    // powers of two, making these exact equivalents of the divisions).
+    line_shift: u32,
+    set_mask: u32,
+    set_shift: u32,
+    ways: usize,
     clock: u64,
     stats: CacheStats,
 }
@@ -110,8 +117,12 @@ impl Cache {
         );
         let entries = (cfg.sets() * cfg.ways) as usize;
         Cache {
-            cfg,
             sets: vec![Way::default(); entries],
+            line_shift: cfg.line_words.trailing_zeros(),
+            set_mask: cfg.sets() - 1,
+            set_shift: cfg.sets().trailing_zeros(),
+            ways: cfg.ways as usize,
+            cfg,
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -140,11 +151,11 @@ impl Cache {
         self.clock += 1;
         self.stats.accesses += 1;
 
-        let line_addr = addr / self.cfg.line_words;
-        let set = line_addr & (self.cfg.sets() - 1);
-        let tag = line_addr / self.cfg.sets();
-        let base = (set * self.cfg.ways) as usize;
-        let ways = &mut self.sets[base..base + self.cfg.ways as usize];
+        let line_addr = addr >> self.line_shift;
+        let set = line_addr & self.set_mask;
+        let tag = line_addr >> self.set_shift;
+        let base = set as usize * self.ways;
+        let ways = &mut self.sets[base..base + self.ways];
 
         // Hit?
         if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {

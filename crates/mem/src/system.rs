@@ -87,6 +87,13 @@ impl MemSystem {
         self.memory.write_block(addr, values);
     }
 
+    /// Reads a block into `out` bypassing the cache model — the read
+    /// dual of [`poke_block`](Self::poke_block), allocation-free and
+    /// page-chunked (result readback, bulk diagnostics).
+    pub fn read_into(&mut self, addr: Addr, out: &mut [Word]) {
+        self.memory.read_into(addr, out);
+    }
+
     /// The Ctable (shared with register-file spill engines).
     pub fn ctable(&self) -> &Ctable {
         &self.ctable

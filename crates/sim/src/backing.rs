@@ -9,14 +9,21 @@
 //! of the save frame); [`BackingMap`] holds them, since raw memory cannot
 //! distinguish "spilled zero" from "never spilled".
 
+use crate::config::BACKING_STRIDE_WORDS;
 use nsf_core::{BackingStore, Cid, StoreFault, Word};
 use nsf_mem::MemSystem;
-use std::collections::HashMap;
 
 /// Per-context presence bits for backed registers (up to 64 per context).
+///
+/// Stored as a dense table indexed by Context ID — CIDs are small and
+/// reused by the scheduler, so this stays compact while keeping the
+/// per-spill/per-reload presence check hash-free (these sit on every
+/// register-file miss the simulator executes).
 #[derive(Debug, Default)]
 pub struct BackingMap {
-    present: HashMap<Cid, u64>,
+    /// `present[cid]` is the context's presence bitmask; zero (or out of
+    /// range) means nothing is backed.
+    present: Vec<u64>,
 }
 
 impl BackingMap {
@@ -27,7 +34,21 @@ impl BackingMap {
 
     /// Number of contexts with any backed register (diagnostics).
     pub fn contexts(&self) -> usize {
-        self.present.len()
+        self.present.iter().filter(|&&bits| bits != 0).count()
+    }
+
+    #[inline]
+    fn bits(&self, cid: Cid) -> u64 {
+        self.present.get(usize::from(cid)).copied().unwrap_or(0)
+    }
+
+    #[inline]
+    fn bits_mut(&mut self, cid: Cid) -> &mut u64 {
+        let i = usize::from(cid);
+        if i >= self.present.len() {
+            self.present.resize(i + 1, 0);
+        }
+        &mut self.present[i]
     }
 }
 
@@ -40,6 +61,27 @@ pub struct CtableBacking<'a> {
     pub map: &'a mut BackingMap,
 }
 
+impl CtableBacking<'_> {
+    /// Reads a context's whole save area (the full backing stride) into
+    /// `buf` in one page-chunked pass — no per-word translation, no
+    /// hashing, no allocation. A bulk inspection path for diagnostics
+    /// and tests; it bypasses the cache timing model (engine-driven
+    /// transfers charge latencies through [`BackingStore`] instead).
+    pub fn frame_image(
+        &mut self,
+        cid: Cid,
+        buf: &mut [Word; BACKING_STRIDE_WORDS as usize],
+    ) -> Result<(), StoreFault> {
+        let base = self
+            .mem
+            .ctable()
+            .reg_addr(cid, 0)
+            .map_err(|_| StoreFault::Unmapped(cid))?;
+        self.mem.read_into(base, buf);
+        Ok(())
+    }
+}
+
 impl BackingStore for CtableBacking<'_> {
     fn spill(&mut self, cid: Cid, offset: u8, value: Word) -> Result<u32, StoreFault> {
         let addr = self
@@ -48,7 +90,7 @@ impl BackingStore for CtableBacking<'_> {
             .reg_addr(cid, offset)
             .map_err(|_| StoreFault::Unmapped(cid))?;
         let cycles = self.mem.store(addr, value);
-        *self.map.present.entry(cid).or_insert(0) |= 1 << offset;
+        *self.map.bits_mut(cid) |= 1 << offset;
         Ok(cycles)
     }
 
@@ -61,35 +103,27 @@ impl BackingStore for CtableBacking<'_> {
         // The transfer happens regardless of presence — hardware reads the
         // save slot either way — but only present registers carry data.
         let (value, cycles) = self.mem.load(addr);
-        let present = self
-            .map
-            .present
-            .get(&cid)
-            .is_some_and(|bits| bits & (1 << offset) != 0);
+        let present = self.map.bits(cid) & (1 << offset) != 0;
         Ok((present.then_some(value), cycles))
     }
 
     fn is_present(&self, cid: Cid, offset: u8) -> bool {
-        self.map
-            .present
-            .get(&cid)
-            .is_some_and(|bits| bits & (1 << offset) != 0)
+        self.map.bits(cid) & (1 << offset) != 0
     }
 
     fn any_present(&self, cid: Cid) -> bool {
-        self.map.present.get(&cid).is_some_and(|&bits| bits != 0)
+        self.map.bits(cid) != 0
     }
 
     fn discard_context(&mut self, cid: Cid) {
-        self.map.present.remove(&cid);
+        if let Some(bits) = self.map.present.get_mut(usize::from(cid)) {
+            *bits = 0;
+        }
     }
 
     fn discard_reg(&mut self, cid: Cid, offset: u8) {
-        if let Some(bits) = self.map.present.get_mut(&cid) {
+        if let Some(bits) = self.map.present.get_mut(usize::from(cid)) {
             *bits &= !(1 << offset);
-            if *bits == 0 {
-                self.map.present.remove(&cid);
-            }
         }
     }
 }
@@ -163,5 +197,25 @@ mod tests {
         b.discard_context(3);
         assert!(!b.any_present(3));
         assert_eq!(map.contexts(), 0);
+    }
+
+    #[test]
+    fn frame_image_reads_whole_save_area() {
+        let (mut mem, mut map) = setup();
+        let mut b = CtableBacking {
+            mem: &mut mem,
+            map: &mut map,
+        };
+        b.spill(3, 0, 11).unwrap();
+        b.spill(3, 2, 33).unwrap();
+        b.spill(3, 63, 99).unwrap();
+        let mut frame = [0; BACKING_STRIDE_WORDS as usize];
+        b.frame_image(3, &mut frame).unwrap();
+        assert_eq!(frame[0], 11);
+        assert_eq!(frame[1], 0);
+        assert_eq!(frame[2], 33);
+        assert_eq!(frame[63], 99);
+        let mut other = [0; BACKING_STRIDE_WORDS as usize];
+        assert_eq!(b.frame_image(9, &mut other), Err(StoreFault::Unmapped(9)));
     }
 }

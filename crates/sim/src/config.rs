@@ -1,11 +1,17 @@
 //! Simulator configuration.
 
 use nsf_core::{
-    segmented::FramePolicy, ConventionalFile, NamedStateFile, NsfConfig, OracleFile, RegisterFile,
-    SegmentedConfig, SpillEngine, WindowedConfig, WindowedFile,
+    segmented::FramePolicy, ConventionalFile, EngineDispatch, NamedStateFile, NsfConfig,
+    OracleFile, SegmentedConfig, SpillEngine, WindowedConfig, WindowedFile,
 };
 use nsf_mem::{Addr, MemConfig};
 use nsf_runtime::SchedulerConfig;
+
+/// Words of backing store reserved per context: context `c`'s save area
+/// is `[backing_base + c * STRIDE, backing_base + (c + 1) * STRIDE)`.
+/// 64 matches the register files' per-context valid bitmasks (`u64`);
+/// `Machine::new` rejects any organization that could spill past it.
+pub const BACKING_STRIDE_WORDS: Addr = 64;
 
 /// Which register file organization the processor uses.
 #[derive(Clone, Copy, Debug)]
@@ -29,16 +35,32 @@ pub enum RegFileSpec {
 }
 
 impl RegFileSpec {
-    /// Instantiates the organization.
-    pub fn build(&self) -> Box<dyn RegisterFile> {
+    /// Instantiates the organization, statically dispatched: the machine
+    /// holds the engine by value so per-instruction register operations
+    /// resolve through a `match` instead of a vtable.
+    pub fn build(&self) -> EngineDispatch {
         match *self {
-            RegFileSpec::Nsf(cfg) => Box::new(NamedStateFile::new(cfg)),
-            RegFileSpec::Segmented(cfg) => Box::new(SegmentedFile::new(cfg)),
+            RegFileSpec::Nsf(cfg) => NamedStateFile::new(cfg).into(),
+            RegFileSpec::Segmented(cfg) => SegmentedFile::new(cfg).into(),
             RegFileSpec::Conventional { regs, engine } => {
-                Box::new(ConventionalFile::with_engine(regs, engine))
+                ConventionalFile::with_engine(regs, engine).into()
             }
-            RegFileSpec::Windowed(cfg) => Box::new(WindowedFile::new(cfg)),
-            RegFileSpec::Oracle => Box::new(OracleFile::new()),
+            RegFileSpec::Windowed(cfg) => WindowedFile::new(cfg).into(),
+            RegFileSpec::Oracle => OracleFile::new().into(),
+        }
+    }
+
+    /// The most backing-store words one context of this organization can
+    /// ever spill — register offsets stay below the architectural
+    /// context size, so this bounds the per-context save area.
+    pub fn max_spill_regs(&self) -> u32 {
+        match *self {
+            RegFileSpec::Nsf(cfg) => u32::from(cfg.ctx_regs),
+            RegFileSpec::Segmented(cfg) => u32::from(cfg.frame_regs),
+            RegFileSpec::Conventional { regs, .. } => u32::from(regs),
+            RegFileSpec::Windowed(cfg) => u32::from(cfg.window_regs),
+            // The oracle holds everything and never spills.
+            RegFileSpec::Oracle => 0,
         }
     }
 
@@ -183,6 +205,7 @@ impl SimConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nsf_core::RegisterFile;
 
     #[test]
     fn specs_build_the_right_organization() {

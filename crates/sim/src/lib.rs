@@ -36,7 +36,7 @@ pub mod metrics;
 pub mod trace;
 
 pub use backing::{BackingMap, CtableBacking};
-pub use config::{CycleTable, RegFileSpec, SimConfig};
+pub use config::{CycleTable, RegFileSpec, SimConfig, BACKING_STRIDE_WORDS};
 pub use machine::{Machine, SimError};
 pub use metrics::{OccupancySummary, RunReport};
 pub use trace::{TraceBuffer, TraceEntry};

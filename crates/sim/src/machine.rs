@@ -2,10 +2,12 @@
 //! the memory hierarchy and the thread scheduler.
 
 use crate::backing::{BackingMap, CtableBacking};
-use crate::config::SimConfig;
+use crate::config::{SimConfig, BACKING_STRIDE_WORDS};
 use crate::metrics::RunReport;
 use crate::trace::{TraceBuffer, TraceEntry};
-use nsf_core::{Cid, RecordingFile, RegAddr, RegFileError, RegisterFile, SharedSink};
+use nsf_core::{
+    Cid, EngineDispatch, RecordingFile, RegAddr, RegFileError, RegisterFile, SharedSink,
+};
 use nsf_isa::{Inst, InstClass, Program, Reg};
 use nsf_mem::{Addr, Cache, MemSystem, Word};
 use nsf_runtime::{BlockReason, SchedDecision, Scheduler, SchedulerError, ThreadId};
@@ -130,7 +132,10 @@ pub struct Machine {
     /// The memory system (public so harnesses can stage inputs with
     /// `poke`/`peek` and read results back).
     pub mem: MemSystem,
-    regfile: Box<dyn RegisterFile>,
+    /// The register file, held by value: per-instruction operations
+    /// dispatch through [`EngineDispatch`]'s `match` and inline into
+    /// `step()` instead of paying a vtable call.
+    regfile: EngineDispatch,
     sched: Scheduler,
     backing: BackingMap,
     clock: u64,
@@ -162,6 +167,14 @@ impl Machine {
                 "cid_capacity {} exceeds ctable_slots {}: contexts could not \
                  be mapped to backing store",
                 cfg.sched.cid_capacity, cfg.mem.ctable_slots
+            )));
+        }
+        let spill_regs = cfg.regfile.max_spill_regs();
+        if spill_regs > BACKING_STRIDE_WORDS {
+            return Err(SimError::BadConfig(format!(
+                "organization can spill {spill_regs} words per context, \
+                 overflowing the {BACKING_STRIDE_WORDS}-word backing stride: \
+                 context save areas would overlap"
             )));
         }
         let mut m = Machine {
@@ -210,9 +223,10 @@ impl Machine {
     pub fn attach_sink(&mut self, sink: SharedSink) {
         let inner = std::mem::replace(
             &mut self.regfile,
-            Box::new(nsf_core::OracleFile::new()), // placeholder, swapped below
+            EngineDispatch::Oracle(nsf_core::OracleFile::new()), // placeholder, swapped below
         );
-        self.regfile = Box::new(RecordingFile::new(inner, sink.clone()));
+        self.regfile =
+            EngineDispatch::boxed(Box::new(RecordingFile::new(Box::new(inner), sink.clone())));
         self.sink = Some(sink);
     }
 
@@ -271,9 +285,10 @@ impl Machine {
     }
 
     fn map_ctable(&mut self, cid: Cid) {
-        self.mem
-            .ctable_mut()
-            .map(cid, self.cfg.backing_base + Addr::from(cid) * 64);
+        self.mem.ctable_mut().map(
+            cid,
+            self.cfg.backing_base + Addr::from(cid) * BACKING_STRIDE_WORDS,
+        );
     }
 
     /// Notifies the register file that `cid` is now running (no-op when it
@@ -1161,6 +1176,19 @@ mod tests {
         let mut m = Machine::new(p, SimConfig::default()).unwrap();
         m.run_and_keep().unwrap();
         assert!(m.trace().is_empty());
+    }
+
+    #[test]
+    fn oversized_spill_footprint_rejected() {
+        // 65 registers per frame cannot fit the 64-word backing stride:
+        // context save areas would overlap silently. Must fail at build.
+        let p = assemble("main: halt").unwrap();
+        let cfg = SimConfig::with_regfile(crate::RegFileSpec::paper_segmented(2, 65));
+        let err = Machine::new(p, cfg).unwrap_err();
+        assert!(
+            matches!(err, SimError::BadConfig(ref m) if m.contains("backing stride")),
+            "expected a backing-stride rejection, got: {err}"
+        );
     }
 
     #[test]

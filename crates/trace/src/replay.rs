@@ -20,9 +20,9 @@
 
 use crate::event::{RegEvent, TimedEvent};
 use crate::format::{Trace, TraceError};
-use nsf_core::{Access, RegFileStats, RegisterFile};
+use nsf_core::{Access, EngineDispatch, RegFileStats, RegisterFile};
 use nsf_mem::{Addr, MemSystem};
-use nsf_sim::{BackingMap, CtableBacking, SimConfig};
+use nsf_sim::{BackingMap, CtableBacking, SimConfig, BACKING_STRIDE_WORDS};
 
 /// Outcome of replaying one trace through one organization.
 #[derive(Clone, Debug)]
@@ -70,7 +70,7 @@ impl Outcome {
 
 /// One organization mid-replay: the engine plus its memory environment.
 struct Lane {
-    regfile: Box<dyn RegisterFile>,
+    regfile: EngineDispatch,
     mem: MemSystem,
     map: BackingMap,
     backing_base: Addr,
@@ -93,9 +93,10 @@ impl Lane {
         // therefore cache behavior) match the live run.
         if let Some(cid) = event.cid() {
             if self.mem.ctable().lookup(cid).is_err() {
-                self.mem
-                    .ctable_mut()
-                    .map(cid, self.backing_base + Addr::from(cid) * 64);
+                self.mem.ctable_mut().map(
+                    cid,
+                    self.backing_base + Addr::from(cid) * BACKING_STRIDE_WORDS,
+                );
             }
         }
         let fail = |source| TraceError::Replay { index, source };

@@ -115,6 +115,7 @@ pub fn default_engine_spec(parallel: bool) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nsf_core::RegisterFile;
 
     #[test]
     fn all_kinds_parse_and_build() {
