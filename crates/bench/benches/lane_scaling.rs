@@ -1,0 +1,39 @@
+//! Criterion group `lane_scaling`: the lane-batched execution core
+//! against the serial point loop on a figure-style configuration fan —
+//! one workload, N frontend-identical engine configurations. This is
+//! the shape `Sweep::run_lanes` batches, so the ratio here is the
+//! speedup ceiling the `--lanes` knob can deliver per grid row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nsf_bench::nsf_config;
+use nsf_sim::SimConfig;
+use nsf_workloads::{gatesim, run, run_lanes};
+
+fn bench_lane_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lane_scaling");
+    g.sample_size(10);
+    let w = gatesim::build(0);
+    // A Figure-12-style size fan: eight NSF capacities, shared frontend.
+    let cfgs: Vec<SimConfig> = (0..8u32).map(|i| nsf_config(48 + 16 * i)).collect();
+
+    g.bench_function("serial_8cfg", |b| {
+        b.iter(|| {
+            cfgs.iter()
+                .map(|&cfg| run(&w, cfg).expect("validates"))
+                .collect::<Vec<_>>()
+        })
+    });
+    for lanes in [2usize, 4, 8] {
+        g.bench_function(format!("lanes{lanes}_8cfg"), |b| {
+            b.iter(|| {
+                cfgs.chunks(lanes)
+                    .flat_map(|chunk| run_lanes(&w, chunk).expect("validates"))
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lane_scaling);
+criterion_main!(benches);

@@ -99,6 +99,8 @@ struct Row {
     events: u64,
     wall_ns: u128,
     run_ns: u128,
+    /// Wall time of the same grid through `Sweep::run_lanes`.
+    lanes_run_ns: u128,
 }
 
 impl Row {
@@ -109,6 +111,20 @@ impl Row {
     /// Instr/sec through the simulation core alone (grid build excluded).
     fn sim_events_per_sec(&self) -> f64 {
         rate(self.events, self.run_ns)
+    }
+
+    /// Instr/sec through the lane-batched core.
+    fn lanes_events_per_sec(&self) -> f64 {
+        rate(self.events, self.lanes_run_ns)
+    }
+
+    /// Lane-batched speedup over the serial core on this run.
+    fn lanes_speedup(&self) -> f64 {
+        if self.lanes_run_ns == 0 {
+            0.0
+        } else {
+            self.run_ns as f64 / self.lanes_run_ns as f64
+        }
     }
 
     fn baseline(&self) -> Option<f64> {
@@ -243,7 +259,7 @@ fn replay_section(args: &HarnessArgs, live_wall_ns: u128) -> ReplaySection {
 /// here silently times the wrong experiment — reject it with usage.
 fn parse_args() -> Result<HarnessArgs, CliError> {
     const SPEC: CliSpec = CliSpec {
-        value_flags: &["scale", "threads", "out"],
+        value_flags: &["scale", "threads", "lanes", "out"],
         switches: &["quiet"],
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -252,6 +268,7 @@ fn parse_args() -> Result<HarnessArgs, CliError> {
     Ok(HarnessArgs {
         scale: args.parsed_or("scale", 1u32)?,
         threads: args.parsed_or("threads", defaults.threads)?.max(1),
+        lanes: args.parsed_or("lanes", defaults.lanes)?.max(1),
         quiet: args.switch("quiet"),
         out: args.flag("out").map(str::to_string),
     })
@@ -262,7 +279,7 @@ fn main() {
         Ok(args) => args,
         Err(e) => {
             eprintln!(
-                "perf_report: {e}\nusage: perf_report [--scale N] [--threads N] [--out DIR] [--quiet]"
+                "perf_report: {e}\nusage: perf_report [--scale N] [--threads N] [--lanes N] [--out DIR] [--quiet]"
             );
             std::process::exit(64);
         }
@@ -285,6 +302,10 @@ fn main() {
         let t = Instant::now();
         let reports = sweep.run(args.threads);
         let run_ns = t.elapsed().as_nanos();
+        let t = Instant::now();
+        let lane_reports = sweep.run_lanes(args.threads, args.lanes);
+        let lanes_run_ns = t.elapsed().as_nanos();
+        assert_eq!(reports, lane_reports, "{name}: lane batching must be exact");
         let events: u64 = reports.iter().map(|r| r.instructions).sum();
         let row = Row {
             name,
@@ -292,6 +313,7 @@ fn main() {
             events,
             wall_ns: build_ns + run_ns,
             run_ns,
+            lanes_run_ns,
         };
         println!(
             "{:<26} {:>7} {:>14} {:>10.1} {:>14.0}",
@@ -319,16 +341,19 @@ fn main() {
     // generation) excluded, so this isolates the fetch/execute/register/
     // memory loop the devirtualized dispatch and flat page table serve.
     let compare = args.scale == 1 && args.threads == 1;
-    println!("\nSimulation core (sweep.run only, grid build excluded)");
     println!(
-        "{:<26} {:>10} {:>14} {:>14} {:>8}",
-        "Grid", "Run ms", "Instr/sec", "Baseline", "Speedup"
+        "\nSimulation core (sweep.run only, grid build excluded; lanes = {})",
+        args.lanes
     );
-    nsf_bench::rule(76);
+    println!(
+        "{:<26} {:>10} {:>14} {:>14} {:>8} {:>10} {:>10}",
+        "Grid", "Run ms", "Instr/sec", "Baseline", "Speedup", "Lanes ms", "Lanes spd"
+    );
+    nsf_bench::rule(98);
     for r in &rows {
         let base = if compare { r.baseline() } else { None };
         println!(
-            "{:<26} {:>10.1} {:>14.0} {:>14} {:>8}",
+            "{:<26} {:>10.1} {:>14.0} {:>14} {:>8} {:>10.1} {:>9.2}x",
             r.name,
             r.run_ns as f64 / 1e6,
             r.sim_events_per_sec(),
@@ -337,9 +362,11 @@ fn main() {
                 || "-".into(),
                 |b| format!("{:.2}x", r.sim_events_per_sec() / b)
             ),
+            r.lanes_run_ns as f64 / 1e6,
+            r.lanes_speedup(),
         );
     }
-    nsf_bench::rule(76);
+    nsf_bench::rule(98);
 
     let live_fig12_ns = rows
         .iter()
@@ -378,6 +405,7 @@ fn main() {
     let mut json = String::from("{\n");
     writeln!(json, "  \"scale\": {},", args.scale).unwrap();
     writeln!(json, "  \"threads\": {},", args.threads).unwrap();
+    writeln!(json, "  \"lanes\": {},", args.lanes).unwrap();
     json.push_str("  \"grids\": [\n");
     for (i, r) in rows.iter().enumerate() {
         writeln!(
@@ -408,13 +436,17 @@ fn main() {
             json,
             "    {{\"grid\": \"{}\", \"events\": {}, \"run_wall_ns\": {}, \
              \"instr_per_sec\": {:.0}, \"baseline_instr_per_sec\": {}, \
-             \"speedup\": {}}}{}",
+             \"speedup\": {}, \"lanes_run_wall_ns\": {}, \
+             \"lanes_instr_per_sec\": {:.0}, \"lanes_speedup\": {:.2}}}{}",
             r.name,
             r.events,
             r.run_ns,
             r.sim_events_per_sec(),
             base_s,
             speedup_s,
+            r.lanes_run_ns,
+            r.lanes_events_per_sec(),
+            r.lanes_speedup(),
             if i + 1 < rows.len() { "," } else { "" },
         )
         .unwrap();

@@ -32,14 +32,17 @@
 
 use nsf_core::{segmented::FramePolicy, NsfConfig, ReloadPolicy, SegmentedConfig, SpillEngine};
 use nsf_sim::{RunReport, SimConfig};
-use nsf_workloads::{run, Workload};
+use nsf_workloads::{run, run_lanes, Workload};
 
 pub mod cli;
 pub mod figures;
 pub mod runner;
 
 pub use cli::{CliArgs, CliError, CliSpec};
-pub use runner::{figure_main, workspace_results_dir, Cursor, HarnessArgs, Sweep, SweepPoint};
+pub use runner::{
+    figure_main, workspace_results_dir, Cursor, HarnessArgs, Sweep, SweepPoint, DEFAULT_LANES,
+    HARNESS_USAGE,
+};
 
 /// Registers per sequential context (the paper allocates 20).
 pub const SEQ_CTX_REGS: u8 = 20;
@@ -98,6 +101,15 @@ pub fn segmented_software_config(frames: u32, frame_regs: u8) -> SimConfig {
 /// must never masquerade as a data point.
 pub fn measure(w: &Workload, cfg: SimConfig) -> RunReport {
     run(w, cfg).unwrap_or_else(|e| panic!("{} failed: {e}", w.name))
+}
+
+/// Runs one workload under many configurations — as a single
+/// lane-batched pass when the pair is batchable, serially otherwise —
+/// with [`measure`]'s panic-on-failure contract. A lane divergence
+/// (engine values disagreeing across lanes) panics here too: the
+/// equivalence wall must never masquerade as a data point.
+pub fn measure_lanes(w: &Workload, cfgs: &[SimConfig]) -> Vec<RunReport> {
+    run_lanes(w, cfgs).unwrap_or_else(|e| panic!("{} failed: {e}", w.name))
 }
 
 /// Sums reports across a suite (for the paper's serial/parallel

@@ -19,8 +19,9 @@
 //! propagates out of [`Sweep::run`] — a harness bug must never
 //! masquerade as a data point.
 
-use crate::measure;
-use nsf_sim::{RunReport, SimConfig};
+use crate::cli::{CliArgs, CliError, CliSpec};
+use crate::{measure, measure_lanes};
+use nsf_sim::{batchable_program, RunReport, SimConfig};
 use nsf_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -104,7 +105,107 @@ impl Sweep {
         assert_eq!(done.len(), self.points.len(), "runner lost a point");
         done.into_iter().map(|(_, r)| r).collect()
     }
+
+    /// Like [`Sweep::run`], but executes points that share a workload
+    /// (and a machine frontend) as lane-batched [`nsf_sim::LaneSet`]
+    /// passes of up to `lanes` configurations each, amortizing fetch,
+    /// decode and scheduling across the group. Points whose program is
+    /// not batchable ([`batchable_program`]) stay serial. Reports are
+    /// returned in submission order and are bit-identical to
+    /// [`Sweep::run`]'s for every `(threads, lanes)` combination;
+    /// `lanes <= 1` *is* [`Sweep::run`].
+    pub fn run_lanes(&self, threads: usize, lanes: usize) -> Vec<RunReport> {
+        if lanes <= 1 {
+            return self.run(threads);
+        }
+        let groups = self.lane_groups(lanes);
+        let run_group = |g: &[usize]| -> Vec<RunReport> {
+            let w = &self.workloads[self.points[g[0]].workload];
+            let cfgs: Vec<SimConfig> = g.iter().map(|&i| self.points[i].cfg).collect();
+            measure_lanes(w, &cfgs)
+        };
+        if threads <= 1 || groups.len() <= 1 {
+            let mut out: Vec<Option<RunReport>> = vec![None; self.points.len()];
+            for g in &groups {
+                for (&i, r) in g.iter().zip(run_group(g)) {
+                    out[i] = Some(r);
+                }
+            }
+            return out
+                .into_iter()
+                .map(|r| r.expect("runner lost a point"))
+                .collect();
+        }
+        let threads = threads.min(groups.len());
+        let cursor = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, RunReport)>> =
+            Mutex::new(Vec::with_capacity(self.points.len()));
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let gi = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(g) = groups.get(gi) else { break };
+                    let reports = run_group(g);
+                    let mut done = done.lock().unwrap();
+                    for (&i, r) in g.iter().zip(reports) {
+                        done.push((i, r));
+                    }
+                });
+            }
+        });
+        let mut done = done.into_inner().unwrap();
+        done.sort_by_key(|(i, _)| *i);
+        assert_eq!(done.len(), self.points.len(), "runner lost a point");
+        done.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Partitions point indices into lane groups: submission-order
+    /// greedy chunks of up to `lanes` points that share a workload and a
+    /// machine frontend. Unbatchable workloads get singleton groups.
+    fn lane_groups(&self, lanes: usize) -> Vec<Vec<usize>> {
+        let batchable: Vec<bool> = self
+            .workloads
+            .iter()
+            .map(|w| batchable_program(&w.program))
+            .collect();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        // The open (growable) group per workload, by group index.
+        let mut open: Vec<Option<usize>> = vec![None; self.workloads.len()];
+        for (i, p) in self.points.iter().enumerate() {
+            if !batchable[p.workload] {
+                groups.push(vec![i]);
+                continue;
+            }
+            if let Some(gi) = open[p.workload] {
+                let head = self.points[groups[gi][0]].cfg;
+                if groups[gi].len() < lanes && head.frontend_eq(&p.cfg) {
+                    groups[gi].push(i);
+                    continue;
+                }
+            }
+            open[p.workload] = Some(groups.len());
+            groups.push(vec![i]);
+        }
+        groups
+    }
 }
+
+/// Default lane width for batched sweeps (`--lanes`): wide enough to
+/// cover a full same-workload column of the figure grids, while lane
+/// equivalence keeps any value safe.
+pub const DEFAULT_LANES: usize = 8;
+
+/// The figure binaries' flag set (strict values, tolerated unknowns —
+/// see [`HarnessArgs::try_from_args`]).
+const HARNESS_SPEC: CliSpec = CliSpec {
+    value_flags: &["scale", "threads", "lanes", "out"],
+    switches: &["quiet"],
+};
+
+/// Usage line printed (with exit 64) when a figure binary rejects its
+/// arguments.
+pub const HARNESS_USAGE: &str =
+    "usage: [--scale N] [--threads N] [--lanes N] [--quiet] [--out DIR]";
 
 /// Command-line arguments shared by every experiment binary.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -113,6 +214,9 @@ pub struct HarnessArgs {
     pub scale: u32,
     /// Worker threads for the sweep (default: available parallelism).
     pub threads: usize,
+    /// Maximum configurations per lane-batched pass
+    /// ([`Sweep::run_lanes`]); 1 disables batching entirely.
+    pub lanes: usize,
     /// Suppress the commentary footer under each table.
     pub quiet: bool,
     /// Output directory override for binaries that write artifacts
@@ -121,31 +225,62 @@ pub struct HarnessArgs {
 }
 
 impl HarnessArgs {
-    /// Parses `--scale N`, `--threads N`, `--quiet` and `--out DIR` from
-    /// the process arguments; unknown arguments are ignored.
+    /// Parses `--scale N`, `--threads N`, `--lanes N`, `--quiet` and
+    /// `--out DIR` from the process arguments. A malformed value for a
+    /// known flag prints the error and [`HARNESS_USAGE`], then exits
+    /// with status 64 — a mistyped `--scale` must not silently run the
+    /// wrong experiment.
     pub fn parse() -> Self {
-        Self::from_args(std::env::args().skip(1))
+        Self::try_from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            eprintln!("{HARNESS_USAGE}");
+            std::process::exit(64);
+        })
     }
 
     /// Parses from an explicit argument list (testable form of
-    /// [`HarnessArgs::parse`]).
-    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
-        let args: Vec<String> = args.into_iter().collect();
-        let str_of = |flag: &str| {
-            args.iter()
-                .position(|a| a == flag)
-                .and_then(|i| args.get(i + 1))
-                .cloned()
-        };
-        let value_of = |flag: &str| str_of(flag).and_then(|v| v.parse::<u64>().ok());
-        HarnessArgs {
-            scale: value_of("--scale").unwrap_or(1) as u32,
-            threads: value_of("--threads")
-                .map(|t| (t as usize).max(1))
-                .unwrap_or_else(default_threads),
-            quiet: args.iter().any(|a| a == "--quiet"),
-            out: str_of("--out"),
+    /// [`HarnessArgs::parse`]). Unknown arguments are still ignored —
+    /// one wrapper script can pass a shared flag set to every binary —
+    /// but the *values* of known flags go through the strict
+    /// [`crate::cli`] layer: `--lanes x` or a trailing `--threads` is a
+    /// [`CliError`], never a silent default.
+    pub fn try_from_args(args: impl IntoIterator<Item = String>) -> Result<Self, CliError> {
+        let raw: Vec<String> = args.into_iter().collect();
+        let parsed = CliArgs::parse(&Self::known_tokens(&raw), &HARNESS_SPEC)?;
+        Ok(HarnessArgs {
+            scale: parsed.parsed_or("scale", 1u32)?,
+            threads: parsed.parsed_or("threads", default_threads())?.max(1),
+            lanes: parsed.parsed_or("lanes", DEFAULT_LANES)?.max(1),
+            quiet: parsed.switch("quiet"),
+            out: parsed.flag("out").map(String::from),
+        })
+    }
+
+    /// Keeps only the tokens belonging to declared flags: a known value
+    /// flag and (when present) its value, or a known switch. Everything
+    /// else — unknown flags, their values, stray positionals — is
+    /// dropped before strict parsing.
+    fn known_tokens(raw: &[String]) -> Vec<String> {
+        let mut kept = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            if let Some(name) = raw[i].strip_prefix("--") {
+                if HARNESS_SPEC.value_flags.contains(&name) {
+                    kept.push(raw[i].clone());
+                    if let Some(v) = raw.get(i + 1) {
+                        if !v.starts_with("--") {
+                            kept.push(v.clone());
+                            i += 2;
+                            continue;
+                        }
+                    }
+                } else if HARNESS_SPEC.switches.contains(&name) {
+                    kept.push(raw[i].clone());
+                }
+            }
+            i += 1;
         }
+        kept
     }
 
     /// The directory artifact-writing binaries should use: `--out` if
@@ -171,6 +306,7 @@ impl Default for HarnessArgs {
         HarnessArgs {
             scale: 1,
             threads: default_threads(),
+            lanes: DEFAULT_LANES,
             quiet: false,
             out: None,
         }
@@ -182,11 +318,13 @@ fn default_threads() -> usize {
 }
 
 /// The shared `main` of every migrated experiment binary: parse the
-/// harness arguments, build the figure's grid, run it, print the render.
+/// harness arguments, build the figure's grid, run it lane-batched,
+/// print the render. Lane batching is bit-exact, so the output is
+/// byte-identical for every `--lanes` (and `--threads`) value.
 pub fn figure_main(grid: fn(u32) -> Sweep, render: fn(u32, &Sweep, &[RunReport], bool) -> String) {
     let args = HarnessArgs::parse();
     let sweep = grid(args.scale);
-    let reports = sweep.run(args.threads);
+    let reports = sweep.run_lanes(args.threads, args.lanes);
     print!("{}", render(args.scale, &sweep, &reports, args.quiet));
 }
 
@@ -258,30 +396,117 @@ mod tests {
     }
 
     #[test]
+    fn lane_batching_matches_serial_in_order() {
+        let sweep = small_sweep();
+        let serial = sweep.run(1);
+        for (threads, lanes) in [(1, 2), (1, 8), (8, 4)] {
+            assert_eq!(
+                serial,
+                sweep.run_lanes(threads, lanes),
+                "threads={threads} lanes={lanes}"
+            );
+        }
+        assert_eq!(serial, sweep.run_lanes(1, 1), "lanes=1 is the serial path");
+    }
+
+    #[test]
+    fn lane_batching_handles_parallel_and_mixed_grids() {
+        use crate::{PAR_CTX_REGS, PAR_FILE_REGS};
+        use nsf_workloads::quicksort;
+        let mut s = Sweep::new();
+        let gs = s.workload(gatesim::build(0));
+        let qs = s.workload(quicksort::build(0));
+        for w in [gs, qs, gs, qs] {
+            let (file, ctx) = if w == qs {
+                (PAR_FILE_REGS, PAR_CTX_REGS)
+            } else {
+                (SEQ_FILE_REGS, SEQ_CTX_REGS)
+            };
+            s.point(w, nsf_config(file));
+            s.point(w, segmented_config(4, ctx));
+        }
+        assert_eq!(s.run(1), s.run_lanes(1, 8), "mixed seq/par grid");
+        assert_eq!(s.run(1), s.run_lanes(4, 2), "threaded lane groups");
+    }
+
+    #[test]
+    fn lane_groups_chunk_per_workload_in_order() {
+        let mut s = Sweep::new();
+        let a = s.workload(gatesim::build(0));
+        for _ in 0..5 {
+            s.point(a, nsf_config(SEQ_FILE_REGS));
+        }
+        let groups = s.lane_groups(2);
+        assert_eq!(groups, vec![vec![0, 1], vec![2, 3], vec![4]]);
+        // A frontend change (different quantum) breaks the chain even
+        // mid-group: lanes must share the whole machine frontend.
+        let mut cfg = nsf_config(SEQ_FILE_REGS);
+        cfg.quantum = Some(64);
+        s.point(a, cfg);
+        s.point(a, cfg);
+        let groups = s.lane_groups(8);
+        assert_eq!(groups, vec![vec![0, 1, 2, 3, 4], vec![5, 6]]);
+    }
+
+    #[test]
     fn args_parse_defaults_and_flags() {
-        let a =
-            HarnessArgs::from_args(["--scale", "0", "--threads", "3", "--quiet"].map(String::from));
+        let a = HarnessArgs::try_from_args(
+            ["--scale", "0", "--threads", "3", "--lanes", "2", "--quiet"].map(String::from),
+        )
+        .unwrap();
         assert_eq!(
             a,
             HarnessArgs {
                 scale: 0,
                 threads: 3,
+                lanes: 2,
                 quiet: true,
                 out: None
             }
         );
-        let d = HarnessArgs::from_args(std::iter::empty());
+        let d = HarnessArgs::try_from_args(std::iter::empty()).unwrap();
         assert_eq!(d.scale, 1);
         assert!(d.threads >= 1);
+        assert_eq!(d.lanes, DEFAULT_LANES);
         assert!(!d.quiet);
-        // --threads 0 clamps to 1 rather than deadlocking.
-        let z = HarnessArgs::from_args(["--threads", "0"].map(String::from));
+        // --threads 0 / --lanes 0 clamp to 1 rather than deadlocking.
+        let z = HarnessArgs::try_from_args(["--threads", "0", "--lanes", "0"].map(String::from))
+            .unwrap();
         assert_eq!(z.threads, 1);
+        assert_eq!(z.lanes, 1);
+        // Unknown flags (and their values) are still tolerated, so one
+        // wrapper script can drive every binary.
+        let u = HarnessArgs::try_from_args(
+            ["--mystery", "7", "positional", "--scale", "0"].map(String::from),
+        )
+        .unwrap();
+        assert_eq!(u.scale, 0);
+    }
+
+    #[test]
+    fn malformed_known_flag_values_are_errors() {
+        // Pinned, not incidental: a mistyped value for a *known* flag
+        // must fail parsing (the binaries turn this into exit 64), never
+        // silently fall back to a default.
+        for bad in [
+            vec!["--lanes", "x"],
+            vec!["--lanes", "-3"],
+            vec!["--threads", "many"],
+            vec!["--scale", "1.5"],
+            vec!["--lanes"],
+            vec!["--threads", "--quiet"],
+        ] {
+            let args = bad.iter().map(|s| s.to_string());
+            assert!(
+                HarnessArgs::try_from_args(args).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 
     #[test]
     fn out_flag_overrides_results_dir() {
-        let a = HarnessArgs::from_args(["--out", "/tmp/elsewhere"].map(String::from));
+        let a = HarnessArgs::try_from_args(["--out", "/tmp/elsewhere"].map(String::from)).unwrap();
         assert_eq!(a.out.as_deref(), Some("/tmp/elsewhere"));
         assert_eq!(a.results_dir(), std::path::Path::new("/tmp/elsewhere"));
         // Without --out, artifacts land in the workspace results/

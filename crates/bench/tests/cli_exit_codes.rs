@@ -1,0 +1,80 @@
+//! Exit-code contract of the strict CLI layer: a malformed value for a
+//! *known* flag (`--lanes x`, `--threads -3`, …) must terminate the
+//! process with the conventional usage-error status 64 and print the
+//! usage line — never fall back to a default and silently run the wrong
+//! experiment. Unknown strays stay tolerated (the figure binaries share
+//! one flag vocabulary by design).
+
+use std::process::Command;
+
+/// Runs one figure binary with `args` and returns (exit code, stderr).
+fn run(bin: &str, args: &[&str]) -> (Option<i32>, String) {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr).into(),
+    )
+}
+
+fn assert_usage_error(bin: &str, args: &[&str]) {
+    let (code, stderr) = run(bin, args);
+    assert_eq!(
+        code,
+        Some(64),
+        "{bin} {args:?}: expected usage-error exit 64, stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("usage:"),
+        "{bin} {args:?}: no usage line on stderr: {stderr}"
+    );
+}
+
+#[test]
+fn malformed_lanes_value_exits_64() {
+    let bin = env!("CARGO_BIN_EXE_table1");
+    assert_usage_error(bin, &["--lanes", "x"]);
+    assert_usage_error(bin, &["--lanes", "-3"]);
+    assert_usage_error(bin, &["--scale", "0", "--lanes", "1.5"]);
+}
+
+#[test]
+fn malformed_threads_value_exits_64() {
+    let bin = env!("CARGO_BIN_EXE_fig09_utilization");
+    assert_usage_error(bin, &["--threads", "many"]);
+    assert_usage_error(bin, &["--threads", "-1"]);
+}
+
+#[test]
+fn missing_value_for_known_flag_exits_64() {
+    let bin = env!("CARGO_BIN_EXE_table1");
+    // Trailing flag with no value, and a value swallowed by a switch.
+    assert_usage_error(bin, &["--lanes"]);
+    assert_usage_error(bin, &["--threads", "--quiet"]);
+}
+
+#[test]
+fn perf_report_rejects_unknown_flags_too() {
+    // perf_report is stricter than the figure binaries: a typo would
+    // silently time the wrong experiment, so strays are errors there.
+    let bin = env!("CARGO_BIN_EXE_perf_report");
+    assert_usage_error(bin, &["--lanse", "4"]);
+    assert_usage_error(bin, &["--lanes", "zero"]);
+}
+
+#[test]
+fn well_formed_flags_still_run() {
+    let bin = env!("CARGO_BIN_EXE_table1");
+    let out = Command::new(bin)
+        .args(["--scale", "0", "--lanes", "4", "--quiet"])
+        .output()
+        .expect("spawn table1");
+    assert!(
+        out.status.success(),
+        "table1 --scale 0 --lanes 4 failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!out.stdout.is_empty(), "table1 printed nothing");
+}

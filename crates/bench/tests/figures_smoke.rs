@@ -214,6 +214,48 @@ fn summary_renders_all_six_claims() {
     }
 }
 
+/// `--lanes 1` (serial point loop), `--lanes 4` and `--lanes 8` must
+/// render byte-identical output for every figure grid: lane batching is
+/// a simulator-throughput optimization and must never shift a figure.
+#[test]
+fn lane_counts_render_identically_for_every_figure() {
+    type Grid = fn(u32) -> Sweep;
+    type Render = fn(u32, &Sweep, &[nsf_sim::RunReport], bool) -> String;
+    let grids: &[(&str, Grid, Render)] = &[
+        ("table1", figures::table1::grid, figures::table1::render),
+        ("fig09", figures::fig09::grid, figures::fig09::render),
+        ("fig10", figures::fig10::grid, figures::fig10::render),
+        ("fig11", figures::fig11::grid, figures::fig11::render),
+        ("fig12", figures::fig12::grid, figures::fig12::render),
+        ("fig13", figures::fig13::grid, figures::fig13::render),
+        ("fig14", figures::fig14::grid, figures::fig14::render),
+        (
+            "ablations",
+            figures::ablations::grid,
+            figures::ablations::render,
+        ),
+        (
+            "related_work",
+            figures::related_work::grid,
+            figures::related_work::render,
+        ),
+        (
+            "depth_sweep",
+            figures::depth_sweep::grid,
+            figures::depth_sweep::render,
+        ),
+        ("summary", figures::summary::grid, figures::summary::render),
+    ];
+    for &(name, grid, render) in grids {
+        let sweep = grid(0);
+        let one = render(0, &sweep, &sweep.run_lanes(1, 1), true);
+        let four = render(0, &sweep, &sweep.run_lanes(1, 4), true);
+        let eight = render(0, &sweep, &sweep.run_lanes(1, 8), true);
+        assert_eq!(one, four, "{name}: --lanes 4 shifts the rendered figure");
+        assert_eq!(one, eight, "{name}: --lanes 8 shifts the rendered figure");
+    }
+}
+
 #[test]
 fn export_csv_shapes_match_documented_sweeps() {
     let (sweep, reports) = run0(figures::export_csv::grid);

@@ -10,7 +10,7 @@
 use crate::Addr;
 
 /// Configuration of a [`Cache`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in words.
     pub capacity_words: u32,

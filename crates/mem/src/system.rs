@@ -7,7 +7,7 @@ use crate::memory::MainMemory;
 use crate::{Addr, Word};
 
 /// Configuration of a [`MemSystem`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MemConfig {
     /// Data-cache geometry and latencies.
     pub dcache: CacheConfig,

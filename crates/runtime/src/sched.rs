@@ -21,7 +21,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 /// Scheduler limits and layout.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SchedulerConfig {
     /// Maximum live threads.
     pub max_threads: u32,

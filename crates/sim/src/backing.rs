@@ -82,6 +82,63 @@ impl CtableBacking<'_> {
     }
 }
 
+/// The owning form of [`CtableBacking`]: one lane's memory system and
+/// presence bits held by value. [`crate::LaneSet`] keeps a `LaneStore`
+/// per lane so register traffic, spill frames and program data stay
+/// private to the lane while the instruction stream is shared. Every
+/// operation delegates to the borrowed view, so the two are
+/// semantically identical by construction.
+pub struct LaneStore {
+    /// The lane's private memory hierarchy (Ctable + data cache).
+    pub mem: MemSystem,
+    /// The lane's presence bits.
+    pub map: BackingMap,
+}
+
+impl LaneStore {
+    /// Wraps a memory system with empty presence bits.
+    pub fn new(mem: MemSystem) -> Self {
+        LaneStore {
+            mem,
+            map: BackingMap::new(),
+        }
+    }
+
+    /// The borrowed [`CtableBacking`] view over this lane's halves.
+    pub fn view(&mut self) -> CtableBacking<'_> {
+        CtableBacking {
+            mem: &mut self.mem,
+            map: &mut self.map,
+        }
+    }
+}
+
+impl BackingStore for LaneStore {
+    fn spill(&mut self, cid: Cid, offset: u8, value: Word) -> Result<u32, StoreFault> {
+        self.view().spill(cid, offset, value)
+    }
+
+    fn reload(&mut self, cid: Cid, offset: u8) -> Result<(Option<Word>, u32), StoreFault> {
+        self.view().reload(cid, offset)
+    }
+
+    fn is_present(&self, cid: Cid, offset: u8) -> bool {
+        self.map.bits(cid) & (1 << offset) != 0
+    }
+
+    fn any_present(&self, cid: Cid) -> bool {
+        self.map.bits(cid) != 0
+    }
+
+    fn discard_context(&mut self, cid: Cid) {
+        self.view().discard_context(cid);
+    }
+
+    fn discard_reg(&mut self, cid: Cid, offset: u8) {
+        self.view().discard_reg(cid, offset);
+    }
+}
+
 impl BackingStore for CtableBacking<'_> {
     fn spill(&mut self, cid: Cid, offset: u8, value: Word) -> Result<u32, StoreFault> {
         let addr = self

@@ -95,7 +95,7 @@ use nsf_core::SegmentedFile;
 /// Per-class instruction latencies, in cycles. Calibrated to the Sparc-2
 /// class timings the paper used ("The instruction and memory access times
 /// were taken from a Sparc2 processor emulator").
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CycleTable {
     /// ALU / register-move instructions.
     pub alu: u32,
@@ -199,6 +199,29 @@ impl SimConfig {
             regfile,
             ..Default::default()
         }
+    }
+
+    /// `true` when `self` and `other` agree on everything *except* the
+    /// register file organization — the machine frontend (memory
+    /// geometry, scheduler limits, cycle table, latencies, sampling,
+    /// budgets) is identical, so two runs of the same program differ
+    /// only in register-file behaviour. This is the compatibility
+    /// predicate lane batching ([`crate::LaneSet`]) requires: lanes
+    /// share one fetch/decode/schedule stream and must therefore share
+    /// every frontend parameter.
+    pub fn frontend_eq(&self, other: &SimConfig) -> bool {
+        self.mem == other.mem
+            && self.sched == other.sched
+            && self.cycles == other.cycles
+            && self.remote_latency == other.remote_latency
+            && self.msg_latency == other.msg_latency
+            && self.sample_interval == other.sample_interval
+            && self.max_instructions == other.max_instructions
+            && self.quantum == other.quantum
+            && self.backing_base == other.backing_base
+            && self.trace_depth == other.trace_depth
+            && self.channel_capacity == other.channel_capacity
+            && self.icache == other.icache
     }
 }
 

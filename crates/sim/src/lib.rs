@@ -31,12 +31,14 @@
 
 pub mod backing;
 pub mod config;
+pub mod lanes;
 pub mod machine;
 pub mod metrics;
 pub mod trace;
 
-pub use backing::{BackingMap, CtableBacking};
+pub use backing::{BackingMap, CtableBacking, LaneStore};
 pub use config::{CycleTable, RegFileSpec, SimConfig, BACKING_STRIDE_WORDS};
+pub use lanes::{batchable, batchable_program, LaneSet};
 pub use machine::{Machine, SimError};
 pub use metrics::{OccupancySummary, RunReport};
 pub use trace::{TraceBuffer, TraceEntry};

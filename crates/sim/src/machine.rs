@@ -48,6 +48,18 @@ pub enum SimError {
     },
     /// The configuration is internally inconsistent.
     BadConfig(String),
+    /// Lane-batched execution observed different architectural values
+    /// across lanes ([`crate::LaneSet`]). Register-file organizations
+    /// may only change *timing*; a value divergence is a simulator or
+    /// engine bug and must never be reported as a data point.
+    LaneDivergence {
+        /// The diverging instruction's program counter.
+        pc: u32,
+        /// Index of the first lane that disagreed with lane 0.
+        lane: usize,
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -64,6 +76,9 @@ impl fmt::Display for SimError {
                 write!(f, "instruction budget of {limit} exceeded")
             }
             SimError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            SimError::LaneDivergence { pc, lane, detail } => {
+                write!(f, "lane {lane} diverged from lane 0 at pc {pc}: {detail}")
+            }
         }
     }
 }
@@ -85,9 +100,9 @@ impl From<SchedulerError> for SimError {
 }
 
 /// Notional virtual base of the program image (icache address space).
-const ICACHE_BASE: u32 = 0x7000_0000;
+pub(crate) const ICACHE_BASE: u32 = 0x7000_0000;
 
-enum Status {
+pub(crate) enum Status {
     /// Keep issuing from the same thread.
     Continue,
     /// The thread blocked, yielded or finished; back to the scheduler.
@@ -759,7 +774,7 @@ impl Machine {
 }
 
 /// Signed division matching the ISA contract (x/0 = 0, MIN/-1 wraps).
-fn div_s(x: Word, y: Word) -> Word {
+pub(crate) fn div_s(x: Word, y: Word) -> Word {
     let (x, y) = (x as i32, y as i32);
     if y == 0 {
         0
@@ -769,7 +784,7 @@ fn div_s(x: Word, y: Word) -> Word {
 }
 
 /// Signed remainder matching the ISA contract (x%0 = 0, MIN%-1 = 0).
-fn rem_s(x: Word, y: Word) -> Word {
+pub(crate) fn rem_s(x: Word, y: Word) -> Word {
     let (x, y) = (x as i32, y as i32);
     if y == 0 {
         0

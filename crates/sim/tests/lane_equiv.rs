@@ -1,0 +1,294 @@
+//! The lane-batching equivalence wall, property-tested: random engine
+//! specs from every family × seeded generated programs must produce
+//! **bit-identical** results through [`LaneSet`] and through one serial
+//! [`Machine`] per configuration — the full [`RunReport`] (cycles,
+//! register-file statistics, occupancy samples) and the end-of-run
+//! memory residue. Register-file organizations may only change timing;
+//! any value divergence is a bug the lane engine must surface, never
+//! absorb.
+
+use nsf_core::SpillEngine;
+use nsf_isa::{Inst, ProgramBuilder, Reg};
+use nsf_sim::{batchable, LaneSet, Machine, RegFileSpec, RunReport, SimConfig};
+use proptest::prelude::*;
+
+/// Result area the generated programs write their residue into.
+const OUT: u32 = 0x0005_0000;
+
+/// One loop-body step of a generated program. Register budget: `r0`/`r1`
+/// operands, `r2` accumulator, `r4` loop limit, `r5` loop counter,
+/// `r6` = [`OUT`], `r7` scratch (always rewritten before `rfree`),
+/// `g1` subroutine result — 8 context registers, under every family's
+/// context size.
+#[derive(Clone, Copy, Debug)]
+enum Action {
+    /// `r2 = r2 <op> c` through a loaded constant.
+    Alu(AluOp, i32),
+    /// Store the accumulator at `OUT + k`.
+    Store(u32),
+    /// Load `OUT + k` back and fold it into the accumulator.
+    LoadAdd(u32),
+    /// Atomic fetch-add at `OUT + k`; old value lands in `r7`.
+    Amo(u32, i32),
+    /// Write then deallocate the scratch register (`rfree` hint).
+    Free,
+    /// Call the generated subroutine chain and fold `g1` into `r2`.
+    CallSub,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Xor,
+    Sll,
+    Slt,
+}
+
+impl AluOp {
+    fn inst(self, rd: Reg, rs1: Reg, rs2: Reg) -> Inst {
+        match self {
+            AluOp::Add => Inst::Add { rd, rs1, rs2 },
+            AluOp::Sub => Inst::Sub { rd, rs1, rs2 },
+            AluOp::Mul => Inst::Mul { rd, rs1, rs2 },
+            AluOp::Xor => Inst::Xor { rd, rs1, rs2 },
+            AluOp::Sll => Inst::Sll { rd, rs1, rs2 },
+            AluOp::Slt => Inst::Slt { rd, rs1, rs2 },
+        }
+    }
+}
+
+/// Shape of one generated workload: a counted loop over `actions`, plus
+/// an optional depth-1/depth-2 subroutine chain reached via `CallSub`.
+#[derive(Clone, Debug)]
+struct ProgSpec {
+    actions: Vec<Action>,
+    iters: i32,
+    call_depth: u32,
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    proptest::sample::select(vec![
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Slt,
+    ])
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        3 => (arb_alu(), any::<i32>()).prop_map(|(op, c)| Action::Alu(op, c)),
+        2 => (1u32..24).prop_map(Action::Store),
+        2 => (1u32..24).prop_map(Action::LoadAdd),
+        1 => ((1u32..24), -3i32..4).prop_map(|(k, d)| Action::Amo(k, d)),
+        1 => Just(Action::Free),
+        2 => Just(Action::CallSub),
+    ]
+}
+
+fn arb_prog() -> impl Strategy<Value = ProgSpec> {
+    (
+        proptest::collection::vec(arb_action(), 1..10),
+        1i32..5,
+        0u32..3,
+    )
+        .prop_map(|(actions, iters, call_depth)| ProgSpec {
+            actions,
+            iters,
+            call_depth,
+        })
+}
+
+/// Materializes a [`ProgSpec`] as a real program (always batchable:
+/// single-threaded, no channels, no remote operations).
+fn build_program(spec: &ProgSpec) -> nsf_isa::Program {
+    let r = Reg::R;
+    let g = Reg::G;
+    let mut b = ProgramBuilder::new();
+    let subs: Vec<_> = (0..spec.call_depth).map(|_| b.new_label()).collect();
+    b.load_const(r(6), OUT as i32);
+    b.load_const(r(2), 0);
+    b.load_const(r(5), 0);
+    b.load_const(r(4), spec.iters);
+    let top = b.new_label();
+    b.bind(top);
+    for &a in &spec.actions {
+        match a {
+            Action::Alu(op, c) => {
+                b.load_const(r(0), c);
+                b.emit(op.inst(r(2), r(2), r(0)));
+            }
+            Action::Store(k) => {
+                b.emit(Inst::Sw {
+                    base: r(6),
+                    src: r(2),
+                    imm: k as i32,
+                });
+            }
+            Action::LoadAdd(k) => {
+                b.emit(Inst::Lw {
+                    rd: r(1),
+                    base: r(6),
+                    imm: k as i32,
+                });
+                b.emit(Inst::Add {
+                    rd: r(2),
+                    rs1: r(2),
+                    rs2: r(1),
+                });
+            }
+            Action::Amo(k, d) => {
+                b.emit(Inst::AmoAdd {
+                    rd: r(7),
+                    base: r(6),
+                    imm: d,
+                });
+                b.emit(Inst::Sw {
+                    base: r(6),
+                    src: r(7),
+                    imm: k as i32,
+                });
+            }
+            Action::Free => {
+                b.load_const(r(7), 1);
+                b.emit(Inst::RFree { reg: r(7) });
+            }
+            Action::CallSub => {
+                if let Some(&first) = subs.first() {
+                    b.call(first);
+                    b.emit(Inst::Add {
+                        rd: r(2),
+                        rs1: r(2),
+                        rs2: g(1),
+                    });
+                }
+            }
+        }
+    }
+    b.emit(Inst::Addi {
+        rd: r(5),
+        rs1: r(5),
+        imm: 1,
+    });
+    b.bne(r(5), r(4), top);
+    b.emit(Inst::Sw {
+        base: r(6),
+        src: r(2),
+        imm: 0,
+    });
+    b.emit(Inst::Halt);
+    // Subroutine chain: sub[i] calls sub[i+1], each folds a constant into
+    // g1 in its own context (exercising allocation/spill across calls).
+    for (i, &label) in subs.iter().enumerate() {
+        b.bind(label);
+        if let Some(&next) = subs.get(i + 1) {
+            b.call(next);
+        }
+        b.load_const(r(0), 3 + i as i32);
+        b.emit(Inst::Add {
+            rd: g(1),
+            rs1: g(1),
+            rs2: r(0),
+        });
+        b.emit(Inst::Ret);
+    }
+    b.finish("main").unwrap()
+}
+
+/// A random engine spec drawn from all five families (two spill-engine
+/// flavours where the organization supports both).
+fn arb_spec() -> impl Strategy<Value = RegFileSpec> {
+    prop_oneof![
+        (16u32..=128).prop_map(RegFileSpec::paper_nsf),
+        ((2u32..=8), (12u8..=32)).prop_map(|(f, r)| RegFileSpec::paper_segmented(f, r)),
+        ((2u32..=8), (12u8..=32)).prop_map(|(f, r)| RegFileSpec::segmented_valid_only(f, r)),
+        (12u8..=32).prop_map(|regs| RegFileSpec::Conventional {
+            regs,
+            engine: SpillEngine::hardware(),
+        }),
+        (12u8..=32).prop_map(|regs| RegFileSpec::Conventional {
+            regs,
+            engine: SpillEngine::software(),
+        }),
+        (12u8..=32).prop_map(RegFileSpec::sparc_windows),
+        Just(RegFileSpec::Oracle),
+    ]
+}
+
+/// Serial reference: one fresh [`Machine`] per configuration, with the
+/// end-of-run residue of the result area appended.
+fn run_serial(program: &nsf_isa::Program, cfgs: &[SimConfig]) -> Vec<(RunReport, Vec<u32>)> {
+    cfgs.iter()
+        .map(|&cfg| {
+            let mut m = Machine::new(program.clone(), cfg).unwrap();
+            let report = m.run_and_keep().unwrap();
+            let residue = (0..24).map(|k| m.mem.peek(OUT + k)).collect();
+            (report, residue)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random engine specs × random programs: the lane-batched pass must
+    /// reproduce every serial run bit-for-bit — reports (including
+    /// register-file statistics and occupancy) and memory residue.
+    #[test]
+    fn lane_batched_runs_are_bit_identical_to_serial(
+        spec in arb_prog(),
+        engines in proptest::collection::vec(arb_spec(), 2..6),
+    ) {
+        let program = build_program(&spec);
+        let cfgs: Vec<SimConfig> = engines.into_iter().map(SimConfig::with_regfile).collect();
+        prop_assert!(batchable(&program, &cfgs));
+
+        let serial = run_serial(&program, &cfgs);
+        let mut lanes = LaneSet::new(program, &cfgs).unwrap();
+        let batched = lanes.run_and_keep().unwrap();
+
+        prop_assert_eq!(batched.len(), serial.len());
+        for (i, ((want_report, want_residue), got)) in serial.iter().zip(&batched).enumerate() {
+            prop_assert_eq!(want_report, got, "lane {} report", i);
+            let got_residue: Vec<u32> = (0..24).map(|k| lanes.lane_mem(i).peek(OUT + k)).collect();
+            prop_assert_eq!(want_residue, &got_residue, "lane {} residue", i);
+        }
+    }
+
+    /// One lane from each of the five families side by side, with random
+    /// sizes: the mixed set stays batchable and exact.
+    #[test]
+    fn all_five_families_agree_in_one_lane_set(
+        spec in arb_prog(),
+        nsf_total in 16u32..=128,
+        frames in 2u32..=6,
+        frame_regs in 12u8..=32,
+        conv_regs in 12u8..=32,
+        win_regs in 12u8..=32,
+    ) {
+        let program = build_program(&spec);
+        let cfgs: Vec<SimConfig> = [
+            RegFileSpec::paper_nsf(nsf_total),
+            RegFileSpec::paper_segmented(frames, frame_regs),
+            RegFileSpec::Conventional { regs: conv_regs, engine: SpillEngine::hardware() },
+            RegFileSpec::sparc_windows(win_regs),
+            RegFileSpec::Oracle,
+        ]
+        .into_iter()
+        .map(SimConfig::with_regfile)
+        .collect();
+
+        let serial = run_serial(&program, &cfgs);
+        let mut lanes = LaneSet::new(program, &cfgs).unwrap();
+        let batched = lanes.run_and_keep().unwrap();
+        for (i, ((want_report, want_residue), got)) in serial.iter().zip(&batched).enumerate() {
+            prop_assert_eq!(want_report, got, "family lane {}", i);
+            let got_residue: Vec<u32> = (0..24).map(|k| lanes.lane_mem(i).peek(OUT + k)).collect();
+            prop_assert_eq!(want_residue, &got_residue, "family lane {} residue", i);
+        }
+    }
+}

@@ -2,7 +2,7 @@
 
 use nsf_isa::Program;
 use nsf_mem::{Addr, MemSystem, Word};
-use nsf_sim::{Machine, RunReport, SimConfig, SimError};
+use nsf_sim::{LaneSet, Machine, RunReport, SimConfig, SimError};
 use std::fmt;
 
 /// A functional output check, run against simulated memory after the
@@ -125,6 +125,34 @@ fn run_inner(
         detail,
     })?;
     Ok(report)
+}
+
+/// Runs `workload` under every configuration in `cfgs` and returns one
+/// report per configuration, in order — bit-identical to what
+/// [`run`] would return for each configuration separately.
+///
+/// When the (program, configurations) pair is lane-batchable
+/// ([`nsf_sim::batchable`]: single-threaded stream, identical frontends)
+/// the whole set executes as one shared-frontend [`LaneSet`] pass;
+/// otherwise each configuration falls back to a serial [`run`]. Either
+/// way **every** lane's output is validated against the workload's
+/// check — statistics are never reported from an unvalidated run.
+pub fn run_lanes(workload: &Workload, cfgs: &[SimConfig]) -> Result<Vec<RunReport>, WorkloadError> {
+    if !nsf_sim::batchable(&workload.program, cfgs) {
+        return cfgs.iter().map(|&cfg| run(workload, cfg)).collect();
+    }
+    let mut lanes = LaneSet::new(workload.program.clone(), cfgs)?;
+    for (addr, words) in &workload.mem_init {
+        lanes.poke_block(*addr, words);
+    }
+    let reports = lanes.run_and_keep()?;
+    for i in 0..lanes.lanes() {
+        (workload.check)(lanes.lane_mem(i)).map_err(|detail| WorkloadError::CheckFailed {
+            name: workload.name,
+            detail: format!("lane {i}: {detail}"),
+        })?;
+    }
+    Ok(reports)
 }
 
 /// Standard result-area base address used by all workloads.

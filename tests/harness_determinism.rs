@@ -1,10 +1,12 @@
-//! Thread-count independence of the sweep harness.
+//! Thread-count and lane-count independence of the sweep harness.
 //!
 //! Every migrated experiment grid must produce field-for-field identical
 //! reports — and byte-identical rendered tables — whether the sweep ran
-//! on one worker thread or eight. The simulations themselves are
-//! deterministic (see `tests/determinism.rs`); these tests pin the one
-//! channel parallelism could open: result ordering.
+//! on one worker thread or eight, and whether points executed serially
+//! or lane-batched (`--lanes 4` / `--lanes 8`). The simulations
+//! themselves are deterministic (see `tests/determinism.rs`); these
+//! tests pin the two channels the harness could open: result ordering
+//! and the lane-batched execution path.
 
 use nsf_bench::figures;
 use nsf_bench::Sweep;
@@ -12,8 +14,9 @@ use nsf_sim::RunReport;
 
 type Render = fn(u32, &Sweep, &[RunReport], bool) -> String;
 
-/// Runs one grid serially and with 8 workers, asserting both report
-/// streams and both rendered tables match exactly.
+/// Runs one grid serially, with 8 workers, and lane-batched (4- and
+/// 8-wide, serial and threaded pools), asserting every report stream
+/// and every rendered table matches exactly.
 fn assert_thread_independent(name: &str, grid: fn(u32) -> Sweep, render: Render) {
     let sweep = grid(0);
     let serial = sweep.run(1);
@@ -22,6 +25,13 @@ fn assert_thread_independent(name: &str, grid: fn(u32) -> Sweep, render: Render)
         serial, threaded,
         "{name}: reports differ across thread counts"
     );
+    for (threads, lanes) in [(1, 4), (8, 8)] {
+        let laned = sweep.run_lanes(threads, lanes);
+        assert_eq!(
+            serial, laned,
+            "{name}: reports differ lane-batched ({threads} threads, {lanes} lanes)"
+        );
+    }
     for quiet in [false, true] {
         let a = render(0, &sweep, &serial, quiet);
         let b = render(0, &sweep, &threaded, quiet);
@@ -67,6 +77,11 @@ fn export_csv() {
     assert_eq!(
         serial, threaded,
         "export_csv: reports differ across thread counts"
+    );
+    assert_eq!(
+        serial,
+        sweep.run_lanes(1, 8),
+        "export_csv: reports differ lane-batched"
     );
     let a = figures::export_csv::csvs(&sweep, &serial);
     let b = figures::export_csv::csvs(&sweep, &threaded);
