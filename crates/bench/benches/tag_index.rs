@@ -1,0 +1,63 @@
+//! Criterion group `tag_index`: the CAM decoder's tag lookup, isolated.
+//! `nsf_core::tagindex::TagIndex` replaced a `std::collections::HashMap`
+//! in `AssocDecoder::lookup` — the hottest call in every sweep, run once
+//! per simulated register access — because SipHash on the 3-byte tag
+//! cost more than the rest of the hit path combined. The group times a
+//! register-file-shaped churn loop (lookups dominating, with bind/unbind
+//! traffic mixed in) over both indexes at a paper-sized capacity.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nsf_core::tagindex::TagIndex;
+use std::collections::HashMap;
+
+/// Lines in the simulated file: the paper's 128-register NSF with
+/// single-register lines.
+const LINES: u32 = 128;
+
+/// Deterministic access pattern shaped like sweep traffic: a strided
+/// walk over `<cid, line>` keys, eight lookups per insert/remove pair.
+fn keys() -> Vec<u32> {
+    (0..4096u32).map(|i| (i.wrapping_mul(37)) % LINES).collect()
+}
+
+fn bench_tag_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tag_index");
+    let ks = keys();
+
+    g.bench_function("tagindex_churn", |b| {
+        b.iter(|| {
+            let mut t = TagIndex::with_capacity(LINES as usize);
+            let mut hits = 0u64;
+            for (i, &k) in ks.iter().enumerate() {
+                if i % 8 == 0 {
+                    t.insert(k, i as u32);
+                } else if i % 8 == 7 {
+                    t.remove(k);
+                } else if t.get(k).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("hashmap_churn", |b| {
+        b.iter(|| {
+            let mut t: HashMap<u32, u32> = HashMap::with_capacity(LINES as usize);
+            let mut hits = 0u64;
+            for (i, &k) in ks.iter().enumerate() {
+                if i % 8 == 0 {
+                    t.insert(k, i as u32);
+                } else if i % 8 == 7 {
+                    t.remove(&k);
+                } else if t.contains_key(&k) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tag_index);
+criterion_main!(benches);

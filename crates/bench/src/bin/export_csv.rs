@@ -18,7 +18,11 @@ use std::io::Write as _;
 fn main() {
     let args = HarnessArgs::parse();
     let sweep = export_csv::grid(args.scale);
-    let reports = sweep.run(args.threads);
+    let reports = if args.frontend_cache {
+        sweep.run_cached(args.threads, args.lanes)
+    } else {
+        sweep.run_lanes(args.threads, args.lanes)
+    };
 
     let dir = args.results_dir();
     fs::create_dir_all(&dir).expect("create results dir");

@@ -9,7 +9,10 @@
 //! This measures the *simulator*, not the modeled machine: each figure's
 //! grid is built and run exactly as its binary would (render excluded, so
 //! nothing is printed or written per figure), and the elapsed wall time is
-//! divided into the total instructions simulated. A second section
+//! divided into the total instructions simulated. Each grid is then
+//! re-run through the lane-batched core and the frontend-cached core
+//! (`Sweep::run_cached`), asserting bit-identical reports and recording
+//! the frontend-vs-engine time split and cache hit rate. A second section
 //! captures the Figure 12 workloads as `.nsftrace` streams and re-sweeps
 //! the figure's whole configuration grid by *replay* — the design-space
 //! shortcut `trace_tool` offers — reporting events/sec through each
@@ -24,7 +27,7 @@ use nsf_bench::figures::{
     ablations, depth_sweep, export_csv, fig09, fig10, fig11, fig12, fig13, fig14, related_work,
     summary, table1,
 };
-use nsf_bench::{CliArgs, CliError, CliSpec, HarnessArgs, Sweep};
+use nsf_bench::{CliArgs, CliError, CliSpec, FrontendCacheStats, HarnessArgs, Sweep};
 use nsf_sim::SimConfig;
 use nsf_trace::{capture, parse_engine, replay_events, Trace};
 use std::fmt::Write as _;
@@ -101,6 +104,10 @@ struct Row {
     run_ns: u128,
     /// Wall time of the same grid through `Sweep::run_lanes`.
     lanes_run_ns: u128,
+    /// Wall time of the same grid through `Sweep::run_cached`.
+    cache_run_ns: u128,
+    /// Frontend-vs-engine split and hit rate of the cached run.
+    cache: FrontendCacheStats,
 }
 
 impl Row {
@@ -124,6 +131,20 @@ impl Row {
             0.0
         } else {
             self.run_ns as f64 / self.lanes_run_ns as f64
+        }
+    }
+
+    /// Instr/sec through the frontend-cached core.
+    fn cache_events_per_sec(&self) -> f64 {
+        rate(self.events, self.cache_run_ns)
+    }
+
+    /// Frontend-cache speedup over the serial core on this run.
+    fn cache_speedup(&self) -> f64 {
+        if self.cache_run_ns == 0 {
+            0.0
+        } else {
+            self.run_ns as f64 / self.cache_run_ns as f64
         }
     }
 
@@ -260,15 +281,25 @@ fn replay_section(args: &HarnessArgs, live_wall_ns: u128) -> ReplaySection {
 fn parse_args() -> Result<HarnessArgs, CliError> {
     const SPEC: CliSpec = CliSpec {
         value_flags: &["scale", "threads", "lanes", "out"],
-        switches: &["quiet"],
+        switches: &["quiet", "frontend-cache", "no-frontend-cache"],
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = CliArgs::parse(&raw, &SPEC)?;
+    // Both paths are always *measured* here (the cached column is the
+    // point of the report); the switches are accepted so one wrapper
+    // flag set drives every binary, and the conflict still errors.
+    if args.switch("frontend-cache") && args.switch("no-frontend-cache") {
+        return Err(CliError::Conflict {
+            a: "frontend-cache".into(),
+            b: "no-frontend-cache".into(),
+        });
+    }
     let defaults = HarnessArgs::default();
     Ok(HarnessArgs {
         scale: args.parsed_or("scale", 1u32)?,
         threads: args.parsed_or("threads", defaults.threads)?.max(1),
         lanes: args.parsed_or("lanes", defaults.lanes)?.max(1),
+        frontend_cache: !args.switch("no-frontend-cache"),
         quiet: args.switch("quiet"),
         out: args.flag("out").map(str::to_string),
     })
@@ -279,7 +310,8 @@ fn main() {
         Ok(args) => args,
         Err(e) => {
             eprintln!(
-                "perf_report: {e}\nusage: perf_report [--scale N] [--threads N] [--lanes N] [--out DIR] [--quiet]"
+                "perf_report: {e}\nusage: perf_report [--scale N] [--threads N] [--lanes N] \
+                 [--frontend-cache | --no-frontend-cache] [--out DIR] [--quiet]"
             );
             std::process::exit(64);
         }
@@ -306,6 +338,13 @@ fn main() {
         let lane_reports = sweep.run_lanes(args.threads, args.lanes);
         let lanes_run_ns = t.elapsed().as_nanos();
         assert_eq!(reports, lane_reports, "{name}: lane batching must be exact");
+        let t = Instant::now();
+        let (cache_reports, cache) = sweep.run_cached_stats(args.threads, args.lanes);
+        let cache_run_ns = t.elapsed().as_nanos();
+        assert_eq!(
+            reports, cache_reports,
+            "{name}: the frontend cache must be exact"
+        );
         let events: u64 = reports.iter().map(|r| r.instructions).sum();
         let row = Row {
             name,
@@ -314,6 +353,8 @@ fn main() {
             wall_ns: build_ns + run_ns,
             run_ns,
             lanes_run_ns,
+            cache_run_ns,
+            cache,
         };
         println!(
             "{:<26} {:>7} {:>14} {:>10.1} {:>14.0}",
@@ -367,6 +408,33 @@ fn main() {
         );
     }
     nsf_bench::rule(98);
+
+    // Frontend-vs-engine split of the cached run: frontend ms covers the
+    // per-group capture (workload generation + fetch/decode/schedule once
+    // per frontend) plus uncacheable singleton points run live; engine ms
+    // is replay only — the register-file/memory timing model fed from the
+    // recorded event stream. Hit rate is replayed points / points.
+    println!(
+        "\nFrontend cache (sweep.run_cached, lanes = {})",
+        args.lanes
+    );
+    println!(
+        "{:<26} {:>10} {:>12} {:>10} {:>9} {:>10}",
+        "Grid", "Cached ms", "Frontend ms", "Engine ms", "Hit rate", "Cache spd"
+    );
+    nsf_bench::rule(82);
+    for r in &rows {
+        println!(
+            "{:<26} {:>10.1} {:>12.1} {:>10.1} {:>8.0}% {:>9.2}x",
+            r.name,
+            r.cache_run_ns as f64 / 1e6,
+            r.cache.frontend_ns as f64 / 1e6,
+            r.cache.engine_ns as f64 / 1e6,
+            r.cache.hit_rate() * 100.0,
+            r.cache_speedup(),
+        );
+    }
+    nsf_bench::rule(82);
 
     let live_fig12_ns = rows
         .iter()
@@ -437,7 +505,10 @@ fn main() {
             "    {{\"grid\": \"{}\", \"events\": {}, \"run_wall_ns\": {}, \
              \"instr_per_sec\": {:.0}, \"baseline_instr_per_sec\": {}, \
              \"speedup\": {}, \"lanes_run_wall_ns\": {}, \
-             \"lanes_instr_per_sec\": {:.0}, \"lanes_speedup\": {:.2}}}{}",
+             \"lanes_instr_per_sec\": {:.0}, \"lanes_speedup\": {:.2}, \
+             \"cache_run_wall_ns\": {}, \"cache_instr_per_sec\": {:.0}, \
+             \"cache_frontend_ns\": {}, \"cache_engine_ns\": {}, \
+             \"cache_hit_rate\": {:.3}, \"frontend_cache_speedup\": {:.2}}}{}",
             r.name,
             r.events,
             r.run_ns,
@@ -447,6 +518,12 @@ fn main() {
             r.lanes_run_ns,
             r.lanes_events_per_sec(),
             r.lanes_speedup(),
+            r.cache_run_ns,
+            r.cache_events_per_sec(),
+            r.cache.frontend_ns,
+            r.cache.engine_ns,
+            r.cache.hit_rate(),
+            r.cache_speedup(),
             if i + 1 < rows.len() { "," } else { "" },
         )
         .unwrap();

@@ -38,6 +38,14 @@ pub enum CliError {
         /// The rejected text.
         value: String,
     },
+    /// Two mutually exclusive switches were both given
+    /// (`--frontend-cache --no-frontend-cache`).
+    Conflict {
+        /// The first switch.
+        a: String,
+        /// The contradicting switch.
+        b: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -46,6 +54,9 @@ impl fmt::Display for CliError {
             CliError::MissingValue(flag) => write!(f, "--{flag} needs a value"),
             CliError::UnknownFlag(flag) => write!(f, "unknown flag --{flag}"),
             CliError::BadValue { flag, value } => write!(f, "bad --{flag} value {value:?}"),
+            CliError::Conflict { a, b } => {
+                write!(f, "--{a} and --{b} contradict each other")
+            }
         }
     }
 }
@@ -219,5 +230,11 @@ mod tests {
         }
         .to_string()
         .contains("\"x\""));
+        let c = CliError::Conflict {
+            a: "frontend-cache".into(),
+            b: "no-frontend-cache".into(),
+        }
+        .to_string();
+        assert!(c.contains("--frontend-cache") && c.contains("--no-frontend-cache"));
     }
 }

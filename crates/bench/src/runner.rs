@@ -22,6 +22,7 @@
 use crate::cli::{CliArgs, CliError, CliSpec};
 use crate::{measure, measure_lanes};
 use nsf_sim::{batchable_program, RunReport, SimConfig};
+use nsf_trace::{capture_frontend, replay_frontend};
 use nsf_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -119,8 +120,20 @@ impl Sweep {
             return self.run(threads);
         }
         let groups = self.lane_groups(lanes);
+        // A grid that degenerates to all-singleton groups (unbatchable
+        // workloads, or every point on a different frontend) gains
+        // nothing from the group machinery — take the plain serial path,
+        // which is also what each singleton group below does per point.
+        if groups.iter().all(|g| g.len() == 1) {
+            return self.run(threads);
+        }
         let run_group = |g: &[usize]| -> Vec<RunReport> {
             let w = &self.workloads[self.points[g[0]].workload];
+            if let [i] = g {
+                // One lane is no batch: skip the lane-set scan/validation
+                // and run the point exactly as [`Sweep::run`] would.
+                return vec![measure(w, self.points[*i].cfg)];
+            }
             let cfgs: Vec<SimConfig> = g.iter().map(|&i| self.points[i].cfg).collect();
             measure_lanes(w, &cfgs)
         };
@@ -188,6 +201,220 @@ impl Sweep {
         }
         groups
     }
+
+    /// Partitions point indices into *frontend groups*: unbounded
+    /// submission-order chunks of points that share a workload and a
+    /// machine frontend ([`SimConfig::frontend_eq`]) — the unit of the
+    /// frontend event-stream cache ([`Sweep::run_cached`]). Unlike
+    /// [`Sweep::lane_groups`] there is no width limit (a replay is not
+    /// a lockstep lane pass, so nothing caps the group), and points
+    /// with execution tracing on stay singletons (a traced run cannot
+    /// be captured).
+    pub fn frontend_groups(&self) -> Vec<Vec<usize>> {
+        let batchable: Vec<bool> = self
+            .workloads
+            .iter()
+            .map(|w| batchable_program(&w.program))
+            .collect();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut open: Vec<Option<usize>> = vec![None; self.workloads.len()];
+        for (i, p) in self.points.iter().enumerate() {
+            if !batchable[p.workload] || p.cfg.trace_depth != 0 {
+                groups.push(vec![i]);
+                continue;
+            }
+            if let Some(gi) = open[p.workload] {
+                let head = self.points[groups[gi][0]].cfg;
+                if head.frontend_eq(&p.cfg) {
+                    groups[gi].push(i);
+                    continue;
+                }
+            }
+            open[p.workload] = Some(groups.len());
+            groups.push(vec![i]);
+        }
+        groups
+    }
+
+    /// Like [`Sweep::run_lanes`], but pays each distinct
+    /// workload/frontend's frontend **once for the whole sweep**: the
+    /// first point of every frontend group at least
+    /// [`MIN_CAPTURE_GROUP`] wide runs live and captures its event
+    /// stream ([`capture_frontend`]); every later point in the group
+    /// replays the buffer straight into its engine — the whole group in
+    /// one [`replay_frontend`] call, so the stream is decoded once per
+    /// group — skipping workload generation, fetch, decode and
+    /// scheduling. Groups too narrow to amortize a capture compose with
+    /// the live paths instead: groups of three or more lane-batch (up
+    /// to `lanes` per pass), pairs and singletons run serially. Reports
+    /// are returned in submission order and are bit-identical to
+    /// [`Sweep::run`]'s; replay is checked against the recorded live
+    /// values and every lane's output is validated by the workload's
+    /// own check, so a cached point can never silently drift.
+    pub fn run_cached(&self, threads: usize, lanes: usize) -> Vec<RunReport> {
+        self.run_cached_stats(threads, lanes).0
+    }
+
+    /// Smallest frontend group [`Sweep::run_cached`] captures. A
+    /// capture run costs ~1.8x a live run (event encoding) and each
+    /// group pays one stream decode worth ~0.6x a live run, while a
+    /// replayed lane's marginal cost is only slightly below a
+    /// lane-batched lane's (the engine dominates both once the CAM
+    /// lookup is a single multiply). The cache therefore has to spread
+    /// its fixed capture+decode overhead across many replays before it
+    /// beats lane batching — measured break-even lands in the low
+    /// teens, so groups narrower than this route to lane batching
+    /// (three up to the threshold) or the serial loop (pairs,
+    /// singletons) instead.
+    pub const MIN_CAPTURE_GROUP: usize = 16;
+
+    /// [`Sweep::run_cached`] plus the cache's observability counters:
+    /// how many points replayed from a buffer instead of running live,
+    /// and how the wall time split between frontend-paying work
+    /// (captures and serial points) and engine-only replay.
+    pub fn run_cached_stats(
+        &self,
+        threads: usize,
+        lanes: usize,
+    ) -> (Vec<RunReport>, FrontendCacheStats) {
+        let lanes = lanes.max(1);
+        let groups = self.frontend_groups();
+        let mut stats = FrontendCacheStats {
+            points: self.points.len() as u64,
+            replayed_points: groups
+                .iter()
+                .filter(|g| g.len() >= Self::MIN_CAPTURE_GROUP)
+                .map(|g| (g.len() - 1) as u64)
+                .sum(),
+            frontend_ns: 0,
+            engine_ns: 0,
+        };
+        if groups.iter().all(|g| g.len() == 1) {
+            // Nothing shares a frontend (all singletons): identical to
+            // the plain sweep, and timed as pure frontend-paying work.
+            let t0 = std::time::Instant::now();
+            let reports = self.run(threads);
+            stats.frontend_ns = t0.elapsed().as_nanos() as u64;
+            return (reports, stats);
+        }
+        // Per group: submission-order reports plus the (frontend, engine)
+        // nanosecond split.
+        let run_group = |g: &[usize]| -> (Vec<RunReport>, u64, u64) {
+            let w = &self.workloads[self.points[g[0]].workload];
+            if g.len() < Self::MIN_CAPTURE_GROUP {
+                // Too narrow to amortize a capture run (~1.8x a live
+                // run of event encoding) plus a stream decode: stay
+                // live. Groups of three or more still share their
+                // frontend through lane-batched passes; pairs and
+                // singletons run serially (a two-lane set's batching
+                // overhead exceeds what the tiny grids that produce
+                // pairs can recoup).
+                let t0 = std::time::Instant::now();
+                let mut out = Vec::with_capacity(g.len());
+                if g.len() >= 3 && lanes >= 2 {
+                    for chunk in g.chunks(lanes) {
+                        if let [i] = chunk {
+                            out.push(measure(w, self.points[*i].cfg));
+                        } else {
+                            let cfgs: Vec<SimConfig> =
+                                chunk.iter().map(|&i| self.points[i].cfg).collect();
+                            out.extend(measure_lanes(w, &cfgs));
+                        }
+                    }
+                } else {
+                    out.extend(g.iter().map(|&i| measure(w, self.points[i].cfg)));
+                }
+                return (out, t0.elapsed().as_nanos() as u64, 0);
+            }
+            let t0 = std::time::Instant::now();
+            let buf = capture_frontend(w, self.points[g[0]].cfg)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+            let frontend_ns = t0.elapsed().as_nanos() as u64;
+            let t1 = std::time::Instant::now();
+            let cfgs: Vec<SimConfig> = g[1..].iter().map(|&i| self.points[i].cfg).collect();
+            let mut out = Vec::with_capacity(g.len());
+            out.push(buf.report.clone());
+            out.extend(
+                replay_frontend(&buf, w, &cfgs)
+                    .unwrap_or_else(|e| panic!("{} failed: {e}", w.name)),
+            );
+            (out, frontend_ns, t1.elapsed().as_nanos() as u64)
+        };
+        if threads <= 1 || groups.len() <= 1 {
+            let mut out: Vec<Option<RunReport>> = vec![None; self.points.len()];
+            for g in &groups {
+                let (reports, f_ns, e_ns) = run_group(g);
+                stats.frontend_ns += f_ns;
+                stats.engine_ns += e_ns;
+                for (&i, r) in g.iter().zip(reports) {
+                    out[i] = Some(r);
+                }
+            }
+            let reports = out
+                .into_iter()
+                .map(|r| r.expect("runner lost a point"))
+                .collect();
+            return (reports, stats);
+        }
+        let threads = threads.min(groups.len());
+        let cursor = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, RunReport)>> =
+            Mutex::new(Vec::with_capacity(self.points.len()));
+        let times: Mutex<(u64, u64)> = Mutex::new((0, 0));
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let gi = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(g) = groups.get(gi) else { break };
+                    let (reports, f_ns, e_ns) = run_group(g);
+                    {
+                        let mut t = times.lock().unwrap();
+                        t.0 += f_ns;
+                        t.1 += e_ns;
+                    }
+                    let mut done = done.lock().unwrap();
+                    for (&i, r) in g.iter().zip(reports) {
+                        done.push((i, r));
+                    }
+                });
+            }
+        });
+        let (f_ns, e_ns) = times.into_inner().unwrap();
+        stats.frontend_ns += f_ns;
+        stats.engine_ns += e_ns;
+        let mut done = done.into_inner().unwrap();
+        done.sort_by_key(|(i, _)| *i);
+        assert_eq!(done.len(), self.points.len(), "runner lost a point");
+        let reports = done.into_iter().map(|(_, r)| r).collect();
+        (reports, stats)
+    }
+}
+
+/// Observability counters for one [`Sweep::run_cached_stats`] pass: how
+/// much of the grid was served from captured event streams, and where
+/// the time went.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrontendCacheStats {
+    /// Grid points in the sweep.
+    pub points: u64,
+    /// Points driven by buffer replay instead of a live frontend.
+    pub replayed_points: u64,
+    /// Nanoseconds spent paying the frontend: captures plus points that
+    /// ran fully live (singleton groups).
+    pub frontend_ns: u64,
+    /// Nanoseconds spent in engine-only replay.
+    pub engine_ns: u64,
+}
+
+impl FrontendCacheStats {
+    /// Fraction of grid points served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.points == 0 {
+            0.0
+        } else {
+            self.replayed_points as f64 / self.points as f64
+        }
+    }
 }
 
 /// Default lane width for batched sweeps (`--lanes`): wide enough to
@@ -199,13 +426,13 @@ pub const DEFAULT_LANES: usize = 8;
 /// see [`HarnessArgs::try_from_args`]).
 const HARNESS_SPEC: CliSpec = CliSpec {
     value_flags: &["scale", "threads", "lanes", "out"],
-    switches: &["quiet"],
+    switches: &["quiet", "frontend-cache", "no-frontend-cache"],
 };
 
 /// Usage line printed (with exit 64) when a figure binary rejects its
 /// arguments.
-pub const HARNESS_USAGE: &str =
-    "usage: [--scale N] [--threads N] [--lanes N] [--quiet] [--out DIR]";
+pub const HARNESS_USAGE: &str = "usage: [--scale N] [--threads N] [--lanes N] \
+     [--frontend-cache | --no-frontend-cache] [--quiet] [--out DIR]";
 
 /// Command-line arguments shared by every experiment binary.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -217,6 +444,12 @@ pub struct HarnessArgs {
     /// Maximum configurations per lane-batched pass
     /// ([`Sweep::run_lanes`]); 1 disables batching entirely.
     pub lanes: usize,
+    /// Drive sweeps through the frontend event-stream cache
+    /// ([`Sweep::run_cached`], the default); `--no-frontend-cache`
+    /// reverts to live lane-batched execution. Output is byte-identical
+    /// either way — the switch exists for timing comparisons and as an
+    /// escape hatch.
+    pub frontend_cache: bool,
     /// Suppress the commentary footer under each table.
     pub quiet: bool,
     /// Output directory override for binaries that write artifacts
@@ -247,10 +480,19 @@ impl HarnessArgs {
     pub fn try_from_args(args: impl IntoIterator<Item = String>) -> Result<Self, CliError> {
         let raw: Vec<String> = args.into_iter().collect();
         let parsed = CliArgs::parse(&Self::known_tokens(&raw), &HARNESS_SPEC)?;
+        let cache_on = parsed.switch("frontend-cache");
+        let cache_off = parsed.switch("no-frontend-cache");
+        if cache_on && cache_off {
+            return Err(CliError::Conflict {
+                a: "frontend-cache".into(),
+                b: "no-frontend-cache".into(),
+            });
+        }
         Ok(HarnessArgs {
             scale: parsed.parsed_or("scale", 1u32)?,
             threads: parsed.parsed_or("threads", default_threads())?.max(1),
             lanes: parsed.parsed_or("lanes", DEFAULT_LANES)?.max(1),
+            frontend_cache: !cache_off,
             quiet: parsed.switch("quiet"),
             out: parsed.flag("out").map(String::from),
         })
@@ -307,6 +549,7 @@ impl Default for HarnessArgs {
             scale: 1,
             threads: default_threads(),
             lanes: DEFAULT_LANES,
+            frontend_cache: true,
             quiet: false,
             out: None,
         }
@@ -318,13 +561,18 @@ fn default_threads() -> usize {
 }
 
 /// The shared `main` of every migrated experiment binary: parse the
-/// harness arguments, build the figure's grid, run it lane-batched,
-/// print the render. Lane batching is bit-exact, so the output is
-/// byte-identical for every `--lanes` (and `--threads`) value.
+/// harness arguments, build the figure's grid, run it through the
+/// frontend cache (or lane-batched live with `--no-frontend-cache`),
+/// print the render. Both paths are bit-exact, so the output is
+/// byte-identical for every `--lanes`, `--threads` and cache setting.
 pub fn figure_main(grid: fn(u32) -> Sweep, render: fn(u32, &Sweep, &[RunReport], bool) -> String) {
     let args = HarnessArgs::parse();
     let sweep = grid(args.scale);
-    let reports = sweep.run_lanes(args.threads, args.lanes);
+    let reports = if args.frontend_cache {
+        sweep.run_cached(args.threads, args.lanes)
+    } else {
+        sweep.run_lanes(args.threads, args.lanes)
+    };
     print!("{}", render(args.scale, &sweep, &reports, args.quiet));
 }
 
@@ -430,6 +678,131 @@ mod tests {
     }
 
     #[test]
+    fn cached_sweep_matches_serial_in_order() {
+        let sweep = small_sweep();
+        let serial = sweep.run(1);
+        for (threads, lanes) in [(1, 1), (1, 8), (8, 4)] {
+            let (reports, stats) = sweep.run_cached_stats(threads, lanes);
+            assert_eq!(
+                serial, reports,
+                "threads={threads} lanes={lanes} cached sweep must be bit-identical"
+            );
+            // One workload, one frontend — but three points sit below
+            // the capture threshold, so the group takes the live
+            // fallback (lane-batched or serial) and nothing replays.
+            assert_eq!(stats.points, 3);
+            assert_eq!(stats.replayed_points, 0);
+            assert_eq!(stats.hit_rate(), 0.0);
+        }
+    }
+
+    #[test]
+    fn cached_sweep_captures_wide_groups() {
+        let mut s = Sweep::new();
+        let gs = s.workload(gatesim::build(0));
+        // A design-space-style column: one workload, many register-file
+        // organizations, wide enough to clear MIN_CAPTURE_GROUP.
+        for i in 0..Sweep::MIN_CAPTURE_GROUP as u32 {
+            if i % 4 == 3 {
+                s.point(gs, segmented_config(2 + i / 4, SEQ_CTX_REGS));
+            } else {
+                s.point(gs, nsf_config(SEQ_FILE_REGS / 2 + 8 * i));
+            }
+        }
+        let n = Sweep::MIN_CAPTURE_GROUP as u64;
+        let serial = s.run(1);
+        for (threads, lanes) in [(1, 1), (1, 8), (8, 4)] {
+            let (reports, stats) = s.run_cached_stats(threads, lanes);
+            assert_eq!(
+                serial, reports,
+                "threads={threads} lanes={lanes} cached sweep must be bit-identical"
+            );
+            // The frontend-equal points clear MIN_CAPTURE_GROUP: the
+            // first captures, the rest replay in one call.
+            assert_eq!(stats.points, n);
+            assert_eq!(stats.replayed_points, n - 1);
+            let want = (n - 1) as f64 / n as f64;
+            assert!((stats.hit_rate() - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cached_sweep_handles_parallel_and_mixed_grids() {
+        use crate::{PAR_CTX_REGS, PAR_FILE_REGS};
+        use nsf_workloads::quicksort;
+        let mut s = Sweep::new();
+        let gs = s.workload(gatesim::build(0));
+        let qs = s.workload(quicksort::build(0));
+        for w in [gs, qs, gs, qs] {
+            let (file, ctx) = if w == qs {
+                (PAR_FILE_REGS, PAR_CTX_REGS)
+            } else {
+                (SEQ_FILE_REGS, SEQ_CTX_REGS)
+            };
+            s.point(w, nsf_config(file));
+            s.point(w, segmented_config(4, ctx));
+        }
+        let serial = s.run(1);
+        let (cached, stats) = s.run_cached_stats(1, 8);
+        assert_eq!(serial, cached, "mixed seq/par grid");
+        // The parallel workload is unbatchable (singleton groups, run
+        // live); the sequential one shares one frontend group, but four
+        // points sit below the capture threshold, so it lane-batches
+        // live instead of replaying.
+        assert_eq!(stats.points, 8);
+        assert_eq!(stats.replayed_points, 0);
+        assert_eq!(serial, s.run_cached(4, 2), "threaded cached groups");
+    }
+
+    #[test]
+    fn frontend_groups_span_the_whole_sweep() {
+        let mut s = Sweep::new();
+        let a = s.workload(gatesim::build(0));
+        for _ in 0..5 {
+            s.point(a, nsf_config(SEQ_FILE_REGS));
+        }
+        // No width limit: unlike lane_groups, one group takes all.
+        assert_eq!(s.frontend_groups(), vec![vec![0, 1, 2, 3, 4]]);
+        // A frontend change starts a new group...
+        let mut cfg = nsf_config(SEQ_FILE_REGS);
+        cfg.quantum = Some(64);
+        s.point(a, cfg);
+        s.point(a, cfg);
+        assert_eq!(s.frontend_groups(), vec![vec![0, 1, 2, 3, 4], vec![5, 6]]);
+        // ...and execution tracing forces singletons (uncapturable).
+        let mut traced = nsf_config(SEQ_FILE_REGS);
+        traced.trace_depth = 8;
+        s.point(a, traced);
+        s.point(a, traced);
+        let groups = s.frontend_groups();
+        assert_eq!(
+            groups,
+            vec![vec![0, 1, 2, 3, 4], vec![5, 6], vec![7], vec![8]]
+        );
+    }
+
+    #[test]
+    fn cache_flags_parse_and_conflict() {
+        let on = HarnessArgs::try_from_args(["--frontend-cache"].map(String::from)).unwrap();
+        assert!(on.frontend_cache);
+        let off = HarnessArgs::try_from_args(["--no-frontend-cache"].map(String::from)).unwrap();
+        assert!(!off.frontend_cache);
+        // Default is on.
+        assert!(
+            HarnessArgs::try_from_args(std::iter::empty())
+                .unwrap()
+                .frontend_cache
+        );
+        // Contradictory switches are a usage error (exit 64 in main),
+        // never a silent precedence rule.
+        let err = HarnessArgs::try_from_args(
+            ["--frontend-cache", "--no-frontend-cache"].map(String::from),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Conflict { .. }));
+    }
+
+    #[test]
     fn lane_groups_chunk_per_workload_in_order() {
         let mut s = Sweep::new();
         let a = s.workload(gatesim::build(0));
@@ -460,6 +833,7 @@ mod tests {
                 scale: 0,
                 threads: 3,
                 lanes: 2,
+                frontend_cache: true,
                 quiet: true,
                 out: None
             }

@@ -65,6 +65,15 @@ fn perf_report_rejects_unknown_flags_too() {
 }
 
 #[test]
+fn contradictory_cache_switches_exit_64() {
+    // `--frontend-cache --no-frontend-cache` has no sane precedence rule;
+    // both the figure binaries and perf_report reject it with usage.
+    let args = &["--frontend-cache", "--no-frontend-cache"];
+    assert_usage_error(env!("CARGO_BIN_EXE_table1"), args);
+    assert_usage_error(env!("CARGO_BIN_EXE_perf_report"), args);
+}
+
+#[test]
 fn well_formed_flags_still_run() {
     let bin = env!("CARGO_BIN_EXE_table1");
     let out = Command::new(bin)
@@ -77,4 +86,27 @@ fn well_formed_flags_still_run() {
         String::from_utf8_lossy(&out.stderr)
     );
     assert!(!out.stdout.is_empty(), "table1 printed nothing");
+}
+
+#[test]
+fn cache_switches_run_and_agree() {
+    // Each cache switch is accepted alone, and the two modes print
+    // byte-identical figures — the subprocess-level face of the
+    // equivalence wall the library tests pin.
+    let bin = env!("CARGO_BIN_EXE_fig09_utilization");
+    let mut outs = Vec::new();
+    for flag in ["--frontend-cache", "--no-frontend-cache"] {
+        let out = Command::new(bin)
+            .args(["--scale", "0", flag])
+            .output()
+            .expect("spawn fig09_utilization");
+        assert!(
+            out.status.success(),
+            "fig09_utilization --scale 0 {flag} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(!out.stdout.is_empty(), "{flag}: printed nothing");
+        outs.push(out.stdout);
+    }
+    assert_eq!(outs[0], outs[1], "cache on/off stdout differs");
 }

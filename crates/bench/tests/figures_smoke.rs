@@ -256,6 +256,49 @@ fn lane_counts_render_identically_for_every_figure() {
     }
 }
 
+/// The frontend cache (`--frontend-cache`, the default) must render every
+/// figure byte-identically to the uncached path (`--no-frontend-cache`):
+/// replaying a captured event stream is a simulator-throughput shortcut
+/// and must never shift a figure, at any thread/lane combination.
+#[test]
+fn frontend_cache_renders_identically_for_every_figure() {
+    type Grid = fn(u32) -> Sweep;
+    type Render = fn(u32, &Sweep, &[nsf_sim::RunReport], bool) -> String;
+    let grids: &[(&str, Grid, Render)] = &[
+        ("table1", figures::table1::grid, figures::table1::render),
+        ("fig09", figures::fig09::grid, figures::fig09::render),
+        ("fig10", figures::fig10::grid, figures::fig10::render),
+        ("fig11", figures::fig11::grid, figures::fig11::render),
+        ("fig12", figures::fig12::grid, figures::fig12::render),
+        ("fig13", figures::fig13::grid, figures::fig13::render),
+        ("fig14", figures::fig14::grid, figures::fig14::render),
+        (
+            "ablations",
+            figures::ablations::grid,
+            figures::ablations::render,
+        ),
+        (
+            "related_work",
+            figures::related_work::grid,
+            figures::related_work::render,
+        ),
+        (
+            "depth_sweep",
+            figures::depth_sweep::grid,
+            figures::depth_sweep::render,
+        ),
+        ("summary", figures::summary::grid, figures::summary::render),
+    ];
+    for &(name, grid, render) in grids {
+        let sweep = grid(0);
+        let live = render(0, &sweep, &sweep.run_lanes(1, 1), true);
+        let cached = render(0, &sweep, &sweep.run_cached(1, 4), true);
+        let threaded = render(0, &sweep, &sweep.run_cached(4, 8), true);
+        assert_eq!(live, cached, "{name}: the frontend cache shifts the figure");
+        assert_eq!(live, threaded, "{name}: threaded cached groups shift it");
+    }
+}
+
 #[test]
 fn export_csv_shapes_match_documented_sweeps() {
     let (sweep, reports) = run0(figures::export_csv::grid);

@@ -9,15 +9,21 @@
 //!
 //! Hardware performs the comparison in every line simultaneously; the model
 //! keeps a hash index alongside the tag array so simulation cost stays
-//! O(1) per access while the tag array remains the source of truth. A
-//! **per-context residency index** (context → bound slots, with each
-//! slot's position stored inline) likewise makes `has_context`,
-//! `resident_contexts` and context teardown O(1) per line — `switch_to`
-//! consults it on every simulated context switch, so a tag scan there
-//! would dominate large sweeps.
+//! O(1) per access while the tag array remains the source of truth. The
+//! index is a [`TagIndex`] — an open-addressed table over packed
+//! `<cid, line>` keys — rather than a `std::collections::HashMap`, because
+//! the lookup runs once per simulated register access and SipHash alone
+//! costs more than the rest of the hit path. A **per-context residency
+//! index** (context → bound slots, with each slot's position stored
+//! inline) likewise makes `has_context`, `resident_contexts` and context
+//! teardown O(1) per line — `switch_to` consults it on every simulated
+//! context switch, so a tag scan there would dominate large sweeps. That
+//! index is a plain vector addressed by context ID (IDs are allocated
+//! densely and recycled by the runtime), so the switch path is an array
+//! load, not a hash.
 
 use crate::addr::Cid;
-use std::collections::HashMap;
+use crate::tagindex::TagIndex;
 
 /// Tag programmed into one decoder line: which context and which
 /// architectural line of that context currently own the physical line.
@@ -30,19 +36,33 @@ pub struct LineTag {
     pub line: u8,
 }
 
+impl LineTag {
+    /// Packs the tag into the `TagIndex` key space (`cid` in the high
+    /// half, `line` low — at most `0x00FF_FFFF`, safely below the table's
+    /// empty-slot marker).
+    #[inline]
+    fn key(cid: Cid, line: u8) -> u32 {
+        (u32::from(cid) << 8) | u32::from(line)
+    }
+}
+
 /// A fully associative decoder over `lines` physical lines.
 #[derive(Debug)]
 pub struct AssocDecoder {
     tags: Vec<Option<LineTag>>,
-    index: HashMap<LineTag, usize>,
+    index: TagIndex,
     free: Vec<usize>,
-    /// Residency index: context → its bound slots (unordered).
-    by_ctx: HashMap<Cid, Vec<usize>>,
+    /// Residency index, addressed by context ID: each context's bound
+    /// slots (unordered). An empty list means the context is absent; the
+    /// lists keep their capacity across binds, so steady-state churn
+    /// never allocates.
+    by_ctx: Vec<Vec<usize>>,
+    /// Number of contexts with at least one bound line (the count of
+    /// non-empty `by_ctx` lists).
+    resident: u32,
     /// For each bound slot, its position within its context's slot list
     /// (so unbinding is a swap-remove, not a search).
     ctx_pos: Vec<usize>,
-    /// Recycled slot lists, so steady-state bind/unbind never allocates.
-    spare: Vec<Vec<usize>>,
 }
 
 impl AssocDecoder {
@@ -50,11 +70,11 @@ impl AssocDecoder {
     pub fn new(lines: usize) -> Self {
         AssocDecoder {
             tags: vec![None; lines],
-            index: HashMap::with_capacity(lines),
+            index: TagIndex::with_capacity(lines),
             free: (0..lines).rev().collect(),
-            by_ctx: HashMap::new(),
+            by_ctx: Vec::new(),
+            resident: 0,
             ctx_pos: vec![0; lines],
-            spare: Vec::new(),
         }
     }
 
@@ -69,8 +89,9 @@ impl AssocDecoder {
     }
 
     /// CAM match: the physical slot bound to `<cid, line>`, if any.
+    #[inline]
     pub fn lookup(&self, cid: Cid, line: u8) -> Option<usize> {
-        self.index.get(&LineTag { cid, line }).copied()
+        self.index.get(LineTag::key(cid, line)).map(|s| s as usize)
     }
 
     /// The tag bound to a physical slot.
@@ -92,13 +113,16 @@ impl AssocDecoder {
     pub fn bind(&mut self, slot: usize, cid: Cid, line: u8) {
         let tag = LineTag { cid, line };
         assert!(self.tags[slot].is_none(), "slot {slot} already bound");
-        let prev = self.index.insert(tag, slot);
+        let prev = self.index.insert(LineTag::key(cid, line), slot as u32);
         assert!(prev.is_none(), "tag {tag:?} bound twice");
         self.tags[slot] = Some(tag);
-        let slots = self
-            .by_ctx
-            .entry(cid)
-            .or_insert_with(|| self.spare.pop().unwrap_or_default());
+        if self.by_ctx.len() <= usize::from(cid) {
+            self.by_ctx.resize_with(usize::from(cid) + 1, Vec::new);
+        }
+        let slots = &mut self.by_ctx[usize::from(cid)];
+        if slots.is_empty() {
+            self.resident += 1;
+        }
         self.ctx_pos[slot] = slots.len();
         slots.push(slot);
     }
@@ -107,7 +131,7 @@ impl AssocDecoder {
     /// updating the displaced slot's stored position). The caller has
     /// already taken `slot`'s tag.
     fn drop_from_ctx(&mut self, cid: Cid, slot: usize) {
-        let slots = self.by_ctx.get_mut(&cid).expect("context indexed");
+        let slots = &mut self.by_ctx[usize::from(cid)];
         let pos = self.ctx_pos[slot];
         debug_assert_eq!(slots[pos], slot);
         slots.swap_remove(pos);
@@ -115,15 +139,14 @@ impl AssocDecoder {
             self.ctx_pos[moved] = pos;
         }
         if slots.is_empty() {
-            let empty = self.by_ctx.remove(&cid).expect("just present");
-            self.spare.push(empty);
+            self.resident -= 1;
         }
     }
 
     /// Clears `slot`, returning its previous tag (if it was bound).
     pub fn unbind(&mut self, slot: usize) -> Option<LineTag> {
         let tag = self.tags[slot].take()?;
-        self.index.remove(&tag);
+        self.index.remove(LineTag::key(tag.cid, tag.line));
         self.drop_from_ctx(tag.cid, slot);
         self.free.push(slot);
         Some(tag)
@@ -134,36 +157,48 @@ impl AssocDecoder {
     /// slots in, which fixes the free-list pop order and therefore the
     /// exact slot-assignment sequence downstream).
     pub fn unbind_context(&mut self, cid: Cid, mut f: impl FnMut(usize)) {
-        let Some(mut slots) = self.by_ctx.remove(&cid) else {
+        let Some(slots) = self.by_ctx.get_mut(usize::from(cid)) else {
             return;
         };
+        if slots.is_empty() {
+            return;
+        }
+        let mut slots = std::mem::take(slots);
         slots.sort_unstable();
         for &slot in &slots {
             let tag = self.tags[slot].take().expect("indexed slot is bound");
             debug_assert_eq!(tag.cid, cid);
-            self.index.remove(&tag);
+            self.index.remove(LineTag::key(tag.cid, tag.line));
             self.free.push(slot);
             f(slot);
         }
         slots.clear();
-        self.spare.push(slots);
+        // Hand the (empty, capacity-bearing) list back to its cell so the
+        // context's next bind doesn't reallocate.
+        self.by_ctx[usize::from(cid)] = slots;
+        self.resident -= 1;
     }
 
     /// Whether context `cid` has at least one bound line — the O(1) query
     /// behind every simulated context switch.
+    #[inline]
     pub fn has_context(&self, cid: Cid) -> bool {
-        self.by_ctx.contains_key(&cid)
+        self.by_ctx
+            .get(usize::from(cid))
+            .is_some_and(|v| !v.is_empty())
     }
 
     /// The physical slots currently bound to context `cid`, in no
     /// particular order.
     pub fn slots_of(&self, cid: Cid) -> &[usize] {
-        self.by_ctx.get(&cid).map_or(&[], |v| v.as_slice())
+        self.by_ctx
+            .get(usize::from(cid))
+            .map_or(&[], |v| v.as_slice())
     }
 
     /// Number of distinct contexts with at least one bound line.
     pub fn resident_contexts(&self) -> u32 {
-        self.by_ctx.len() as u32
+        self.resident
     }
 
     /// Iterates over `(slot, tag)` for all bound lines (diagnostics and

@@ -25,7 +25,9 @@ use crate::replacement::VictimPicker;
 use crate::stats::{Occupancy, RegFileStats};
 use crate::traits::{Access, BackingStore, RegFileError, RegisterFile};
 use crate::Word;
-use std::collections::HashMap;
+
+/// Sentinel in [`SegmentedFile::resident`] for "context not resident".
+const NOT_RESIDENT: u32 = u32::MAX;
 
 /// What a frame miss transfers (see module docs).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -113,8 +115,13 @@ impl Frame {
 pub struct SegmentedFile {
     cfg: SegmentedConfig,
     frames: Vec<Frame>,
-    /// cid → frame index for resident contexts.
-    resident: HashMap<Cid, usize>,
+    /// cid → frame index for resident contexts, addressed by context
+    /// ID (`NOT_RESIDENT` marks absence). Context switches consult this
+    /// on every simulated switch, so it is an array load, not a hash.
+    resident: Vec<u32>,
+    /// Number of resident contexts (entries of `resident` that are not
+    /// `NOT_RESIDENT`).
+    resident_count: u32,
     /// The frame pointer: index of the current frame.
     current: Option<usize>,
     picker: VictimPicker,
@@ -151,7 +158,8 @@ impl SegmentedFile {
         SegmentedFile {
             cfg,
             frames: vec![Frame::new(cfg.frame_regs); n],
-            resident: HashMap::new(),
+            resident: Vec::new(),
+            resident_count: 0,
             current: None,
             picker: VictimPicker::new(n, cfg.replacement),
             stats: RegFileStats::default(),
@@ -254,7 +262,7 @@ impl SegmentedFile {
         let freed = frame.valid.count_ones();
         frame.clear();
         self.valid_count -= freed;
-        self.resident.remove(&cid);
+        self.clear_resident(cid);
         self.mark_free(idx);
         let prepaid = moved.min(prepaid_budget);
         self.stats.regs_spilled += u64::from(moved);
@@ -311,6 +319,37 @@ impl SegmentedFile {
         Ok(cycles)
     }
 
+    /// The frame holding context `cid`, if it is resident.
+    #[inline]
+    fn resident_frame(&self, cid: Cid) -> Option<usize> {
+        match self.resident.get(usize::from(cid)) {
+            Some(&idx) if idx != NOT_RESIDENT => Some(idx as usize),
+            _ => None,
+        }
+    }
+
+    /// Records context `cid` as resident in frame `idx`.
+    fn set_resident(&mut self, cid: Cid, idx: usize) {
+        if self.resident.len() <= usize::from(cid) {
+            self.resident.resize(usize::from(cid) + 1, NOT_RESIDENT);
+        }
+        debug_assert_eq!(self.resident[usize::from(cid)], NOT_RESIDENT);
+        self.resident[usize::from(cid)] = idx as u32;
+        self.resident_count += 1;
+    }
+
+    /// Clears context `cid`'s residency, returning the frame it held.
+    fn clear_resident(&mut self, cid: Cid) -> Option<usize> {
+        let slot = self.resident.get_mut(usize::from(cid))?;
+        if *slot == NOT_RESIDENT {
+            return None;
+        }
+        let idx = *slot as usize;
+        *slot = NOT_RESIDENT;
+        self.resident_count -= 1;
+        Some(idx)
+    }
+
     fn current_frame(&self, cid: Cid) -> Result<usize, RegFileError> {
         match self.current {
             Some(idx) if self.frames[idx].owner == Some(cid) => Ok(idx),
@@ -363,7 +402,7 @@ impl RegisterFile for SegmentedFile {
 
     fn switch_to(&mut self, cid: Cid, store: &mut dyn BackingStore) -> Result<u32, RegFileError> {
         self.stats.context_switches += 1;
-        if let Some(&idx) = self.resident.get(&cid) {
+        if let Some(idx) = self.resident_frame(cid) {
             // "Switching between the resident threads is very fast, since
             // it only requires setting the frame pointer."
             self.stats.switch_hits += 1;
@@ -384,7 +423,7 @@ impl RegisterFile for SegmentedFile {
         };
         self.frames[idx].owner = Some(cid);
         self.mark_owned(idx);
-        self.resident.insert(cid, idx);
+        self.set_resident(cid, idx);
         self.picker.allocate(idx);
         self.ops += 1;
         self.last_touch[idx] = self.ops;
@@ -398,7 +437,7 @@ impl RegisterFile for SegmentedFile {
                 // from scratch.
                 self.valid_count -= self.frames[idx].valid.count_ones();
                 self.frames[idx].clear();
-                self.resident.remove(&cid);
+                self.clear_resident(cid);
                 self.mark_free(idx);
                 return Err(e);
             }
@@ -408,7 +447,7 @@ impl RegisterFile for SegmentedFile {
     }
 
     fn free_context(&mut self, cid: Cid, store: &mut dyn BackingStore) {
-        if let Some(idx) = self.resident.remove(&cid) {
+        if let Some(idx) = self.clear_resident(cid) {
             self.valid_count -= self.frames[idx].valid.count_ones();
             self.frames[idx].clear();
             self.mark_free(idx);
@@ -420,7 +459,7 @@ impl RegisterFile for SegmentedFile {
     }
 
     fn free_reg(&mut self, addr: RegAddr, store: &mut dyn BackingStore) {
-        if let Some(&idx) = self.resident.get(&addr.cid) {
+        if let Some(idx) = self.resident_frame(addr.cid) {
             let bit = 1u64 << addr.offset;
             if self.frames[idx].valid & bit != 0 {
                 self.valid_count -= 1;
@@ -438,7 +477,7 @@ impl RegisterFile for SegmentedFile {
     fn occupancy(&self) -> Occupancy {
         Occupancy {
             valid_regs: self.valid_count,
-            resident_contexts: self.resident.len() as u32,
+            resident_contexts: self.resident_count,
         }
     }
 
@@ -542,8 +581,8 @@ mod tests {
         f.write(RegAddr::new(2, 0), 2, &mut s).unwrap();
         f.switch_to(1, &mut s).unwrap(); // touch 1; 2 becomes LRU
         f.switch_to(3, &mut s).unwrap(); // must evict context 2
-        assert!(f.resident.contains_key(&1));
-        assert!(!f.resident.contains_key(&2));
+        assert!(f.resident_frame(1).is_some());
+        assert!(f.resident_frame(2).is_none());
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! A tiny open-addressed hash index for the CAM decoder's tag lookup.
+//!
+//! [`crate::cam::AssocDecoder::lookup`] runs once per simulated register
+//! access, which makes it the hottest call in every NSF sweep.
+//! `std::collections::HashMap`'s DoS-resistant SipHash spends more time
+//! hashing the 3-byte tag than the rest of the access path combined, so
+//! this index packs the tag into a `u32` key, hashes it with a single
+//! Fibonacci multiply, and probes linearly in a power-of-two table sized
+//! once at construction. The decoder never binds more tags than it has
+//! physical lines, so the table is built at twice that capacity and the
+//! load factor stays at or below one half — probe chains are short.
+//! Deletion compacts by backward shifting, so churny bind/unbind traffic
+//! never accumulates tombstones.
+//!
+//! Results-path safety: the map is consulted only through point queries
+//! (`get`/`insert`/`remove`) — it exposes no iteration — so hash-order can
+//! never leak into simulation statistics.
+
+/// Marker for an empty table slot. Callers' keys must be below this;
+/// the decoder's packed `<cid:16, line:8>` tags top out at `0x00FF_FFFF`.
+const EMPTY: u32 = u32::MAX;
+
+/// Fibonacci hashing constant: `2^32 / golden ratio`, odd.
+const HASH_MUL: u32 = 0x9E37_79B9;
+
+/// A fixed-capacity `u32 -> u32` hash table with linear probing.
+#[derive(Debug, Clone)]
+pub struct TagIndex {
+    keys: Vec<u32>,
+    vals: Vec<u32>,
+    /// `table_len - 1`; table lengths are powers of two.
+    mask: usize,
+    /// Right-shift applied to the hash product to keep its *high* bits
+    /// (the low bits of a multiplicative hash mix poorly).
+    shift: u32,
+    len: usize,
+}
+
+impl TagIndex {
+    /// Builds an index that can hold `cap` entries. The table is sized to
+    /// the next power of two at or above `2 * cap`, fixing the maximum
+    /// load factor at one half.
+    pub fn with_capacity(cap: usize) -> Self {
+        let table = (cap.max(1) * 2).next_power_of_two();
+        TagIndex {
+            keys: vec![EMPTY; table],
+            vals: vec![0; table],
+            mask: table - 1,
+            shift: 32 - table.trailing_zeros(),
+            len: 0,
+        }
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn home(&self, key: u32) -> usize {
+        (key.wrapping_mul(HASH_MUL) >> self.shift) as usize
+    }
+
+    /// The value stored under `key`, if any.
+    #[inline]
+    pub fn get(&self, key: u32) -> Option<u32> {
+        debug_assert_ne!(key, EMPTY);
+        let mut i = self.home(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(self.vals[i]);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Inserts `key -> val`, returning the previous value if the key was
+    /// already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via `debug_assert`) if the insert would push the load
+    /// factor above one half — the caller sized the table for a known
+    /// maximum entry count.
+    pub fn insert(&mut self, key: u32, val: u32) -> Option<u32> {
+        debug_assert_ne!(key, EMPTY);
+        let mut i = self.home(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(std::mem::replace(&mut self.vals[i], val));
+            }
+            if k == EMPTY {
+                debug_assert!(2 * (self.len + 1) <= self.keys.len(), "TagIndex overfilled");
+                self.keys[i] = key;
+                self.vals[i] = val;
+                self.len += 1;
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Removes `key`, returning its value if it was present. The probe
+    /// chain behind the hole is compacted by backward shifting.
+    pub fn remove(&mut self, key: u32) -> Option<u32> {
+        debug_assert_ne!(key, EMPTY);
+        let mut hole = self.home(key);
+        loop {
+            let k = self.keys[hole];
+            if k == key {
+                break;
+            }
+            if k == EMPTY {
+                return None;
+            }
+            hole = (hole + 1) & self.mask;
+        }
+        let old = self.vals[hole];
+        // Backward-shift compaction: walk the cluster after the hole and
+        // pull back any entry whose home position lies at or before the
+        // hole (cyclically), preserving the invariant that every entry is
+        // reachable from its home by forward probing.
+        let mut j = hole;
+        loop {
+            j = (j + 1) & self.mask;
+            let k = self.keys[j];
+            if k == EMPTY {
+                break;
+            }
+            let dist_from_home = j.wrapping_sub(self.home(k)) & self.mask;
+            let dist_from_hole = j.wrapping_sub(hole) & self.mask;
+            if dist_from_home >= dist_from_hole {
+                self.keys[hole] = k;
+                self.vals[hole] = self.vals[j];
+                hole = j;
+            }
+        }
+        self.keys[hole] = EMPTY;
+        self.len -= 1;
+        Some(old)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = TagIndex::with_capacity(4);
+        assert!(t.is_empty());
+        assert_eq!(t.insert(7, 1), None);
+        assert_eq!(t.insert(9, 2), None);
+        assert_eq!(t.get(7), Some(1));
+        assert_eq!(t.get(9), Some(2));
+        assert_eq!(t.get(8), None);
+        assert_eq!(t.insert(7, 3), Some(1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.remove(7), Some(3));
+        assert_eq!(t.remove(7), None);
+        assert_eq!(t.get(7), None);
+        assert_eq!(t.get(9), Some(2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_still_works() {
+        let mut t = TagIndex::with_capacity(0);
+        assert_eq!(t.insert(1, 10), None);
+        assert_eq!(t.get(1), Some(10));
+        assert_eq!(t.remove(1), Some(10));
+    }
+
+    /// Force every key into the same home slot (keys differing only in
+    /// high bits collide after the multiply keeps few bits) to exercise
+    /// the probe chain and backward-shift paths deterministically.
+    #[test]
+    fn colliding_cluster_survives_middle_removal() {
+        let mut t = TagIndex::with_capacity(8); // table of 16
+                                                // Find keys sharing one home slot.
+        let mut cluster = Vec::new();
+        let mut probe_key = 1u32;
+        let want = t.home(1);
+        while cluster.len() < 4 {
+            if t.home(probe_key) == want {
+                cluster.push(probe_key);
+            }
+            probe_key += 1;
+        }
+        for (i, &k) in cluster.iter().enumerate() {
+            t.insert(k, i as u32);
+        }
+        // Remove from the middle of the chain; the rest must stay findable.
+        t.remove(cluster[1]);
+        assert_eq!(t.get(cluster[0]), Some(0));
+        assert_eq!(t.get(cluster[1]), None);
+        assert_eq!(t.get(cluster[2]), Some(2));
+        assert_eq!(t.get(cluster[3]), Some(3));
+    }
+
+    #[test]
+    fn differential_churn_against_std_hashmap() {
+        let mut rng = StdRng::seed_from_u64(0xCA11_AB1E);
+        for round in 0..32 {
+            let cap = 1 + (round % 7) * 9; // 1..=55
+            let mut t = TagIndex::with_capacity(cap);
+            let mut m: HashMap<u32, u32> = HashMap::new();
+            for step in 0..4000u32 {
+                // Small key space forces heavy collision + reuse.
+                let key = rng.gen_range(0..64u32);
+                if m.len() < cap && rng.gen_range(0..3u32) != 0 {
+                    assert_eq!(t.insert(key, step), m.insert(key, step), "round {round}");
+                } else {
+                    assert_eq!(t.remove(key), m.remove(&key), "round {round}");
+                }
+                assert_eq!(t.len(), m.len());
+                let q = rng.gen_range(0..64u32);
+                assert_eq!(t.get(q), m.get(&q).copied(), "round {round} step {step}");
+            }
+        }
+    }
+}

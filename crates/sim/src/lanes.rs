@@ -70,6 +70,54 @@ pub fn batchable(program: &Program, cfgs: &[SimConfig]) -> bool {
         && batchable_program(program)
 }
 
+/// Observer of a lane set's *shared frontend*: every architectural
+/// event the fetch/decode/schedule/memory frontend produces, in
+/// execution order, plus the lane-invariant cycle charges. All values
+/// handed to a probe are lane-invariant (the equivalence wall enforces
+/// that before the probe sees them), so a recording of one run drives a
+/// replay of any frontend-equal configuration — the frontend event-
+/// stream cache in `nsf-trace` is the intended consumer.
+///
+/// Methods default to no-ops; [`NoProbe`] (the plain [`LaneSet::
+/// run_and_keep`] path) monomorphizes to nothing, so probing is free
+/// when unused.
+pub trait FrontendProbe {
+    /// One register-file operation completed; `value` is the (lane-
+    /// invariant) architectural result — `Some` for reads, else `None`.
+    fn reg_op(&mut self, op: LaneOp, value: Option<Word>) {
+        let _ = (op, value);
+    }
+    /// The program loaded `value` from `addr`.
+    fn mem_load(&mut self, addr: Addr, value: Word) {
+        let _ = (addr, value);
+    }
+    /// The program stored `value` at `addr`.
+    fn mem_store(&mut self, addr: Addr, value: Word) {
+        let _ = (addr, value);
+    }
+    /// The program atomically added `delta` at `addr`; `old` is the
+    /// value read back.
+    fn mem_amo(&mut self, addr: Addr, delta: i32, old: Word) {
+        let _ = (addr, delta, old);
+    }
+    /// Every lane's clock advanced by `cycles` (base, fetch-penalty,
+    /// taken-branch and switch-overhead charges — the lane-invariant
+    /// part of the clock; per-lane stall and cache cycles are not
+    /// reported, a replay regenerates them).
+    fn shared_charge(&mut self, cycles: u32) {
+        let _ = cycles;
+    }
+    /// The occupancy sampling interval elapsed (each lane records a
+    /// sample at this point).
+    fn occupancy_sample(&mut self) {}
+}
+
+/// The do-nothing probe behind [`LaneSet::run_and_keep`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoProbe;
+
+impl FrontendProbe for NoProbe {}
+
 /// N independent register-file lanes stepped through one shared
 /// fetch/decode/schedule frontend.
 ///
@@ -224,6 +272,16 @@ impl LaneSet {
     /// order. Each report is bit-identical to what the corresponding
     /// serial [`Machine`](crate::Machine) run would produce.
     pub fn run_and_keep(&mut self) -> Result<Vec<RunReport>, SimError> {
+        self.run_probed(&mut NoProbe)
+    }
+
+    /// [`LaneSet::run_and_keep`] with a [`FrontendProbe`] observing the
+    /// shared frontend. Probing never perturbs the run: the reports (and
+    /// every lane's memory) are identical to an unprobed run's.
+    pub fn run_probed<P: FrontendProbe>(
+        &mut self,
+        probe: &mut P,
+    ) -> Result<Vec<RunReport>, SimError> {
         loop {
             let decision = {
                 let now = self.clocks[0];
@@ -235,13 +293,13 @@ impl LaneSet {
                     if self.last_thread != Some(tid) {
                         if self.last_thread.is_some() {
                             self.shared.thread_switches += 1;
-                            self.charge_all(self.cfg.cycles.switch_overhead);
+                            self.charge_all(self.cfg.cycles.switch_overhead, probe);
                         }
                         self.last_thread = Some(tid);
                     }
                     let cid = self.sched.thread(tid).cid;
-                    self.switch_all(cid, LaneOp::ThreadSwitch)?;
-                    self.run_current()?;
+                    self.switch_all(cid, LaneOp::ThreadSwitch, probe)?;
+                    self.run_current(probe)?;
                 }
                 SchedDecision::AllDone => break,
                 SchedDecision::AdvanceTo(_) | SchedDecision::Deadlock => {
@@ -285,18 +343,24 @@ impl LaneSet {
 
     /// Adds `cycles` to every lane's clock (frontend costs are identical
     /// across lanes by construction).
-    fn charge_all(&mut self, cycles: u32) {
+    fn charge_all<P: FrontendProbe>(&mut self, cycles: u32, probe: &mut P) {
         let c = u64::from(cycles);
         for clock in &mut self.clocks {
             *clock += c;
         }
+        probe.shared_charge(cycles);
     }
 
     /// Applies one register-file operation to every lane, charging each
     /// lane's private stall cycles, and returns the (lane-invariant)
     /// architectural value. The first cross-lane disagreement fails with
     /// [`SimError::LaneDivergence`] — this is the equivalence wall.
-    fn reg_op_all(&mut self, op: LaneOp, pc: u32) -> Result<Option<Word>, SimError> {
+    fn reg_op_all<P: FrontendProbe>(
+        &mut self,
+        op: LaneOp,
+        pc: u32,
+        probe: &mut P,
+    ) -> Result<Option<Word>, SimError> {
         let LaneSet {
             regfiles,
             stores,
@@ -334,26 +398,41 @@ impl LaneSet {
                 detail: format!("{op:?} returned {got:?}, lane 0 returned {expect:?}"),
             });
         }
-        Ok(head.expect("lane sets are non-empty"))
+        let value = head.expect("lane sets are non-empty");
+        probe.reg_op(op, value);
+        Ok(value)
     }
 
-    fn read_reg_all(&mut self, cid: Cid, r: Reg, pc: u32) -> Result<Word, SimError> {
+    fn read_reg_all<P: FrontendProbe>(
+        &mut self,
+        cid: Cid,
+        r: Reg,
+        pc: u32,
+        probe: &mut P,
+    ) -> Result<Word, SimError> {
         match r {
             Reg::G(i) => Ok(self.sched.current_mut().globals[i as usize]),
             Reg::R(off) => Ok(self
-                .reg_op_all(LaneOp::Read(RegAddr::new(cid, off)), pc)?
+                .reg_op_all(LaneOp::Read(RegAddr::new(cid, off)), pc, probe)?
                 .expect("reads return a value")),
         }
     }
 
-    fn write_reg_all(&mut self, cid: Cid, r: Reg, value: Word, pc: u32) -> Result<(), SimError> {
+    fn write_reg_all<P: FrontendProbe>(
+        &mut self,
+        cid: Cid,
+        r: Reg,
+        value: Word,
+        pc: u32,
+        probe: &mut P,
+    ) -> Result<(), SimError> {
         match r {
             Reg::G(i) => {
                 self.sched.current_mut().globals[i as usize] = value;
                 Ok(())
             }
             Reg::R(off) => {
-                self.reg_op_all(LaneOp::Write(RegAddr::new(cid, off), value), pc)?;
+                self.reg_op_all(LaneOp::Write(RegAddr::new(cid, off), value), pc, probe)?;
                 Ok(())
             }
         }
@@ -363,11 +442,16 @@ impl LaneSet {
     /// (no-op when it already is), charging each lane's switch cycles.
     /// `op` routes to the organization's call-push / thread-switch /
     /// plain handler, mirroring the serial machine's `SwitchKind`.
-    fn switch_all(&mut self, cid: Cid, op: fn(Cid) -> LaneOp) -> Result<(), SimError> {
+    fn switch_all<P: FrontendProbe>(
+        &mut self,
+        cid: Cid,
+        op: fn(Cid) -> LaneOp,
+        probe: &mut P,
+    ) -> Result<(), SimError> {
         if self.active_cid == Some(cid) {
             return Ok(());
         }
-        self.reg_op_all(op(cid), 0)?;
+        self.reg_op_all(op(cid), 0, probe)?;
         self.shared.context_switches += 1;
         self.active_cid = Some(cid);
         Ok(())
@@ -375,8 +459,8 @@ impl LaneSet {
 
     /// Frees a dead context in every lane: register file, Ctable, and
     /// the shared CID pool.
-    fn release_all(&mut self, cid: Cid) -> Result<(), SimError> {
-        self.reg_op_all(LaneOp::FreeContext(cid), 0)?;
+    fn release_all<P: FrontendProbe>(&mut self, cid: Cid, probe: &mut P) -> Result<(), SimError> {
+        self.reg_op_all(LaneOp::FreeContext(cid), 0, probe)?;
         for s in &mut self.stores {
             s.mem.ctable_mut().unmap(cid);
         }
@@ -387,20 +471,20 @@ impl LaneSet {
         Ok(())
     }
 
-    fn halt_all(&mut self) -> Result<Status, SimError> {
+    fn halt_all<P: FrontendProbe>(&mut self, probe: &mut P) -> Result<Status, SimError> {
         let mut cids: Vec<Cid> = {
             let t = self.sched.current_mut();
             t.call_stack.drain(..).map(|(_, c)| c).collect()
         };
         cids.push(self.sched.current_mut().cid);
         for c in cids {
-            self.release_all(c)?;
+            self.release_all(c, probe)?;
         }
         self.sched.finish_current();
         Ok(Status::Suspended)
     }
 
-    fn run_current(&mut self) -> Result<(), SimError> {
+    fn run_current<P: FrontendProbe>(&mut self, probe: &mut P) -> Result<(), SimError> {
         let mut issued: u64 = 0;
         loop {
             if self.shared.instructions >= self.cfg.max_instructions {
@@ -408,7 +492,7 @@ impl LaneSet {
                     limit: self.cfg.max_instructions,
                 });
             }
-            match self.step()? {
+            match self.step(probe)? {
                 Status::Continue => {}
                 Status::Suspended => return Ok(()),
             }
@@ -423,7 +507,7 @@ impl LaneSet {
     }
 
     /// Executes one instruction of the running thread across all lanes.
-    fn step(&mut self) -> Result<Status, SimError> {
+    fn step<P: FrontendProbe>(&mut self, probe: &mut P) -> Result<Status, SimError> {
         let (pc, cid) = {
             let t = self.sched.current_mut();
             (t.pc, t.cid)
@@ -438,7 +522,7 @@ impl LaneSet {
         self.shared.class_counts[RunReport::class_index(inst.class())] += 1;
         self.sched.current_mut().instructions += 1;
         let base = self.base_cycles(inst.class());
-        self.charge_all(base);
+        self.charge_all(base, probe);
 
         // One shared fetch: the pc stream is lane-invariant, so a single
         // icache access yields the penalty every serial run would pay.
@@ -447,7 +531,7 @@ impl LaneSet {
             .as_mut()
             .map(|ic| ic.access(ICACHE_BASE + pc, false) - ic.config().hit_cycles);
         if let Some(p) = fetch_penalty {
-            self.charge_all(p);
+            self.charge_all(p, probe);
         }
 
         if self
@@ -458,9 +542,10 @@ impl LaneSet {
             for (o, rf) in self.occupancy.iter_mut().zip(&self.regfiles) {
                 o.record(rf.occupancy());
             }
+            probe.occupancy_sample();
         }
 
-        self.execute(inst, pc, cid)
+        self.execute(inst, pc, cid, probe)
     }
 
     fn base_cycles(&self, class: InstClass) -> u32 {
@@ -478,7 +563,12 @@ impl LaneSet {
     /// Loads `addr` in every lane, charging per-lane cache cycles; the
     /// loaded values must agree (lanes start from identical data and
     /// only spill frames — which programs never read — differ).
-    fn load_all(&mut self, addr: Addr, pc: u32) -> Result<Word, SimError> {
+    fn load_all<P: FrontendProbe>(
+        &mut self,
+        addr: Addr,
+        pc: u32,
+        probe: &mut P,
+    ) -> Result<Word, SimError> {
         let mut head: Option<Word> = None;
         for (i, s) in self.stores.iter_mut().enumerate() {
             let (v, cycles) = s.mem.load(addr);
@@ -496,39 +586,47 @@ impl LaneSet {
                 }
             }
         }
-        Ok(head.expect("lane sets are non-empty"))
+        let v = head.expect("lane sets are non-empty");
+        probe.mem_load(addr, v);
+        Ok(v)
     }
 
     #[allow(clippy::too_many_lines)]
-    fn execute(&mut self, inst: Inst, pc: u32, cid: Cid) -> Result<Status, SimError> {
+    fn execute<P: FrontendProbe>(
+        &mut self,
+        inst: Inst,
+        pc: u32,
+        cid: Cid,
+        probe: &mut P,
+    ) -> Result<Status, SimError> {
         use Inst::*;
 
         macro_rules! alu3 {
             ($rd:expr, $a:expr, $b:expr, $f:expr) => {{
-                let x = self.read_reg_all(cid, $a, pc)?;
-                let y = self.read_reg_all(cid, $b, pc)?;
+                let x = self.read_reg_all(cid, $a, pc, probe)?;
+                let y = self.read_reg_all(cid, $b, pc, probe)?;
                 #[allow(clippy::redundant_closure_call)]
                 let v = ($f)(x, y);
-                self.write_reg_all(cid, $rd, v, pc)?;
+                self.write_reg_all(cid, $rd, v, pc, probe)?;
                 self.advance(1);
             }};
         }
         macro_rules! alui {
             ($rd:expr, $a:expr, $imm:expr, $f:expr) => {{
-                let x = self.read_reg_all(cid, $a, pc)?;
+                let x = self.read_reg_all(cid, $a, pc, probe)?;
                 #[allow(clippy::redundant_closure_call)]
                 let v = ($f)(x, $imm as Word);
-                self.write_reg_all(cid, $rd, v, pc)?;
+                self.write_reg_all(cid, $rd, v, pc, probe)?;
                 self.advance(1);
             }};
         }
         macro_rules! branch {
             ($a:expr, $b:expr, $t:expr, $cmp:expr) => {{
-                let x = self.read_reg_all(cid, $a, pc)?;
-                let y = self.read_reg_all(cid, $b, pc)?;
+                let x = self.read_reg_all(cid, $a, pc, probe)?;
+                let y = self.read_reg_all(cid, $b, pc, probe)?;
                 #[allow(clippy::redundant_closure_call)]
                 if ($cmp)(x, y) {
-                    self.charge_all(self.cfg.cycles.taken_extra);
+                    self.charge_all(self.cfg.cycles.taken_extra, probe);
                     self.sched.current_mut().pc = $t;
                 } else {
                     self.advance(1);
@@ -575,32 +673,37 @@ impl LaneSet {
                 ))
             }
             Li { rd, imm } => {
-                self.write_reg_all(cid, rd, imm as Word, pc)?;
+                self.write_reg_all(cid, rd, imm as Word, pc, probe)?;
                 self.advance(1);
             }
             Mv { rd, rs1 } => {
-                let v = self.read_reg_all(cid, rs1, pc)?;
-                self.write_reg_all(cid, rd, v, pc)?;
+                let v = self.read_reg_all(cid, rs1, pc, probe)?;
+                self.write_reg_all(cid, rd, v, pc, probe)?;
                 self.advance(1);
             }
 
             Lw { rd, base, imm } => {
-                let addr = self.read_reg_all(cid, base, pc)?.wrapping_add(imm as Word);
-                let v = self.load_all(addr, pc)?;
-                self.write_reg_all(cid, rd, v, pc)?;
+                let addr = self
+                    .read_reg_all(cid, base, pc, probe)?
+                    .wrapping_add(imm as Word);
+                let v = self.load_all(addr, pc, probe)?;
+                self.write_reg_all(cid, rd, v, pc, probe)?;
                 self.advance(1);
             }
             Sw { base, src, imm } => {
-                let addr = self.read_reg_all(cid, base, pc)?.wrapping_add(imm as Word);
-                let v = self.read_reg_all(cid, src, pc)?;
+                let addr = self
+                    .read_reg_all(cid, base, pc, probe)?
+                    .wrapping_add(imm as Word);
+                let v = self.read_reg_all(cid, src, pc, probe)?;
                 for (i, s) in self.stores.iter_mut().enumerate() {
                     let cycles = s.mem.store(addr, v);
                     self.clocks[i] += u64::from(cycles);
                 }
+                probe.mem_store(addr, v);
                 self.advance(1);
             }
             AmoAdd { rd, base, imm } => {
-                let addr = self.read_reg_all(cid, base, pc)?;
+                let addr = self.read_reg_all(cid, base, pc, probe)?;
                 let mut head: Option<Word> = None;
                 for (i, s) in self.stores.iter_mut().enumerate() {
                     let (old, cycles) = s.mem.fetch_add(addr, imm);
@@ -618,7 +721,9 @@ impl LaneSet {
                         }
                     }
                 }
-                self.write_reg_all(cid, rd, head.expect("lane sets are non-empty"), pc)?;
+                let old = head.expect("lane sets are non-empty");
+                probe.mem_amo(addr, imm, old);
+                self.write_reg_all(cid, rd, old, pc, probe)?;
                 self.advance(1);
             }
 
@@ -645,7 +750,7 @@ impl LaneSet {
                     t.pc = target;
                 }
                 self.shared.calls += 1;
-                self.switch_all(new_cid, LaneOp::CallPush)?;
+                self.switch_all(new_cid, LaneOp::CallPush, probe)?;
             }
             Ret => {
                 let popped = self.sched.current_mut().call_stack.pop();
@@ -658,19 +763,19 @@ impl LaneSet {
                             t.pc = ret_pc;
                             dead
                         };
-                        self.release_all(dead)?;
+                        self.release_all(dead, probe)?;
                         self.shared.returns += 1;
-                        self.switch_all(caller, LaneOp::SwitchTo)?;
+                        self.switch_all(caller, LaneOp::SwitchTo, probe)?;
                     }
-                    None => return self.halt_all(),
+                    None => return self.halt_all(probe),
                 }
             }
 
-            Halt => return self.halt_all(),
+            Halt => return self.halt_all(probe),
 
             RFree { reg } => {
                 if let Reg::R(off) = reg {
-                    self.reg_op_all(LaneOp::FreeReg(RegAddr::new(cid, off)), pc)?;
+                    self.reg_op_all(LaneOp::FreeReg(RegAddr::new(cid, off)), pc, probe)?;
                 }
                 self.advance(1);
             }

@@ -38,7 +38,7 @@ pub mod trace;
 
 pub use backing::{BackingMap, CtableBacking, LaneStore};
 pub use config::{CycleTable, RegFileSpec, SimConfig, BACKING_STRIDE_WORDS};
-pub use lanes::{batchable, batchable_program, LaneSet};
+pub use lanes::{batchable, batchable_program, FrontendProbe, LaneSet, NoProbe};
 pub use machine::{Machine, SimError};
 pub use metrics::{OccupancySummary, RunReport};
 pub use trace::{TraceBuffer, TraceEntry};

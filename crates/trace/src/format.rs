@@ -161,6 +161,155 @@ fn push_varint(buf: &mut [u8], mut len: usize, mut v: u64) -> usize {
     }
 }
 
+/// In-memory writer over the `.nsftrace` encoding layer: the same
+/// LEB128 varint forms [`TraceWriter`] uses, without the file framing
+/// (magic, header, checksum trailer) — for streams that never leave the
+/// process, like the frontend cache's event buffers ([`crate::fcache`]).
+/// Growing a `Vec<u8>` is the only allocation; there is no I/O.
+#[derive(Debug, Default)]
+pub struct VarWriter {
+    buf: Vec<u8>,
+}
+
+impl VarWriter {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        VarWriter::default()
+    }
+
+    /// An empty buffer with `cap` bytes reserved — capture-sized streams
+    /// (megabytes at `--scale 1`) skip the cold vector's doubling copies.
+    pub fn with_capacity(cap: usize) -> Self {
+        VarWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a raw byte (event tags).
+    #[inline]
+    pub fn put_u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    /// Appends a LEB128 varint — the exact encoding `.nsftrace` fields
+    /// use ([`push_varint`] is shared with [`TraceWriter`]).
+    #[inline]
+    pub fn put_varint(&mut self, v: u64) {
+        // Single-byte fast path: most fields (register offsets, context
+        // IDs, small values) fit in 7 bits, and capture encodes millions
+        // of them per sweep.
+        if v < 0x80 {
+            self.buf.push(v as u8);
+            return;
+        }
+        let mut tmp = [0u8; 10];
+        let len = push_varint(&mut tmp, 0, v);
+        self.buf.extend_from_slice(&tmp[..len]);
+    }
+
+    /// Appends a signed value zigzag-mapped into a varint (small
+    /// magnitudes of either sign stay one byte).
+    #[inline]
+    pub fn put_varint_signed(&mut self, v: i64) {
+        self.put_varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// Encoded length so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// In-memory reader matching [`VarWriter`]: decodes the `.nsftrace`
+/// varint forms from a byte slice. Running past the end or over-long
+/// varints surface as [`TraceError`]s, mirroring [`TraceReader`].
+#[derive(Debug)]
+pub struct VarReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> VarReader<'a> {
+    /// A reader at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        VarReader { bytes, pos: 0 }
+    }
+
+    /// `true` once every byte has been consumed.
+    pub fn done(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    /// Byte offset of the next read.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads one raw byte.
+    #[inline]
+    pub fn get_u8(&mut self) -> Result<u8, TraceError> {
+        let b = *self.bytes.get(self.pos).ok_or(TraceError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a LEB128 varint.
+    #[inline]
+    pub fn get_varint(&mut self) -> Result<u64, TraceError> {
+        // Single-byte fast path: most fields (register offsets, context
+        // IDs, small values) fit in 7 bits, and replay decodes millions
+        // of them per sweep.
+        if let Some(&b) = self.bytes.get(self.pos) {
+            if b < 0x80 {
+                self.pos += 1;
+                return Ok(u64::from(b));
+            }
+        }
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            if shift >= 64 {
+                return Err(TraceError::BadVarint);
+            }
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a zigzag-encoded signed varint.
+    #[inline]
+    pub fn get_varint_signed(&mut self) -> Result<i64, TraceError> {
+        let z = self.get_varint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    /// Reads a varint that must fit a `u32` (values, addresses).
+    #[inline]
+    pub fn get_u32(&mut self) -> Result<u32, TraceError> {
+        u32::try_from(self.get_varint()?).map_err(|_| TraceError::BadVarint)
+    }
+
+    /// Reads a varint that must fit a `u16` (context IDs).
+    #[inline]
+    pub fn get_u16(&mut self) -> Result<u16, TraceError> {
+        u16::try_from(self.get_varint()?).map_err(|_| TraceError::BadVarint)
+    }
+}
+
 /// Event tags (kept dense so `info` can histogram by tag).
 const TAG_READ: u8 = 1;
 const TAG_WRITE: u8 = 2;

@@ -31,13 +31,18 @@
 //! command line (`record`, `info`, `replay`, `diff`).
 
 pub mod event;
+pub mod fcache;
 pub mod format;
 pub mod recorder;
 pub mod replay;
 pub mod spec;
 
 pub use event::{RegEvent, TimedEvent};
-pub use format::{Trace, TraceError, TraceMeta, TraceReader, TraceWriter, FORMAT_VERSION, MAGIC};
+pub use fcache::{capture_frontend, replay_frontend, FrontendBuffer};
+pub use format::{
+    Trace, TraceError, TraceMeta, TraceReader, TraceWriter, VarReader, VarWriter, FORMAT_VERSION,
+    MAGIC,
+};
 pub use recorder::TraceRecorder;
 pub use replay::{diff, replay, replay_events, DiffReport, Divergence, ReplayReport, StatDelta};
 pub use spec::{default_engine_spec, parse_engine, SpecError};
