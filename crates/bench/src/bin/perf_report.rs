@@ -16,7 +16,11 @@
 //! captures the Figure 12 workloads as `.nsftrace` streams and re-sweeps
 //! the figure's whole configuration grid by *replay* — the design-space
 //! shortcut `trace_tool` offers — reporting events/sec through each
-//! engine family and the replay-vs-live speedup. The numbers land in
+//! engine family and the replay-vs-live speedup. A third section runs
+//! the sibling `nsf-explore` binary over its default design-space spec
+//! (fresh ledger each time) and records explorer throughput in
+//! configurations/sec plus the online Pareto prune rate; it is marked
+//! unavailable when that binary is not built. The numbers land in
 //! `results/BENCH_regfile.json` (override the directory with `--out`)
 //! and a table on stdout; EXPERIMENTS.md records the `--scale 1`
 //! history. Wall-clock timing is inherently machine-dependent — these
@@ -189,6 +193,82 @@ impl ReplaySection {
             self.live_wall_ns as f64 / self.replay_wall_ns as f64
         }
     }
+}
+
+/// One completed `nsf-explore` run, parsed from its `explore-summary`
+/// stdout line (the stable key=value summary the explorer prints).
+struct ExploreStats {
+    points: u64,
+    evaluated: u64,
+    checkpoints: u64,
+    pruned: u64,
+    front: u64,
+    elapsed_ms: u64,
+    configs_per_sec: f64,
+}
+
+impl ExploreStats {
+    /// Fraction of evaluated configurations the online Pareto prune
+    /// discarded as dominated.
+    fn prune_rate(&self) -> f64 {
+        if self.points == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.points as f64
+        }
+    }
+
+    fn parse(line: &str) -> Option<ExploreStats> {
+        let field = |key: &str| {
+            line.split_whitespace()
+                .find_map(|tok| tok.strip_prefix(key)?.strip_prefix('=').map(str::to_string))
+        };
+        Some(ExploreStats {
+            points: field("points")?.parse().ok()?,
+            evaluated: field("evaluated")?.parse().ok()?,
+            checkpoints: field("checkpoints")?.parse().ok()?,
+            pruned: field("pruned")?.parse().ok()?,
+            front: field("front")?.parse().ok()?,
+            elapsed_ms: field("elapsed_ms")?.parse().ok()?,
+            configs_per_sec: field("configs_per_sec")?.parse().ok()?,
+        })
+    }
+}
+
+/// Runs the sibling `nsf-explore` binary over its default spec and
+/// parses the summary line. `nsf-explore` depends on this crate, so the
+/// report cannot link it as a library — it drives the built binary next
+/// to its own executable instead, and degrades to `None` (section marked
+/// unavailable) when that binary has not been built.
+fn explore_section(args: &HarnessArgs) -> Option<ExploreStats> {
+    let exe = std::env::current_exe().ok()?;
+    let bin = exe
+        .parent()?
+        .join(format!("nsf-explore{}", std::env::consts::EXE_SUFFIX));
+    if !bin.exists() {
+        return None;
+    }
+    // A scratch ledger directory, wiped before the run so the explorer
+    // never resumes a previous report's ledger (resume would evaluate
+    // zero points and time nothing).
+    let out = std::env::temp_dir().join(format!("nsf-explore-perf-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&out);
+    let output = std::process::Command::new(&bin)
+        .args(["--scale", &args.scale.to_string()])
+        .args(["--threads", &args.threads.to_string()])
+        .args(["--lanes", &args.lanes.to_string()])
+        .arg("--quiet")
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .ok()?;
+    let _ = fs::remove_dir_all(&out);
+    if !output.status.success() {
+        return None;
+    }
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let line = stdout.lines().find(|l| l.starts_with("explore-summary "))?;
+    ExploreStats::parse(line)
 }
 
 /// Replays every point of the Figure 12 sweep from recorded traces,
@@ -470,6 +550,24 @@ fn main() {
         replay.speedup(),
     );
 
+    let explore = explore_section(&args);
+    println!("\nDesign-space explorer (nsf-explore default spec, fresh ledger)");
+    match &explore {
+        Some(e) => println!(
+            "{} points, {} evaluated, {} checkpoints: {:.1} configs/sec, \
+             pruned {} ({:.0}%) -> front {} ({} ms)",
+            e.points,
+            e.evaluated,
+            e.checkpoints,
+            e.configs_per_sec,
+            e.pruned,
+            e.prune_rate() * 100.0,
+            e.front,
+            e.elapsed_ms,
+        ),
+        None => println!("unavailable (nsf-explore binary not built alongside perf_report)"),
+    }
+
     let mut json = String::from("{\n");
     writeln!(json, "  \"scale\": {},", args.scale).unwrap();
     writeln!(json, "  \"threads\": {},", args.threads).unwrap();
@@ -555,7 +653,24 @@ fn main() {
         )
         .unwrap();
     }
-    json.push_str("    ]\n  }\n}\n");
+    json.push_str("    ]\n  },\n");
+    json.push_str("  \"explore\": ");
+    match &explore {
+        Some(e) => {
+            json.push_str("{\n");
+            writeln!(json, "    \"available\": true,").unwrap();
+            writeln!(json, "    \"points\": {},", e.points).unwrap();
+            writeln!(json, "    \"evaluated\": {},", e.evaluated).unwrap();
+            writeln!(json, "    \"checkpoints\": {},", e.checkpoints).unwrap();
+            writeln!(json, "    \"pruned\": {},", e.pruned).unwrap();
+            writeln!(json, "    \"front\": {},", e.front).unwrap();
+            writeln!(json, "    \"elapsed_ms\": {},", e.elapsed_ms).unwrap();
+            writeln!(json, "    \"configs_per_sec\": {:.1},", e.configs_per_sec).unwrap();
+            writeln!(json, "    \"prune_rate\": {:.3}", e.prune_rate()).unwrap();
+            json.push_str("  }\n}\n");
+        }
+        None => json.push_str("{\"available\": false}\n}\n"),
+    }
 
     let dir = args.results_dir();
     fs::create_dir_all(&dir).expect("create results dir");

@@ -175,7 +175,9 @@ impl Sweep {
     /// Partitions point indices into lane groups: submission-order
     /// greedy chunks of up to `lanes` points that share a workload and a
     /// machine frontend. Unbatchable workloads get singleton groups.
-    fn lane_groups(&self, lanes: usize) -> Vec<Vec<usize>> {
+    /// Public so schedulers above the runner (the explorer's
+    /// checkpointed driver) can see how a sweep will batch.
+    pub fn lane_groups(&self, lanes: usize) -> Vec<Vec<usize>> {
         let batchable: Vec<bool> = self
             .workloads
             .iter()

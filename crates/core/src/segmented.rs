@@ -84,6 +84,20 @@ impl SegmentedConfig {
             dribble: None,
         }
     }
+
+    /// A swept point of the design space: `total_regs` registers divided
+    /// evenly into `frames` frames. `frames` must divide `total_regs`
+    /// and each frame must fit an eight-bit register count.
+    pub fn evenly_divided(total_regs: u32, frames: u32) -> Self {
+        assert!(frames > 0, "need at least one frame");
+        assert_eq!(total_regs % frames, 0, "frames must divide the file");
+        let frame_regs = total_regs / frames;
+        assert!(
+            frame_regs > 0 && frame_regs <= 255,
+            "frame size out of range"
+        );
+        SegmentedConfig::paper_default(frames, frame_regs as u8)
+    }
 }
 
 #[derive(Clone)]

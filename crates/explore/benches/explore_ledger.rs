@@ -1,0 +1,67 @@
+//! Criterion group `explore_ledger`: the fixed costs of the explorer's
+//! persistence layer. `append_1k` is the encode path a checkpoint pays
+//! per evaluated point; `replay_1k` is the parse-and-verify path every
+//! restart pays per ledger record; `prune_1k` is the online Pareto
+//! insert over a deterministic synthetic cost cloud.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nsf_explore::ledger::{encode_header, encode_record, parse};
+use nsf_explore::{LedgerHeader, LedgerRecord, ParetoFront, PointCost};
+
+/// A deterministic synthetic record stream (no RNG: results paths stay
+/// seedless-randomness-free, and the bench is stable across runs).
+fn records(n: u64) -> Vec<LedgerRecord> {
+    (0..n)
+        .map(|i| {
+            let x = (i.wrapping_mul(2654435761) % 1000) as f64 / 1000.0;
+            let y = (i.wrapping_mul(40503) % 1000) as f64 / 1000.0;
+            LedgerRecord {
+                point_idx: i,
+                instructions: 100_000 + i,
+                cycles: 150_000 + 3 * i,
+                cost: PointCost {
+                    reloads_per_instr: 0.3 * x,
+                    utilization: 0.2 + 0.6 * y,
+                    area_um2: 1.0e6 * (1.0 + x + y),
+                    access_ns: 10.0 + 4.0 * x,
+                },
+            }
+        })
+        .collect()
+}
+
+fn ledger_image(recs: &[LedgerRecord]) -> Vec<u8> {
+    let mut bytes = encode_header(&LedgerHeader {
+        fingerprint: 0x1234_5678_9abc_def0,
+        shard_index: 0,
+        shard_count: 1,
+        shard_points: recs.len() as u64,
+    });
+    for r in recs {
+        bytes.extend(encode_record(r));
+    }
+    bytes
+}
+
+fn bench_explore_ledger(c: &mut Criterion) {
+    let mut g = c.benchmark_group("explore_ledger");
+    let recs = records(1000);
+    g.bench_function("append_1k", |b| b.iter(|| ledger_image(&recs)));
+    let image = ledger_image(&recs);
+    g.bench_function("replay_1k", |b| {
+        b.iter(|| parse(&image).expect("intact ledger"))
+    });
+    g.bench_function("prune_1k", |b| {
+        b.iter(|| {
+            let mut front = ParetoFront::new();
+            for r in &recs {
+                front.insert(r.point_idx, r.cost);
+            }
+            front.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_explore_ledger);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Extracting a [`PointCost`] from one evaluated point: the two
+//! simulated axes come from the run's [`RunReport`], the two
+//! implementation axes from the calibrated `nsf-vlsi` models via the
+//! organization's physical geometry.
+
+use crate::pareto::PointCost;
+use nsf_sim::{RegFileSpec, RunReport};
+use nsf_vlsi::{ArrayKind, CostModel, CostVector, Geometry, Ports};
+
+/// Context ID width assumed for swept NSF decoders — the paper's 64-
+/// context tag (6 bits), which together with a 32-register context
+/// reproduces the published 11-bit (x1 lines) and 10-bit (x2 lines)
+/// tags.
+pub const SWEEP_CID_BITS: u32 = 6;
+
+/// The physical array behind an organization: decoder kind and
+/// geometry. The oracle has no implementation — it returns `None`.
+pub fn array_of(spec: &RegFileSpec) -> Option<(ArrayKind, Geometry)> {
+    match *spec {
+        RegFileSpec::Nsf(cfg) => Some((
+            ArrayKind::Associative,
+            Geometry::associative(
+                cfg.total_regs,
+                u32::from(cfg.regs_per_line),
+                u32::from(cfg.ctx_regs),
+                SWEEP_CID_BITS,
+            ),
+        )),
+        RegFileSpec::Segmented(cfg) => Some((
+            ArrayKind::Indexed,
+            Geometry::indexed(cfg.frames * u32::from(cfg.frame_regs)),
+        )),
+        RegFileSpec::Conventional { regs, .. } => {
+            Some((ArrayKind::Indexed, Geometry::indexed(u32::from(regs))))
+        }
+        RegFileSpec::Windowed(cfg) => Some((
+            ArrayKind::Indexed,
+            Geometry::indexed(cfg.windows * u32::from(cfg.window_regs)),
+        )),
+        RegFileSpec::Oracle => None,
+    }
+}
+
+/// The implementation cost of an organization under the paper's
+/// process and baseline port count.
+///
+/// # Panics
+///
+/// On [`RegFileSpec::Oracle`], which has no implementation (the
+/// explorer never enumerates it).
+pub fn implementation_cost(spec: &RegFileSpec) -> CostVector {
+    let (kind, geom) = array_of(spec).expect("the oracle has no implementation cost");
+    CostModel::paper().vector(kind, geom, Ports::three())
+}
+
+/// The full four-axis cost of one evaluated point.
+pub fn point_cost(spec: &RegFileSpec, report: &RunReport) -> PointCost {
+    let hw = implementation_cost(spec);
+    PointCost {
+        reloads_per_instr: report.reloads_per_instr(),
+        utilization: report.utilization(),
+        area_um2: hw.area_um2,
+        access_ns: hw.access_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsf_sim::parse_engine;
+
+    #[test]
+    fn paper_reference_points_get_paper_geometries() {
+        let (kind, geom) = array_of(&parse_engine("nsf:128x1").unwrap()).unwrap();
+        assert_eq!(kind, ArrayKind::Associative);
+        assert_eq!(geom, Geometry::g32x128());
+        let (kind, geom) = array_of(&parse_engine("nsf:128x2").unwrap()).unwrap();
+        assert_eq!(kind, ArrayKind::Associative);
+        assert_eq!(geom, Geometry::g64x64());
+    }
+
+    #[test]
+    fn indexed_families_price_by_total_registers() {
+        for (spec, total) in [
+            ("segmented:4x32", 128),
+            ("conventional:32", 32),
+            ("windowed:16", 128),
+        ] {
+            let (kind, geom) = array_of(&parse_engine(spec).unwrap()).unwrap();
+            assert_eq!(kind, ArrayKind::Indexed, "{spec}");
+            assert_eq!(geom.total_regs(), total, "{spec}");
+        }
+    }
+
+    #[test]
+    fn oracle_has_no_array() {
+        assert!(array_of(&RegFileSpec::Oracle).is_none());
+    }
+
+    #[test]
+    fn nsf_costs_more_than_a_segmented_file_of_equal_capacity() {
+        let nsf = implementation_cost(&parse_engine("nsf:128x1").unwrap());
+        let seg = implementation_cost(&parse_engine("segmented:4x32").unwrap());
+        assert!(nsf.area_um2 > seg.area_um2);
+        assert!(nsf.access_ns > seg.access_ns);
+    }
+}

@@ -1,0 +1,448 @@
+//! The exploration driver: shard the enumeration, execute it in
+//! checkpointed chunks through the sweep runner's frontend cache,
+//! persist every evaluated point to the ledger, and derive the Pareto
+//! fronts from the ledger alone.
+//!
+//! The resume invariant the integration tests pin: **a run interrupted
+//! at any checkpoint and resumed produces a byte-identical ledger and
+//! front file to an uninterrupted run.** The driver earns that by
+//! construction — records are appended strictly in shard point order,
+//! resume replays the ledger and continues after the last intact
+//! record (truncating a half-written tail first), and the front is
+//! always recomputed from the full ledger, never from in-memory state
+//! that an interruption could have lost.
+
+use crate::cost::point_cost;
+use crate::ledger::{
+    encode_header, encode_record, parse, LedgerError, LedgerHeader, LedgerRecord, ParsedLedger,
+};
+use crate::pareto::ParetoFront;
+use crate::spec::{shard_of, workload_builder, ExploreSpec, Point};
+use nsf_bench::Sweep;
+use nsf_sim::SpecError;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Default points per checkpoint chunk: wide enough that a chunk's
+/// frontend groups clear the sweep runner's capture threshold
+/// ([`Sweep::MIN_CAPTURE_GROUP`]), small enough that an interrupted
+/// run loses little work.
+pub const DEFAULT_CHUNK: usize = 64;
+
+/// A failure of one exploration run.
+#[derive(Debug)]
+pub enum ExploreError {
+    /// The spec (or an engine string it enumerated) is malformed.
+    Spec(SpecError),
+    /// The ledger could not be read, written or trusted.
+    Ledger(LedgerError),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::Spec(e) => e.fmt(f),
+            ExploreError::Ledger(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+impl From<SpecError> for ExploreError {
+    fn from(e: SpecError) -> Self {
+        ExploreError::Spec(e)
+    }
+}
+
+impl From<LedgerError> for ExploreError {
+    fn from(e: LedgerError) -> Self {
+        ExploreError::Ledger(e)
+    }
+}
+
+impl From<std::io::Error> for ExploreError {
+    fn from(e: std::io::Error) -> Self {
+        ExploreError::Ledger(LedgerError::Io(e))
+    }
+}
+
+/// A configured exploration: one spec, one shard, one output directory.
+#[derive(Clone, Debug)]
+pub struct Explorer {
+    /// What to explore.
+    pub spec: ExploreSpec,
+    /// This run's shard (0-based).
+    pub shard_index: u32,
+    /// Total shards the enumeration is partitioned into.
+    pub shard_count: u32,
+    /// Where the ledger and front land.
+    pub out_dir: PathBuf,
+    /// Sweep worker threads.
+    pub threads: usize,
+    /// Lane-batch width for the sweep runner.
+    pub lanes: usize,
+    /// Points per checkpoint chunk.
+    pub chunk: usize,
+    /// Stop (successfully) after this many checkpoints — deterministic
+    /// interruption for the resume tests and the CI smoke job.
+    pub stop_after: Option<u64>,
+    /// Suppress progress commentary on stderr.
+    pub quiet: bool,
+}
+
+/// What one [`Explorer::run`] did.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExploreOutcome {
+    /// Points in the full enumeration.
+    pub total_points: u64,
+    /// Points assigned to this shard.
+    pub shard_points: u64,
+    /// Points found already evaluated in the ledger.
+    pub resumed: u64,
+    /// Points newly evaluated by this invocation.
+    pub evaluated: u64,
+    /// Checkpoints written by this invocation.
+    pub checkpoints: u64,
+    /// Points offered to the fronts and pruned as dominated.
+    pub pruned: u64,
+    /// Total surviving front members across workloads.
+    pub front_size: u64,
+    /// `false` when [`Explorer::stop_after`] ended the run early.
+    pub completed: bool,
+    /// Where the ledger lives.
+    pub ledger_path: PathBuf,
+    /// Where the front rendering lives.
+    pub front_path: PathBuf,
+    /// Wall time of this invocation (excluded from all artifacts).
+    pub elapsed: Duration,
+}
+
+impl Explorer {
+    /// An explorer with default execution parameters: single shard,
+    /// all cores, the runner's default lane width.
+    pub fn new(spec: ExploreSpec, out_dir: PathBuf) -> Self {
+        Explorer {
+            spec,
+            shard_index: 0,
+            shard_count: 1,
+            out_dir,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            lanes: nsf_bench::DEFAULT_LANES,
+            chunk: DEFAULT_CHUNK,
+            stop_after: None,
+            quiet: false,
+        }
+    }
+
+    /// This shard's ledger file.
+    pub fn ledger_path(&self) -> PathBuf {
+        self.out_dir.join(format!(
+            "explore_shard{}of{}.nsfx",
+            self.shard_index, self.shard_count
+        ))
+    }
+
+    /// This shard's rendered Pareto front.
+    pub fn front_path(&self) -> PathBuf {
+        self.out_dir.join(format!(
+            "explore_front_shard{}of{}.txt",
+            self.shard_index, self.shard_count
+        ))
+    }
+
+    /// The header every ledger of this exploration must carry.
+    fn header(&self, shard_points: u64) -> LedgerHeader {
+        LedgerHeader {
+            fingerprint: self.spec.fingerprint(),
+            shard_index: self.shard_index,
+            shard_count: self.shard_count,
+            shard_points,
+        }
+    }
+
+    /// Opens (or creates) the ledger, validates it against this run,
+    /// truncates any interrupted tail, and returns the intact records.
+    fn open_ledger(&self, shard_pts: &[Point]) -> Result<Vec<LedgerRecord>, ExploreError> {
+        let path = self.ledger_path();
+        let expected = self.header(shard_pts.len() as u64);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                fs::write(&path, encode_header(&expected))?;
+                return Ok(Vec::new());
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let ParsedLedger {
+            header,
+            records,
+            valid_len,
+        } = parse(&bytes)?;
+        let check = |field, expected: u64, found: u64| {
+            if expected == found {
+                Ok(())
+            } else {
+                Err(LedgerError::Mismatch {
+                    field,
+                    expected,
+                    found,
+                })
+            }
+        };
+        check("fingerprint", expected.fingerprint, header.fingerprint)?;
+        check(
+            "shard index",
+            expected.shard_index.into(),
+            header.shard_index.into(),
+        )?;
+        check(
+            "shard count",
+            expected.shard_count.into(),
+            header.shard_count.into(),
+        )?;
+        check("shard points", expected.shard_points, header.shard_points)?;
+        if records.len() > shard_pts.len() {
+            return Err(LedgerError::Mismatch {
+                field: "record count",
+                expected: shard_pts.len() as u64,
+                found: records.len() as u64,
+            }
+            .into());
+        }
+        for (i, rec) in records.iter().enumerate() {
+            if rec.point_idx != shard_pts[i].idx {
+                return Err(LedgerError::OutOfSequence {
+                    record: i as u64,
+                    expected: shard_pts[i].idx,
+                    found: rec.point_idx,
+                }
+                .into());
+            }
+        }
+        if valid_len < bytes.len() {
+            // A crash mid-append left a partial record; cut back to the
+            // last intact boundary so appending resumes cleanly.
+            let mut f = fs::OpenOptions::new().write(true).open(&path)?;
+            f.set_len(valid_len as u64)?;
+            f.flush()?;
+        }
+        Ok(records)
+    }
+
+    /// Runs (or resumes) the exploration.
+    pub fn run(&self) -> Result<ExploreOutcome, ExploreError> {
+        let t0 = Instant::now();
+        self.spec.validate()?;
+        assert!(
+            self.shard_count > 0 && self.shard_index < self.shard_count,
+            "shard {}/{} out of range",
+            self.shard_index,
+            self.shard_count
+        );
+        let points = self.spec.enumerate();
+        let shard_pts: Vec<Point> = points
+            .iter()
+            .filter(|p| shard_of(p.idx, self.shard_count) == self.shard_index)
+            .cloned()
+            .collect();
+        fs::create_dir_all(&self.out_dir)?;
+        let resumed = self.open_ledger(&shard_pts)?.len();
+
+        let mut ledger = fs::OpenOptions::new()
+            .append(true)
+            .open(self.ledger_path())?;
+        let mut evaluated = 0u64;
+        let mut checkpoints = 0u64;
+        let mut completed = true;
+        for chunk in shard_pts[resumed..].chunks(self.chunk.max(1)) {
+            let reports = self.run_chunk(chunk)?;
+            let mut bytes = Vec::new();
+            for (p, report) in chunk.iter().zip(&reports) {
+                bytes.extend(encode_record(&LedgerRecord {
+                    point_idx: p.idx,
+                    instructions: report.instructions,
+                    cycles: report.cycles,
+                    cost: point_cost(&p.regfile()?, report),
+                }));
+            }
+            ledger.write_all(&bytes)?;
+            ledger.flush()?;
+            evaluated += chunk.len() as u64;
+            checkpoints += 1;
+            if !self.quiet {
+                eprintln!(
+                    "nsf-explore: checkpoint {checkpoints}: {} / {} shard points",
+                    resumed as u64 + evaluated,
+                    shard_pts.len()
+                );
+            }
+            if self.stop_after.is_some_and(|n| checkpoints >= n) {
+                completed = resumed as u64 + evaluated >= shard_pts.len() as u64;
+                break;
+            }
+        }
+        drop(ledger);
+
+        // The fronts come from the ledger, not from this invocation's
+        // in-memory results: a resumed run and a straight-through run
+        // read identical bytes, so they render identical fronts.
+        let bytes = fs::read(self.ledger_path())?;
+        let records = parse(&bytes)?.records;
+        let fronts = build_fronts(&points, &records);
+        fs::write(
+            self.front_path(),
+            render_front(&self.spec, &points, &records),
+        )?;
+
+        let (mut pruned, mut front_size) = (0u64, 0u64);
+        for f in fronts.values() {
+            pruned += f.pruned();
+            front_size += f.len() as u64;
+        }
+        Ok(ExploreOutcome {
+            total_points: points.len() as u64,
+            shard_points: shard_pts.len() as u64,
+            resumed: resumed as u64,
+            evaluated,
+            checkpoints,
+            pruned,
+            front_size,
+            completed,
+            ledger_path: self.ledger_path(),
+            front_path: self.front_path(),
+            elapsed: t0.elapsed(),
+        })
+    }
+
+    /// Executes one chunk through the sweep runner's frontend cache.
+    fn run_chunk(&self, chunk: &[Point]) -> Result<Vec<nsf_sim::RunReport>, ExploreError> {
+        let mut sweep = Sweep::new();
+        // Workloads memoised per chunk (built once, shared by index).
+        let mut built: HashMap<usize, usize> = HashMap::new();
+        for p in chunk {
+            let wl = match built.get(&p.workload) {
+                Some(&wl) => wl,
+                None => {
+                    let name = &self.spec.workloads[p.workload];
+                    let wl = sweep.workload(workload_builder(name)?(self.spec.scale));
+                    built.insert(p.workload, wl);
+                    wl
+                }
+            };
+            sweep.point(wl, p.sim_config()?);
+        }
+        Ok(sweep.run_cached(self.threads, self.lanes))
+    }
+}
+
+/// Folds records into one Pareto front per workload (keyed by workload
+/// index in the spec).
+pub fn build_fronts(
+    points: &[Point],
+    records: &[LedgerRecord],
+) -> std::collections::BTreeMap<usize, ParetoFront> {
+    let mut fronts = std::collections::BTreeMap::new();
+    for rec in records {
+        let p = &points[rec.point_idx as usize];
+        fronts
+            .entry(p.workload)
+            .or_insert_with(ParetoFront::new)
+            .insert(rec.point_idx, rec.cost);
+    }
+    fronts
+}
+
+/// Renders the canonical front file. Depends only on the *set* of
+/// records (insertion order cannot matter — the front is
+/// order-invariant and members are sorted by index), so merged shards
+/// and a single-shard run render byte-identical files.
+pub fn render_front(spec: &ExploreSpec, points: &[Point], records: &[LedgerRecord]) -> String {
+    use std::fmt::Write as _;
+    let fronts = build_fronts(points, records);
+    let mut out = String::new();
+    writeln!(out, "nsf-explore pareto front v1").unwrap();
+    writeln!(out, "spec {}", spec.canonical()).unwrap();
+    writeln!(out, "fingerprint {:016x}", spec.fingerprint()).unwrap();
+    writeln!(out, "records {}", records.len()).unwrap();
+    for (wl, front) in &fronts {
+        let name = spec.workloads[*wl].as_str();
+        writeln!(
+            out,
+            "workload {name}: front {} of {}",
+            front.len(),
+            front.inserted()
+        )
+        .unwrap();
+        for m in front.members() {
+            let p = &points[m.idx as usize];
+            writeln!(
+                out,
+                "  {} {} cache={} reloads/instr={:.6} util={:.6} area_um2={:.1} access_ns={:.3}",
+                m.idx,
+                p.engine,
+                p.cache,
+                m.cost.reloads_per_instr,
+                m.cost.utilization,
+                m.cost.area_um2,
+                m.cost.access_ns,
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Merges completed shard ledgers into the full record set and renders
+/// the combined front. Every shard of the exploration must be present
+/// exactly once, complete, and fingerprint-matched to `spec`.
+pub fn merge_ledgers(
+    spec: &ExploreSpec,
+    ledgers: &[Vec<u8>],
+) -> Result<(Vec<LedgerRecord>, String), ExploreError> {
+    spec.validate()?;
+    let points = spec.enumerate();
+    let fp = spec.fingerprint();
+    let count = ledgers.len() as u32;
+    let mut seen = vec![false; ledgers.len()];
+    let mut all: Vec<LedgerRecord> = Vec::new();
+    for bytes in ledgers {
+        let parsed = parse(bytes)?;
+        let h = parsed.header;
+        let bad = |field, expected, found| {
+            Err(ExploreError::Ledger(LedgerError::Mismatch {
+                field,
+                expected,
+                found,
+            }))
+        };
+        if h.fingerprint != fp {
+            return bad("fingerprint", fp, h.fingerprint);
+        }
+        if h.shard_count != count {
+            return bad("shard count", count.into(), h.shard_count.into());
+        }
+        if h.shard_index >= count || seen[h.shard_index as usize] {
+            return bad("shard index", count.into(), h.shard_index.into());
+        }
+        seen[h.shard_index as usize] = true;
+        if (parsed.records.len() as u64) < h.shard_points {
+            return bad("shard points", h.shard_points, parsed.records.len() as u64);
+        }
+        all.extend(parsed.records);
+    }
+    all.sort_by_key(|r| r.point_idx);
+    if all.len() != points.len() {
+        return Err(ExploreError::Ledger(LedgerError::Mismatch {
+            field: "merged records",
+            expected: points.len() as u64,
+            found: all.len() as u64,
+        }));
+    }
+    let rendered = render_front(spec, &points, &all);
+    Ok((all, rendered))
+}

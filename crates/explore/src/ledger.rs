@@ -1,0 +1,366 @@
+//! The append-only results ledger: every evaluated point becomes one
+//! checksummed record, in the `.nsftrace` encoding style (LEB128
+//! varints via [`nsf_trace::VarWriter`] / [`nsf_trace::VarReader`],
+//! FNV-1a-64 checksums).
+//!
+//! Layout:
+//!
+//! ```text
+//! header  := magic "NSFX" | version u8 | fingerprint | shard_index
+//!            | shard_count | shard_points | fnv64(preceding bytes)
+//! record  := tag 0x01 | point_idx | instructions | cycles
+//!            | reloads/instr bits | utilization bits | area bits
+//!            | access bits | fnv64(preceding record bytes)
+//! ```
+//!
+//! All integer fields are varints; `f64` fields are varints of their
+//! IEEE-754 bit patterns, so a replayed value is *bit-identical* to the
+//! appended one — the property the resume test's byte-equality rides
+//! on. Records are appended strictly in shard point order, which makes
+//! the valid prefix of a ledger self-describing: parsing stops at the
+//! first corrupt or truncated record (a crash mid-append) and reports
+//! the clean byte length, and the explorer resumes from there. A bad
+//! *header* is not recoverable and is a hard error, as is a header
+//! whose fingerprint or shard coordinates disagree with the run being
+//! resumed.
+
+use crate::pareto::PointCost;
+use nsf_trace::{VarReader, VarWriter};
+use std::fmt;
+
+/// Leading magic of a ledger file.
+pub const MAGIC: [u8; 4] = *b"NSFX";
+/// Current format version.
+pub const VERSION: u8 = 1;
+/// Tag of an evaluated-point record.
+const RECORD_TAG: u8 = 0x01;
+
+/// FNV-1a 64-bit, the checksum of the `.nsftrace` family of formats.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The identity block at the head of a ledger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LedgerHeader {
+    /// [`crate::ExploreSpec::fingerprint`] of the spec being explored.
+    pub fingerprint: u64,
+    /// Which shard this ledger holds.
+    pub shard_index: u32,
+    /// Out of how many shards.
+    pub shard_count: u32,
+    /// Points assigned to this shard (records at completion).
+    pub shard_points: u64,
+}
+
+/// One evaluated point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LedgerRecord {
+    /// Index in the canonical full enumeration.
+    pub point_idx: u64,
+    /// Instructions the run retired.
+    pub instructions: u64,
+    /// Cycles the run took.
+    pub cycles: u64,
+    /// The four Pareto axes.
+    pub cost: PointCost,
+}
+
+/// Why a ledger could not be used.
+#[derive(Debug)]
+pub enum LedgerError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The header is unreadable — nothing can be salvaged.
+    Corrupt(&'static str),
+    /// The header identifies a different run than the one resuming.
+    Mismatch {
+        /// Which header field disagreed.
+        field: &'static str,
+        /// What the resuming run expected.
+        expected: u64,
+        /// What the ledger holds.
+        found: u64,
+    },
+    /// Records are present but out of order w.r.t. the shard's point
+    /// list — the ledger belongs to a different enumeration.
+    OutOfSequence {
+        /// Record position in the ledger.
+        record: u64,
+        /// The point index expected there.
+        expected: u64,
+        /// The point index found.
+        found: u64,
+    },
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::Io(e) => write!(f, "ledger i/o: {e}"),
+            LedgerError::Corrupt(what) => write!(f, "corrupt ledger: {what}"),
+            LedgerError::Mismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "ledger {field} mismatch: expected {expected:#x}, found {found:#x}"
+            ),
+            LedgerError::OutOfSequence {
+                record,
+                expected,
+                found,
+            } => write!(
+                f,
+                "ledger record {record} out of sequence: expected point {expected}, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+impl From<std::io::Error> for LedgerError {
+    fn from(e: std::io::Error) -> Self {
+        LedgerError::Io(e)
+    }
+}
+
+fn with_checksum(body: Vec<u8>) -> Vec<u8> {
+    let mut tail = VarWriter::new();
+    tail.put_varint(fnv64(&body));
+    let mut out = body;
+    out.extend(tail.into_bytes());
+    out
+}
+
+/// Encodes the header block.
+pub fn encode_header(h: &LedgerHeader) -> Vec<u8> {
+    let mut w = VarWriter::new();
+    for b in MAGIC {
+        w.put_u8(b);
+    }
+    w.put_u8(VERSION);
+    w.put_varint(h.fingerprint);
+    w.put_varint(u64::from(h.shard_index));
+    w.put_varint(u64::from(h.shard_count));
+    w.put_varint(h.shard_points);
+    with_checksum(w.into_bytes())
+}
+
+/// Encodes one record.
+pub fn encode_record(r: &LedgerRecord) -> Vec<u8> {
+    let mut w = VarWriter::new();
+    w.put_u8(RECORD_TAG);
+    w.put_varint(r.point_idx);
+    w.put_varint(r.instructions);
+    w.put_varint(r.cycles);
+    w.put_varint(r.cost.reloads_per_instr.to_bits());
+    w.put_varint(r.cost.utilization.to_bits());
+    w.put_varint(r.cost.area_um2.to_bits());
+    w.put_varint(r.cost.access_ns.to_bits());
+    with_checksum(w.into_bytes())
+}
+
+/// A parsed ledger: the valid prefix of a file.
+#[derive(Debug)]
+pub struct ParsedLedger {
+    /// The identity header.
+    pub header: LedgerHeader,
+    /// Every intact record, in append order.
+    pub records: Vec<LedgerRecord>,
+    /// Byte length of the valid prefix. Anything past this is a
+    /// partial or corrupt tail from an interrupted append and must be
+    /// truncated before appending resumes.
+    pub valid_len: usize,
+}
+
+impl ParsedLedger {
+    /// `true` when the file carried bytes past the last intact record.
+    pub fn truncated_tail(&self, file_len: usize) -> bool {
+        self.valid_len < file_len
+    }
+}
+
+/// Parses a ledger image. The header must be intact; a damaged or
+/// half-written record tail is not an error — parsing stops and
+/// [`ParsedLedger::valid_len`] marks the clean prefix.
+pub fn parse(bytes: &[u8]) -> Result<ParsedLedger, LedgerError> {
+    let mut r = VarReader::new(bytes);
+    let bad = |what| LedgerError::Corrupt(what);
+    for expect in MAGIC {
+        if r.get_u8().map_err(|_| bad("missing magic"))? != expect {
+            return Err(bad("bad magic"));
+        }
+    }
+    if r.get_u8().map_err(|_| bad("missing version"))? != VERSION {
+        return Err(bad("unsupported version"));
+    }
+    let mut field = || r.get_varint().map_err(|_| bad("short header"));
+    let fingerprint = field()?;
+    let shard_index = field()?;
+    let shard_count = field()?;
+    let shard_points = field()?;
+    let body_end = r.pos();
+    let stored = r.get_varint().map_err(|_| bad("missing header checksum"))?;
+    if stored != fnv64(&bytes[..body_end]) {
+        return Err(bad("header checksum mismatch"));
+    }
+    let header = LedgerHeader {
+        fingerprint,
+        shard_index: u32::try_from(shard_index).map_err(|_| bad("shard index overflow"))?,
+        shard_count: u32::try_from(shard_count).map_err(|_| bad("shard count overflow"))?,
+        shard_points,
+    };
+
+    let mut records = Vec::new();
+    let mut valid_len = r.pos();
+    loop {
+        // One record, atomically: any failure rolls back to the last
+        // intact boundary.
+        let start = valid_len;
+        let mut read = || -> Option<LedgerRecord> {
+            if r.get_u8().ok()? != RECORD_TAG {
+                return None;
+            }
+            let point_idx = r.get_varint().ok()?;
+            let instructions = r.get_varint().ok()?;
+            let cycles = r.get_varint().ok()?;
+            let cost = PointCost {
+                reloads_per_instr: f64::from_bits(r.get_varint().ok()?),
+                utilization: f64::from_bits(r.get_varint().ok()?),
+                area_um2: f64::from_bits(r.get_varint().ok()?),
+                access_ns: f64::from_bits(r.get_varint().ok()?),
+            };
+            let body_end = r.pos();
+            let stored = r.get_varint().ok()?;
+            if stored != fnv64(&bytes[start..body_end]) {
+                return None;
+            }
+            Some(LedgerRecord {
+                point_idx,
+                instructions,
+                cycles,
+                cost,
+            })
+        };
+        match read() {
+            Some(rec) => {
+                records.push(rec);
+                valid_len = r.pos();
+            }
+            None => break,
+        }
+        if r.done() {
+            break;
+        }
+    }
+    Ok(ParsedLedger {
+        header,
+        records,
+        valid_len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> LedgerHeader {
+        LedgerHeader {
+            fingerprint: 0xdead_beef_cafe_f00d,
+            shard_index: 1,
+            shard_count: 4,
+            shard_points: 7,
+        }
+    }
+
+    fn record(i: u64) -> LedgerRecord {
+        LedgerRecord {
+            point_idx: i,
+            instructions: 1000 + i,
+            cycles: 2000 + i,
+            cost: PointCost {
+                reloads_per_instr: 0.125 * i as f64,
+                utilization: 0.5,
+                area_um2: 1.5e6 + i as f64,
+                access_ns: 12.25,
+            },
+        }
+    }
+
+    fn image(records: u64) -> Vec<u8> {
+        let mut bytes = encode_header(&header());
+        for i in 0..records {
+            bytes.extend(encode_record(&record(i)));
+        }
+        bytes
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let bytes = image(7);
+        let parsed = parse(&bytes).unwrap();
+        assert_eq!(parsed.header, header());
+        assert_eq!(parsed.records, (0..7).map(record).collect::<Vec<_>>());
+        assert_eq!(parsed.valid_len, bytes.len());
+        assert!(!parsed.truncated_tail(bytes.len()));
+    }
+
+    #[test]
+    fn truncated_tail_rolls_back_to_a_record_boundary() {
+        let full = image(3);
+        let two = image(2);
+        // Chop the third record anywhere: the first two must survive.
+        for cut in two.len() + 1..full.len() {
+            let parsed = parse(&full[..cut]).unwrap();
+            assert_eq!(parsed.records.len(), 2, "cut at {cut}");
+            assert_eq!(parsed.valid_len, two.len());
+            assert!(parsed.truncated_tail(cut));
+        }
+    }
+
+    #[test]
+    fn bitflip_in_a_record_stops_the_parse_there() {
+        let mut bytes = image(3);
+        let one = image(1).len();
+        bytes[one + 2] ^= 0x40;
+        let parsed = parse(&bytes).unwrap();
+        assert_eq!(parsed.records.len(), 1);
+        assert_eq!(parsed.valid_len, one);
+    }
+
+    #[test]
+    fn header_damage_is_fatal() {
+        let mut bytes = image(1);
+        bytes[1] ^= 0xff;
+        assert!(matches!(parse(&bytes), Err(LedgerError::Corrupt(_))));
+        assert!(matches!(parse(&[]), Err(LedgerError::Corrupt(_))));
+        let short = &image(0)[..4];
+        assert!(matches!(parse(short), Err(LedgerError::Corrupt(_))));
+    }
+
+    #[test]
+    fn float_bits_survive_exactly() {
+        let mut odd = record(0);
+        odd.cost.utilization = f64::from_bits(0x7ff8_0000_0000_0001); // a NaN payload
+        odd.cost.reloads_per_instr = -0.0;
+        let mut bytes = encode_header(&header());
+        bytes.extend(encode_record(&odd));
+        let parsed = parse(&bytes).unwrap();
+        assert_eq!(
+            parsed.records[0].cost.utilization.to_bits(),
+            odd.cost.utilization.to_bits()
+        );
+        assert_eq!(
+            parsed.records[0].cost.reloads_per_instr.to_bits(),
+            (-0.0f64).to_bits()
+        );
+    }
+}

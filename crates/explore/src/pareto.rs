@@ -1,0 +1,173 @@
+//! Online Pareto pruning over the four exploration cost axes.
+//!
+//! Every evaluated point becomes a [`CostPoint`]; the front keeps only
+//! points no other point dominates. Domination is the usual weak order:
+//! `a` dominates `b` when `a` is no worse on every axis and strictly
+//! better on at least one. Utilization is a benefit, so it enters the
+//! comparison negated; the other three axes are costs.
+//!
+//! The front is **insertion-order-invariant**: feeding the same point
+//! set in any order yields the same surviving set (ties — identical
+//! cost vectors — are all kept, so no order-dependent winner exists).
+//! A property test in `tests/pareto_props.rs` pins this against a
+//! brute-force dominance filter.
+
+/// The measured + modeled costs of one design point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PointCost {
+    /// Registers reloaded per instruction (simulated; minimize).
+    pub reloads_per_instr: f64,
+    /// Mean fraction of the file holding active data (simulated;
+    /// maximize).
+    pub utilization: f64,
+    /// Silicon area of the file, µm² (`nsf-vlsi`; minimize).
+    pub area_um2: f64,
+    /// Access time, ns (`nsf-vlsi`; minimize).
+    pub access_ns: f64,
+}
+
+impl PointCost {
+    /// The cost vector as uniform minimize-axes.
+    fn axes(&self) -> [f64; 4] {
+        [
+            self.reloads_per_instr,
+            -self.utilization,
+            self.area_um2,
+            self.access_ns,
+        ]
+    }
+
+    /// `true` when `self` dominates `other`: no worse everywhere,
+    /// strictly better somewhere.
+    pub fn dominates(&self, other: &PointCost) -> bool {
+        let (a, b) = (self.axes(), other.axes());
+        let mut strictly = false;
+        for i in 0..a.len() {
+            if a[i] > b[i] {
+                return false;
+            }
+            strictly |= a[i] < b[i];
+        }
+        strictly
+    }
+}
+
+/// One front member.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostPoint {
+    /// The point's index in the canonical enumeration.
+    pub idx: u64,
+    /// Its cost vector.
+    pub cost: PointCost,
+}
+
+/// An online Pareto front: insert points as they are measured, keep
+/// only the non-dominated ones.
+#[derive(Clone, Debug, Default)]
+pub struct ParetoFront {
+    members: Vec<CostPoint>,
+    inserted: u64,
+}
+
+impl ParetoFront {
+    /// An empty front.
+    pub fn new() -> Self {
+        ParetoFront::default()
+    }
+
+    /// Offers a point. Returns `true` if it joined the front (it may
+    /// still be evicted by a later point).
+    pub fn insert(&mut self, idx: u64, cost: PointCost) -> bool {
+        self.inserted += 1;
+        if self.members.iter().any(|m| m.cost.dominates(&cost)) {
+            return false;
+        }
+        self.members.retain(|m| !cost.dominates(&m.cost));
+        self.members.push(CostPoint { idx, cost });
+        true
+    }
+
+    /// The surviving members, sorted by enumeration index (a canonical
+    /// order for rendering, independent of insertion order).
+    pub fn members(&self) -> Vec<CostPoint> {
+        let mut out = self.members.clone();
+        out.sort_by_key(|m| m.idx);
+        out
+    }
+
+    /// Number of surviving members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when nothing has survived (or been offered).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Points offered so far.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Points offered that are *not* currently on the front — rejected
+    /// at insert or evicted later. The explorer's "prune rate" is this
+    /// over [`ParetoFront::inserted`].
+    pub fn pruned(&self) -> u64 {
+        self.inserted - self.members.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(r: f64, u: f64, a: f64, t: f64) -> PointCost {
+        PointCost {
+            reloads_per_instr: r,
+            utilization: u,
+            area_um2: a,
+            access_ns: t,
+        }
+    }
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        let base = cost(1.0, 0.5, 100.0, 10.0);
+        assert!(!base.dominates(&base), "equal vectors don't dominate");
+        assert!(cost(0.9, 0.5, 100.0, 10.0).dominates(&base));
+        assert!(
+            cost(1.0, 0.6, 100.0, 10.0).dominates(&base),
+            "higher utilization is better"
+        );
+        assert!(
+            !cost(0.9, 0.4, 100.0, 10.0).dominates(&base),
+            "trade-offs don't dominate"
+        );
+    }
+
+    #[test]
+    fn front_prunes_and_evicts() {
+        let mut f = ParetoFront::new();
+        assert!(f.insert(0, cost(1.0, 0.5, 100.0, 10.0)));
+        // Dominated on arrival: rejected.
+        assert!(!f.insert(1, cost(1.0, 0.5, 120.0, 10.0)));
+        // Incomparable: kept.
+        assert!(f.insert(2, cost(0.5, 0.4, 100.0, 10.0)));
+        // Dominates point 0: evicts it.
+        assert!(f.insert(3, cost(0.9, 0.6, 90.0, 9.0)));
+        let idxs: Vec<u64> = f.members().iter().map(|m| m.idx).collect();
+        assert_eq!(idxs, [2, 3]);
+        assert_eq!(f.inserted(), 4);
+        assert_eq!(f.pruned(), 2);
+    }
+
+    #[test]
+    fn ties_are_all_kept() {
+        let mut f = ParetoFront::new();
+        let c = cost(1.0, 0.5, 100.0, 10.0);
+        assert!(f.insert(0, c));
+        assert!(f.insert(1, c));
+        assert_eq!(f.len(), 2);
+    }
+}

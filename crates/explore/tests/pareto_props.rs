@@ -1,0 +1,76 @@
+//! Properties of the online Pareto front: the surviving set must not
+//! depend on insertion order (shards merge in arbitrary order), and it
+//! must equal the brute-force dominance filter (the online prune is an
+//! optimization, not a different definition).
+
+use nsf_explore::{ParetoFront, PointCost};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Cost vectors on a small integer grid, mapped to floats. The tiny
+/// domain forces frequent ties and dominance chains — the cases where
+/// an order-dependent bug would hide.
+fn arb_cost() -> impl Strategy<Value = PointCost> {
+    (0u8..4, 0u8..4, 0u8..4, 0u8..4).prop_map(|(r, u, a, t)| PointCost {
+        reloads_per_instr: f64::from(r) * 0.01,
+        utilization: f64::from(u) * 0.25,
+        area_um2: f64::from(a) * 1.0e5,
+        access_ns: f64::from(t) * 1.5,
+    })
+}
+
+/// The O(n²) reference: a point survives iff no other point dominates
+/// it. (Ties survive on both sides — equal vectors never dominate.)
+fn brute_force(costs: &[PointCost]) -> Vec<(u64, PointCost)> {
+    costs
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !costs.iter().any(|other| other.dominates(c)))
+        .map(|(i, c)| (i as u64, *c))
+        .collect()
+}
+
+fn front_of(order: impl Iterator<Item = (u64, PointCost)>) -> Vec<(u64, PointCost)> {
+    let mut f = ParetoFront::new();
+    for (idx, c) in order {
+        f.insert(idx, c);
+    }
+    f.members().into_iter().map(|m| (m.idx, m.cost)).collect()
+}
+
+proptest! {
+    #[test]
+    fn online_front_equals_brute_force(
+        costs in collection::vec(arb_cost(), 1..24),
+    ) {
+        let online = front_of(costs.iter().copied().enumerate().map(|(i, c)| (i as u64, c)));
+        prop_assert_eq!(online, brute_force(&costs));
+    }
+
+    #[test]
+    fn online_front_is_insertion_order_invariant(
+        costs in collection::vec(arb_cost(), 1..24),
+        rot in any::<u32>(),
+    ) {
+        let indexed: Vec<(u64, PointCost)> =
+            costs.iter().copied().enumerate().map(|(i, c)| (i as u64, c)).collect();
+        let mut rotated = indexed.clone();
+        rotated.rotate_left(rot as usize % indexed.len());
+        // Rotation changes which point arrives first (the one an
+        // order-sensitive front would privilege); members() sorts by
+        // index, so equality means the *sets* match.
+        prop_assert_eq!(front_of(indexed.into_iter()), front_of(rotated.into_iter()));
+    }
+
+    #[test]
+    fn pruned_plus_front_is_inserted(
+        costs in collection::vec(arb_cost(), 0..24),
+    ) {
+        let mut f = ParetoFront::new();
+        for (i, c) in costs.iter().enumerate() {
+            f.insert(i as u64, *c);
+        }
+        prop_assert_eq!(f.pruned() + f.len() as u64, f.inserted());
+        prop_assert_eq!(f.inserted(), costs.len() as u64);
+    }
+}

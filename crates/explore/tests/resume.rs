@@ -1,0 +1,162 @@
+//! The explorer's crash-recovery contract, end to end:
+//!
+//! 1. a run interrupted at a checkpoint and resumed produces a
+//!    **byte-identical** ledger and front to an uninterrupted run;
+//! 2. a ledger with a half-written (truncated) tail record is cut back
+//!    to the last intact boundary and completed to the same bytes;
+//! 3. shards run independently and merged equal the single-shard run;
+//! 4. a ledger from a *different* spec or shard is refused, never
+//!    silently continued.
+
+use nsf_explore::{
+    merge_ledgers, CacheGeom, ExploreError, ExploreSpec, Explorer, Family, LedgerError,
+};
+use std::fs;
+use std::path::PathBuf;
+
+/// A process-unique scratch directory (no timestamps or RNG — results
+/// paths stay deterministic).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nsf-explore-test-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A 9-point spec small enough that the whole file runs in seconds:
+/// six NSF points and three segmented ones over one benchmark.
+fn tiny_spec() -> ExploreSpec {
+    ExploreSpec {
+        families: vec![Family::Nsf, Family::Segmented],
+        total_regs: vec![48, 64, 80],
+        line_sizes: vec![1, 2],
+        contexts: vec![2],
+        caches: vec![CacheGeom::sparc2()],
+        workloads: vec!["gatesim".into()],
+        scale: 0,
+    }
+}
+
+fn explorer(dir: PathBuf) -> Explorer {
+    let mut ex = Explorer::new(tiny_spec(), dir);
+    ex.chunk = 4;
+    ex.quiet = true;
+    ex
+}
+
+fn read_artifacts(ex: &Explorer) -> (Vec<u8>, Vec<u8>) {
+    (
+        fs::read(ex.ledger_path()).expect("ledger exists"),
+        fs::read(ex.front_path()).expect("front exists"),
+    )
+}
+
+#[test]
+fn interrupted_and_resumed_run_is_byte_identical() {
+    // The reference: one uninterrupted run.
+    let straight = explorer(scratch("straight"));
+    let outcome = straight.run().expect("straight run");
+    assert!(outcome.completed);
+    assert_eq!(outcome.shard_points, 9);
+    assert_eq!(outcome.evaluated, 9);
+    assert_eq!(outcome.checkpoints, 3);
+    let (ledger, front) = read_artifacts(&straight);
+
+    // Interrupt after the first checkpoint, then resume to completion.
+    let mut stopped = explorer(scratch("resumed"));
+    stopped.stop_after = Some(1);
+    let partial = stopped.run().expect("interrupted run");
+    assert!(!partial.completed);
+    assert_eq!(partial.evaluated, 4);
+    let mut resumed = stopped.clone();
+    resumed.stop_after = None;
+    let finished = resumed.run().expect("resumed run");
+    assert!(finished.completed);
+    assert_eq!(finished.resumed, 4);
+    assert_eq!(finished.evaluated, 5);
+
+    assert_eq!(
+        read_artifacts(&resumed),
+        (ledger, front),
+        "artifacts must be byte-identical"
+    );
+}
+
+#[test]
+fn truncated_tail_is_cut_back_and_completed_identically() {
+    let reference = explorer(scratch("tail-ref"));
+    reference.run().expect("reference run");
+    let (ledger, front) = read_artifacts(&reference);
+
+    // Simulate a crash mid-append: the last record loses its final
+    // bytes (checksum and part of the payload).
+    let wounded = explorer(scratch("tail-cut"));
+    fs::create_dir_all(&wounded.out_dir).unwrap();
+    fs::write(wounded.ledger_path(), &ledger[..ledger.len() - 7]).unwrap();
+    let outcome = wounded.run().expect("recovery run");
+    assert!(outcome.completed);
+    assert_eq!(outcome.resumed, 8, "eight records survive the torn tail");
+    assert_eq!(outcome.evaluated, 1, "only the torn point re-runs");
+    assert_eq!(read_artifacts(&wounded), (ledger, front));
+}
+
+#[test]
+fn merged_shards_equal_the_single_shard_run() {
+    let single = explorer(scratch("merge-single"));
+    single.run().expect("single run");
+    let front = fs::read_to_string(single.front_path()).unwrap();
+
+    let dir = scratch("merge-shards");
+    let mut images = Vec::new();
+    for i in 0..2 {
+        let mut shard = explorer(dir.clone());
+        shard.shard_index = i;
+        shard.shard_count = 2;
+        let outcome = shard.run().expect("shard run");
+        assert!(outcome.completed);
+        images.push(fs::read(shard.ledger_path()).unwrap());
+    }
+    // Merge in both orders: the front must not care.
+    let (records, merged) = merge_ledgers(&tiny_spec(), &images).expect("merge");
+    assert_eq!(records.len(), 9);
+    assert_eq!(merged, front);
+    images.reverse();
+    let (_, merged_rev) = merge_ledgers(&tiny_spec(), &images).expect("reverse merge");
+    assert_eq!(merged_rev, front);
+}
+
+#[test]
+fn foreign_ledgers_are_refused() {
+    let ex = explorer(scratch("foreign"));
+    ex.run().expect("seed run");
+
+    // Same directory, different spec: the fingerprint must not match.
+    let mut other = ex.clone();
+    other.spec.total_regs = vec![48, 64];
+    match other.run() {
+        Err(ExploreError::Ledger(LedgerError::Mismatch { field, .. })) => {
+            assert_eq!(field, "fingerprint")
+        }
+        other => panic!("expected a fingerprint mismatch, got {other:?}"),
+    }
+
+    // Same spec, different shard coordinates: also refused.
+    let mut wrong_shard = ex.clone();
+    wrong_shard.shard_count = 3;
+    wrong_shard.shard_index = 0;
+    // Different shard count names a different ledger file, so point it
+    // at the existing one by renaming.
+    fs::copy(ex.ledger_path(), wrong_shard.ledger_path()).unwrap();
+    match wrong_shard.run() {
+        Err(ExploreError::Ledger(LedgerError::Mismatch { field, .. })) => {
+            assert_eq!(field, "shard count")
+        }
+        other => panic!("expected a shard mismatch, got {other:?}"),
+    }
+
+    // An incomplete shard set refuses to merge.
+    let image = fs::read(ex.ledger_path()).unwrap();
+    match merge_ledgers(&tiny_spec(), &[image.clone(), image]) {
+        Err(ExploreError::Ledger(LedgerError::Mismatch { .. })) => {}
+        other => panic!("expected a merge mismatch, got {other:?}"),
+    }
+}

@@ -1,6 +1,11 @@
 //! Engine spec strings: a compact, human-typeable naming of the
-//! register file organizations, used by `trace_tool` flags and stored
-//! in trace headers so a trace knows what recorded it.
+//! register file organizations. This is the **one** grammar shared by
+//! every tool that names an engine on a command line or in a file
+//! header: `trace_tool` flags and `.nsftrace` headers (`nsf-trace`),
+//! the differential checker's lane lists (`nsf-check`), and the
+//! design-space explorer's enumerated points (`nsf-explore`). It lives
+//! in `nsf-sim` because a spec parses into a buildable
+//! [`RegFileSpec`], which is defined here.
 //!
 //! Grammar:
 //!
@@ -15,8 +20,8 @@
 //! | `conventional:<regs>` | single-context file, hardware assist |
 //! | `oracle` | the infinite differential-testing oracle |
 
+use crate::RegFileSpec;
 use nsf_core::{NsfConfig, SpillEngine};
-use nsf_sim::RegFileSpec;
 use std::fmt;
 
 /// Failure to parse an engine spec string.

@@ -35,7 +35,10 @@ pub mod fcache;
 pub mod format;
 pub mod recorder;
 pub mod replay;
-pub mod spec;
+/// The engine-spec grammar, re-exported from its shared home in
+/// `nsf-sim` (`nsf_sim::spec`) — trace headers store these strings, so
+/// the historical `nsf_trace::spec` path keeps working.
+pub use nsf_sim::spec;
 
 pub use event::{RegEvent, TimedEvent};
 pub use fcache::{capture_frontend, replay_frontend, FrontendBuffer};

@@ -1,0 +1,151 @@
+//! VLSI cost vectors: one call from a register-file organization's
+//! geometry to the pair of implementation-cost axes the paper reports —
+//! silicon area (Figures 7–8) and access time (Figure 6).
+//!
+//! The area and timing models evaluate a *fixed* set of paper
+//! geometries in the figure binaries; the design-space explorer
+//! (`nsf-explore`) instead prices **arbitrary** swept geometries, built
+//! through [`Geometry::associative`] / [`Geometry::indexed`]. This
+//! module packages both models behind one [`CostModel::vector`] entry
+//! point so every consumer prices a design the same way, with the same
+//! calibrated constants the figure tests pin.
+
+use crate::area::AreaModel;
+use crate::geometry::{Geometry, Ports};
+use crate::tech::Tech;
+use crate::timing::TimingModel;
+
+/// How a register file's decoder addresses its array — the axis that
+/// separates the two cost formulas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrayKind {
+    /// CAM-decoded, `<CID : offset>`-tagged (the NSF).
+    Associative,
+    /// Conventionally decoded by row index (segmented, windowed,
+    /// single-context files).
+    Indexed,
+}
+
+/// The two implementation-cost axes of one design point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostVector {
+    /// Total silicon area, µm² (decode + logic + data array).
+    pub area_um2: f64,
+    /// Total access time, ns (decode + word select + data read).
+    pub access_ns: f64,
+}
+
+/// Area and timing models bundled for one technology.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CostModel {
+    /// The λ-rule area model.
+    pub area: AreaModel,
+    /// The RC timing model.
+    pub timing: TimingModel,
+}
+
+impl CostModel {
+    /// A cost model in `tech` (both sub-models agree on the process).
+    pub fn new(tech: Tech) -> Self {
+        CostModel {
+            area: AreaModel::new(tech),
+            timing: TimingModel::new(tech),
+        }
+    }
+
+    /// The paper's reporting process, 1.2 µm CMOS.
+    pub fn paper() -> Self {
+        CostModel::new(Tech::cmos_1p2um())
+    }
+
+    /// Prices one geometry under one decoder kind.
+    pub fn vector(&self, kind: ArrayKind, geom: Geometry, ports: Ports) -> CostVector {
+        match kind {
+            ArrayKind::Associative => CostVector {
+                area_um2: self.area.nsf(geom, ports).total_um2(),
+                access_ns: self.timing.nsf(geom).total_ns(),
+            },
+            ArrayKind::Indexed => CostVector {
+                area_um2: self.area.segmented(geom, ports).total_um2(),
+                access_ns: self.timing.segmented(geom).total_ns(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vectors_match_the_underlying_models_on_paper_points() {
+        let m = CostModel::paper();
+        for geom in [Geometry::g32x128(), Geometry::g64x64()] {
+            let nsf = m.vector(ArrayKind::Associative, geom, Ports::three());
+            assert_eq!(nsf.area_um2, m.area.nsf(geom, Ports::three()).total_um2());
+            assert_eq!(nsf.access_ns, m.timing.nsf(geom).total_ns());
+            let seg = m.vector(ArrayKind::Indexed, geom, Ports::three());
+            assert_eq!(
+                seg.area_um2,
+                m.area.segmented(geom, Ports::three()).total_um2()
+            );
+            assert_eq!(seg.access_ns, m.timing.segmented(geom).total_ns());
+            // Same array, associative decode always costs more on both axes.
+            assert!(nsf.area_um2 > seg.area_um2);
+            assert!(nsf.access_ns > seg.access_ns);
+        }
+    }
+
+    #[test]
+    fn generalized_geometries_reproduce_the_paper_fixed_points() {
+        // The arbitrary-geometry constructors must land exactly on the
+        // hand-written paper points, so swept costs share the figures'
+        // calibration.
+        assert_eq!(Geometry::associative(128, 1, 32, 6), Geometry::g32x128());
+        assert_eq!(Geometry::associative(128, 2, 32, 6), Geometry::g64x64());
+        assert_eq!(Geometry::associative(32, 1, 32, 5), Geometry::prototype());
+    }
+
+    #[test]
+    fn indexed_geometry_prices_like_a_segmented_file() {
+        let m = CostModel::paper();
+        let g = Geometry::indexed(128);
+        assert_eq!(g.rows, 128);
+        assert_eq!(g.addr_bits, 7);
+        let v = m.vector(ArrayKind::Indexed, g, Ports::three());
+        let paper = m.vector(ArrayKind::Indexed, Geometry::g32x128(), Ports::three());
+        assert_eq!(v.area_um2, paper.area_um2);
+        assert_eq!(v.access_ns, paper.access_ns);
+    }
+
+    #[test]
+    fn cost_grows_with_file_size_and_line_width_amortizes_tags() {
+        let m = CostModel::paper();
+        let p = Ports::three();
+        let small = m.vector(
+            ArrayKind::Associative,
+            Geometry::associative(64, 1, 32, 6),
+            p,
+        );
+        let large = m.vector(
+            ArrayKind::Associative,
+            Geometry::associative(256, 1, 32, 6),
+            p,
+        );
+        assert!(large.area_um2 > small.area_um2);
+        assert!(large.access_ns > small.access_ns);
+        // Wider lines halve the CAM rows: decoder area shrinks.
+        let wide = m.vector(
+            ArrayKind::Associative,
+            Geometry::associative(256, 4, 32, 6),
+            p,
+        );
+        assert!(wide.area_um2 < large.area_um2);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn indivisible_line_width_is_rejected() {
+        let _ = Geometry::associative(80, 3, 32, 6);
+    }
+}

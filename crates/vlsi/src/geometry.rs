@@ -93,6 +93,46 @@ impl Geometry {
         }
     }
 
+    /// Geometry of an associatively-decoded (NSF-style) file of
+    /// `total_regs` 32-bit registers in `regs_per_line`-register lines,
+    /// addressed by `<CID : offset>` tags over `ctx_regs`-register
+    /// contexts with `cid_bits` of Context ID. Generalizes the paper's
+    /// fixed points: `associative(128, 1, 32, 6)` is [`Geometry::g32x128`]
+    /// and `associative(128, 2, 32, 6)` is [`Geometry::g64x64`].
+    ///
+    /// `regs_per_line` must divide both `total_regs` and `ctx_regs`
+    /// (lines never straddle contexts).
+    pub fn associative(total_regs: u32, regs_per_line: u32, ctx_regs: u32, cid_bits: u32) -> Self {
+        assert!(total_regs > 0 && regs_per_line > 0, "empty geometry");
+        assert_eq!(
+            total_regs % regs_per_line,
+            0,
+            "line width must divide the file"
+        );
+        assert_eq!(
+            ctx_regs % regs_per_line,
+            0,
+            "line width must divide a context"
+        );
+        let rows = total_regs / regs_per_line;
+        Geometry {
+            rows,
+            bits_per_row: 32 * regs_per_line,
+            regs_per_row: regs_per_line,
+            tag_bits: cid_bits + ceil_log2(ctx_regs / regs_per_line),
+            addr_bits: ceil_log2(rows),
+        }
+    }
+
+    /// Geometry of a conventionally-decoded (segmented / windowed /
+    /// single-context) file of `total_regs` 32-bit registers, one per
+    /// row. The NSF tag width is still populated (a hypothetical
+    /// associative decode of the same array) so one geometry can be
+    /// priced under either decoder.
+    pub fn indexed(total_regs: u32) -> Self {
+        Self::associative(total_regs, 1, total_regs.min(32), 6)
+    }
+
     /// Total data bits in the array.
     pub fn data_bits(&self) -> u32 {
         self.rows * self.bits_per_row
@@ -102,6 +142,11 @@ impl Geometry {
     pub fn total_regs(&self) -> u32 {
         self.rows * self.regs_per_row
     }
+}
+
+/// Bits needed to index `n` items (`⌈log₂ n⌉`, and 0 for `n <= 1`).
+fn ceil_log2(n: u32) -> u32 {
+    32 - n.saturating_sub(1).leading_zeros().min(32)
 }
 
 #[cfg(test)]

@@ -24,11 +24,13 @@
 //! pin those envelopes so regressions are caught.
 
 pub mod area;
+pub mod cost;
 pub mod geometry;
 pub mod tech;
 pub mod timing;
 
 pub use area::{AreaBreakdown, AreaModel};
+pub use cost::{ArrayKind, CostModel, CostVector};
 pub use geometry::{Geometry, Ports};
 pub use tech::Tech;
 pub use timing::{AccessTime, TimingModel};
