@@ -1,0 +1,41 @@
+//! Criterion benchmarks of the multi-issue frontend: what the
+//! scoreboard, port arbitration and CAM-penalty accounting cost per
+//! simulated instruction, against the single-issue baseline on the same
+//! workload and engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nsf_bench::{nsf_config, segmented_config};
+use nsf_sim::SimConfig;
+use nsf_workloads::{gatesim, run};
+
+/// A multi-issue variant of a baseline configuration, ported like the
+/// pipeline figure (3R/2W).
+fn wide(mut cfg: SimConfig, width: u32) -> SimConfig {
+    cfg.issue_width = width;
+    cfg.read_ports = 3;
+    cfg.write_ports = 2;
+    cfg
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(20);
+    let gs = gatesim::build(0);
+    for (tag, cfg) in [
+        ("nsf", nsf_config(128)),
+        ("segmented_hw", segmented_config(4, 32)),
+    ] {
+        // width 1 takes the pipeline-free path: the baseline the
+        // scoreboard's overhead is measured against.
+        for width in [1u32, 2, 4] {
+            g.bench_function(format!("gatesim_{tag}_w{width}"), |b| {
+                let cfg = wide(cfg, width);
+                b.iter(|| run(&gs, cfg).expect("validates"));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

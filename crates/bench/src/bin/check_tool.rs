@@ -55,14 +55,17 @@ fn spec_for(cmd: &str) -> Option<CliSpec> {
         "fuzz" => Some(CliSpec {
             value_flags: &["family", "seed", "iters", "ops", "repro-dir"],
             switches: &["quiet", "lane-step"],
+            repeatable: &[],
         }),
         "shrink" => Some(CliSpec {
             value_flags: &["family", "seed", "ops", "out"],
             switches: &[],
+            repeatable: &[],
         }),
         "replay-repro" => Some(CliSpec {
             value_flags: &[],
             switches: &[],
+            repeatable: &[],
         }),
         _ => None,
     }

@@ -17,6 +17,10 @@ fn row(name: &str, t: AccessTime) {
 }
 
 fn main() {
+    // The model takes no scale, but the flags still go through the
+    // strict CLI layer: a malformed or duplicated flag exits 64 here
+    // like in every other binary.
+    let _ = nsf_bench::scale_from_args();
     let model = TimingModel::new(Tech::cmos_1p2um());
     println!("Figure 6: Access time of register files (ns, 1.2um CMOS)");
     println!(

@@ -6,6 +6,8 @@
 //! paper's percentage annotations (100% / 89% / 154% / 120%).
 
 fn main() {
+    // No scale needed; parsing still validates the flag set (exit 64).
+    let _ = nsf_bench::scale_from_args();
     nsf_bench::print_area_figure(
         "Figure 7",
         nsf_vlsi::Ports::three(),

@@ -5,6 +5,8 @@
 //! quadratically with ports while the decoder grows only linearly.
 
 fn main() {
+    // No scale needed; parsing still validates the flag set (exit 64).
+    let _ = nsf_bench::scale_from_args();
     nsf_bench::print_area_figure(
         "Figure 8",
         nsf_vlsi::Ports::six(),

@@ -1,0 +1,8 @@
+//! Pipeline figure — CPI vs frontend issue width per register file
+//! organization, with port-conflict stalls made visible.
+
+use nsf_bench::figures::fig_pipeline;
+
+fn main() {
+    nsf_bench::figure_main(fig_pipeline::grid, fig_pipeline::render);
+}

@@ -28,8 +28,8 @@
 //! paths does not apply here.
 
 use nsf_bench::figures::{
-    ablations, depth_sweep, export_csv, fig09, fig10, fig11, fig12, fig13, fig14, related_work,
-    summary, table1,
+    ablations, depth_sweep, export_csv, fig09, fig10, fig11, fig12, fig13, fig14, fig_pipeline,
+    related_work, summary, table1,
 };
 use nsf_bench::{CliArgs, CliError, CliSpec, FrontendCacheStats, HarnessArgs, Sweep};
 use nsf_sim::SimConfig;
@@ -53,6 +53,7 @@ const GRIDS: &[(&str, GridFn)] = &[
     ("fig12_reload_vs_size", fig12::grid),
     ("fig13_line_size", fig13::grid),
     ("fig14_overhead", fig14::grid),
+    ("fig_pipeline", fig_pipeline::grid),
     ("related_work", related_work::grid),
     ("summary", summary::grid),
     ("table1", table1::grid),
@@ -362,6 +363,7 @@ fn parse_args() -> Result<HarnessArgs, CliError> {
     const SPEC: CliSpec = CliSpec {
         value_flags: &["scale", "threads", "lanes", "out"],
         switches: &["quiet", "frontend-cache", "no-frontend-cache"],
+        repeatable: &[],
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = CliArgs::parse(&raw, &SPEC)?;

@@ -52,16 +52,20 @@ fn fail(msg: impl std::fmt::Display) -> ExitCode {
 
 /// The flags each subcommand accepts (strict: anything else errors).
 fn spec_for(cmd: &str) -> Option<CliSpec> {
-    let value_flags: &'static [&'static str] = match cmd {
-        "record" => &["workload", "engine", "scale", "out"],
-        "info" => &[],
-        "replay" => &["engine", "threads"],
-        "diff" => &["a", "b"],
+    // `replay` fans one trace across many engines, so only its
+    // `--engine` may repeat; everywhere else a duplicate flag is a
+    // usage error (exit 64), like every other binary's CLI.
+    let (value_flags, repeatable): (&'static [&'static str], &'static [&'static str]) = match cmd {
+        "record" => (&["workload", "engine", "scale", "out"], &[]),
+        "info" => (&[], &[]),
+        "replay" => (&["engine", "threads"], &["engine"]),
+        "diff" => (&["a", "b"], &[]),
         _ => return None,
     };
     Some(CliSpec {
         value_flags,
         switches: &[],
+        repeatable,
     })
 }
 

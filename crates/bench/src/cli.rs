@@ -18,10 +18,18 @@ use std::fmt;
 /// switches.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CliSpec {
-    /// Flags written `--name VALUE` (repeatable).
+    /// Flags written `--name VALUE`. Giving one twice is
+    /// [`CliError::Repeated`] unless it is also listed in
+    /// [`CliSpec::repeatable`] — `--scale 0 --scale 1` has no sane
+    /// precedence rule, exactly like a contradictory switch pair.
     pub value_flags: &'static [&'static str],
-    /// Flags written `--name` with no value.
+    /// Flags written `--name` with no value. Repeating a switch is
+    /// idempotent and stays allowed.
     pub switches: &'static [&'static str],
+    /// The subset of [`CliSpec::value_flags`] where repetition is
+    /// meaningful (`--engine A --engine B` replays through both);
+    /// `flag_all` sees every occurrence in order.
+    pub repeatable: &'static [&'static str],
 }
 
 /// A rejected command line, with the offending token.
@@ -46,6 +54,9 @@ pub enum CliError {
         /// The contradicting switch.
         b: String,
     },
+    /// A single-occurrence value flag was given more than once
+    /// (`--scale 0 --scale 1`).
+    Repeated(String),
 }
 
 impl fmt::Display for CliError {
@@ -57,6 +68,9 @@ impl fmt::Display for CliError {
             CliError::Conflict { a, b } => {
                 write!(f, "--{a} and --{b} contradict each other")
             }
+            CliError::Repeated(flag) => {
+                write!(f, "--{flag} given more than once")
+            }
         }
     }
 }
@@ -64,7 +78,8 @@ impl fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 /// Parsed arguments: positional operands plus every `--flag value`
-/// occurrence in order (flags may repeat; `flag_all` sees them all).
+/// occurrence in order (declared-repeatable flags may repeat;
+/// `flag_all` sees them all).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CliArgs {
     positional: Vec<String>,
@@ -90,6 +105,11 @@ impl CliArgs {
                 match it.peek() {
                     Some(v) if !v.starts_with("--") => {
                         let v = it.next().expect("just peeked");
+                        if !spec.repeatable.contains(&name)
+                            && out.flags.iter().any(|(n, _)| n == name)
+                        {
+                            return Err(CliError::Repeated(name.to_string()));
+                        }
                         out.flags.push((name.to_string(), v.clone()));
                     }
                     _ => return Err(CliError::MissingValue(name.to_string())),
@@ -149,6 +169,7 @@ mod tests {
     const SPEC: CliSpec = CliSpec {
         value_flags: &["engine", "scale", "a", "b"],
         switches: &["quiet"],
+        repeatable: &["engine"],
     };
 
     fn parse(tokens: &[&str]) -> Result<CliArgs, CliError> {
@@ -167,10 +188,28 @@ mod tests {
     }
 
     #[test]
-    fn repeated_flags_accumulate_in_order() {
+    fn repeatable_flags_accumulate_in_order() {
         let a = parse(&["--engine", "nsf:80", "--engine", "oracle"]).unwrap();
         assert_eq!(a.flag("engine"), Some("nsf:80"));
         assert_eq!(a.flag_all("engine"), ["nsf:80", "oracle"]);
+    }
+
+    #[test]
+    fn duplicate_single_occurrence_flag_errors() {
+        // `--scale 0 --scale 1` has no sane precedence rule: reject it,
+        // exactly like a contradictory switch pair.
+        assert_eq!(
+            parse(&["--scale", "0", "--scale", "1"]),
+            Err(CliError::Repeated("scale".into()))
+        );
+        // Even repeating the same value is rejected — uniformity beats
+        // cleverness in an error path.
+        assert_eq!(
+            parse(&["--scale", "1", "--quiet", "--scale", "1"]),
+            Err(CliError::Repeated("scale".into()))
+        );
+        // Repeated switches stay idempotent.
+        assert!(parse(&["--quiet", "--quiet"]).unwrap().switch("quiet"));
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod fig_pipeline;
 pub mod related_work;
 pub mod summary;
 pub mod table1;

@@ -15,6 +15,7 @@
 //! | `fig12_reload_vs_size` | Fig. 12 — reload traffic vs file size |
 //! | `fig13_line_size` | Fig. 13 — reload traffic vs line size |
 //! | `fig14_overhead` | Fig. 14 — spill/reload overhead vs engine |
+//! | `fig_pipeline` | extension: CPI vs issue width with port-pressure accounting |
 //! | `ablations` | extra design-space studies (replacement, write-miss, quantum, rfree hints) |
 //! | `related_work` | NSF vs SPARC windows vs dribble-back (paper §5) |
 //! | `summary` | the paper's §9 conclusion bullets, measured |

@@ -187,7 +187,10 @@ impl Sweep {
         // The open (growable) group per workload, by group index.
         let mut open: Vec<Option<usize>> = vec![None; self.workloads.len()];
         for (i, p) in self.points.iter().enumerate() {
-            if !batchable[p.workload] {
+            if !batchable[p.workload] || p.cfg.issue_width > 1 {
+                // Multi-issue frontends group instructions by dynamic
+                // port pressure; their streams are not lane-invariant,
+                // so such points always run serial.
                 groups.push(vec![i]);
                 continue;
             }
@@ -221,7 +224,9 @@ impl Sweep {
         let mut groups: Vec<Vec<usize>> = Vec::new();
         let mut open: Vec<Option<usize>> = vec![None; self.workloads.len()];
         for (i, p) in self.points.iter().enumerate() {
-            if !batchable[p.workload] || p.cfg.trace_depth != 0 {
+            if !batchable[p.workload] || p.cfg.trace_depth != 0 || p.cfg.issue_width > 1 {
+                // Traced runs cannot be captured, and multi-issue
+                // streams are not lane-invariant: both stay serial.
                 groups.push(vec![i]);
                 continue;
             }
@@ -429,6 +434,7 @@ pub const DEFAULT_LANES: usize = 8;
 const HARNESS_SPEC: CliSpec = CliSpec {
     value_flags: &["scale", "threads", "lanes", "out"],
     switches: &["quiet", "frontend-cache", "no-frontend-cache"],
+    repeatable: &[],
 };
 
 /// Usage line printed (with exit 64) when a figure binary rejects its
@@ -781,6 +787,31 @@ mod tests {
             groups,
             vec![vec![0, 1, 2, 3, 4], vec![5, 6], vec![7], vec![8]]
         );
+    }
+
+    #[test]
+    fn multi_issue_points_stay_serial_in_both_groupings() {
+        let mut s = Sweep::new();
+        let a = s.workload(gatesim::build(0));
+        let mut wide = nsf_config(SEQ_FILE_REGS);
+        wide.issue_width = 2;
+        wide.read_ports = 3;
+        wide.write_ports = 2;
+        // Identical multi-issue frontends would pass frontend_eq, but a
+        // multi-issue stream is not lane-invariant: every point must be
+        // a singleton on both routing paths.
+        for _ in 0..4 {
+            s.point(a, wide);
+        }
+        assert_eq!(
+            s.frontend_groups(),
+            vec![vec![0], vec![1], vec![2], vec![3]]
+        );
+        assert_eq!(s.lane_groups(8), vec![vec![0], vec![1], vec![2], vec![3]]);
+        // And the full cached path still reproduces the serial sweep.
+        let serial = s.run(1);
+        assert_eq!(serial, s.run_lanes(1, 8));
+        assert_eq!(serial, s.run_cached(2, 4));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use proptest::collection;
 use proptest::prelude::*;
 
 fn arb_stats() -> impl Strategy<Value = RegFileStats> {
-    collection::vec(0u64..1_000_000, 14..15).prop_map(|v| RegFileStats {
+    collection::vec(0u64..1_000_000, 15..16).prop_map(|v| RegFileStats {
         reads: v[0],
         writes: v[1],
         read_hits: v[2],
@@ -25,6 +25,7 @@ fn arb_stats() -> impl Strategy<Value = RegFileStats> {
         context_switches: v[11],
         switch_hits: v[12],
         spill_reload_cycles: v[13],
+        port_conflict_cycles: v[14],
     })
 }
 

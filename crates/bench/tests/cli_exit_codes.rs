@@ -73,6 +73,130 @@ fn contradictory_cache_switches_exit_64() {
     assert_usage_error(env!("CARGO_BIN_EXE_perf_report"), args);
 }
 
+/// Every binary in this crate, with the arguments that hand a duplicate
+/// single-occurrence flag to its parser. The tool binaries need a valid
+/// subcommand first; everything else shares the harness flag set.
+const DUPLICATE_SWEEP: &[(&str, &[&str])] = &[
+    (
+        env!("CARGO_BIN_EXE_table1"),
+        &["--scale", "0", "--scale", "1"],
+    ),
+    (
+        env!("CARGO_BIN_EXE_fig06_access_time"),
+        &["--scale", "0", "--scale", "1"],
+    ),
+    (
+        env!("CARGO_BIN_EXE_fig07_area"),
+        &["--scale", "0", "--scale", "1"],
+    ),
+    (
+        env!("CARGO_BIN_EXE_fig08_area_6port"),
+        &["--scale", "0", "--scale", "1"],
+    ),
+    (
+        env!("CARGO_BIN_EXE_fig09_utilization"),
+        &["--lanes", "2", "--lanes", "4"],
+    ),
+    (
+        env!("CARGO_BIN_EXE_fig10_reload_traffic"),
+        &["--threads", "1", "--threads", "2"],
+    ),
+    (
+        env!("CARGO_BIN_EXE_fig11_resident_contexts"),
+        &["--scale", "0", "--scale", "0"],
+    ),
+    (
+        env!("CARGO_BIN_EXE_fig12_reload_vs_size"),
+        &["--lanes", "1", "--lanes", "1"],
+    ),
+    (
+        env!("CARGO_BIN_EXE_fig13_line_size"),
+        &["--scale", "0", "--scale", "1"],
+    ),
+    (
+        env!("CARGO_BIN_EXE_fig14_overhead"),
+        &["--scale", "0", "--scale", "1"],
+    ),
+    (
+        env!("CARGO_BIN_EXE_fig_pipeline"),
+        &["--scale", "0", "--scale", "1"],
+    ),
+    (
+        env!("CARGO_BIN_EXE_ablations"),
+        &["--scale", "0", "--scale", "1"],
+    ),
+    (
+        env!("CARGO_BIN_EXE_related_work"),
+        &["--scale", "0", "--scale", "1"],
+    ),
+    (
+        env!("CARGO_BIN_EXE_summary"),
+        &["--scale", "0", "--scale", "1"],
+    ),
+    (
+        env!("CARGO_BIN_EXE_depth_sweep"),
+        &["--scale", "0", "--scale", "1"],
+    ),
+    (
+        env!("CARGO_BIN_EXE_export_csv"),
+        &["--scale", "0", "--scale", "1"],
+    ),
+    (
+        env!("CARGO_BIN_EXE_perf_report"),
+        &["--scale", "0", "--scale", "1"],
+    ),
+    (
+        env!("CARGO_BIN_EXE_trace_tool"),
+        &[
+            "record",
+            "--workload",
+            "GateSim",
+            "--scale",
+            "0",
+            "--scale",
+            "1",
+        ],
+    ),
+    (
+        env!("CARGO_BIN_EXE_check_tool"),
+        &["fuzz", "--seed", "1", "--seed", "2"],
+    ),
+];
+
+#[test]
+fn duplicate_flags_exit_64_in_every_binary() {
+    // `--scale 0 --scale 1` (and every other repeated single-occurrence
+    // flag) has no sane precedence rule — like the contradictory cache
+    // switches, every binary rejects it with usage.
+    for &(bin, args) in DUPLICATE_SWEEP {
+        assert_usage_error(bin, args);
+    }
+}
+
+#[test]
+fn repeatable_engine_flag_still_accumulates() {
+    // `trace_tool replay` fans one trace across engines: its --engine
+    // stays repeatable. The file is bogus, so success here means
+    // *parsing* survived — the failure must be the missing file (exit
+    // 2), never a usage error.
+    let (code, stderr) = run(
+        env!("CARGO_BIN_EXE_trace_tool"),
+        &[
+            "replay",
+            "definitely-missing.nsftrace",
+            "--engine",
+            "nsf:80",
+            "--engine",
+            "oracle",
+        ],
+    );
+    assert_eq!(code, Some(2), "expected runtime failure, got: {stderr}");
+    assert!(
+        !stderr.contains("usage:"),
+        "repeated --engine tripped the parser: {stderr}"
+    );
+}
+
 #[test]
 fn well_formed_flags_still_run() {
     let bin = env!("CARGO_BIN_EXE_table1");

@@ -151,6 +151,44 @@ fn fig14_overhead_orders_nsf_hw_sw() {
 }
 
 #[test]
+fn fig_pipeline_cpi_non_increasing_with_port_pressure() {
+    let (sweep, reports) = run0(figures::fig_pipeline::grid);
+    let seq_len = sweep.workloads.iter().filter(|w| !w.parallel).count();
+    let par_len = sweep.workloads.len() - seq_len;
+    let widths = figures::fig_pipeline::WIDTHS;
+    let mut c = Cursor::new(&reports);
+    for (suite, len) in [("serial", seq_len), ("parallel", par_len)] {
+        for engine in ["NSF", "segmented-HW", "segmented-SW"] {
+            let mut last_cpi = f64::INFINITY;
+            let mut conflicts = 0u64;
+            for width in widths {
+                let agg = aggregate(c.take(len));
+                let cpi = agg.cpi();
+                assert!(
+                    cpi <= last_cpi + 1e-12,
+                    "{suite}/{engine}: CPI rose from {last_cpi} to {cpi} at width {width}"
+                );
+                last_cpi = cpi;
+                if width == 1 {
+                    assert_eq!(
+                        agg.regfile.port_conflict_cycles, 0,
+                        "{suite}/{engine}: single issue never arbitrates ports"
+                    );
+                } else {
+                    conflicts += agg.regfile.port_conflict_cycles;
+                }
+            }
+            assert!(
+                conflicts > 0,
+                "{suite}/{engine}: multi-issue widths never hit a port limit"
+            );
+        }
+    }
+    c.finish();
+    assert!(!figures::fig_pipeline::render(0, &sweep, &reports, true).is_empty());
+}
+
+#[test]
 fn ablations_render_covers_all_five_studies() {
     let (sweep, reports) = run0(figures::ablations::grid);
     let out = figures::ablations::render(0, &sweep, &reports, false);
@@ -230,6 +268,11 @@ fn lane_counts_render_identically_for_every_figure() {
         ("fig13", figures::fig13::grid, figures::fig13::render),
         ("fig14", figures::fig14::grid, figures::fig14::render),
         (
+            "fig_pipeline",
+            figures::fig_pipeline::grid,
+            figures::fig_pipeline::render,
+        ),
+        (
             "ablations",
             figures::ablations::grid,
             figures::ablations::render,
@@ -272,6 +315,11 @@ fn frontend_cache_renders_identically_for_every_figure() {
         ("fig12", figures::fig12::grid, figures::fig12::render),
         ("fig13", figures::fig13::grid, figures::fig13::render),
         ("fig14", figures::fig14::grid, figures::fig14::render),
+        (
+            "fig_pipeline",
+            figures::fig_pipeline::grid,
+            figures::fig_pipeline::render,
+        ),
         (
             "ablations",
             figures::ablations::grid,

@@ -1,0 +1,106 @@
+//! Boundary audit of `Sweep`'s three execution routes. A frontend group
+//! of width `n` must land on exactly the documented path:
+//!
+//! - `n == 1` or `n == 2` — the serial point loop (pairs cannot recoup
+//!   a lane set's batching overhead);
+//! - `3 <= n < MIN_CAPTURE_GROUP` — live lane-batched passes (when the
+//!   caller grants at least two lanes);
+//! - `n >= MIN_CAPTURE_GROUP` (16) — capture the first point's frontend
+//!   event stream, replay the remaining `n - 1`.
+//!
+//! Every width is also held to the equivalence wall: reports must be
+//! bit-identical to the serial `Sweep::run(1)` reference, in submission
+//! order.
+
+use nsf_bench::{nsf_config, Sweep, SEQ_FILE_REGS};
+use nsf_workloads::gatesim;
+
+/// One workload, `n` frontend-equal points over distinct file sizes
+/// (distinct engine configs keep the points from being trivially equal).
+fn sweep_of_width(n: usize) -> Sweep {
+    let mut s = Sweep::new();
+    let w = s.workload(gatesim::build(0));
+    for i in 0..n as u32 {
+        s.point(w, nsf_config(SEQ_FILE_REGS / 2 + 4 * i));
+    }
+    s
+}
+
+#[test]
+fn group_widths_land_on_the_documented_path() {
+    assert_eq!(Sweep::MIN_CAPTURE_GROUP, 16, "boundary audit assumes 16");
+    for n in [1usize, 2, 3, 15, 16, 17] {
+        let s = sweep_of_width(n);
+        // All points share one frontend: exactly one frontend group,
+        // spanning the whole sweep in submission order.
+        let groups = s.frontend_groups();
+        assert_eq!(groups.len(), 1, "width {n}: expected one frontend group");
+        assert_eq!(
+            groups[0],
+            (0..n).collect::<Vec<_>>(),
+            "width {n}: group must span the sweep in order"
+        );
+        let serial = s.run(1);
+        let (reports, stats) = s.run_cached_stats(1, 4);
+        assert_eq!(
+            serial, reports,
+            "width {n}: cached route must be bit-identical to serial"
+        );
+        assert_eq!(stats.points, n as u64);
+        // The capture threshold is inclusive: 15 stays live (nothing
+        // replays), 16 captures one point and replays the other 15.
+        let want_replays = if n >= Sweep::MIN_CAPTURE_GROUP {
+            n as u64 - 1
+        } else {
+            0
+        };
+        assert_eq!(
+            stats.replayed_points, want_replays,
+            "width {n}: wrong route (replay count)"
+        );
+        // The lane route agrees too, at every boundary lane count.
+        for lanes in [1usize, 2, n.max(1), n + 1] {
+            assert_eq!(
+                serial,
+                s.run_lanes(1, lanes),
+                "width {n}: lane route diverged at lanes {lanes}"
+            );
+        }
+    }
+}
+
+/// The live lane-batch fallback needs `lanes >= 2` to form a lane set;
+/// with a single lane every width must fall back to the serial loop and
+/// still replay nothing below the capture threshold.
+#[test]
+fn single_lane_budget_degrades_to_serial_below_capture() {
+    for n in [3usize, 15] {
+        let s = sweep_of_width(n);
+        let serial = s.run(1);
+        let (reports, stats) = s.run_cached_stats(1, 1);
+        assert_eq!(serial, reports, "width {n} at lanes 1");
+        assert_eq!(stats.replayed_points, 0, "width {n}: nothing captures");
+    }
+}
+
+/// Lane chunking at the group width itself: `lane_groups(w)` must cut
+/// exact chunks with no off-by-one at the chunk boundary.
+#[test]
+fn lane_groups_chunk_exactly_at_the_boundary() {
+    let s = sweep_of_width(17);
+    assert_eq!(
+        s.lane_groups(16),
+        vec![(0..16).collect::<Vec<_>>(), vec![16]],
+        "16-wide chunks + 1 remainder"
+    );
+    assert_eq!(s.lane_groups(17), vec![(0..17).collect::<Vec<_>>()]);
+    let chunks = s.lane_groups(8);
+    assert_eq!(
+        chunks,
+        vec![
+            (0..8).collect::<Vec<_>>(),
+            (8..16).collect::<Vec<_>>(),
+            vec![16]
+        ]
+    );
+}

@@ -105,8 +105,10 @@ pub fn build_lane(spec: &str) -> EngineDispatch {
 
 /// The traffic counters two twin lanes must agree on — every
 /// [`RegFileStats`] field except `spill_reload_cycles`, which is the one
-/// axis twins legitimately differ in.
-pub fn traffic_counts(s: &RegFileStats) -> [(&'static str, u64); 13] {
+/// axis twins legitimately differ in. (`port_conflict_cycles` is charged
+/// by the pipeline frontend, never by an engine, so twins trivially
+/// agree on 0 — keeping it here pins that contract.)
+pub fn traffic_counts(s: &RegFileStats) -> [(&'static str, u64); 14] {
     [
         ("reads", s.reads),
         ("writes", s.writes),
@@ -121,6 +123,7 @@ pub fn traffic_counts(s: &RegFileStats) -> [(&'static str, u64); 13] {
         ("regs_dribbled", s.regs_dribbled),
         ("context_switches", s.context_switches),
         ("switch_hits", s.switch_hits),
+        ("port_conflict_cycles", s.port_conflict_cycles),
     ]
 }
 

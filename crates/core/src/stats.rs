@@ -41,6 +41,11 @@ pub struct RegFileStats {
     /// Total cycles spent moving registers (spill + reload), including
     /// spill-engine overhead — the numerator of Figure 14.
     pub spill_reload_cycles: u64,
+    /// Cycles a multi-issue frontend stalled because the file ran out of
+    /// read or write ports. Engines never touch this counter: the
+    /// pipeline frontend (`nsf-sim`'s scoreboard) charges it and merges
+    /// it into the run's stats, so it stays 0 under single-issue.
+    pub port_conflict_cycles: u64,
 }
 
 impl RegFileStats {
@@ -120,6 +125,7 @@ impl RegFileStats {
         self.context_switches += other.context_switches;
         self.switch_hits += other.switch_hits;
         self.spill_reload_cycles += other.spill_reload_cycles;
+        self.port_conflict_cycles += other.port_conflict_cycles;
     }
 }
 

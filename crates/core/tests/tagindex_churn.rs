@@ -1,0 +1,113 @@
+//! Exact-capacity churn property test for [`nsf_core::tagindex::TagIndex`].
+//!
+//! The CAM decoder drives its tag index at the sized capacity for the
+//! whole run: every unbind is immediately followed by a bind, so the
+//! table lives at its maximum load factor with backward-shift deletion
+//! constantly reshaping the probe clusters. This test reproduces that
+//! regime differentially against `std::collections::HashMap`: fill to
+//! exactly `cap` entries, then churn remove+reinsert pairs that keep the
+//! table at (or one below) capacity, sweeping the whole key universe
+//! after every step. The key universe is kept narrow relative to the
+//! table so probe chains collide, merge, and wrap around the end of the
+//! power-of-two array.
+
+use nsf_core::tagindex::TagIndex;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Narrow key universe: at most 48 distinct keys feeding a table of at
+/// most 64 slots guarantees long shared probe clusters and wraparound.
+const KEYS: u32 = 48;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    // The differential shape needs `contains_key` *then* a checked
+    // `insert` into both maps; the entry API would bypass the model.
+    #[allow(clippy::map_entry)]
+    fn exact_capacity_churn_matches_hashmap(
+        cap in 1usize..=24,
+        fill in proptest::collection::vec(0u32..KEYS, 48..64),
+        churn in proptest::collection::vec(
+            (0usize..KEYS as usize, 0u32..KEYS, any::<u32>()),
+            1..160,
+        ),
+    ) {
+        let mut t = TagIndex::with_capacity(cap);
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        // Insertion-ordered list of resident keys, so the churn indices
+        // pick victims deterministically.
+        let mut present: Vec<u32> = Vec::new();
+        let mut val = 0u32;
+
+        // Phase 1: fill to *exactly* `cap` entries. Random draws first
+        // (duplicates exercise the overwrite path), then a deterministic
+        // top-up in case the draws repeated too much.
+        for &k in &fill {
+            if m.len() == cap {
+                break;
+            }
+            if !m.contains_key(&k) {
+                present.push(k);
+            }
+            prop_assert_eq!(t.insert(k, val), m.insert(k, val));
+            val += 1;
+        }
+        for k in 0..KEYS {
+            if m.len() == cap {
+                break;
+            }
+            if !m.contains_key(&k) {
+                present.push(k);
+                prop_assert_eq!(t.insert(k, val), m.insert(k, val));
+                val += 1;
+            }
+        }
+        prop_assert_eq!(t.len(), cap, "fill phase must reach exact capacity");
+
+        // Phase 2: churn at capacity. Each step removes one resident key
+        // (forcing a backward shift inside a full-load cluster) and
+        // immediately reinserts, so the table never dips more than one
+        // entry below its sized maximum.
+        for (idx, key_in, val_in) in churn {
+            let victim = present[idx % present.len()];
+            prop_assert_eq!(t.remove(victim), m.remove(&victim));
+            present.retain(|&k| k != victim);
+
+            // The reinserted key may equal a still-resident one, in which
+            // case this is an overwrite and occupancy stays at cap - 1.
+            if !m.contains_key(&key_in) {
+                present.push(key_in);
+            }
+            prop_assert_eq!(t.insert(key_in, val_in), m.insert(key_in, val_in));
+            prop_assert_eq!(t.len(), m.len());
+
+            // If the reinsert overwrote, top back up with the smallest
+            // absent key so every step starts from exact capacity again.
+            for k in 0..KEYS {
+                if m.len() == cap {
+                    break;
+                }
+                if !m.contains_key(&k) {
+                    present.push(k);
+                    prop_assert_eq!(t.insert(k, val_in ^ k), m.insert(k, val_in ^ k));
+                }
+            }
+            prop_assert_eq!(t.len(), cap);
+
+            // Removing an absent key must be a no-op on both sides.
+            let absent = (victim + 1) % KEYS;
+            if !m.contains_key(&absent) {
+                prop_assert_eq!(t.remove(absent), None);
+                prop_assert_eq!(t.len(), m.len());
+            }
+
+            // Full-universe read-back after every step: any entry lost or
+            // stranded by a bad backward shift shows up immediately.
+            for q in 0..KEYS {
+                prop_assert_eq!(t.get(q), m.get(&q).copied(), "key {}", q);
+            }
+        }
+    }
+}

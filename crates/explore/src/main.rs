@@ -47,6 +47,7 @@ const SPEC: CliSpec = CliSpec {
         "merge",
     ],
     switches: &["quiet"],
+    repeatable: &[],
 };
 
 fn bad(flag: &str, value: &str) -> CliError {

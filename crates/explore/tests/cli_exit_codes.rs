@@ -1,0 +1,42 @@
+//! Exit-code contract of the explorer's CLI: duplicate
+//! single-occurrence flags are usage errors (exit 64, usage on stderr),
+//! matching the nsf-bench binaries' behaviour.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (Option<i32>, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_nsf-explore"))
+        .args(args)
+        .output()
+        .expect("spawn nsf-explore");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr).into(),
+    )
+}
+
+fn assert_usage_error(args: &[&str]) {
+    let (code, stderr) = run(args);
+    assert_eq!(
+        code,
+        Some(64),
+        "nsf-explore {args:?}: expected usage-error exit 64, stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("usage:"),
+        "nsf-explore {args:?}: no usage line on stderr: {stderr}"
+    );
+}
+
+#[test]
+fn duplicate_flags_exit_64() {
+    assert_usage_error(&["--shard", "0/2", "--shard", "1/2"]);
+    assert_usage_error(&["--scale", "0", "--scale", "1"]);
+    assert_usage_error(&["--lanes", "2", "--lanes", "4"]);
+}
+
+#[test]
+fn malformed_shard_still_exits_64() {
+    assert_usage_error(&["--shard", "2/2"]);
+    assert_usage_error(&["--shard", "x"]);
+}

@@ -170,6 +170,20 @@ pub struct SimConfig {
     /// ideal fetch; `Some(cfg)` charges the miss penalty of a fetch
     /// through this cache on top of the pipelined hit path.
     pub icache: Option<nsf_mem::CacheConfig>,
+    /// Frontend issue width. `1` (the paper's model, and the default) is
+    /// the plain single-issue machine — bit-identical to every release
+    /// before the pipeline existed. `>1` enables the scoreboarded
+    /// in-order multi-issue frontend ([`crate::pipeline`]), which
+    /// arbitrates register-file ports per cycle and charges port
+    /// conflicts to `RegFileStats::port_conflict_cycles`.
+    pub issue_width: u32,
+    /// Register-file read ports arbitrated per issue cycle (only
+    /// consulted when `issue_width > 1`). The paper's files are
+    /// 3-ported: 2 reads, 1 write.
+    pub read_ports: u32,
+    /// Register-file write ports arbitrated per issue cycle (only
+    /// consulted when `issue_width > 1`).
+    pub write_ports: u32,
 }
 
 impl Default for SimConfig {
@@ -188,6 +202,9 @@ impl Default for SimConfig {
             trace_depth: 0,
             channel_capacity: None,
             icache: None,
+            issue_width: 1,
+            read_ports: 2,
+            write_ports: 1,
         }
     }
 }
@@ -222,6 +239,9 @@ impl SimConfig {
             && self.trace_depth == other.trace_depth
             && self.channel_capacity == other.channel_capacity
             && self.icache == other.icache
+            && self.issue_width == other.issue_width
+            && self.read_ports == other.read_ports
+            && self.write_ports == other.write_ports
     }
 }
 

@@ -62,10 +62,14 @@ pub fn batchable_program(program: &Program) -> bool {
 /// `true` when this (program, configurations) pair can execute as one
 /// lane-batched pass: at least two lanes worth batching, identical
 /// frontends (everything but the register file —
-/// [`SimConfig::frontend_eq`]), tracing off, and a batchable program.
+/// [`SimConfig::frontend_eq`]), tracing off, a single-issue frontend
+/// (the multi-issue pipeline groups instructions by dynamic port
+/// pressure, which is engine-dependent — such streams are not
+/// lane-invariant and must run serial), and a batchable program.
 pub fn batchable(program: &Program, cfgs: &[SimConfig]) -> bool {
     cfgs.len() > 1
         && cfgs[0].trace_depth == 0
+        && cfgs[0].issue_width == 1
         && cfgs.iter().all(|c| cfgs[0].frontend_eq(c))
         && batchable_program(program)
 }
@@ -201,6 +205,13 @@ impl LaneSet {
         if first.trace_depth != 0 {
             return Err(SimError::BadConfig(
                 "lane batching does not support execution tracing".into(),
+            ));
+        }
+        if first.issue_width > 1 {
+            return Err(SimError::BadConfig(
+                "lane batching supports only single-issue frontends; route \
+                 multi-issue points through serial Machine runs"
+                    .into(),
             ));
         }
         if !batchable_program(&program) {
@@ -938,6 +949,20 @@ mod tests {
         assert!(matches!(err, SimError::BadConfig(_)));
         assert!(!batchable(&p, &[a, b]));
         assert!(batchable(&p, &[a, a]));
+    }
+
+    #[test]
+    fn multi_issue_configs_route_serial() {
+        let p = assemble("main: li r0, 0\n halt").unwrap();
+        let cfg = SimConfig {
+            issue_width: 2,
+            read_ports: 3,
+            write_ports: 2,
+            ..SimConfig::default()
+        };
+        assert!(!batchable(&p, &[cfg, cfg]));
+        let err = LaneSet::new(p, &[cfg, cfg]).unwrap_err();
+        assert!(matches!(err, SimError::BadConfig(_)));
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod config;
 pub mod lanes;
 pub mod machine;
 pub mod metrics;
+pub mod pipeline;
 pub mod spec;
 pub mod trace;
 
@@ -42,5 +43,6 @@ pub use config::{CycleTable, RegFileSpec, SimConfig, BACKING_STRIDE_WORDS};
 pub use lanes::{batchable, batchable_program, FrontendProbe, LaneSet, NoProbe};
 pub use machine::{Machine, SimError};
 pub use metrics::{OccupancySummary, RunReport};
+pub use pipeline::{reg_uses, Pipeline, RegUses};
 pub use spec::{default_engine_spec, parse_engine, SpecError};
 pub use trace::{TraceBuffer, TraceEntry};

@@ -4,6 +4,7 @@
 use crate::backing::{BackingMap, CtableBacking};
 use crate::config::{SimConfig, BACKING_STRIDE_WORDS};
 use crate::metrics::RunReport;
+use crate::pipeline::Pipeline;
 use crate::trace::{TraceBuffer, TraceEntry};
 use nsf_core::{
     Cid, EngineDispatch, RecordingFile, RegAddr, RegFileError, RegisterFile, SharedSink,
@@ -160,6 +161,10 @@ pub struct Machine {
     trace: TraceBuffer,
     icache: Option<Cache>,
     sink: Option<SharedSink>,
+    /// The scoreboarded multi-issue frontend; `None` at `issue_width
+    /// == 1`, where the clock path is bit-identical to the pre-pipeline
+    /// machine.
+    pipeline: Option<Pipeline>,
 }
 
 impl fmt::Debug for Machine {
@@ -192,6 +197,18 @@ impl Machine {
                  context save areas would overlap"
             )));
         }
+        if cfg.issue_width == 0 {
+            return Err(SimError::BadConfig(
+                "issue_width 0: the frontend must issue something".into(),
+            ));
+        }
+        if cfg.issue_width > 1 && (cfg.read_ports == 0 || cfg.write_ports == 0) {
+            return Err(SimError::BadConfig(format!(
+                "a multi-issue frontend needs at least one read and one \
+                 write port (got {}R/{}W)",
+                cfg.read_ports, cfg.write_ports
+            )));
+        }
         let mut m = Machine {
             program,
             mem: MemSystem::new(cfg.mem),
@@ -205,6 +222,7 @@ impl Machine {
             trace: TraceBuffer::new(cfg.trace_depth),
             icache: cfg.icache.map(Cache::new),
             sink: None,
+            pipeline: (cfg.issue_width > 1).then(|| Pipeline::new(&cfg)),
             cfg,
         };
         let entry = m.program.entry();
@@ -286,6 +304,11 @@ impl Machine {
     fn finish_report(&mut self) {
         self.report.cycles = self.clock;
         self.report.regfile = *self.regfile.stats();
+        if let Some(p) = &self.pipeline {
+            // Engines never see port arbitration; the frontend owns the
+            // counter and folds it into the run's register-file stats.
+            self.report.regfile.port_conflict_cycles = p.port_conflict_cycles;
+        }
         self.report.regfile_desc = self.regfile.describe();
         self.report.regfile_capacity = self.regfile.capacity();
         self.report.dcache = self.mem.dcache_stats();
@@ -437,7 +460,13 @@ impl Machine {
         self.report.instructions += 1;
         self.report.class_counts[RunReport::class_index(inst.class())] += 1;
         self.sched.current_mut().instructions += 1;
-        self.clock += u64::from(self.base_cycles(inst.class()));
+        let base = self.base_cycles(inst.class());
+        match &mut self.pipeline {
+            // The multi-issue frontend arbitrates slots and file ports;
+            // co-issued instructions ride the open cycle for free.
+            Some(p) => p.issue(&inst, base, &mut self.clock),
+            None => self.clock += u64::from(base),
+        }
 
         if let Some(icache) = &mut self.icache {
             // Fetch through the icache: hits overlap the pipeline, so
@@ -1204,6 +1233,137 @@ mod tests {
             matches!(err, SimError::BadConfig(ref m) if m.contains("backing stride")),
             "expected a backing-stride rejection, got: {err}"
         );
+    }
+
+    #[test]
+    fn zero_issue_width_rejected() {
+        let p = assemble("main: halt").unwrap();
+        let cfg = SimConfig {
+            issue_width: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            Machine::new(p.clone(), cfg).unwrap_err(),
+            SimError::BadConfig(_)
+        ));
+        let cfg = SimConfig {
+            issue_width: 2,
+            read_ports: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            Machine::new(p, cfg).unwrap_err(),
+            SimError::BadConfig(_)
+        ));
+    }
+
+    /// A straight-line block with exploitable ILP inside a loop.
+    const ILP_LOOP: &str = "main:
+            li r0, 0
+            li r1, 300
+            li r2, 1
+            li r3, 2
+        top:
+            add r4, r2, r3
+            add r5, r2, r2
+            add r6, r3, r3
+            add r7, r4, r5
+            addi r0, r0, 1
+            blt r0, r1, top
+            halt";
+
+    #[test]
+    fn multi_issue_only_changes_timing() {
+        let p = assemble(ILP_LOOP).unwrap();
+        let serial = Machine::new(p.clone(), SimConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        for width in [2, 4] {
+            let cfg = SimConfig {
+                issue_width: width,
+                read_ports: 3,
+                write_ports: 2,
+                ..Default::default()
+            };
+            let wide = Machine::new(p.clone(), cfg).unwrap().run().unwrap();
+            assert_eq!(wide.instructions, serial.instructions, "width {width}");
+            assert_eq!(wide.class_counts, serial.class_counts, "width {width}");
+            assert_eq!(
+                (wide.regfile.reads, wide.regfile.writes),
+                (serial.regfile.reads, serial.regfile.writes),
+                "width {width}: engine traffic is width-invariant"
+            );
+            assert!(
+                wide.cycles < serial.cycles,
+                "width {width}: ILP must shorten the run ({} vs {})",
+                wide.cycles,
+                serial.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn cpi_non_increasing_in_issue_width() {
+        let p = assemble(ILP_LOOP).unwrap();
+        let mut last = f64::INFINITY;
+        for width in [1, 2, 4, 8] {
+            let cfg = SimConfig {
+                issue_width: width,
+                read_ports: 3,
+                write_ports: 2,
+                ..Default::default()
+            };
+            let r = Machine::new(p.clone(), cfg).unwrap().run().unwrap();
+            let cpi = r.cpi();
+            assert!(cpi <= last, "width {width}: CPI rose from {last} to {cpi}");
+            last = cpi;
+        }
+    }
+
+    #[test]
+    fn port_conflicts_surface_in_the_report() {
+        let p = assemble(ILP_LOOP).unwrap();
+        let serial = Machine::new(p.clone(), SimConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            serial.regfile.port_conflict_cycles, 0,
+            "single issue never arbitrates ports"
+        );
+        let cfg = SimConfig {
+            issue_width: 2,
+            read_ports: 2,
+            write_ports: 1,
+            ..Default::default()
+        };
+        let r = Machine::new(p, cfg).unwrap().run().unwrap();
+        assert!(
+            r.regfile.port_conflict_cycles > 0,
+            "a 2-wide frontend on a 2R/1W file must hit port limits"
+        );
+    }
+
+    #[test]
+    fn wider_ports_relieve_conflicts() {
+        let p = assemble(ILP_LOOP).unwrap();
+        let narrow = SimConfig {
+            issue_width: 4,
+            read_ports: 2,
+            write_ports: 1,
+            ..Default::default()
+        };
+        let wide = SimConfig {
+            issue_width: 4,
+            read_ports: 8,
+            write_ports: 4,
+            ..Default::default()
+        };
+        let n = Machine::new(p.clone(), narrow).unwrap().run().unwrap();
+        let w = Machine::new(p, wide).unwrap().run().unwrap();
+        assert!(n.regfile.port_conflict_cycles > w.regfile.port_conflict_cycles);
+        assert!(w.cycles <= n.cycles);
     }
 
     #[test]

@@ -310,7 +310,11 @@ impl Cursor<'_> {
         loop {
             let byte = *self.bytes.get(self.pos)?;
             self.pos += 1;
-            if shift >= 64 {
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                // Tenth byte: only bit 0 still fits a u64 and it must
+                // terminate — reject over-long and overflowing varints
+                // instead of silently truncating (`x << 63` keeps only
+                // the low payload bit).
                 return None;
             }
             v |= u64::from(byte & 0x7F) << shift;
@@ -773,6 +777,25 @@ mod tests {
         };
         let err = replay_frontend(&buf, &w, &[other]).unwrap_err();
         assert!(matches!(err, WorkloadError::Sim(SimError::BadConfig(_))));
+    }
+
+    #[test]
+    fn cursor_varint_rejects_overflow_and_overlength() {
+        let cur = |bytes: &[u8]| Cursor { bytes, pos: 0 }.varint();
+        // u64::MAX is the widest legal encoding (nine 0xFF, then 0x01).
+        let mut max = vec![0xFFu8; 9];
+        max.push(0x01);
+        assert_eq!(cur(&max), Some(u64::MAX));
+        // Tenth-byte payload above bit 0 overflows a u64; a tenth-byte
+        // continuation bit makes it over-long. Both must decode to None
+        // (the caller reports a typed corruption error), never wrap.
+        let mut over = vec![0xFFu8; 9];
+        over.push(0x03);
+        assert_eq!(cur(&over), None);
+        let mut eleven = vec![0xFFu8; 10];
+        eleven.push(0x00);
+        assert_eq!(cur(&eleven), None);
+        assert_eq!(cur(&[0xFF; 16]), None);
     }
 
     #[test]

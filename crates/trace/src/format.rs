@@ -279,7 +279,11 @@ impl<'a> VarReader<'a> {
         let mut shift = 0u32;
         loop {
             let byte = self.get_u8()?;
-            if shift >= 64 {
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                // Tenth byte: only one payload bit still fits a u64, and
+                // a continuation bit would run past the maximum 10-byte
+                // width — reject rather than silently truncate the high
+                // bits (`x << 63` keeps only bit 0).
                 return Err(TraceError::BadVarint);
             }
             v |= u64::from(byte & 0x7F) << shift;
@@ -521,7 +525,10 @@ impl<R: Read> TraceReader<R> {
         let mut shift = 0u32;
         loop {
             let byte = self.get_byte()?;
-            if shift >= 64 {
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                // See `VarReader::get_varint`: the tenth byte may carry
+                // only bit 0 and must terminate, else the value exceeds
+                // a u64 and would wrap.
                 return Err(TraceError::BadVarint);
             }
             v |= u64::from(byte & 0x7F) << shift;
@@ -730,6 +737,52 @@ mod tests {
             ev(13, SwitchTo { cid: 0 }),
             ev(13, FreeContext { cid: 1 }),
         ]
+    }
+
+    #[test]
+    fn varint_rejects_overflow_and_overlength() {
+        // Maximal valid width: nine continuation bytes then 0x01 places
+        // bit 63 — exactly u64::MAX, and it must round-trip.
+        let mut max = vec![0xFFu8; 9];
+        max.push(0x01);
+        assert_eq!(VarReader::new(&max).get_varint().unwrap(), u64::MAX);
+        // A tenth byte carrying payload above bit 0 exceeds a u64: the
+        // old decoder shifted those bits into oblivion.
+        let mut over = vec![0xFFu8; 9];
+        over.push(0x03);
+        assert!(matches!(
+            VarReader::new(&over).get_varint(),
+            Err(TraceError::BadVarint)
+        ));
+        // A tenth byte with its continuation bit set makes the varint
+        // over-long (11+ bytes) no matter what follows.
+        let mut eleven = vec![0xFFu8; 10];
+        eleven.push(0x00);
+        assert!(matches!(
+            VarReader::new(&eleven).get_varint(),
+            Err(TraceError::BadVarint)
+        ));
+        let long = vec![0xFFu8; 16];
+        assert!(matches!(
+            VarReader::new(&long).get_varint(),
+            Err(TraceError::BadVarint)
+        ));
+    }
+
+    #[test]
+    fn streaming_reader_rejects_overflowing_header_varint() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(FORMAT_VERSION);
+        bytes.push(0); // empty workload string
+        bytes.push(0); // empty engine string
+                       // Scale varint whose tenth byte overflows a u64.
+        bytes.extend_from_slice(&[0xFF; 9]);
+        bytes.push(0x7F);
+        let Err(err) = TraceReader::new(&bytes[..]) else {
+            panic!("overflowing header varint accepted");
+        };
+        assert!(matches!(err, TraceError::BadVarint));
     }
 
     #[test]

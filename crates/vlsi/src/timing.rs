@@ -18,7 +18,7 @@
 //! so that "the time required to access the Named-State Register File was
 //! only 5% or 6% greater than for a conventional register file".
 
-use crate::geometry::Geometry;
+use crate::geometry::{Geometry, Ports};
 use crate::tech::Tech;
 
 // --- Calibrated delay constants (ns at 1.2 µm) --------------------------
@@ -115,6 +115,56 @@ impl TimingModel {
     pub fn nsf_overhead(&self, geom: Geometry) -> f64 {
         self.nsf(geom).total_ns() / self.segmented(geom).total_ns() - 1.0
     }
+
+    /// Word-line and bit-line loading factor of a `ports`-ported cell
+    /// relative to the paper's 3-ported baseline: each extra port adds a
+    /// word line (cell height) and a bit-line pair (cell width), so the
+    /// wire-RC terms grow linearly with total port count. Decode is
+    /// replicated per port and does not stretch.
+    fn port_factor(ports: Ports) -> f64 {
+        f64::from(ports.total()) / f64::from(Ports::three().total())
+    }
+
+    /// Stretches the wire-loaded phases of a (3-port calibrated) access
+    /// time by the per-port loading factor.
+    fn ported(&self, base: AccessTime, ports: Ports) -> AccessTime {
+        let f = Self::port_factor(ports);
+        if f == 1.0 {
+            // Exactly the calibrated case — return it bit-for-bit rather
+            // than round-tripping through the stretch arithmetic.
+            return base;
+        }
+        AccessTime {
+            decode_ns: base.decode_ns,
+            word_select_ns: WS_FIXED * self.tech.delay_scale()
+                + (base.word_select_ns - WS_FIXED * self.tech.delay_scale()) * f,
+            data_read_ns: RD_FIXED * self.tech.delay_scale()
+                + (base.data_read_ns - RD_FIXED * self.tech.delay_scale()) * f,
+        }
+    }
+
+    /// Access time of a segmented/conventional file with an explicit
+    /// port count. [`Ports::three`] reproduces
+    /// [`TimingModel::segmented`] exactly — the calibrated figures are
+    /// the 3-ported special case.
+    pub fn segmented_ported(&self, geom: Geometry, ports: Ports) -> AccessTime {
+        self.ported(self.segmented(geom), ports)
+    }
+
+    /// Access time of a Named-State Register File with an explicit port
+    /// count. [`Ports::three`] reproduces [`TimingModel::nsf`] exactly.
+    pub fn nsf_ported(&self, geom: Geometry, ports: Ports) -> AccessTime {
+        self.ported(self.nsf(geom), ports)
+    }
+
+    /// NSF access-time overhead relative to an equally-ported segmented
+    /// file — the per-ported-access latency penalty the multi-issue
+    /// simulator charges a CAM-decoded file (`nsf-sim`'s pipeline
+    /// frontend).
+    pub fn nsf_ported_overhead(&self, geom: Geometry, ports: Ports) -> f64 {
+        self.nsf_ported(geom, ports).total_ns() / self.segmented_ported(geom, ports).total_ns()
+            - 1.0
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +217,45 @@ mod tests {
             model().nsf(Geometry::g64x64()).total_ns()
                 < model().nsf(Geometry::g32x128()).total_ns()
         );
+    }
+
+    #[test]
+    fn three_ported_query_reproduces_the_calibrated_figures() {
+        let m = model();
+        for geom in [Geometry::g32x128(), Geometry::g64x64()] {
+            assert_eq!(m.segmented_ported(geom, Ports::three()), m.segmented(geom));
+            assert_eq!(m.nsf_ported(geom, Ports::three()), m.nsf(geom));
+            assert_eq!(
+                m.nsf_ported_overhead(geom, Ports::three()),
+                m.nsf_overhead(geom)
+            );
+        }
+    }
+
+    #[test]
+    fn more_ports_cost_time_but_never_flip_the_ranking() {
+        let m = model();
+        for geom in [Geometry::g32x128(), Geometry::g64x64()] {
+            let s3 = m.segmented_ported(geom, Ports::three());
+            let s6 = m.segmented_ported(geom, Ports::six());
+            assert!(s6.total_ns() > s3.total_ns());
+            // Decode is replicated, not stretched.
+            assert_eq!(s6.decode_ns, s3.decode_ns);
+            let o = m.nsf_ported_overhead(geom, Ports::six());
+            assert!(o > 0.0, "{geom:?}: NSF stays slower at 6 ports ({o})");
+            assert!(o < 0.15, "{geom:?}: overhead stays a small fraction ({o})");
+        }
+    }
+
+    #[test]
+    fn ported_overhead_scales_arbitrary_port_counts() {
+        let m = model();
+        let geom = Geometry::g32x128();
+        for (reads, writes) in [(2, 1), (3, 2), (4, 2), (6, 3)] {
+            let p = Ports { reads, writes };
+            let o = m.nsf_ported_overhead(geom, p);
+            assert!((0.0..0.15).contains(&o), "{p:?}: {o}");
+        }
     }
 
     #[test]
