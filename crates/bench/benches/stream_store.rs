@@ -1,0 +1,50 @@
+//! Criterion group `stream_store`: the persistent store's fixed costs
+//! against the live capture they displace. `encode`/`decode` bound the
+//! serialization tax a store hit pays on top of replay;
+//! `fingerprint` is the per-group lookup key; `save_load_roundtrip`
+//! is the full filesystem path (tmp write + atomic rename + checksummed
+//! read-back). `capture_live` is the work a warm hit avoids.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nsf_bench::nsf_config;
+use nsf_trace::{capture_frontend, decode_stream, encode_stream, stream_fingerprint, StreamStore};
+use nsf_workloads::gatesim;
+
+fn bench_stream_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream_store");
+    g.sample_size(10);
+    let w = gatesim::build(0);
+    let cfg = nsf_config(80);
+    let buf = capture_frontend(&w, cfg).expect("captures");
+    let fp = stream_fingerprint(&w, &cfg).expect("fingerprints");
+    let bytes = encode_stream(fp, &buf);
+
+    g.bench_function("capture_live", |b| {
+        b.iter(|| capture_frontend(&w, cfg).expect("captures"))
+    });
+    g.bench_function("fingerprint", |b| {
+        b.iter(|| stream_fingerprint(&w, &cfg).expect("fingerprints"))
+    });
+    g.bench_function("encode", |b| b.iter(|| encode_stream(fp, &buf)));
+    g.bench_function("decode", |b| {
+        b.iter(|| decode_stream(&bytes, fp, &cfg).expect("decodes"))
+    });
+
+    let dir = std::env::temp_dir().join(format!("nsf-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = StreamStore::open(dir.clone());
+    g.bench_function("save_load_roundtrip", |b| {
+        b.iter(|| {
+            store.save_stream(fp, &buf).expect("saves");
+            store
+                .load_stream(fp, &cfg)
+                .expect("loads")
+                .expect("present")
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_stream_store);
+criterion_main!(benches);

@@ -18,11 +18,7 @@ use std::io::Write as _;
 fn main() {
     let args = HarnessArgs::parse();
     let sweep = export_csv::grid(args.scale);
-    let reports = if args.frontend_cache {
-        sweep.run_cached(args.threads, args.lanes)
-    } else {
-        sweep.run_lanes(args.threads, args.lanes)
-    };
+    let reports = nsf_bench::run_with_args(&sweep, &args);
 
     let dir = args.results_dir();
     fs::create_dir_all(&dir).expect("create results dir");

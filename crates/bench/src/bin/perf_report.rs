@@ -33,7 +33,7 @@ use nsf_bench::figures::{
 };
 use nsf_bench::{CliArgs, CliError, CliSpec, FrontendCacheStats, HarnessArgs, Sweep};
 use nsf_sim::SimConfig;
-use nsf_trace::{capture, parse_engine, replay_events, Trace};
+use nsf_trace::{capture, parse_engine, replay_events, StreamStore, Trace};
 use std::fmt::Write as _;
 use std::fs;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -113,6 +113,13 @@ struct Row {
     cache_run_ns: u128,
     /// Frontend-vs-engine split and hit rate of the cached run.
     cache: FrontendCacheStats,
+    /// Wall time of the grid through `Sweep::run_stored` against an
+    /// empty store (captures + persists every stream).
+    store_cold_ns: u128,
+    /// Wall time of the same run again — every stream served warm.
+    store_warm_ns: u128,
+    /// Counters of the warm pass (hits, served points).
+    store_warm: FrontendCacheStats,
 }
 
 impl Row {
@@ -150,6 +157,15 @@ impl Row {
             0.0
         } else {
             self.run_ns as f64 / self.cache_run_ns as f64
+        }
+    }
+
+    /// Warm-store speedup over the cold (capturing) pass.
+    fn store_speedup(&self) -> f64 {
+        if self.store_warm_ns == 0 {
+            0.0
+        } else {
+            self.store_cold_ns as f64 / self.store_warm_ns as f64
         }
     }
 
@@ -362,18 +378,31 @@ fn replay_section(args: &HarnessArgs, live_wall_ns: u128) -> ReplaySection {
 fn parse_args() -> Result<HarnessArgs, CliError> {
     const SPEC: CliSpec = CliSpec {
         value_flags: &["scale", "threads", "lanes", "out"],
-        switches: &["quiet", "frontend-cache", "no-frontend-cache"],
+        switches: &[
+            "quiet",
+            "frontend-cache",
+            "no-frontend-cache",
+            "store",
+            "no-store",
+        ],
         repeatable: &[],
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = CliArgs::parse(&raw, &SPEC)?;
-    // Both paths are always *measured* here (the cached column is the
-    // point of the report); the switches are accepted so one wrapper
-    // flag set drives every binary, and the conflict still errors.
+    // Both paths are always *measured* here (the cached and store
+    // columns are the point of the report); the switches are accepted so
+    // one wrapper flag set drives every binary, and conflicts still
+    // error.
     if args.switch("frontend-cache") && args.switch("no-frontend-cache") {
         return Err(CliError::Conflict {
             a: "frontend-cache".into(),
             b: "no-frontend-cache".into(),
+        });
+    }
+    if args.switch("store") && args.switch("no-store") {
+        return Err(CliError::Conflict {
+            a: "store".into(),
+            b: "no-store".into(),
         });
     }
     let defaults = HarnessArgs::default();
@@ -382,6 +411,7 @@ fn parse_args() -> Result<HarnessArgs, CliError> {
         threads: args.parsed_or("threads", defaults.threads)?.max(1),
         lanes: args.parsed_or("lanes", defaults.lanes)?.max(1),
         frontend_cache: !args.switch("no-frontend-cache"),
+        store: !args.switch("no-store"),
         quiet: args.switch("quiet"),
         out: args.flag("out").map(str::to_string),
     })
@@ -393,12 +423,17 @@ fn main() {
         Err(e) => {
             eprintln!(
                 "perf_report: {e}\nusage: perf_report [--scale N] [--threads N] [--lanes N] \
-                 [--frontend-cache | --no-frontend-cache] [--out DIR] [--quiet]"
+                 [--frontend-cache | --no-frontend-cache] [--store | --no-store] \
+                 [--out DIR] [--quiet]"
             );
             std::process::exit(64);
         }
     };
     let mut rows = Vec::new();
+    // A scratch stream store per grid, wiped before and after the run so
+    // the cold pass is genuinely cold and nothing leaks across reports.
+    let store_root = std::env::temp_dir().join(format!("nsf-store-perf-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&store_root);
 
     println!(
         "Simulator throughput (scale {}, {} threads)",
@@ -427,6 +462,16 @@ fn main() {
             reports, cache_reports,
             "{name}: the frontend cache must be exact"
         );
+        let grid_store = StreamStore::open(store_root.join(name));
+        let t = Instant::now();
+        let (cold_reports, _) = sweep.run_stored_stats(args.threads, args.lanes, Some(&grid_store));
+        let store_cold_ns = t.elapsed().as_nanos();
+        assert_eq!(reports, cold_reports, "{name}: store-cold must be exact");
+        let t = Instant::now();
+        let (warm_reports, store_warm) =
+            sweep.run_stored_stats(args.threads, args.lanes, Some(&grid_store));
+        let store_warm_ns = t.elapsed().as_nanos();
+        assert_eq!(reports, warm_reports, "{name}: store-warm must be exact");
         let events: u64 = reports.iter().map(|r| r.instructions).sum();
         let row = Row {
             name,
@@ -437,6 +482,9 @@ fn main() {
             lanes_run_ns,
             cache_run_ns,
             cache,
+            store_cold_ns,
+            store_warm_ns,
+            store_warm,
         };
         println!(
             "{:<26} {:>7} {:>14} {:>10.1} {:>14.0}",
@@ -517,6 +565,44 @@ fn main() {
         );
     }
     nsf_bench::rule(82);
+
+    // Cold-vs-warm persistent store: the cold pass captures and persists
+    // every capturable stream (so it pays capture encoding on top of the
+    // live frontend); the warm pass replays everything — including
+    // singleton and narrow groups — from the store. Reports were
+    // asserted bit-identical to the serial sweep on both passes.
+    println!("\nStream store (sweep.run_stored, cold vs warm)");
+    println!(
+        "{:<26} {:>10} {:>10} {:>9} {:>6} {:>7} {:>10}",
+        "Grid", "Cold ms", "Warm ms", "Hit rate", "Hits", "Misses", "Store spd"
+    );
+    nsf_bench::rule(84);
+    let mut warm_hit_grids = 0u64;
+    let mut max_store_speedup = 0f64;
+    for r in &rows {
+        if r.store_warm.store_hits > 0 {
+            warm_hit_grids += 1;
+        }
+        max_store_speedup = max_store_speedup.max(r.store_speedup());
+        println!(
+            "{:<26} {:>10.1} {:>10.1} {:>8.0}% {:>6} {:>7} {:>9.2}x",
+            r.name,
+            r.store_cold_ns as f64 / 1e6,
+            r.store_warm_ns as f64 / 1e6,
+            r.store_warm.store_hit_rate() * 100.0,
+            r.store_warm.store_hits,
+            r.store_warm.store_misses,
+            r.store_speedup(),
+        );
+    }
+    nsf_bench::rule(84);
+    println!(
+        "store-summary grids={} grids_with_warm_hits={} max_speedup={:.2}",
+        rows.len(),
+        warm_hit_grids,
+        max_store_speedup,
+    );
+    let _ = fs::remove_dir_all(&store_root);
 
     let live_fig12_ns = rows
         .iter()
@@ -624,6 +710,25 @@ fn main() {
             r.cache.engine_ns,
             r.cache.hit_rate(),
             r.cache_speedup(),
+            if i + 1 < rows.len() { "," } else { "" },
+        )
+        .unwrap();
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"store\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        writeln!(
+            json,
+            "    {{\"grid\": \"{}\", \"cold_wall_ns\": {}, \"warm_wall_ns\": {}, \
+             \"store_speedup\": {:.2}, \"warm_hit_rate\": {:.3}, \
+             \"store_hits\": {}, \"store_misses\": {}}}{}",
+            r.name,
+            r.store_cold_ns,
+            r.store_warm_ns,
+            r.store_speedup(),
+            r.store_warm.store_hit_rate(),
+            r.store_warm.store_hits,
+            r.store_warm.store_misses,
             if i + 1 < rows.len() { "," } else { "" },
         )
         .unwrap();

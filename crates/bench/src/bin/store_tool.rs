@@ -1,0 +1,199 @@
+//! Inspect and garbage-collect the persistent stream store
+//! (`results/store/` by default — the content-addressed `.nsfs`
+//! entries that `run --store` and `nsf-explore` share across runs).
+//!
+//! ```sh
+//! # Entry count, byte total and integrity census:
+//! cargo run --release -p nsf-bench --bin store_tool -- info
+//!
+//! # Drop invalid entries and shrink below a byte budget:
+//! cargo run --release -p nsf-bench --bin store_tool -- \
+//!     gc --max-bytes 50000000
+//! ```
+//!
+//! `gc` is deterministic: invalid entries (bad checksum, foreign magic
+//! or version, name/fingerprint mismatch, stray temp files) go first,
+//! then intact entries are evicted **largest first** (ties broken by
+//! filename) until the store fits the budget. Without `--max-bytes` it
+//! only removes the invalid entries. The explorer's result memo
+//! (`explore_memo.nsfm`) is not a stream entry and is left alone.
+
+use nsf_bench::{CliArgs, CliSpec};
+use nsf_trace::validate_stream_bytes;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: store_tool info [--dir DIR]\n\
+         \x20      store_tool gc [--dir DIR] [--max-bytes N]"
+    );
+    ExitCode::from(64)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("store_tool: {msg}");
+    ExitCode::from(2)
+}
+
+/// One file in the store directory that `store_tool` manages.
+struct Entry {
+    name: String,
+    path: PathBuf,
+    bytes: u64,
+    /// `None` when intact; `Some(reason)` when the entry must go.
+    invalid: Option<String>,
+}
+
+/// Scans the store: every `.nsfs` entry (validated against the
+/// fingerprint its filename claims) plus leftover `.tmp*` files from
+/// interrupted saves. Anything else in the directory is not ours.
+/// Entries come back sorted by filename — scan order never leaks into
+/// eviction order.
+fn scan(dir: &Path) -> std::io::Result<Vec<Entry>> {
+    let mut entries = Vec::new();
+    let rd = match std::fs::read_dir(dir) {
+        Ok(rd) => rd,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(entries),
+        Err(e) => return Err(e),
+    };
+    for item in rd {
+        let item = item?;
+        let name = item.file_name().to_string_lossy().into_owned();
+        let meta = item.metadata()?;
+        if !meta.is_file() {
+            continue;
+        }
+        let invalid = if let Some(hex) = name.strip_suffix(".nsfs") {
+            match u64::from_str_radix(hex, 16) {
+                Err(_) => Some("unparseable fingerprint name".to_string()),
+                Ok(fp) => match std::fs::read(item.path()) {
+                    Err(e) => Some(format!("unreadable: {e}")),
+                    Ok(bytes) => validate_stream_bytes(&bytes, fp)
+                        .err()
+                        .map(|e| e.to_string()),
+                },
+            }
+        } else if name.contains(".tmp") {
+            Some("interrupted save".to_string())
+        } else {
+            continue; // not a stream entry (e.g. the explorer memo)
+        };
+        entries.push(Entry {
+            name,
+            path: item.path(),
+            bytes: meta.len(),
+            invalid,
+        });
+    }
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(entries)
+}
+
+fn total(entries: &[Entry]) -> u64 {
+    entries.iter().map(|e| e.bytes).sum()
+}
+
+fn info(dir: &Path) -> Result<(), String> {
+    let entries = scan(dir).map_err(|e| e.to_string())?;
+    let invalid: Vec<&Entry> = entries.iter().filter(|e| e.invalid.is_some()).collect();
+    for e in &entries {
+        match &e.invalid {
+            None => println!("  {}  {:>10} bytes  ok", e.name, e.bytes),
+            Some(why) => println!("  {}  {:>10} bytes  INVALID ({why})", e.name, e.bytes),
+        }
+    }
+    println!(
+        "store-info dir={} entries={} bytes={} invalid={}",
+        dir.display(),
+        entries.len(),
+        total(&entries),
+        invalid.len(),
+    );
+    Ok(())
+}
+
+fn gc(dir: &Path, max_bytes: Option<u64>) -> Result<(), String> {
+    let entries = scan(dir).map_err(|e| e.to_string())?;
+    let mut removed_invalid = 0u64;
+    let mut keep: Vec<Entry> = Vec::new();
+    for e in entries {
+        match &e.invalid {
+            Some(why) => {
+                std::fs::remove_file(&e.path).map_err(|err| format!("{}: {err}", e.name))?;
+                println!("  removed {} ({why})", e.name);
+                removed_invalid += 1;
+            }
+            None => keep.push(e),
+        }
+    }
+    // Largest first; the filename (the fingerprint) breaks size ties so
+    // the eviction order is a pure function of the store's contents.
+    keep.sort_by(|a, b| b.bytes.cmp(&a.bytes).then_with(|| a.name.cmp(&b.name)));
+    let mut evicted = 0u64;
+    if let Some(budget) = max_bytes {
+        while total(&keep) > budget {
+            let e = keep.remove(0);
+            std::fs::remove_file(&e.path).map_err(|err| format!("{}: {err}", e.name))?;
+            println!("  evicted {} ({} bytes)", e.name, e.bytes);
+            evicted += 1;
+        }
+    }
+    println!(
+        "store-gc dir={} removed_invalid={} evicted={} entries={} bytes={}",
+        dir.display(),
+        removed_invalid,
+        evicted,
+        keep.len(),
+        total(&keep),
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let spec = CliSpec {
+        value_flags: &["dir", "max-bytes"],
+        switches: &[],
+        repeatable: &[],
+    };
+    let args = match CliArgs::parse(&raw, &spec) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let cmd = match args.positional() {
+        [one] => one.as_str(),
+        _ => return usage(),
+    };
+    let dir = match args.flag("dir") {
+        Some(d) => PathBuf::from(d),
+        None => nsf_bench::workspace_results_dir().join("store"),
+    };
+    let max_bytes = match (cmd, args.flag("max-bytes")) {
+        (_, None) => None,
+        ("gc", Some(v)) => match v.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("error: bad --max-bytes value {v:?}");
+                return usage();
+            }
+        },
+        // `info --max-bytes` is a contradiction, not a no-op.
+        _ => {
+            eprintln!("error: --max-bytes only applies to gc");
+            return usage();
+        }
+    };
+    let done = match cmd {
+        "info" => info(&dir),
+        "gc" => gc(&dir, max_bytes),
+        _ => return usage(),
+    };
+    match done {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(e),
+    }
+}

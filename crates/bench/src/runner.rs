@@ -22,7 +22,7 @@
 use crate::cli::{CliArgs, CliError, CliSpec};
 use crate::{measure, measure_lanes};
 use nsf_sim::{batchable_program, RunReport, SimConfig};
-use nsf_trace::{capture_frontend, replay_frontend};
+use nsf_trace::{capture_frontend, replay_frontend, stream_fingerprint, StreamStore};
 use nsf_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -120,19 +120,20 @@ impl Sweep {
             return self.run(threads);
         }
         let groups = self.lane_groups(lanes);
-        // A grid that degenerates to all-singleton groups (unbatchable
-        // workloads, or every point on a different frontend) gains
-        // nothing from the group machinery — take the plain serial path,
-        // which is also what each singleton group below does per point.
-        if groups.iter().all(|g| g.len() == 1) {
+        // A grid whose groups all land below the lane-batching break-even
+        // ([`Sweep::MIN_LANE_GROUP`]) gains nothing from the group
+        // machinery — take the plain serial path, which is also what each
+        // narrow group below does per point.
+        if groups.iter().all(|g| !Self::lane_batchable(g.len())) {
             return self.run(threads);
         }
         let run_group = |g: &[usize]| -> Vec<RunReport> {
             let w = &self.workloads[self.points[g[0]].workload];
-            if let [i] = g {
-                // One lane is no batch: skip the lane-set scan/validation
-                // and run the point exactly as [`Sweep::run`] would.
-                return vec![measure(w, self.points[*i].cfg)];
+            if !Self::lane_batchable(g.len()) {
+                // Below break-even a lane set's per-op dispatch overhead
+                // exceeds the shared-frontend saving: run the points
+                // exactly as [`Sweep::run`] would.
+                return g.iter().map(|&i| measure(w, self.points[i].cfg)).collect();
             }
             let cfgs: Vec<SimConfig> = g.iter().map(|&i| self.points[i].cfg).collect();
             measure_lanes(w, &cfgs)
@@ -262,6 +263,21 @@ impl Sweep {
         self.run_cached_stats(threads, lanes).0
     }
 
+    /// Smallest lane group worth a [`nsf_sim::LaneSet`] pass. A lane
+    /// set's per-op dispatch (scan fan-out, lane-0 equivalence checks)
+    /// is a fixed tax every lane pays; with only two lanes the shared
+    /// frontend is split over too few engines to recoup it, and the
+    /// measured pair-heavy grids (`depth_sweep`'s per-depth
+    /// NSF/segmented pairs) ran ~15% *slower* batched than serial.
+    /// Groups below this width route to the serial loop.
+    pub const MIN_LANE_GROUP: usize = 3;
+
+    /// Whether a lane group of `len` points clears the measured
+    /// lane-batching break-even ([`Sweep::MIN_LANE_GROUP`]).
+    pub fn lane_batchable(len: usize) -> bool {
+        len >= Self::MIN_LANE_GROUP
+    }
+
     /// Smallest frontend group [`Sweep::run_cached`] captures. A
     /// capture run costs ~1.8x a live run (event encoding) and each
     /// group pays one stream decode worth ~0.6x a live run, while a
@@ -284,58 +300,168 @@ impl Sweep {
         threads: usize,
         lanes: usize,
     ) -> (Vec<RunReport>, FrontendCacheStats) {
+        self.run_stored_stats(threads, lanes, None)
+    }
+
+    /// [`Sweep::run_cached`] backed by a persistent [`StreamStore`]:
+    /// before capturing, each capturable frontend group looks its
+    /// stream up by content fingerprint ([`stream_fingerprint`]) and,
+    /// on a hit, replays **every** point of the group — including the
+    /// head, and including singleton and narrow groups that could never
+    /// amortize a live capture on their own (the effective
+    /// [`Sweep::MIN_CAPTURE_GROUP`] is 1 on warm runs). On a miss the
+    /// group captures live (whatever its width) and persists the stream
+    /// for every later group, binary, or run that shares the
+    /// fingerprint. A present-but-unusable entry (truncated, corrupted,
+    /// foreign version, failed replay) is deleted and the group falls
+    /// back to live capture — reports are bit-identical to
+    /// [`Sweep::run`]'s in every case. `store: None` is exactly
+    /// [`Sweep::run_cached`].
+    pub fn run_stored(
+        &self,
+        threads: usize,
+        lanes: usize,
+        store: Option<&StreamStore>,
+    ) -> Vec<RunReport> {
+        self.run_stored_stats(threads, lanes, store).0
+    }
+
+    /// [`Sweep::run_stored`] plus the cache/store counters.
+    pub fn run_stored_stats(
+        &self,
+        threads: usize,
+        lanes: usize,
+        store: Option<&StreamStore>,
+    ) -> (Vec<RunReport>, FrontendCacheStats) {
         let lanes = lanes.max(1);
         let groups = self.frontend_groups();
+        let batchable: Vec<bool> = self
+            .workloads
+            .iter()
+            .map(|w| batchable_program(&w.program))
+            .collect();
+        // A group is store-capturable iff its stream is lane-invariant
+        // and untraced — the same conditions [`Sweep::frontend_groups`]
+        // applies, re-derived here because its singletons are ambiguous
+        // (a group of one is either an excluded point or just a lonely
+        // frontend).
+        let capturable = |g: &[usize]| {
+            let p = &self.points[g[0]];
+            batchable[p.workload] && p.cfg.trace_depth == 0 && p.cfg.issue_width == 1
+        };
         let mut stats = FrontendCacheStats {
             points: self.points.len() as u64,
-            replayed_points: groups
-                .iter()
-                .filter(|g| g.len() >= Self::MIN_CAPTURE_GROUP)
-                .map(|g| (g.len() - 1) as u64)
-                .sum(),
-            frontend_ns: 0,
-            engine_ns: 0,
+            ..FrontendCacheStats::default()
         };
-        if groups.iter().all(|g| g.len() == 1) {
-            // Nothing shares a frontend (all singletons): identical to
-            // the plain sweep, and timed as pure frontend-paying work.
+        if groups.iter().all(|g| g.len() == 1)
+            && (store.is_none() || !groups.iter().any(|g| capturable(g)))
+        {
+            // Nothing shares a frontend and no store could serve a
+            // singleton: identical to the plain sweep, and timed as pure
+            // frontend-paying work.
             let t0 = std::time::Instant::now();
             let reports = self.run(threads);
             stats.frontend_ns = t0.elapsed().as_nanos() as u64;
             return (reports, stats);
         }
-        // Per group: submission-order reports plus the (frontend, engine)
-        // nanosecond split.
-        let run_group = |g: &[usize]| -> (Vec<RunReport>, u64, u64) {
+        // Per group: submission-order reports plus counters.
+        let run_group = |g: &[usize]| -> GroupOut {
             let w = &self.workloads[self.points[g[0]].workload];
+            let head_cfg = self.points[g[0]].cfg;
+            let fingerprint = match store {
+                Some(_) if capturable(g) => stream_fingerprint(w, &head_cfg),
+                _ => None,
+            };
+            if let (Some(st), Some(fp)) = (store, fingerprint) {
+                match st.load_stream(fp, &head_cfg) {
+                    Ok(Some(buf)) => {
+                        // Warm hit: every point of the group — head
+                        // included — replays from the persisted stream.
+                        let t1 = std::time::Instant::now();
+                        let cfgs: Vec<SimConfig> = g.iter().map(|&i| self.points[i].cfg).collect();
+                        match replay_frontend(&buf, w, &cfgs) {
+                            Ok(reports) => {
+                                return GroupOut {
+                                    reports,
+                                    frontend_ns: 0,
+                                    engine_ns: t1.elapsed().as_nanos() as u64,
+                                    replayed: g.len() as u64,
+                                    store_hits: 1,
+                                    store_misses: 0,
+                                    store_served: g.len() as u64,
+                                }
+                            }
+                            // A checksummed entry that still fails the
+                            // replay wall (divergence, stale semantics)
+                            // is poison: drop it and recapture live.
+                            Err(_) => st.remove_stream(fp),
+                        }
+                    }
+                    Ok(None) => {}
+                    // Typed reject (truncated/corrupt/foreign): never
+                    // trusted — delete and recapture live.
+                    Err(_) => st.remove_stream(fp),
+                }
+                // Store miss: capture live regardless of group width
+                // (even a singleton's stream is worth persisting — the
+                // next run serves it for free) and persist the stream.
+                let t0 = std::time::Instant::now();
+                let buf = capture_frontend(w, head_cfg)
+                    .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+                let frontend_ns = t0.elapsed().as_nanos() as u64;
+                // A failed save (read-only store, full disk) only costs
+                // future warm hits; this run's results don't depend on it.
+                let _ = st.save_stream(fp, &buf);
+                let t1 = std::time::Instant::now();
+                let mut out = Vec::with_capacity(g.len());
+                out.push(buf.report.clone());
+                if g.len() > 1 {
+                    let cfgs: Vec<SimConfig> = g[1..].iter().map(|&i| self.points[i].cfg).collect();
+                    out.extend(
+                        replay_frontend(&buf, w, &cfgs)
+                            .unwrap_or_else(|e| panic!("{} failed: {e}", w.name)),
+                    );
+                }
+                return GroupOut {
+                    reports: out,
+                    frontend_ns,
+                    engine_ns: t1.elapsed().as_nanos() as u64,
+                    replayed: (g.len() - 1) as u64,
+                    store_hits: 0,
+                    store_misses: 1,
+                    store_served: 0,
+                };
+            }
             if g.len() < Self::MIN_CAPTURE_GROUP {
                 // Too narrow to amortize a capture run (~1.8x a live
                 // run of event encoding) plus a stream decode: stay
-                // live. Groups of three or more still share their
-                // frontend through lane-batched passes; pairs and
-                // singletons run serially (a two-lane set's batching
-                // overhead exceeds what the tiny grids that produce
-                // pairs can recoup).
+                // live. Groups clearing the lane-batching break-even
+                // still share their frontend through lane-batched
+                // passes; narrower ones run serially.
                 let t0 = std::time::Instant::now();
                 let mut out = Vec::with_capacity(g.len());
-                if g.len() >= 3 && lanes >= 2 {
+                if Self::lane_batchable(g.len()) && lanes >= 2 {
                     for chunk in g.chunks(lanes) {
-                        if let [i] = chunk {
-                            out.push(measure(w, self.points[*i].cfg));
-                        } else {
+                        if Self::lane_batchable(chunk.len()) {
                             let cfgs: Vec<SimConfig> =
                                 chunk.iter().map(|&i| self.points[i].cfg).collect();
                             out.extend(measure_lanes(w, &cfgs));
+                        } else {
+                            out.extend(chunk.iter().map(|&i| measure(w, self.points[i].cfg)));
                         }
                     }
                 } else {
                     out.extend(g.iter().map(|&i| measure(w, self.points[i].cfg)));
                 }
-                return (out, t0.elapsed().as_nanos() as u64, 0);
+                return GroupOut {
+                    reports: out,
+                    frontend_ns: t0.elapsed().as_nanos() as u64,
+                    ..GroupOut::default()
+                };
             }
             let t0 = std::time::Instant::now();
-            let buf = capture_frontend(w, self.points[g[0]].cfg)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+            let buf =
+                capture_frontend(w, head_cfg).unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
             let frontend_ns = t0.elapsed().as_nanos() as u64;
             let t1 = std::time::Instant::now();
             let cfgs: Vec<SimConfig> = g[1..].iter().map(|&i| self.points[i].cfg).collect();
@@ -345,15 +471,20 @@ impl Sweep {
                 replay_frontend(&buf, w, &cfgs)
                     .unwrap_or_else(|e| panic!("{} failed: {e}", w.name)),
             );
-            (out, frontend_ns, t1.elapsed().as_nanos() as u64)
+            GroupOut {
+                reports: out,
+                frontend_ns,
+                engine_ns: t1.elapsed().as_nanos() as u64,
+                replayed: (g.len() - 1) as u64,
+                ..GroupOut::default()
+            }
         };
         if threads <= 1 || groups.len() <= 1 {
             let mut out: Vec<Option<RunReport>> = vec![None; self.points.len()];
             for g in &groups {
-                let (reports, f_ns, e_ns) = run_group(g);
-                stats.frontend_ns += f_ns;
-                stats.engine_ns += e_ns;
-                for (&i, r) in g.iter().zip(reports) {
+                let go = run_group(g);
+                stats.absorb(&go);
+                for (&i, r) in g.iter().zip(go.reports) {
                     out[i] = Some(r);
                 }
             }
@@ -367,34 +498,41 @@ impl Sweep {
         let cursor = AtomicUsize::new(0);
         let done: Mutex<Vec<(usize, RunReport)>> =
             Mutex::new(Vec::with_capacity(self.points.len()));
-        let times: Mutex<(u64, u64)> = Mutex::new((0, 0));
+        let shared: Mutex<FrontendCacheStats> = Mutex::new(stats);
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| loop {
                     let gi = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(g) = groups.get(gi) else { break };
-                    let (reports, f_ns, e_ns) = run_group(g);
-                    {
-                        let mut t = times.lock().unwrap();
-                        t.0 += f_ns;
-                        t.1 += e_ns;
-                    }
+                    let go = run_group(g);
+                    shared.lock().unwrap().absorb(&go);
                     let mut done = done.lock().unwrap();
-                    for (&i, r) in g.iter().zip(reports) {
+                    for (&i, r) in g.iter().zip(go.reports) {
                         done.push((i, r));
                     }
                 });
             }
         });
-        let (f_ns, e_ns) = times.into_inner().unwrap();
-        stats.frontend_ns += f_ns;
-        stats.engine_ns += e_ns;
+        let stats = shared.into_inner().unwrap();
         let mut done = done.into_inner().unwrap();
         done.sort_by_key(|(i, _)| *i);
         assert_eq!(done.len(), self.points.len(), "runner lost a point");
         let reports = done.into_iter().map(|(_, r)| r).collect();
         (reports, stats)
     }
+}
+
+/// One frontend group's results and counters inside
+/// [`Sweep::run_stored_stats`].
+#[derive(Default)]
+struct GroupOut {
+    reports: Vec<RunReport>,
+    frontend_ns: u64,
+    engine_ns: u64,
+    replayed: u64,
+    store_hits: u64,
+    store_misses: u64,
+    store_served: u64,
 }
 
 /// Observability counters for one [`Sweep::run_cached_stats`] pass: how
@@ -404,13 +542,22 @@ impl Sweep {
 pub struct FrontendCacheStats {
     /// Grid points in the sweep.
     pub points: u64,
-    /// Points driven by buffer replay instead of a live frontend.
+    /// Points driven by buffer replay instead of a live frontend
+    /// (in-process captures and persistent-store hits alike).
     pub replayed_points: u64,
     /// Nanoseconds spent paying the frontend: captures plus points that
     /// ran fully live (singleton groups).
     pub frontend_ns: u64,
     /// Nanoseconds spent in engine-only replay.
     pub engine_ns: u64,
+    /// Points served from a persistent [`StreamStore`] entry — no live
+    /// frontend ran for them at all, in this process or any other.
+    pub store_served_points: u64,
+    /// Frontend groups whose stream loaded from the store.
+    pub store_hits: u64,
+    /// Capturable frontend groups that missed the store (and captured
+    /// live, persisting their stream for the next run).
+    pub store_misses: u64,
 }
 
 impl FrontendCacheStats {
@@ -421,6 +568,24 @@ impl FrontendCacheStats {
         } else {
             self.replayed_points as f64 / self.points as f64
         }
+    }
+
+    /// Fraction of grid points served from the persistent store.
+    pub fn store_hit_rate(&self) -> f64 {
+        if self.points == 0 {
+            0.0
+        } else {
+            self.store_served_points as f64 / self.points as f64
+        }
+    }
+
+    fn absorb(&mut self, go: &GroupOut) {
+        self.frontend_ns += go.frontend_ns;
+        self.engine_ns += go.engine_ns;
+        self.replayed_points += go.replayed;
+        self.store_hits += go.store_hits;
+        self.store_misses += go.store_misses;
+        self.store_served_points += go.store_served;
     }
 }
 
@@ -433,14 +598,21 @@ pub const DEFAULT_LANES: usize = 8;
 /// see [`HarnessArgs::try_from_args`]).
 const HARNESS_SPEC: CliSpec = CliSpec {
     value_flags: &["scale", "threads", "lanes", "out"],
-    switches: &["quiet", "frontend-cache", "no-frontend-cache"],
+    switches: &[
+        "quiet",
+        "frontend-cache",
+        "no-frontend-cache",
+        "store",
+        "no-store",
+    ],
     repeatable: &[],
 };
 
 /// Usage line printed (with exit 64) when a figure binary rejects its
 /// arguments.
 pub const HARNESS_USAGE: &str = "usage: [--scale N] [--threads N] [--lanes N] \
-     [--frontend-cache | --no-frontend-cache] [--quiet] [--out DIR]";
+     [--frontend-cache | --no-frontend-cache] [--store | --no-store] \
+     [--quiet] [--out DIR]";
 
 /// Command-line arguments shared by every experiment binary.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -458,6 +630,11 @@ pub struct HarnessArgs {
     /// either way — the switch exists for timing comparisons and as an
     /// escape hatch.
     pub frontend_cache: bool,
+    /// Consult the persistent stream store under `<results>/store/`
+    /// ([`Sweep::run_stored`], the default); `--no-store` runs the
+    /// frontend cache purely in-process. Output is byte-identical
+    /// store-cold, store-warm, and store-disabled.
+    pub store: bool,
     /// Suppress the commentary footer under each table.
     pub quiet: bool,
     /// Output directory override for binaries that write artifacts
@@ -496,11 +673,20 @@ impl HarnessArgs {
                 b: "no-frontend-cache".into(),
             });
         }
+        let store_on = parsed.switch("store");
+        let store_off = parsed.switch("no-store");
+        if store_on && store_off {
+            return Err(CliError::Conflict {
+                a: "store".into(),
+                b: "no-store".into(),
+            });
+        }
         Ok(HarnessArgs {
             scale: parsed.parsed_or("scale", 1u32)?,
             threads: parsed.parsed_or("threads", default_threads())?.max(1),
             lanes: parsed.parsed_or("lanes", DEFAULT_LANES)?.max(1),
             frontend_cache: !cache_off,
+            store: !store_off,
             quiet: parsed.switch("quiet"),
             out: parsed.flag("out").map(String::from),
         })
@@ -558,6 +744,7 @@ impl Default for HarnessArgs {
             threads: default_threads(),
             lanes: DEFAULT_LANES,
             frontend_cache: true,
+            store: true,
             quiet: false,
             out: None,
         }
@@ -576,12 +763,23 @@ fn default_threads() -> usize {
 pub fn figure_main(grid: fn(u32) -> Sweep, render: fn(u32, &Sweep, &[RunReport], bool) -> String) {
     let args = HarnessArgs::parse();
     let sweep = grid(args.scale);
-    let reports = if args.frontend_cache {
-        sweep.run_cached(args.threads, args.lanes)
+    let reports = run_with_args(&sweep, &args);
+    print!("{}", render(args.scale, &sweep, &reports, args.quiet));
+}
+
+/// Runs a sweep the way [`figure_main`] would: through the frontend
+/// cache backed by the persistent stream store at `<results>/store`
+/// (the default), in-process-only with `--no-store`, or live
+/// lane-batched with `--no-frontend-cache`. All paths are bit-exact.
+pub fn run_with_args(sweep: &Sweep, args: &HarnessArgs) -> Vec<RunReport> {
+    if args.frontend_cache {
+        let store = args
+            .store
+            .then(|| StreamStore::open(args.results_dir().join("store")));
+        sweep.run_stored(args.threads, args.lanes, store.as_ref())
     } else {
         sweep.run_lanes(args.threads, args.lanes)
-    };
-    print!("{}", render(args.scale, &sweep, &reports, args.quiet));
+    }
 }
 
 /// A cursor over sweep results for renderers that consume reports in
@@ -836,6 +1034,23 @@ mod tests {
     }
 
     #[test]
+    fn store_flags_parse_and_conflict() {
+        let on = HarnessArgs::try_from_args(["--store"].map(String::from)).unwrap();
+        assert!(on.store);
+        let off = HarnessArgs::try_from_args(["--no-store"].map(String::from)).unwrap();
+        assert!(!off.store);
+        // Default is on: figure binaries persist and reuse streams.
+        assert!(
+            HarnessArgs::try_from_args(std::iter::empty())
+                .unwrap()
+                .store
+        );
+        let err =
+            HarnessArgs::try_from_args(["--store", "--no-store"].map(String::from)).unwrap_err();
+        assert!(matches!(err, CliError::Conflict { .. }));
+    }
+
+    #[test]
     fn lane_groups_chunk_per_workload_in_order() {
         let mut s = Sweep::new();
         let a = s.workload(gatesim::build(0));
@@ -867,6 +1082,7 @@ mod tests {
                 threads: 3,
                 lanes: 2,
                 frontend_cache: true,
+                store: true,
                 quiet: true,
                 out: None
             }

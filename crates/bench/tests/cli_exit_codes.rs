@@ -73,6 +73,29 @@ fn contradictory_cache_switches_exit_64() {
     assert_usage_error(env!("CARGO_BIN_EXE_perf_report"), args);
 }
 
+#[test]
+fn contradictory_store_switches_exit_64() {
+    // Same contract for the persistent stream store's switch pair.
+    let args = &["--store", "--no-store"];
+    assert_usage_error(env!("CARGO_BIN_EXE_fig12_reload_vs_size"), args);
+    assert_usage_error(env!("CARGO_BIN_EXE_perf_report"), args);
+}
+
+#[test]
+fn store_tool_rejects_malformed_invocations() {
+    let bin = env!("CARGO_BIN_EXE_store_tool");
+    // No subcommand, a bogus subcommand, two subcommands.
+    assert_usage_error(bin, &[]);
+    assert_usage_error(bin, &["prune"]);
+    assert_usage_error(bin, &["info", "gc"]);
+    // Bad byte budget, and a budget on the wrong subcommand.
+    assert_usage_error(bin, &["gc", "--max-bytes", "lots"]);
+    assert_usage_error(bin, &["info", "--max-bytes", "5"]);
+    // Unknown and duplicated flags go through the strict parser.
+    assert_usage_error(bin, &["gc", "--dri", "x"]);
+    assert_usage_error(bin, &["info", "--dir", "a", "--dir", "b"]);
+}
+
 /// Every binary in this crate, with the arguments that hand a duplicate
 /// single-occurrence flag to its parser. The tool binaries need a valid
 /// subcommand first; everything else shares the harness flag set.

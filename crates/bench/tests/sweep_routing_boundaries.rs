@@ -13,7 +13,9 @@
 //! order.
 
 use nsf_bench::{nsf_config, Sweep, SEQ_FILE_REGS};
+use nsf_trace::StreamStore;
 use nsf_workloads::gatesim;
+use std::path::PathBuf;
 
 /// One workload, `n` frontend-equal points over distinct file sizes
 /// (distinct engine configs keep the points from being trivially equal).
@@ -80,6 +82,64 @@ fn single_lane_budget_degrades_to_serial_below_capture() {
         let (reports, stats) = s.run_cached_stats(1, 1);
         assert_eq!(serial, reports, "width {n} at lanes 1");
         assert_eq!(stats.replayed_points, 0, "width {n}: nothing captures");
+    }
+}
+
+/// The lane-batching break-even is pinned where the measurement put it:
+/// pairs and singletons serial, three and up batched. `depth_sweep`'s
+/// per-depth NSF/segmented pairs regressed ~15% when pairs batched —
+/// this constant is the fix, so a retune must be deliberate.
+#[test]
+fn lane_break_even_is_pinned_at_three() {
+    assert_eq!(Sweep::MIN_LANE_GROUP, 3);
+    assert!(!Sweep::lane_batchable(1));
+    assert!(!Sweep::lane_batchable(2));
+    assert!(Sweep::lane_batchable(3));
+
+    // A pair-only sweep routes serial inside run_lanes and still
+    // matches the serial reference bit for bit.
+    let s = sweep_of_width(2);
+    assert_eq!(s.run(1), s.run_lanes(1, 4), "pair group diverged");
+}
+
+/// A process-unique scratch store (wiped on entry, removed on exit).
+fn scratch_store(name: &str) -> (PathBuf, StreamStore) {
+    let dir = std::env::temp_dir().join(format!("nsf-routing-store-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    (dir.clone(), StreamStore::open(dir))
+}
+
+/// With a persistent store, *every* capturable width — including the
+/// singletons and pairs that can never amortize a live capture — saves
+/// its stream cold and replays it warm (the effective capture threshold
+/// is 1 on warm runs), bit-identical to serial both ways.
+#[test]
+fn store_serves_narrow_groups_warm() {
+    for n in [1usize, 2, 3] {
+        let (dir, store) = scratch_store(&format!("narrow{n}"));
+        let s = sweep_of_width(n);
+        let serial = s.run(1);
+
+        let (cold, cold_stats) = s.run_stored_stats(1, 4, Some(&store));
+        assert_eq!(serial, cold, "width {n}: cold store diverged");
+        assert_eq!(cold_stats.store_misses, 1, "width {n}: one group misses");
+        assert_eq!(cold_stats.store_hits, 0);
+        assert_eq!(
+            cold_stats.replayed_points,
+            n as u64 - 1,
+            "width {n}: cold run replays everything behind the head"
+        );
+
+        let (warm, warm_stats) = s.run_stored_stats(1, 4, Some(&store));
+        assert_eq!(serial, warm, "width {n}: warm store diverged");
+        assert_eq!(warm_stats.store_hits, 1, "width {n}: the group hits");
+        assert_eq!(warm_stats.store_misses, 0);
+        assert_eq!(
+            warm_stats.store_served_points, n as u64,
+            "width {n}: every point serves from the store, head included"
+        );
+        assert_eq!(warm_stats.replayed_points, n as u64);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

@@ -16,15 +16,18 @@ use crate::cost::point_cost;
 use crate::ledger::{
     encode_header, encode_record, parse, LedgerError, LedgerHeader, LedgerRecord, ParsedLedger,
 };
+use crate::memo::{encode_memo_header, encode_memo_record, memo_key, parse_memo, MemoRecord};
 use crate::pareto::ParetoFront;
 use crate::spec::{shard_of, workload_builder, ExploreSpec, Point};
 use nsf_bench::Sweep;
 use nsf_sim::SpecError;
+use nsf_trace::{stream_fingerprint, StreamStore};
+use nsf_workloads::Workload;
 use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Default points per checkpoint chunk: wide enough that a chunk's
@@ -93,6 +96,11 @@ pub struct Explorer {
     pub stop_after: Option<u64>,
     /// Suppress progress commentary on stderr.
     pub quiet: bool,
+    /// Persistent content-addressed store directory: frontend event
+    /// streams ([`StreamStore`], shared with the sweep harness) plus
+    /// the per-point result memo (`explore_memo.nsfm`). `None` runs
+    /// store-less — every point simulates live.
+    pub store_dir: Option<PathBuf>,
 }
 
 /// What one [`Explorer::run`] did.
@@ -106,6 +114,9 @@ pub struct ExploreOutcome {
     pub resumed: u64,
     /// Points newly evaluated by this invocation.
     pub evaluated: u64,
+    /// Of [`ExploreOutcome::evaluated`], points served from the result
+    /// memo without simulating.
+    pub memoized: u64,
     /// Checkpoints written by this invocation.
     pub checkpoints: u64,
     /// Points offered to the fronts and pruned as dominated.
@@ -136,6 +147,7 @@ impl Explorer {
             chunk: DEFAULT_CHUNK,
             stop_after: None,
             quiet: false,
+            store_dir: None,
         }
     }
 
@@ -252,27 +264,28 @@ impl Explorer {
             .collect();
         fs::create_dir_all(&self.out_dir)?;
         let resumed = self.open_ledger(&shard_pts)?.len();
+        let mut ctx = match &self.store_dir {
+            None => None,
+            Some(dir) => Some(StoreCtx::open(dir)?),
+        };
 
         let mut ledger = fs::OpenOptions::new()
             .append(true)
             .open(self.ledger_path())?;
         let mut evaluated = 0u64;
+        let mut memoized = 0u64;
         let mut checkpoints = 0u64;
         let mut completed = true;
         for chunk in shard_pts[resumed..].chunks(self.chunk.max(1)) {
-            let reports = self.run_chunk(chunk)?;
+            let (records, hits) = self.run_chunk(chunk, ctx.as_mut())?;
             let mut bytes = Vec::new();
-            for (p, report) in chunk.iter().zip(&reports) {
-                bytes.extend(encode_record(&LedgerRecord {
-                    point_idx: p.idx,
-                    instructions: report.instructions,
-                    cycles: report.cycles,
-                    cost: point_cost(&p.regfile()?, report),
-                }));
+            for rec in &records {
+                bytes.extend(encode_record(rec));
             }
             ledger.write_all(&bytes)?;
             ledger.flush()?;
             evaluated += chunk.len() as u64;
+            memoized += hits;
             checkpoints += 1;
             if !self.quiet {
                 eprintln!(
@@ -309,6 +322,7 @@ impl Explorer {
             shard_points: shard_pts.len() as u64,
             resumed: resumed as u64,
             evaluated,
+            memoized,
             checkpoints,
             pruned,
             front_size,
@@ -319,24 +333,158 @@ impl Explorer {
         })
     }
 
-    /// Executes one chunk through the sweep runner's frontend cache.
-    fn run_chunk(&self, chunk: &[Point]) -> Result<Vec<nsf_sim::RunReport>, ExploreError> {
-        let mut sweep = Sweep::new();
-        // Workloads memoised per chunk (built once, shared by index).
-        let mut built: HashMap<usize, usize> = HashMap::new();
+    /// Evaluates one chunk: memo hits synthesize their ledger records
+    /// directly; the rest run through the sweep runner's frontend cache
+    /// (stream-store-backed when a store is open) and are appended to
+    /// the memo for every later chunk, shard, or run. Returns the
+    /// records in chunk order plus the memo-hit count. With `ctx:
+    /// None` every point simulates live, exactly as before.
+    fn run_chunk(
+        &self,
+        chunk: &[Point],
+        mut ctx: Option<&mut StoreCtx>,
+    ) -> Result<(Vec<LedgerRecord>, u64), ExploreError> {
+        // Workloads memoised per chunk (built once, shared by index);
+        // kept out of the sweep until we know which points must run,
+        // because fingerprinting needs the workload content.
+        let mut built: Vec<(usize, Workload)> = Vec::new();
+        let mut slot_of: HashMap<usize, usize> = HashMap::new();
         for p in chunk {
-            let wl = match built.get(&p.workload) {
+            if let std::collections::hash_map::Entry::Vacant(e) = slot_of.entry(p.workload) {
+                let name = &self.spec.workloads[p.workload];
+                e.insert(built.len());
+                built.push((p.workload, workload_builder(name)?(self.spec.scale)));
+            }
+        }
+
+        // Content keys, and the hit/miss split. A point whose frontend
+        // cannot be fingerprinted (or with no store open) simply never
+        // memoizes.
+        let mut records: Vec<Option<LedgerRecord>> = vec![None; chunk.len()];
+        let mut keys: Vec<Option<u64>> = vec![None; chunk.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, p) in chunk.iter().enumerate() {
+            if let Some(c) = ctx.as_deref_mut() {
+                let w = &built[slot_of[&p.workload]].1;
+                keys[i] = stream_fingerprint(w, &p.sim_config()?)
+                    .map(|fp| memo_key(fp, &p.engine, nsf_vlsi::MODEL_VERSION));
+                if let Some(m) = keys[i].and_then(|k| c.memo.get(&k)) {
+                    records[i] = Some(LedgerRecord {
+                        point_idx: p.idx,
+                        instructions: m.instructions,
+                        cycles: m.cycles,
+                        cost: m.cost,
+                    });
+                    continue;
+                }
+            }
+            misses.push(i);
+        }
+        let hits = (chunk.len() - misses.len()) as u64;
+
+        // Simulate the misses in one sweep (chunk order preserved).
+        let mut sweep = Sweep::new();
+        let mut workloads: Vec<Option<Workload>> =
+            built.into_iter().map(|(_, w)| Some(w)).collect();
+        let mut sweep_idx: HashMap<usize, usize> = HashMap::new();
+        for &i in &misses {
+            let p = &chunk[i];
+            let slot = slot_of[&p.workload];
+            let wl = match sweep_idx.get(&p.workload) {
                 Some(&wl) => wl,
                 None => {
-                    let name = &self.spec.workloads[p.workload];
-                    let wl = sweep.workload(workload_builder(name)?(self.spec.scale));
-                    built.insert(p.workload, wl);
+                    let wl = sweep.workload(workloads[slot].take().expect("workload built once"));
+                    sweep_idx.insert(p.workload, wl);
                     wl
                 }
             };
             sweep.point(wl, p.sim_config()?);
         }
-        Ok(sweep.run_cached(self.threads, self.lanes))
+        let store = ctx.as_deref().map(|c| &c.store);
+        let reports = sweep.run_stored(self.threads, self.lanes, store);
+
+        let mut memo_bytes = Vec::new();
+        for (&i, report) in misses.iter().zip(&reports) {
+            let p = &chunk[i];
+            let rec = LedgerRecord {
+                point_idx: p.idx,
+                instructions: report.instructions,
+                cycles: report.cycles,
+                cost: point_cost(&p.regfile()?, report),
+            };
+            records[i] = Some(rec);
+            if let (Some(c), Some(k)) = (ctx.as_deref_mut(), keys[i]) {
+                let m = MemoRecord {
+                    key: k,
+                    instructions: rec.instructions,
+                    cycles: rec.cycles,
+                    cost: rec.cost,
+                };
+                memo_bytes.extend(encode_memo_record(&m));
+                c.memo.insert(k, m);
+            }
+        }
+        if let Some(c) = ctx {
+            if !memo_bytes.is_empty() {
+                c.file.write_all(&memo_bytes)?;
+                c.file.flush()?;
+            }
+        }
+        let records = records
+            .into_iter()
+            .map(|r| r.expect("every chunk point resolved"))
+            .collect();
+        Ok((records, hits))
+    }
+}
+
+/// An open persistent store: the shared frontend [`StreamStore`] plus
+/// the explorer's result memo (loaded map + append handle).
+struct StoreCtx {
+    store: StreamStore,
+    memo: HashMap<u64, MemoRecord>,
+    file: fs::File,
+}
+
+impl StoreCtx {
+    /// The memo file inside a store directory.
+    fn memo_path(dir: &Path) -> PathBuf {
+        dir.join("explore_memo.nsfm")
+    }
+
+    /// Opens (or creates) the store directory and loads the memo. The
+    /// memo is advisory, so damage is never fatal: a torn tail is
+    /// truncated at the last intact record, and a corrupt or foreign
+    /// header discards the file and starts a fresh one — the run just
+    /// re-simulates what was lost.
+    fn open(dir: &Path) -> Result<StoreCtx, ExploreError> {
+        fs::create_dir_all(dir)?;
+        let path = Self::memo_path(dir);
+        let mut memo = HashMap::new();
+        match fs::read(&path) {
+            Ok(bytes) => match parse_memo(&bytes) {
+                Ok(parsed) => {
+                    if parsed.valid_len < bytes.len() {
+                        let f = fs::OpenOptions::new().write(true).open(&path)?;
+                        f.set_len(parsed.valid_len as u64)?;
+                    }
+                    for r in parsed.records {
+                        memo.insert(r.key, r);
+                    }
+                }
+                Err(_) => fs::write(&path, encode_memo_header())?,
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                fs::write(&path, encode_memo_header())?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let file = fs::OpenOptions::new().append(true).open(&path)?;
+        Ok(StoreCtx {
+            store: StreamStore::open(dir.to_path_buf()),
+            memo,
+            file,
+        })
     }
 }
 

@@ -36,6 +36,7 @@
 pub mod cost;
 pub mod driver;
 pub mod ledger;
+pub mod memo;
 pub mod pareto;
 pub mod spec;
 
@@ -45,5 +46,8 @@ pub use driver::{
     DEFAULT_CHUNK,
 };
 pub use ledger::{LedgerError, LedgerHeader, LedgerRecord, ParsedLedger};
+pub use memo::{
+    memo_key, parse_memo, MemoCorrupt, MemoRecord, ParsedMemo, MEMO_MAGIC, MEMO_VERSION,
+};
 pub use pareto::{CostPoint, ParetoFront, PointCost};
 pub use spec::{shard_of, workload_builder, CacheGeom, ExploreSpec, Family, Point, WORKLOADS};

@@ -22,7 +22,7 @@ const USAGE: &str = "usage: nsf-explore [--scale N] [--shard I/N] [--out DIR]
                    [--families LIST] [--regs LIST] [--lines LIST]
                    [--contexts LIST] [--caches LIST] [--workloads LIST]
                    [--chunk N] [--stop-after N] [--threads N] [--lanes N]
-                   [--quiet] [--merge LEDGER,LEDGER,...]
+                   [--store | --no-store] [--quiet] [--merge LEDGER,LEDGER,...]
   lists are comma-separated; families use the engine-spec kinds
   (nsf, segmented, segmented-sw, segmented-valid, windowed, conventional);
   caches are sparc2 or <capacity>x<line>x<ways> in words; workloads are
@@ -46,7 +46,7 @@ const SPEC: CliSpec = CliSpec {
         "lanes",
         "merge",
     ],
-    switches: &["quiet"],
+    switches: &["quiet", "store", "no-store"],
     repeatable: &[],
 };
 
@@ -159,6 +159,15 @@ fn build(args: &CliArgs) -> Result<Explorer, CliError> {
         Some(v) => Some(v.parse().map_err(|_| bad("stop-after", v))?),
     };
     ex.quiet = args.switch("quiet");
+    if args.switch("store") && args.switch("no-store") {
+        return Err(CliError::Conflict {
+            a: "store".into(),
+            b: "no-store".into(),
+        });
+    }
+    // The persistent store defaults ON and lives inside the output
+    // directory, next to the ledger it accelerates.
+    ex.store_dir = (!args.switch("no-store")).then(|| ex.out_dir.join("store"));
     Ok(ex)
 }
 
@@ -187,13 +196,15 @@ fn run(ex: &Explorer, args: &CliArgs) -> Result<ExitCode, ExploreError> {
     };
     println!(
         "explore-summary shard={}/{} points={} shard_points={} resumed={} evaluated={} \
-         checkpoints={} pruned={} front={} completed={} elapsed_ms={} configs_per_sec={:.1}",
+         memoized={} checkpoints={} pruned={} front={} completed={} elapsed_ms={} \
+         configs_per_sec={:.1}",
         ex.shard_index,
         ex.shard_count,
         outcome.total_points,
         outcome.shard_points,
         outcome.resumed,
         outcome.evaluated,
+        outcome.memoized,
         outcome.checkpoints,
         outcome.pruned,
         outcome.front_size,

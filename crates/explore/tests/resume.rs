@@ -125,6 +125,51 @@ fn merged_shards_equal_the_single_shard_run() {
 }
 
 #[test]
+fn memoized_rerun_is_byte_identical_and_skips_simulation() {
+    // Reference: a store-less run.
+    let bare = explorer(scratch("memo-bare"));
+    bare.run().expect("store-less run");
+    let (ledger, front) = read_artifacts(&bare);
+
+    // Cold store run: everything simulates, everything memoizes.
+    let mut cold = explorer(scratch("memo-cold"));
+    cold.store_dir = Some(cold.out_dir.join("store"));
+    let first = cold.run().expect("cold store run");
+    assert!(first.completed);
+    assert_eq!(first.memoized, 0, "nothing to hit on a cold store");
+    assert_eq!(read_artifacts(&cold), (ledger.clone(), front.clone()));
+
+    // Warm re-run into a fresh ledger, same store: every point is a
+    // memo hit, and the artifacts are still byte-identical.
+    let mut warm = cold.clone();
+    warm.out_dir = scratch("memo-warm");
+    warm.store_dir = cold.store_dir.clone();
+    let second = warm.run().expect("warm store run");
+    assert!(second.completed);
+    assert_eq!(second.evaluated, 9);
+    assert_eq!(second.memoized, 9, "every point memo-hits on a warm store");
+    assert_eq!(read_artifacts(&warm), (ledger.clone(), front.clone()));
+
+    // A corrupted memo is discarded, not trusted and not fatal: the
+    // run re-simulates and still lands on the same bytes.
+    let memo_path = cold.store_dir.as_ref().unwrap().join("explore_memo.nsfm");
+    let mut bytes = fs::read(&memo_path).unwrap();
+    bytes[1] ^= 0xff; // header damage: the whole file is refused
+    fs::write(&memo_path, &bytes).unwrap();
+    let mut hurt = cold.clone();
+    hurt.out_dir = scratch("memo-hurt");
+    hurt.store_dir = cold.store_dir.clone();
+    let third = hurt.run().expect("corrupt-memo run");
+    assert!(third.completed);
+    assert_eq!(third.memoized, 0, "a corrupt memo serves nothing");
+    assert_eq!(read_artifacts(&hurt), (ledger, front));
+    // ...and the discarded file was rebuilt with fresh records.
+    let rebuilt = fs::read(&memo_path).unwrap();
+    let parsed = nsf_explore::parse_memo(&rebuilt).expect("rebuilt memo parses");
+    assert_eq!(parsed.records.len(), 9);
+}
+
+#[test]
 fn foreign_ledgers_are_refused() {
     let ex = explorer(scratch("foreign"));
     ex.run().expect("seed run");

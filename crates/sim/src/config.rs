@@ -209,6 +209,14 @@ impl Default for SimConfig {
     }
 }
 
+/// Version of the frontend-fingerprint field encoding
+/// ([`SimConfig::frontend_fingerprint_fields`]). Bump whenever the
+/// [`SimConfig::frontend_eq`] field set, a field's semantics, or the
+/// push order changes: persistent stores key captured event streams by
+/// a hash over these fields, and a stale key definition must invalidate
+/// every old entry rather than silently match one.
+pub const FRONTEND_FINGERPRINT_VERSION: u32 = 1;
+
 impl SimConfig {
     /// A config with everything default except the register file.
     pub fn with_regfile(regfile: RegFileSpec) -> Self {
@@ -216,6 +224,69 @@ impl SimConfig {
             regfile,
             ..Default::default()
         }
+    }
+
+    /// Feeds every frontend-relevant field — exactly the set
+    /// [`SimConfig::frontend_eq`] compares, and nothing else — into
+    /// `push` as a fixed-order word sequence. Two configurations push
+    /// identical sequences **iff** they are `frontend_eq` (options are
+    /// presence-tagged so `None` can never alias a value), which makes
+    /// the sequence a sound content-address for captured frontend event
+    /// streams: a hash over it (plus the workload's content) keys the
+    /// persistent stream store in `nsf_trace::store`.
+    pub fn frontend_fingerprint_fields(&self, push: &mut impl FnMut(u64)) {
+        let opt = |v: Option<u64>, push: &mut dyn FnMut(u64)| match v {
+            None => push(0),
+            Some(v) => {
+                push(1);
+                push(v);
+            }
+        };
+        push(u64::from(FRONTEND_FINGERPRINT_VERSION));
+        // mem: data-cache geometry/latency and Ctable capacity.
+        push(u64::from(self.mem.dcache.capacity_words));
+        push(u64::from(self.mem.dcache.line_words));
+        push(u64::from(self.mem.dcache.ways));
+        push(u64::from(self.mem.dcache.hit_cycles));
+        push(u64::from(self.mem.dcache.miss_penalty));
+        push(self.mem.ctable_slots as u64);
+        // sched
+        push(u64::from(self.sched.max_threads));
+        push(u64::from(self.sched.cid_capacity));
+        push(u64::from(self.sched.stack_words));
+        push(u64::from(self.sched.stack_base));
+        // cycles
+        push(u64::from(self.cycles.alu));
+        push(u64::from(self.cycles.control));
+        push(u64::from(self.cycles.taken_extra));
+        push(u64::from(self.cycles.mem_base));
+        push(u64::from(self.cycles.thread_op));
+        push(u64::from(self.cycles.proc_op));
+        push(u64::from(self.cycles.misc));
+        push(u64::from(self.cycles.switch_overhead));
+        // scalar frontend parameters
+        push(u64::from(self.remote_latency));
+        push(u64::from(self.msg_latency));
+        push(self.sample_interval);
+        push(self.max_instructions);
+        opt(self.quantum, push);
+        push(u64::from(self.backing_base));
+        push(self.trace_depth as u64);
+        opt(self.channel_capacity.map(u64::from), push);
+        match &self.icache {
+            None => push(0),
+            Some(c) => {
+                push(1);
+                push(u64::from(c.capacity_words));
+                push(u64::from(c.line_words));
+                push(u64::from(c.ways));
+                push(u64::from(c.hit_cycles));
+                push(u64::from(c.miss_penalty));
+            }
+        }
+        push(u64::from(self.issue_width));
+        push(u64::from(self.read_ports));
+        push(u64::from(self.write_ports));
     }
 
     /// `true` when `self` and `other` agree on everything *except* the

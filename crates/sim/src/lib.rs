@@ -39,7 +39,9 @@ pub mod spec;
 pub mod trace;
 
 pub use backing::{BackingMap, CtableBacking, LaneStore};
-pub use config::{CycleTable, RegFileSpec, SimConfig, BACKING_STRIDE_WORDS};
+pub use config::{
+    CycleTable, RegFileSpec, SimConfig, BACKING_STRIDE_WORDS, FRONTEND_FINGERPRINT_VERSION,
+};
 pub use lanes::{batchable, batchable_program, FrontendProbe, LaneSet, NoProbe};
 pub use machine::{Machine, SimError};
 pub use metrics::{OccupancySummary, RunReport};

@@ -163,8 +163,9 @@ pub struct FrontendBuffer {
     /// The configuration the capture ran under. Replay is legal for any
     /// configuration with [`SimConfig::frontend_eq`] to this one.
     pub cfg: SimConfig,
-    /// The encoded event stream.
-    bytes: Vec<u8>,
+    /// The encoded event stream (crate-visible so `crate::store` can
+    /// persist and reconstruct buffers without re-encoding).
+    pub(crate) bytes: Vec<u8>,
     /// Number of events encoded.
     pub events: u64,
     /// Sum of the lane-invariant frontend cycle charges.

@@ -35,6 +35,7 @@ pub mod fcache;
 pub mod format;
 pub mod recorder;
 pub mod replay;
+pub mod store;
 /// The engine-spec grammar, re-exported from its shared home in
 /// `nsf-sim` (`nsf_sim::spec`) — trace headers store these strings, so
 /// the historical `nsf_trace::spec` path keeps working.
@@ -49,6 +50,10 @@ pub use format::{
 pub use recorder::TraceRecorder;
 pub use replay::{diff, replay, replay_events, DiffReport, Divergence, ReplayReport, StatDelta};
 pub use spec::{default_engine_spec, parse_engine, SpecError};
+pub use store::{
+    decode_stream, encode_stream, stream_fingerprint, validate_stream_bytes, StoreError,
+    StreamStore, STORE_MAGIC, STORE_VERSION,
+};
 
 use nsf_sim::{RunReport, SimConfig};
 use nsf_workloads::{Workload, WorkloadError};

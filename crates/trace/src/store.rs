@@ -1,0 +1,634 @@
+//! Persistent content-addressed store for captured frontend streams.
+//!
+//! [`crate::fcache`] pays each workload's frontend once *per process*;
+//! this module makes that capture an artifact that outlives the process.
+//! A [`StreamStore`] is a directory (by convention `results/store/`) of
+//! `.nsfs` files, one per captured [`FrontendBuffer`], each named by and
+//! keyed on a **content fingerprint** over everything that determines
+//! the event stream:
+//!
+//! * the workload's full content — name, encoded program words, entry
+//!   point, and every staged memory block (workload id + seed + scale
+//!   are all reflected here, since the generators are deterministic);
+//! * every frontend-relevant [`SimConfig`] field, exactly the
+//!   [`SimConfig::frontend_eq`] set, via
+//!   [`SimConfig::frontend_fingerprint_fields`];
+//! * the store format and fingerprint-schema versions.
+//!
+//! Two sweep points agree on the fingerprint **iff** a stream captured
+//! for one is a valid replay source for the other, so any binary or run
+//! that captured a stream earlier can serve any later one — including
+//! singleton and narrow frontend groups that are too small to amortize
+//! a live capture on their own.
+//!
+//! ## Trust: never
+//!
+//! A store entry is an optimization, never an authority. The file
+//! carries the `.nsftrace` discipline — magic, version byte, and a
+//! trailing FNV-1a-64 checksum over the whole body — and every failure
+//! mode (foreign magic, unknown version, truncation, bit corruption,
+//! fingerprint mismatch) is a typed [`StoreError`]; callers fall back
+//! to live capture. Even a loaded stream is still subject to the full
+//! equivalence wall: replay checks every value-bearing event against
+//! the recording ([`nsf_sim::SimError::LaneDivergence`]) and every lane
+//! against the workload's output check, so a corrupted-but-checksummed
+//! entry can never silently produce statistics.
+
+use crate::fcache::FrontendBuffer;
+use crate::format::{VarReader, VarWriter};
+use nsf_core::RegFileStats;
+use nsf_mem::CacheStats;
+use nsf_sim::{OccupancySummary, RunReport, SimConfig};
+use nsf_workloads::Workload;
+use std::fmt;
+use std::io::{self, ErrorKind};
+use std::path::{Path, PathBuf};
+
+/// File magic for persisted stream entries ("Named-State File Stream").
+pub const STORE_MAGIC: [u8; 4] = *b"NSFS";
+
+/// Store format version. Bump on any change to the entry layout; old
+/// entries are then rejected as [`StoreError::UnsupportedVersion`] and
+/// recaptured live. The version also feeds [`stream_fingerprint`], so a
+/// bump changes every key as well.
+pub const STORE_VERSION: u8 = 1;
+
+/// Checksum width: one FNV-1a-64 sum, little-endian, at the very end of
+/// the file (the `.nsftrace` trailer discipline, fixed-width so it can
+/// be located from the tail).
+const CHECKSUM_BYTES: usize = 8;
+
+/// Everything that can go wrong loading or validating a store entry.
+/// Every variant is a *reject and recapture live* signal — none is
+/// fatal to the run that hits it.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure (not "file absent" — that is a plain miss).
+    Io(io::Error),
+    /// The file does not start with [`STORE_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The file's version byte is not [`STORE_VERSION`].
+    UnsupportedVersion(u8),
+    /// The file ends mid-field (torn write / truncation).
+    Truncated,
+    /// The trailing checksum does not match the body.
+    ChecksumMismatch {
+        /// Checksum stored in the trailer.
+        stored: u64,
+        /// Checksum recomputed over the body.
+        computed: u64,
+    },
+    /// The entry's embedded fingerprint is not the requested one (a
+    /// renamed or misfiled entry).
+    FingerprintMismatch {
+        /// Fingerprint the caller asked for.
+        expected: u64,
+        /// Fingerprint found in the entry.
+        found: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::BadMagic(m) => write!(f, "not a stream-store entry (magic {m:02x?})"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported stream-store version {v}")
+            }
+            StoreError::Truncated => write!(f, "stream-store entry truncated"),
+            StoreError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "stream-store checksum mismatch: stored {stored:#018x}, \
+                 computed {computed:#018x}"
+            ),
+            StoreError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "stream-store fingerprint mismatch: expected {expected:#018x}, \
+                 entry holds {found:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == ErrorKind::UnexpectedEof {
+            StoreError::Truncated
+        } else {
+            StoreError::Io(e)
+        }
+    }
+}
+
+/// Incremental FNV-1a-64 (the `.nsftrace`/`.nsfx` checksum function).
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn word(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Content fingerprint for `workload`'s frontend event stream under
+/// `cfg`: an FNV-1a-64 over the store version, the workload's full
+/// content (name, program words, entry point, staged memory), and the
+/// [`SimConfig::frontend_fingerprint_fields`] sequence. Returns `None`
+/// when the program cannot be encoded to words (such a workload simply
+/// bypasses the store). Any change to a fingerprint input — workload
+/// generator output, frontend configuration, either format version —
+/// produces a new key, which is the store's entire invalidation rule.
+pub fn stream_fingerprint(workload: &Workload, cfg: &SimConfig) -> Option<u64> {
+    let words = workload.program.to_words().ok()?;
+    let mut h = Fnv64::new();
+    h.word(u64::from(STORE_VERSION));
+    h.word(workload.name.len() as u64);
+    h.bytes(workload.name.as_bytes());
+    h.word(words.len() as u64);
+    for w in &words {
+        h.word(u64::from(*w));
+    }
+    h.word(u64::from(workload.program.entry()));
+    h.word(workload.mem_init.len() as u64);
+    for (addr, block) in &workload.mem_init {
+        h.word(u64::from(*addr));
+        h.word(block.len() as u64);
+        for w in block {
+            h.word(u64::from(*w));
+        }
+    }
+    cfg.frontend_fingerprint_fields(&mut |v| h.word(v));
+    Some(h.finish())
+}
+
+/// Serializes `buf` into a self-checking store entry for `fingerprint`.
+pub fn encode_stream(fingerprint: u64, buf: &FrontendBuffer) -> Vec<u8> {
+    let mut w = VarWriter::with_capacity(buf.bytes.len() + 256);
+    for b in STORE_MAGIC {
+        w.put_u8(b);
+    }
+    w.put_u8(STORE_VERSION);
+    w.put_varint(fingerprint);
+    w.put_varint(buf.events);
+    w.put_varint(buf.shared_cycles);
+    encode_report(&mut w, &buf.report);
+    w.put_varint(buf.bytes.len() as u64);
+    let mut out = w.into_bytes();
+    out.extend_from_slice(&buf.bytes);
+    let mut h = Fnv64::new();
+    h.bytes(&out);
+    let sum = h.finish();
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Checks magic, version, checksum, and embedded fingerprint of a raw
+/// entry without materializing the buffer (what `store_tool` runs over
+/// every file). [`decode_stream`] builds on the same checks.
+pub fn validate_stream_bytes(bytes: &[u8], expected: u64) -> Result<(), StoreError> {
+    let body = checked_body(bytes)?;
+    let mut r = VarReader::new(&body[STORE_MAGIC.len() + 1..]);
+    let found = r.get_varint().map_err(|_| StoreError::Truncated)?;
+    if found != expected {
+        return Err(StoreError::FingerprintMismatch { expected, found });
+    }
+    Ok(())
+}
+
+/// Verifies framing and checksum, returning the body (everything before
+/// the trailer) with magic and version already validated.
+fn checked_body(bytes: &[u8]) -> Result<&[u8], StoreError> {
+    // Checksum first: nothing in a damaged file is worth parsing.
+    if bytes.len() < STORE_MAGIC.len() + 1 + CHECKSUM_BYTES {
+        return Err(StoreError::Truncated);
+    }
+    if bytes[..STORE_MAGIC.len()] != STORE_MAGIC {
+        let mut m = [0u8; 4];
+        m.copy_from_slice(&bytes[..4]);
+        return Err(StoreError::BadMagic(m));
+    }
+    let version = bytes[STORE_MAGIC.len()];
+    if version != STORE_VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - CHECKSUM_BYTES);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("trailer is 8 bytes"));
+    let mut h = Fnv64::new();
+    h.bytes(body);
+    let computed = h.finish();
+    if stored != computed {
+        return Err(StoreError::ChecksumMismatch { stored, computed });
+    }
+    Ok(body)
+}
+
+/// Decodes a store entry back into a [`FrontendBuffer`]. `cfg` becomes
+/// the buffer's configuration: the fingerprint covers exactly the
+/// [`SimConfig::frontend_eq`] field set, so a fingerprint match proves
+/// the entry was captured under a frontend-equal configuration and the
+/// caller's own is interchangeable with the original.
+pub fn decode_stream(
+    bytes: &[u8],
+    expected: u64,
+    cfg: &SimConfig,
+) -> Result<FrontendBuffer, StoreError> {
+    let body = checked_body(bytes)?;
+    let mut r = VarReader::new(&body[STORE_MAGIC.len() + 1..]);
+    let trunc = |_| StoreError::Truncated;
+    let found = r.get_varint().map_err(trunc)?;
+    if found != expected {
+        return Err(StoreError::FingerprintMismatch { expected, found });
+    }
+    let events = r.get_varint().map_err(trunc)?;
+    let shared_cycles = r.get_varint().map_err(trunc)?;
+    let report = decode_report(&mut r)?;
+    let stream_len = usize::try_from(r.get_varint().map_err(trunc)?).map_err(|_| {
+        StoreError::Truncated // longer than addressable memory: nonsense length
+    })?;
+    let start = STORE_MAGIC.len() + 1 + r.pos();
+    let stream = body
+        .get(start..start + stream_len)
+        .ok_or(StoreError::Truncated)?;
+    if start + stream_len != body.len() {
+        // Trailing garbage inside a checksummed body: writer bug, reject.
+        return Err(StoreError::Truncated);
+    }
+    Ok(FrontendBuffer {
+        cfg: *cfg,
+        bytes: stream.to_vec(),
+        events,
+        shared_cycles,
+        report,
+    })
+}
+
+fn encode_report(w: &mut VarWriter, r: &RunReport) {
+    w.put_varint(r.regfile_desc.len() as u64);
+    for b in r.regfile_desc.as_bytes() {
+        w.put_u8(*b);
+    }
+    w.put_varint(u64::from(r.regfile_capacity));
+    w.put_varint(r.instructions);
+    w.put_varint(r.cycles);
+    w.put_varint(r.idle_cycles);
+    for c in &r.class_counts {
+        w.put_varint(*c);
+    }
+    w.put_varint(r.context_switches);
+    w.put_varint(r.thread_switches);
+    w.put_varint(r.calls);
+    w.put_varint(r.returns);
+    w.put_varint(r.spawns);
+    w.put_varint(r.static_instructions as u64);
+    for v in regfile_fields(&r.regfile) {
+        w.put_varint(v);
+    }
+    encode_cache(w, &r.dcache);
+    w.put_varint(r.occupancy.samples);
+    w.put_varint(r.occupancy.sum_valid_regs);
+    w.put_varint(r.occupancy.sum_contexts);
+    w.put_varint(u64::from(r.occupancy.max_valid_regs));
+    w.put_varint(u64::from(r.occupancy.max_contexts));
+    w.put_varint(r.thread_instructions.len() as u64);
+    for t in &r.thread_instructions {
+        w.put_varint(*t);
+    }
+    match &r.icache {
+        None => w.put_u8(0),
+        Some(c) => {
+            w.put_u8(1);
+            encode_cache(w, c);
+        }
+    }
+}
+
+fn encode_cache(w: &mut VarWriter, c: &CacheStats) {
+    w.put_varint(c.accesses);
+    w.put_varint(c.hits);
+    w.put_varint(c.misses);
+    w.put_varint(c.writebacks);
+}
+
+fn regfile_fields(s: &RegFileStats) -> [u64; 15] {
+    [
+        s.reads,
+        s.writes,
+        s.read_hits,
+        s.read_misses,
+        s.write_hits,
+        s.write_misses,
+        s.lines_reloaded,
+        s.regs_reloaded,
+        s.live_regs_reloaded,
+        s.regs_spilled,
+        s.regs_dribbled,
+        s.context_switches,
+        s.switch_hits,
+        s.spill_reload_cycles,
+        s.port_conflict_cycles,
+    ]
+}
+
+fn decode_report(r: &mut VarReader<'_>) -> Result<RunReport, StoreError> {
+    let trunc = |_| StoreError::Truncated;
+    let mut rep = RunReport::default();
+    let desc_len =
+        usize::try_from(r.get_varint().map_err(trunc)?).map_err(|_| StoreError::Truncated)?;
+    let mut desc = Vec::with_capacity(desc_len.min(1 << 10));
+    for _ in 0..desc_len {
+        desc.push(r.get_u8().map_err(trunc)?);
+    }
+    rep.regfile_desc = String::from_utf8(desc).map_err(|_| StoreError::Truncated)?;
+    rep.regfile_capacity = r.get_u32().map_err(trunc)?;
+    rep.instructions = r.get_varint().map_err(trunc)?;
+    rep.cycles = r.get_varint().map_err(trunc)?;
+    rep.idle_cycles = r.get_varint().map_err(trunc)?;
+    for c in &mut rep.class_counts {
+        *c = r.get_varint().map_err(trunc)?;
+    }
+    rep.context_switches = r.get_varint().map_err(trunc)?;
+    rep.thread_switches = r.get_varint().map_err(trunc)?;
+    rep.calls = r.get_varint().map_err(trunc)?;
+    rep.returns = r.get_varint().map_err(trunc)?;
+    rep.spawns = r.get_varint().map_err(trunc)?;
+    rep.static_instructions =
+        usize::try_from(r.get_varint().map_err(trunc)?).map_err(|_| StoreError::Truncated)?;
+    let mut rf = [0u64; 15];
+    for v in &mut rf {
+        *v = r.get_varint().map_err(trunc)?;
+    }
+    rep.regfile = RegFileStats {
+        reads: rf[0],
+        writes: rf[1],
+        read_hits: rf[2],
+        read_misses: rf[3],
+        write_hits: rf[4],
+        write_misses: rf[5],
+        lines_reloaded: rf[6],
+        regs_reloaded: rf[7],
+        live_regs_reloaded: rf[8],
+        regs_spilled: rf[9],
+        regs_dribbled: rf[10],
+        context_switches: rf[11],
+        switch_hits: rf[12],
+        spill_reload_cycles: rf[13],
+        port_conflict_cycles: rf[14],
+    };
+    rep.dcache = decode_cache(r)?;
+    rep.occupancy = OccupancySummary {
+        samples: r.get_varint().map_err(trunc)?,
+        sum_valid_regs: r.get_varint().map_err(trunc)?,
+        sum_contexts: r.get_varint().map_err(trunc)?,
+        max_valid_regs: r.get_u32().map_err(trunc)?,
+        max_contexts: r.get_u32().map_err(trunc)?,
+    };
+    let threads =
+        usize::try_from(r.get_varint().map_err(trunc)?).map_err(|_| StoreError::Truncated)?;
+    let mut ti = Vec::with_capacity(threads.min(1 << 16));
+    for _ in 0..threads {
+        ti.push(r.get_varint().map_err(trunc)?);
+    }
+    rep.thread_instructions = ti;
+    rep.icache = match r.get_u8().map_err(trunc)? {
+        0 => None,
+        _ => Some(decode_cache(r)?),
+    };
+    Ok(rep)
+}
+
+fn decode_cache(r: &mut VarReader<'_>) -> Result<CacheStats, StoreError> {
+    let trunc = |_| StoreError::Truncated;
+    Ok(CacheStats {
+        accesses: r.get_varint().map_err(trunc)?,
+        hits: r.get_varint().map_err(trunc)?,
+        misses: r.get_varint().map_err(trunc)?,
+        writebacks: r.get_varint().map_err(trunc)?,
+    })
+}
+
+/// A directory of persisted stream entries, one `.nsfs` file per
+/// fingerprint. Opening is lazy — the directory is created on the first
+/// save, so a read-only consumer never writes anything.
+#[derive(Clone, Debug)]
+pub struct StreamStore {
+    dir: PathBuf,
+}
+
+impl StreamStore {
+    /// A store rooted at `dir` (typically `results/store/`).
+    pub fn open(dir: impl Into<PathBuf>) -> Self {
+        StreamStore { dir: dir.into() }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the entry for `fingerprint`.
+    pub fn stream_path(&self, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!("{fingerprint:016x}.nsfs"))
+    }
+
+    /// Loads the entry for `fingerprint`, if present and intact.
+    /// `Ok(None)` is a plain miss (no file); any present-but-unusable
+    /// entry is a typed error so the caller can decide to delete it.
+    pub fn load_stream(
+        &self,
+        fingerprint: u64,
+        cfg: &SimConfig,
+    ) -> Result<Option<FrontendBuffer>, StoreError> {
+        let bytes = match std::fs::read(self.stream_path(fingerprint)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        decode_stream(&bytes, fingerprint, cfg).map(Some)
+    }
+
+    /// Persists `buf` as the entry for `fingerprint`: written to a
+    /// temporary sibling, then atomically renamed, so concurrent
+    /// readers and a crash mid-write can only ever observe a complete
+    /// entry or none.
+    pub fn save_stream(&self, fingerprint: u64, buf: &FrontendBuffer) -> Result<(), StoreError> {
+        std::fs::create_dir_all(&self.dir)?;
+        let tmp = self
+            .dir
+            .join(format!("{fingerprint:016x}.tmp{}", std::process::id()));
+        std::fs::write(&tmp, encode_stream(fingerprint, buf))?;
+        std::fs::rename(&tmp, self.stream_path(fingerprint)).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })?;
+        Ok(())
+    }
+
+    /// Removes the entry for `fingerprint` (used when a loaded entry
+    /// fails replay: delete, recapture live, re-save). Absence is fine.
+    pub fn remove_stream(&self, fingerprint: u64) {
+        let _ = std::fs::remove_file(self.stream_path(fingerprint));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fcache::capture_frontend;
+    use nsf_sim::RegFileSpec;
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    /// One capture shared across every test/proptest case: capture is
+    /// the expensive part and the tests only mutate encoded copies.
+    fn captured() -> &'static (Workload, SimConfig, FrontendBuffer, u64) {
+        static CAP: OnceLock<(Workload, SimConfig, FrontendBuffer, u64)> = OnceLock::new();
+        CAP.get_or_init(|| {
+            let w = nsf_workloads::gatesim::build(0);
+            let cfg = SimConfig::with_regfile(RegFileSpec::paper_nsf(80));
+            let buf = capture_frontend(&w, cfg).unwrap();
+            let fp = stream_fingerprint(&w, &cfg).unwrap();
+            (w, cfg, buf, fp)
+        })
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let (_, cfg, buf, fp) = captured();
+        let bytes = encode_stream(*fp, buf);
+        let back = decode_stream(&bytes, *fp, cfg).unwrap();
+        assert_eq!(back.bytes, buf.bytes, "stream bytes must survive");
+        assert_eq!(back.events, buf.events);
+        assert_eq!(back.shared_cycles, buf.shared_cycles);
+        assert_eq!(back.report, buf.report);
+        assert_eq!(encode_stream(*fp, &back), bytes, "re-encode is stable");
+    }
+
+    #[test]
+    fn save_load_through_a_directory() {
+        let (_, cfg, buf, fp) = captured();
+        let dir = std::env::temp_dir().join(format!("nsfs-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = StreamStore::open(&dir);
+        assert!(store.load_stream(*fp, cfg).unwrap().is_none(), "cold miss");
+        store.save_stream(*fp, buf).unwrap();
+        let back = store.load_stream(*fp, cfg).unwrap().expect("warm hit");
+        assert_eq!(back.bytes, buf.bytes);
+        assert_eq!(back.report, buf.report);
+        store.remove_stream(*fp);
+        assert!(store.load_stream(*fp, cfg).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_separates_frontends_not_engines() {
+        let (w, cfg, _, fp) = captured();
+        // A different register file is frontend-equal: same stream key.
+        let other_engine = SimConfig {
+            regfile: RegFileSpec::paper_segmented(4, 32),
+            ..*cfg
+        };
+        assert_eq!(stream_fingerprint(w, &other_engine), Some(*fp));
+        // Any frontend_eq field change must change the key.
+        let other_frontend = SimConfig {
+            sample_interval: cfg.sample_interval + 1,
+            ..*cfg
+        };
+        assert_ne!(stream_fingerprint(w, &other_frontend), Some(*fp));
+        // And so must workload content.
+        let w2 = nsf_workloads::gatesim::build(1);
+        assert_ne!(stream_fingerprint(&w2, cfg), Some(*fp));
+    }
+
+    #[test]
+    fn foreign_magic_and_version_are_typed() {
+        let (_, cfg, buf, fp) = captured();
+        let good = encode_stream(*fp, buf);
+        let mut magic = good.clone();
+        magic[0] = b'X';
+        assert!(matches!(
+            decode_stream(&magic, *fp, cfg),
+            Err(StoreError::BadMagic(_))
+        ));
+        let mut version = good.clone();
+        version[4] = STORE_VERSION + 1;
+        assert!(matches!(
+            decode_stream(&version, *fp, cfg),
+            Err(StoreError::UnsupportedVersion(v)) if v == STORE_VERSION + 1
+        ));
+        assert!(matches!(
+            decode_stream(&good, fp.wrapping_add(1), cfg),
+            Err(StoreError::FingerprintMismatch { .. })
+        ));
+        assert!(validate_stream_bytes(&good, *fp).is_ok());
+        assert!(matches!(
+            validate_stream_bytes(&good, fp.wrapping_add(1)),
+            Err(StoreError::FingerprintMismatch { .. })
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Torn-tail truncation at any length is a typed reject.
+        #[test]
+        fn truncation_is_always_typed(cut in 0usize..2048) {
+            let (_, cfg, buf, fp) = captured();
+            let bytes = encode_stream(*fp, buf);
+            let cut = cut.min(bytes.len().saturating_sub(1));
+            let torn = &bytes[..cut];
+            let err = decode_stream(torn, *fp, cfg).unwrap_err();
+            prop_assert!(matches!(
+                err,
+                StoreError::Truncated
+                    | StoreError::ChecksumMismatch { .. }
+                    | StoreError::BadMagic(_)
+                    | StoreError::UnsupportedVersion(_)
+            ));
+            prop_assert!(validate_stream_bytes(torn, *fp).is_err());
+        }
+
+        /// A single flipped bit anywhere is caught — by the checksum,
+        /// or (if it lands in the trailer itself) as a mismatch against
+        /// the intact body. Never a silent success with altered data.
+        #[test]
+        fn bit_flips_are_always_caught(idx in 0usize..1 << 20, bit in 0u8..8) {
+            let (_, cfg, buf, fp) = captured();
+            let mut bytes = encode_stream(*fp, buf);
+            let idx = idx % bytes.len();
+            bytes[idx] ^= 1 << bit;
+            let err = decode_stream(&bytes, *fp, cfg).unwrap_err();
+            if idx > STORE_MAGIC.len() {
+                // Magic/version damage is classified before the
+                // checksum runs; everything else must be a checksum
+                // failure (the fingerprint field is inside the body).
+                prop_assert!(
+                    matches!(err, StoreError::ChecksumMismatch { .. }),
+                    "byte {idx} bit {bit}: {err}"
+                );
+            }
+        }
+    }
+}

@@ -34,3 +34,9 @@ pub use cost::{ArrayKind, CostModel, CostVector};
 pub use geometry::{Geometry, Ports};
 pub use tech::Tech;
 pub use timing::{AccessTime, TimingModel};
+
+/// Version of the calibrated model constants. Persisted caches of
+/// model-derived numbers (the explorer's result memo) fold this into
+/// their content keys; bump it whenever the area or timing calibration
+/// changes so every stale cost is invalidated at once.
+pub const MODEL_VERSION: u32 = 1;
